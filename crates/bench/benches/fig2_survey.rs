@@ -1,0 +1,44 @@
+//! Figure 2 — survey of 16 industrial NPUs: SRAM area ratio table and the
+//! performance-vs-capacity trend with its diminishing marginal benefit.
+//!
+//! Run with: `cargo bench -p cocco-bench --bench fig2_survey`
+
+use cocco_bench::survey::{mean_perf_per_mb, NpuDomain, NPU_SURVEY};
+use cocco_bench::Table;
+
+fn main() {
+    println!("== Figure 2: industrial NPU survey ==\n");
+    let mut table = Table::new(
+        "fig2_survey",
+        &["NPU", "domain", "SRAM area %", "capacity MB", "perf TFLOPS"],
+    );
+    for e in NPU_SURVEY {
+        table.row(&[
+            e.name.to_string(),
+            format!("{:?}", e.domain),
+            format!("{:.2}", e.sram_area_pct),
+            format!("{:.1}", e.capacity_mb),
+            format!("{:.0}", e.performance_tflops),
+        ]);
+    }
+    table.emit();
+
+    // The trend observations the paper draws from the figure.
+    let mut sorted = NPU_SURVEY;
+    sorted.sort_by(|a, b| a.capacity_mb.total_cmp(&b.capacity_mb));
+    let small = mean_perf_per_mb(&sorted[..8]);
+    let large = mean_perf_per_mb(&sorted[8..]);
+    println!("mean performance per MB, small-capacity half: {small:.2} TFLOPS/MB");
+    println!("mean performance per MB, large-capacity half: {large:.2} TFLOPS/MB");
+    println!("=> diminishing marginal benefit of memory capacity (observation 2)");
+
+    let inference_max = NPU_SURVEY
+        .iter()
+        .filter(|e| e.domain == NpuDomain::Inference)
+        .map(|e| e.capacity_mb)
+        .fold(f64::MIN, f64::max);
+    println!(
+        "largest inference-part capacity: {inference_max:.0} MB (Hanguang's \
+         SRAM-only design => a saturated capacity exists, observation 3)"
+    );
+}

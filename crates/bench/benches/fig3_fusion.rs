@@ -1,0 +1,49 @@
+//! Figure 3 — external memory access and average bandwidth requirement when
+//! fusing L = 1, 3, 5 layers into subgraphs, on the 2 TOPS platform with a
+//! 1 MB global buffer and a 1.125 MB weight buffer.
+//!
+//! Capacity constraints are relaxed here (as in the paper's motivating
+//! figure) to isolate the effect of inter-layer reuse on communication.
+//!
+//! Run with: `cargo bench -p cocco-bench --bench fig3_fusion`
+
+use cocco::prelude::*;
+use cocco_bench::Table;
+
+fn main() {
+    println!("== Figure 3: layer-fusion effect (L = 1, 3, 5) ==\n");
+    let buffer = BufferConfig::separate(1 << 20, 1152 << 10);
+    let mut table = Table::new(
+        "fig3_fusion",
+        &["model", "L", "EMA MB", "EMA vs L1", "avg BW GB/s", "BW vs L1"],
+    );
+    for name in ["resnet50", "googlenet", "randwire-a", "nasnet"] {
+        let model = cocco::graph::models::by_name(name).unwrap();
+        let evaluator = Evaluator::new(&model, AcceleratorConfig::default());
+        let mut base: Option<(f64, f64)> = None;
+        for l in [1usize, 3, 5] {
+            // Capacity relaxed: the motivating figure isolates the effect
+            // of inter-layer reuse on communication.
+            let partition = Partition::connected_groups(&model, l);
+            let report = evaluator
+                .eval_partition(&partition.subgraphs(), &buffer, EvalOptions::default())
+                .expect("evaluation");
+            let ema_mb = report.ema_bytes as f64 / (1 << 20) as f64;
+            let bw = report.avg_bw_gbps;
+            let (ema0, bw0) = *base.get_or_insert((ema_mb, bw));
+            table.row(&[
+                name.to_string(),
+                format!("{l}"),
+                format!("{ema_mb:.1}"),
+                format!("{:+.1}%", (ema_mb / ema0 - 1.0) * 100.0),
+                format!("{bw:.2}"),
+                format!("{:+.1}%", (bw / bw0 - 1.0) * 100.0),
+            ]);
+        }
+    }
+    table.emit();
+    println!(
+        "paper shapes: EMA drops 42-75% and BW 27-68% from L=1 to L=5, with\n\
+         most of the benefit already captured at L=3 (diminishing returns)."
+    );
+}

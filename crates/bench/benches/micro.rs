@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the framework's hot paths: model
+//! construction, the consumption-centric derivation, subgraph statistics
+//! (cold and cached), partition repair and full partition evaluation.
+//!
+//! Run with: `cargo bench -p cocco-bench --bench micro`
+
+use cocco::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("models");
+    g.sample_size(10);
+    g.bench_function("build_resnet50", |b| {
+        b.iter(cocco::graph::models::resnet50)
+    });
+    g.bench_function("build_googlenet", |b| {
+        b.iter(cocco::graph::models::googlenet)
+    });
+    g.finish();
+}
+
+fn bench_tiling(c: &mut Criterion) {
+    let model = cocco::graph::models::googlenet();
+    let members: Vec<_> = model.node_ids().collect();
+    let mapper = Mapper::default();
+    c.bench_function("tiling/derive_scheme_googlenet_whole", |b| {
+        b.iter(|| derive_scheme(&model, &members, &mapper).unwrap())
+    });
+}
+
+fn bench_evaluator(c: &mut Criterion) {
+    let model = cocco::graph::models::resnet50();
+    let mut g = c.benchmark_group("evaluator");
+    g.bench_function("subgraph_stats_cold", |b| {
+        // A fresh evaluator per batch so the cache never warms.
+        let members: Vec<_> = model.node_ids().take(12).collect();
+        b.iter_batched(
+            || Evaluator::new(&model, AcceleratorConfig::default()),
+            |eval| eval.subgraph_stats(&members).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("subgraph_stats_cached", |b| {
+        let eval = Evaluator::new(&model, AcceleratorConfig::default());
+        let members: Vec<_> = model.node_ids().take(12).collect();
+        eval.subgraph_stats(&members).unwrap();
+        b.iter(|| eval.subgraph_stats(&members).unwrap())
+    });
+    g.bench_function("eval_partition_depth5", |b| {
+        let eval = Evaluator::new(&model, AcceleratorConfig::default());
+        let partition = repair(&model, Partition::depth_groups(&model, 5), &|_| true);
+        let subgraphs = partition.subgraphs();
+        let buffer = BufferConfig::shared(2 << 20);
+        b.iter(|| {
+            eval.eval_partition(&subgraphs, &buffer, EvalOptions::default())
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let model = cocco::graph::models::googlenet();
+    let mut rng = StdRng::seed_from_u64(42);
+    let assignments: Vec<Vec<u32>> = (0..32)
+        .map(|_| (0..model.len()).map(|_| rng.gen_range(0..12)).collect())
+        .collect();
+    let mut i = 0;
+    c.bench_function("repair/random_googlenet", |b| {
+        b.iter(|| {
+            let a = assignments[i % assignments.len()].clone();
+            i += 1;
+            repair(&model, Partition::from_assignment(a), &|m| m.len() <= 16)
+        })
+    });
+}
+
+fn bench_ga_generation(c: &mut Criterion) {
+    let model = cocco::graph::models::googlenet();
+    let eval = Evaluator::new(&model, AcceleratorConfig::default());
+    let mut g = c.benchmark_group("search");
+    g.sample_size(10);
+    g.bench_function("ga_500_samples_googlenet", |b| {
+        b.iter(|| {
+            let ctx = SearchContext::new(
+                &model,
+                &eval,
+                BufferSpace::paper_shared(),
+                Objective::paper_energy_capacity(),
+                500,
+            );
+            CoccoGa::default()
+                .with_population(50)
+                .with_seed(1)
+                .run(&ctx)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_models,
+    bench_tiling,
+    bench_evaluator,
+    bench_repair,
+    bench_ga_generation
+);
+criterion_main!(benches);

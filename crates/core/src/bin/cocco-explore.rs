@@ -1,0 +1,167 @@
+//! Command-line co-exploration driver.
+//!
+//! ```console
+//! $ cocco-explore resnet50 --budget 20000 --space shared --alpha 0.002
+//! $ cocco-explore googlenet --space separate --metric ema --cores 2 --batch 8
+//! $ cocco-explore --list
+//! ```
+
+use cocco::prelude::*;
+use std::process::ExitCode;
+
+struct Args {
+    model: Option<String>,
+    budget: u64,
+    space: BufferSpace,
+    metric: CostMetric,
+    alpha: f64,
+    seed: u64,
+    cores: u32,
+    batch: u32,
+    list: bool,
+    dot: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: cocco-explore <model> [options]\n\
+     \n\
+     models: vgg16 resnet50 resnet152 googlenet transformer gpt\n\
+             randwire-a randwire-b nasnet mobilenet-v2\n\
+     \n\
+     options:\n\
+       --budget <n>       evaluation samples (default 20000)\n\
+       --space <s>        shared | separate (default shared)\n\
+       --metric <m>       energy | ema (default energy)\n\
+       --alpha <a>        Formula-2 preference factor (default 0.002)\n\
+       --seed <n>         RNG seed (default 0xC0CC0)\n\
+       --cores <n>        NPU cores (default 1)\n\
+       --batch <n>        batch size (default 1)\n\
+       --dot              print the partitioned graph in Graphviz DOT\n\
+       --list             list available models and exit"
+}
+
+fn parse(mut argv: std::env::Args) -> Result<Args, String> {
+    argv.next(); // program name
+    let mut args = Args {
+        model: None,
+        budget: 20_000,
+        space: BufferSpace::paper_shared(),
+        metric: CostMetric::Energy,
+        alpha: 0.002,
+        seed: 0xC0CC0,
+        cores: 1,
+        batch: 1,
+        list: false,
+        dot: false,
+    };
+    let next_value = |argv: &mut std::env::Args, flag: &str| {
+        argv.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--budget" => args.budget = parse_num(&next_value(&mut argv, "--budget")?)?,
+            "--seed" => args.seed = parse_num(&next_value(&mut argv, "--seed")?)?,
+            "--cores" => args.cores = parse_num(&next_value(&mut argv, "--cores")?)? as u32,
+            "--batch" => args.batch = parse_num(&next_value(&mut argv, "--batch")?)? as u32,
+            "--alpha" => {
+                args.alpha = next_value(&mut argv, "--alpha")?
+                    .parse()
+                    .map_err(|e| format!("bad --alpha: {e}"))?;
+            }
+            "--space" => {
+                args.space = match next_value(&mut argv, "--space")?.as_str() {
+                    "shared" => BufferSpace::paper_shared(),
+                    "separate" => BufferSpace::paper_separate(),
+                    other => return Err(format!("unknown space `{other}`")),
+                };
+            }
+            "--metric" => {
+                args.metric = match next_value(&mut argv, "--metric")?.as_str() {
+                    "energy" => CostMetric::Energy,
+                    "ema" => CostMetric::Ema,
+                    other => return Err(format!("unknown metric `{other}`")),
+                };
+            }
+            "--list" => args.list = true,
+            "--dot" => args.dot = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if args.model.is_none() && !other.starts_with('-') => {
+                args.model = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|e| format!("bad number `{s}`: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse(std::env::args()) {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        for name in cocco::graph::models::PAPER_MODELS {
+            println!("{name}");
+        }
+        println!("nasnet\nmobilenet-v2");
+        return ExitCode::SUCCESS;
+    }
+    let Some(name) = args.model else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let Some(model) = cocco::graph::models::by_name(&name) else {
+        eprintln!("error: unknown model `{name}` (try --list)");
+        return ExitCode::FAILURE;
+    };
+    println!("model: {model}");
+    let result = Cocco::new()
+        .with_space(args.space)
+        .with_objective(Objective::co_exploration(args.metric, args.alpha))
+        .with_options(EvalOptions {
+            cores: args.cores,
+            batch: args.batch,
+        })
+        .with_budget(args.budget)
+        .with_seed(args.seed)
+        .explore(&model);
+    let result = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let buffer = match result.genome.buffer {
+        BufferConfig::Separate { glb, wgt } => {
+            format!("GLB {} KB + WGT {} KB", glb >> 10, wgt >> 10)
+        }
+        BufferConfig::Shared { total } => format!("{} KB shared", total >> 10),
+    };
+    println!("recommended buffer : {buffer}");
+    println!("subgraphs          : {}", result.genome.partition.num_subgraphs());
+    println!("cost (Formula 2)   : {:.4e}", result.cost);
+    println!("EMA                : {:.2} MB", result.report.ema_bytes as f64 / (1 << 20) as f64);
+    println!("energy             : {:.3} mJ", result.report.energy_mj());
+    println!("latency            : {:.3} ms", result.report.latency_ms(1.0));
+    println!("avg bandwidth      : {:.2} GB/s", result.report.avg_bw_gbps);
+    println!("samples used       : {}", result.samples);
+    if args.dot {
+        let partition = &result.genome.partition;
+        println!(
+            "{}",
+            model.to_dot(|id| Some(partition.subgraph_of(id) as usize))
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,202 @@
+//! The end-to-end framework driver (paper Figure 10).
+
+use cocco_graph::Graph;
+use cocco_search::{
+    BufferSpace, CoccoGa, GaConfig, Genome, Objective, SearchContext, Searcher,
+};
+use cocco_sim::{AcceleratorConfig, EvalOptions, Evaluator, PartitionReport};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`Cocco::explore`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoccoError {
+    /// No buffer configuration in the space could execute the model (some
+    /// layer exceeds every candidate capacity).
+    NoFeasibleSolution,
+    /// The final evaluation of the best genome failed (internal error).
+    Evaluation(String),
+}
+
+impl fmt::Display for CoccoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoccoError::NoFeasibleSolution => {
+                write!(f, "no buffer configuration in the space can execute the model")
+            }
+            CoccoError::Evaluation(e) => write!(f, "final evaluation failed: {e}"),
+        }
+    }
+}
+
+impl Error for CoccoError {}
+
+/// Result of one co-exploration run: the recommended memory configuration,
+/// the graph-execution strategy (partition) and its performance evaluation.
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    /// The best genome: partition + buffer configuration.
+    pub genome: Genome,
+    /// Full performance report of the best genome.
+    pub report: PartitionReport,
+    /// Objective cost of the best genome.
+    pub cost: f64,
+    /// Evaluations spent.
+    pub samples: u64,
+}
+
+/// High-level driver: model + hardware description + memory design space in,
+/// recommended configuration + schedule + evaluation out.
+///
+/// Wraps [`Evaluator`], [`SearchContext`] and [`CoccoGa`]; drop down to
+/// those types for baselines, traces or custom budgets.
+///
+/// # Examples
+///
+/// ```
+/// use cocco::prelude::*;
+///
+/// # fn main() -> Result<(), cocco::CoccoError> {
+/// let model = cocco::graph::models::chain(4);
+/// let result = Cocco::new().with_budget(500).explore(&model)?;
+/// assert!(result.genome.partition.validate(&model).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cocco {
+    accel: AcceleratorConfig,
+    space: BufferSpace,
+    objective: Objective,
+    options: EvalOptions,
+    budget: u64,
+    ga: GaConfig,
+}
+
+impl Cocco {
+    /// Creates a driver with the paper's defaults: the 2 TOPS SIMBA-like
+    /// core, the shared-buffer space, the energy-capacity objective
+    /// (α = 0.002) and a 50 000-sample budget.
+    pub fn new() -> Self {
+        Self {
+            accel: AcceleratorConfig::default(),
+            space: BufferSpace::paper_shared(),
+            objective: Objective::paper_energy_capacity(),
+            options: EvalOptions::default(),
+            budget: 50_000,
+            ga: GaConfig::default(),
+        }
+    }
+
+    /// Sets the accelerator configuration.
+    pub fn with_accelerator(mut self, accel: AcceleratorConfig) -> Self {
+        self.accel = accel;
+        self
+    }
+
+    /// Sets the memory design space.
+    pub fn with_space(mut self, space: BufferSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Sets the objective.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets multi-core / batch evaluation options.
+    pub fn with_options(mut self, options: EvalOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the sample budget.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the GA seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.ga.seed = seed;
+        self
+    }
+
+    /// Overrides the full GA configuration.
+    pub fn with_ga(mut self, ga: GaConfig) -> Self {
+        self.ga = ga;
+        self
+    }
+
+    /// Runs the co-exploration on `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoccoError::NoFeasibleSolution`] when no candidate buffer
+    /// can execute the model at all.
+    pub fn explore(&self, model: &Graph) -> Result<Exploration, CoccoError> {
+        let evaluator = Evaluator::new(model, self.accel.clone());
+        let ctx = SearchContext::new(model, &evaluator, self.space, self.objective, self.budget)
+            .with_options(self.options);
+        let outcome = CoccoGa::new(self.ga.clone()).run(&ctx);
+        let genome = outcome.best.ok_or(CoccoError::NoFeasibleSolution)?;
+        let report = evaluator
+            .eval_partition(&genome.partition.subgraphs(), &genome.buffer, self.options)
+            .map_err(|e| CoccoError::Evaluation(e.to_string()))?;
+        Ok(Exploration {
+            genome,
+            report,
+            cost: outcome.best_cost,
+            samples: outcome.samples,
+        })
+    }
+}
+
+impl Default for Cocco {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocco_sim::BufferConfig;
+
+    #[test]
+    fn explore_produces_consistent_result() {
+        let model = cocco_graph::models::diamond();
+        let result = Cocco::new()
+            .with_budget(800)
+            .with_seed(3)
+            .explore(&model)
+            .unwrap();
+        assert!(result.cost.is_finite());
+        assert!(result.report.fits);
+        assert!(result.samples <= 800);
+        assert!(result.genome.partition.validate(&model).is_ok());
+    }
+
+    #[test]
+    fn infeasible_space_is_an_error() {
+        let model = cocco_graph::models::chain(3);
+        let err = Cocco::new()
+            .with_space(BufferSpace::fixed(BufferConfig::shared(8)))
+            .with_budget(50)
+            .explore(&model)
+            .unwrap_err();
+        assert_eq!(err, CoccoError::NoFeasibleSolution);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let model = cocco_graph::models::diamond();
+        let a = Cocco::new().with_budget(300).with_seed(9).explore(&model).unwrap();
+        let b = Cocco::new().with_budget(300).with_seed(9).explore(&model).unwrap();
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.genome.buffer, b.genome.buffer);
+    }
+}

@@ -1,0 +1,54 @@
+//! **Cocco** — hardware-mapping co-exploration towards memory
+//! capacity-communication optimization.
+//!
+//! This crate is the facade of a full reproduction of the ASPLOS'24 paper
+//! by Tan, Zhu and Ma. It re-exports every subsystem and offers a
+//! high-level driver ([`Cocco`]) that mirrors the framework of the paper's
+//! Figure 10: feed it a model and a memory design space, get back a
+//! recommended memory configuration, graph-execution strategy and
+//! performance evaluation.
+//!
+//! # Subsystems
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`graph`] | `cocco-graph` | computation-graph IR + model zoo |
+//! | [`tiling`] | `cocco-tiling` | consumption-centric execution flow (§3.1) |
+//! | [`mem`] | `cocco-mem` | MAIN/SIDE regions, region manager, footprints (§3.2) |
+//! | [`sim`] | `cocco-sim` | SIMBA-like NPU cost model (§5.1) |
+//! | [`partition`] | `cocco-partition` | partitions, validity, repair (§4.1) |
+//! | [`search`] | `cocco-search` | GA co-exploration + all baselines (§4.2-4.4) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cocco::prelude::*;
+//!
+//! # fn main() -> Result<(), cocco::CoccoError> {
+//! let model = cocco::graph::models::diamond();
+//! let exploration = Cocco::new()
+//!     .with_space(BufferSpace::paper_shared())
+//!     .with_objective(Objective::paper_energy_capacity())
+//!     .with_budget(2_000)
+//!     .with_seed(7)
+//!     .explore(&model)?;
+//! println!(
+//!     "recommended buffer: {} KB, energy: {:.3} mJ",
+//!     exploration.genome.buffer.total_bytes() >> 10,
+//!     exploration.report.energy_mj()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub use cocco_graph as graph;
+pub use cocco_mem as mem;
+pub use cocco_partition as partition;
+pub use cocco_search as search;
+pub use cocco_sim as sim;
+pub use cocco_tiling as tiling;
+
+mod framework;
+pub mod prelude;
+
+pub use framework::{Cocco, CoccoError, Exploration};

@@ -1,0 +1,25 @@
+//! Convenience re-exports for typical Cocco usage.
+//!
+//! # Examples
+//!
+//! ```
+//! use cocco::prelude::*;
+//!
+//! let graph = cocco::graph::models::chain(2);
+//! let evaluator = Evaluator::new(&graph, AcceleratorConfig::default());
+//! assert_eq!(evaluator.config().peak_macs_per_cycle(), 1024);
+//! ```
+
+pub use crate::framework::{Cocco, CoccoError, Exploration};
+pub use cocco_graph::{Dims2, Graph, GraphBuilder, Kernel, LayerOp, NodeId, TensorShape};
+pub use cocco_partition::{repair, Partition, Quotient};
+pub use cocco_search::{
+    BufferSpace, CapacitySampling, CoccoGa, DepthDp, Exhaustive, GaConfig, Genome,
+    GreedyFusion, Objective, SearchContext, SearchOutcome, Searcher, SimulatedAnnealing,
+    TwoStep,
+};
+pub use cocco_sim::{
+    AcceleratorConfig, BufferConfig, CapacityRange, CostMetric, EvalOptions, Evaluator,
+    PartitionReport,
+};
+pub use cocco_tiling::{derive_scheme, ExecutionScheme, Mapper, MapperPolicy};

@@ -1,0 +1,346 @@
+//! Incremental, validated construction of computation graphs.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use crate::layer::{Kernel, LayerOp, Node};
+use crate::shape::TensorShape;
+use std::collections::HashSet;
+
+/// Builder for [`Graph`] values.
+///
+/// Nodes are appended in topological order: every producer must already
+/// exist, which is what lets [`NodeId`]s double as topological positions.
+/// Shapes are inferred and validated as nodes are added, so wiring mistakes
+/// surface immediately with a structured [`GraphError`].
+///
+/// # Examples
+///
+/// ```
+/// use cocco_graph::{GraphBuilder, Kernel, TensorShape};
+///
+/// # fn main() -> Result<(), cocco_graph::GraphError> {
+/// let mut b = GraphBuilder::new("lenet-ish");
+/// let x = b.input(TensorShape::new(28, 28, 1));
+/// let c1 = b.conv("c1", x, 6, Kernel::square_same(5, 1))?;
+/// let p1 = b.pool("p1", c1, Kernel::square_valid(2, 2))?;
+/// let c2 = b.conv("c2", p1, 16, Kernel::square_valid(5, 1))?;
+/// let g = b.finish()?;
+/// assert_eq!(g.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    names: HashSet<String>,
+    fresh: u32,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder for a model called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+            names: HashSet::new(),
+            fresh: 0,
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no nodes have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a model-input placeholder producing a tensor of `shape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` has a zero dimension; inputs are programmer-supplied
+    /// constants, so this is a usage bug rather than a recoverable error.
+    pub fn input(&mut self, shape: TensorShape) -> NodeId {
+        assert!(!shape.is_degenerate(), "input shape {shape} has a zero dim");
+        let name = self.fresh_name("input");
+        self.names.insert(name.clone());
+        self.nodes.push(Node {
+            name,
+            op: LayerOp::Input,
+            inputs: Vec::new(),
+            out_shape: shape,
+        });
+        NodeId::from_index(self.nodes.len() - 1)
+    }
+
+    /// Adds an arbitrary operator node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is reused, a producer id is unknown, the
+    /// arity or shapes are inconsistent, or the inferred output shape is
+    /// degenerate.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        op: LayerOp,
+        inputs: &[NodeId],
+    ) -> Result<NodeId, GraphError> {
+        let name = name.into();
+        if self.names.contains(&name) {
+            return Err(GraphError::DuplicateName { node: name });
+        }
+        for id in inputs {
+            if id.index() >= self.nodes.len() {
+                return Err(GraphError::UnknownNode { node: name });
+            }
+        }
+        let in_shapes: Vec<TensorShape> = inputs
+            .iter()
+            .map(|id| self.nodes[id.index()].out_shape)
+            .collect();
+        let out_shape = Node::infer_shape(&name, &op, &in_shapes)?;
+        if out_shape.is_degenerate() {
+            return Err(GraphError::DegenerateShape {
+                node: name,
+                shape: out_shape,
+            });
+        }
+        self.names.insert(name.clone());
+        self.nodes.push(Node {
+            name,
+            op,
+            inputs: inputs.to_vec(),
+            out_shape,
+        });
+        Ok(NodeId::from_index(self.nodes.len() - 1))
+    }
+
+    /// Adds a convolution with `c_out` output channels.
+    ///
+    /// # Errors
+    ///
+    /// See [`GraphBuilder::add`].
+    pub fn conv(
+        &mut self,
+        name: impl Into<String>,
+        from: NodeId,
+        c_out: u32,
+        kernel: Kernel,
+    ) -> Result<NodeId, GraphError> {
+        self.add(name, LayerOp::Conv { kernel, c_out }, &[from])
+    }
+
+    /// Adds a fully-connected layer, lowered to a 1×1 convolution over the
+    /// producer's channel dimension (paper §5.1.1). The producer's spatial
+    /// extent is preserved; use after a [`global_pool`](Self::global_pool)
+    /// for classifier heads.
+    ///
+    /// # Errors
+    ///
+    /// See [`GraphBuilder::add`].
+    pub fn fc(
+        &mut self,
+        name: impl Into<String>,
+        from: NodeId,
+        c_out: u32,
+    ) -> Result<NodeId, GraphError> {
+        self.conv(name, from, c_out, Kernel::pointwise())
+    }
+
+    /// Adds a depth-wise convolution (weights `F·F·C`).
+    ///
+    /// # Errors
+    ///
+    /// See [`GraphBuilder::add`].
+    pub fn dwconv(
+        &mut self,
+        name: impl Into<String>,
+        from: NodeId,
+        kernel: Kernel,
+    ) -> Result<NodeId, GraphError> {
+        self.add(name, LayerOp::DepthwiseConv { kernel }, &[from])
+    }
+
+    /// Adds a pooling layer (depth-wise window, no weights).
+    ///
+    /// # Errors
+    ///
+    /// See [`GraphBuilder::add`].
+    pub fn pool(
+        &mut self,
+        name: impl Into<String>,
+        from: NodeId,
+        kernel: Kernel,
+    ) -> Result<NodeId, GraphError> {
+        self.add(name, LayerOp::Pool { kernel }, &[from])
+    }
+
+    /// Adds a global pooling layer reducing the spatial extent to 1×1.
+    ///
+    /// # Errors
+    ///
+    /// See [`GraphBuilder::add`].
+    pub fn global_pool(
+        &mut self,
+        name: impl Into<String>,
+        from: NodeId,
+    ) -> Result<NodeId, GraphError> {
+        self.add(name, LayerOp::GlobalPool, &[from])
+    }
+
+    /// Adds an element-wise op over one or more same-shaped inputs.
+    ///
+    /// # Errors
+    ///
+    /// See [`GraphBuilder::add`].
+    pub fn eltwise(
+        &mut self,
+        name: impl Into<String>,
+        from: &[NodeId],
+    ) -> Result<NodeId, GraphError> {
+        self.add(name, LayerOp::Eltwise, from)
+    }
+
+    /// Adds a channel concatenation.
+    ///
+    /// # Errors
+    ///
+    /// See [`GraphBuilder::add`].
+    pub fn concat(
+        &mut self,
+        name: impl Into<String>,
+        from: &[NodeId],
+    ) -> Result<NodeId, GraphError> {
+        self.add(name, LayerOp::Concat, from)
+    }
+
+    /// Adds an activation×activation matmul `A·Bᵀ` (`rhs_transposed=true`,
+    /// e.g. `Q·Kᵀ`) or `A·B` (`rhs_transposed=false`, e.g. `scores·V`).
+    ///
+    /// # Errors
+    ///
+    /// See [`GraphBuilder::add`].
+    pub fn matmul(
+        &mut self,
+        name: impl Into<String>,
+        a: NodeId,
+        b: NodeId,
+        rhs_transposed: bool,
+    ) -> Result<NodeId, GraphError> {
+        self.add(name, LayerOp::MatMul { rhs_transposed }, &[a, b])
+    }
+
+    /// The output shape of an already-added node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this builder.
+    pub fn shape(&self, id: NodeId) -> TensorShape {
+        self.nodes[id.index()].out_shape
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph is empty or lacks an input node.
+    pub fn finish(self) -> Result<Graph, GraphError> {
+        Graph::from_nodes(self.name, self.nodes)
+    }
+
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        loop {
+            let candidate = if self.fresh == 0 {
+                prefix.to_string()
+            } else {
+                format!("{prefix}{}", self.fresh)
+            };
+            self.fresh += 1;
+            if !self.names.contains(&candidate) {
+                return candidate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input(TensorShape::new(8, 8, 3));
+        b.conv("c", i, 4, Kernel::pointwise()).unwrap();
+        let err = b.conv("c", i, 4, Kernel::pointwise()).unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn unknown_producer_rejected() {
+        let mut b = GraphBuilder::new("t");
+        b.input(TensorShape::new(8, 8, 3));
+        let bogus = NodeId::from_index(42);
+        let err = b.conv("c", bogus, 4, Kernel::pointwise()).unwrap_err();
+        assert!(matches!(err, GraphError::UnknownNode { .. }));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let b = GraphBuilder::new("t");
+        assert!(matches!(b.finish(), Err(GraphError::Empty)));
+    }
+
+    #[test]
+    fn missing_input_rejected() {
+        // Only way to have no input is an empty builder, since every other
+        // op requires producers; keep the check honest via from_nodes.
+        let mut b = GraphBuilder::new("t");
+        let i = b.input(TensorShape::new(8, 8, 3));
+        let _ = b.conv("c", i, 4, Kernel::pointwise()).unwrap();
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn fc_is_pointwise_conv() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input(TensorShape::new(1, 1, 512));
+        let f = b.fc("fc", i, 1000).unwrap();
+        assert_eq!(b.shape(f), TensorShape::new(1, 1, 1000));
+    }
+
+    #[test]
+    fn fresh_input_names_unique() {
+        let mut b = GraphBuilder::new("t");
+        let a = b.input(TensorShape::new(4, 4, 1));
+        let c = b.input(TensorShape::new(4, 4, 1));
+        let g_a = b.shape(a);
+        let g_c = b.shape(c);
+        assert_eq!(g_a, g_c);
+        let g = b.finish().unwrap();
+        assert_eq!(g.input_ids().len(), 2);
+        let names: Vec<_> = g.iter().map(|(_, n)| n.name().to_string()).collect();
+        assert_ne!(names[0], names[1]);
+    }
+
+    #[test]
+    fn degenerate_output_rejected() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input(TensorShape::new(8, 8, 3));
+        // 1x1 conv with zero output channels is degenerate.
+        let err = b.conv("z", i, 0, Kernel::pointwise()).unwrap_err();
+        assert!(matches!(err, GraphError::DegenerateShape { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dim")]
+    fn degenerate_input_panics() {
+        let mut b = GraphBuilder::new("t");
+        b.input(TensorShape::new(0, 8, 3));
+    }
+}

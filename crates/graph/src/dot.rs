@@ -1,0 +1,96 @@
+//! Graphviz DOT export for visual inspection of models and partitions.
+
+use crate::graph::{Graph, NodeId};
+use std::fmt::Write as _;
+
+impl Graph {
+    /// Renders the graph in Graphviz DOT format.
+    ///
+    /// `group_of` optionally maps each node to a cluster id (e.g. a subgraph
+    /// index from a partition); nodes in the same cluster are boxed together.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cocco_graph::{GraphBuilder, Kernel, TensorShape};
+    /// # fn main() -> Result<(), cocco_graph::GraphError> {
+    /// let mut b = GraphBuilder::new("toy");
+    /// let i = b.input(TensorShape::new(8, 8, 3));
+    /// b.conv("c", i, 4, Kernel::square_same(3, 1))?;
+    /// let g = b.finish()?;
+    /// let dot = g.to_dot(|_| None);
+    /// assert!(dot.starts_with("digraph"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_dot(&self, group_of: impl Fn(NodeId) -> Option<usize>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "  rankdir=TB; node [shape=box, fontsize=10];");
+
+        // Bucket nodes by cluster.
+        let mut clusters: std::collections::BTreeMap<Option<usize>, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
+        for id in self.node_ids() {
+            clusters.entry(group_of(id)).or_default().push(id);
+        }
+        for (cluster, ids) in &clusters {
+            if let Some(c) = cluster {
+                let _ = writeln!(out, "  subgraph cluster_{c} {{ label=\"sg{c}\";");
+            }
+            for &id in ids {
+                let node = self.node(id);
+                let _ = writeln!(
+                    out,
+                    "    {} [label=\"{}\\n{} {}\"];",
+                    id,
+                    node.name(),
+                    node.op(),
+                    node.out_shape()
+                );
+            }
+            if cluster.is_some() {
+                let _ = writeln!(out, "  }}");
+            }
+        }
+        for id in self.node_ids() {
+            for &c in self.consumers(id) {
+                let _ = writeln!(out, "  {id} -> {c};");
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GraphBuilder, Kernel, TensorShape};
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input(TensorShape::new(8, 8, 3));
+        let c = b.conv("convA", i, 4, Kernel::square_same(3, 1)).unwrap();
+        let d = b.conv("convB", c, 4, Kernel::square_same(3, 1)).unwrap();
+        let _ = d;
+        let g = b.finish().unwrap();
+        let dot = g.to_dot(|_| None);
+        assert!(dot.contains("convA"));
+        assert!(dot.contains("convB"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n1 -> n2"));
+    }
+
+    #[test]
+    fn dot_clusters_by_group() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input(TensorShape::new(8, 8, 3));
+        let c = b.conv("convA", i, 4, Kernel::square_same(3, 1)).unwrap();
+        let _ = c;
+        let g = b.finish().unwrap();
+        let dot = g.to_dot(|id| Some(id.index()));
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("cluster_1"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Structured errors for graph construction.
+
+use crate::shape::TensorShape;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while building or validating a computation graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The graph has no nodes.
+    Empty,
+    /// The graph has no model-input placeholder node.
+    NoInput,
+    /// A node references a producer created after itself (builder misuse).
+    NotTopological {
+        /// Offending node name.
+        node: String,
+    },
+    /// A node references an id that does not exist in the builder.
+    UnknownNode {
+        /// Offending node name.
+        node: String,
+    },
+    /// A node received the wrong number of inputs.
+    ArityMismatch {
+        /// Offending node name.
+        node: String,
+        /// Expected input count.
+        expected: usize,
+        /// Actual input count.
+        found: usize,
+    },
+    /// Two input tensors that must agree have different shapes.
+    ShapeMismatch {
+        /// Offending node name.
+        node: String,
+        /// First shape.
+        left: TensorShape,
+        /// Conflicting shape.
+        right: TensorShape,
+    },
+    /// An `Input` node was given producers.
+    InputHasProducers {
+        /// Offending node name.
+        node: String,
+    },
+    /// A layer name was used twice.
+    DuplicateName {
+        /// The duplicated name.
+        node: String,
+    },
+    /// A tensor dimension is zero.
+    DegenerateShape {
+        /// Offending node name.
+        node: String,
+        /// The degenerate shape.
+        shape: TensorShape,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::NoInput => write!(f, "graph has no input node"),
+            GraphError::NotTopological { node } => {
+                write!(f, "node `{node}` consumes a node created after it")
+            }
+            GraphError::UnknownNode { node } => {
+                write!(f, "node `{node}` references an unknown producer")
+            }
+            GraphError::ArityMismatch {
+                node,
+                expected,
+                found,
+            } => write!(
+                f,
+                "node `{node}` expected {expected} input(s), found {found}"
+            ),
+            GraphError::ShapeMismatch { node, left, right } => {
+                write!(f, "node `{node}` input shapes disagree: {left} vs {right}")
+            }
+            GraphError::InputHasProducers { node } => {
+                write!(f, "input node `{node}` must not have producers")
+            }
+            GraphError::DuplicateName { node } => {
+                write!(f, "layer name `{node}` used more than once")
+            }
+            GraphError::DegenerateShape { node, shape } => {
+                write!(f, "node `{node}` has a zero-sized shape {shape}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = GraphError::ShapeMismatch {
+            node: "add1".into(),
+            left: TensorShape::new(8, 8, 16),
+            right: TensorShape::new(8, 8, 8),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("add1"));
+        assert!(msg.starts_with(char::is_lowercase));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error + Send + Sync>(_: E) {}
+        takes_error(GraphError::Empty);
+    }
+}

@@ -1,0 +1,567 @@
+//! Layer operators and per-node metadata.
+
+use crate::error::GraphError;
+use crate::graph::NodeId;
+use crate::shape::{Dims2, TensorShape};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Convolution/pooling window geometry: kernel size, stride and padding.
+///
+/// Padding is per-side (symmetric), so the output extent along a dimension of
+/// input extent `i` is `(i + 2·pad − f) / s + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use cocco_graph::Kernel;
+/// let k = Kernel::square_same(3, 1);
+/// assert_eq!(k.out_extent_h(56), 56);
+/// let k = Kernel::square_same(3, 2);
+/// assert_eq!(k.out_extent_h(56), 28);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Window size `F` per dimension.
+    pub size: Dims2,
+    /// Stride `s` per dimension.
+    pub stride: Dims2,
+    /// Symmetric per-side padding per dimension.
+    pub pad: Dims2,
+}
+
+impl Kernel {
+    /// Creates a kernel with explicit size, stride and padding.
+    pub fn new(size: Dims2, stride: Dims2, pad: Dims2) -> Self {
+        Self { size, stride, pad }
+    }
+
+    /// Square `f×f` kernel with stride `s` and "same" padding (`f/2` per
+    /// side), the most common configuration in the model zoo.
+    pub fn square_same(f: u32, s: u32) -> Self {
+        Self {
+            size: Dims2::square(f),
+            stride: Dims2::square(s),
+            pad: Dims2::square(f / 2),
+        }
+    }
+
+    /// Square `f×f` kernel with stride `s` and no padding.
+    pub fn square_valid(f: u32, s: u32) -> Self {
+        Self {
+            size: Dims2::square(f),
+            stride: Dims2::square(s),
+            pad: Dims2::square(0),
+        }
+    }
+
+    /// Pointwise 1×1 kernel with stride 1 (FC layers lower to this).
+    pub fn pointwise() -> Self {
+        Self::square_valid(1, 1)
+    }
+
+    /// Output extent along the height dimension for input extent `i`.
+    ///
+    /// Saturates at 1 so degenerate windows (kernel larger than the padded
+    /// input) still produce a nonempty output; builders validate shapes
+    /// before this matters.
+    pub fn out_extent_h(&self, i: u32) -> u32 {
+        extent(i, self.size.h, self.stride.h, self.pad.h)
+    }
+
+    /// Output extent along the width dimension for input extent `i`.
+    pub fn out_extent_w(&self, i: u32) -> u32 {
+        extent(i, self.size.w, self.stride.w, self.pad.w)
+    }
+
+    /// Output spatial extents for the given input spatial extents.
+    pub fn out_spatial(&self, i: Dims2) -> Dims2 {
+        Dims2 {
+            h: self.out_extent_h(i.h),
+            w: self.out_extent_w(i.w),
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.size, self.stride)
+    }
+}
+
+fn extent(i: u32, f: u32, s: u32, p: u32) -> u32 {
+    let padded = i + 2 * p;
+    if padded < f {
+        1
+    } else {
+        (padded - f) / s.max(1) + 1
+    }
+}
+
+/// The operator computed by a node.
+///
+/// Per the paper's methodology (§5.1.1): FC layers are expressed as 1×1
+/// [`Conv`](LayerOp::Conv); pooling and element-wise layers are analysed as
+/// depth-wise convolutions without weights; activation functions are hidden
+/// in the pipeline and not represented.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerOp {
+    /// Model input placeholder; produces the externally supplied tensor.
+    Input,
+    /// Standard convolution producing `c_out` channels (exactly one input).
+    Conv {
+        /// Window geometry.
+        kernel: Kernel,
+        /// Output channel count.
+        c_out: u32,
+    },
+    /// Depth-wise convolution: per-channel `F×F` filter, `F·F·C` weights.
+    DepthwiseConv {
+        /// Window geometry.
+        kernel: Kernel,
+    },
+    /// Pooling (max/average): depth-wise window, no weights.
+    Pool {
+        /// Window geometry.
+        kernel: Kernel,
+    },
+    /// Global pooling reducing the full spatial extent to 1×1; consumes its
+    /// whole input per output element, so the producer must be fully
+    /// buffered.
+    GlobalPool,
+    /// Element-wise n-ary op (residual add, gating multiply, softmax /
+    /// normalization when unary). All inputs share one shape; no weights.
+    Eltwise,
+    /// Channel concatenation; no compute, no weights.
+    Concat,
+    /// Activation × activation matrix multiply (attention). The first input
+    /// streams row-by-row; the second is the stationary operand and must be
+    /// fully buffered. No weights.
+    MatMul {
+        /// When `true`, computes `A·Bᵀ` for `A: (M,1,K)`, `B: (N,1,K)`
+        /// (e.g. `Q·Kᵀ`); when `false`, computes `A·B` for `A: (M,1,K)`,
+        /// `B: (K,1,N)` (e.g. `scores·V`).
+        rhs_transposed: bool,
+    },
+}
+
+impl LayerOp {
+    /// Returns the sliding-window geometry of this operator, if it has one.
+    pub fn kernel(&self) -> Option<Kernel> {
+        match self {
+            LayerOp::Conv { kernel, .. }
+            | LayerOp::DepthwiseConv { kernel }
+            | LayerOp::Pool { kernel } => Some(*kernel),
+            LayerOp::Eltwise | LayerOp::Concat => Some(Kernel::pointwise()),
+            LayerOp::Input | LayerOp::GlobalPool | LayerOp::MatMul { .. } => None,
+        }
+    }
+
+    /// Returns `true` for the model-input placeholder.
+    pub fn is_input(&self) -> bool {
+        matches!(self, LayerOp::Input)
+    }
+
+    /// A short mnemonic used by the DOT exporter and debugging output.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            LayerOp::Input => "input",
+            LayerOp::Conv { .. } => "conv",
+            LayerOp::DepthwiseConv { .. } => "dwconv",
+            LayerOp::Pool { .. } => "pool",
+            LayerOp::GlobalPool => "gpool",
+            LayerOp::Eltwise => "eltwise",
+            LayerOp::Concat => "concat",
+            LayerOp::MatMul { .. } => "matmul",
+        }
+    }
+}
+
+impl fmt::Display for LayerOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerOp::Conv { kernel, c_out } => write!(f, "conv{kernel}->{c_out}"),
+            LayerOp::DepthwiseConv { kernel } => write!(f, "dwconv{kernel}"),
+            LayerOp::Pool { kernel } => write!(f, "pool{kernel}"),
+            other => f.write_str(other.mnemonic()),
+        }
+    }
+}
+
+/// How a consumer node reads the tensor arriving on one of its input edges.
+///
+/// This drives the consumption-centric backward derivation (paper §3.1): a
+/// sliding consumer needs `F + (t−1)·s` producer rows per `t` of its own
+/// rows, whereas a full consumer (the stationary operand of an attention
+/// matmul, or a global pooling) needs the producer's entire tensor resident.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeReq {
+    /// Sliding-window consumption with the given geometry.
+    Sliding(Kernel),
+    /// The whole producer tensor must be buffered before consumption.
+    Full,
+}
+
+impl EdgeReq {
+    /// The window geometry for sliding consumption, if applicable.
+    pub fn kernel(&self) -> Option<Kernel> {
+        match self {
+            EdgeReq::Sliding(k) => Some(*k),
+            EdgeReq::Full => None,
+        }
+    }
+}
+
+/// A node of the computation graph: one layer plus its wiring and the
+/// computed output shape.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) op: LayerOp,
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) out_shape: TensorShape,
+}
+
+impl Node {
+    /// Human-readable unique layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operator computed by this node.
+    pub fn op(&self) -> &LayerOp {
+        &self.op
+    }
+
+    /// Producer nodes feeding this node, in argument order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Shape of the tensor this node produces.
+    pub fn out_shape(&self) -> TensorShape {
+        self.out_shape
+    }
+
+    /// Number of output elements.
+    pub fn out_elements(&self) -> u64 {
+        self.out_shape.elements()
+    }
+
+    /// How this node consumes the tensor on input edge `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not a valid input index of this node.
+    pub fn edge_req(&self, idx: usize) -> EdgeReq {
+        assert!(idx < self.inputs.len(), "input index {idx} out of range");
+        match &self.op {
+            LayerOp::GlobalPool => EdgeReq::Full,
+            LayerOp::MatMul { .. } => {
+                if idx == 0 {
+                    EdgeReq::Sliding(Kernel::pointwise())
+                } else {
+                    EdgeReq::Full
+                }
+            }
+            op => EdgeReq::Sliding(op.kernel().unwrap_or_else(Kernel::pointwise)),
+        }
+    }
+
+    /// Weight element count (weights are shared across spatial positions).
+    pub fn weight_elements(&self, in_shapes: &[TensorShape]) -> u64 {
+        match &self.op {
+            LayerOp::Conv { kernel, c_out } => {
+                let c_in = in_shapes.first().map_or(0, |s| u64::from(s.c));
+                kernel.size.area() * c_in * u64::from(*c_out)
+            }
+            LayerOp::DepthwiseConv { kernel } => {
+                let c = in_shapes.first().map_or(0, |s| u64::from(s.c));
+                kernel.size.area() * c
+            }
+            _ => 0,
+        }
+    }
+
+    /// Multiply-accumulate count (compute-equivalent operations for layers
+    /// without true MACs, e.g. pooling windows and element-wise ops).
+    pub fn macs(&self, in_shapes: &[TensorShape]) -> u64 {
+        let out = self.out_shape;
+        match &self.op {
+            LayerOp::Input | LayerOp::Concat => 0,
+            LayerOp::Conv { kernel, c_out } => {
+                let c_in = in_shapes.first().map_or(0, |s| u64::from(s.c));
+                out.spatial().area() * u64::from(*c_out) * kernel.size.area() * c_in
+            }
+            LayerOp::DepthwiseConv { kernel } | LayerOp::Pool { kernel } => {
+                out.elements() * kernel.size.area()
+            }
+            LayerOp::GlobalPool => in_shapes.first().map_or(0, |s| s.elements()),
+            LayerOp::Eltwise => out.elements() * in_shapes.len().max(1) as u64,
+            LayerOp::MatMul { rhs_transposed } => {
+                let m = in_shapes.first().map_or(0, |s| u64::from(s.h));
+                let k = in_shapes.first().map_or(0, |s| u64::from(s.c));
+                let n = in_shapes.get(1).map_or(0, |s| {
+                    if *rhs_transposed {
+                        u64::from(s.h)
+                    } else {
+                        u64::from(s.c)
+                    }
+                });
+                m * k * n
+            }
+        }
+    }
+
+    /// Computes the output shape of `op` given the input shapes, or a
+    /// structured error when the wiring is inconsistent.
+    pub(crate) fn infer_shape(
+        name: &str,
+        op: &LayerOp,
+        in_shapes: &[TensorShape],
+    ) -> Result<TensorShape, GraphError> {
+        let one = |shapes: &[TensorShape]| -> Result<TensorShape, GraphError> {
+            if shapes.len() == 1 {
+                Ok(shapes[0])
+            } else {
+                Err(GraphError::ArityMismatch {
+                    node: name.to_string(),
+                    expected: 1,
+                    found: shapes.len(),
+                })
+            }
+        };
+        match op {
+            LayerOp::Input => Err(GraphError::InputHasProducers {
+                node: name.to_string(),
+            }),
+            LayerOp::Conv { kernel, c_out } => {
+                let i = one(in_shapes)?;
+                let s = kernel.out_spatial(i.spatial());
+                Ok(TensorShape::new(s.h, s.w, *c_out))
+            }
+            LayerOp::DepthwiseConv { kernel } | LayerOp::Pool { kernel } => {
+                let i = one(in_shapes)?;
+                let s = kernel.out_spatial(i.spatial());
+                Ok(TensorShape::new(s.h, s.w, i.c))
+            }
+            LayerOp::GlobalPool => {
+                let i = one(in_shapes)?;
+                Ok(TensorShape::new(1, 1, i.c))
+            }
+            LayerOp::Eltwise => {
+                let first = *in_shapes.first().ok_or_else(|| GraphError::ArityMismatch {
+                    node: name.to_string(),
+                    expected: 1,
+                    found: 0,
+                })?;
+                for s in in_shapes {
+                    if *s != first {
+                        return Err(GraphError::ShapeMismatch {
+                            node: name.to_string(),
+                            left: first,
+                            right: *s,
+                        });
+                    }
+                }
+                Ok(first)
+            }
+            LayerOp::Concat => {
+                let first = *in_shapes.first().ok_or_else(|| GraphError::ArityMismatch {
+                    node: name.to_string(),
+                    expected: 1,
+                    found: 0,
+                })?;
+                let mut c = 0u32;
+                for s in in_shapes {
+                    if s.spatial() != first.spatial() {
+                        return Err(GraphError::ShapeMismatch {
+                            node: name.to_string(),
+                            left: first,
+                            right: *s,
+                        });
+                    }
+                    c += s.c;
+                }
+                Ok(TensorShape::new(first.h, first.w, c))
+            }
+            LayerOp::MatMul { rhs_transposed } => {
+                if in_shapes.len() != 2 {
+                    return Err(GraphError::ArityMismatch {
+                        node: name.to_string(),
+                        expected: 2,
+                        found: in_shapes.len(),
+                    });
+                }
+                let (a, b) = (in_shapes[0], in_shapes[1]);
+                let (k_b, n) = if *rhs_transposed { (b.c, b.h) } else { (b.h, b.c) };
+                if a.c != k_b || a.w != 1 || b.w != 1 {
+                    return Err(GraphError::ShapeMismatch {
+                        node: name.to_string(),
+                        left: a,
+                        right: b,
+                    });
+                }
+                Ok(TensorShape::new(a.h, 1, n))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(h: u32, w: u32, c: u32) -> TensorShape {
+        TensorShape::new(h, w, c)
+    }
+
+    #[test]
+    fn kernel_extents_same_padding() {
+        let k = Kernel::square_same(7, 2);
+        assert_eq!(k.out_extent_h(224), 112);
+        let k = Kernel::square_same(3, 1);
+        assert_eq!(k.out_extent_h(13), 13);
+    }
+
+    #[test]
+    fn kernel_extents_valid_padding() {
+        let k = Kernel::square_valid(2, 2);
+        assert_eq!(k.out_extent_h(56), 28);
+        let k = Kernel::square_valid(3, 2);
+        assert_eq!(k.out_extent_h(7), 3);
+    }
+
+    #[test]
+    fn kernel_never_yields_zero_extent() {
+        let k = Kernel::square_valid(7, 1);
+        assert_eq!(k.out_extent_h(3), 1);
+    }
+
+    #[test]
+    fn conv_shape_and_weights() {
+        let op = LayerOp::Conv {
+            kernel: Kernel::square_same(3, 1),
+            c_out: 64,
+        };
+        let out = Node::infer_shape("c", &op, &[shape(56, 56, 32)]).unwrap();
+        assert_eq!(out, shape(56, 56, 64));
+        let node = Node {
+            name: "c".into(),
+            op,
+            inputs: vec![NodeId::from_index(0)],
+            out_shape: out,
+        };
+        assert_eq!(node.weight_elements(&[shape(56, 56, 32)]), 9 * 32 * 64);
+        assert_eq!(
+            node.macs(&[shape(56, 56, 32)]),
+            56 * 56 * 64 * 9 * 32
+        );
+    }
+
+    #[test]
+    fn depthwise_keeps_channels() {
+        let op = LayerOp::DepthwiseConv {
+            kernel: Kernel::square_same(3, 2),
+        };
+        let out = Node::infer_shape("d", &op, &[shape(56, 56, 32)]).unwrap();
+        assert_eq!(out, shape(28, 28, 32));
+    }
+
+    #[test]
+    fn pool_has_no_weights() {
+        let op = LayerOp::Pool {
+            kernel: Kernel::square_valid(2, 2),
+        };
+        let node = Node {
+            name: "p".into(),
+            op: op.clone(),
+            inputs: vec![NodeId::from_index(0)],
+            out_shape: Node::infer_shape("p", &op, &[shape(8, 8, 16)]).unwrap(),
+        };
+        assert_eq!(node.weight_elements(&[shape(8, 8, 16)]), 0);
+    }
+
+    #[test]
+    fn eltwise_requires_matching_shapes() {
+        let err = Node::infer_shape("e", &LayerOp::Eltwise, &[shape(8, 8, 16), shape(8, 8, 8)]);
+        assert!(matches!(err, Err(GraphError::ShapeMismatch { .. })));
+        let ok = Node::infer_shape("e", &LayerOp::Eltwise, &[shape(8, 8, 16), shape(8, 8, 16)]);
+        assert_eq!(ok.unwrap(), shape(8, 8, 16));
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let out = Node::infer_shape(
+            "cat",
+            &LayerOp::Concat,
+            &[shape(8, 8, 16), shape(8, 8, 8), shape(8, 8, 4)],
+        )
+        .unwrap();
+        assert_eq!(out, shape(8, 8, 28));
+    }
+
+    #[test]
+    fn matmul_shapes_attention() {
+        // Q·Kᵀ: (seq,1,d) × (seq,1,d) -> (seq,1,seq)
+        let q = TensorShape::seq(64, 512);
+        let k = TensorShape::seq(64, 512);
+        let out = Node::infer_shape(
+            "qk",
+            &LayerOp::MatMul { rhs_transposed: true },
+            &[q, k],
+        )
+        .unwrap();
+        assert_eq!(out, TensorShape::seq(64, 64));
+        // scores·V: (seq,1,seq) × (seq,1,d) -> (seq,1,d)
+        let v = TensorShape::seq(64, 512);
+        let out2 = Node::infer_shape(
+            "av",
+            &LayerOp::MatMul { rhs_transposed: false },
+            &[out, v],
+        )
+        .unwrap();
+        assert_eq!(out2, TensorShape::seq(64, 512));
+    }
+
+    #[test]
+    fn matmul_macs() {
+        let a = TensorShape::seq(64, 512);
+        let b = TensorShape::seq(64, 512);
+        let op = LayerOp::MatMul { rhs_transposed: true };
+        let node = Node {
+            name: "qk".into(),
+            op: op.clone(),
+            inputs: vec![NodeId::from_index(0), NodeId::from_index(1)],
+            out_shape: Node::infer_shape("qk", &op, &[a, b]).unwrap(),
+        };
+        assert_eq!(node.macs(&[a, b]), 64 * 512 * 64);
+    }
+
+    #[test]
+    fn matmul_edge_reqs() {
+        let op = LayerOp::MatMul { rhs_transposed: true };
+        let a = TensorShape::seq(4, 8);
+        let node = Node {
+            name: "m".into(),
+            op: op.clone(),
+            inputs: vec![NodeId::from_index(0), NodeId::from_index(1)],
+            out_shape: Node::infer_shape("m", &op, &[a, a]).unwrap(),
+        };
+        assert!(matches!(node.edge_req(0), EdgeReq::Sliding(_)));
+        assert_eq!(node.edge_req(1), EdgeReq::Full);
+    }
+
+    #[test]
+    fn mnemonics_are_stable() {
+        assert_eq!(LayerOp::Eltwise.mnemonic(), "eltwise");
+        assert_eq!(
+            LayerOp::Conv {
+                kernel: Kernel::pointwise(),
+                c_out: 1
+            }
+            .to_string(),
+            "conv1x1/1x1->1"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! GoogleNet (Inception v1) — the paper's representative *inception*
+//! structure.
+
+use crate::{Graph, GraphBuilder, Kernel, NodeId};
+
+/// Per-module channel configuration of an inception block:
+/// `(1x1, 3x3-reduce, 3x3, 5x5-reduce, 5x5, pool-proj)`.
+type InceptionCfg = (u32, u32, u32, u32, u32, u32);
+
+/// Builds GoogleNet / Inception-v1 (Szegedy et al., CVPR'15) for 224×224×3
+/// inputs, without the auxiliary classifier heads (they are train-time only).
+///
+/// # Examples
+///
+/// ```
+/// let g = cocco_graph::models::googlenet();
+/// assert_eq!(g.name(), "googlenet");
+/// ```
+pub fn googlenet() -> Graph {
+    let mut b = GraphBuilder::new("googlenet");
+    let input = b.input(crate::TensorShape::new(224, 224, 3));
+    let c1 = b
+        .conv("conv1", input, 64, Kernel::square_same(7, 2))
+        .expect("conv1");
+    let p1 = b
+        .pool("pool1", c1, Kernel::square_same(3, 2))
+        .expect("pool1");
+    let c2r = b
+        .conv("conv2_reduce", p1, 64, Kernel::square_valid(1, 1))
+        .expect("conv2r");
+    let c2 = b
+        .conv("conv2", c2r, 192, Kernel::square_same(3, 1))
+        .expect("conv2");
+    let mut x = b
+        .pool("pool2", c2, Kernel::square_same(3, 2))
+        .expect("pool2");
+
+    let stage3: [InceptionCfg; 2] = [(64, 96, 128, 16, 32, 32), (128, 128, 192, 32, 96, 64)];
+    for (i, cfg) in stage3.iter().enumerate() {
+        x = inception(&mut b, &format!("inc3{}", (b'a' + i as u8) as char), x, *cfg);
+    }
+    x = b
+        .pool("pool3", x, Kernel::square_same(3, 2))
+        .expect("pool3");
+
+    let stage4: [InceptionCfg; 5] = [
+        (192, 96, 208, 16, 48, 64),
+        (160, 112, 224, 24, 64, 64),
+        (128, 128, 256, 24, 64, 64),
+        (112, 144, 288, 32, 64, 64),
+        (256, 160, 320, 32, 128, 128),
+    ];
+    for (i, cfg) in stage4.iter().enumerate() {
+        x = inception(&mut b, &format!("inc4{}", (b'a' + i as u8) as char), x, *cfg);
+    }
+    x = b
+        .pool("pool4", x, Kernel::square_same(3, 2))
+        .expect("pool4");
+
+    let stage5: [InceptionCfg; 2] = [(256, 160, 320, 32, 128, 128), (384, 192, 384, 48, 128, 128)];
+    for (i, cfg) in stage5.iter().enumerate() {
+        x = inception(&mut b, &format!("inc5{}", (b'a' + i as u8) as char), x, *cfg);
+    }
+    let gap = b.global_pool("gap", x).expect("gap");
+    b.fc("fc", gap, 1000).expect("fc");
+    b.finish().expect("googlenet graph")
+}
+
+fn inception(b: &mut GraphBuilder, prefix: &str, x: NodeId, cfg: InceptionCfg) -> NodeId {
+    let (c1, c3r, c3, c5r, c5, cp) = cfg;
+    let b1 = b
+        .conv(format!("{prefix}_1x1"), x, c1, Kernel::square_valid(1, 1))
+        .expect("inc 1x1");
+    let b2r = b
+        .conv(format!("{prefix}_3x3r"), x, c3r, Kernel::square_valid(1, 1))
+        .expect("inc 3x3r");
+    let b2 = b
+        .conv(format!("{prefix}_3x3"), b2r, c3, Kernel::square_same(3, 1))
+        .expect("inc 3x3");
+    let b3r = b
+        .conv(format!("{prefix}_5x5r"), x, c5r, Kernel::square_valid(1, 1))
+        .expect("inc 5x5r");
+    let b3 = b
+        .conv(format!("{prefix}_5x5"), b3r, c5, Kernel::square_same(5, 1))
+        .expect("inc 5x5");
+    let bp = b
+        .pool(format!("{prefix}_pool"), x, Kernel::square_same(3, 1))
+        .expect("inc pool");
+    let bpp = b
+        .conv(format!("{prefix}_poolproj"), bp, cp, Kernel::square_valid(1, 1))
+        .expect("inc poolproj");
+    b.concat(format!("{prefix}_cat"), &[b1, b2, b3, bpp])
+        .expect("inc concat")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorShape;
+
+    #[test]
+    fn parameter_count() {
+        // GoogleNet has ~6.6-7 M parameters (without aux heads).
+        let g = googlenet();
+        let params = g.total_weight_elements();
+        assert!(
+            (5_500_000..7_500_000).contains(&params),
+            "unexpected parameter count {params}"
+        );
+    }
+
+    #[test]
+    fn mac_count() {
+        // GoogleNet is ~1.5 GMACs at 224x224.
+        let g = googlenet();
+        let gmacs = g.total_macs() as f64 / 1e9;
+        assert!((1.2..1.9).contains(&gmacs), "unexpected GMACs {gmacs}");
+    }
+
+    #[test]
+    fn concat_channel_arithmetic() {
+        let g = googlenet();
+        let shape_of = |name: &str| {
+            g.iter()
+                .find(|(_, n)| n.name() == name)
+                .map(|(_, n)| n.out_shape())
+                .unwrap()
+        };
+        assert_eq!(shape_of("inc3a_cat"), TensorShape::new(28, 28, 256));
+        assert_eq!(shape_of("inc4e_cat"), TensorShape::new(14, 14, 832));
+        assert_eq!(shape_of("inc5b_cat"), TensorShape::new(7, 7, 1024));
+    }
+
+    #[test]
+    fn branch_fanout() {
+        // Every inception input fans out into four branches.
+        let g = googlenet();
+        let pool2 = g.iter().find(|(_, n)| n.name() == "pool2").unwrap().0;
+        assert_eq!(g.consumers(pool2).len(), 4);
+    }
+}

@@ -1,0 +1,145 @@
+//! MobileNetV2 — the inverted-residual structure the paper cites among its
+//! motivating topologies; a useful extra workload because its depth-wise
+//! separable blocks stress both the utilization model and the tiling flow.
+
+use crate::{Graph, GraphBuilder, Kernel, NodeId, TensorShape};
+
+/// Builds MobileNetV2 (Sandler et al., CVPR'18) for 224×224×3 inputs.
+///
+/// # Examples
+///
+/// ```
+/// let g = cocco_graph::models::mobilenet_v2();
+/// assert_eq!(g.name(), "mobilenet-v2");
+/// ```
+pub fn mobilenet_v2() -> Graph {
+    let mut b = GraphBuilder::new("mobilenet-v2");
+    let input = b.input(TensorShape::new(224, 224, 3));
+    let mut x = b
+        .conv("stem", input, 32, Kernel::square_same(3, 2))
+        .expect("stem");
+    let mut c_in = 32u32;
+    // (expansion t, output channels c, repeats n, first stride s)
+    let blocks: [(u32, u32, u32, u32); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut idx = 0;
+    for (t, c, n, s) in blocks {
+        for rep in 0..n {
+            let stride = if rep == 0 { s } else { 1 };
+            x = inverted_residual(&mut b, &format!("ir{idx}"), x, c_in, c, t, stride);
+            c_in = c;
+            idx += 1;
+        }
+    }
+    let head = b
+        .conv("head", x, 1280, Kernel::square_valid(1, 1))
+        .expect("head");
+    let gap = b.global_pool("gap", head).expect("gap");
+    b.fc("fc", gap, 1000).expect("fc");
+    b.finish().expect("mobilenet-v2 graph")
+}
+
+/// Inverted residual: 1×1 expand → 3×3 depth-wise → 1×1 project (linear),
+/// with an identity shortcut when the shape is preserved.
+fn inverted_residual(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    x: NodeId,
+    c_in: u32,
+    c_out: u32,
+    t: u32,
+    stride: u32,
+) -> NodeId {
+    let mut y = x;
+    if t != 1 {
+        y = b
+            .conv(
+                format!("{prefix}_expand"),
+                y,
+                c_in * t,
+                Kernel::square_valid(1, 1),
+            )
+            .expect("expand");
+    }
+    y = b
+        .dwconv(format!("{prefix}_dw"), y, Kernel::square_same(3, stride))
+        .expect("depthwise");
+    let proj = b
+        .conv(
+            format!("{prefix}_proj"),
+            y,
+            c_out,
+            Kernel::square_valid(1, 1),
+        )
+        .expect("project");
+    if stride == 1 && c_in == c_out {
+        b.eltwise(format!("{prefix}_add"), &[x, proj])
+            .expect("residual add")
+    } else {
+        proj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerOp;
+
+    #[test]
+    fn parameter_count() {
+        // MobileNetV2 has ~3.4-3.5 M parameters.
+        let g = mobilenet_v2();
+        let params = g.total_weight_elements();
+        assert!(
+            (3_000_000..3_900_000).contains(&params),
+            "unexpected parameter count {params}"
+        );
+    }
+
+    #[test]
+    fn mac_count() {
+        // ~300 MMACs at 224x224.
+        let g = mobilenet_v2();
+        let mmacs = g.total_macs() as f64 / 1e6;
+        assert!((250.0..400.0).contains(&mmacs), "unexpected MMACs {mmacs}");
+    }
+
+    #[test]
+    fn depthwise_blocks_present() {
+        let g = mobilenet_v2();
+        let dws = g
+            .iter()
+            .filter(|(_, n)| matches!(n.op(), LayerOp::DepthwiseConv { .. }))
+            .count();
+        assert_eq!(dws, 17); // one per inverted residual
+    }
+
+    #[test]
+    fn residual_adds_only_on_shape_preserving_blocks() {
+        let g = mobilenet_v2();
+        let adds = g
+            .iter()
+            .filter(|(_, n)| n.name().ends_with("_add"))
+            .count();
+        // repeats with stride 1 and c_in == c_out: 1+2+3+2+2 = 10.
+        assert_eq!(adds, 10);
+    }
+
+    #[test]
+    fn final_shape() {
+        let g = mobilenet_v2();
+        let head = g
+            .iter()
+            .find(|(_, n)| n.name() == "head")
+            .map(|(_, n)| n.out_shape())
+            .unwrap();
+        assert_eq!(head, TensorShape::new(7, 7, 1280));
+    }
+}

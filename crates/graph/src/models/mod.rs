@@ -1,0 +1,94 @@
+//! Shape-faithful constructors for every workload evaluated in the paper.
+//!
+//! Three structure families (paper §5.1.1):
+//!
+//! * **plain**: [`vgg16`]
+//! * **multi-branch**: [`resnet50`], [`resnet152`], [`googlenet`],
+//!   [`transformer`], [`gpt`]
+//! * **irregular**: [`randwire_a`], [`randwire_b`] (seeded Watts–Strogatz)
+//!   and [`nasnet`]
+//!
+//! Only shapes, kernel geometry and topology matter to the framework, so no
+//! trained weights are involved. FC layers are lowered to 1×1 convolutions,
+//! pooling/element-wise layers are depth-wise without weights, and scalar
+//! activations are hidden in the pipeline — all per the paper's methodology.
+
+mod googlenet;
+mod mobilenet;
+mod nasnet;
+mod randwire;
+mod resnet;
+mod toy;
+mod transformer;
+mod vgg;
+
+pub use googlenet::googlenet;
+pub use mobilenet::mobilenet_v2;
+pub use nasnet::nasnet;
+pub use randwire::{randwire, randwire_a, randwire_b, RandWireRegime};
+pub use resnet::{resnet152, resnet50};
+pub use toy::{branchy, chain, diamond};
+pub use transformer::{gpt, transformer};
+pub use vgg::vgg16;
+
+use crate::Graph;
+
+/// Names of all paper-evaluated models, in the order of Figure 11.
+pub const PAPER_MODELS: [&str; 8] = [
+    "vgg16",
+    "resnet50",
+    "resnet152",
+    "googlenet",
+    "transformer",
+    "gpt",
+    "randwire-a",
+    "randwire-b",
+];
+
+/// Builds a paper model by name (see [`PAPER_MODELS`], plus `"nasnet"` and
+/// the extra `"mobilenet-v2"`).
+///
+/// Returns `None` for unknown names.
+///
+/// # Examples
+///
+/// ```
+/// let g = cocco_graph::models::by_name("resnet50").unwrap();
+/// assert_eq!(g.name(), "resnet50");
+/// assert!(cocco_graph::models::by_name("alexnet").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Graph> {
+    match name {
+        "vgg16" => Some(vgg16()),
+        "resnet50" => Some(resnet50()),
+        "resnet152" => Some(resnet152()),
+        "googlenet" => Some(googlenet()),
+        "transformer" => Some(transformer()),
+        "gpt" => Some(gpt()),
+        "randwire-a" => Some(randwire_a()),
+        "randwire-b" => Some(randwire_b()),
+        "nasnet" => Some(nasnet()),
+        "mobilenet-v2" => Some(mobilenet_v2()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_paper_model_builds() {
+        for name in PAPER_MODELS {
+            let g = by_name(name).unwrap();
+            assert!(g.len() > 10, "{name} suspiciously small: {}", g.len());
+            assert!(!g.output_ids().is_empty(), "{name} has no outputs");
+        }
+        assert!(by_name("nasnet").is_some());
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("not-a-model").is_none());
+    }
+}

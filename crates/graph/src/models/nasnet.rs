@@ -1,0 +1,206 @@
+//! NasNet-A — the paper's representative NAS-generated irregular structure.
+//!
+//! This is a shape-faithful approximation of NASNet-A-Large (Zoph et al.,
+//! CVPR'18): stem + two stem reduction cells + three stacks of `N = 6`
+//! normal cells separated by reduction cells, with the 331×331 input and
+//! 168-filter base of the Large variant. Each cell combines the two previous
+//! hidden states through five blocks of separable convolutions, average
+//! pools and skips, then concatenates the block outputs — which is what
+//! makes the model memory-intensive and structurally complex (the property
+//! the paper's NasNet experiments exercise). The exact intra-cell wiring of
+//! NASNet-A is approximated; see DESIGN.md §4.
+
+use crate::{Dims2, Graph, GraphBuilder, Kernel, NodeId};
+
+/// Builds the NasNet-A graph (331×331×3 input, N = 6, F = 168).
+///
+/// # Examples
+///
+/// ```
+/// let g = cocco_graph::models::nasnet();
+/// assert_eq!(g.name(), "nasnet");
+/// assert!(g.len() > 300);
+/// ```
+pub fn nasnet() -> Graph {
+    let mut b = GraphBuilder::new("nasnet");
+    let input = b.input(crate::TensorShape::new(331, 331, 3));
+    let stem = b
+        .conv("stem", input, 96, Kernel::square_same(3, 2))
+        .expect("stem");
+
+    let f = 168u32;
+    // Stem reductions bring 166 -> 83 -> 42 before the first normal stack.
+    let (mut prev, mut cur) = (stem, stem);
+    let mut idx = 0usize;
+    for (i, filters) in [f / 4, f / 2].iter().enumerate() {
+        let out = cell(&mut b, &format!("stem_r{}", i + 1), prev, cur, *filters, 2, &mut idx);
+        prev = cur;
+        cur = out;
+    }
+
+    let n = 6usize;
+    for (stack, mult) in [1u32, 2, 4].iter().enumerate() {
+        if stack > 0 {
+            let out = cell(
+                &mut b,
+                &format!("red{stack}"),
+                prev,
+                cur,
+                f * mult,
+                2,
+                &mut idx,
+            );
+            prev = cur;
+            cur = out;
+        }
+        for i in 0..n {
+            let out = cell(
+                &mut b,
+                &format!("s{stack}n{i}"),
+                prev,
+                cur,
+                f * mult,
+                1,
+                &mut idx,
+            );
+            prev = cur;
+            cur = out;
+        }
+    }
+
+    let gap = b.global_pool("gap", cur).expect("gap");
+    b.fc("fc", gap, 1000).expect("fc");
+    b.finish().expect("nasnet graph")
+}
+
+/// One NASNet-A-style cell: squeeze both inputs to `filters` channels, run
+/// five combiner blocks, concatenate. `stride = 2` makes a reduction cell.
+fn cell(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    prev: NodeId,
+    cur: NodeId,
+    filters: u32,
+    stride: u32,
+    idx: &mut usize,
+) -> NodeId {
+    *idx += 1;
+    let cur_hw = b.shape(cur).spatial();
+    let prev_hw = b.shape(prev).spatial();
+    // Factorized reduction: align `prev` to `cur`'s spatial extent.
+    let adjust_stride = if prev_hw.h > cur_hw.h { 2 } else { 1 };
+    let p = b
+        .conv(
+            format!("{prefix}_adjp"),
+            prev,
+            filters,
+            strided_pointwise(adjust_stride),
+        )
+        .expect("cell adjust prev");
+    let c = b
+        .conv(format!("{prefix}_adjc"), cur, filters, strided_pointwise(1))
+        .expect("cell adjust cur");
+
+    let sep = |b: &mut GraphBuilder, name: String, x: NodeId, k: u32, s: u32| {
+        let dw = b
+            .dwconv(format!("{name}_dw"), x, Kernel::square_same(k, s))
+            .expect("sep dw");
+        b.conv(format!("{name}_pw"), dw, filters, Kernel::square_valid(1, 1))
+            .expect("sep pw")
+    };
+    let skip = |b: &mut GraphBuilder, name: String, x: NodeId, s: u32| {
+        if s == 1 {
+            x
+        } else {
+            b.conv(format!("{name}_skip"), x, filters, strided_pointwise(s))
+                .expect("cell skip")
+        }
+    };
+    let avg = |b: &mut GraphBuilder, name: String, x: NodeId, s: u32| {
+        b.pool(format!("{name}_avg"), x, Kernel::square_same(3, s))
+            .expect("cell avg")
+    };
+
+    let s = stride;
+    // Block 1: sep5x5(p) + sep3x3(c)
+    let b1a = sep(b, format!("{prefix}_b1a"), p, 5, s);
+    let b1b = sep(b, format!("{prefix}_b1b"), c, 3, s);
+    let x1 = b.eltwise(format!("{prefix}_b1"), &[b1a, b1b]).expect("b1");
+    // Block 2: sep5x5(p) + sep3x3(p)
+    let b2a = sep(b, format!("{prefix}_b2a"), p, 5, s);
+    let b2b = sep(b, format!("{prefix}_b2b"), p, 3, s);
+    let x2 = b.eltwise(format!("{prefix}_b2"), &[b2a, b2b]).expect("b2");
+    // Block 3: avg3x3(c) + skip(p)
+    let b3a = avg(b, format!("{prefix}_b3a"), c, s);
+    let b3b = skip(b, format!("{prefix}_b3b"), p, s);
+    let x3 = b.eltwise(format!("{prefix}_b3"), &[b3a, b3b]).expect("b3");
+    // Block 4: avg3x3(p) + avg3x3(c)
+    let b4a = avg(b, format!("{prefix}_b4a"), p, s);
+    let b4b = avg(b, format!("{prefix}_b4b"), c, s);
+    let x4 = b.eltwise(format!("{prefix}_b4"), &[b4a, b4b]).expect("b4");
+    // Block 5: sep3x3(c) + skip(c)
+    let b5a = sep(b, format!("{prefix}_b5a"), c, 3, s);
+    let b5b = skip(b, format!("{prefix}_b5b"), c, s);
+    let x5 = b.eltwise(format!("{prefix}_b5"), &[b5a, b5b]).expect("b5");
+
+    b.concat(format!("{prefix}_cat"), &[x1, x2, x3, x4, x5])
+        .expect("cell concat")
+}
+
+fn strided_pointwise(s: u32) -> Kernel {
+    Kernel {
+        size: Dims2::square(1),
+        stride: Dims2::square(s),
+        pad: Dims2::square(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_concat_has_five_times_filters() {
+        let g = nasnet();
+        let cat = g
+            .iter()
+            .find(|(_, n)| n.name() == "s0n0_cat")
+            .map(|(_, n)| n.out_shape())
+            .unwrap();
+        assert_eq!(cat.c, 5 * 168);
+        assert_eq!(cat.h, 42);
+    }
+
+    #[test]
+    fn reduction_halves_spatial() {
+        let g = nasnet();
+        let shape_of = |name: &str| {
+            g.iter()
+                .find(|(_, n)| n.name() == name)
+                .map(|(_, n)| n.out_shape())
+                .unwrap()
+        };
+        assert_eq!(shape_of("red1_cat").h, 21);
+        assert_eq!(shape_of("red2_cat").h, 11);
+        assert_eq!(shape_of("s2n5_cat").h, 11);
+    }
+
+    #[test]
+    fn is_memory_intensive() {
+        // The property the paper relies on: NasNet carries far more
+        // activation volume than ResNet50.
+        let nas = nasnet();
+        let res = crate::models::resnet50();
+        let act = |g: &Graph| -> u64 { g.node_ids().map(|id| g.out_elements(id)).sum() };
+        assert!(act(&nas) > 2 * act(&res));
+    }
+
+    #[test]
+    fn node_count_is_large_and_irregular() {
+        let g = nasnet();
+        assert!(g.len() > 300, "got {}", g.len());
+        // Cells reference both of the two previous hidden states, so some
+        // nodes have fanout > 2.
+        assert!(g.node_ids().any(|id| g.consumers(id).len() > 2));
+    }
+}

@@ -1,0 +1,203 @@
+//! RandWire — randomly wired networks (Xie et al., ICCV'19), the paper's
+//! representative irregular structures, generated from seeded Watts–Strogatz
+//! graphs.
+
+use crate::randgraph::WattsStrogatz;
+use crate::{Graph, GraphBuilder, Kernel, NodeId, TensorShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which RandWire configuration regime to instantiate (per Xie et al. §4).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RandWireRegime {
+    /// Small-compute regime: two stem convolutions, three random stages,
+    /// base width 78.
+    Small,
+    /// Regular-compute regime: one stem convolution, four random stages,
+    /// base width 109.
+    Regular,
+}
+
+/// Builds RandWire-A: the small regime with the paper's fixed seed.
+///
+/// # Examples
+///
+/// ```
+/// let g = cocco_graph::models::randwire_a();
+/// assert_eq!(g.name(), "randwire-a");
+/// ```
+pub fn randwire_a() -> Graph {
+    randwire(RandWireRegime::Small, 0xC0CC0)
+}
+
+/// Builds RandWire-B: the regular regime with the paper's fixed seed.
+///
+/// # Examples
+///
+/// ```
+/// let g = cocco_graph::models::randwire_b();
+/// assert_eq!(g.name(), "randwire-b");
+/// ```
+pub fn randwire_b() -> Graph {
+    randwire(RandWireRegime::Regular, 0xC0CC1)
+}
+
+/// Builds a RandWire network for `regime` with WS(32, 4, 0.75) stages and a
+/// deterministic `seed`.
+///
+/// Each random-stage node aggregates its in-edges with an element-wise sum
+/// and applies a 3×3 convolution; stage entry nodes (no in-edges) read the
+/// stage input with stride 2; stage outputs are averaged (element-wise) into
+/// a single tensor.
+pub fn randwire(regime: RandWireRegime, seed: u64) -> Graph {
+    let (name, base, stem2, stages) = match regime {
+        RandWireRegime::Small => ("randwire-a", 78u32, true, vec![1u32, 2, 4]),
+        RandWireRegime::Regular => ("randwire-b", 109u32, false, vec![1u32, 2, 4, 8]),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ws = WattsStrogatz::new(32, 4, 0.75);
+
+    let mut b = GraphBuilder::new(name);
+    let input = b.input(TensorShape::new(224, 224, 3));
+    let mut x = b
+        .conv("stem1", input, base / 2, Kernel::square_same(3, 2))
+        .expect("stem1");
+    if stem2 {
+        x = b
+            .conv("stem2", x, base, Kernel::square_same(3, 2))
+            .expect("stem2");
+    }
+    for (si, mult) in stages.iter().enumerate() {
+        let edges = ws.generate(&mut rng);
+        x = random_stage(&mut b, &format!("st{}", si + 1), x, base * mult, &edges, ws.nodes());
+    }
+    let head = b
+        .conv("head", x, 1280, Kernel::square_valid(1, 1))
+        .expect("head");
+    let gap = b.global_pool("gap", head).expect("gap");
+    b.fc("fc", gap, 1000).expect("fc");
+    b.finish().expect("randwire graph")
+}
+
+fn random_stage(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    stage_in: NodeId,
+    width: u32,
+    edges: &[crate::randgraph::WsEdge],
+    n_nodes: u32,
+) -> NodeId {
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n_nodes as usize];
+    let mut has_succ = vec![false; n_nodes as usize];
+    for e in edges {
+        preds[e.to as usize].push(e.from);
+        has_succ[e.from as usize] = true;
+    }
+    let mut built: Vec<NodeId> = Vec::with_capacity(n_nodes as usize);
+    #[allow(clippy::needless_range_loop)] // `built` grows as we iterate
+    for i in 0..n_nodes as usize {
+        let node = if preds[i].is_empty() {
+            // Entry node: read the stage input with stride 2.
+            b.conv(
+                format!("{prefix}_n{i}"),
+                stage_in,
+                width,
+                Kernel::square_same(3, 2),
+            )
+            .expect("stage entry conv")
+        } else {
+            let ins: Vec<NodeId> = preds[i].iter().map(|&p| built[p as usize]).collect();
+            let agg = if ins.len() == 1 {
+                ins[0]
+            } else {
+                b.eltwise(format!("{prefix}_n{i}_sum"), &ins)
+                    .expect("stage aggregate")
+            };
+            b.conv(
+                format!("{prefix}_n{i}"),
+                agg,
+                width,
+                Kernel::square_same(3, 1),
+            )
+            .expect("stage conv")
+        };
+        built.push(node);
+    }
+    let sinks: Vec<NodeId> = (0..n_nodes as usize)
+        .filter(|&i| !has_succ[i])
+        .map(|i| built[i])
+        .collect();
+    if sinks.len() == 1 {
+        sinks[0]
+    } else {
+        b.eltwise(format!("{prefix}_out"), &sinks)
+            .expect("stage output average")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_are_deterministic() {
+        let a1 = randwire_a();
+        let a2 = randwire_a();
+        assert_eq!(a1.len(), a2.len());
+        let names1: Vec<_> = a1.iter().map(|(_, n)| n.name().to_string()).collect();
+        let names2: Vec<_> = a2.iter().map(|(_, n)| n.name().to_string()).collect();
+        assert_eq!(names1, names2);
+    }
+
+    #[test]
+    fn regimes_differ() {
+        let a = randwire_a();
+        let b = randwire_b();
+        assert_ne!(a.len(), b.len());
+        assert!(b.total_macs() > a.total_macs());
+    }
+
+    #[test]
+    fn stage_widths_scale() {
+        let g = randwire_a();
+        let st1 = g
+            .iter()
+            .find(|(_, n)| n.name() == "st1_n0")
+            .map(|(_, n)| n.out_shape())
+            .unwrap();
+        let st3 = g
+            .iter()
+            .find(|(_, n)| n.name() == "st3_n0")
+            .map(|(_, n)| n.out_shape())
+            .unwrap();
+        assert_eq!(st1.c, 78);
+        assert_eq!(st3.c, 78 * 4);
+    }
+
+    #[test]
+    fn is_genuinely_irregular() {
+        let g = randwire_a();
+        // Random wiring should create nodes with fanout >= 3 somewhere.
+        let max_fanout = g
+            .node_ids()
+            .map(|id| g.consumers(id).len())
+            .max()
+            .unwrap();
+        assert!(max_fanout >= 3, "max fanout {max_fanout}");
+        assert!(g.len() > 100);
+    }
+
+    #[test]
+    fn custom_seed_changes_topology() {
+        let a = randwire(RandWireRegime::Small, 1);
+        let b = randwire(RandWireRegime::Small, 2);
+        // Edge structure differs => eltwise aggregation node counts differ
+        // with overwhelming probability.
+        let count = |g: &Graph| {
+            g.iter()
+                .filter(|(_, n)| n.name().contains("_sum"))
+                .count()
+        };
+        assert!(a.len() != b.len() || count(&a) != count(&b));
+    }
+}

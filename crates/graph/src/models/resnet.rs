@@ -1,0 +1,173 @@
+//! ResNet-50/152 — the paper's representative *residual* structures.
+
+use crate::{Graph, GraphBuilder, Kernel, NodeId, TensorShape};
+
+/// Builds ResNet-50 (He et al., CVPR'16) for 224×224×3 inputs.
+///
+/// # Examples
+///
+/// ```
+/// let g = cocco_graph::models::resnet50();
+/// assert_eq!(g.name(), "resnet50");
+/// ```
+pub fn resnet50() -> Graph {
+    resnet("resnet50", &[3, 4, 6, 3])
+}
+
+/// Builds ResNet-152 (He et al., CVPR'16) for 224×224×3 inputs.
+///
+/// # Examples
+///
+/// ```
+/// let g = cocco_graph::models::resnet152();
+/// assert!(g.len() > cocco_graph::models::resnet50().len());
+/// ```
+pub fn resnet152() -> Graph {
+    resnet("resnet152", &[3, 8, 36, 3])
+}
+
+fn resnet(name: &str, blocks: &[usize; 4]) -> Graph {
+    let mut b = GraphBuilder::new(name);
+    let input = b.input(TensorShape::new(224, 224, 3));
+    let c1 = b
+        .conv("conv1", input, 64, Kernel::square_same(7, 2))
+        .expect("conv1");
+    let mut x = b
+        .pool("pool1", c1, Kernel::square_same(3, 2))
+        .expect("pool1");
+
+    let widths = [64u32, 128, 256, 512];
+    for (stage, (&n_blocks, &width)) in blocks.iter().zip(widths.iter()).enumerate() {
+        let stride = if stage == 0 { 1 } else { 2 };
+        for block in 0..n_blocks {
+            x = bottleneck(
+                &mut b,
+                &format!("s{}b{}", stage + 2, block + 1),
+                x,
+                width,
+                if block == 0 { stride } else { 1 },
+                block == 0,
+            );
+        }
+    }
+    let gap = b.global_pool("gap", x).expect("gap");
+    b.fc("fc", gap, 1000).expect("fc");
+    b.finish().expect("resnet graph")
+}
+
+/// Bottleneck residual block: 1×1 → 3×3 → 1×1(×4) with identity or
+/// projection shortcut.
+fn bottleneck(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    x: NodeId,
+    width: u32,
+    stride: u32,
+    project: bool,
+) -> NodeId {
+    let c1 = b
+        .conv(
+            format!("{prefix}_c1"),
+            x,
+            width,
+            Kernel::square_valid(1, 1),
+        )
+        .expect("bottleneck c1");
+    let c2 = b
+        .conv(
+            format!("{prefix}_c2"),
+            c1,
+            width,
+            Kernel::square_same(3, stride),
+        )
+        .expect("bottleneck c2");
+    let c3 = b
+        .conv(
+            format!("{prefix}_c3"),
+            c2,
+            width * 4,
+            Kernel::square_valid(1, 1),
+        )
+        .expect("bottleneck c3");
+    let shortcut = if project {
+        b.conv(
+            format!("{prefix}_sc"),
+            x,
+            width * 4,
+            Kernel {
+                size: crate::Dims2::square(1),
+                stride: crate::Dims2::square(stride),
+                pad: crate::Dims2::square(0),
+            },
+        )
+        .expect("bottleneck shortcut")
+    } else {
+        x
+    };
+    b.eltwise(format!("{prefix}_add"), &[c3, shortcut])
+        .expect("bottleneck add")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_parameter_count() {
+        // ResNet-50 has ~25.6 M parameters.
+        let g = resnet50();
+        let params = g.total_weight_elements();
+        assert!(
+            (23_000_000..27_000_000).contains(&params),
+            "unexpected parameter count {params}"
+        );
+    }
+
+    #[test]
+    fn resnet50_mac_count() {
+        // ResNet-50 is ~4.1 GMACs at 224x224.
+        let g = resnet50();
+        let gmacs = g.total_macs() as f64 / 1e9;
+        assert!((3.5..4.6).contains(&gmacs), "unexpected GMACs {gmacs}");
+    }
+
+    #[test]
+    fn resnet152_parameter_count() {
+        // ResNet-152 has ~60.2 M parameters.
+        let g = resnet152();
+        let params = g.total_weight_elements();
+        assert!(
+            (55_000_000..65_000_000).contains(&params),
+            "unexpected parameter count {params}"
+        );
+    }
+
+    #[test]
+    fn residual_adds_have_two_inputs() {
+        let g = resnet50();
+        let adds = g
+            .iter()
+            .filter(|(_, n)| n.name().ends_with("_add"))
+            .count();
+        assert_eq!(adds, 3 + 4 + 6 + 3);
+        for (_, n) in g.iter().filter(|(_, n)| n.name().ends_with("_add")) {
+            assert_eq!(n.inputs().len(), 2);
+        }
+    }
+
+    #[test]
+    fn stage_shapes() {
+        let g = resnet50();
+        let shape_of = |name: &str| {
+            g.iter()
+                .find(|(_, n)| n.name() == name)
+                .map(|(_, n)| n.out_shape())
+                .unwrap()
+        };
+        assert_eq!(shape_of("pool1"), TensorShape::new(56, 56, 64));
+        assert_eq!(shape_of("s2b3_add"), TensorShape::new(56, 56, 256));
+        assert_eq!(shape_of("s3b4_add"), TensorShape::new(28, 28, 512));
+        assert_eq!(shape_of("s4b6_add"), TensorShape::new(14, 14, 1024));
+        assert_eq!(shape_of("s5b3_add"), TensorShape::new(7, 7, 2048));
+    }
+}

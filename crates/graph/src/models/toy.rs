@@ -1,0 +1,95 @@
+//! Small synthetic graphs used by tests, examples and documentation.
+
+use crate::{Graph, GraphBuilder, Kernel, TensorShape};
+
+/// A plain chain of `n` 3×3 convolutions over a `32×32×16` tensor.
+///
+/// # Examples
+///
+/// ```
+/// let g = cocco_graph::models::chain(4);
+/// assert_eq!(g.len(), 5); // input + 4 convs
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn chain(n: usize) -> Graph {
+    assert!(n > 0, "chain needs at least one layer");
+    let mut b = GraphBuilder::new(format!("chain{n}"));
+    let mut x = b.input(TensorShape::new(32, 32, 16));
+    for i in 0..n {
+        x = b
+            .conv(format!("c{i}"), x, 16, Kernel::square_same(3, 1))
+            .expect("chain conv");
+    }
+    b.finish().expect("chain graph")
+}
+
+/// A residual diamond: input → a → {left, right} → add.
+///
+/// # Examples
+///
+/// ```
+/// let g = cocco_graph::models::diamond();
+/// assert_eq!(g.len(), 5);
+/// ```
+pub fn diamond() -> Graph {
+    let mut b = GraphBuilder::new("diamond");
+    let i = b.input(TensorShape::new(32, 32, 16));
+    let a = b.conv("a", i, 16, Kernel::square_same(3, 1)).expect("a");
+    let l = b.conv("l", a, 16, Kernel::square_same(3, 1)).expect("l");
+    let r = b.conv("r", a, 16, Kernel::square_valid(1, 1)).expect("r");
+    b.eltwise("add", &[l, r]).expect("add");
+    b.finish().expect("diamond graph")
+}
+
+/// A two-branch graph with different kernel sizes and strides per branch,
+/// mirroring the Figure 4 subgraph of the paper (5×5/2 and 3×3/2 paths
+/// joining in an add).
+///
+/// # Examples
+///
+/// ```
+/// let g = cocco_graph::models::branchy();
+/// assert_eq!(g.output_ids().len(), 1);
+/// ```
+pub fn branchy() -> Graph {
+    let mut b = GraphBuilder::new("branchy");
+    let i = b.input(TensorShape::new(64, 64, 8));
+    let n0 = b
+        .conv("n0", i, 8, Kernel::square_same(5, 2))
+        .expect("n0");
+    let n1 = b
+        .conv("n1", i, 8, Kernel::square_same(1, 1))
+        .expect("n1");
+    let n2 = b
+        .conv("n2", n1, 8, Kernel::square_same(3, 2))
+        .expect("n2");
+    b.eltwise("n3", &[n0, n2]).expect("n3");
+    b.finish().expect("branchy graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_linear() {
+        let g = chain(6);
+        assert!(g.node_ids().all(|id| g.consumers(id).len() <= 1));
+    }
+
+    #[test]
+    fn branchy_shapes_join() {
+        let g = branchy();
+        let out = g.output_ids()[0];
+        assert_eq!(g.node(out).out_shape(), TensorShape::new(32, 32, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_chain_panics() {
+        chain(0);
+    }
+}

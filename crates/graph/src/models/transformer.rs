@@ -1,0 +1,137 @@
+//! Transformer and GPT — the paper's large multi-branch sequence models.
+//!
+//! Following the paper's lowering, every linear projection is a 1×1
+//! convolution over the feature dimension, the two attention matmuls are
+//! activation×activation [`MatMul`](crate::LayerOp::MatMul) nodes without
+//! weights, and softmax/LayerNorm are element-wise nodes. Heads are folded
+//! into the full-width projections (head count does not change shapes or
+//! traffic at this granularity).
+
+use crate::{Graph, GraphBuilder, NodeId, TensorShape};
+
+/// Builds the Transformer encoder (Vaswani et al., NIPS'17 "base"):
+/// 6 layers, d_model = 512, d_ff = 2048, sequence length 128.
+///
+/// # Examples
+///
+/// ```
+/// let g = cocco_graph::models::transformer();
+/// assert_eq!(g.name(), "transformer");
+/// ```
+pub fn transformer() -> Graph {
+    attention_stack("transformer", 6, 512, 2048, 128, None)
+}
+
+/// Builds GPT (Radford & Narasimhan 2018): 12 decoder blocks,
+/// d_model = 768, d_ff = 3072, sequence length 512, with the LM head.
+///
+/// # Examples
+///
+/// ```
+/// let g = cocco_graph::models::gpt();
+/// assert!(g.total_weight_elements() > 80_000_000);
+/// ```
+pub fn gpt() -> Graph {
+    attention_stack("gpt", 12, 768, 3072, 512, Some(40_000))
+}
+
+fn attention_stack(
+    name: &str,
+    layers: usize,
+    d_model: u32,
+    d_ff: u32,
+    seq: u32,
+    lm_head: Option<u32>,
+) -> Graph {
+    let mut b = GraphBuilder::new(name);
+    let mut x = b.input(TensorShape::seq(seq, d_model));
+    for l in 0..layers {
+        x = block(&mut b, &format!("l{l}"), x, d_model, d_ff);
+    }
+    if let Some(vocab) = lm_head {
+        b.fc("lm_head", x, vocab).expect("lm head");
+    }
+    b.finish().expect("attention stack graph")
+}
+
+/// One pre-LN attention block: QKV → QKᵀ → softmax → AV → proj → residual →
+/// FFN → residual.
+fn block(b: &mut GraphBuilder, prefix: &str, x: NodeId, d_model: u32, d_ff: u32) -> NodeId {
+    let q = b.fc(format!("{prefix}_q"), x, d_model).expect("q");
+    let k = b.fc(format!("{prefix}_k"), x, d_model).expect("k");
+    let v = b.fc(format!("{prefix}_v"), x, d_model).expect("v");
+    let scores = b
+        .matmul(format!("{prefix}_qk"), q, k, true)
+        .expect("scores");
+    let soft = b
+        .eltwise(format!("{prefix}_softmax"), &[scores])
+        .expect("softmax");
+    let att = b.matmul(format!("{prefix}_av"), soft, v, false).expect("av");
+    let proj = b.fc(format!("{prefix}_proj"), att, d_model).expect("proj");
+    let res1 = b
+        .eltwise(format!("{prefix}_add1"), &[x, proj])
+        .expect("residual 1");
+    let ff1 = b.fc(format!("{prefix}_ff1"), res1, d_ff).expect("ff1");
+    let ff2 = b.fc(format!("{prefix}_ff2"), ff1, d_model).expect("ff2");
+    b.eltwise(format!("{prefix}_add2"), &[res1, ff2])
+        .expect("residual 2")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformer_parameter_count() {
+        // Base encoder: 6 * (4*512^2 + 2*512*2048) ≈ 18.9 M.
+        let g = transformer();
+        let params = g.total_weight_elements();
+        assert!(
+            (17_000_000..21_000_000).contains(&params),
+            "unexpected parameter count {params}"
+        );
+    }
+
+    #[test]
+    fn gpt_parameter_count() {
+        // GPT-1 blocks: 12 * (4*768^2 + 2*768*3072) ≈ 85 M + LM head ~31 M.
+        let g = gpt();
+        let params = g.total_weight_elements();
+        assert!(
+            (100_000_000..130_000_000).contains(&params),
+            "unexpected parameter count {params}"
+        );
+    }
+
+    #[test]
+    fn attention_shapes() {
+        let g = transformer();
+        let shape_of = |name: &str| {
+            g.iter()
+                .find(|(_, n)| n.name() == name)
+                .map(|(_, n)| n.out_shape())
+                .unwrap()
+        };
+        assert_eq!(shape_of("l0_qk"), TensorShape::seq(128, 128));
+        assert_eq!(shape_of("l0_av"), TensorShape::seq(128, 512));
+        assert_eq!(shape_of("l5_add2"), TensorShape::seq(128, 512));
+    }
+
+    #[test]
+    fn matmuls_have_no_weights() {
+        let g = transformer();
+        for (id, n) in g.iter() {
+            if n.name().ends_with("_qk") || n.name().ends_with("_av") {
+                assert_eq!(g.weight_elements(id), 0, "{}", n.name());
+            }
+        }
+    }
+
+    #[test]
+    fn residual_diamonds_exist() {
+        // x fans out to q, k, v and the residual add: fanout 4.
+        let g = transformer();
+        let input = g.input_ids()[0];
+        assert_eq!(g.consumers(input).len(), 4);
+    }
+}

@@ -1,0 +1,101 @@
+//! VGG16 — the paper's representative *plain* structure.
+
+use crate::{Graph, GraphBuilder, Kernel, TensorShape};
+
+/// Builds VGG16 (Simonyan & Zisserman, ICLR'15) for 224×224×3 inputs.
+///
+/// The 13 convolution layers use 3×3/1 kernels with same padding; the three
+/// classifier FC layers are lowered per the paper: the first as a 7×7 valid
+/// convolution over the 7×7×512 feature map and the rest as 1×1 convolutions.
+///
+/// # Examples
+///
+/// ```
+/// let g = cocco_graph::models::vgg16();
+/// assert_eq!(g.name(), "vgg16");
+/// // 13 convs + 5 pools + 3 FC + input = 22 nodes.
+/// assert_eq!(g.len(), 22);
+/// ```
+pub fn vgg16() -> Graph {
+    let mut b = GraphBuilder::new("vgg16");
+    let mut x = b.input(TensorShape::new(224, 224, 3));
+    let cfg: &[&[u32]] = &[
+        &[64, 64],
+        &[128, 128],
+        &[256, 256, 256],
+        &[512, 512, 512],
+        &[512, 512, 512],
+    ];
+    for (si, widths) in cfg.iter().enumerate() {
+        for (ci, &w) in widths.iter().enumerate() {
+            x = b
+                .conv(
+                    format!("conv{}_{}", si + 1, ci + 1),
+                    x,
+                    w,
+                    Kernel::square_same(3, 1),
+                )
+                .expect("vgg16 conv");
+        }
+        x = b
+            .pool(format!("pool{}", si + 1), x, Kernel::square_valid(2, 2))
+            .expect("vgg16 pool");
+    }
+    // Classifier: FC4096 (as 7x7 valid conv), FC4096, FC1000.
+    x = b
+        .conv("fc6", x, 4096, Kernel::square_valid(7, 1))
+        .expect("vgg16 fc6");
+    x = b.fc("fc7", x, 4096).expect("vgg16 fc7");
+    b.fc("fc8", x, 1000).expect("vgg16 fc8");
+    b.finish().expect("vgg16 graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_reference() {
+        let g = vgg16();
+        // Find pool5: 7x7x512.
+        let pool5 = g
+            .iter()
+            .find(|(_, n)| n.name() == "pool5")
+            .map(|(_, n)| n.out_shape())
+            .unwrap();
+        assert_eq!(pool5, TensorShape::new(7, 7, 512));
+        let fc8 = g
+            .iter()
+            .find(|(_, n)| n.name() == "fc8")
+            .map(|(_, n)| n.out_shape())
+            .unwrap();
+        assert_eq!(fc8, TensorShape::new(1, 1, 1000));
+    }
+
+    #[test]
+    fn parameter_count_close_to_reference() {
+        // VGG16 has ~138.4 M parameters (ignoring biases we model ~138.3 M).
+        let g = vgg16();
+        let params = g.total_weight_elements();
+        assert!(
+            (130_000_000..145_000_000).contains(&params),
+            "unexpected parameter count {params}"
+        );
+    }
+
+    #[test]
+    fn mac_count_close_to_reference() {
+        // VGG16 is ~15.5 GMACs at 224x224.
+        let g = vgg16();
+        let gmacs = g.total_macs() as f64 / 1e9;
+        assert!((14.0..17.0).contains(&gmacs), "unexpected GMACs {gmacs}");
+    }
+
+    #[test]
+    fn is_a_pure_chain() {
+        let g = vgg16();
+        for id in g.node_ids() {
+            assert!(g.consumers(id).len() <= 1);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Small geometry types shared across the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A pair of extents along the spatial height/width dimensions.
+///
+/// Used for kernel sizes, strides, paddings and tile geometry.
+///
+/// # Examples
+///
+/// ```
+/// use cocco_graph::Dims2;
+/// let d = Dims2::square(3);
+/// assert_eq!(d.h, 3);
+/// assert_eq!(d.area(), 9);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Dims2 {
+    /// Extent along the height (row) dimension.
+    pub h: u32,
+    /// Extent along the width (column) dimension.
+    pub w: u32,
+}
+
+impl Dims2 {
+    /// Creates a new pair of extents.
+    pub fn new(h: u32, w: u32) -> Self {
+        Self { h, w }
+    }
+
+    /// Creates a square pair where both extents equal `n`.
+    pub fn square(n: u32) -> Self {
+        Self { h: n, w: n }
+    }
+
+    /// The product of both extents as a widened integer.
+    pub fn area(&self) -> u64 {
+        u64::from(self.h) * u64::from(self.w)
+    }
+}
+
+impl fmt::Display for Dims2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.h, self.w)
+    }
+}
+
+impl From<(u32, u32)> for Dims2 {
+    fn from((h, w): (u32, u32)) -> Self {
+        Self { h, w }
+    }
+}
+
+/// Shape of an activation tensor: `h × w × c` (batch is handled by the
+/// simulator, element width by the accelerator configuration).
+///
+/// Sequence tensors of Transformer-style models are represented with the
+/// sequence dimension mapped to `h`, `w = 1` and the feature dimension mapped
+/// to `c`, matching the paper's lowering of FC layers to 1×1 convolutions.
+///
+/// # Examples
+///
+/// ```
+/// use cocco_graph::TensorShape;
+/// let t = TensorShape::new(56, 56, 64);
+/// assert_eq!(t.elements(), 56 * 56 * 64);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Height (rows), or sequence length for sequence models.
+    pub h: u32,
+    /// Width (columns).
+    pub w: u32,
+    /// Channels (features).
+    pub c: u32,
+}
+
+impl TensorShape {
+    /// Creates a new tensor shape.
+    pub fn new(h: u32, w: u32, c: u32) -> Self {
+        Self { h, w, c }
+    }
+
+    /// Shape of a sequence tensor: `seq` tokens of `features` channels.
+    pub fn seq(seq: u32, features: u32) -> Self {
+        Self { h: seq, w: 1, c: features }
+    }
+
+    /// Total number of elements.
+    pub fn elements(&self) -> u64 {
+        u64::from(self.h) * u64::from(self.w) * u64::from(self.c)
+    }
+
+    /// The spatial extents `(h, w)` only.
+    pub fn spatial(&self) -> Dims2 {
+        Dims2 { h: self.h, w: self.w }
+    }
+
+    /// Returns `true` if any dimension is zero.
+    pub fn is_degenerate(&self) -> bool {
+        self.h == 0 || self.w == 0 || self.c == 0
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.h, self.w, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_area_widens() {
+        let d = Dims2::new(100_000, 100_000);
+        assert_eq!(d.area(), 10_000_000_000);
+    }
+
+    #[test]
+    fn dims_square_and_from_tuple() {
+        assert_eq!(Dims2::square(3), Dims2::from((3, 3)));
+        assert_eq!(Dims2::new(2, 5), Dims2::from((2, 5)));
+    }
+
+    #[test]
+    fn tensor_elements() {
+        assert_eq!(TensorShape::new(2, 3, 4).elements(), 24);
+        assert_eq!(TensorShape::seq(128, 512).elements(), 128 * 512);
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        assert!(TensorShape::new(0, 3, 4).is_degenerate());
+        assert!(!TensorShape::new(1, 1, 1).is_degenerate());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Dims2::new(3, 2).to_string(), "3x2");
+        assert_eq!(TensorShape::new(1, 2, 3).to_string(), "1x2x3");
+    }
+
+    #[test]
+    fn spatial_projection() {
+        assert_eq!(TensorShape::new(7, 9, 3).spatial(), Dims2::new(7, 9));
+    }
+}

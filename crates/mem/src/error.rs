@@ -1,0 +1,60 @@
+//! Errors raised by buffer allocation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while allocating buffer regions for a subgraph.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// The subgraph's regions do not fit in the buffer.
+    ExceedsCapacity {
+        /// Bytes required.
+        needed: u64,
+        /// Bytes available.
+        capacity: u64,
+    },
+    /// More logical regions are needed than the region manager supports.
+    TooManyRegions {
+        /// Regions required.
+        needed: usize,
+        /// Register-file limit `N`.
+        max: usize,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::ExceedsCapacity { needed, capacity } => {
+                write!(f, "subgraph needs {needed} B but the buffer holds {capacity} B")
+            }
+            MemError::TooManyRegions { needed, max } => {
+                write!(f, "subgraph needs {needed} regions but the manager holds {max}")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_numbers() {
+        let e = MemError::ExceedsCapacity {
+            needed: 2048,
+            capacity: 1024,
+        };
+        let s = e.to_string();
+        assert!(s.contains("2048") && s.contains("1024"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn check<E: Error + Send + Sync>(_: E) {}
+        check(MemError::TooManyRegions { needed: 9, max: 8 });
+    }
+}

@@ -1,0 +1,99 @@
+//! The NWHC8c data layout of the paper's implementation (Fig. 7).
+//!
+//! Activations are stored channel-aligned in groups of 8 (`C8c`): one buffer
+//! *entry* holds 8 channels of one pixel, entries stack along the height,
+//! and *groups* (columns of entries) stack along the width. The layout only
+//! changes address arithmetic, not byte counts — the paper notes other
+//! designs may pick different layouts — but modelling it lets tests check
+//! the entry/group arithmetic printed in Figure 7.
+
+use cocco_graph::{Dims2, TensorShape};
+use serde::{Deserialize, Serialize};
+
+/// The NWHC8c-style layout: channels padded to `align` lanes per entry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layout {
+    /// Channel lanes per entry (8 in the paper's chip).
+    pub align: u32,
+}
+
+impl Layout {
+    /// Creates a layout with `align` channel lanes per entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero.
+    pub fn new(align: u32) -> Self {
+        assert!(align > 0, "channel alignment must be nonzero");
+        Self { align }
+    }
+
+    /// Entries per group for a tile of height `tile_h` over `c` channels:
+    /// `⌈C/align⌉ · P0` (paper Fig. 7: `⌈C/8⌉ × P0` entries).
+    pub fn entries_per_group(&self, tile_h: u32, c: u32) -> u64 {
+        u64::from(c.div_ceil(self.align)) * u64::from(tile_h)
+    }
+
+    /// Number of MAIN-region groups: the tile width `Q0`.
+    pub fn main_groups(&self, tile: Dims2) -> u64 {
+        u64::from(tile.w)
+    }
+
+    /// Number of SIDE-region groups: `Q − Q0` (paddings not included).
+    pub fn side_groups(&self, shape: TensorShape, tile: Dims2) -> u64 {
+        u64::from(shape.w.saturating_sub(tile.w))
+    }
+
+    /// Bytes of one entry at `elem_bytes` per element.
+    pub fn entry_bytes(&self, elem_bytes: u64) -> u64 {
+        u64::from(self.align) * elem_bytes
+    }
+
+    /// MAIN-region bytes for a tile, including channel-padding waste.
+    pub fn main_bytes(&self, tile: Dims2, c: u32, elem_bytes: u64) -> u64 {
+        self.entries_per_group(tile.h, c) * self.main_groups(tile) * self.entry_bytes(elem_bytes)
+    }
+}
+
+impl Default for Layout {
+    /// The paper's 8-channel alignment.
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_entry_arithmetic() {
+        // A P0=4, Q0=3 tile over C=20 channels: ⌈20/8⌉·4 = 12 entries per
+        // group, 3 groups.
+        let l = Layout::default();
+        assert_eq!(l.entries_per_group(4, 20), 12);
+        assert_eq!(l.main_groups(Dims2::new(4, 3)), 3);
+    }
+
+    #[test]
+    fn side_groups_exclude_tile() {
+        let l = Layout::default();
+        let shape = TensorShape::new(16, 12, 8);
+        assert_eq!(l.side_groups(shape, Dims2::new(4, 3)), 9);
+        assert_eq!(l.side_groups(shape, Dims2::new(4, 12)), 0);
+    }
+
+    #[test]
+    fn padding_waste_counted() {
+        // 9 channels pad to 2 entries of 8 lanes.
+        let l = Layout::default();
+        let bytes = l.main_bytes(Dims2::new(1, 1), 9, 1);
+        assert_eq!(bytes, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_align_panics() {
+        Layout::new(0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Memory management for subgraph execution (paper §3.2, Figures 6-8).
+//!
+//! The global buffer is logically partitioned into per-node regions by a
+//! *buffer region manager* — a `2N`-deep register file holding the start and
+//! end address of up to `N` regions (the paper's 12 nm NPU uses `N = 64`
+//! with 17-bit addresses, i.e. a 272-byte overhead). Each node of a running
+//! subgraph owns:
+//!
+//! * a **MAIN region** holding the current `x_h × x_w × C` tile, and
+//! * a **SIDE region** holding the `(x_h − Δ_h)` horizontally-overlapping
+//!   rows across the remaining `(W − x_w)` columns, so sliding windows fully
+//!   reuse data across the row sweep (pure output nodes need no SIDE
+//!   region).
+//!
+//! [`footprint::subgraph_footprint`] turns an
+//! [`ExecutionScheme`](cocco_tiling::ExecutionScheme) into byte counts, and
+//! [`snapshot::replay`] reproduces the per-update `[m:n]` data ranges of
+//! paper Figure 6.
+//!
+//! # Examples
+//!
+//! ```
+//! use cocco_mem::footprint::subgraph_footprint;
+//! use cocco_tiling::{derive_scheme, Mapper};
+//!
+//! let g = cocco_graph::models::diamond();
+//! let members: Vec<_> = g.node_ids().collect();
+//! let scheme = derive_scheme(&g, &members, &Mapper::default()).unwrap();
+//! let fp = subgraph_footprint(&g, &members, &scheme, 1);
+//! assert!(fp.activation_bytes > 0);
+//! ```
+
+mod error;
+pub mod footprint;
+pub mod layout;
+mod manager;
+mod region;
+pub mod snapshot;
+
+pub use error::MemError;
+pub use manager::{AllocationPlan, BufferRegionManager};
+pub use region::{Region, RegionKind};

@@ -1,0 +1,88 @@
+//! Logical buffer regions.
+
+use cocco_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The role of a logical region within the global buffer (paper Fig. 7).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// Holds the current tile (`x_h × x_w × C`) serving the PE array.
+    Main,
+    /// Holds the horizontally-overlapping rows reused across the row sweep.
+    Side,
+}
+
+impl fmt::Display for RegionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RegionKind::Main => "MAIN",
+            RegionKind::Side => "SIDE",
+        })
+    }
+}
+
+/// One allocated logical region: a `[start, end)` byte range owned by one
+/// node, as recorded in the buffer-region manager's register file.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Owning node.
+    pub node: NodeId,
+    /// MAIN or SIDE.
+    pub kind: RegionKind,
+    /// First byte address.
+    pub start: u64,
+    /// One past the last byte address.
+    pub end: u64,
+}
+
+impl Region {
+    /// Region size in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// `true` for zero-sized regions (never allocated by the manager).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} [{:#x}, {:#x})",
+            self.node, self.kind, self.start, self.end
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_empty() {
+        let r = Region {
+            node: NodeId::from_index(0),
+            kind: RegionKind::Main,
+            start: 16,
+            end: 48,
+        };
+        assert_eq!(r.len(), 32);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = Region {
+            node: NodeId::from_index(3),
+            kind: RegionKind::Side,
+            start: 0,
+            end: 8,
+        };
+        assert!(r.to_string().contains("SIDE"));
+        assert!(r.to_string().contains("n3"));
+    }
+}

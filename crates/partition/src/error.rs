@@ -1,0 +1,63 @@
+//! Partition validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a partition is invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// The assignment vector length does not match the graph.
+    WrongLength {
+        /// Assignment entries provided.
+        got: usize,
+        /// Graph node count.
+        expected: usize,
+    },
+    /// A subgraph is not weakly connected.
+    Disconnected {
+        /// The offending subgraph id.
+        subgraph: u32,
+    },
+    /// The quotient graph contains a cycle, so no execution order satisfies
+    /// `P(u) ≤ P(v)` on every edge.
+    CyclicQuotient,
+    /// The partition has no subgraphs (empty graph).
+    Empty,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::WrongLength { got, expected } => {
+                write!(f, "assignment has {got} entries for a {expected}-node graph")
+            }
+            PartitionError::Disconnected { subgraph } => {
+                write!(f, "subgraph {subgraph} is not weakly connected")
+            }
+            PartitionError::CyclicQuotient => {
+                write!(f, "quotient graph is cyclic: no execution order exists")
+            }
+            PartitionError::Empty => write!(f, "partition covers no nodes"),
+        }
+    }
+}
+
+impl Error for PartitionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_identify_subgraph() {
+        let e = PartitionError::Disconnected { subgraph: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: Error + Send + Sync>(_: E) {}
+        check(PartitionError::CyclicQuotient);
+    }
+}

@@ -1,0 +1,252 @@
+//! The quotient DAG obtained by contracting each subgraph to one vertex.
+
+use crate::partition::Partition;
+use cocco_graph::Graph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The contracted graph of a partition: one vertex per subgraph, one edge
+/// per pair of subgraphs connected by at least one graph edge.
+///
+/// Subgraph ids are compacted to `0..num_subgraphs()`; use
+/// [`compact_id`](Quotient::compact_id) to translate original ids.
+///
+/// # Examples
+///
+/// ```
+/// use cocco_partition::{Partition, Quotient};
+///
+/// let g = cocco_graph::models::chain(3);
+/// let p = Partition::from_assignment(vec![0, 0, 1, 1]);
+/// let q = Quotient::build(&g, &p);
+/// assert_eq!(q.num_subgraphs(), 2);
+/// assert!(q.topo_order().is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Quotient {
+    /// compact id per original id, indexed via binary search over originals.
+    originals: Vec<u32>,
+    succs: Vec<Vec<u32>>,
+    preds: Vec<Vec<u32>>,
+    min_member: Vec<u32>,
+}
+
+impl Quotient {
+    /// Contracts `partition` over `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition length does not match the graph.
+    pub fn build(graph: &Graph, partition: &Partition) -> Self {
+        assert_eq!(
+            partition.len(),
+            graph.len(),
+            "partition does not cover the graph"
+        );
+        let mut originals: Vec<u32> = partition.assignment().to_vec();
+        originals.sort_unstable();
+        originals.dedup();
+        let k = originals.len();
+        let compact = |orig: u32| -> u32 {
+            originals.binary_search(&orig).expect("id exists") as u32
+        };
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut min_member = vec![u32::MAX; k];
+        for (i, &a) in partition.assignment().iter().enumerate() {
+            let c = compact(a) as usize;
+            min_member[c] = min_member[c].min(i as u32);
+        }
+        for id in graph.node_ids() {
+            let from = compact(partition.subgraph_of(id));
+            for &cons in graph.consumers(id) {
+                let to = compact(partition.subgraph_of(cons));
+                if from != to {
+                    succs[from as usize].push(to);
+                    preds[to as usize].push(from);
+                }
+            }
+        }
+        for v in succs.iter_mut().chain(preds.iter_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+        Self {
+            originals,
+            succs,
+            preds,
+            min_member,
+        }
+    }
+
+    /// Number of subgraphs (quotient vertices).
+    pub fn num_subgraphs(&self) -> usize {
+        self.originals.len()
+    }
+
+    /// Translates an original subgraph id to its compact id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original` is not a subgraph id of the partition.
+    pub fn compact_id(&self, original: u32) -> u32 {
+        self.originals
+            .binary_search(&original)
+            .expect("unknown subgraph id") as u32
+    }
+
+    /// Successor subgraphs of compact id `id`.
+    pub fn succs(&self, id: u32) -> &[u32] {
+        &self.succs[id as usize]
+    }
+
+    /// Predecessor subgraphs of compact id `id`.
+    pub fn preds(&self, id: u32) -> &[u32] {
+        &self.preds[id as usize]
+    }
+
+    /// Kahn topological order over compact ids (ties broken by smallest
+    /// member node, giving a deterministic execution order), or `None` if
+    /// the quotient is cyclic.
+    pub fn topo_order(&self) -> Option<Vec<u32>> {
+        let k = self.num_subgraphs();
+        let mut indegree: Vec<usize> = self.preds.iter().map(Vec::len).collect();
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        for (id, &d) in indegree.iter().enumerate() {
+            if d == 0 {
+                heap.push(Reverse((self.min_member[id], id as u32)));
+            }
+        }
+        let mut order = Vec::with_capacity(k);
+        while let Some(Reverse((_, id))) = heap.pop() {
+            order.push(id);
+            for &s in &self.succs[id as usize] {
+                indegree[s as usize] -= 1;
+                if indegree[s as usize] == 0 {
+                    heap.push(Reverse((self.min_member[s as usize], s)));
+                }
+            }
+        }
+        (order.len() == k).then_some(order)
+    }
+
+    /// Strongly connected components over compact ids (iterative Tarjan),
+    /// in reverse topological order of the condensation.
+    pub fn sccs(&self) -> Vec<Vec<u32>> {
+        let k = self.num_subgraphs();
+        let mut index = vec![u32::MAX; k];
+        let mut lowlink = vec![0u32; k];
+        let mut on_stack = vec![false; k];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut sccs: Vec<Vec<u32>> = Vec::new();
+        // Explicit DFS: (node, next child position).
+        let mut call: Vec<(u32, usize)> = Vec::new();
+        for start in 0..k as u32 {
+            if index[start as usize] != u32::MAX {
+                continue;
+            }
+            call.push((start, 0));
+            index[start as usize] = next_index;
+            lowlink[start as usize] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start as usize] = true;
+            while let Some(&mut (v, ref mut child)) = call.last_mut() {
+                if *child < self.succs[v as usize].len() {
+                    let w = self.succs[v as usize][*child];
+                    *child += 1;
+                    if index[w as usize] == u32::MAX {
+                        index[w as usize] = next_index;
+                        lowlink[w as usize] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w as usize] = true;
+                        call.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        lowlink[parent as usize] =
+                            lowlink[parent as usize].min(lowlink[v as usize]);
+                    }
+                    if lowlink[v as usize] == index[v as usize] {
+                        let mut scc = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w as usize] = false;
+                            scc.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        scc.sort_unstable();
+                        sccs.push(scc);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_quotient_is_a_path() {
+        let g = cocco_graph::models::chain(3);
+        let p = Partition::from_assignment(vec![0, 0, 1, 2]);
+        let q = Quotient::build(&g, &p);
+        assert_eq!(q.num_subgraphs(), 3);
+        assert_eq!(q.topo_order(), Some(vec![0, 1, 2]));
+        assert_eq!(q.succs(0), &[1]);
+        assert_eq!(q.preds(2), &[1]);
+    }
+
+    #[test]
+    fn cycle_detected_by_topo_and_scc() {
+        let g = cocco_graph::models::diamond(); // input,a,l,r,add
+        let p = Partition::from_assignment(vec![0, 0, 0, 1, 0]);
+        let q = Quotient::build(&g, &p);
+        assert!(q.topo_order().is_none());
+        let sccs = q.sccs();
+        // {0, 1} form one SCC.
+        assert!(sccs.iter().any(|s| s == &[0, 1]));
+    }
+
+    #[test]
+    fn sccs_of_dag_are_singletons() {
+        let g = cocco_graph::models::googlenet();
+        let p = Partition::depth_groups(&g, 4);
+        let q = Quotient::build(&g, &p);
+        let sccs = q.sccs();
+        assert_eq!(sccs.len(), q.num_subgraphs());
+        assert!(sccs.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn sparse_ids_are_compacted() {
+        let g = cocco_graph::models::chain(2);
+        let p = Partition::from_assignment(vec![10, 10, 99]);
+        let q = Quotient::build(&g, &p);
+        assert_eq!(q.num_subgraphs(), 2);
+        assert_eq!(q.compact_id(10), 0);
+        assert_eq!(q.compact_id(99), 1);
+    }
+
+    #[test]
+    fn topo_tie_break_is_deterministic() {
+        // Two independent branches: order must follow smallest member id.
+        let g = cocco_graph::models::diamond();
+        let p = Partition::from_assignment(vec![0, 0, 1, 2, 3]);
+        let q = Quotient::build(&g, &p);
+        let order = q.topo_order().unwrap();
+        assert_eq!(order[0], 0);
+        // l (node 2) before r (node 3).
+        assert_eq!(order[1], q.compact_id(1));
+        assert_eq!(order[2], q.compact_id(2));
+    }
+}

@@ -1,0 +1,232 @@
+//! Validity repair: connectivity splits, SCC merges and in-situ capacity
+//! splits (paper §4.4.4).
+
+use crate::partition::Partition;
+use crate::quotient::Quotient;
+use cocco_graph::{Graph, NodeId};
+
+/// Restores connectivity and acyclicity after arbitrary assignment edits:
+///
+/// 1. split every subgraph into its weakly-connected components;
+/// 2. merge each quotient SCC into one subgraph — the SCC's members are
+///    mutually reachable through each other's edges, so the merged subgraph
+///    stays connected while the quotient becomes acyclic;
+/// 3. iterate (an SCC merge can join components that a later split leaves
+///    untouched, so one extra pass settles the fixpoint);
+/// 4. canonicalize ids into execution order.
+///
+/// The result always satisfies [`Partition::validate`].
+///
+/// # Examples
+///
+/// ```
+/// use cocco_partition::{repair_connectivity, Partition};
+///
+/// let g = cocco_graph::models::diamond();
+/// // Invalid: quotient cycle between subgraphs 0 and 1.
+/// let broken = Partition::from_assignment(vec![0, 0, 0, 1, 0]);
+/// let fixed = repair_connectivity(&g, broken);
+/// assert!(fixed.validate(&g).is_ok());
+/// ```
+pub fn repair_connectivity(graph: &Graph, mut partition: Partition) -> Partition {
+    debug_assert_eq!(partition.len(), graph.len());
+    for _ in 0..graph.len().max(4) {
+        split_components(graph, &mut partition);
+        let merged = merge_sccs(graph, &mut partition);
+        if !merged {
+            break;
+        }
+    }
+    let ok = partition.canonicalize(graph);
+    debug_assert!(ok, "repair_connectivity left a cyclic quotient");
+    partition
+}
+
+/// Splits every subgraph whose footprint check fails, using the paper's
+/// in-situ `split-subgraph`: the subgraph is halved along the topological
+/// order (never creating quotient cycles), components are re-split, and the
+/// process repeats until every subgraph fits or is a single node.
+///
+/// `fits` receives the (ascending) member list of one subgraph.
+pub fn split_oversized(
+    graph: &Graph,
+    mut partition: Partition,
+    fits: &dyn Fn(&[NodeId]) -> bool,
+) -> Partition {
+    loop {
+        let mut changed = false;
+        let mut next = partition.fresh_id();
+        for members in partition.subgraphs() {
+            if members.len() <= 1 || fits(&members) {
+                continue;
+            }
+            // Halve along the topological order: members are ascending, so
+            // all internal edges flow first-half -> second-half.
+            let mid = members.len() / 2;
+            for &m in &members[mid..] {
+                partition.assign(m, next);
+            }
+            next += 1;
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+        // Halving may disconnect pieces; restore validity before retrying.
+        partition = repair_connectivity(graph, partition);
+    }
+    partition
+}
+
+/// Full repair pipeline: connectivity + acyclicity, then capacity splits.
+/// The result is valid and every multi-node subgraph satisfies `fits`.
+pub fn repair(
+    graph: &Graph,
+    partition: Partition,
+    fits: &dyn Fn(&[NodeId]) -> bool,
+) -> Partition {
+    let partition = repair_connectivity(graph, partition);
+    split_oversized(graph, partition, fits)
+}
+
+/// Splits each subgraph into weakly-connected components (in place).
+fn split_components(graph: &Graph, partition: &mut Partition) {
+    let n = graph.len();
+    // Union-find over nodes, unioning only edges internal to a subgraph.
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = x;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for id in graph.node_ids() {
+        for &c in graph.consumers(id) {
+            if partition.subgraph_of(id) == partition.subgraph_of(c) {
+                let (a, b) = (
+                    find(&mut parent, id.index() as u32),
+                    find(&mut parent, c.index() as u32),
+                );
+                if a != b {
+                    parent[a as usize] = b;
+                }
+            }
+        }
+    }
+    // Each (old subgraph, component root) pair becomes its own subgraph.
+    let mut fresh = partition.fresh_id();
+    let mut remap: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+    for i in 0..n {
+        let node = NodeId::from_index(i);
+        let old = partition.subgraph_of(node);
+        let root = find(&mut parent, i as u32);
+        let id = *remap.entry((old, root)).or_insert_with(|| {
+            let id = fresh;
+            fresh += 1;
+            id
+        });
+        partition.assign(node, id);
+    }
+}
+
+/// Merges every non-trivial quotient SCC into a single subgraph; returns
+/// whether anything changed.
+fn merge_sccs(graph: &Graph, partition: &mut Partition) -> bool {
+    let quotient = Quotient::build(graph, partition);
+    let sccs = quotient.sccs();
+    if sccs.iter().all(|s| s.len() == 1) {
+        return false;
+    }
+    // Map compact id -> SCC representative (first member).
+    let mut rep = vec![0u32; quotient.num_subgraphs()];
+    for scc in &sccs {
+        for &m in scc {
+            rep[m as usize] = scc[0];
+        }
+    }
+    for i in 0..partition.len() {
+        let node = NodeId::from_index(i);
+        let compact = quotient.compact_id(partition.subgraph_of(node));
+        partition.assign(node, rep[compact as usize]);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn repairs_random_assignments() {
+        let g = cocco_graph::models::googlenet();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..25 {
+            let k = rng.gen_range(1..=20u32);
+            let assignment: Vec<u32> = (0..g.len()).map(|_| rng.gen_range(0..k)).collect();
+            let p = repair_connectivity(&g, Partition::from_assignment(assignment));
+            assert!(p.validate(&g).is_ok());
+        }
+    }
+
+    #[test]
+    fn valid_partitions_pass_through_stably() {
+        let g = cocco_graph::models::chain(5);
+        let p = Partition::from_assignment(vec![0, 0, 0, 1, 1, 1]);
+        let repaired = repair_connectivity(&g, p.clone());
+        assert_eq!(repaired, p);
+    }
+
+    #[test]
+    fn scc_merge_preserves_connectivity() {
+        let g = cocco_graph::models::diamond();
+        // Cycle: {input,a,l,add} vs {r}.
+        let p = Partition::from_assignment(vec![0, 0, 0, 1, 0]);
+        let fixed = repair_connectivity(&g, p);
+        assert!(fixed.validate(&g).is_ok());
+        // The cycle can only be fixed by merging: one subgraph remains.
+        assert_eq!(fixed.num_subgraphs(), 1);
+    }
+
+    #[test]
+    fn oversized_split_terminates_at_singletons() {
+        let g = cocco_graph::models::chain(7);
+        let p = Partition::whole(g.len());
+        // Nothing fits: must end fully split.
+        let fixed = split_oversized(&g, p, &|_| false);
+        assert!(fixed.validate(&g).is_ok());
+        assert_eq!(fixed.num_subgraphs(), g.len());
+    }
+
+    #[test]
+    fn oversized_split_respects_fitting_subgraphs() {
+        let g = cocco_graph::models::chain(7);
+        let p = Partition::whole(g.len());
+        // Subgraphs of <= 3 nodes "fit".
+        let fixed = split_oversized(&g, p, &|m| m.len() <= 3);
+        assert!(fixed.validate(&g).is_ok());
+        assert!(fixed.subgraphs().iter().all(|m| m.len() <= 3));
+        // Should not have split all the way down.
+        assert!(fixed.num_subgraphs() < g.len());
+    }
+
+    #[test]
+    fn full_repair_on_random_nasnet_assignments() {
+        let g = cocco_graph::models::randwire_a();
+        let mut rng = StdRng::seed_from_u64(11);
+        let assignment: Vec<u32> = (0..g.len()).map(|_| rng.gen_range(0..12)).collect();
+        let fixed = repair(&g, Partition::from_assignment(assignment), &|m| {
+            m.len() <= 10
+        });
+        assert!(fixed.validate(&g).is_ok());
+        assert!(fixed.subgraphs().iter().all(|m| m.len() <= 10));
+    }
+}

@@ -1,0 +1,156 @@
+//! Shared sample-budget accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A thread-safe evaluation budget shared by (sub-)searches, so "samples"
+/// are comparable across methods and a two-step scheme's inner GAs draw
+/// from the same pool as a co-optimization run.
+///
+/// Budgets can be *sliced* ([`SampleBudget::slice`]): the slice caps its own
+/// consumption while forwarding every sample to the parent pool, which is
+/// how a two-step scheme grants each capacity candidate 5 000 samples out
+/// of the global 50 000.
+///
+/// # Examples
+///
+/// ```
+/// use cocco_search::SampleBudget;
+///
+/// let b = SampleBudget::new(2);
+/// assert_eq!(b.try_consume(), Some(0));
+/// assert_eq!(b.try_consume(), Some(1));
+/// assert_eq!(b.try_consume(), None);
+/// assert!(b.is_exhausted());
+/// ```
+#[derive(Debug)]
+pub struct SampleBudget {
+    used: AtomicU64,
+    limit: u64,
+    parent: Option<Arc<SampleBudget>>,
+}
+
+impl SampleBudget {
+    /// Creates a budget of `limit` evaluations.
+    pub fn new(limit: u64) -> Self {
+        Self {
+            used: AtomicU64::new(0),
+            limit,
+            parent: None,
+        }
+    }
+
+    /// Creates a sub-budget capped at `cap` that forwards consumption to
+    /// `parent`; sample indices come from the parent, so traces stay
+    /// globally ordered.
+    pub fn slice(parent: Arc<SampleBudget>, cap: u64) -> Self {
+        Self {
+            used: AtomicU64::new(0),
+            limit: cap,
+            parent: Some(parent),
+        }
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Evaluations consumed so far (may exceed the limit by the number of
+    /// concurrently failing consumers, never by more).
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed).min(self.limit)
+    }
+
+    /// Consumes one evaluation, returning its 0-based index (from the
+    /// outermost pool when sliced), or `None` when the budget — or any
+    /// ancestor pool — is exhausted.
+    pub fn try_consume(&self) -> Option<u64> {
+        let idx = self.used.fetch_add(1, Ordering::Relaxed);
+        if idx >= self.limit {
+            // Undo the overshoot so `used` stays clamped.
+            self.used.fetch_sub(1, Ordering::Relaxed);
+            return None;
+        }
+        match &self.parent {
+            None => Some(idx),
+            Some(parent) => match parent.try_consume() {
+                Some(global) => Some(global),
+                None => {
+                    self.used.fetch_sub(1, Ordering::Relaxed);
+                    None
+                }
+            },
+        }
+    }
+
+    /// `true` once the limit — or any ancestor pool — has been reached.
+    pub fn is_exhausted(&self) -> bool {
+        self.used.load(Ordering::Relaxed) >= self.limit
+            || self.parent.as_ref().is_some_and(|p| p.is_exhausted())
+    }
+
+    /// Remaining evaluations.
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.used()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consumes_up_to_limit() {
+        let b = SampleBudget::new(3);
+        assert_eq!(b.try_consume(), Some(0));
+        assert_eq!(b.try_consume(), Some(1));
+        assert_eq!(b.try_consume(), Some(2));
+        assert_eq!(b.try_consume(), None);
+        assert_eq!(b.used(), 3);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn concurrent_consumption_never_exceeds() {
+        let b = std::sync::Arc::new(SampleBudget::new(1000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0u64;
+                while b.try_consume().is_some() {
+                    got += 1;
+                }
+                got
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1000);
+        assert_eq!(b.used(), 1000);
+    }
+
+    #[test]
+    fn zero_budget_is_immediately_exhausted() {
+        let b = SampleBudget::new(0);
+        assert!(b.is_exhausted());
+        assert_eq!(b.try_consume(), None);
+    }
+
+    #[test]
+    fn slices_cap_and_forward() {
+        let parent = std::sync::Arc::new(SampleBudget::new(5));
+        let a = SampleBudget::slice(parent.clone(), 3);
+        assert_eq!(a.try_consume(), Some(0));
+        assert_eq!(a.try_consume(), Some(1));
+        assert_eq!(a.try_consume(), Some(2));
+        assert_eq!(a.try_consume(), None, "slice cap reached");
+        assert_eq!(parent.used(), 3);
+        let b = SampleBudget::slice(parent.clone(), 10);
+        assert_eq!(b.try_consume(), Some(3));
+        assert_eq!(b.try_consume(), Some(4));
+        assert_eq!(b.try_consume(), None, "parent pool drained");
+        assert!(b.is_exhausted());
+        assert!(parent.is_exhausted());
+    }
+}

@@ -1,0 +1,283 @@
+//! The shared search context: evaluator access, budget accounting, repair
+//! and trace recording.
+
+use crate::budget::SampleBudget;
+use crate::genome::Genome;
+use crate::objective::{BufferSpace, Objective};
+use crate::trace::{Trace, TracePoint};
+use cocco_graph::{Graph, NodeId};
+use cocco_partition::{repair, Partition};
+use cocco_sim::{BufferConfig, EvalOptions, Evaluator};
+use std::sync::Arc;
+
+/// Everything a [`Searcher`](crate::Searcher) needs: the graph, the shared
+/// evaluator, the buffer space, the objective, evaluation options, a sample
+/// budget and a trace.
+///
+/// Genome-level evaluations ([`evaluate`](SearchContext::evaluate)) consume
+/// budget and are traced; the analytic helpers used inside deterministic
+/// baselines ([`subgraph_cost`](SearchContext::subgraph_cost),
+/// [`fits`](SearchContext::fits)) do not.
+#[derive(Debug)]
+pub struct SearchContext<'a> {
+    graph: &'a Graph,
+    evaluator: &'a Evaluator<'a>,
+    /// The buffer design space.
+    pub space: BufferSpace,
+    /// The objective (Formula 1 or 2).
+    pub objective: Objective,
+    /// Core/batch options applied to every evaluation.
+    pub options: EvalOptions,
+    budget: Arc<SampleBudget>,
+    trace: Arc<Trace>,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Creates a context with a fresh budget of `budget_limit` samples.
+    pub fn new(
+        graph: &'a Graph,
+        evaluator: &'a Evaluator<'a>,
+        space: BufferSpace,
+        objective: Objective,
+        budget_limit: u64,
+    ) -> Self {
+        Self {
+            graph,
+            evaluator,
+            space,
+            objective,
+            options: EvalOptions::default(),
+            budget: Arc::new(SampleBudget::new(budget_limit)),
+            trace: Arc::new(Trace::new()),
+        }
+    }
+
+    /// Sets multi-core / batch evaluation options.
+    pub fn with_options(mut self, options: EvalOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Derives a context with a different space/objective that shares this
+    /// context's budget, trace, options and evaluator — used by the
+    /// two-step scheme to run partition-only inner searches against the
+    /// common sample pool.
+    pub fn derive(&self, space: BufferSpace, objective: Objective) -> SearchContext<'a> {
+        SearchContext {
+            graph: self.graph,
+            evaluator: self.evaluator,
+            space,
+            objective,
+            options: self.options,
+            budget: Arc::clone(&self.budget),
+            trace: Arc::clone(&self.trace),
+        }
+    }
+
+    /// Derives a context whose budget is capped at `cap` additional samples
+    /// while still drawing from (and counting against) this context's pool.
+    pub fn slice_budget(&self, cap: u64) -> SearchContext<'a> {
+        SearchContext {
+            graph: self.graph,
+            evaluator: self.evaluator,
+            space: self.space,
+            objective: self.objective,
+            options: self.options,
+            budget: Arc::new(SampleBudget::slice(Arc::clone(&self.budget), cap)),
+            trace: Arc::clone(&self.trace),
+        }
+    }
+
+    /// The searched graph.
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// The shared evaluator.
+    pub fn evaluator(&self) -> &'a Evaluator<'a> {
+        self.evaluator
+    }
+
+    /// The shared sample budget.
+    pub fn budget(&self) -> &SampleBudget {
+        &self.budget
+    }
+
+    /// The evaluation trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Whether subgraph `members` fits `buffer` under the context's options
+    /// (activation footprint, per-core weight shard, region count).
+    pub fn fits(&self, members: &[NodeId], buffer: &BufferConfig) -> bool {
+        match self.evaluator.subgraph_stats(members) {
+            Ok(stats) => {
+                let wgt = stats
+                    .wgt_resident_bytes
+                    .div_ceil(u64::from(self.options.cores.max(1)));
+                buffer.fits(stats.act_footprint_bytes, wgt)
+                    && stats.regions <= self.evaluator.config().max_regions
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Runs the full repair pipeline on `partition` for `buffer`
+    /// (connectivity, acyclicity, in-situ capacity splits).
+    pub fn repair(&self, partition: Partition, buffer: &BufferConfig) -> Partition {
+        repair(self.graph, partition, &|members| self.fits(members, buffer))
+    }
+
+    /// Repairs and evaluates `genome` in place, consuming one budget
+    /// sample. Returns the objective cost, or `None` when the budget is
+    /// exhausted (the genome is then left unmodified).
+    pub fn evaluate(&self, genome: &mut Genome) -> Option<f64> {
+        let sample = self.budget.try_consume()?;
+        genome.partition = self.repair(std::mem::replace(
+            &mut genome.partition,
+            Partition::singletons(0),
+        ), &genome.buffer);
+        Some(self.score(sample, genome))
+    }
+
+    /// Evaluates an already-valid genome (no repair), consuming one budget
+    /// sample.
+    pub fn evaluate_valid(&self, genome: &Genome) -> Option<f64> {
+        let sample = self.budget.try_consume()?;
+        Some(self.score(sample, genome))
+    }
+
+    fn score(&self, sample: u64, genome: &Genome) -> f64 {
+        let subgraphs = genome.partition.subgraphs();
+        let (cost, metric_value) =
+            match self
+                .evaluator
+                .eval_partition(&subgraphs, &genome.buffer, self.options)
+            {
+                Ok(report) => {
+                    let metric = report.metric(self.objective.metric);
+                    let cost = match self.objective.alpha {
+                        None => report.cost_formula1(self.objective.metric),
+                        Some(alpha) => report.cost_formula2(self.objective.metric, alpha),
+                    };
+                    (cost, metric)
+                }
+                Err(_) => (f64::INFINITY, f64::INFINITY),
+            };
+        self.trace.record(TracePoint {
+            sample,
+            cost,
+            buffer_bytes: genome.buffer.total_bytes(),
+            metric_value,
+        });
+        cost
+    }
+
+    /// The additive Formula-1 term of a single subgraph under `buffer`
+    /// (`None` when it does not fit). Used by the greedy, DP and
+    /// enumeration baselines; does not consume budget.
+    pub fn subgraph_cost(&self, members: &[NodeId], buffer: &BufferConfig) -> Option<f64> {
+        if !self.fits(members, buffer) {
+            return None;
+        }
+        let report = self
+            .evaluator
+            .eval_partition(
+                std::slice::from_ref(&members.to_vec()),
+                buffer,
+                self.options,
+            )
+            .ok()?;
+        Some(report.metric(self.objective.metric))
+    }
+
+    /// The full objective cost of a valid partition under `buffer`, without
+    /// consuming budget (used to score deterministic baseline outputs).
+    pub fn partition_cost(&self, partition: &Partition, buffer: &BufferConfig) -> f64 {
+        match self
+            .evaluator
+            .eval_partition(&partition.subgraphs(), buffer, self.options)
+        {
+            Ok(report) => match self.objective.alpha {
+                None => report.cost_formula1(self.objective.metric),
+                Some(alpha) => report.cost_formula2(self.objective.metric, alpha),
+            },
+            Err(_) => f64::INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocco_sim::{AcceleratorConfig, CostMetric};
+
+    fn context<'a>(
+        graph: &'a Graph,
+        evaluator: &'a Evaluator<'a>,
+        budget: u64,
+    ) -> SearchContext<'a> {
+        SearchContext::new(
+            graph,
+            evaluator,
+            BufferSpace::fixed(BufferConfig::shared(1 << 20)),
+            Objective::partition_only(CostMetric::Ema),
+            budget,
+        )
+    }
+
+    #[test]
+    fn evaluate_consumes_budget_and_traces() {
+        let g = cocco_graph::models::diamond();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let ctx = context(&g, &eval, 2);
+        let mut genome = Genome::new(
+            Partition::singletons(g.len()),
+            BufferConfig::shared(1 << 20),
+        );
+        assert!(ctx.evaluate(&mut genome).is_some());
+        assert!(ctx.evaluate(&mut genome).is_some());
+        assert!(ctx.evaluate(&mut genome).is_none());
+        assert_eq!(ctx.trace().len(), 2);
+        assert_eq!(ctx.budget().used(), 2);
+    }
+
+    #[test]
+    fn evaluate_repairs_invalid_genomes() {
+        let g = cocco_graph::models::diamond();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let ctx = context(&g, &eval, 10);
+        // Cyclic quotient assignment.
+        let mut genome = Genome::new(
+            Partition::from_assignment(vec![0, 0, 0, 1, 0]),
+            BufferConfig::shared(1 << 20),
+        );
+        let cost = ctx.evaluate(&mut genome).unwrap();
+        assert!(cost.is_finite());
+        assert!(genome.partition.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn subgraph_cost_matches_metric() {
+        let g = cocco_graph::models::chain(3);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let ctx = context(&g, &eval, 10);
+        let members: Vec<NodeId> = g.node_ids().collect();
+        let cost = ctx
+            .subgraph_cost(&members, &BufferConfig::shared(1 << 20))
+            .unwrap();
+        let stats = eval.subgraph_stats(&members).unwrap();
+        assert_eq!(cost, stats.ema_bytes() as f64);
+        assert_eq!(ctx.budget().used(), 0, "analytic helper must be free");
+    }
+
+    #[test]
+    fn subgraph_cost_rejects_oversized() {
+        let g = cocco_graph::models::chain(3);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let ctx = context(&g, &eval, 10);
+        let members: Vec<NodeId> = g.node_ids().collect();
+        assert!(ctx.subgraph_cost(&members, &BufferConfig::shared(64)).is_none());
+    }
+}

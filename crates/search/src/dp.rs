@@ -1,0 +1,210 @@
+//! Depth-ordered dynamic-programming baseline (Irregular-NN, paper §4.2.3).
+
+use crate::context::SearchContext;
+use crate::genome::Genome;
+use crate::outcome::{SearchOutcome, Searcher};
+use cocco_graph::NodeId;
+use cocco_partition::Partition;
+
+/// The DP baseline of Zheng et al.: layers are arranged by depth and a
+/// classic chain DP assigns *contiguous runs of that order* to subgraphs.
+///
+/// The contiguity restriction is what the paper criticizes: the search space
+/// is constrained, so non-plain structures rarely reach the global optimum,
+/// and the state transition depends on a fixed buffer size, so the method
+/// cannot co-explore hardware.
+///
+/// # Examples
+///
+/// ```
+/// use cocco_search::{BufferSpace, DepthDp, Objective, SearchContext, Searcher};
+/// use cocco_sim::{AcceleratorConfig, BufferConfig, CostMetric, Evaluator};
+///
+/// let g = cocco_graph::models::chain(5);
+/// let eval = Evaluator::new(&g, AcceleratorConfig::default());
+/// let ctx = SearchContext::new(
+///     &g,
+///     &eval,
+///     BufferSpace::fixed(BufferConfig::shared(8 << 20)),
+///     Objective::partition_only(CostMetric::Ema),
+///     0,
+/// );
+/// let outcome = DepthDp::default().run(&ctx);
+/// // On a plain chain with a large buffer the DP is optimal: one subgraph.
+/// assert_eq!(outcome.best.unwrap().partition.num_subgraphs(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DepthDp {
+    /// Longest run of the depth order considered as one subgraph (bounds
+    /// the O(N·K) transition count; the region manager caps useful sizes
+    /// anyway).
+    pub max_run: usize,
+}
+
+impl Default for DepthDp {
+    fn default() -> Self {
+        Self { max_run: 128 }
+    }
+}
+
+impl DepthDp {
+    /// Creates the searcher with a custom run cap.
+    pub fn new(max_run: usize) -> Self {
+        Self {
+            max_run: max_run.max(1),
+        }
+    }
+}
+
+impl Searcher for DepthDp {
+    fn name(&self) -> &'static str {
+        "Irregular-NN (DP)"
+    }
+
+    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        let graph = ctx.graph();
+        let buffer = match ctx.space {
+            crate::objective::BufferSpace::Fixed(c) => c,
+            _ => *ctx
+                .space
+                .grid()
+                .last()
+                .expect("buffer space has at least one configuration"),
+        };
+        let n = graph.len();
+
+        // Depth order (ties by id) — the "arrange the layers based on their
+        // depth" step.
+        let depths = graph.depths();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (depths[i], i));
+
+        // dp[i]: best cost covering the first i nodes of the order.
+        let mut dp = vec![f64::INFINITY; n + 1];
+        let mut back = vec![usize::MAX; n + 1];
+        dp[0] = 0.0;
+        for i in 1..=n {
+            let lo = i.saturating_sub(self.max_run);
+            for j in (lo..i).rev() {
+                if !dp[j].is_finite() {
+                    continue;
+                }
+                let members: Vec<NodeId> = order[j..i]
+                    .iter()
+                    .map(|&k| NodeId::from_index(k))
+                    .collect();
+                if !graph.is_connected_subset(&members) {
+                    continue;
+                }
+                let Some(cost) = ctx.subgraph_cost(&members, &buffer) else {
+                    // Weights grow monotonically with the run: once a run
+                    // stops fitting, longer runs cannot fit either.
+                    break;
+                };
+                if dp[j] + cost < dp[i] {
+                    dp[i] = dp[j] + cost;
+                    back[i] = j;
+                }
+            }
+        }
+
+        let mut outcome = SearchOutcome::empty();
+        if !dp[n].is_finite() {
+            return outcome;
+        }
+        // Reconstruct the run boundaries.
+        let mut assignment = vec![0u32; n];
+        let mut i = n;
+        let mut sg = 0u32;
+        let mut cuts = Vec::new();
+        while i > 0 {
+            let j = back[i];
+            cuts.push((j, i));
+            i = j;
+        }
+        cuts.reverse();
+        for (j, i) in cuts {
+            for &k in &order[j..i] {
+                assignment[k] = sg;
+            }
+            sg += 1;
+        }
+        let mut partition = Partition::from_assignment(assignment);
+        partition.canonicalize(graph);
+        let cost = ctx.partition_cost(&partition, &buffer);
+        outcome.consider(Genome::new(partition, buffer), cost);
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{BufferSpace, Objective};
+    use cocco_sim::{AcceleratorConfig, BufferConfig, CostMetric, Evaluator};
+
+    fn run_on(graph: &cocco_graph::Graph, buffer: BufferConfig) -> SearchOutcome {
+        let eval = Evaluator::new(graph, AcceleratorConfig::default());
+        let ctx = SearchContext::new(
+            graph,
+            &eval,
+            BufferSpace::fixed(buffer),
+            Objective::partition_only(CostMetric::Ema),
+            0,
+        );
+        DepthDp::default().run(&ctx)
+    }
+
+    #[test]
+    fn optimal_on_chains() {
+        // For plain chains the contiguity restriction is harmless: DP
+        // should find the unfused-weights floor with a big buffer.
+        let g = cocco_graph::models::chain(8);
+        let out = run_on(&g, BufferConfig::shared(8 << 20));
+        let floor = g.total_weight_elements()
+            + g.out_elements(g.input_ids()[0])
+            + g.out_elements(g.output_ids()[0]);
+        assert_eq!(out.best_cost, floor as f64);
+    }
+
+    #[test]
+    fn result_is_valid_on_branchy_models() {
+        for model in ["resnet50", "googlenet", "randwire-a"] {
+            let g = cocco_graph::models::by_name(model).unwrap();
+            let out = run_on(&g, BufferConfig::separate(1 << 20, 1152 << 10));
+            let best = out.best.expect(model);
+            assert!(best.partition.validate(&g).is_ok(), "{model}");
+        }
+    }
+
+    #[test]
+    fn subgraphs_are_contiguous_depth_runs() {
+        let g = cocco_graph::models::resnet50();
+        let out = run_on(&g, BufferConfig::separate(1 << 20, 1152 << 10));
+        let best = out.best.unwrap();
+        // Depth rank per node.
+        let depths = g.depths();
+        let mut order: Vec<usize> = (0..g.len()).collect();
+        order.sort_by_key(|&i| (depths[i], i));
+        let mut rank = vec![0usize; g.len()];
+        for (r, &i) in order.iter().enumerate() {
+            rank[i] = r;
+        }
+        for members in best.partition.subgraphs() {
+            let mut ranks: Vec<usize> = members.iter().map(|m| rank[m.index()]).collect();
+            ranks.sort_unstable();
+            assert!(
+                ranks.windows(2).all(|w| w[1] == w[0] + 1),
+                "non-contiguous run {ranks:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_when_nothing_fits() {
+        let g = cocco_graph::models::chain(3);
+        let out = run_on(&g, BufferConfig::shared(16));
+        assert!(out.best.is_none());
+        assert!(out.best_cost.is_infinite());
+    }
+}

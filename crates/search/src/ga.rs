@@ -1,0 +1,537 @@
+//! The Cocco genetic co-exploration engine (paper §4.3-§4.4, Figure 9).
+
+use crate::context::SearchContext;
+use crate::genome::Genome;
+use crate::outcome::{SearchOutcome, Searcher};
+use cocco_graph::Graph;
+use cocco_partition::Partition;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-operation mutation probabilities (each applied independently).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MutationRates {
+    /// `modify-node`: move one node to another (possibly new) subgraph.
+    pub modify_node: f64,
+    /// `split-subgraph`: split one subgraph at a random topological point.
+    pub split_subgraph: f64,
+    /// `merge-subgraph`: merge two randomly selected subgraphs.
+    pub merge_subgraph: f64,
+    /// `mutation-DSE`: Gaussian-perturb the memory configuration.
+    pub dse: f64,
+    /// Standard deviation of the DSE perturbation as a fraction of the
+    /// capacity range span.
+    pub dse_sigma: f64,
+}
+
+impl Default for MutationRates {
+    fn default() -> Self {
+        Self {
+            modify_node: 0.5,
+            split_subgraph: 0.3,
+            merge_subgraph: 0.3,
+            dse: 0.4,
+            dse_sigma: 0.15,
+        }
+    }
+}
+
+/// Configuration of [`CoccoGa`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Genomes per generation.
+    pub population: usize,
+    /// Tournament size for survivor selection.
+    pub tournament: usize,
+    /// Fraction of offspring produced by crossover (the rest are mutated
+    /// copies of tournament winners).
+    pub crossover_fraction: f64,
+    /// Mutation probabilities.
+    pub mutation: MutationRates,
+    /// RNG seed (searches are fully deterministic under a fixed seed).
+    pub seed: u64,
+    /// Optional warm-start partitions (paper benefit 4: initialize GA from
+    /// other optimizers and fine-tune).
+    pub initial: Vec<Partition>,
+    /// Evaluate generations on multiple threads (results are unaffected;
+    /// only wall-clock changes).
+    pub parallel: bool,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        Self {
+            population: 100,
+            tournament: 3,
+            crossover_fraction: 0.6,
+            mutation: MutationRates::default(),
+            seed: 0xC0CC0,
+            initial: Vec::new(),
+            parallel: true,
+        }
+    }
+}
+
+/// The Cocco genetic algorithm: co-explores graph partitions and memory
+/// configurations with the paper's customized crossover and mutations,
+/// in-situ capacity repair and tournament selection.
+///
+/// # Examples
+///
+/// ```
+/// use cocco_search::{BufferSpace, CoccoGa, Objective, SearchContext, Searcher};
+/// use cocco_sim::{AcceleratorConfig, CostMetric, Evaluator};
+///
+/// let g = cocco_graph::models::diamond();
+/// let eval = Evaluator::new(&g, AcceleratorConfig::default());
+/// let ctx = SearchContext::new(
+///     &g,
+///     &eval,
+///     BufferSpace::paper_shared(),
+///     Objective::paper_energy_capacity(),
+///     1_000,
+/// );
+/// let outcome = CoccoGa::default().with_seed(42).run(&ctx);
+/// assert!(outcome.best.is_some());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CoccoGa {
+    config: GaConfig,
+}
+
+impl CoccoGa {
+    /// Creates the engine from an explicit configuration.
+    pub fn new(config: GaConfig) -> Self {
+        Self { config }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the population size.
+    pub fn with_population(mut self, population: usize) -> Self {
+        self.config.population = population.max(2);
+        self
+    }
+
+    /// Warm-starts the population with existing partitions.
+    pub fn with_initial(mut self, initial: Vec<Partition>) -> Self {
+        self.config.initial = initial;
+        self
+    }
+
+    /// Disables parallel fitness evaluation.
+    pub fn sequential(mut self) -> Self {
+        self.config.parallel = false;
+        self
+    }
+}
+
+impl Searcher for CoccoGa {
+    fn name(&self) -> &'static str {
+        "Cocco (GA)"
+    }
+
+    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        let cfg = &self.config;
+        let graph = ctx.graph();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let start_samples = ctx.budget().used();
+        let mut outcome = SearchOutcome::empty();
+
+        // Initialization (paper §4.4.1): warm starts + random genomes.
+        let mut population: Vec<(Genome, f64)> = Vec::with_capacity(cfg.population);
+        let mut seeds: Vec<Genome> = cfg
+            .initial
+            .iter()
+            .map(|p| Genome::new(p.clone(), ctx.space.sample(&mut rng)))
+            .collect();
+        // A few structured seeds (fused connected groups at several sizes)
+        // alongside the random genomes: they compensate for scaled-down
+        // sample budgets without changing what the search can express.
+        for l in [2usize, 3, 5, 8, 13] {
+            if seeds.len() < cfg.population {
+                seeds.push(Genome::new(
+                    Partition::connected_groups(graph, l),
+                    ctx.space.sample(&mut rng),
+                ));
+            }
+        }
+        while seeds.len() < cfg.population {
+            seeds.push(Genome::random(graph, &ctx.space, &mut rng));
+        }
+        seeds.truncate(cfg.population);
+        let costs = evaluate_all(ctx, &mut seeds, cfg.parallel);
+        for (genome, cost) in seeds.into_iter().zip(costs) {
+            let Some(cost) = cost else { break };
+            outcome.consider(genome.clone(), cost);
+            population.push((genome, cost));
+        }
+
+        // Generations: crossover + mutation -> evaluation -> tournament.
+        while !ctx.budget().is_exhausted() && !population.is_empty() {
+            let mut offspring: Vec<Genome> = Vec::with_capacity(cfg.population);
+            while offspring.len() < cfg.population {
+                let child = if rng.gen_bool(cfg.crossover_fraction.clamp(0.0, 1.0))
+                    && population.len() >= 2
+                {
+                    let dad = &population[rng.gen_range(0..population.len())].0;
+                    let mom = &population[rng.gen_range(0..population.len())].0;
+                    let mut child = Genome::new(
+                        crossover(graph, &dad.partition, &mom.partition, &mut rng),
+                        ctx.space.blend(dad.buffer, mom.buffer),
+                    );
+                    mutate(ctx, graph, &mut child, &cfg.mutation, &mut rng);
+                    child
+                } else {
+                    let parent = tournament(&population, cfg.tournament, &mut rng);
+                    let mut child = population[parent].0.clone();
+                    mutate(ctx, graph, &mut child, &cfg.mutation, &mut rng);
+                    child
+                };
+                offspring.push(child);
+            }
+            let costs = evaluate_all(ctx, &mut offspring, cfg.parallel);
+            let mut pool = population;
+            for (genome, cost) in offspring.into_iter().zip(costs) {
+                let Some(cost) = cost else { break };
+                outcome.consider(genome.clone(), cost);
+                pool.push((genome, cost));
+            }
+            // Survivor selection: elitism + tournaments over the pool.
+            let mut next: Vec<(Genome, f64)> = Vec::with_capacity(cfg.population);
+            if let Some(best_idx) = pool
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+                .map(|(i, _)| i)
+            {
+                next.push(pool[best_idx].clone());
+            }
+            while next.len() < cfg.population && !pool.is_empty() {
+                let w = tournament(&pool, cfg.tournament, &mut rng);
+                next.push(pool[w].clone());
+            }
+            population = next;
+        }
+
+        outcome.samples = ctx.budget().used() - start_samples;
+        outcome
+    }
+}
+
+/// Evaluates genomes in place; `None` entries mean the budget ran out.
+fn evaluate_all(
+    ctx: &SearchContext<'_>,
+    genomes: &mut [Genome],
+    parallel: bool,
+) -> Vec<Option<f64>> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    if !parallel || threads < 2 || genomes.len() < 2 * threads {
+        return genomes.iter_mut().map(|g| ctx.evaluate(g)).collect();
+    }
+    let chunk = genomes.len().div_ceil(threads);
+    let mut results: Vec<Option<f64>> = vec![None; genomes.len()];
+    crossbeam::scope(|scope| {
+        for (gs, rs) in genomes.chunks_mut(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (g, r) in gs.iter_mut().zip(rs.iter_mut()) {
+                    *r = ctx.evaluate(g);
+                }
+            });
+        }
+    })
+    .expect("evaluation thread panicked");
+    results
+}
+
+/// Index of the best genome among `k` uniformly sampled contestants.
+fn tournament(pool: &[(Genome, f64)], k: usize, rng: &mut StdRng) -> usize {
+    let mut best = rng.gen_range(0..pool.len());
+    for _ in 1..k.max(1) {
+        let challenger = rng.gen_range(0..pool.len());
+        if pool[challenger].1 < pool[best].1 {
+            best = challenger;
+        }
+    }
+    best
+}
+
+/// The paper's crossover (Fig. 9b): scan layers in topological order; each
+/// undecided layer picks a random parent and reproduces that parent's whole
+/// subgraph; collisions with already-decided layers are resolved by either
+/// splitting the undecided remainder into a new subgraph (Child-1) or
+/// merging it into a decided layer's subgraph (Child-2), chosen at random.
+pub(crate) fn crossover(
+    graph: &Graph,
+    dad: &Partition,
+    mom: &Partition,
+    rng: &mut StdRng,
+) -> Partition {
+    let n = graph.len();
+    // Precompute member lists per parent subgraph id.
+    let members_of = |p: &Partition| -> std::collections::HashMap<u32, Vec<usize>> {
+        let mut m: std::collections::HashMap<u32, Vec<usize>> = std::collections::HashMap::new();
+        for (i, &a) in p.assignment().iter().enumerate() {
+            m.entry(a).or_default().push(i);
+        }
+        m
+    };
+    let dad_members = members_of(dad);
+    let mom_members = members_of(mom);
+
+    const UNDECIDED: u32 = u32::MAX;
+    let mut child = vec![UNDECIDED; n];
+    let mut next_id = 0u32;
+    for v in 0..n {
+        if child[v] != UNDECIDED {
+            continue;
+        }
+        let (parent, members) = if rng.gen_bool(0.5) {
+            (dad, &dad_members)
+        } else {
+            (mom, &mom_members)
+        };
+        let sg = parent.subgraph_of(cocco_graph::NodeId::from_index(v));
+        let group = &members[&sg];
+        let decided: Vec<usize> = group.iter().copied().filter(|&u| child[u] != UNDECIDED).collect();
+        if decided.is_empty() {
+            for &u in group {
+                child[u] = next_id;
+            }
+            next_id += 1;
+        } else if rng.gen_bool(0.5) {
+            // Child-1: the undecided remainder becomes a new subgraph.
+            for &u in group {
+                if child[u] == UNDECIDED {
+                    child[u] = next_id;
+                }
+            }
+            next_id += 1;
+        } else {
+            // Child-2: merge the remainder into a decided member's subgraph.
+            let target = child[decided[rng.gen_range(0..decided.len())]];
+            for &u in group {
+                if child[u] == UNDECIDED {
+                    child[u] = target;
+                }
+            }
+        }
+    }
+    Partition::from_assignment(child)
+}
+
+/// Applies the four customized mutations, each with its own probability
+/// (shared with the simulated-annealing baseline, paper §4.2.4).
+pub(crate) fn mutate(
+    ctx: &SearchContext<'_>,
+    graph: &Graph,
+    genome: &mut Genome,
+    rates: &MutationRates,
+    rng: &mut StdRng,
+) {
+    let n = graph.len();
+    if rng.gen_bool(rates.modify_node.clamp(0.0, 1.0)) {
+        // modify-node: reassign one node to a neighbouring subgraph (the
+        // subgraph of one of its producers/consumers, keeping the move
+        // local as in paper Fig. 9c) or to a fresh one.
+        let node = cocco_graph::NodeId::from_index(rng.gen_range(0..n));
+        let mut candidates: Vec<u32> = graph
+            .producers(node)
+            .iter()
+            .chain(graph.consumers(node).iter())
+            .map(|&v| genome.partition.subgraph_of(v))
+            .filter(|&sg| sg != genome.partition.subgraph_of(node))
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.push(genome.partition.fresh_id());
+        let target = candidates[rng.gen_range(0..candidates.len())];
+        genome.partition.assign(node, target);
+    }
+    if rng.gen_bool(rates.split_subgraph.clamp(0.0, 1.0)) {
+        // split-subgraph: cut one subgraph at a random topological point.
+        let groups = genome.partition.subgraphs();
+        let splittable: Vec<_> = groups.iter().filter(|g| g.len() >= 2).collect();
+        if !splittable.is_empty() {
+            let group = splittable[rng.gen_range(0..splittable.len())];
+            let cut = rng.gen_range(1..group.len());
+            let fresh = genome.partition.fresh_id();
+            for &m in &group[cut..] {
+                genome.partition.assign(m, fresh);
+            }
+        }
+    }
+    if rng.gen_bool(rates.merge_subgraph.clamp(0.0, 1.0)) {
+        // merge-subgraph: merge across a random quotient edge (merging
+        // non-adjacent subgraphs would only trigger a bigger SCC repair).
+        let quotient = cocco_partition::Quotient::build(graph, &genome.partition);
+        let groups = genome.partition.subgraphs();
+        let edges: Vec<(u32, u32)> = (0..quotient.num_subgraphs() as u32)
+            .flat_map(|a| quotient.succs(a).iter().map(move |&b| (a, b)))
+            .collect();
+        if !edges.is_empty() {
+            let (a, b) = edges[rng.gen_range(0..edges.len())];
+            let target = genome.partition.subgraph_of(groups[a as usize][0]);
+            for &m in &groups[b as usize] {
+                genome.partition.assign(m, target);
+            }
+        }
+    }
+    if !ctx.space.is_fixed() && rng.gen_bool(rates.dse.clamp(0.0, 1.0)) {
+        genome.buffer = ctx
+            .space
+            .perturb(genome.buffer, rates.dse_sigma, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{BufferSpace, Objective};
+    use cocco_sim::{AcceleratorConfig, BufferConfig, CostMetric, Evaluator};
+
+    fn ctx_fixed<'a>(
+        graph: &'a Graph,
+        eval: &'a Evaluator<'a>,
+        budget: u64,
+    ) -> SearchContext<'a> {
+        SearchContext::new(
+            graph,
+            eval,
+            BufferSpace::fixed(BufferConfig::shared(1 << 20)),
+            Objective::partition_only(CostMetric::Ema),
+            budget,
+        )
+    }
+
+    #[test]
+    fn finds_optimum_on_tiny_chain() {
+        // With a huge buffer, the optimal partition of a chain is a single
+        // subgraph (weights + input + output only).
+        let g = cocco_graph::models::chain(5);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let ctx = SearchContext::new(
+            &g,
+            &eval,
+            BufferSpace::fixed(BufferConfig::shared(8 << 20)),
+            Objective::partition_only(CostMetric::Ema),
+            2_000,
+        );
+        let outcome = CoccoGa::default().with_seed(1).sequential().run(&ctx);
+        let best = outcome.best.unwrap();
+        assert_eq!(best.partition.num_subgraphs(), 1);
+        let floor = g.total_weight_elements()
+            + g.out_elements(g.input_ids()[0])
+            + g.out_elements(g.output_ids()[0]);
+        assert_eq!(outcome.best_cost, floor as f64);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = cocco_graph::models::diamond();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let run = |seed| {
+            let ctx = ctx_fixed(&g, &eval, 500);
+            CoccoGa::default().with_seed(seed).sequential().run(&ctx).best_cost
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn crossover_children_inherit_parent_subgraphs() {
+        let g = cocco_graph::models::chain(5); // 6 nodes
+        let dad = Partition::from_assignment(vec![0, 0, 0, 1, 1, 1]);
+        let mom = Partition::from_assignment(vec![0, 0, 1, 1, 2, 2]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let child = crossover(&g, &dad, &mom, &mut rng);
+            assert_eq!(child.len(), 6);
+            // Every node is decided.
+            assert!(child.assignment().iter().all(|&a| a != u32::MAX));
+        }
+    }
+
+    #[test]
+    fn crossover_of_identical_parents_is_identity() {
+        let g = cocco_graph::models::chain(4);
+        let p = Partition::from_assignment(vec![0, 0, 1, 1, 1]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut child = crossover(&g, &p, &p, &mut rng);
+        child.canonicalize(&g);
+        assert_eq!(child, p);
+    }
+
+    #[test]
+    fn evaluated_genomes_are_always_valid() {
+        let g = cocco_graph::models::googlenet();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let ctx = ctx_fixed(&g, &eval, 300);
+        let outcome = CoccoGa::default()
+            .with_seed(11)
+            .with_population(20)
+            .sequential()
+            .run(&ctx);
+        let best = outcome.best.unwrap();
+        assert!(best.partition.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn co_exploration_moves_buffer_size() {
+        let g = cocco_graph::models::googlenet();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let ctx = SearchContext::new(
+            &g,
+            &eval,
+            BufferSpace::paper_shared(),
+            Objective::paper_energy_capacity(),
+            1_500,
+        );
+        let outcome = CoccoGa::default().with_seed(2).with_population(30).run(&ctx);
+        let best = outcome.best.unwrap();
+        // Formula 2 punishes the 3 MB extreme; the chosen size should be
+        // strictly inside the range.
+        let total = best.buffer.total_bytes();
+        assert!(total < 3072 << 10, "picked {total}");
+    }
+
+    #[test]
+    fn warm_start_is_respected() {
+        let g = cocco_graph::models::chain(4);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let ctx = ctx_fixed(&g, &eval, 50);
+        let warm = Partition::whole(g.len());
+        let outcome = CoccoGa::default()
+            .with_seed(3)
+            .with_population(4)
+            .with_initial(vec![warm])
+            .sequential()
+            .run(&ctx);
+        // The whole-graph partition fits in 1 MB and is optimal here, so
+        // the warm start's cost must be the final answer.
+        assert_eq!(outcome.best.unwrap().partition.num_subgraphs(), 1);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let g = cocco_graph::models::diamond();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let ctx = ctx_fixed(&g, &eval, 37);
+        let outcome = CoccoGa::default().with_seed(5).sequential().run(&ctx);
+        assert_eq!(outcome.samples, 37);
+        assert_eq!(ctx.budget().used(), 37);
+        assert_eq!(ctx.trace().len(), 37);
+    }
+}

@@ -1,0 +1,100 @@
+//! Candidate solutions: a partition plus a buffer configuration.
+
+use crate::objective::BufferSpace;
+use cocco_graph::Graph;
+use cocco_partition::Partition;
+use cocco_sim::BufferConfig;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One candidate solution of the co-exploration problem: a graph partition
+/// and the memory configuration it runs under (paper §4.3: "we encode each
+/// candidate solution ... as a genome").
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Genome {
+    /// The partition scheme `P`.
+    pub partition: Partition,
+    /// The buffer configuration.
+    pub buffer: BufferConfig,
+}
+
+impl Genome {
+    /// Creates a genome from parts.
+    pub fn new(partition: Partition, buffer: BufferConfig) -> Self {
+        Self { partition, buffer }
+    }
+
+    /// Random initialization (paper §4.4.1): the buffer is drawn uniformly
+    /// from `space`, and `P(v)` is chosen for each layer in topological
+    /// order uniformly within its valid range `[max_u P(u), current_max+1]`
+    /// (producers' subgraphs up to a brand-new subgraph). Run the repair
+    /// pipeline before evaluating — random choices may still break
+    /// connectivity.
+    pub fn random<R: Rng + ?Sized>(graph: &Graph, space: &BufferSpace, rng: &mut R) -> Self {
+        let n = graph.len();
+        let mut assignment = vec![0u32; n];
+        let mut current_max: i64 = -1;
+        for (id, node) in graph.iter() {
+            let low = node
+                .inputs()
+                .iter()
+                .map(|p| assignment[p.index()])
+                .max()
+                .map_or(0, |m| m as i64);
+            let high = current_max + 1; // a fresh subgraph
+            let pick = rng.gen_range(low.max(0)..=high.max(low.max(0)));
+            assignment[id.index()] = pick as u32;
+            current_max = current_max.max(pick);
+        }
+        Self {
+            partition: Partition::from_assignment(assignment),
+            buffer: space.sample(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocco_sim::CapacityRange;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_genomes_are_diverse() {
+        let g = cocco_graph::models::googlenet();
+        let space = BufferSpace::Shared(CapacityRange::paper_shared());
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Genome::random(&g, &space, &mut rng);
+        let b = Genome::random(&g, &space, &mut rng);
+        assert_ne!(a.partition, b.partition);
+    }
+
+    #[test]
+    fn random_assignment_respects_precedence_ranges() {
+        // P(v) >= max P(producers): no producer is assigned to a later
+        // subgraph than its consumer at initialization time.
+        let g = cocco_graph::models::resnet50();
+        let space = BufferSpace::fixed(BufferConfig::shared(1 << 20));
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..5 {
+            let genome = Genome::random(&g, &space, &mut rng);
+            for id in g.node_ids() {
+                for &p in g.producers(id) {
+                    assert!(
+                        genome.partition.subgraph_of(p) <= genome.partition.subgraph_of(id)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = cocco_graph::models::diamond();
+        let space = BufferSpace::paper_shared();
+        let a = Genome::random(&g, &space, &mut StdRng::seed_from_u64(5));
+        let b = Genome::random(&g, &space, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

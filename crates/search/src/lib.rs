@@ -1,0 +1,69 @@
+//! Search methods for graph partition and hardware-mapping co-exploration
+//! (paper §4.2-§4.4).
+//!
+//! All methods optimize the same two objectives over the same evaluator:
+//!
+//! * **Formula 1** (partition-only): `Σ_i Cost_M(subgraph_i)` under a fixed
+//!   buffer configuration;
+//! * **Formula 2** (co-exploration): `BUF_SIZE + α·Σ_i Cost_M(subgraph_i)`
+//!   over a buffer search space.
+//!
+//! Implemented searchers:
+//!
+//! | method | paper | type |
+//! |---|---|---|
+//! | [`CoccoGa`] | §4.3-4.4 | genetic co-exploration (the contribution) |
+//! | [`SimulatedAnnealing`] | §4.2.4 | co-exploration baseline |
+//! | [`GreedyFusion`] | §4.2.2 | Halide-style merge baseline |
+//! | [`DepthDp`] | §4.2.3 | Irregular-NN depth-ordered DP baseline |
+//! | [`Exhaustive`] | §4.2.1 | downset state-compression enumeration |
+//! | [`TwoStep`] | §5.1.3 | RS+GA / GS+GA capacity-then-partition |
+//!
+//! Every searcher draws evaluations from a shared [`SampleBudget`] so
+//! "samples" are comparable across methods, and records a [`Trace`] for the
+//! convergence and distribution studies (paper Figures 12-13).
+//!
+//! # Examples
+//!
+//! ```
+//! use cocco_search::{CoccoGa, SearchContext, BufferSpace, Objective, Searcher};
+//! use cocco_sim::{AcceleratorConfig, BufferConfig, CostMetric, Evaluator};
+//!
+//! let graph = cocco_graph::models::diamond();
+//! let eval = Evaluator::new(&graph, AcceleratorConfig::default());
+//! let ctx = SearchContext::new(
+//!     &graph,
+//!     &eval,
+//!     BufferSpace::fixed(BufferConfig::shared(1 << 20)),
+//!     Objective::partition_only(CostMetric::Ema),
+//!     2_000,
+//! );
+//! let outcome = CoccoGa::default().with_seed(1).run(&ctx);
+//! assert!(outcome.best_cost.is_finite());
+//! ```
+
+mod budget;
+mod context;
+mod dp;
+mod exhaustive;
+mod ga;
+mod genome;
+mod greedy;
+mod objective;
+mod outcome;
+mod sa;
+mod trace;
+mod twostep;
+
+pub use budget::SampleBudget;
+pub use context::SearchContext;
+pub use dp::DepthDp;
+pub use exhaustive::{Exhaustive, ExhaustiveLimits};
+pub use ga::{CoccoGa, GaConfig, MutationRates};
+pub use genome::Genome;
+pub use greedy::GreedyFusion;
+pub use objective::{BufferSpace, Objective};
+pub use outcome::{SearchOutcome, Searcher};
+pub use sa::{SaConfig, SimulatedAnnealing};
+pub use trace::{Trace, TracePoint};
+pub use twostep::{CapacitySampling, TwoStep};

@@ -1,0 +1,69 @@
+//! Search results and the common searcher interface.
+
+use crate::context::SearchContext;
+use crate::genome::Genome;
+
+/// Result of one search run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchOutcome {
+    /// The best genome found (repaired, canonical), if any evaluation
+    /// produced a finite cost.
+    pub best: Option<Genome>,
+    /// Cost of the best genome (infinite when nothing fit).
+    pub best_cost: f64,
+    /// Budget samples consumed by this run.
+    pub samples: u64,
+    /// `false` when the method gave up before exploring its whole space
+    /// (e.g. enumeration hitting its state budget — the paper's "cannot
+    /// complete within a reasonable time").
+    pub completed: bool,
+}
+
+impl SearchOutcome {
+    /// An outcome carrying no solution.
+    pub fn empty() -> Self {
+        Self {
+            best: None,
+            best_cost: f64::INFINITY,
+            samples: 0,
+            completed: true,
+        }
+    }
+
+    /// Folds another candidate into this outcome, keeping the lower cost.
+    pub fn consider(&mut self, genome: Genome, cost: f64) {
+        if cost < self.best_cost {
+            self.best_cost = cost;
+            self.best = Some(genome);
+        }
+    }
+}
+
+/// Common interface of every search method.
+pub trait Searcher {
+    /// A short display name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Runs the search against `ctx`, drawing from its budget and
+    /// recording its trace.
+    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocco_partition::Partition;
+    use cocco_sim::BufferConfig;
+
+    #[test]
+    fn consider_keeps_minimum() {
+        let mut o = SearchOutcome::empty();
+        let g = |c| Genome::new(Partition::singletons(3), BufferConfig::shared(c));
+        o.consider(g(1), 5.0);
+        o.consider(g(2), 9.0);
+        assert_eq!(o.best_cost, 5.0);
+        assert_eq!(o.best.as_ref().unwrap().buffer.total_bytes(), 1);
+        o.consider(g(3), 2.0);
+        assert_eq!(o.best_cost, 2.0);
+    }
+}

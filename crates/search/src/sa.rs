@@ -1,0 +1,196 @@
+//! Simulated-annealing baseline (paper §4.2.4).
+
+use crate::context::SearchContext;
+use crate::ga::{mutate, MutationRates};
+use crate::genome::Genome;
+use crate::outcome::{SearchOutcome, Searcher};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of [`SimulatedAnnealing`].
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SaConfig {
+    /// Initial temperature, as a fraction of the initial cost (the accept
+    /// probability of a move that worsens cost by `T·cost` is `1/e`).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor applied per step.
+    pub cooling: f64,
+    /// Mutation probabilities (the paper reuses Cocco's customized
+    /// operators).
+    pub mutation: MutationRates,
+    /// RNG seed.
+    pub seed: u64,
+    /// Restart from the best state after this many consecutive rejected
+    /// moves (0 disables restarts).
+    pub restart_after: u64,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        Self {
+            initial_temperature: 0.02,
+            cooling: 0.999,
+            mutation: MutationRates::default(),
+            seed: 0xC0CC0,
+            restart_after: 500,
+        }
+    }
+}
+
+/// Simulated annealing over genomes, using the same mutation operators and
+/// repair pipeline as [`CoccoGa`](crate::CoccoGa) — the paper's co-optimizing
+/// baseline, "not as stable as the genetic algorithm in a range of
+/// benchmarks".
+///
+/// # Examples
+///
+/// ```
+/// use cocco_search::{BufferSpace, Objective, SearchContext, Searcher, SimulatedAnnealing};
+/// use cocco_sim::{AcceleratorConfig, BufferConfig, CostMetric, Evaluator};
+///
+/// let g = cocco_graph::models::diamond();
+/// let eval = Evaluator::new(&g, AcceleratorConfig::default());
+/// let ctx = SearchContext::new(
+///     &g,
+///     &eval,
+///     BufferSpace::fixed(BufferConfig::shared(1 << 20)),
+///     Objective::partition_only(CostMetric::Ema),
+///     500,
+/// );
+/// let outcome = SimulatedAnnealing::default().run(&ctx);
+/// assert!(outcome.best_cost.is_finite());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SimulatedAnnealing {
+    config: SaConfig,
+}
+
+impl SimulatedAnnealing {
+    /// Creates the searcher from an explicit configuration.
+    pub fn new(config: SaConfig) -> Self {
+        Self { config }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+}
+
+impl Searcher for SimulatedAnnealing {
+    fn name(&self) -> &'static str {
+        "SA"
+    }
+
+    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        let cfg = &self.config;
+        let graph = ctx.graph();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let start_samples = ctx.budget().used();
+        let mut outcome = SearchOutcome::empty();
+
+        let mut current = Genome::random(graph, &ctx.space, &mut rng);
+        let Some(mut current_cost) = ctx.evaluate(&mut current) else {
+            return outcome;
+        };
+        outcome.consider(current.clone(), current_cost);
+
+        // Temperature in absolute cost units.
+        let scale = if current_cost.is_finite() {
+            current_cost
+        } else {
+            1.0
+        };
+        let mut temperature = cfg.initial_temperature * scale;
+        let mut rejected = 0u64;
+
+        loop {
+            let mut candidate = current.clone();
+            mutate(ctx, graph, &mut candidate, &cfg.mutation, &mut rng);
+            let Some(cost) = ctx.evaluate(&mut candidate) else {
+                break;
+            };
+            outcome.consider(candidate.clone(), cost);
+            let accept = cost <= current_cost || {
+                let delta = cost - current_cost;
+                temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp()
+            };
+            if accept {
+                current = candidate;
+                current_cost = cost;
+                rejected = 0;
+            } else {
+                rejected += 1;
+                if cfg.restart_after > 0 && rejected >= cfg.restart_after {
+                    if let Some(best) = &outcome.best {
+                        current = best.clone();
+                        current_cost = outcome.best_cost;
+                    }
+                    rejected = 0;
+                }
+            }
+            temperature *= cfg.cooling;
+        }
+
+        outcome.samples = ctx.budget().used() - start_samples;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{BufferSpace, Objective};
+    use cocco_sim::{AcceleratorConfig, BufferConfig, CostMetric, Evaluator};
+
+    #[test]
+    fn improves_over_first_sample() {
+        let g = cocco_graph::models::googlenet();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let ctx = SearchContext::new(
+            &g,
+            &eval,
+            BufferSpace::fixed(BufferConfig::separate(1 << 20, 1152 << 10)),
+            Objective::partition_only(CostMetric::Ema),
+            1_500,
+        );
+        let outcome = SimulatedAnnealing::default().with_seed(4).run(&ctx);
+        let curve = ctx.trace().best_curve();
+        assert!(curve.len() > 1, "SA never improved");
+        assert!(outcome.best_cost < curve[0].1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = cocco_graph::models::diamond();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let run = |seed| {
+            let ctx = SearchContext::new(
+                &g,
+                &eval,
+                BufferSpace::paper_shared(),
+                Objective::paper_energy_capacity(),
+                300,
+            );
+            SimulatedAnnealing::default().with_seed(seed).run(&ctx).best_cost
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn best_genome_is_valid() {
+        let g = cocco_graph::models::randwire_a();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let ctx = SearchContext::new(
+            &g,
+            &eval,
+            BufferSpace::fixed(BufferConfig::shared(1 << 20)),
+            Objective::partition_only(CostMetric::Ema),
+            200,
+        );
+        let outcome = SimulatedAnnealing::default().with_seed(1).run(&ctx);
+        assert!(outcome.best.unwrap().partition.validate(&g).is_ok());
+    }
+}

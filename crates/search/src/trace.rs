@@ -1,0 +1,123 @@
+//! Search traces for the convergence and distribution studies.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One recorded evaluation.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// 0-based global sample index at which the point was evaluated.
+    pub sample: u64,
+    /// Objective cost of the evaluated genome (may be infinite).
+    pub cost: f64,
+    /// The genome's total buffer bytes (Figure 13's x-axis).
+    pub buffer_bytes: u64,
+    /// The raw metric value (EMA bytes or energy pJ; Figure 13's y-axis).
+    pub metric_value: f64,
+}
+
+/// Thread-safe recording of every evaluation during a search.
+///
+/// [`best_curve`](Trace::best_curve) yields the monotone best-so-far cost
+/// over samples (paper Figure 12); [`points`](Trace::points) yields the raw
+/// scatter (paper Figure 13).
+#[derive(Debug, Default)]
+pub struct Trace {
+    points: Mutex<Vec<TracePoint>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one evaluation.
+    pub fn record(&self, point: TracePoint) {
+        self.points.lock().push(point);
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.lock().len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.lock().is_empty()
+    }
+
+    /// A snapshot of all recorded points, sorted by sample index.
+    pub fn points(&self) -> Vec<TracePoint> {
+        let mut pts = self.points.lock().clone();
+        pts.sort_by_key(|p| p.sample);
+        pts
+    }
+
+    /// The monotone best-so-far cost curve: `(sample, best_cost)` at every
+    /// improvement.
+    pub fn best_curve(&self) -> Vec<(u64, f64)> {
+        let mut curve = Vec::new();
+        let mut best = f64::INFINITY;
+        for p in self.points() {
+            if p.cost < best {
+                best = p.cost;
+                curve.push((p.sample, best));
+            }
+        }
+        curve
+    }
+
+    /// The first sample index at which cost dropped to or below
+    /// `threshold`, if it ever did (paper Figure 12(d)).
+    pub fn samples_to_reach(&self, threshold: f64) -> Option<u64> {
+        self.best_curve()
+            .into_iter()
+            .find(|(_, c)| *c <= threshold)
+            .map(|(s, _)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(sample: u64, cost: f64) -> TracePoint {
+        TracePoint {
+            sample,
+            cost,
+            buffer_bytes: 0,
+            metric_value: cost,
+        }
+    }
+
+    #[test]
+    fn best_curve_is_monotone() {
+        let t = Trace::new();
+        for (s, c) in [(0, 5.0), (1, 7.0), (2, 3.0), (3, 4.0), (4, 1.0)] {
+            t.record(pt(s, c));
+        }
+        assert_eq!(t.best_curve(), vec![(0, 5.0), (2, 3.0), (4, 1.0)]);
+    }
+
+    #[test]
+    fn samples_to_reach_threshold() {
+        let t = Trace::new();
+        for (s, c) in [(0, 5.0), (10, 2.0), (20, 1.0)] {
+            t.record(pt(s, c));
+        }
+        assert_eq!(t.samples_to_reach(2.5), Some(10));
+        assert_eq!(t.samples_to_reach(0.5), None);
+    }
+
+    #[test]
+    fn points_sorted_by_sample() {
+        let t = Trace::new();
+        t.record(pt(5, 1.0));
+        t.record(pt(1, 2.0));
+        let pts = t.points();
+        assert_eq!(pts[0].sample, 1);
+        assert_eq!(pts[1].sample, 5);
+        assert_eq!(t.len(), 2);
+    }
+}

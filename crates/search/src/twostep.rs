@@ -1,0 +1,231 @@
+//! Two-step exploration baselines: capacity sampling followed by
+//! partition-only GA (paper §5.1.3, "RS+GA" and "GS+GA").
+
+use crate::context::SearchContext;
+use crate::ga::{CoccoGa, GaConfig};
+use crate::genome::Genome;
+use crate::objective::{BufferSpace, Objective};
+use crate::outcome::{SearchOutcome, Searcher};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How the first step picks capacity candidates.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CapacitySampling {
+    /// Uniform random candidates from the space ("RS").
+    Random,
+    /// Evenly spaced grid candidates traversed from large to small ("GS" —
+    /// the paper notes the deterministic large-to-small direction makes its
+    /// convergence time depend on where the optimum lies).
+    Grid,
+}
+
+/// The decoupled two-step scheme: sample memory-capacity candidates, run a
+/// partition-only GA for each (a fixed per-candidate sample budget, 5 000
+/// in the paper), and keep the best Formula-2 cost.
+///
+/// The paper's criticism — "the two-step scheme fails to combine the
+/// information between different sizes" — falls out of the construction:
+/// each inner GA restarts from scratch.
+///
+/// # Examples
+///
+/// ```
+/// use cocco_search::{BufferSpace, CapacitySampling, Objective, SearchContext, Searcher, TwoStep};
+/// use cocco_sim::{AcceleratorConfig, CostMetric, Evaluator};
+///
+/// let g = cocco_graph::models::diamond();
+/// let eval = Evaluator::new(&g, AcceleratorConfig::default());
+/// let ctx = SearchContext::new(
+///     &g,
+///     &eval,
+///     BufferSpace::paper_shared(),
+///     Objective::co_exploration(CostMetric::Energy, 0.002),
+///     1_000,
+/// );
+/// let outcome = TwoStep::random().with_per_candidate(200).run(&ctx);
+/// assert!(outcome.best.is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct TwoStep {
+    /// Candidate sampling strategy.
+    pub sampling: CapacitySampling,
+    /// Samples granted to each inner partition-only GA.
+    pub per_candidate: u64,
+    /// Inner GA configuration.
+    pub ga: GaConfig,
+    /// Seed for candidate sampling.
+    pub seed: u64,
+}
+
+impl TwoStep {
+    /// Random-search capacity sampling (RS+GA) with the paper's 5 000
+    /// samples per candidate.
+    pub fn random() -> Self {
+        Self {
+            sampling: CapacitySampling::Random,
+            per_candidate: 5_000,
+            ga: GaConfig::default(),
+            seed: 0xC0CC0,
+        }
+    }
+
+    /// Grid-search capacity sampling (GS+GA).
+    pub fn grid() -> Self {
+        Self {
+            sampling: CapacitySampling::Grid,
+            ..Self::random()
+        }
+    }
+
+    /// Sets the per-candidate inner budget.
+    pub fn with_per_candidate(mut self, samples: u64) -> Self {
+        self.per_candidate = samples.max(1);
+        self
+    }
+
+    /// Sets the sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Searcher for TwoStep {
+    fn name(&self) -> &'static str {
+        match self.sampling {
+            CapacitySampling::Random => "RS+GA",
+            CapacitySampling::Grid => "GS+GA",
+        }
+    }
+
+    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let alpha = ctx
+            .objective
+            .alpha
+            .expect("two-step exploration requires a Formula-2 objective");
+        let start_samples = ctx.budget().used();
+        let candidate_count =
+            (ctx.budget().limit().saturating_sub(start_samples) / self.per_candidate).max(1);
+
+        // Step 1: pick capacity candidates.
+        let candidates: Vec<_> = match self.sampling {
+            CapacitySampling::Random => (0..candidate_count)
+                .map(|_| ctx.space.sample(&mut rng))
+                .collect(),
+            CapacitySampling::Grid => {
+                let grid = ctx.space.grid();
+                let count = (candidate_count as usize).min(grid.len());
+                // Evenly spaced, traversed from the largest down.
+                let mut picks: Vec<_> = (0..count)
+                    .map(|i| grid[i * grid.len() / count.max(1)])
+                    .collect();
+                picks.sort_by_key(|c| std::cmp::Reverse(c.total_bytes()));
+                picks
+            }
+        };
+
+        // Step 2: one partition-only GA per candidate, on the shared budget.
+        let mut outcome = SearchOutcome::empty();
+        for (i, buffer) in candidates.into_iter().enumerate() {
+            if ctx.budget().is_exhausted() {
+                break;
+            }
+            let remaining = ctx.budget().remaining();
+            let inner_budget = self.per_candidate.min(remaining);
+            let inner_ctx = ctx.derive(
+                BufferSpace::fixed(buffer),
+                Objective::partition_only(ctx.objective.metric),
+            );
+            // Cap the inner run by slicing its own budget view: the shared
+            // budget enforces the global limit; we bound the inner run by
+            // running the GA until it consumes `inner_budget` samples.
+            let mut ga_cfg = self.ga.clone();
+            ga_cfg.seed = self.seed.wrapping_add(i as u64 + 1);
+            let inner = InnerBudgetGa {
+                ga: CoccoGa::new(ga_cfg),
+                cap: inner_budget,
+            };
+            let sub = inner.run(&inner_ctx);
+            if let Some(best) = sub.best {
+                let cost = buffer.total_bytes() as f64 + alpha * sub.best_cost;
+                outcome.consider(Genome::new(best.partition, buffer), cost);
+            }
+        }
+        outcome.samples = ctx.budget().used() - start_samples;
+        outcome
+    }
+}
+
+/// Runs a GA but stops once it has consumed `cap` samples, by handing it a
+/// context whose budget is a fresh slice that also forwards consumption to
+/// the parent budget.
+struct InnerBudgetGa {
+    ga: CoccoGa,
+    cap: u64,
+}
+
+impl InnerBudgetGa {
+    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        // The shared budget already bounds the global run; bound the local
+        // one by tracking consumption before/after each generation via the
+        // GA's own budget checks. Simplest sound approach: run the GA with
+        // a population small enough that generations are cheap, and stop it
+        // via a capped sub-budget context.
+        let sliced = ctx.slice_budget(self.cap);
+        self.ga.run(&sliced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocco_sim::{AcceleratorConfig, CostMetric, Evaluator};
+
+    #[test]
+    fn rs_and_gs_produce_valid_results() {
+        let g = cocco_graph::models::googlenet();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        for method in [TwoStep::random(), TwoStep::grid()] {
+            let method = method.with_per_candidate(150);
+            let name = method.name();
+            let ctx = SearchContext::new(
+                &g,
+                &eval,
+                BufferSpace::paper_shared(),
+                Objective::co_exploration(CostMetric::Energy, 0.002),
+                600,
+            );
+            let out = method.run(&ctx);
+            let best = out.best.expect(name);
+            assert!(best.partition.validate(&g).is_ok());
+            assert!(out.best_cost.is_finite());
+            assert!(out.samples <= 600);
+        }
+    }
+
+    #[test]
+    fn grid_traverses_large_to_small() {
+        let ts = TwoStep::grid();
+        assert_eq!(ts.name(), "GS+GA");
+        assert_eq!(TwoStep::random().name(), "RS+GA");
+    }
+
+    #[test]
+    fn respects_global_budget() {
+        let g = cocco_graph::models::diamond();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let ctx = SearchContext::new(
+            &g,
+            &eval,
+            BufferSpace::paper_shared(),
+            Objective::co_exploration(CostMetric::Ema, 0.01),
+            100,
+        );
+        let out = TwoStep::random().with_per_candidate(40).run(&ctx);
+        assert!(ctx.budget().used() <= 100);
+        assert_eq!(out.samples, ctx.budget().used());
+    }
+}

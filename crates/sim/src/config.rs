@@ -1,0 +1,268 @@
+//! Accelerator and buffer configuration types.
+
+use crate::energy::EnergyModel;
+use cocco_tiling::Mapper;
+use serde::{Deserialize, Serialize};
+
+/// Static description of one NPU core (paper §5.1.2).
+///
+/// The default reproduces the paper's platform: a 4×4 PE array with an 8×8
+/// MAC array per PE at 1 GHz (≈2 TOPS with 8-bit operands), 16 GB/s of DRAM
+/// bandwidth per core, and the default consumption-centric mapper.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// PE array rows.
+    pub pe_rows: u32,
+    /// PE array columns.
+    pub pe_cols: u32,
+    /// MAC rows per PE (input-channel lanes).
+    pub mac_rows: u32,
+    /// MAC columns per PE (output-channel lanes).
+    pub mac_cols: u32,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// DRAM bandwidth per core in GB/s.
+    pub dram_gbps: f64,
+    /// Tensor element width in bytes (8-bit inference ⇒ 1).
+    pub elem_bytes: u64,
+    /// Maximum logical regions of the buffer-region manager (`N`).
+    pub max_regions: usize,
+    /// Stage-1 tile mapper.
+    pub mapper: Mapper,
+    /// Energy model constants.
+    pub energy: EnergyModel,
+}
+
+impl AcceleratorConfig {
+    /// Peak MACs per cycle (`pe_rows·pe_cols·mac_rows·mac_cols`).
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        u64::from(self.pe_rows)
+            * u64::from(self.pe_cols)
+            * u64::from(self.mac_rows)
+            * u64::from(self.mac_cols)
+    }
+
+    /// Peak throughput in TOPS (2 ops per MAC).
+    pub fn peak_tops(&self) -> f64 {
+        2.0 * self.peak_macs_per_cycle() as f64 * self.freq_ghz / 1e3
+    }
+
+    /// DRAM bytes transferable per core clock cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_gbps / self.freq_ghz
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self {
+            pe_rows: 4,
+            pe_cols: 4,
+            mac_rows: 8,
+            mac_cols: 8,
+            freq_ghz: 1.0,
+            dram_gbps: 16.0,
+            elem_bytes: 1,
+            max_regions: 64,
+            mapper: Mapper::default(),
+            energy: EnergyModel::default(),
+        }
+    }
+}
+
+/// On-chip buffer organization under co-exploration (paper §5.3.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BufferConfig {
+    /// Separate global (activation) and weight buffers.
+    Separate {
+        /// Global buffer bytes.
+        glb: u64,
+        /// Weight buffer bytes.
+        wgt: u64,
+    },
+    /// One shared buffer holding activations and weights.
+    Shared {
+        /// Total buffer bytes.
+        total: u64,
+    },
+}
+
+impl BufferConfig {
+    /// Separate-buffer configuration.
+    pub fn separate(glb: u64, wgt: u64) -> Self {
+        BufferConfig::Separate { glb, wgt }
+    }
+
+    /// Shared-buffer configuration.
+    pub fn shared(total: u64) -> Self {
+        BufferConfig::Shared { total }
+    }
+
+    /// Total on-chip capacity in bytes (the `BUF_SIZE` of Formula 2).
+    pub fn total_bytes(&self) -> u64 {
+        match self {
+            BufferConfig::Separate { glb, wgt } => glb + wgt,
+            BufferConfig::Shared { total } => *total,
+        }
+    }
+
+    /// Checks whether a subgraph with the given activation and weight
+    /// footprints fits.
+    pub fn fits(&self, act_bytes: u64, wgt_bytes: u64) -> bool {
+        match self {
+            BufferConfig::Separate { glb, wgt } => act_bytes <= *glb && wgt_bytes <= *wgt,
+            BufferConfig::Shared { total } => act_bytes + wgt_bytes <= *total,
+        }
+    }
+}
+
+/// An arithmetic grid of capacity candidates (paper §5.3: e.g. 128 KB to
+/// 2048 KB with a 64 KB interval for the global buffer).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CapacityRange {
+    /// Smallest candidate in bytes.
+    pub min: u64,
+    /// Largest candidate in bytes.
+    pub max: u64,
+    /// Grid step in bytes.
+    pub step: u64,
+}
+
+impl CapacityRange {
+    /// Creates a range; `min`, `max` and `step` in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or `min > max` — these are static
+    /// experiment-configuration mistakes.
+    pub fn new(min: u64, max: u64, step: u64) -> Self {
+        assert!(step > 0, "capacity step must be nonzero");
+        assert!(min <= max, "capacity range is inverted");
+        Self { min, max, step }
+    }
+
+    /// The paper's global-buffer range: 128–2048 KB in 64 KB steps.
+    pub fn paper_glb() -> Self {
+        Self::new(128 << 10, 2048 << 10, 64 << 10)
+    }
+
+    /// The paper's weight-buffer range: 144–2304 KB in 72 KB steps.
+    pub fn paper_wgt() -> Self {
+        Self::new(144 << 10, 2304 << 10, 72 << 10)
+    }
+
+    /// The paper's shared-buffer range: 128–3072 KB in 64 KB steps.
+    pub fn paper_shared() -> Self {
+        Self::new(128 << 10, 3072 << 10, 64 << 10)
+    }
+
+    /// Number of candidates on the grid.
+    pub fn len(&self) -> usize {
+        ((self.max - self.min) / self.step + 1) as usize
+    }
+
+    /// `true` if the range holds no candidates (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The `i`-th candidate (clamped to the last).
+    pub fn candidate(&self, i: usize) -> u64 {
+        (self.min + self.step * i as u64).min(self.max)
+    }
+
+    /// Iterates over all candidates, ascending.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = u64> + '_ {
+        (0..self.len()).map(move |i| self.candidate(i))
+    }
+
+    /// Snaps `bytes` to the nearest grid candidate.
+    pub fn snap(&self, bytes: u64) -> u64 {
+        let clamped = bytes.clamp(self.min, self.max);
+        let idx = (clamped - self.min + self.step / 2) / self.step;
+        (self.min + idx * self.step).min(self.max)
+    }
+}
+
+/// Evaluation options: core count and batch size (paper §5.4.2-§5.4.3).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EvalOptions {
+    /// Number of NPU cores sharing subgraph weights over the crossbar.
+    pub cores: u32,
+    /// Batch size processed per subgraph before moving on.
+    pub batch: u32,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        Self { cores: 1, batch: 1 }
+    }
+}
+
+impl EvalOptions {
+    /// Single-core options with the given batch.
+    pub fn with_batch(batch: u32) -> Self {
+        Self { cores: 1, batch }
+    }
+
+    /// Multi-core options with batch 1.
+    pub fn with_cores(cores: u32) -> Self {
+        Self { cores, batch: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_platform_is_two_tops() {
+        let c = AcceleratorConfig::default();
+        assert_eq!(c.peak_macs_per_cycle(), 1024);
+        assert!((c.peak_tops() - 2.048).abs() < 1e-9);
+        assert!((c.dram_bytes_per_cycle() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buffer_fits_semantics() {
+        let sep = BufferConfig::separate(100, 50);
+        assert!(sep.fits(100, 50));
+        assert!(!sep.fits(101, 1));
+        assert!(!sep.fits(1, 51));
+        let shared = BufferConfig::shared(150);
+        assert!(shared.fits(100, 50));
+        assert!(!shared.fits(100, 51));
+        assert_eq!(sep.total_bytes(), shared.total_bytes());
+    }
+
+    #[test]
+    fn paper_ranges_have_expected_candidates() {
+        assert_eq!(CapacityRange::paper_glb().len(), 31);
+        assert_eq!(CapacityRange::paper_wgt().len(), 31);
+        assert_eq!(CapacityRange::paper_shared().len(), 47);
+    }
+
+    #[test]
+    fn snap_rounds_to_grid() {
+        let r = CapacityRange::new(100, 500, 100);
+        assert_eq!(r.snap(0), 100);
+        assert_eq!(r.snap(149), 100);
+        assert_eq!(r.snap(150), 200);
+        assert_eq!(r.snap(10_000), 500);
+    }
+
+    #[test]
+    fn candidates_are_monotone() {
+        let r = CapacityRange::paper_shared();
+        let v: Vec<u64> = r.iter().collect();
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(v[0], 128 << 10);
+        assert_eq!(*v.last().unwrap(), 3072 << 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "step")]
+    fn zero_step_panics() {
+        CapacityRange::new(1, 2, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Per-subgraph statistics and cost metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Which metric `M` the cost function `Cost_M` optimizes (paper §4.1.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostMetric {
+    /// External memory access bytes (the `EMA-opt` configuration).
+    Ema,
+    /// Energy in picojoules (the `energy-capacity` configuration).
+    Energy,
+}
+
+/// Buffer-configuration-independent statistics of one subgraph, evaluated
+/// once and cached by the [`Evaluator`](crate::Evaluator).
+///
+/// EMA decomposes exactly as the paper describes: weight loads, boundary
+/// input-activation loads and boundary output-activation stores; everything
+/// internal to the subgraph is fully reused on-chip and never recomputed.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SubgraphStats {
+    /// DRAM bytes: weights of every member layer.
+    pub ema_wgt_bytes: u64,
+    /// DRAM bytes: input activations crossing into the subgraph (tensors
+    /// produced by earlier subgraphs, plus model inputs).
+    pub ema_in_bytes: u64,
+    /// DRAM bytes: output activations needed by later subgraphs or as model
+    /// outputs.
+    pub ema_out_bytes: u64,
+    /// Total MAC (compute-equivalent) operations.
+    pub macs: u64,
+    /// Global-buffer traffic in bytes (tile writes plus window reads).
+    pub glb_access_bytes: u64,
+    /// Weight-buffer traffic in bytes: each layer's weights are re-read
+    /// once per tile of its output (weight-stationary across one tile).
+    pub wgt_access_bytes: u64,
+    /// Activation footprint in the global buffer (MAIN + SIDE regions).
+    pub act_footprint_bytes: u64,
+    /// Weight footprint in the weight buffer.
+    pub wgt_footprint_bytes: u64,
+    /// Minimal weight residency: multi-layer subgraphs must keep all
+    /// weights resident (the elementary operations sweep every layer), but
+    /// a single-layer subgraph can stream its weights one output-channel
+    /// slice at a time — the layer-level fallback that lets an FC layer
+    /// larger than the weight buffer still execute (e.g. ResNet50's
+    /// classifier against the paper's 1.125 MB weight buffer).
+    pub wgt_resident_bytes: u64,
+    /// Logical regions required of the buffer-region manager.
+    pub regions: usize,
+    /// Compute cycles at the core's effective utilization.
+    pub compute_cycles: f64,
+    /// Halo bytes re-fetched per extra core when the subgraph is split
+    /// spatially across cores (multi-core overhead input).
+    pub halo_bytes_per_cut: u64,
+}
+
+impl SubgraphStats {
+    /// Total DRAM traffic of this subgraph at batch 1.
+    pub fn ema_bytes(&self) -> u64 {
+        self.ema_wgt_bytes + self.ema_in_bytes + self.ema_out_bytes
+    }
+
+    /// Activation-only DRAM traffic.
+    pub fn ema_act_bytes(&self) -> u64 {
+        self.ema_in_bytes + self.ema_out_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ema_sums_components() {
+        let s = SubgraphStats {
+            ema_wgt_bytes: 10,
+            ema_in_bytes: 20,
+            ema_out_bytes: 30,
+            ..Default::default()
+        };
+        assert_eq!(s.ema_bytes(), 60);
+        assert_eq!(s.ema_act_bytes(), 50);
+    }
+}

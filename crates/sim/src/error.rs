@@ -1,0 +1,64 @@
+//! Errors raised by the evaluator.
+
+use cocco_tiling::TilingError;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while evaluating a partition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The tiling flow failed for a subgraph (bad member set).
+    Tiling(TilingError),
+    /// A partition was empty or contained an empty subgraph.
+    EmptySubgraph {
+        /// Index of the offending subgraph.
+        index: usize,
+    },
+    /// Invalid evaluation options (zero cores or batch).
+    InvalidOptions,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Tiling(e) => write!(f, "tiling failed: {e}"),
+            SimError::EmptySubgraph { index } => {
+                write!(f, "subgraph {index} has no members")
+            }
+            SimError::InvalidOptions => write!(f, "cores and batch must be nonzero"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Tiling(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TilingError> for SimError {
+    fn from(e: TilingError) -> Self {
+        SimError::Tiling(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tiling_errors() {
+        let e: SimError = TilingError::EmptySubgraph.into();
+        assert!(matches!(e, SimError::Tiling(_)));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert!(SimError::InvalidOptions.to_string().starts_with(char::is_lowercase));
+    }
+}

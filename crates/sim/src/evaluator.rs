@@ -1,0 +1,566 @@
+//! The partition evaluator: cached per-subgraph statistics plus the
+//! energy/latency/bandwidth roll-up.
+
+use crate::config::{AcceleratorConfig, BufferConfig, EvalOptions};
+use crate::cost::SubgraphStats;
+use crate::error::SimError;
+use crate::report::{PartitionReport, SubgraphReport};
+use cocco_graph::{EdgeReq, Graph, LayerOp, NodeId};
+use cocco_mem::footprint::subgraph_footprint;
+use cocco_tiling::derive_scheme;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Evaluates partitions of one computation graph on one accelerator
+/// configuration, caching the buffer-independent per-subgraph statistics.
+///
+/// The evaluator is `Sync`: a genetic population can be scored from several
+/// threads against one shared instance.
+///
+/// # Examples
+///
+/// ```
+/// use cocco_sim::{AcceleratorConfig, BufferConfig, CostMetric, Evaluator};
+///
+/// let g = cocco_graph::models::chain(4);
+/// let eval = Evaluator::new(&g, AcceleratorConfig::default());
+/// // Layer-by-layer execution: one subgraph per node.
+/// let per_layer: Vec<Vec<_>> = g.node_ids().map(|id| vec![id]).collect();
+/// let report = eval
+///     .eval_partition(&per_layer, &BufferConfig::shared(1 << 20), Default::default())
+///     .unwrap();
+/// assert!(report.cost_formula1(CostMetric::Ema) > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Evaluator<'g> {
+    graph: &'g Graph,
+    config: AcceleratorConfig,
+    // Per-node precomputation (indexed by NodeId).
+    weight_bytes: Vec<u64>,
+    out_bytes: Vec<u64>,
+    macs: Vec<u64>,
+    cycles: Vec<f64>,
+    is_input: Vec<bool>,
+    cache: RwLock<HashMap<Box<[u32]>, SubgraphStats>>,
+}
+
+impl<'g> Evaluator<'g> {
+    /// Creates an evaluator for `graph` under `config`.
+    pub fn new(graph: &'g Graph, config: AcceleratorConfig) -> Self {
+        let n = graph.len();
+        let mut weight_bytes = Vec::with_capacity(n);
+        let mut out_bytes = Vec::with_capacity(n);
+        let mut macs = Vec::with_capacity(n);
+        let mut cycles = Vec::with_capacity(n);
+        let mut is_input = Vec::with_capacity(n);
+        let peak = config.peak_macs_per_cycle() as f64;
+        for (id, node) in graph.iter() {
+            weight_bytes.push(graph.weight_elements(id) * config.elem_bytes);
+            out_bytes.push(graph.out_elements(id) * config.elem_bytes);
+            macs.push(graph.macs(id));
+            let util = utilization(graph, id, &config).max(1e-6);
+            cycles.push(graph.macs(id) as f64 / (peak * util));
+            is_input.push(node.op().is_input());
+        }
+        Self {
+            graph,
+            config,
+            weight_bytes,
+            out_bytes,
+            macs,
+            cycles,
+            is_input,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The evaluated graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The accelerator configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Number of distinct subgraphs evaluated so far (cache size).
+    pub fn cached_subgraphs(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Buffer-independent statistics of the subgraph `members` (sorted or
+    /// unsorted; the result is cached under the sorted set).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `members` is empty, has duplicates or references
+    /// nodes outside the graph.
+    pub fn subgraph_stats(&self, members: &[NodeId]) -> Result<SubgraphStats, SimError> {
+        let mut key: Vec<u32> = members.iter().map(|id| id.index() as u32).collect();
+        key.sort_unstable();
+        if let Some(stats) = self.cache.read().get(key.as_slice()) {
+            return Ok(*stats);
+        }
+        let sorted: Vec<NodeId> = key.iter().map(|&i| NodeId::from_index(i as usize)).collect();
+        let stats = self.compute_stats(&sorted)?;
+        self.cache
+            .write()
+            .insert(key.into_boxed_slice(), stats);
+        Ok(stats)
+    }
+
+    fn compute_stats(&self, members: &[NodeId]) -> Result<SubgraphStats, SimError> {
+        let graph = self.graph;
+        let elem = self.config.elem_bytes;
+        let scheme = derive_scheme(graph, members, &self.config.mapper)?;
+        let fp = subgraph_footprint(graph, members, &scheme, elem);
+
+        let mut member = vec![false; graph.len()];
+        for &m in members {
+            member[m.index()] = true;
+        }
+
+        let mut stats = SubgraphStats {
+            act_footprint_bytes: fp.activation_bytes,
+            wgt_footprint_bytes: fp.weight_bytes,
+            regions: fp.regions,
+            ..Default::default()
+        };
+        // Minimal weight residency: a lone layer streams weights one
+        // output-channel slice (mac_cols wide) at a time.
+        stats.wgt_resident_bytes = if members.len() == 1 {
+            let m = members[0];
+            let slice = match graph.node(m).op() {
+                LayerOp::Conv { kernel, c_out } => {
+                    let c_in = graph.in_shapes(m).first().map_or(0, |s| u64::from(s.c));
+                    let per_out = kernel.size.area() * c_in * elem;
+                    per_out * u64::from((*c_out).min(self.config.mac_cols))
+                }
+                _ => self.weight_bytes[m.index()],
+            };
+            slice.min(self.weight_bytes[m.index()])
+        } else {
+            fp.weight_bytes
+        };
+
+        // Members: weights, compute, model-input loads, boundary outputs.
+        for &m in members {
+            let i = m.index();
+            stats.ema_wgt_bytes += self.weight_bytes[i];
+            stats.macs += self.macs[i];
+            stats.compute_cycles += self.cycles[i];
+            if self.is_input[i] {
+                stats.ema_in_bytes += self.out_bytes[i];
+            }
+            let consumers = graph.consumers(m);
+            if consumers.is_empty() || consumers.iter().any(|c| !member[c.index()]) {
+                stats.ema_out_bytes += self.out_bytes[i];
+            }
+        }
+
+        // Boundary inputs: distinct producers outside the member set.
+        let mut counted = vec![false; graph.len()];
+        for &m in members {
+            for &p in graph.producers(m) {
+                if !member[p.index()] && !counted[p.index()] {
+                    counted[p.index()] = true;
+                    stats.ema_in_bytes += self.out_bytes[p.index()];
+                }
+            }
+        }
+
+        // On-chip traffic and multi-core halo, from the execution scheme.
+        for (id, s) in scheme.iter() {
+            // Every covered tensor streams through the global buffer once.
+            stats.glb_access_bytes += self.out_bytes[id.index()];
+            if s.interior_consumed {
+                let shape = graph.node(id).out_shape();
+                stats.halo_bytes_per_cut += u64::from(s.overlap_rows())
+                    * u64::from(shape.w)
+                    * u64::from(shape.c)
+                    * elem;
+            }
+            // Weight-stationary tiling re-reads a layer's weights once per
+            // tile of its own output.
+            if member[id.index()] && self.weight_bytes[id.index()] > 0 {
+                let shape = graph.node(id).out_shape();
+                let tiles = u64::from(shape.h.div_ceil(s.delta.h.max(1)))
+                    * u64::from(shape.w.div_ceil(s.delta.w.max(1)));
+                stats.wgt_access_bytes +=
+                    self.weight_bytes[id.index()].saturating_mul(tiles.max(1));
+            }
+        }
+        for &v in members {
+            let mut producers: Vec<NodeId> = graph.producers(v).to_vec();
+            producers.sort_unstable();
+            producers.dedup();
+            for p in producers {
+                let reuse = match graph.edge_req(p, v) {
+                    EdgeReq::Sliding(k) => {
+                        let rh = f64::from(k.size.h) / f64::from(k.stride.h.max(1));
+                        let rw = f64::from(k.size.w) / f64::from(k.stride.w.max(1));
+                        (rh * rw).max(1.0)
+                    }
+                    EdgeReq::Full => f64::from(graph.node(v).out_shape().h).max(1.0),
+                };
+                stats.glb_access_bytes +=
+                    (self.out_bytes[p.index()] as f64 * reuse) as u64;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Evaluates an ordered partition under a buffer configuration.
+    ///
+    /// Subgraphs whose footprints exceed the buffers (or whose region count
+    /// exceeds the region manager) are flagged in
+    /// [`PartitionReport::oversized`]; the report's cost functions then
+    /// return infinity so optimizers reject or repair the genome.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for structurally invalid inputs (empty subgraphs,
+    /// duplicate nodes, unknown ids, zero cores/batch) — conditions a
+    /// well-formed search never produces.
+    pub fn eval_partition(
+        &self,
+        subgraphs: &[Vec<NodeId>],
+        buffer: &BufferConfig,
+        options: EvalOptions,
+    ) -> Result<PartitionReport, SimError> {
+        if options.cores == 0 || options.batch == 0 {
+            return Err(SimError::InvalidOptions);
+        }
+        if subgraphs.is_empty() {
+            return Err(SimError::EmptySubgraph { index: 0 });
+        }
+        let cores = u64::from(options.cores);
+        let batch = u64::from(options.batch);
+        let energy = &self.config.energy;
+        let (glb_cap, wgt_cap) = match buffer {
+            BufferConfig::Separate { glb, wgt } => (*glb, *wgt),
+            BufferConfig::Shared { total } => (*total, *total),
+        };
+        let e_glb = energy.sram_pj_per_byte(glb_cap);
+        let e_wgt = energy.sram_pj_per_byte(wgt_cap);
+
+        let mut all_stats = Vec::with_capacity(subgraphs.len());
+        for (index, members) in subgraphs.iter().enumerate() {
+            if members.is_empty() {
+                return Err(SimError::EmptySubgraph { index });
+            }
+            all_stats.push(self.subgraph_stats(members)?);
+        }
+
+        let mut report = PartitionReport {
+            ema_bytes: 0,
+            energy_pj: 0.0,
+            latency_cycles: 0.0,
+            avg_bw_gbps: 0.0,
+            peak_bw_gbps: 0.0,
+            fits: true,
+            oversized: Vec::new(),
+            per_subgraph: Vec::with_capacity(subgraphs.len()),
+            buffer: *buffer,
+        };
+
+        for (index, stats) in all_stats.iter().enumerate() {
+            // Per-core weight shard (multi-core weight sharing); single
+            // layers fall back to streamed weights.
+            let wgt_per_core = stats.wgt_resident_bytes.div_ceil(cores);
+            let fits = buffer.fits(stats.act_footprint_bytes, wgt_per_core)
+                && stats.regions <= self.config.max_regions;
+            if !fits {
+                report.fits = false;
+                report.oversized.push(index);
+            }
+
+            // DRAM traffic: weights once per subgraph (batch reuse);
+            // activations per sample; halo re-fetch per extra core.
+            let halo = stats.halo_bytes_per_cut * (cores - 1) * batch;
+            let ema = stats.ema_wgt_bytes + stats.ema_act_bytes() * batch + halo;
+
+            // Energy. With weights sharded 1/n per core and rotated
+            // (Tangram-BSD style), (n−1)/n of every weight-buffer read
+            // crosses the interconnect.
+            let crossbar_bytes = if cores > 1 {
+                stats.wgt_access_bytes * batch * (cores - 1) / cores
+            } else {
+                0
+            };
+            let energy_pj = ema as f64 * energy.dram_pj_per_byte
+                + (stats.glb_access_bytes * batch) as f64 * e_glb
+                + (stats.wgt_access_bytes * batch) as f64 * e_wgt
+                + (stats.macs * batch) as f64 * energy.mac_pj
+                + crossbar_bytes as f64 * energy.crossbar_pj_per_byte;
+
+            // Latency: compute parallelized over cores; DRAM over the
+            // aggregate per-core links.
+            let compute = stats.compute_cycles * batch as f64 / cores as f64;
+            let dram =
+                ema as f64 / (self.config.dram_bytes_per_cycle() * cores as f64);
+            let latency = compute.max(dram).max(1.0);
+
+            // Bandwidth requirement: prefetch of the next subgraph's
+            // weights plus this subgraph's boundary activations.
+            let next_wgt = all_stats
+                .get(index + 1)
+                .map_or(0, |s| s.ema_wgt_bytes);
+            let bw_bytes_per_cycle =
+                (next_wgt + stats.ema_act_bytes() * batch + halo) as f64 / latency;
+
+            report.ema_bytes += ema;
+            report.energy_pj += energy_pj;
+            report.latency_cycles += latency;
+            report.peak_bw_gbps = report
+                .peak_bw_gbps
+                .max(bw_bytes_per_cycle * self.config.freq_ghz);
+            report.per_subgraph.push(SubgraphReport {
+                index,
+                stats: *stats,
+                energy_pj,
+                latency_cycles: latency,
+                bw_bytes_per_cycle,
+                fits,
+            });
+        }
+        report.avg_bw_gbps =
+            report.ema_bytes as f64 / report.latency_cycles * self.config.freq_ghz;
+        Ok(report)
+    }
+}
+
+/// PE-array utilization of one layer on the configured core.
+///
+/// Input channels map to the per-PE MAC rows, output channels to the MAC
+/// columns and spatial positions to the PE array; depth-wise layers cannot
+/// exploit the input-channel lanes (the classic reason separable
+/// convolutions run at low utilization on dense arrays).
+fn utilization(graph: &Graph, id: NodeId, config: &AcceleratorConfig) -> f64 {
+    let node = graph.node(id);
+    let out = node.out_shape();
+    let lanes_in = u64::from(config.mac_rows);
+    let lanes_out = u64::from(config.mac_cols);
+    let pes = u64::from(config.pe_rows) * u64::from(config.pe_cols);
+    let eff = |n: u64, k: u64| -> f64 {
+        if n == 0 {
+            1.0
+        } else {
+            n as f64 / (n.div_ceil(k) * k) as f64
+        }
+    };
+    let spatial = u64::from(out.h) * u64::from(out.w);
+    match node.op() {
+        LayerOp::Input | LayerOp::Concat => 1.0,
+        LayerOp::Conv { c_out, .. } => {
+            let c_in = graph
+                .in_shapes(id)
+                .first()
+                .map_or(1, |s| u64::from(s.c));
+            eff(c_in, lanes_in) * eff(u64::from(*c_out), lanes_out) * eff(spatial, pes)
+        }
+        LayerOp::DepthwiseConv { .. }
+        | LayerOp::Pool { .. }
+        | LayerOp::GlobalPool
+        | LayerOp::Eltwise => {
+            // One input channel per output: the input-channel lanes idle.
+            (1.0 / lanes_in as f64) * eff(u64::from(out.c), lanes_out) * eff(spatial, pes)
+        }
+        LayerOp::MatMul { rhs_transposed } => {
+            let shapes = graph.in_shapes(id);
+            let k = shapes.first().map_or(1, |s| u64::from(s.c));
+            let n = shapes.get(1).map_or(1, |s| {
+                if *rhs_transposed {
+                    u64::from(s.h)
+                } else {
+                    u64::from(s.c)
+                }
+            });
+            let m = u64::from(out.h);
+            eff(k, lanes_in) * eff(n, lanes_out) * eff(m, pes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostMetric;
+
+    fn per_layer(g: &Graph) -> Vec<Vec<NodeId>> {
+        g.node_ids().map(|id| vec![id]).collect()
+    }
+
+    fn whole(g: &Graph) -> Vec<Vec<NodeId>> {
+        vec![g.node_ids().collect()]
+    }
+
+    #[test]
+    fn fusion_reduces_ema() {
+        let g = cocco_graph::models::chain(6);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let buf = BufferConfig::shared(4 << 20);
+        let split = eval
+            .eval_partition(&per_layer(&g), &buf, EvalOptions::default())
+            .unwrap();
+        let fused = eval
+            .eval_partition(&whole(&g), &buf, EvalOptions::default())
+            .unwrap();
+        assert!(fused.ema_bytes < split.ema_bytes);
+        // Both must still move at least weights + model input + output.
+        let floor = g.total_weight_elements()
+            + g.out_elements(g.input_ids()[0])
+            + g.out_elements(g.output_ids()[0]);
+        assert!(fused.ema_bytes >= floor);
+        assert_eq!(fused.ema_bytes, floor);
+    }
+
+    #[test]
+    fn ema_floor_for_single_subgraph() {
+        // EMA of the whole-graph subgraph = weights + inputs + outputs.
+        let g = cocco_graph::models::diamond();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let stats = eval
+            .subgraph_stats(&g.node_ids().collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(
+            stats.ema_wgt_bytes,
+            g.total_weight_elements()
+        );
+        assert_eq!(stats.ema_in_bytes, g.out_elements(g.input_ids()[0]));
+        assert_eq!(stats.ema_out_bytes, g.out_elements(g.output_ids()[0]));
+    }
+
+    #[test]
+    fn multi_consumer_tensor_counted_once() {
+        // diamond: node a feeds both branches; splitting after a must load
+        // a's tensor once per consuming subgraph, not per consumer edge.
+        let g = cocco_graph::models::diamond();
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        // Subgraph {l, r, add}: a is a single boundary input.
+        let stats = eval.subgraph_stats(&ids[2..=4]).unwrap();
+        assert_eq!(stats.ema_in_bytes, g.out_elements(ids[1]));
+    }
+
+    #[test]
+    fn cache_hits_are_stable() {
+        let g = cocco_graph::models::diamond();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let members: Vec<NodeId> = g.node_ids().collect();
+        let a = eval.subgraph_stats(&members).unwrap();
+        let b = eval.subgraph_stats(&members).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(eval.cached_subgraphs(), 1);
+        // Different order, same set: still one cache entry.
+        let mut rev = members.clone();
+        rev.reverse();
+        let c = eval.subgraph_stats(&rev).unwrap();
+        assert_eq!(a, c);
+        assert_eq!(eval.cached_subgraphs(), 1);
+    }
+
+    #[test]
+    fn oversized_subgraphs_flagged() {
+        let g = cocco_graph::models::chain(5);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let tiny = BufferConfig::shared(256); // far too small
+        let report = eval
+            .eval_partition(&whole(&g), &tiny, EvalOptions::default())
+            .unwrap();
+        assert!(!report.fits);
+        assert_eq!(report.oversized, vec![0]);
+        assert!(report.cost_formula1(CostMetric::Ema).is_infinite());
+    }
+
+    #[test]
+    fn batch_amortizes_weight_loads() {
+        let g = cocco_graph::models::chain(4);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let buf = BufferConfig::shared(4 << 20);
+        let b1 = eval
+            .eval_partition(&whole(&g), &buf, EvalOptions::with_batch(1))
+            .unwrap();
+        let b8 = eval
+            .eval_partition(&whole(&g), &buf, EvalOptions::with_batch(8))
+            .unwrap();
+        // Weights load once: EMA grows sub-linearly with batch.
+        assert!(b8.ema_bytes < 8 * b1.ema_bytes);
+        assert!(b8.ema_bytes > b1.ema_bytes);
+        // Latency also sub-linear (weight transfer amortized).
+        assert!(b8.latency_cycles <= 8.0 * b1.latency_cycles);
+    }
+
+    #[test]
+    fn multicore_speeds_up_but_costs_energy() {
+        let g = cocco_graph::models::resnet50();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let buf = BufferConfig::shared(4 << 20);
+        let parts = depth_pairs(&g);
+        let c1 = eval
+            .eval_partition(&parts, &buf, EvalOptions::with_cores(1))
+            .unwrap();
+        let c2 = eval
+            .eval_partition(&parts, &buf, EvalOptions::with_cores(2))
+            .unwrap();
+        assert!(c2.latency_cycles < c1.latency_cycles);
+        assert!(c2.energy_pj > c1.energy_pj, "crossbar rotation costs energy");
+    }
+
+    /// Groups consecutive node pairs — a quick valid-ish partition helper
+    /// for tests (chains of the topo order).
+    fn depth_pairs(g: &Graph) -> Vec<Vec<NodeId>> {
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        ids.chunks(2).map(|c| c.to_vec()).collect()
+    }
+
+    #[test]
+    fn depthwise_utilization_is_low() {
+        let g = cocco_graph::models::nasnet();
+        let config = AcceleratorConfig::default();
+        let dw = g
+            .iter()
+            .find(|(_, n)| matches!(n.op(), LayerOp::DepthwiseConv { .. }))
+            .unwrap()
+            .0;
+        let conv = g
+            .iter()
+            .find(|(id, n)| {
+                matches!(n.op(), LayerOp::Conv { c_out, .. } if *c_out >= 64)
+                    && g.in_shapes(*id).first().is_some_and(|s| s.c >= 64)
+            })
+            .unwrap()
+            .0;
+        assert!(utilization(&g, dw, &config) < 0.2);
+        assert!(utilization(&g, conv, &config) > 0.5);
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let g = cocco_graph::models::chain(2);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let buf = BufferConfig::shared(1 << 20);
+        let err = eval
+            .eval_partition(&whole(&g), &buf, EvalOptions { cores: 0, batch: 1 })
+            .unwrap_err();
+        assert_eq!(err, SimError::InvalidOptions);
+        let err = eval
+            .eval_partition(&[], &buf, EvalOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, SimError::EmptySubgraph { .. }));
+    }
+
+    #[test]
+    fn bandwidth_is_positive_and_peak_bounds_avg() {
+        let g = cocco_graph::models::googlenet();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let buf = BufferConfig::shared(8 << 20);
+        let parts = depth_pairs(&g);
+        let r = eval
+            .eval_partition(&parts, &buf, EvalOptions::default())
+            .unwrap();
+        assert!(r.avg_bw_gbps > 0.0);
+        assert!(r.peak_bw_gbps >= r.avg_bw_gbps * 0.99);
+    }
+}

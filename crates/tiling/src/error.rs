@@ -1,0 +1,67 @@
+//! Errors raised by the tiling flow.
+
+use cocco_graph::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while deriving a subgraph execution scheme.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TilingError {
+    /// The member set is empty.
+    EmptySubgraph,
+    /// A member id is out of range for the graph.
+    UnknownNode {
+        /// The offending id.
+        node: NodeId,
+    },
+    /// A member appears twice in the member list.
+    DuplicateMember {
+        /// The duplicated id.
+        node: NodeId,
+    },
+    /// The update-rate system has no consistent solution (malformed graph
+    /// whose paths reduce the same tensor by different stride products).
+    InconsistentRates {
+        /// Node at which the inconsistency was detected.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for TilingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TilingError::EmptySubgraph => write!(f, "subgraph has no members"),
+            TilingError::UnknownNode { node } => {
+                write!(f, "node {node} does not exist in the graph")
+            }
+            TilingError::DuplicateMember { node } => {
+                write!(f, "node {node} listed twice in the subgraph")
+            }
+            TilingError::InconsistentRates { node } => {
+                write!(f, "no consistent update rate exists at node {node}")
+            }
+        }
+    }
+}
+
+impl Error for TilingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TilingError::UnknownNode {
+            node: NodeId::from_index(3),
+        };
+        assert!(e.to_string().contains("n3"));
+    }
+
+    #[test]
+    fn implements_error_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>(_: E) {}
+        check(TilingError::EmptySubgraph);
+    }
+}

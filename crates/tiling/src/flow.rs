@@ -1,0 +1,565 @@
+//! The three-stage consumption-centric derivation (paper §3.1, Fig. 5).
+
+use crate::error::TilingError;
+use crate::mapper::Mapper;
+use crate::ratio::{gcd, lcm, Ratio};
+use crate::scheme::{ExecutionScheme, NodeScheme};
+use cocco_graph::{Dims2, EdgeReq, Graph, NodeId};
+use std::collections::HashMap;
+
+/// Per-dimension view of an [`EdgeReq`] used by the backward derivation.
+#[derive(Copy, Clone, Debug)]
+enum DimReq {
+    /// Sliding window with kernel extent `f` and stride `s`.
+    Sliding { f: u32, s: u32 },
+    /// The whole producer extent must be resident.
+    Full,
+}
+
+fn dim_reqs(req: EdgeReq) -> (DimReq, DimReq) {
+    match req {
+        EdgeReq::Full => (DimReq::Full, DimReq::Full),
+        EdgeReq::Sliding(k) => (
+            DimReq::Sliding {
+                f: k.size.h,
+                s: k.stride.h,
+            },
+            DimReq::Sliding {
+                f: k.size.w,
+                s: k.stride.w,
+            },
+        ),
+    }
+}
+
+/// Derives the execution scheme of the subgraph formed by `members`.
+///
+/// The scheme covers every member plus every *boundary producer* (a node
+/// outside the member set whose output is consumed inside it): boundary
+/// producers occupy buffer regions too — their tiles are loaded from DRAM
+/// (the "negative-numbered" input nodes of paper Figures 1 and 5).
+///
+/// Stage 1 uses `mapper` to size the tiles of the subgraph's output nodes
+/// (members with no consumer inside the member set); stage 2 runs the
+/// backward LCM derivation; stage 3 computes the co-prime `upd_num`
+/// solution when one exists ([`ExecutionScheme::exact_upd`] reports whether
+/// it does — clamping at tensor extents makes large-kernel subgraphs
+/// inexact, in which case `upd_num` falls back to 1 per update).
+///
+/// # Errors
+///
+/// Returns an error if `members` is empty, contains duplicates or ids
+/// outside `graph`, or if the update-rate system is inconsistent for a
+/// subgraph that required an exact solution.
+///
+/// # Examples
+///
+/// ```
+/// use cocco_tiling::{derive_scheme, Mapper, MapperPolicy};
+///
+/// let g = cocco_graph::models::branchy();
+/// let members: Vec<_> = g.node_ids().collect();
+/// let scheme = derive_scheme(&g, &members, &Mapper::default()).unwrap();
+/// // Every member and boundary producer is covered.
+/// assert_eq!(scheme.len(), g.len());
+/// ```
+pub fn derive_scheme(
+    graph: &Graph,
+    members: &[NodeId],
+    mapper: &Mapper,
+) -> Result<ExecutionScheme, TilingError> {
+    if members.is_empty() {
+        return Err(TilingError::EmptySubgraph);
+    }
+    let n = graph.len();
+    let mut is_member = vec![false; n];
+    for &m in members {
+        if m.index() >= n {
+            return Err(TilingError::UnknownNode { node: m });
+        }
+        if is_member[m.index()] {
+            return Err(TilingError::DuplicateMember { node: m });
+        }
+        is_member[m.index()] = true;
+    }
+
+    // Extended set: members plus boundary producers, ascending (= topological).
+    let mut in_ext = vec![false; n];
+    for &m in members {
+        in_ext[m.index()] = true;
+        for &p in graph.producers(m) {
+            in_ext[p.index()] = true;
+        }
+    }
+    let ext: Vec<NodeId> = (0..n)
+        .map(NodeId::from_index)
+        .filter(|id| in_ext[id.index()])
+        .collect();
+
+    // Member consumers of each extended node (deduplicated).
+    let mut cons_in: HashMap<NodeId, Vec<NodeId>> = HashMap::with_capacity(ext.len());
+    for &u in &ext {
+        let mut cs: Vec<NodeId> = graph
+            .consumers(u)
+            .iter()
+            .copied()
+            .filter(|c| is_member[c.index()])
+            .collect();
+        cs.sort_unstable();
+        cs.dedup();
+        cons_in.insert(u, cs);
+    }
+
+    // Stages 1-2: backward pass in reverse topological order.
+    let mut schemes: HashMap<NodeId, NodeScheme> = HashMap::with_capacity(ext.len());
+    let mut exact = true;
+    for &u in ext.iter().rev() {
+        let shape = graph.node(u).out_shape();
+        let extent = Dims2::new(shape.h, shape.w);
+        let consumers = &cons_in[&u];
+        let (delta, tile) = if consumers.is_empty() {
+            let t = mapper.output_tile(shape);
+            (t, t)
+        } else {
+            // Accumulate the unclamped LCM requirement per dimension; a
+            // `Full` consumption edge demands the whole extent.
+            let mut d = (1u64, 1u64);
+            let mut full_edge = (false, false);
+            for &v in consumers {
+                let (rh, rw) = dim_reqs(graph.edge_req(u, v));
+                let vs = schemes[&v];
+                match rh {
+                    DimReq::Full => full_edge.0 = true,
+                    DimReq::Sliding { s, .. } => {
+                        d.0 = lcm(d.0, u64::from(vs.delta.h).saturating_mul(u64::from(s)));
+                    }
+                }
+                match rw {
+                    DimReq::Full => full_edge.1 = true,
+                    DimReq::Sliding { s, .. } => {
+                        d.1 = lcm(d.1, u64::from(vs.delta.w).saturating_mul(u64::from(s)));
+                    }
+                }
+            }
+            // Truncation (LCM overshooting the tensor) and full-consumption
+            // edges break the exact `upd_num` relation (paper footnote on
+            // the co-prime solution); natural Δ = extent does not.
+            if d.0 > u64::from(extent.h) || d.1 > u64::from(extent.w) {
+                exact = false;
+            }
+            if full_edge.0 || full_edge.1 {
+                exact = false;
+            }
+            let dh = if full_edge.0 {
+                extent.h
+            } else {
+                d.0.min(u64::from(extent.h)) as u32
+            };
+            let dw = if full_edge.1 {
+                extent.w
+            } else {
+                d.1.min(u64::from(extent.w)) as u32
+            };
+            let d = Dims2::new(dh.max(1), dw.max(1));
+            let mut t = d;
+            for &v in consumers {
+                let (rh, rw) = dim_reqs(graph.edge_req(u, v));
+                match rh {
+                    DimReq::Full => t.h = extent.h,
+                    DimReq::Sliding { f, s } => {
+                        // χ = f_v(Δ(u)/s) = F + (Δ(u)/s − 1)·s = F − s + Δ(u)
+                        let chi = f.saturating_sub(s).saturating_add(d.h);
+                        t.h = t.h.max(chi.min(extent.h));
+                    }
+                }
+                match rw {
+                    DimReq::Full => t.w = extent.w,
+                    DimReq::Sliding { f, s } => {
+                        let chi = f.saturating_sub(s).saturating_add(d.w);
+                        t.w = t.w.max(chi.min(extent.w));
+                    }
+                }
+            }
+            (d, t)
+        };
+        // Reaching the tensor extent means "fully buffered" in that dim.
+        let full_h = delta.h >= extent.h;
+        let full_w = delta.w >= extent.w;
+        let delta = Dims2::new(delta.h.min(extent.h), delta.w.min(extent.w));
+        let tile = Dims2::new(tile.h.min(extent.h).max(delta.h), tile.w.min(extent.w).max(delta.w));
+        schemes.insert(
+            u,
+            NodeScheme {
+                delta,
+                tile,
+                upd_num: Dims2::new(1, 1),
+                full_h,
+                full_w,
+                boundary_input: !is_member[u.index()],
+                interior_consumed: !consumers.is_empty(),
+            },
+        );
+    }
+
+    // Stage 3: co-prime upd_num per dimension via rational propagation.
+    let strict = exact;
+    for dim in [Dim::H, Dim::W] {
+        match solve_upd(graph, &ext, &cons_in, &schemes, dim, strict) {
+            Ok(upd) => {
+                for (&id, value) in &upd {
+                    let s = schemes.get_mut(&id).expect("scheme exists");
+                    match dim {
+                        Dim::H => s.upd_num.h = *value,
+                        Dim::W => s.upd_num.w = *value,
+                    }
+                }
+            }
+            Err(e) => {
+                if strict {
+                    return Err(e);
+                }
+                exact = false;
+            }
+        }
+    }
+
+    Ok(ExecutionScheme::new(
+        schemes.into_iter().collect(),
+        exact,
+    ))
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Dim {
+    H,
+    W,
+}
+
+impl Dim {
+    fn delta(self, s: &NodeScheme) -> u32 {
+        match self {
+            Dim::H => s.delta.h,
+            Dim::W => s.delta.w,
+        }
+    }
+
+    fn full(self, s: &NodeScheme) -> bool {
+        match self {
+            Dim::H => s.full_h,
+            Dim::W => s.full_w,
+        }
+    }
+
+    fn stride(self, req: EdgeReq) -> Option<u32> {
+        match req {
+            EdgeReq::Full => None,
+            EdgeReq::Sliding(k) => Some(match self {
+                Dim::H => k.stride.h,
+                Dim::W => k.stride.w,
+            }),
+        }
+    }
+}
+
+/// Solves `upd(u)·Δ(u) = upd(v)·Δ(v)·s(v)` for every internal edge `u → v`
+/// of one dimension, returning the unique co-prime positive solution.
+fn solve_upd(
+    graph: &Graph,
+    ext: &[NodeId],
+    cons_in: &HashMap<NodeId, Vec<NodeId>>,
+    schemes: &HashMap<NodeId, NodeScheme>,
+    dim: Dim,
+    strict: bool,
+) -> Result<HashMap<NodeId, u32>, TilingError> {
+    // rate(u) = upd(u)·Δ(u), determined up to one scalar per weakly
+    // connected component. Edges touching fully-buffered nodes are skipped
+    // (their update pattern is "once per elementary op").
+    let mut rate: HashMap<NodeId, Ratio> = HashMap::with_capacity(ext.len());
+    for &start in ext {
+        if rate.contains_key(&start) {
+            continue;
+        }
+        rate.insert(start, Ratio::from_int(1));
+        let mut stack = vec![start];
+        while let Some(u) = stack.pop() {
+            let ru = rate[&u];
+            // Forward edges u -> v (v consumes u): rate(v) = rate(u) / s(v).
+            for &v in &cons_in[&u] {
+                if dim.full(&schemes[&u]) || dim.full(&schemes[&v]) {
+                    continue;
+                }
+                let Some(s) = dim.stride(graph.edge_req(u, v)) else {
+                    continue;
+                };
+                let rv = ru.div_int(u64::from(s.max(1)));
+                match rate.get(&v) {
+                    None => {
+                        rate.insert(v, rv);
+                        stack.push(v);
+                    }
+                    Some(existing) if *existing != rv
+                        && strict => {
+                            return Err(TilingError::InconsistentRates { node: v });
+                        }
+                    _ => {}
+                }
+            }
+            // Backward edges p -> u (u consumes p): rate(p) = rate(u) · s(u-edge).
+            for &p in graph.producers(u) {
+                let Some(ps) = schemes.get(&p) else { continue };
+                if dim.full(ps) || dim.full(&schemes[&u]) {
+                    continue;
+                }
+                let Some(s) = dim.stride(graph.edge_req(p, u)) else {
+                    continue;
+                };
+                let rp = ru.mul_int(u64::from(s.max(1)));
+                match rate.get(&p) {
+                    None => {
+                        rate.insert(p, rp);
+                        stack.push(p);
+                    }
+                    Some(existing) if *existing != rp
+                        && strict => {
+                            return Err(TilingError::InconsistentRates { node: p });
+                        }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // upd(u) = rate(u) / Δ(u); scale to the least common integer solution.
+    let mut upd_ratio: Vec<(NodeId, Ratio)> = Vec::with_capacity(ext.len());
+    let mut scale = 1u64;
+    for &u in ext {
+        let s = &schemes[&u];
+        if dim.full(s) {
+            upd_ratio.push((u, Ratio::from_int(1)));
+            continue;
+        }
+        let r = rate[&u].div_int(u64::from(dim.delta(s).max(1)));
+        scale = lcm(scale, r.den);
+        upd_ratio.push((u, r));
+    }
+    let mut upd: HashMap<NodeId, u32> = HashMap::with_capacity(ext.len());
+    let mut all_gcd = 0u64;
+    for (u, r) in &upd_ratio {
+        let v = r.num.saturating_mul(scale / r.den);
+        all_gcd = gcd(all_gcd, v);
+        upd.insert(*u, v as u32);
+    }
+    let g = all_gcd.max(1);
+    for v in upd.values_mut() {
+        *v = ((u64::from(*v)) / g).max(1) as u32;
+    }
+    Ok(upd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::MapperPolicy;
+    use cocco_graph::{GraphBuilder, Kernel, TensorShape};
+
+    /// The Figure 5 example of the paper as a 1-D problem (height carries
+    /// the example; width is a single column).
+    ///
+    /// Paper wiring: inputs (-2) and (-1); node(0) consumes (-2) with
+    /// F=3,s=2; node(1) consumes *both* (-2) and (-1) with F=3,s=1;
+    /// node(2) consumes (-1) with F=1,s=1. Convolutions here take a single
+    /// producer, so node(1) is expressed as two parallel F=3,s=1 convs
+    /// (`n1a` from (-2), `n1b` from (-1)) joined by a point-wise eltwise —
+    /// consumption-wise identical to the paper's two-input node(1).
+    fn figure5_graph() -> (cocco_graph::Graph, Vec<NodeId>) {
+        let conv1d = |f: u32, s: u32, p: u32| cocco_graph::LayerOp::Conv {
+            kernel: Kernel::new(Dims2::new(f, 1), Dims2::new(s, 1), Dims2::new(p, 0)),
+            c_out: 1,
+        };
+        let mut b = GraphBuilder::new("fig5");
+        let in2 = b.input(TensorShape::new(64, 1, 1)); // node(-2)
+        let in1 = b.input(TensorShape::new(64, 1, 1)); // node(-1)
+        let _n0 = b.add("n0", conv1d(3, 2, 1), &[in2]).unwrap();
+        let n1a = b.add("n1a", conv1d(3, 1, 1), &[in2]).unwrap();
+        let n1b = b.add("n1b", conv1d(3, 1, 1), &[in1]).unwrap();
+        let _n1 = b.eltwise("n1", &[n1a, n1b]).unwrap();
+        let _n2 = b.add("n2", conv1d(1, 1, 0), &[in1]).unwrap();
+        let g = b.finish().unwrap();
+        let members = g.node_ids().collect();
+        (g, members)
+    }
+
+    #[test]
+    fn figure5_quantities() {
+        let (g, members) = figure5_graph();
+        let mapper = Mapper::new(MapperPolicy::Tile { rows: 2, cols: 1 });
+        let scheme = derive_scheme(&g, &members, &mapper).unwrap();
+        assert!(scheme.exact_upd());
+        let by_name = |name: &str| {
+            let id = g.iter().find(|(_, n)| n.name() == name).unwrap().0;
+            *scheme.get(id).unwrap()
+        };
+        // Output nodes: Δ = x = 2 (stage 1).
+        for out in ["n0", "n1", "n2"] {
+            let s = by_name(out);
+            assert_eq!(s.delta.h, 2, "{out}");
+            assert_eq!(s.tile.h, 2, "{out}");
+        }
+        // The halves of node(1) inherit its published Δ(1) = x(1) = 2.
+        for half in ["n1a", "n1b"] {
+            let s = by_name(half);
+            assert_eq!(s.delta.h, 2, "{half}");
+            assert_eq!(s.tile.h, 2, "{half}");
+        }
+        // Node(-2): Δ = lcm{Δ(0)s(0), Δ(1)s(1)} = lcm{4, 2} = 4;
+        //           x = max{f0(2)=5, f1(4)=6} = 6.
+        let in2 = by_name("input");
+        assert_eq!(in2.delta.h, 4);
+        assert_eq!(in2.tile.h, 6);
+        // Node(-1): Δ = lcm{Δ(1)s(1), Δ(2)s(2)} = 2;
+        //           x = max{f1(2)=4, f2(2)=2} = 4.
+        let in1 = by_name("input1");
+        assert_eq!(in1.delta.h, 2);
+        assert_eq!(in1.tile.h, 4);
+        // upd_num: the unique co-prime solution {1, 2, 1, 2, 2} of the
+        // paper — node(-2) and node(0) update once per elementary
+        // operation, all other nodes twice.
+        assert_eq!(in2.upd_num.h, 1);
+        assert_eq!(by_name("n0").upd_num.h, 1);
+        assert_eq!(in1.upd_num.h, 2);
+        assert_eq!(by_name("n1a").upd_num.h, 2);
+        assert_eq!(by_name("n1b").upd_num.h, 2);
+        assert_eq!(by_name("n1").upd_num.h, 2);
+        assert_eq!(by_name("n2").upd_num.h, 2);
+    }
+
+    #[test]
+    fn chain_tiles_grow_backward() {
+        let g = cocco_graph::models::chain(4);
+        let members: Vec<_> = g.node_ids().collect();
+        let mapper = Mapper::new(MapperPolicy::FullWidthRows { rows: 1 });
+        let scheme = derive_scheme(&g, &members, &mapper).unwrap();
+        // With 3x3/1 convs each producer needs F−s+Δ = 2+Δ... but Δ stays 1,
+        // so x grows by exactly 2 per backward step until clamped.
+        let tiles: Vec<u32> = g
+            .node_ids()
+            .map(|id| scheme.get(id).unwrap().tile.h)
+            .collect();
+        assert_eq!(tiles, vec![3, 3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn boundary_producers_are_covered() {
+        let g = cocco_graph::models::chain(4);
+        // Members: only the last two convs; producer c1 is a boundary input.
+        let ids: Vec<_> = g.node_ids().collect();
+        let members = vec![ids[3], ids[4]];
+        let scheme = derive_scheme(&g, &members, &Mapper::default()).unwrap();
+        assert_eq!(scheme.len(), 3);
+        let boundary = scheme.get(ids[2]).unwrap();
+        assert!(boundary.boundary_input);
+        assert!(boundary.interior_consumed);
+        assert!(!scheme.get(ids[4]).unwrap().interior_consumed);
+    }
+
+    #[test]
+    fn global_pool_forces_full_buffering() {
+        let mut b = GraphBuilder::new("gp");
+        let i = b.input(TensorShape::new(16, 16, 4));
+        let c = b.conv("c", i, 4, Kernel::square_same(3, 1)).unwrap();
+        let gp = b.global_pool("gp", c).unwrap();
+        let _ = gp;
+        let g = b.finish().unwrap();
+        let members: Vec<_> = g.node_ids().collect();
+        let scheme = derive_scheme(&g, &members, &Mapper::default()).unwrap();
+        let c_id = g.iter().find(|(_, n)| n.name() == "c").unwrap().0;
+        let s = scheme.get(c_id).unwrap();
+        assert!(s.full_h && s.full_w);
+        assert_eq!(s.tile, Dims2::new(16, 16));
+        assert!(!scheme.exact_upd());
+    }
+
+    #[test]
+    fn stride_two_doubles_producer_delta() {
+        let mut b = GraphBuilder::new("s2");
+        let i = b.input(TensorShape::new(32, 32, 4));
+        let c = b.conv("c", i, 4, Kernel::square_same(3, 2)).unwrap();
+        let _ = c;
+        let g = b.finish().unwrap();
+        let members: Vec<_> = g.node_ids().collect();
+        let mapper = Mapper::new(MapperPolicy::Tile { rows: 2, cols: 4 });
+        let scheme = derive_scheme(&g, &members, &mapper).unwrap();
+        let input = scheme.get(g.input_ids()[0]).unwrap();
+        assert_eq!(input.delta.h, 4); // 2 rows out × stride 2
+        assert_eq!(input.tile.h, 5); // F − s + Δ = 3 − 2 + 4
+        assert_eq!(input.tile.w, 9); // 3 − 2 + 8
+    }
+
+    #[test]
+    fn empty_members_rejected() {
+        let g = cocco_graph::models::chain(2);
+        assert_eq!(
+            derive_scheme(&g, &[], &Mapper::default()),
+            Err(TilingError::EmptySubgraph)
+        );
+    }
+
+    #[test]
+    fn duplicate_members_rejected() {
+        let g = cocco_graph::models::chain(2);
+        let id = g.node_ids().next().unwrap();
+        assert_eq!(
+            derive_scheme(&g, &[id, id], &Mapper::default()),
+            Err(TilingError::DuplicateMember { node: id })
+        );
+    }
+
+    #[test]
+    fn unknown_member_rejected() {
+        let g = cocco_graph::models::chain(2);
+        let bogus = NodeId::from_index(99);
+        assert_eq!(
+            derive_scheme(&g, &[bogus], &Mapper::default()),
+            Err(TilingError::UnknownNode { node: bogus })
+        );
+    }
+
+    #[test]
+    fn tile_minus_delta_equals_max_kernel_overlap() {
+        // The invariant behind the SIDE region sizing: x − Δ = max(F − s)
+        // over consumers (pre-clamping).
+        let g = cocco_graph::models::googlenet();
+        let members: Vec<_> = g.node_ids().collect();
+        let scheme = derive_scheme(&g, &members, &Mapper::default()).unwrap();
+        for (id, s) in scheme.iter() {
+            if s.full_h || !s.interior_consumed {
+                continue;
+            }
+            let max_overlap = g
+                .consumers(id)
+                .iter()
+                .filter_map(|&v| match g.edge_req(id, v) {
+                    EdgeReq::Sliding(k) => Some(k.size.h.saturating_sub(k.stride.h)),
+                    EdgeReq::Full => None,
+                })
+                .max()
+                .unwrap_or(0);
+            assert!(
+                s.overlap_rows() <= max_overlap,
+                "node {id}: overlap {} > max F−s {max_overlap}",
+                s.overlap_rows()
+            );
+        }
+    }
+
+    #[test]
+    fn elementary_ops_cover_tensor() {
+        let g = cocco_graph::models::chain(3);
+        let members: Vec<_> = g.node_ids().collect();
+        let mapper = Mapper::new(MapperPolicy::FullWidthRows { rows: 4 });
+        let scheme = derive_scheme(&g, &members, &mapper).unwrap();
+        let ops = scheme.elementary_ops(&g);
+        assert_eq!(ops.h, 8); // 32 rows / 4 per op
+        assert_eq!(ops.w, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Stage-1 single-layer mapper: picks the output-node tiles.
+
+use cocco_graph::{Dims2, TensorShape};
+use serde::{Deserialize, Serialize};
+
+/// Policy used by the [`Mapper`] to pick output tiles (paper §3.1 stage 1).
+///
+/// The paper notes that tiles are sized for computation utilization but tend
+/// to be small so larger subgraphs fit; the policy makes that trade-off
+/// explicit and configurable.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MapperPolicy {
+    /// Tiles of up to `rows × cols` output elements (clamped to the tensor).
+    Tile {
+        /// Tile height in output rows.
+        rows: u32,
+        /// Tile width in output columns.
+        cols: u32,
+    },
+    /// Row tiles spanning the full tensor width (line-buffer style; SIDE
+    /// regions vanish because the tile already covers every column).
+    FullWidthRows {
+        /// Tile height in output rows.
+        rows: u32,
+    },
+    /// Buffer whole tensors (degenerates to layer-by-layer execution).
+    FullTensor,
+}
+
+/// Stage-1 mapper assigning tiles to subgraph output nodes.
+///
+/// # Examples
+///
+/// ```
+/// use cocco_tiling::{Mapper, MapperPolicy};
+/// use cocco_graph::{Dims2, TensorShape};
+///
+/// let m = Mapper::new(MapperPolicy::Tile { rows: 2, cols: 16 });
+/// assert_eq!(m.output_tile(TensorShape::new(56, 56, 64)), Dims2::new(2, 16));
+/// // Clamped to the tensor extent:
+/// assert_eq!(m.output_tile(TensorShape::new(1, 8, 64)), Dims2::new(1, 8));
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mapper {
+    policy: MapperPolicy,
+}
+
+impl Mapper {
+    /// Creates a mapper with the given policy.
+    pub fn new(policy: MapperPolicy) -> Self {
+        Self { policy }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> MapperPolicy {
+        self.policy
+    }
+
+    /// Picks the `Δ = x` tile of a subgraph output node with shape `shape`.
+    pub fn output_tile(&self, shape: TensorShape) -> Dims2 {
+        let (rows, cols) = match self.policy {
+            MapperPolicy::Tile { rows, cols } => (rows, cols),
+            MapperPolicy::FullWidthRows { rows } => (rows, u32::MAX),
+            MapperPolicy::FullTensor => (u32::MAX, u32::MAX),
+        };
+        Dims2 {
+            h: rows.max(1).min(shape.h),
+            w: cols.max(1).min(shape.w),
+        }
+    }
+}
+
+impl Default for Mapper {
+    /// The default mirrors the paper's NPU: small 2-row tiles over a
+    /// 16-column window, keeping the 4×4 PE array busy while leaving room
+    /// for large subgraphs.
+    fn default() -> Self {
+        Self::new(MapperPolicy::Tile { rows: 2, cols: 16 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_width_rows() {
+        let m = Mapper::new(MapperPolicy::FullWidthRows { rows: 1 });
+        assert_eq!(
+            m.output_tile(TensorShape::new(56, 56, 3)),
+            Dims2::new(1, 56)
+        );
+    }
+
+    #[test]
+    fn full_tensor() {
+        let m = Mapper::new(MapperPolicy::FullTensor);
+        assert_eq!(
+            m.output_tile(TensorShape::new(7, 9, 3)),
+            Dims2::new(7, 9)
+        );
+    }
+
+    #[test]
+    fn zero_rows_clamped_to_one() {
+        let m = Mapper::new(MapperPolicy::Tile { rows: 0, cols: 0 });
+        assert_eq!(
+            m.output_tile(TensorShape::new(8, 8, 3)),
+            Dims2::new(1, 1)
+        );
+    }
+
+    #[test]
+    fn default_policy_is_small_tile() {
+        assert_eq!(
+            Mapper::default().policy(),
+            MapperPolicy::Tile { rows: 2, cols: 16 }
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build a small CNN, co-explore its memory configuration and
+//! print the recommended design.
+//!
+//! Run with: `cargo run --release -p cocco --example quickstart`
+
+use cocco::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe a model with the graph builder (or use
+    //    `cocco::graph::models::*` for the paper's workloads).
+    let mut b = GraphBuilder::new("tiny-cnn");
+    let input = b.input(TensorShape::new(64, 64, 3));
+    let c1 = b.conv("c1", input, 32, Kernel::square_same(3, 1))?;
+    let c2 = b.conv("c2", c1, 32, Kernel::square_same(3, 1))?;
+    let skip = b.conv("skip", c1, 32, Kernel::pointwise())?;
+    let add = b.eltwise("add", &[c2, skip])?;
+    let down = b.conv("down", add, 64, Kernel::square_same(3, 2))?;
+    let gap = b.global_pool("gap", down)?;
+    b.fc("classifier", gap, 10)?;
+    let model = b.finish()?;
+    println!("model: {model}");
+
+    // 2. Co-explore buffer capacity and graph partition (paper Formula 2).
+    let result = Cocco::new()
+        .with_space(BufferSpace::paper_shared())
+        .with_objective(Objective::paper_energy_capacity())
+        .with_budget(5_000)
+        .with_seed(42)
+        .explore(&model)?;
+
+    // 3. Inspect the recommendation.
+    println!(
+        "recommended shared buffer: {} KB",
+        result.genome.buffer.total_bytes() >> 10
+    );
+    println!(
+        "subgraphs: {} | EMA: {:.1} KB | energy: {:.4} mJ | latency: {:.3} ms",
+        result.genome.partition.num_subgraphs(),
+        result.report.ema_bytes as f64 / 1024.0,
+        result.report.energy_mj(),
+        result.report.latency_ms(1.0),
+    );
+    for (i, members) in result.genome.partition.subgraphs().iter().enumerate() {
+        let names: Vec<&str> = members.iter().map(|&m| model.node(m).name()).collect();
+        println!("  subgraph {i}: {}", names.join(", "));
+    }
+    Ok(())
+}

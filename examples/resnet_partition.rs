@@ -1,0 +1,57 @@
+//! Graph-partition comparison on ResNet-50: layer-by-layer execution vs the
+//! Halide-style greedy baseline, the Irregular-NN DP baseline and Cocco's
+//! GA — the workload the paper's introduction motivates (reducing external
+//! memory access through inter-layer reuse).
+//!
+//! Run with: `cargo run --release -p cocco --example resnet_partition`
+
+use cocco::prelude::*;
+
+fn main() {
+    let model = cocco::graph::models::resnet50();
+    let accel = AcceleratorConfig::default();
+    let evaluator = Evaluator::new(&model, accel);
+    // The paper's single-core platform: 1 MB global + 1.125 MB weight buffer.
+    let buffer = BufferConfig::separate(1 << 20, 1152 << 10);
+
+    println!("{model}");
+    println!("platform: 2 TOPS, 1 MB GLB + 1.125 MB WGT, 16 GB/s DRAM\n");
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>10}",
+        "method", "subgraphs", "EMA (MB)", "avgBW (GB/s)", "samples"
+    );
+
+    let report_row = |name: &str, partition: &Partition, samples: u64| {
+        let report = evaluator
+            .eval_partition(&partition.subgraphs(), &buffer, EvalOptions::default())
+            .expect("evaluation");
+        println!(
+            "{:<22} {:>10} {:>12.2} {:>12.2} {:>10}",
+            name,
+            partition.num_subgraphs(),
+            report.ema_bytes as f64 / (1 << 20) as f64,
+            report.avg_bw_gbps,
+            samples
+        );
+    };
+
+    // Baseline: one layer per subgraph.
+    report_row("layer-by-layer", &Partition::singletons(model.len()), 0);
+
+    // Deterministic baselines.
+    let ctx = SearchContext::new(
+        &model,
+        &evaluator,
+        BufferSpace::fixed(buffer),
+        Objective::partition_only(CostMetric::Ema),
+        20_000,
+    );
+    let greedy = GreedyFusion::default().run(&ctx);
+    report_row("Halide (greedy)", &greedy.best.unwrap().partition, 0);
+    let dp = DepthDp::default().run(&ctx);
+    report_row("Irregular-NN (DP)", &dp.best.unwrap().partition, 0);
+
+    // Cocco's genetic search.
+    let ga = CoccoGa::default().with_seed(0xC0CC0).run(&ctx);
+    report_row("Cocco (GA)", &ga.best.unwrap().partition, ga.samples);
+}

@@ -1,0 +1,1 @@
+//! Integration test crate for the Cocco workspace (tests live in `tests/tests/`).

@@ -1,0 +1,85 @@
+//! Reproducibility: fixed seeds reproduce results end-to-end, including
+//! under parallel fitness evaluation.
+
+use cocco::prelude::*;
+
+#[test]
+fn ga_parallel_equals_sequential() {
+    let g = cocco::graph::models::googlenet();
+    let eval = Evaluator::new(&g, AcceleratorConfig::default());
+    let run = |parallel: bool| {
+        let ctx = SearchContext::new(
+            &g,
+            &eval,
+            BufferSpace::paper_shared(),
+            Objective::paper_energy_capacity(),
+            1_200,
+        );
+        let ga = CoccoGa::default().with_population(40).with_seed(11);
+        let ga = if parallel { ga } else { ga.sequential() };
+        let out = ga.run(&ctx);
+        (out.best_cost, out.best.map(|g| g.buffer))
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn model_zoo_is_deterministic() {
+    for name in cocco::graph::models::PAPER_MODELS {
+        let a = cocco::graph::models::by_name(name).unwrap();
+        let b = cocco::graph::models::by_name(name).unwrap();
+        assert_eq!(a.len(), b.len(), "{name}");
+        assert_eq!(a.total_macs(), b.total_macs(), "{name}");
+        assert_eq!(a.total_weight_elements(), b.total_weight_elements(), "{name}");
+    }
+}
+
+#[test]
+fn sa_and_twostep_reproduce() {
+    let g = cocco::graph::models::diamond();
+    let eval = Evaluator::new(&g, AcceleratorConfig::default());
+    let sa = |seed| {
+        let ctx = SearchContext::new(
+            &g,
+            &eval,
+            BufferSpace::paper_shared(),
+            Objective::paper_energy_capacity(),
+            400,
+        );
+        SimulatedAnnealing::default().with_seed(seed).run(&ctx).best_cost
+    };
+    assert_eq!(sa(3), sa(3));
+    let ts = |seed| {
+        let ctx = SearchContext::new(
+            &g,
+            &eval,
+            BufferSpace::paper_shared(),
+            Objective::paper_energy_capacity(),
+            400,
+        );
+        TwoStep::random()
+            .with_per_candidate(100)
+            .with_seed(seed)
+            .run(&ctx)
+            .best_cost
+    };
+    assert_eq!(ts(4), ts(4));
+}
+
+#[test]
+fn evaluator_results_are_pure() {
+    let g = cocco::graph::models::resnet50();
+    let e1 = Evaluator::new(&g, AcceleratorConfig::default());
+    let e2 = Evaluator::new(&g, AcceleratorConfig::default());
+    let p = Partition::connected_groups(&g, 3);
+    let buffer = BufferConfig::shared(2 << 20);
+    let r1 = e1
+        .eval_partition(&p.subgraphs(), &buffer, EvalOptions::default())
+        .unwrap();
+    let r2 = e2
+        .eval_partition(&p.subgraphs(), &buffer, EvalOptions::default())
+        .unwrap();
+    assert_eq!(r1.ema_bytes, r2.ema_bytes);
+    assert_eq!(r1.energy_pj, r2.energy_pj);
+    assert_eq!(r1.latency_cycles, r2.latency_cycles);
+}

@@ -1,0 +1,149 @@
+//! Property-based tests over randomly generated DAGs and partitions.
+
+use cocco::prelude::*;
+use proptest::prelude::*;
+
+/// A random shape-preserving irregular DAG: every tensor is 32×32×16, so
+/// element-wise joins are legal anywhere and the generator can wire skips
+/// freely (the RandWire spirit, minus channel bookkeeping).
+fn random_dag(ops: Vec<(u8, usize, usize)>) -> cocco::graph::Graph {
+    let mut b = GraphBuilder::new("prop");
+    let mut nodes = vec![b.input(TensorShape::new(32, 32, 16))];
+    for (i, (kind, a, c)) in ops.into_iter().enumerate() {
+        let pick = |idx: usize| nodes[idx % nodes.len()];
+        let node = match kind % 4 {
+            0 => b
+                .conv(format!("c{i}"), pick(a), 16, Kernel::square_same(3, 1))
+                .unwrap(),
+            1 => b
+                .conv(format!("p{i}"), pick(a), 16, Kernel::pointwise())
+                .unwrap(),
+            2 => b
+                .pool(format!("q{i}"), pick(a), Kernel::square_same(3, 1))
+                .unwrap(),
+            _ => {
+                let x = pick(a);
+                let y = pick(c);
+                if x == y {
+                    b.conv(format!("e{i}"), x, 16, Kernel::square_same(3, 1))
+                        .unwrap()
+                } else {
+                    b.eltwise(format!("e{i}"), &[x, y]).unwrap()
+                }
+            }
+        };
+        nodes.push(node);
+    }
+    b.finish().unwrap()
+}
+
+fn dag_strategy() -> impl Strategy<Value = cocco::graph::Graph> {
+    proptest::collection::vec((any::<u8>(), 0usize..64, 0usize..64), 3..24).prop_map(random_dag)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Repair always produces a valid partition from arbitrary assignments.
+    #[test]
+    fn repair_always_valid(graph in dag_strategy(), ids in proptest::collection::vec(0u32..8, 64)) {
+        let assignment: Vec<u32> = (0..graph.len()).map(|i| ids[i % ids.len()]).collect();
+        let repaired = repair(&graph, Partition::from_assignment(assignment), &|m| m.len() <= 6);
+        prop_assert!(repaired.validate(&graph).is_ok());
+        prop_assert!(repaired.subgraphs().iter().all(|m| m.len() <= 6));
+    }
+
+    /// Canonicalization is idempotent.
+    #[test]
+    fn canonicalize_idempotent(graph in dag_strategy(), ids in proptest::collection::vec(0u32..8, 64)) {
+        let assignment: Vec<u32> = (0..graph.len()).map(|i| ids[i % ids.len()]).collect();
+        let mut p = repair(&graph, Partition::from_assignment(assignment), &|_| true);
+        let once = p.clone();
+        p.canonicalize(&graph);
+        prop_assert_eq!(once, p);
+    }
+
+    /// Tiling invariants: `x ≥ Δ`, divisibility of `Δ(u)/s(v)` on exact
+    /// non-full nodes, and bounded overlap.
+    #[test]
+    fn tiling_invariants(graph in dag_strategy()) {
+        let members: Vec<_> = graph.node_ids().collect();
+        let scheme = derive_scheme(&graph, &members, &Mapper::default()).unwrap();
+        for (id, s) in scheme.iter() {
+            prop_assert!(s.tile.h >= s.delta.h);
+            prop_assert!(s.tile.w >= s.delta.w);
+            let shape = graph.node(id).out_shape();
+            prop_assert!(s.tile.h <= shape.h && s.tile.w <= shape.w);
+            if scheme.exact_upd() && !s.full_h {
+                for &v in graph.consumers(id) {
+                    if scheme.get(v).is_none() { continue; }
+                    if let cocco::graph::EdgeReq::Sliding(k) = graph.edge_req(id, v) {
+                        prop_assert_eq!(s.delta.h % k.stride.h.max(1), 0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Growing a subgraph never shrinks its activation footprint.
+    #[test]
+    fn footprint_monotone_on_prefixes(graph in dag_strategy()) {
+        let eval = Evaluator::new(&graph, AcceleratorConfig::default());
+        let ids: Vec<_> = graph.node_ids().collect();
+        let mut previous = 0u64;
+        for take in 1..=ids.len() {
+            let members = &ids[..take];
+            let stats = eval.subgraph_stats(members).unwrap();
+            prop_assert!(
+                stats.act_footprint_bytes >= previous,
+                "footprint shrank at {}: {} < {}", take, stats.act_footprint_bytes, previous
+            );
+            previous = stats.act_footprint_bytes;
+        }
+    }
+
+    /// EMA of any repaired partition respects the floor.
+    #[test]
+    fn ema_floor(graph in dag_strategy(), ids in proptest::collection::vec(0u32..6, 64)) {
+        let eval = Evaluator::new(&graph, AcceleratorConfig::default());
+        let assignment: Vec<u32> = (0..graph.len()).map(|i| ids[i % ids.len()]).collect();
+        let p = repair(&graph, Partition::from_assignment(assignment), &|_| true);
+        let buffer = BufferConfig::shared(64 << 20);
+        let report = eval.eval_partition(&p.subgraphs(), &buffer, EvalOptions::default()).unwrap();
+        let floor: u64 = graph.total_weight_elements()
+            + graph.input_ids().iter().map(|&i| graph.out_elements(i)).sum::<u64>()
+            + graph.output_ids().iter().map(|&o| graph.out_elements(o)).sum::<u64>();
+        prop_assert!(report.ema_bytes >= floor);
+    }
+
+    /// Subgraph statistics do not depend on member order.
+    #[test]
+    fn stats_order_independent(graph in dag_strategy(), seed in any::<u64>()) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let eval = Evaluator::new(&graph, AcceleratorConfig::default());
+        let mut members: Vec<_> = graph.node_ids().collect();
+        let a = eval.subgraph_stats(&members).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        members.shuffle(&mut rng);
+        let b = eval.subgraph_stats(&members).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The GA honours any sample budget exactly.
+    #[test]
+    fn ga_budget_exact(budget in 1u64..120) {
+        let graph = cocco::graph::models::diamond();
+        let eval = Evaluator::new(&graph, AcceleratorConfig::default());
+        let ctx = SearchContext::new(
+            &graph,
+            &eval,
+            BufferSpace::paper_shared(),
+            Objective::paper_energy_capacity(),
+            budget,
+        );
+        let out = CoccoGa::default().with_population(8).with_seed(1).sequential().run(&ctx);
+        prop_assert_eq!(out.samples, budget);
+        prop_assert_eq!(ctx.budget().used(), budget);
+    }
+}
