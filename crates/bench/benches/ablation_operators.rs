@@ -67,12 +67,7 @@ fn main() {
             }
             let mean = costs.iter().sum::<f64>() / costs.len() as f64;
             let worst = costs.iter().cloned().fold(f64::MIN, f64::max);
-            table.row(&[
-                name.to_string(),
-                label,
-                sci(mean),
-                sci(worst),
-            ]);
+            table.row(&[name.to_string(), label, sci(mean), sci(worst)]);
         }
     }
     table.emit();

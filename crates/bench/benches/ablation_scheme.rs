@@ -48,13 +48,11 @@ fn main() {
                         Dims2::new(acc.h.max(t.h), acc.w.max(t.w))
                     });
                 let report = derive_production(&model, &members, input_tile).unwrap();
-                production += report
-                    .total_buffered_with(|id| u64::from(model.node(id).out_shape().c));
+                production +=
+                    report.total_buffered_with(|id| u64::from(model.node(id).out_shape().c));
                 extra += report
                     .iter()
-                    .map(|(id, n)| {
-                        n.extra_elements() * u64::from(model.node(id).out_shape().c)
-                    })
+                    .map(|(id, n)| n.extra_elements() * u64::from(model.node(id).out_shape().c))
                     .sum::<u64>();
                 // A starved join (zero produced rows at some member) means
                 // the forward scheme is infeasible at this tile size and

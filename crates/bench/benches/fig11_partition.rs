@@ -24,7 +24,13 @@ fn main() {
     let mut table = Table::new(
         "fig11_partition",
         &[
-            "model", "method", "EMA MB", "EMA/Halide", "BW GB/s", "BW/Halide", "subgraphs",
+            "model",
+            "method",
+            "EMA MB",
+            "EMA/Halide",
+            "BW GB/s",
+            "BW/Halide",
+            "subgraphs",
         ],
     );
 
@@ -55,27 +61,25 @@ fn main() {
         let greedy = GreedyFusion::default().run(&ctx());
         let (ema0, bw0, sg0) = measure(&greedy.best.as_ref().unwrap().partition);
 
-        let mut emit = |method: &str, result: Option<(f64, f64, usize)>| {
-            match result {
-                Some((ema, bw, sg)) => table.row(&[
-                    name.to_string(),
-                    method.to_string(),
-                    format!("{ema:.2}"),
-                    format!("{:.3}", ema / ema0),
-                    format!("{bw:.2}"),
-                    format!("{:.3}", bw / bw0),
-                    sg.to_string(),
-                ]),
-                None => table.row(&[
-                    name.to_string(),
-                    method.to_string(),
-                    "DNF".into(),
-                    "-".into(),
-                    "DNF".into(),
-                    "-".into(),
-                    "-".into(),
-                ]),
-            }
+        let mut emit = |method: &str, result: Option<(f64, f64, usize)>| match result {
+            Some((ema, bw, sg)) => table.row(&[
+                name.to_string(),
+                method.to_string(),
+                format!("{ema:.2}"),
+                format!("{:.3}", ema / ema0),
+                format!("{bw:.2}"),
+                format!("{:.3}", bw / bw0),
+                sg.to_string(),
+            ]),
+            None => table.row(&[
+                name.to_string(),
+                method.to_string(),
+                "DNF".into(),
+                "-".into(),
+                "DNF".into(),
+                "-".into(),
+                "-".into(),
+            ]),
         };
         emit("Halide (greedy)", Some((ema0, bw0, sg0)));
 

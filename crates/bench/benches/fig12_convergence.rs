@@ -47,10 +47,7 @@ fn main() {
     let scale = Scale::from_env();
     let budget = scale.coopt_samples;
     println!("== Figure 12: convergence over {budget} samples ==\n");
-    let mut curves = Table::new(
-        "fig12_convergence",
-        &["model", "method", "samples", "cost"],
-    );
+    let mut curves = Table::new("fig12_convergence", &["model", "method", "samples", "cost"]);
     let mut reach = Table::new(
         "fig12d_samples_to_reach",
         &["model", "method", "samples to 1.05x Cocco"],
@@ -130,14 +127,22 @@ fn main() {
             .map(|(_, c)| *c)
             .unwrap_or(f64::INFINITY);
         let threshold = 1.05 * cocco_final;
-        println!("{name}: Cocco final cost {} (threshold {})", sci(cocco_final), sci(threshold));
+        println!(
+            "{name}: Cocco final cost {} (threshold {})",
+            sci(cocco_final),
+            sci(threshold)
+        );
         for (method, ctx) in &runs {
             for (s, c) in curve(ctx, budget, 25) {
                 curves.row(&[
                     name.to_string(),
                     method.to_string(),
                     s.to_string(),
-                    if c.is_finite() { format!("{c:.0}") } else { "inf".into() },
+                    if c.is_finite() {
+                        format!("{c:.0}")
+                    } else {
+                        "inf".into()
+                    },
                 ]);
             }
             let reached = curve(ctx, budget, 200)

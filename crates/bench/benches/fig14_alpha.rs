@@ -39,7 +39,10 @@ fn main() {
             table.row(&[
                 name.to_string(),
                 format!("{alpha:.0e}"),
-                format!("{:.3}", result.buffer.total_bytes() as f64 / (1 << 20) as f64),
+                format!(
+                    "{:.3}",
+                    result.buffer.total_bytes() as f64 / (1 << 20) as f64
+                ),
                 format!("{energy_mj:.3}"),
                 format!("{:.3}", energy_mj / base),
             ]);

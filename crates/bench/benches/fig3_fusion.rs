@@ -15,7 +15,14 @@ fn main() {
     let buffer = BufferConfig::separate(1 << 20, 1152 << 10);
     let mut table = Table::new(
         "fig3_fusion",
-        &["model", "L", "EMA MB", "EMA vs L1", "avg BW GB/s", "BW vs L1"],
+        &[
+            "model",
+            "L",
+            "EMA MB",
+            "EMA vs L1",
+            "avg BW GB/s",
+            "BW vs L1",
+        ],
     );
     for name in ["resnet50", "googlenet", "randwire-a", "nasnet"] {
         let model = cocco::graph::models::by_name(name).unwrap();

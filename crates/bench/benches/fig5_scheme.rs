@@ -35,14 +35,14 @@ fn main() {
 
     fn paper_name(name: &str) -> &str {
         match name {
-        "input" => "node(-2)",
-        "input1" => "node(-1)",
-        "n0" => "node(0)",
-        "n1a" => "node(1a)",
-        "n1b" => "node(1b)",
-        "n1" => "node(1)",
-        "n2" => "node(2)",
-        other => other,
+            "input" => "node(-2)",
+            "input1" => "node(-1)",
+            "n0" => "node(0)",
+            "n1a" => "node(1a)",
+            "n1b" => "node(1b)",
+            "n1" => "node(1)",
+            "n2" => "node(2)",
+            other => other,
         }
     }
     let mut table = Table::new("fig5_scheme", &["node", "delta", "x", "upd_num"]);

@@ -1,89 +1,121 @@
-//! Criterion micro-benchmarks of the framework's hot paths: model
-//! construction, the consumption-centric derivation, subgraph statistics
-//! (cold and cached), partition repair and full partition evaluation.
+//! Micro-benchmarks of the framework's hot paths: model construction, the
+//! consumption-centric derivation, subgraph statistics (cold and cached),
+//! partition repair and full partition evaluation.
+//!
+//! Timed with a small std-only harness (the offline toolchain has no
+//! criterion): each case is warmed up, then sampled until ~0.25 s of
+//! wall-clock or 50 samples, whichever comes first, reporting the median
+//! and minimum per-iteration time.
 //!
 //! Run with: `cargo bench -p cocco-bench --bench micro`
 
 use cocco::prelude::*;
-use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
 
-fn bench_models(c: &mut Criterion) {
-    let mut g = c.benchmark_group("models");
-    g.sample_size(10);
-    g.bench_function("build_resnet50", |b| {
-        b.iter(cocco::graph::models::resnet50)
-    });
-    g.bench_function("build_googlenet", |b| {
-        b.iter(cocco::graph::models::googlenet)
-    });
-    g.finish();
+/// Times `f`, printing `name: median (min) per iteration`.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up and batch-size calibration: aim for batches of >= 1 ms.
+    let mut batch = 1u32;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 4;
+    }
+    let budget = Duration::from_millis(250);
+    let mut samples = Vec::new();
+    let run_start = Instant::now();
+    while samples.len() < 50 && (run_start.elapsed() < budget || samples.len() < 5) {
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        samples.push(start.elapsed().as_secs_f64() / f64::from(batch));
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    println!(
+        "{name:<42} {:>12} (min {})",
+        fmt_time(median),
+        fmt_time(min)
+    );
 }
 
-fn bench_tiling(c: &mut Criterion) {
-    let model = cocco::graph::models::googlenet();
-    let members: Vec<_> = model.node_ids().collect();
-    let mapper = Mapper::default();
-    c.bench_function("tiling/derive_scheme_googlenet_whole", |b| {
-        b.iter(|| derive_scheme(&model, &members, &mapper).unwrap())
-    });
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
 }
 
-fn bench_evaluator(c: &mut Criterion) {
-    let model = cocco::graph::models::resnet50();
-    let mut g = c.benchmark_group("evaluator");
-    g.bench_function("subgraph_stats_cold", |b| {
-        // A fresh evaluator per batch so the cache never warms.
+fn main() {
+    println!("== micro-benchmarks (median per iteration) ==\n");
+
+    bench("models/build_resnet50", cocco::graph::models::resnet50);
+    bench("models/build_googlenet", cocco::graph::models::googlenet);
+
+    {
+        let model = cocco::graph::models::googlenet();
+        let members: Vec<_> = model.node_ids().collect();
+        let mapper = Mapper::default();
+        bench("tiling/derive_scheme_googlenet_whole", || {
+            derive_scheme(&model, &members, &mapper).unwrap()
+        });
+    }
+
+    {
+        let model = cocco::graph::models::resnet50();
         let members: Vec<_> = model.node_ids().take(12).collect();
-        b.iter_batched(
-            || Evaluator::new(&model, AcceleratorConfig::default()),
-            |eval| eval.subgraph_stats(&members).unwrap(),
-            criterion::BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("subgraph_stats_cached", |b| {
+        bench("evaluator/subgraph_stats_cold", || {
+            // A fresh evaluator per iteration so the cache never warms.
+            let eval = Evaluator::new(&model, AcceleratorConfig::default());
+            eval.subgraph_stats(&members).unwrap()
+        });
         let eval = Evaluator::new(&model, AcceleratorConfig::default());
-        let members: Vec<_> = model.node_ids().take(12).collect();
         eval.subgraph_stats(&members).unwrap();
-        b.iter(|| eval.subgraph_stats(&members).unwrap())
-    });
-    g.bench_function("eval_partition_depth5", |b| {
-        let eval = Evaluator::new(&model, AcceleratorConfig::default());
+        bench("evaluator/subgraph_stats_cached", || {
+            eval.subgraph_stats(&members).unwrap()
+        });
         let partition = repair(&model, Partition::depth_groups(&model, 5), &|_| true);
         let subgraphs = partition.subgraphs();
         let buffer = BufferConfig::shared(2 << 20);
-        b.iter(|| {
+        bench("evaluator/eval_partition_depth5", || {
             eval.eval_partition(&subgraphs, &buffer, EvalOptions::default())
                 .unwrap()
-        })
-    });
-    g.finish();
-}
+        });
+    }
 
-fn bench_repair(c: &mut Criterion) {
-    let model = cocco::graph::models::googlenet();
-    let mut rng = StdRng::seed_from_u64(42);
-    let assignments: Vec<Vec<u32>> = (0..32)
-        .map(|_| (0..model.len()).map(|_| rng.gen_range(0..12)).collect())
-        .collect();
-    let mut i = 0;
-    c.bench_function("repair/random_googlenet", |b| {
-        b.iter(|| {
+    {
+        let model = cocco::graph::models::googlenet();
+        let mut rng = StdRng::seed_from_u64(42);
+        let assignments: Vec<Vec<u32>> = (0..32)
+            .map(|_| (0..model.len()).map(|_| rng.gen_range(0..12)).collect())
+            .collect();
+        let mut i = 0;
+        bench("repair/random_googlenet", || {
             let a = assignments[i % assignments.len()].clone();
             i += 1;
             repair(&model, Partition::from_assignment(a), &|m| m.len() <= 16)
-        })
-    });
-}
+        });
+    }
 
-fn bench_ga_generation(c: &mut Criterion) {
-    let model = cocco::graph::models::googlenet();
-    let eval = Evaluator::new(&model, AcceleratorConfig::default());
-    let mut g = c.benchmark_group("search");
-    g.sample_size(10);
-    g.bench_function("ga_500_samples_googlenet", |b| {
-        b.iter(|| {
+    {
+        let model = cocco::graph::models::googlenet();
+        let eval = Evaluator::new(&model, AcceleratorConfig::default());
+        bench("search/ga_500_samples_googlenet", || {
             let ctx = SearchContext::new(
                 &model,
                 &eval,
@@ -95,17 +127,6 @@ fn bench_ga_generation(c: &mut Criterion) {
                 .with_population(50)
                 .with_seed(1)
                 .run(&ctx)
-        })
-    });
-    g.finish();
+        });
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_models,
-    bench_tiling,
-    bench_evaluator,
-    bench_repair,
-    bench_ga_generation
-);
-criterion_main!(benches);

@@ -52,8 +52,16 @@ fn main() {
         for (label, buffer) in fixed_separate() {
             emit("Fixed HW", label, cfg.fixed_hw(buffer));
         }
-        emit("Two-Step", "RS+GA", cfg.two_step(CapacitySampling::Random, space));
-        emit("Two-Step", "GS+GA", cfg.two_step(CapacitySampling::Grid, space));
+        emit(
+            "Two-Step",
+            "RS+GA",
+            cfg.two_step(CapacitySampling::Random, space),
+        );
+        emit(
+            "Two-Step",
+            "GS+GA",
+            cfg.two_step(CapacitySampling::Grid, space),
+        );
         emit("Co-Opt", "SA", cfg.co_opt(CoOptEngine::Sa, space));
         emit("Co-Opt", "Cocco", cfg.co_opt(CoOptEngine::Cocco, space));
     }

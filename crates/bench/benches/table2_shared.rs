@@ -6,9 +6,7 @@
 
 use cocco::prelude::*;
 use cocco_bench::harness::sci;
-use cocco_bench::methods::{
-    buffer_label, fixed_shared, CoOptEngine, ExperimentCfg, TABLE_MODELS,
-};
+use cocco_bench::methods::{buffer_label, fixed_shared, CoOptEngine, ExperimentCfg, TABLE_MODELS};
 use cocco_bench::{Scale, Table};
 
 fn main() {
@@ -49,8 +47,16 @@ fn main() {
         for (label, buffer) in fixed_shared() {
             emit("Fixed HW", label, cfg.fixed_hw(buffer));
         }
-        emit("Two-Step", "RS+GA", cfg.two_step(CapacitySampling::Random, space));
-        emit("Two-Step", "GS+GA", cfg.two_step(CapacitySampling::Grid, space));
+        emit(
+            "Two-Step",
+            "RS+GA",
+            cfg.two_step(CapacitySampling::Random, space),
+        );
+        emit(
+            "Two-Step",
+            "GS+GA",
+            cfg.two_step(CapacitySampling::Grid, space),
+        );
         emit("Co-Opt", "SA", cfg.co_opt(CoOptEngine::Sa, space));
         emit("Co-Opt", "Cocco", cfg.co_opt(CoOptEngine::Cocco, space));
     }

@@ -14,7 +14,14 @@ fn main() {
     println!("== Table 3: cores x batch (energy-capacity co-opt) ==\n");
     let mut table = Table::new(
         "table3_multicore",
-        &["model", "cores", "batch", "energy mJ", "latency ms", "size KB"],
+        &[
+            "model",
+            "cores",
+            "batch",
+            "energy mJ",
+            "latency ms",
+            "size KB",
+        ],
     );
     for name in TABLE_MODELS {
         let model = cocco::graph::models::by_name(name).unwrap();

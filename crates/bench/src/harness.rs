@@ -111,8 +111,7 @@ impl Table {
 
 /// Where CSV results are collected.
 pub fn results_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/cocco-results")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/cocco-results")
 }
 
 /// Formats a byte count as KB with the paper's convention.

@@ -33,22 +33,118 @@ pub struct NpuSurveyEntry {
 
 /// The 16 NPUs of paper Figure 2.
 pub const NPU_SURVEY: [NpuSurveyEntry; 16] = [
-    NpuSurveyEntry { name: "T4", sram_area_pct: 3.96, capacity_mb: 10.0, performance_tflops: 65.0, domain: NpuDomain::Inference },
-    NpuSurveyEntry { name: "NVDLA", sram_area_pct: 13.79, capacity_mb: 2.5, performance_tflops: 10.0, domain: NpuDomain::Inference },
-    NpuSurveyEntry { name: "TPUv4i", sram_area_pct: 14.70, capacity_mb: 144.0, performance_tflops: 138.0, domain: NpuDomain::Inference },
-    NpuSurveyEntry { name: "FSD", sram_area_pct: 20.10, capacity_mb: 64.0, performance_tflops: 36.0, domain: NpuDomain::Inference },
-    NpuSurveyEntry { name: "NNP-I", sram_area_pct: 27.46, capacity_mb: 75.0, performance_tflops: 48.0, domain: NpuDomain::Inference },
-    NpuSurveyEntry { name: "Groq", sram_area_pct: 32.39, capacity_mb: 220.0, performance_tflops: 205.0, domain: NpuDomain::Inference },
-    NpuSurveyEntry { name: "Hanguang", sram_area_pct: 36.86, capacity_mb: 394.0, performance_tflops: 256.0, domain: NpuDomain::Inference },
-    NpuSurveyEntry { name: "Ascend910", sram_area_pct: 8.60, capacity_mb: 32.0, performance_tflops: 256.0, domain: NpuDomain::Training },
-    NpuSurveyEntry { name: "TPUv2", sram_area_pct: 10.92, capacity_mb: 32.0, performance_tflops: 46.0, domain: NpuDomain::Training },
-    NpuSurveyEntry { name: "Qualcomm-100", sram_area_pct: 11.76, capacity_mb: 144.0, performance_tflops: 175.0, domain: NpuDomain::Training },
-    NpuSurveyEntry { name: "NNP-T", sram_area_pct: 18.60, capacity_mb: 60.0, performance_tflops: 108.0, domain: NpuDomain::Training },
-    NpuSurveyEntry { name: "Wormhole", sram_area_pct: 18.68, capacity_mb: 120.0, performance_tflops: 82.0, domain: NpuDomain::Training },
-    NpuSurveyEntry { name: "Grayskull", sram_area_pct: 23.22, capacity_mb: 120.0, performance_tflops: 92.0, domain: NpuDomain::Training },
-    NpuSurveyEntry { name: "Dojo", sram_area_pct: 28.01, capacity_mb: 440.0, performance_tflops: 362.0, domain: NpuDomain::Training },
-    NpuSurveyEntry { name: "IPUv2", sram_area_pct: 40.65, capacity_mb: 896.0, performance_tflops: 250.0, domain: NpuDomain::Training },
-    NpuSurveyEntry { name: "IPUv1", sram_area_pct: 78.80, capacity_mb: 304.0, performance_tflops: 125.0, domain: NpuDomain::Training },
+    NpuSurveyEntry {
+        name: "T4",
+        sram_area_pct: 3.96,
+        capacity_mb: 10.0,
+        performance_tflops: 65.0,
+        domain: NpuDomain::Inference,
+    },
+    NpuSurveyEntry {
+        name: "NVDLA",
+        sram_area_pct: 13.79,
+        capacity_mb: 2.5,
+        performance_tflops: 10.0,
+        domain: NpuDomain::Inference,
+    },
+    NpuSurveyEntry {
+        name: "TPUv4i",
+        sram_area_pct: 14.70,
+        capacity_mb: 144.0,
+        performance_tflops: 138.0,
+        domain: NpuDomain::Inference,
+    },
+    NpuSurveyEntry {
+        name: "FSD",
+        sram_area_pct: 20.10,
+        capacity_mb: 64.0,
+        performance_tflops: 36.0,
+        domain: NpuDomain::Inference,
+    },
+    NpuSurveyEntry {
+        name: "NNP-I",
+        sram_area_pct: 27.46,
+        capacity_mb: 75.0,
+        performance_tflops: 48.0,
+        domain: NpuDomain::Inference,
+    },
+    NpuSurveyEntry {
+        name: "Groq",
+        sram_area_pct: 32.39,
+        capacity_mb: 220.0,
+        performance_tflops: 205.0,
+        domain: NpuDomain::Inference,
+    },
+    NpuSurveyEntry {
+        name: "Hanguang",
+        sram_area_pct: 36.86,
+        capacity_mb: 394.0,
+        performance_tflops: 256.0,
+        domain: NpuDomain::Inference,
+    },
+    NpuSurveyEntry {
+        name: "Ascend910",
+        sram_area_pct: 8.60,
+        capacity_mb: 32.0,
+        performance_tflops: 256.0,
+        domain: NpuDomain::Training,
+    },
+    NpuSurveyEntry {
+        name: "TPUv2",
+        sram_area_pct: 10.92,
+        capacity_mb: 32.0,
+        performance_tflops: 46.0,
+        domain: NpuDomain::Training,
+    },
+    NpuSurveyEntry {
+        name: "Qualcomm-100",
+        sram_area_pct: 11.76,
+        capacity_mb: 144.0,
+        performance_tflops: 175.0,
+        domain: NpuDomain::Training,
+    },
+    NpuSurveyEntry {
+        name: "NNP-T",
+        sram_area_pct: 18.60,
+        capacity_mb: 60.0,
+        performance_tflops: 108.0,
+        domain: NpuDomain::Training,
+    },
+    NpuSurveyEntry {
+        name: "Wormhole",
+        sram_area_pct: 18.68,
+        capacity_mb: 120.0,
+        performance_tflops: 82.0,
+        domain: NpuDomain::Training,
+    },
+    NpuSurveyEntry {
+        name: "Grayskull",
+        sram_area_pct: 23.22,
+        capacity_mb: 120.0,
+        performance_tflops: 92.0,
+        domain: NpuDomain::Training,
+    },
+    NpuSurveyEntry {
+        name: "Dojo",
+        sram_area_pct: 28.01,
+        capacity_mb: 440.0,
+        performance_tflops: 362.0,
+        domain: NpuDomain::Training,
+    },
+    NpuSurveyEntry {
+        name: "IPUv2",
+        sram_area_pct: 40.65,
+        capacity_mb: 896.0,
+        performance_tflops: 250.0,
+        domain: NpuDomain::Training,
+    },
+    NpuSurveyEntry {
+        name: "IPUv1",
+        sram_area_pct: 78.80,
+        capacity_mb: 304.0,
+        performance_tflops: 125.0,
+        domain: NpuDomain::Training,
+    },
 ];
 
 /// Mean performance per MB of on-chip memory over the given entries; the
@@ -85,12 +181,24 @@ mod tests {
     fn area_ratio_range_matches_paper() {
         // "ranging from 4% to 79% of the area, with capacities from 2.5MB
         // to 896MB"
-        let min = NPU_SURVEY.iter().map(|e| e.sram_area_pct).fold(f64::MAX, f64::min);
-        let max = NPU_SURVEY.iter().map(|e| e.sram_area_pct).fold(f64::MIN, f64::max);
+        let min = NPU_SURVEY
+            .iter()
+            .map(|e| e.sram_area_pct)
+            .fold(f64::MAX, f64::min);
+        let max = NPU_SURVEY
+            .iter()
+            .map(|e| e.sram_area_pct)
+            .fold(f64::MIN, f64::max);
         assert!((3.9..4.1).contains(&min));
         assert!((78.7..78.9).contains(&max));
-        let cap_min = NPU_SURVEY.iter().map(|e| e.capacity_mb).fold(f64::MAX, f64::min);
-        let cap_max = NPU_SURVEY.iter().map(|e| e.capacity_mb).fold(f64::MIN, f64::max);
+        let cap_min = NPU_SURVEY
+            .iter()
+            .map(|e| e.capacity_mb)
+            .fold(f64::MAX, f64::min);
+        let cap_max = NPU_SURVEY
+            .iter()
+            .map(|e| e.capacity_mb)
+            .fold(f64::MIN, f64::max);
         assert_eq!(cap_min, 2.5);
         assert_eq!(cap_max, 896.0);
     }

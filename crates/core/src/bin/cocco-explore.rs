@@ -2,12 +2,14 @@
 //!
 //! ```console
 //! $ cocco-explore resnet50 --budget 20000 --space shared --alpha 0.002
-//! $ cocco-explore googlenet --space separate --metric ema --cores 2 --batch 8
+//! $ cocco-explore googlenet --method sa --space separate --metric ema --cores 2 --batch 8
+//! $ cocco-explore resnet50 --method greedy --json
 //! $ cocco-explore --list
 //! ```
 
 use cocco::prelude::*;
 use std::process::ExitCode;
+use std::str::FromStr;
 
 struct Args {
     model: Option<String>,
@@ -18,26 +20,36 @@ struct Args {
     seed: u64,
     cores: u32,
     batch: u32,
+    method: SearchMethod,
+    json: bool,
     list: bool,
     dot: bool,
 }
 
-fn usage() -> &'static str {
-    "usage: cocco-explore <model> [options]\n\
-     \n\
-     models: vgg16 resnet50 resnet152 googlenet transformer gpt\n\
-             randwire-a randwire-b nasnet mobilenet-v2\n\
-     \n\
-     options:\n\
-       --budget <n>       evaluation samples (default 20000)\n\
-       --space <s>        shared | separate (default shared)\n\
-       --metric <m>       energy | ema (default energy)\n\
-       --alpha <a>        Formula-2 preference factor (default 0.002)\n\
-       --seed <n>         RNG seed (default 0xC0CC0)\n\
-       --cores <n>        NPU cores (default 1)\n\
-       --batch <n>        batch size (default 1)\n\
-       --dot              print the partitioned graph in Graphviz DOT\n\
-       --list             list available models and exit"
+fn usage() -> String {
+    let models: Vec<&str> = cocco::graph::models::registry()
+        .iter()
+        .map(|(name, _)| *name)
+        .collect();
+    format!(
+        "usage: cocco-explore <model> [options]\n\
+         \n\
+         models: {}\n\
+         \n\
+         options:\n\
+           --method <m>       ga | sa | greedy | dp | exhaustive | twostep (default ga)\n\
+           --budget <n>       evaluation samples (default 20000)\n\
+           --space <s>        shared | separate (default shared)\n\
+           --metric <m>       energy | ema (default energy)\n\
+           --alpha <a>        Formula-2 preference factor (default 0.002)\n\
+           --seed <n>         RNG seed (default 0xC0CC0)\n\
+           --cores <n>        NPU cores (default 1)\n\
+           --batch <n>        batch size (default 1)\n\
+           --json             print the full exploration result as JSON\n\
+           --dot              print the partitioned graph in Graphviz DOT\n\
+           --list             list available models and exit",
+        models.join(" ")
+    )
 }
 
 fn parse(mut argv: std::env::Args) -> Result<Args, String> {
@@ -51,22 +63,29 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         seed: 0xC0CC0,
         cores: 1,
         batch: 1,
+        method: SearchMethod::default(),
+        json: false,
         list: false,
         dot: false,
     };
-    let next_value = |argv: &mut std::env::Args, flag: &str| {
-        argv.next().ok_or(format!("{flag} needs a value"))
-    };
+    let next_value =
+        |argv: &mut std::env::Args, flag: &str| argv.next().ok_or(format!("{flag} needs a value"));
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--budget" => args.budget = parse_num(&next_value(&mut argv, "--budget")?)?,
             "--seed" => args.seed = parse_num(&next_value(&mut argv, "--seed")?)?,
-            "--cores" => args.cores = parse_num(&next_value(&mut argv, "--cores")?)? as u32,
-            "--batch" => args.batch = parse_num(&next_value(&mut argv, "--batch")?)? as u32,
+            "--cores" => args.cores = parse_num(&next_value(&mut argv, "--cores")?)?,
+            "--batch" => args.batch = parse_num(&next_value(&mut argv, "--batch")?)?,
             "--alpha" => {
                 args.alpha = next_value(&mut argv, "--alpha")?
                     .parse()
                     .map_err(|e| format!("bad --alpha: {e}"))?;
+            }
+            "--method" => {
+                let key = next_value(&mut argv, "--method")?;
+                args.method = SearchMethod::parse(&key).ok_or(format!(
+                    "unknown method `{key}` (ga | sa | greedy | dp | exhaustive | twostep)"
+                ))?;
             }
             "--space" => {
                 args.space = match next_value(&mut argv, "--space")?.as_str() {
@@ -82,6 +101,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
                     other => return Err(format!("unknown metric `{other}`")),
                 };
             }
+            "--json" => args.json = true,
             "--list" => args.list = true,
             "--dot" => args.dot = true,
             "--help" | "-h" => return Err(String::new()),
@@ -91,11 +111,25 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if args.json && args.dot {
+        return Err("--json and --dot are mutually exclusive (the DOT text would corrupt the JSON document)".to_string());
+    }
     Ok(args)
 }
 
-fn parse_num(s: &str) -> Result<u64, String> {
+/// Parses into the flag's exact integer type, so out-of-range values (e.g.
+/// `--cores 5000000000`) are rejected instead of silently truncated.
+fn parse_num<T: FromStr<Err = std::num::ParseIntError>>(s: &str) -> Result<T, String> {
     s.parse().map_err(|e| format!("bad number `{s}`: {e}"))
+}
+
+/// What `--json` prints: the request coordinates plus the full result,
+/// round-trippable through `serde_json`.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct JsonReport {
+    model: String,
+    method: SearchMethod,
+    exploration: Exploration,
 }
 
 fn main() -> ExitCode {
@@ -110,10 +144,9 @@ fn main() -> ExitCode {
         }
     };
     if args.list {
-        for name in cocco::graph::models::PAPER_MODELS {
+        for (name, _) in cocco::graph::models::registry() {
             println!("{name}");
         }
-        println!("nasnet\nmobilenet-v2");
         return ExitCode::SUCCESS;
     }
     let Some(name) = args.model else {
@@ -121,11 +154,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let Some(model) = cocco::graph::models::by_name(&name) else {
-        eprintln!("error: unknown model `{name}` (try --list)");
+        eprintln!("error: {}", cocco::Error::UnknownModel { name });
         return ExitCode::FAILURE;
     };
-    println!("model: {model}");
-    let result = Cocco::new()
+    let method = args.method.with_seed(args.seed);
+    let session = Cocco::new()
         .with_space(args.space)
         .with_objective(Objective::co_exploration(args.metric, args.alpha))
         .with_options(EvalOptions {
@@ -133,15 +166,31 @@ fn main() -> ExitCode {
             batch: args.batch,
         })
         .with_budget(args.budget)
-        .with_seed(args.seed)
-        .explore(&model);
-    let result = match result {
+        .with_method(method.clone());
+    let result = match session.explore(&model) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if args.json {
+        let report = JsonReport {
+            model: model.name().to_string(),
+            method,
+            exploration: result,
+        };
+        match serde_json::to_string_pretty(&report) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("error: {}", cocco::Error::Serde(e));
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    println!("model: {model}");
+    println!("method             : {}", method.name());
     let buffer = match result.genome.buffer {
         BufferConfig::Separate { glb, wgt } => {
             format!("GLB {} KB + WGT {} KB", glb >> 10, wgt >> 10)
@@ -149,13 +198,25 @@ fn main() -> ExitCode {
         BufferConfig::Shared { total } => format!("{} KB shared", total >> 10),
     };
     println!("recommended buffer : {buffer}");
-    println!("subgraphs          : {}", result.genome.partition.num_subgraphs());
+    println!(
+        "subgraphs          : {}",
+        result.genome.partition.num_subgraphs()
+    );
     println!("cost (Formula 2)   : {:.4e}", result.cost);
-    println!("EMA                : {:.2} MB", result.report.ema_bytes as f64 / (1 << 20) as f64);
+    println!(
+        "EMA                : {:.2} MB",
+        result.report.ema_bytes as f64 / (1 << 20) as f64
+    );
     println!("energy             : {:.3} mJ", result.report.energy_mj());
-    println!("latency            : {:.3} ms", result.report.latency_ms(1.0));
+    println!(
+        "latency            : {:.3} ms",
+        result.report.latency_ms(1.0)
+    );
     println!("avg bandwidth      : {:.2} GB/s", result.report.avg_bw_gbps);
     println!("samples used       : {}", result.samples);
+    if !result.completed {
+        println!("note               : method did not complete (limits hit)");
+    }
     if args.dot {
         let partition = &result.genome.partition;
         println!(

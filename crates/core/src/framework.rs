@@ -1,40 +1,22 @@
 //! The end-to-end framework driver (paper Figure 10).
 
+use crate::error::Error;
 use cocco_graph::Graph;
 use cocco_search::{
-    BufferSpace, CoccoGa, GaConfig, Genome, Objective, SearchContext, Searcher,
+    BufferSpace, GaConfig, Objective, SearchContext, SearchMethod, Searcher, Trace,
 };
 use cocco_sim::{AcceleratorConfig, EvalOptions, Evaluator, PartitionReport};
-use std::error::Error;
-use std::fmt;
+use serde::{Deserialize, Serialize};
 
-/// Error returned by [`Cocco::explore`].
-#[derive(Clone, Debug, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum CoccoError {
-    /// No buffer configuration in the space could execute the model (some
-    /// layer exceeds every candidate capacity).
-    NoFeasibleSolution,
-    /// The final evaluation of the best genome failed (internal error).
-    Evaluation(String),
-}
-
-impl fmt::Display for CoccoError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CoccoError::NoFeasibleSolution => {
-                write!(f, "no buffer configuration in the space can execute the model")
-            }
-            CoccoError::Evaluation(e) => write!(f, "final evaluation failed: {e}"),
-        }
-    }
-}
-
-impl Error for CoccoError {}
+pub use cocco_search::Genome;
 
 /// Result of one co-exploration run: the recommended memory configuration,
-/// the graph-execution strategy (partition) and its performance evaluation.
-#[derive(Clone, Debug)]
+/// the graph-execution strategy (partition), its performance evaluation and
+/// the full evaluation trace.
+///
+/// Serializes to JSON (and back) via `serde_json`, so explorations can be
+/// archived, diffed and post-processed outside the process that ran them.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Exploration {
     /// The best genome: partition + buffer configuration.
     pub genome: Genome,
@@ -44,23 +26,41 @@ pub struct Exploration {
     pub cost: f64,
     /// Evaluations spent.
     pub samples: u64,
+    /// `false` when the method gave up before exploring its whole space
+    /// (e.g. enumeration hitting its state budget — the paper's "cannot
+    /// complete within a reasonable time").
+    pub completed: bool,
+    /// Every recorded evaluation, for convergence (Fig. 12) and
+    /// distribution (Fig. 13) studies.
+    pub trace: Trace,
 }
 
-/// High-level driver: model + hardware description + memory design space in,
-/// recommended configuration + schedule + evaluation out.
+/// High-level driver: model + hardware description + memory design space +
+/// search method in, recommended configuration + schedule + evaluation out.
 ///
-/// Wraps [`Evaluator`], [`SearchContext`] and [`CoccoGa`]; drop down to
-/// those types for baselines, traces or custom budgets.
+/// Any search method of the registry runs through the same [`Searcher`]
+/// path ([`with_method`](Cocco::with_method)); the defaults reproduce the
+/// paper's headline setup (genetic co-exploration, shared-buffer space,
+/// energy-capacity objective). Drop down to [`SearchContext`] and the
+/// individual searchers for custom experiment harnesses.
 ///
 /// # Examples
 ///
 /// ```
 /// use cocco::prelude::*;
 ///
-/// # fn main() -> Result<(), cocco::CoccoError> {
+/// # fn main() -> Result<(), cocco::Error> {
 /// let model = cocco::graph::models::chain(4);
+/// // Default method: the paper's genetic co-exploration.
 /// let result = Cocco::new().with_budget(500).explore(&model)?;
 /// assert!(result.genome.partition.validate(&model).is_ok());
+///
+/// // Any registered method runs through the same path.
+/// let sa = Cocco::new()
+///     .with_method(SearchMethod::sa())
+///     .with_budget(500)
+///     .explore(&model)?;
+/// assert!(sa.cost.is_finite());
 /// # Ok(())
 /// # }
 /// ```
@@ -71,13 +71,15 @@ pub struct Cocco {
     objective: Objective,
     options: EvalOptions,
     budget: u64,
-    ga: GaConfig,
+    method: SearchMethod,
+    seed: Option<u64>,
 }
 
 impl Cocco {
     /// Creates a driver with the paper's defaults: the 2 TOPS SIMBA-like
     /// core, the shared-buffer space, the energy-capacity objective
-    /// (α = 0.002) and a 50 000-sample budget.
+    /// (α = 0.002), a 50 000-sample budget and the genetic co-exploration
+    /// engine.
     pub fn new() -> Self {
         Self {
             accel: AcceleratorConfig::default(),
@@ -85,7 +87,8 @@ impl Cocco {
             objective: Objective::paper_energy_capacity(),
             options: EvalOptions::default(),
             budget: 50_000,
-            ga: GaConfig::default(),
+            method: SearchMethod::default(),
+            seed: None,
         }
     }
 
@@ -119,15 +122,32 @@ impl Cocco {
         self
     }
 
-    /// Sets the GA seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.ga.seed = seed;
+    /// Selects the search method (with its typed configuration).
+    pub fn with_method(mut self, method: SearchMethod) -> Self {
+        self.method = method;
         self
     }
 
-    /// Overrides the full GA configuration.
+    /// The currently selected method.
+    pub fn method(&self) -> &SearchMethod {
+        &self.method
+    }
+
+    /// Re-seeds the search RNG (a no-op for the deterministic baselines).
+    ///
+    /// The seed is applied when [`explore`](Cocco::explore) runs, so it
+    /// survives a later [`with_method`](Cocco::with_method) /
+    /// [`with_ga`](Cocco::with_ga) call and overrides any seed already in
+    /// the method's configuration.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Selects the genetic engine with an explicit configuration
+    /// (shorthand for `with_method(SearchMethod::Ga(ga))`).
     pub fn with_ga(mut self, ga: GaConfig) -> Self {
-        self.ga = ga;
+        self.method = SearchMethod::Ga(ga);
         self
     }
 
@@ -135,22 +155,52 @@ impl Cocco {
     ///
     /// # Errors
     ///
-    /// Returns [`CoccoError::NoFeasibleSolution`] when no candidate buffer
-    /// can execute the model at all.
-    pub fn explore(&self, model: &Graph) -> Result<Exploration, CoccoError> {
+    /// * [`Error::IncompatibleObjective`] when the selected method cannot
+    ///   run under the configured objective (two-step needs Formula 2);
+    /// * [`Error::NoFeasibleSolution`] when no candidate buffer can execute
+    ///   the model at all;
+    /// * [`Error::SearchIncomplete`] when the method gave up before
+    ///   exploring its space (e.g. enumeration over its state limits)
+    ///   without finding any solution;
+    /// * [`Error::Sim`] when the final evaluation of the best genome fails
+    ///   (internal error — the wrapped [`SimError`](cocco_sim::SimError)
+    ///   is preserved as the source).
+    pub fn explore(&self, model: &Graph) -> Result<Exploration, Error> {
+        let method = match self.seed {
+            Some(seed) => self.method.clone().with_seed(seed),
+            None => self.method.clone(),
+        };
+        if method.requires_formula2() && self.objective.alpha.is_none() {
+            return Err(Error::IncompatibleObjective {
+                method: method.name(),
+                requirement: "a Formula-2 objective (co-exploration with an α)",
+            });
+        }
         let evaluator = Evaluator::new(model, self.accel.clone());
         let ctx = SearchContext::new(model, &evaluator, self.space, self.objective, self.budget)
             .with_options(self.options);
-        let outcome = CoccoGa::new(self.ga.clone()).run(&ctx);
-        let genome = outcome.best.ok_or(CoccoError::NoFeasibleSolution)?;
-        let report = evaluator
-            .eval_partition(&genome.partition.subgraphs(), &genome.buffer, self.options)
-            .map_err(|e| CoccoError::Evaluation(e.to_string()))?;
+        let outcome = method.run(&ctx);
+        let genome = outcome.best.ok_or(if outcome.completed {
+            Error::NoFeasibleSolution
+        } else {
+            // The paper's "cannot complete within a reasonable time":
+            // distinguish giving up from proving infeasibility.
+            Error::SearchIncomplete {
+                method: method.name(),
+            }
+        })?;
+        let report = evaluator.eval_partition(
+            &genome.partition.subgraphs(),
+            &genome.buffer,
+            self.options,
+        )?;
         Ok(Exploration {
             genome,
             report,
             cost: outcome.best_cost,
             samples: outcome.samples,
+            completed: outcome.completed,
+            trace: ctx.trace().clone(),
         })
     }
 }
@@ -164,6 +214,7 @@ impl Default for Cocco {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::CoccoError;
     use cocco_sim::BufferConfig;
 
     #[test]
@@ -178,6 +229,7 @@ mod tests {
         assert!(result.report.fits);
         assert!(result.samples <= 800);
         assert!(result.genome.partition.validate(&model).is_ok());
+        assert_eq!(result.trace.len() as u64, result.samples);
     }
 
     #[test]
@@ -194,9 +246,75 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let model = cocco_graph::models::diamond();
-        let a = Cocco::new().with_budget(300).with_seed(9).explore(&model).unwrap();
-        let b = Cocco::new().with_budget(300).with_seed(9).explore(&model).unwrap();
+        let a = Cocco::new()
+            .with_budget(300)
+            .with_seed(9)
+            .explore(&model)
+            .unwrap();
+        let b = Cocco::new()
+            .with_budget(300)
+            .with_seed(9)
+            .explore(&model)
+            .unwrap();
         assert_eq!(a.cost, b.cost);
         assert_eq!(a.genome.buffer, b.genome.buffer);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn seed_survives_later_method_selection() {
+        let model = cocco_graph::models::diamond();
+        let seed_first = Cocco::new()
+            .with_seed(42)
+            .with_method(SearchMethod::sa())
+            .with_budget(200)
+            .explore(&model)
+            .unwrap();
+        let seed_last = Cocco::new()
+            .with_method(SearchMethod::sa())
+            .with_seed(42)
+            .with_budget(200)
+            .explore(&model)
+            .unwrap();
+        assert_eq!(seed_first.cost, seed_last.cost);
+        assert_eq!(seed_first.genome, seed_last.genome);
+        // And the explicit seed differs from the default-seed run.
+        let default_seed = Cocco::new()
+            .with_method(SearchMethod::sa())
+            .with_budget(200)
+            .explore(&model)
+            .unwrap();
+        assert_ne!(seed_first.trace, default_seed.trace);
+    }
+
+    #[test]
+    fn two_step_without_alpha_is_rejected() {
+        let model = cocco_graph::models::diamond();
+        let err = Cocco::new()
+            .with_method(SearchMethod::two_step())
+            .with_objective(Objective::partition_only(cocco_sim::CostMetric::Ema))
+            .with_budget(50)
+            .explore(&model)
+            .unwrap_err();
+        assert!(matches!(err, Error::IncompatibleObjective { .. }));
+    }
+
+    #[test]
+    fn every_method_explores_through_the_facade() {
+        let model = cocco_graph::models::diamond();
+        for method in SearchMethod::all() {
+            let name = method.name();
+            let result = Cocco::new()
+                .with_method(method)
+                .with_seed(5)
+                .with_budget(400)
+                .explore(&model)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(
+                result.genome.partition.validate(&model).is_ok(),
+                "{name} produced an invalid partition"
+            );
+            assert!(result.cost.is_finite(), "{name} found nothing finite");
+        }
     }
 }

@@ -10,13 +10,14 @@
 //! assert_eq!(evaluator.config().peak_macs_per_cycle(), 1024);
 //! ```
 
-pub use crate::framework::{Cocco, CoccoError, Exploration};
+pub use crate::error::{CoccoError, Error};
+pub use crate::framework::{Cocco, Exploration};
 pub use cocco_graph::{Dims2, Graph, GraphBuilder, Kernel, LayerOp, NodeId, TensorShape};
 pub use cocco_partition::{repair, Partition, Quotient};
 pub use cocco_search::{
-    BufferSpace, CapacitySampling, CoccoGa, DepthDp, Exhaustive, GaConfig, Genome,
-    GreedyFusion, Objective, SearchContext, SearchOutcome, Searcher, SimulatedAnnealing,
-    TwoStep,
+    BufferSpace, CapacitySampling, CoccoGa, DepthDp, Exhaustive, GaConfig, Genome, GreedyFusion,
+    Objective, SearchContext, SearchMethod, SearchOutcome, Searcher, SimulatedAnnealing, Trace,
+    TracePoint, TwoStep,
 };
 pub use cocco_sim::{
     AcceleratorConfig, BufferConfig, CapacityRange, CostMetric, EvalOptions, Evaluator,

@@ -1,0 +1,91 @@
+//! End-to-end tests of the `cocco-explore` binary: registry-driven
+//! `--list`, `--method`/`--json` flags, strict numeric parsing and error
+//! reporting.
+
+use std::process::Command;
+
+fn explore(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cocco-explore"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn list_enumerates_the_model_registry() {
+    let out = explore(&["--list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let listed: Vec<&str> = stdout.lines().collect();
+    let registry: Vec<&str> = cocco::graph::models::registry()
+        .iter()
+        .map(|(name, _)| *name)
+        .collect();
+    assert_eq!(listed, registry, "--list must mirror models::registry()");
+}
+
+#[test]
+fn json_output_round_trips_into_result_types() {
+    let out = explore(&["vgg16", "--method", "greedy", "--budget", "50", "--json"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+
+    // The result types themselves deserialize from the emitted JSON.
+    let value: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    let model: String = serde_json::from_value(value.get("model").unwrap()).unwrap();
+    assert_eq!(model, "vgg16");
+    let method: cocco::search::SearchMethod =
+        serde_json::from_value(value.get("method").unwrap()).unwrap();
+    assert_eq!(method.key(), "greedy");
+    let exploration: cocco::Exploration =
+        serde_json::from_value(value.get("exploration").unwrap()).unwrap();
+    assert!(exploration.report.fits);
+    assert!(exploration.cost.is_finite());
+    assert!(exploration
+        .genome
+        .partition
+        .validate(&cocco::graph::models::vgg16())
+        .is_ok());
+}
+
+#[test]
+fn method_flag_selects_the_searcher() {
+    let out = explore(&["vgg16", "--method", "dp", "--budget", "50"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Irregular-NN (DP)"), "{stdout}");
+
+    let bad = explore(&["vgg16", "--method", "bogus"]);
+    assert!(!bad.status.success());
+    let stderr = String::from_utf8(bad.stderr).unwrap();
+    assert!(stderr.contains("unknown method"), "{stderr}");
+}
+
+#[test]
+fn json_and_dot_are_mutually_exclusive() {
+    let out = explore(&["vgg16", "--json", "--dot", "--budget", "10"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+}
+
+#[test]
+fn out_of_range_cores_are_rejected_not_truncated() {
+    // 2^32 + 2 would truncate to 2 under a silent `as u32` cast.
+    let out = explore(&["vgg16", "--cores", "4294967298", "--budget", "10"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("bad number"), "{stderr}");
+}
+
+#[test]
+fn unknown_model_reports_the_unified_error() {
+    let out = explore(&["alexnet", "--budget", "10"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown model `alexnet`"), "{stderr}");
+}

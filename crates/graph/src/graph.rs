@@ -248,11 +248,7 @@ impl Graph {
         let mut stack = vec![ids[0]];
         seen.insert(ids[0]);
         while let Some(id) = stack.pop() {
-            for &n in self
-                .producers(id)
-                .iter()
-                .chain(self.consumers(id).iter())
-            {
+            for &n in self.producers(id).iter().chain(self.consumers(id).iter()) {
                 if member.contains(&n) && seen.insert(n) {
                     stack.push(n);
                 }

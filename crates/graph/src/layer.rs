@@ -394,7 +394,11 @@ impl Node {
                     });
                 }
                 let (a, b) = (in_shapes[0], in_shapes[1]);
-                let (k_b, n) = if *rhs_transposed { (b.c, b.h) } else { (b.h, b.c) };
+                let (k_b, n) = if *rhs_transposed {
+                    (b.c, b.h)
+                } else {
+                    (b.h, b.c)
+                };
                 if a.c != k_b || a.w != 1 || b.w != 1 {
                     return Err(GraphError::ShapeMismatch {
                         node: name.to_string(),
@@ -453,10 +457,7 @@ mod tests {
             out_shape: out,
         };
         assert_eq!(node.weight_elements(&[shape(56, 56, 32)]), 9 * 32 * 64);
-        assert_eq!(
-            node.macs(&[shape(56, 56, 32)]),
-            56 * 56 * 64 * 9 * 32
-        );
+        assert_eq!(node.macs(&[shape(56, 56, 32)]), 56 * 56 * 64 * 9 * 32);
     }
 
     #[test]
@@ -508,7 +509,9 @@ mod tests {
         let k = TensorShape::seq(64, 512);
         let out = Node::infer_shape(
             "qk",
-            &LayerOp::MatMul { rhs_transposed: true },
+            &LayerOp::MatMul {
+                rhs_transposed: true,
+            },
             &[q, k],
         )
         .unwrap();
@@ -517,7 +520,9 @@ mod tests {
         let v = TensorShape::seq(64, 512);
         let out2 = Node::infer_shape(
             "av",
-            &LayerOp::MatMul { rhs_transposed: false },
+            &LayerOp::MatMul {
+                rhs_transposed: false,
+            },
             &[out, v],
         )
         .unwrap();
@@ -528,7 +533,9 @@ mod tests {
     fn matmul_macs() {
         let a = TensorShape::seq(64, 512);
         let b = TensorShape::seq(64, 512);
-        let op = LayerOp::MatMul { rhs_transposed: true };
+        let op = LayerOp::MatMul {
+            rhs_transposed: true,
+        };
         let node = Node {
             name: "qk".into(),
             op: op.clone(),
@@ -540,7 +547,9 @@ mod tests {
 
     #[test]
     fn matmul_edge_reqs() {
-        let op = LayerOp::MatMul { rhs_transposed: true };
+        let op = LayerOp::MatMul {
+            rhs_transposed: true,
+        };
         let a = TensorShape::seq(4, 8);
         let node = Node {
             name: "m".into(),

@@ -37,7 +37,12 @@ pub fn googlenet() -> Graph {
 
     let stage3: [InceptionCfg; 2] = [(64, 96, 128, 16, 32, 32), (128, 128, 192, 32, 96, 64)];
     for (i, cfg) in stage3.iter().enumerate() {
-        x = inception(&mut b, &format!("inc3{}", (b'a' + i as u8) as char), x, *cfg);
+        x = inception(
+            &mut b,
+            &format!("inc3{}", (b'a' + i as u8) as char),
+            x,
+            *cfg,
+        );
     }
     x = b
         .pool("pool3", x, Kernel::square_same(3, 2))
@@ -51,7 +56,12 @@ pub fn googlenet() -> Graph {
         (256, 160, 320, 32, 128, 128),
     ];
     for (i, cfg) in stage4.iter().enumerate() {
-        x = inception(&mut b, &format!("inc4{}", (b'a' + i as u8) as char), x, *cfg);
+        x = inception(
+            &mut b,
+            &format!("inc4{}", (b'a' + i as u8) as char),
+            x,
+            *cfg,
+        );
     }
     x = b
         .pool("pool4", x, Kernel::square_same(3, 2))
@@ -59,7 +69,12 @@ pub fn googlenet() -> Graph {
 
     let stage5: [InceptionCfg; 2] = [(256, 160, 320, 32, 128, 128), (384, 192, 384, 48, 128, 128)];
     for (i, cfg) in stage5.iter().enumerate() {
-        x = inception(&mut b, &format!("inc5{}", (b'a' + i as u8) as char), x, *cfg);
+        x = inception(
+            &mut b,
+            &format!("inc5{}", (b'a' + i as u8) as char),
+            x,
+            *cfg,
+        );
     }
     let gap = b.global_pool("gap", x).expect("gap");
     b.fc("fc", gap, 1000).expect("fc");
@@ -87,7 +102,12 @@ fn inception(b: &mut GraphBuilder, prefix: &str, x: NodeId, cfg: InceptionCfg) -
         .pool(format!("{prefix}_pool"), x, Kernel::square_same(3, 1))
         .expect("inc pool");
     let bpp = b
-        .conv(format!("{prefix}_poolproj"), bp, cp, Kernel::square_valid(1, 1))
+        .conv(
+            format!("{prefix}_poolproj"),
+            bp,
+            cp,
+            Kernel::square_valid(1, 1),
+        )
         .expect("inc poolproj");
     b.concat(format!("{prefix}_cat"), &[b1, b2, b3, bpp])
         .expect("inc concat")

@@ -124,10 +124,7 @@ mod tests {
     #[test]
     fn residual_adds_only_on_shape_preserving_blocks() {
         let g = mobilenet_v2();
-        let adds = g
-            .iter()
-            .filter(|(_, n)| n.name().ends_with("_add"))
-            .count();
+        let adds = g.iter().filter(|(_, n)| n.name().ends_with("_add")).count();
         // repeats with stride 1 and c_in == c_out: 1+2+3+2+2 = 10.
         assert_eq!(adds, 10);
     }

@@ -45,10 +45,48 @@ pub const PAPER_MODELS: [&str; 8] = [
     "randwire-b",
 ];
 
-/// Builds a paper model by name (see [`PAPER_MODELS`], plus `"nasnet"` and
-/// the extra `"mobilenet-v2"`).
+/// The full model zoo — name plus constructor — in presentation order: the
+/// eight [`PAPER_MODELS`] first, then the extra workloads.
 ///
-/// Returns `None` for unknown names.
+/// This is the single source of truth for every name-based lookup:
+/// [`by_name`], the `cocco-explore --list` output and test enumeration all
+/// read from here, so adding a model means adding exactly one row.
+static REGISTRY: [ModelEntry; 10] = [
+    ("vgg16", vgg16),
+    ("resnet50", resnet50),
+    ("resnet152", resnet152),
+    ("googlenet", googlenet),
+    ("transformer", transformer),
+    ("gpt", gpt),
+    ("randwire-a", randwire_a),
+    ("randwire-b", randwire_b),
+    ("nasnet", nasnet),
+    ("mobilenet-v2", mobilenet_v2),
+];
+
+/// Every model the zoo can build, as `(name, constructor)` rows.
+///
+/// # Examples
+///
+/// ```
+/// let names: Vec<&str> = cocco_graph::models::registry()
+///     .iter()
+///     .map(|(name, _)| *name)
+///     .collect();
+/// assert!(names.contains(&"resnet50"));
+/// assert!(names.contains(&"mobilenet-v2"));
+/// // The paper's models come first, in Figure 11 order.
+/// assert_eq!(&names[..8], &cocco_graph::models::PAPER_MODELS);
+/// ```
+pub fn registry() -> &'static [ModelEntry] {
+    &REGISTRY
+}
+
+/// One [`registry`] row: the model's name and its constructor.
+pub type ModelEntry = (&'static str, fn() -> Graph);
+
+/// Builds a model by its [`registry`] name. Returns `None` for unknown
+/// names.
 ///
 /// # Examples
 ///
@@ -58,19 +96,10 @@ pub const PAPER_MODELS: [&str; 8] = [
 /// assert!(cocco_graph::models::by_name("alexnet").is_none());
 /// ```
 pub fn by_name(name: &str) -> Option<Graph> {
-    match name {
-        "vgg16" => Some(vgg16()),
-        "resnet50" => Some(resnet50()),
-        "resnet152" => Some(resnet152()),
-        "googlenet" => Some(googlenet()),
-        "transformer" => Some(transformer()),
-        "gpt" => Some(gpt()),
-        "randwire-a" => Some(randwire_a()),
-        "randwire-b" => Some(randwire_b()),
-        "nasnet" => Some(nasnet()),
-        "mobilenet-v2" => Some(mobilenet_v2()),
-        _ => None,
-    }
+    registry()
+        .iter()
+        .find(|(entry, _)| *entry == name)
+        .map(|(_, build)| build())
 }
 
 #[cfg(test)]
@@ -78,13 +107,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn every_paper_model_builds() {
-        for name in PAPER_MODELS {
-            let g = by_name(name).unwrap();
+    fn every_registered_model_builds() {
+        for &(name, build) in registry() {
+            let g = build();
+            assert_eq!(g.name(), name, "registry name disagrees with the graph");
             assert!(g.len() > 10, "{name} suspiciously small: {}", g.len());
             assert!(!g.output_ids().is_empty(), "{name} has no outputs");
         }
         assert!(by_name("nasnet").is_some());
+    }
+
+    #[test]
+    fn registry_covers_paper_models_in_order() {
+        let names: Vec<&str> = registry().iter().map(|(n, _)| *n).collect();
+        assert_eq!(&names[..PAPER_MODELS.len()], &PAPER_MODELS);
+        assert_eq!(names.len(), 10);
     }
 
     #[test]

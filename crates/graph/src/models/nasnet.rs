@@ -33,7 +33,15 @@ pub fn nasnet() -> Graph {
     let (mut prev, mut cur) = (stem, stem);
     let mut idx = 0usize;
     for (i, filters) in [f / 4, f / 2].iter().enumerate() {
-        let out = cell(&mut b, &format!("stem_r{}", i + 1), prev, cur, *filters, 2, &mut idx);
+        let out = cell(
+            &mut b,
+            &format!("stem_r{}", i + 1),
+            prev,
+            cur,
+            *filters,
+            2,
+            &mut idx,
+        );
         prev = cur;
         cur = out;
     }
@@ -105,8 +113,13 @@ fn cell(
         let dw = b
             .dwconv(format!("{name}_dw"), x, Kernel::square_same(k, s))
             .expect("sep dw");
-        b.conv(format!("{name}_pw"), dw, filters, Kernel::square_valid(1, 1))
-            .expect("sep pw")
+        b.conv(
+            format!("{name}_pw"),
+            dw,
+            filters,
+            Kernel::square_valid(1, 1),
+        )
+        .expect("sep pw")
     };
     let skip = |b: &mut GraphBuilder, name: String, x: NodeId, s: u32| {
         if s == 1 {

@@ -69,7 +69,14 @@ pub fn randwire(regime: RandWireRegime, seed: u64) -> Graph {
     }
     for (si, mult) in stages.iter().enumerate() {
         let edges = ws.generate(&mut rng);
-        x = random_stage(&mut b, &format!("st{}", si + 1), x, base * mult, &edges, ws.nodes());
+        x = random_stage(
+            &mut b,
+            &format!("st{}", si + 1),
+            x,
+            base * mult,
+            &edges,
+            ws.nodes(),
+        );
     }
     let head = b
         .conv("head", x, 1280, Kernel::square_valid(1, 1))
@@ -178,11 +185,7 @@ mod tests {
     fn is_genuinely_irregular() {
         let g = randwire_a();
         // Random wiring should create nodes with fanout >= 3 somewhere.
-        let max_fanout = g
-            .node_ids()
-            .map(|id| g.consumers(id).len())
-            .max()
-            .unwrap();
+        let max_fanout = g.node_ids().map(|id| g.consumers(id).len()).max().unwrap();
         assert!(max_fanout >= 3, "max fanout {max_fanout}");
         assert!(g.len() > 100);
     }
@@ -193,11 +196,7 @@ mod tests {
         let b = randwire(RandWireRegime::Small, 2);
         // Edge structure differs => eltwise aggregation node counts differ
         // with overwhelming probability.
-        let count = |g: &Graph| {
-            g.iter()
-                .filter(|(_, n)| n.name().contains("_sum"))
-                .count()
-        };
+        let count = |g: &Graph| g.iter().filter(|(_, n)| n.name().contains("_sum")).count();
         assert!(a.len() != b.len() || count(&a) != count(&b));
     }
 }

@@ -66,12 +66,7 @@ fn bottleneck(
     project: bool,
 ) -> NodeId {
     let c1 = b
-        .conv(
-            format!("{prefix}_c1"),
-            x,
-            width,
-            Kernel::square_valid(1, 1),
-        )
+        .conv(format!("{prefix}_c1"), x, width, Kernel::square_valid(1, 1))
         .expect("bottleneck c1");
     let c2 = b
         .conv(
@@ -145,10 +140,7 @@ mod tests {
     #[test]
     fn residual_adds_have_two_inputs() {
         let g = resnet50();
-        let adds = g
-            .iter()
-            .filter(|(_, n)| n.name().ends_with("_add"))
-            .count();
+        let adds = g.iter().filter(|(_, n)| n.name().ends_with("_add")).count();
         assert_eq!(adds, 3 + 4 + 6 + 3);
         for (_, n) in g.iter().filter(|(_, n)| n.name().ends_with("_add")) {
             assert_eq!(n.inputs().len(), 2);

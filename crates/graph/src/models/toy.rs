@@ -57,15 +57,9 @@ pub fn diamond() -> Graph {
 pub fn branchy() -> Graph {
     let mut b = GraphBuilder::new("branchy");
     let i = b.input(TensorShape::new(64, 64, 8));
-    let n0 = b
-        .conv("n0", i, 8, Kernel::square_same(5, 2))
-        .expect("n0");
-    let n1 = b
-        .conv("n1", i, 8, Kernel::square_same(1, 1))
-        .expect("n1");
-    let n2 = b
-        .conv("n2", n1, 8, Kernel::square_same(3, 2))
-        .expect("n2");
+    let n0 = b.conv("n0", i, 8, Kernel::square_same(5, 2)).expect("n0");
+    let n1 = b.conv("n1", i, 8, Kernel::square_same(1, 1)).expect("n1");
+    let n2 = b.conv("n2", n1, 8, Kernel::square_same(3, 2)).expect("n2");
     b.eltwise("n3", &[n0, n2]).expect("n3");
     b.finish().expect("branchy graph")
 }

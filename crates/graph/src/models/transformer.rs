@@ -66,7 +66,9 @@ fn block(b: &mut GraphBuilder, prefix: &str, x: NodeId, d_model: u32, d_ff: u32)
     let soft = b
         .eltwise(format!("{prefix}_softmax"), &[scores])
         .expect("softmax");
-    let att = b.matmul(format!("{prefix}_av"), soft, v, false).expect("av");
+    let att = b
+        .matmul(format!("{prefix}_av"), soft, v, false)
+        .expect("av");
     let proj = b.fc(format!("{prefix}_proj"), att, d_model).expect("proj");
     let res1 = b
         .eltwise(format!("{prefix}_add1"), &[x, proj])

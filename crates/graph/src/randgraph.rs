@@ -46,9 +46,15 @@ impl WattsStrogatz {
     /// `[0, 1]` — these are static configuration mistakes.
     pub fn new(n: u32, k: u32, p: f64) -> Self {
         assert!(n >= 3, "WS graph needs at least 3 nodes");
-        assert!(k >= 2 && k.is_multiple_of(2), "WS degree k must be even and >= 2");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "WS degree k must be even and >= 2"
+        );
         assert!(k < n, "WS degree k must be below n");
-        assert!((0.0..=1.0).contains(&p), "rewire probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "rewire probability must be in [0,1]"
+        );
         Self { n, k, p }
     }
 

@@ -84,7 +84,11 @@ impl TensorShape {
 
     /// Shape of a sequence tensor: `seq` tokens of `features` channels.
     pub fn seq(seq: u32, features: u32) -> Self {
-        Self { h: seq, w: 1, c: features }
+        Self {
+            h: seq,
+            w: 1,
+            c: features,
+        }
     }
 
     /// Total number of elements.
@@ -94,7 +98,10 @@ impl TensorShape {
 
     /// The spatial extents `(h, w)` only.
     pub fn spatial(&self) -> Dims2 {
-        Dims2 { h: self.h, w: self.w }
+        Dims2 {
+            h: self.h,
+            w: self.w,
+        }
     }
 
     /// Returns `true` if any dimension is zero.

@@ -27,10 +27,16 @@ impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemError::ExceedsCapacity { needed, capacity } => {
-                write!(f, "subgraph needs {needed} B but the buffer holds {capacity} B")
+                write!(
+                    f,
+                    "subgraph needs {needed} B but the buffer holds {capacity} B"
+                )
             }
             MemError::TooManyRegions { needed, max } => {
-                write!(f, "subgraph needs {needed} regions but the manager holds {max}")
+                write!(
+                    f,
+                    "subgraph needs {needed} regions but the manager holds {max}"
+                )
             }
         }
     }

@@ -30,7 +30,10 @@ impl fmt::Display for PartitionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PartitionError::WrongLength { got, expected } => {
-                write!(f, "assignment has {got} entries for a {expected}-node graph")
+                write!(
+                    f,
+                    "assignment has {got} entries for a {expected}-node graph"
+                )
             }
             PartitionError::Disconnected { subgraph } => {
                 write!(f, "subgraph {subgraph} is not weakly connected")

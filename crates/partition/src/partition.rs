@@ -276,7 +276,7 @@ mod tests {
     #[test]
     fn disconnected_subgraph_detected() {
         let g = cocco_graph::models::diamond(); // input, a, l, r, add
-        // l and r share no edge: {l, r} alone is disconnected.
+                                                // l and r share no edge: {l, r} alone is disconnected.
         let p = Partition::from_assignment(vec![0, 0, 1, 1, 2]);
         assert_eq!(
             p.validate(&g),

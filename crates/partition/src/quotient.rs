@@ -47,9 +47,8 @@ impl Quotient {
         originals.sort_unstable();
         originals.dedup();
         let k = originals.len();
-        let compact = |orig: u32| -> u32 {
-            originals.binary_search(&orig).expect("id exists") as u32
-        };
+        let compact =
+            |orig: u32| -> u32 { originals.binary_search(&orig).expect("id exists") as u32 };
         let mut succs: Vec<Vec<u32>> = vec![Vec::new(); k];
         let mut preds: Vec<Vec<u32>> = vec![Vec::new(); k];
         let mut min_member = vec![u32::MAX; k];

@@ -80,11 +80,7 @@ pub fn split_oversized(
 
 /// Full repair pipeline: connectivity + acyclicity, then capacity splits.
 /// The result is valid and every multi-node subgraph satisfies `fits`.
-pub fn repair(
-    graph: &Graph,
-    partition: Partition,
-    fits: &dyn Fn(&[NodeId]) -> bool,
-) -> Partition {
+pub fn repair(graph: &Graph, partition: Partition, fits: &dyn Fn(&[NodeId]) -> bool) -> Partition {
     let partition = repair_connectivity(graph, partition);
     split_oversized(graph, partition, fits)
 }

@@ -134,10 +134,10 @@ impl<'a> SearchContext<'a> {
     /// exhausted (the genome is then left unmodified).
     pub fn evaluate(&self, genome: &mut Genome) -> Option<f64> {
         let sample = self.budget.try_consume()?;
-        genome.partition = self.repair(std::mem::replace(
-            &mut genome.partition,
-            Partition::singletons(0),
-        ), &genome.buffer);
+        genome.partition = self.repair(
+            std::mem::replace(&mut genome.partition, Partition::singletons(0)),
+            &genome.buffer,
+        );
         Some(self.score(sample, genome))
     }
 
@@ -278,6 +278,8 @@ mod tests {
         let eval = Evaluator::new(&g, AcceleratorConfig::default());
         let ctx = context(&g, &eval, 10);
         let members: Vec<NodeId> = g.node_ids().collect();
-        assert!(ctx.subgraph_cost(&members, &BufferConfig::shared(64)).is_none());
+        assert!(ctx
+            .subgraph_cost(&members, &BufferConfig::shared(64))
+            .is_none());
     }
 }

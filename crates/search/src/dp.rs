@@ -5,6 +5,7 @@ use crate::genome::Genome;
 use crate::outcome::{SearchOutcome, Searcher};
 use cocco_graph::NodeId;
 use cocco_partition::Partition;
+use serde::{Deserialize, Serialize};
 
 /// The DP baseline of Zheng et al.: layers are arranged by depth and a
 /// classic chain DP assigns *contiguous runs of that order* to subgraphs.
@@ -33,7 +34,7 @@ use cocco_partition::Partition;
 /// // On a plain chain with a large buffer the DP is optimal: one subgraph.
 /// assert_eq!(outcome.best.unwrap().partition.num_subgraphs(), 1);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DepthDp {
     /// Longest run of the depth order considered as one subgraph (bounds
     /// the O(N·K) transition count; the region manager caps useful sizes
@@ -89,10 +90,8 @@ impl Searcher for DepthDp {
                 if !dp[j].is_finite() {
                     continue;
                 }
-                let members: Vec<NodeId> = order[j..i]
-                    .iter()
-                    .map(|&k| NodeId::from_index(k))
-                    .collect();
+                let members: Vec<NodeId> =
+                    order[j..i].iter().map(|&k| NodeId::from_index(k)).collect();
                 if !graph.is_connected_subset(&members) {
                     continue;
                 }

@@ -295,7 +295,10 @@ impl SubgraphEnumerator<'_, '_> {
         let mut in_s = bits_new(words);
         bits_set(&mut in_s, self.start as usize);
         let mut missing = bits_new(words); // preds of S outside downset ∪ S
-        for p in self.graph.producers(NodeId::from_index(self.start as usize)) {
+        for p in self
+            .graph
+            .producers(NodeId::from_index(self.start as usize))
+        {
             if !bits_get(self.downset, p.index()) {
                 bits_set(&mut missing, p.index());
             }

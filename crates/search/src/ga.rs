@@ -244,16 +244,15 @@ fn evaluate_all(
     }
     let chunk = genomes.len().div_ceil(threads);
     let mut results: Vec<Option<f64>> = vec![None; genomes.len()];
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (gs, rs) in genomes.chunks_mut(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (g, r) in gs.iter_mut().zip(rs.iter_mut()) {
                     *r = ctx.evaluate(g);
                 }
             });
         }
-    })
-    .expect("evaluation thread panicked");
+    });
     results
 }
 
@@ -306,7 +305,11 @@ pub(crate) fn crossover(
         };
         let sg = parent.subgraph_of(cocco_graph::NodeId::from_index(v));
         let group = &members[&sg];
-        let decided: Vec<usize> = group.iter().copied().filter(|&u| child[u] != UNDECIDED).collect();
+        let decided: Vec<usize> = group
+            .iter()
+            .copied()
+            .filter(|&u| child[u] != UNDECIDED)
+            .collect();
         if decided.is_empty() {
             for &u in group {
                 child[u] = next_id;
@@ -391,9 +394,7 @@ pub(crate) fn mutate(
         }
     }
     if !ctx.space.is_fixed() && rng.gen_bool(rates.dse.clamp(0.0, 1.0)) {
-        genome.buffer = ctx
-            .space
-            .perturb(genome.buffer, rates.dse_sigma, rng);
+        genome.buffer = ctx.space.perturb(genome.buffer, rates.dse_sigma, rng);
     }
 }
 
@@ -403,11 +404,7 @@ mod tests {
     use crate::objective::{BufferSpace, Objective};
     use cocco_sim::{AcceleratorConfig, BufferConfig, CostMetric, Evaluator};
 
-    fn ctx_fixed<'a>(
-        graph: &'a Graph,
-        eval: &'a Evaluator<'a>,
-        budget: u64,
-    ) -> SearchContext<'a> {
+    fn ctx_fixed<'a>(graph: &'a Graph, eval: &'a Evaluator<'a>, budget: u64) -> SearchContext<'a> {
         SearchContext::new(
             graph,
             eval,
@@ -445,7 +442,11 @@ mod tests {
         let eval = Evaluator::new(&g, AcceleratorConfig::default());
         let run = |seed| {
             let ctx = ctx_fixed(&g, &eval, 500);
-            CoccoGa::default().with_seed(seed).sequential().run(&ctx).best_cost
+            CoccoGa::default()
+                .with_seed(seed)
+                .sequential()
+                .run(&ctx)
+                .best_cost
         };
         assert_eq!(run(7), run(7));
     }
@@ -499,7 +500,10 @@ mod tests {
             Objective::paper_energy_capacity(),
             1_500,
         );
-        let outcome = CoccoGa::default().with_seed(2).with_population(30).run(&ctx);
+        let outcome = CoccoGa::default()
+            .with_seed(2)
+            .with_population(30)
+            .run(&ctx);
         let best = outcome.best.unwrap();
         // Formula 2 punishes the 3 MB extreme; the chosen size should be
         // strictly inside the range.

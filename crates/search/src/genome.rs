@@ -81,9 +81,7 @@ mod tests {
             let genome = Genome::random(&g, &space, &mut rng);
             for id in g.node_ids() {
                 for &p in g.producers(id) {
-                    assert!(
-                        genome.partition.subgraph_of(p) <= genome.partition.subgraph_of(id)
-                    );
+                    assert!(genome.partition.subgraph_of(p) <= genome.partition.subgraph_of(id));
                 }
             }
         }

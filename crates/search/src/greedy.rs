@@ -70,8 +70,7 @@ impl Searcher for GreedyFusion {
         let mut partition = Partition::singletons(graph.len());
         // Per-subgraph additive cost; infinity when a subgraph cannot fit.
         let cost_of = |members: &[cocco_graph::NodeId]| -> f64 {
-            ctx.subgraph_cost(members, &buffer)
-                .unwrap_or(f64::INFINITY)
+            ctx.subgraph_cost(members, &buffer).unwrap_or(f64::INFINITY)
         };
 
         loop {
@@ -95,8 +94,7 @@ impl Searcher for GreedyFusion {
                     let Some(merged_cost) = ctx.subgraph_cost(&merged, &buffer) else {
                         continue; // does not fit
                     };
-                    let benefit =
-                        group_cost[a as usize] + group_cost[b as usize] - merged_cost;
+                    let benefit = group_cost[a as usize] + group_cost[b as usize] - merged_cost;
                     if benefit > 0.0 && best.is_none_or(|(bb, _, _)| benefit > bb) {
                         best = Some((benefit, a, b));
                     }
@@ -151,10 +149,7 @@ mod tests {
     use crate::objective::{BufferSpace, Objective};
     use cocco_sim::{AcceleratorConfig, CostMetric, Evaluator};
 
-    fn run_on(
-        graph: &cocco_graph::Graph,
-        buffer: BufferConfig,
-    ) -> (SearchOutcome, f64) {
+    fn run_on(graph: &cocco_graph::Graph, buffer: BufferConfig) -> (SearchOutcome, f64) {
         let eval = Evaluator::new(graph, AcceleratorConfig::default());
         let ctx = SearchContext::new(
             graph,
@@ -175,8 +170,7 @@ mod tests {
     fn never_worse_than_singletons() {
         for model in ["resnet50", "googlenet", "randwire-a"] {
             let g = cocco_graph::models::by_name(model).unwrap();
-            let (out, singles) =
-                run_on(&g, BufferConfig::separate(1 << 20, 1152 << 10));
+            let (out, singles) = run_on(&g, BufferConfig::separate(1 << 20, 1152 << 10));
             assert!(
                 out.best_cost <= singles,
                 "{model}: greedy {} > singletons {singles}",

@@ -23,6 +23,11 @@
 //! "samples" are comparable across methods, and records a [`Trace`] for the
 //! convergence and distribution studies (paper Figures 12-13).
 //!
+//! [`SearchMethod`] is the method registry: one serializable, seedable
+//! selector carrying each method's typed configuration, itself a
+//! [`Searcher`], so callers (notably the `cocco` facade) stay
+//! method-agnostic.
+//!
 //! # Examples
 //!
 //! ```
@@ -49,6 +54,7 @@ mod exhaustive;
 mod ga;
 mod genome;
 mod greedy;
+mod method;
 mod objective;
 mod outcome;
 mod sa;
@@ -62,6 +68,7 @@ pub use exhaustive::{Exhaustive, ExhaustiveLimits};
 pub use ga::{CoccoGa, GaConfig, MutationRates};
 pub use genome::Genome;
 pub use greedy::GreedyFusion;
+pub use method::SearchMethod;
 pub use objective::{BufferSpace, Objective};
 pub use outcome::{SearchOutcome, Searcher};
 pub use sa::{SaConfig, SimulatedAnnealing};

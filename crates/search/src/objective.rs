@@ -53,9 +53,7 @@ impl BufferSpace {
                 glb.candidate(rng.gen_range(0..glb.len())),
                 wgt.candidate(rng.gen_range(0..wgt.len())),
             ),
-            BufferSpace::Shared(r) => {
-                BufferConfig::shared(r.candidate(rng.gen_range(0..r.len())))
-            }
+            BufferSpace::Shared(r) => BufferConfig::shared(r.candidate(rng.gen_range(0..r.len()))),
         }
     }
 
@@ -96,9 +94,7 @@ impl BufferSpace {
                 BufferConfig::separate(jitter(g, glb, rng), jitter(w, wgt, rng))
             }
             (BufferSpace::Separate { .. }, shared) => self.snap(shared),
-            (BufferSpace::Shared(r), c) => {
-                BufferConfig::shared(jitter(c.total_bytes(), r, rng))
-            }
+            (BufferSpace::Shared(r), c) => BufferConfig::shared(jitter(c.total_bytes(), r, rng)),
         }
     }
 

@@ -174,7 +174,10 @@ mod tests {
                 Objective::paper_energy_capacity(),
                 300,
             );
-            SimulatedAnnealing::default().with_seed(seed).run(&ctx).best_cost
+            SimulatedAnnealing::default()
+                .with_seed(seed)
+                .run(&ctx)
+                .best_cost
         };
         assert_eq!(run(9), run(9));
     }

@@ -1,7 +1,7 @@
 //! Search traces for the convergence and distribution studies.
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// One recorded evaluation.
 #[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -21,9 +21,41 @@ pub struct TracePoint {
 /// [`best_curve`](Trace::best_curve) yields the monotone best-so-far cost
 /// over samples (paper Figure 12); [`points`](Trace::points) yields the raw
 /// scatter (paper Figure 13).
+///
+/// Cloning snapshots the recorded points (sorted by sample index); the
+/// clone records independently from the original. Serialization renders the
+/// same snapshot as a plain array of [`TracePoint`]s.
 #[derive(Debug, Default)]
 pub struct Trace {
     points: Mutex<Vec<TracePoint>>,
+}
+
+impl Clone for Trace {
+    fn clone(&self) -> Self {
+        Self {
+            points: Mutex::new(self.points()),
+        }
+    }
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.points() == other.points()
+    }
+}
+
+impl serde::Serialize for Trace {
+    fn to_value(&self) -> serde::Value {
+        self.points().to_value()
+    }
+}
+
+impl serde::Deserialize for Trace {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            points: Mutex::new(Vec::<TracePoint>::from_value(value)?),
+        })
+    }
 }
 
 impl Trace {
@@ -34,22 +66,22 @@ impl Trace {
 
     /// Records one evaluation.
     pub fn record(&self, point: TracePoint) {
-        self.points.lock().push(point);
+        self.points.lock().unwrap().push(point);
     }
 
     /// Number of recorded points.
     pub fn len(&self) -> usize {
-        self.points.lock().len()
+        self.points.lock().unwrap().len()
     }
 
     /// `true` when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.points.lock().is_empty()
+        self.points.lock().unwrap().is_empty()
     }
 
     /// A snapshot of all recorded points, sorted by sample index.
     pub fn points(&self) -> Vec<TracePoint> {
-        let mut pts = self.points.lock().clone();
+        let mut pts = self.points.lock().unwrap().clone();
         pts.sort_by_key(|p| p.sample);
         pts
     }

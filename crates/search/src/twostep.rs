@@ -47,7 +47,7 @@ pub enum CapacitySampling {
 /// let outcome = TwoStep::random().with_per_candidate(200).run(&ctx);
 /// assert!(outcome.best.is_some());
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct TwoStep {
     /// Candidate sampling strategy.
     pub sampling: CapacitySampling,

@@ -59,6 +59,8 @@ mod tests {
 
     #[test]
     fn display_is_lowercase() {
-        assert!(SimError::InvalidOptions.to_string().starts_with(char::is_lowercase));
+        assert!(SimError::InvalidOptions
+            .to_string()
+            .starts_with(char::is_lowercase));
     }
 }

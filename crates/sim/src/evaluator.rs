@@ -8,8 +8,8 @@ use crate::report::{PartitionReport, SubgraphReport};
 use cocco_graph::{EdgeReq, Graph, LayerOp, NodeId};
 use cocco_mem::footprint::subgraph_footprint;
 use cocco_tiling::derive_scheme;
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// Evaluates partitions of one computation graph on one accelerator
 /// configuration, caching the buffer-independent per-subgraph statistics.
@@ -86,7 +86,7 @@ impl<'g> Evaluator<'g> {
 
     /// Number of distinct subgraphs evaluated so far (cache size).
     pub fn cached_subgraphs(&self) -> usize {
-        self.cache.read().len()
+        self.cache.read().unwrap().len()
     }
 
     /// Buffer-independent statistics of the subgraph `members` (sorted or
@@ -99,13 +99,17 @@ impl<'g> Evaluator<'g> {
     pub fn subgraph_stats(&self, members: &[NodeId]) -> Result<SubgraphStats, SimError> {
         let mut key: Vec<u32> = members.iter().map(|id| id.index() as u32).collect();
         key.sort_unstable();
-        if let Some(stats) = self.cache.read().get(key.as_slice()) {
+        if let Some(stats) = self.cache.read().unwrap().get(key.as_slice()) {
             return Ok(*stats);
         }
-        let sorted: Vec<NodeId> = key.iter().map(|&i| NodeId::from_index(i as usize)).collect();
+        let sorted: Vec<NodeId> = key
+            .iter()
+            .map(|&i| NodeId::from_index(i as usize))
+            .collect();
         let stats = self.compute_stats(&sorted)?;
         self.cache
             .write()
+            .unwrap()
             .insert(key.into_boxed_slice(), stats);
         Ok(stats)
     }
@@ -176,10 +180,8 @@ impl<'g> Evaluator<'g> {
             stats.glb_access_bytes += self.out_bytes[id.index()];
             if s.interior_consumed {
                 let shape = graph.node(id).out_shape();
-                stats.halo_bytes_per_cut += u64::from(s.overlap_rows())
-                    * u64::from(shape.w)
-                    * u64::from(shape.c)
-                    * elem;
+                stats.halo_bytes_per_cut +=
+                    u64::from(s.overlap_rows()) * u64::from(shape.w) * u64::from(shape.c) * elem;
             }
             // Weight-stationary tiling re-reads a layer's weights once per
             // tile of its own output.
@@ -204,8 +206,7 @@ impl<'g> Evaluator<'g> {
                     }
                     EdgeReq::Full => f64::from(graph.node(v).out_shape().h).max(1.0),
                 };
-                stats.glb_access_bytes +=
-                    (self.out_bytes[p.index()] as f64 * reuse) as u64;
+                stats.glb_access_bytes += (self.out_bytes[p.index()] as f64 * reuse) as u64;
             }
         }
         Ok(stats)
@@ -298,15 +299,12 @@ impl<'g> Evaluator<'g> {
             // Latency: compute parallelized over cores; DRAM over the
             // aggregate per-core links.
             let compute = stats.compute_cycles * batch as f64 / cores as f64;
-            let dram =
-                ema as f64 / (self.config.dram_bytes_per_cycle() * cores as f64);
+            let dram = ema as f64 / (self.config.dram_bytes_per_cycle() * cores as f64);
             let latency = compute.max(dram).max(1.0);
 
             // Bandwidth requirement: prefetch of the next subgraph's
             // weights plus this subgraph's boundary activations.
-            let next_wgt = all_stats
-                .get(index + 1)
-                .map_or(0, |s| s.ema_wgt_bytes);
+            let next_wgt = all_stats.get(index + 1).map_or(0, |s| s.ema_wgt_bytes);
             let bw_bytes_per_cycle =
                 (next_wgt + stats.ema_act_bytes() * batch + halo) as f64 / latency;
 
@@ -325,8 +323,7 @@ impl<'g> Evaluator<'g> {
                 fits,
             });
         }
-        report.avg_bw_gbps =
-            report.ema_bytes as f64 / report.latency_cycles * self.config.freq_ghz;
+        report.avg_bw_gbps = report.ema_bytes as f64 / report.latency_cycles * self.config.freq_ghz;
         Ok(report)
     }
 }
@@ -354,10 +351,7 @@ fn utilization(graph: &Graph, id: NodeId, config: &AcceleratorConfig) -> f64 {
     match node.op() {
         LayerOp::Input | LayerOp::Concat => 1.0,
         LayerOp::Conv { c_out, .. } => {
-            let c_in = graph
-                .in_shapes(id)
-                .first()
-                .map_or(1, |s| u64::from(s.c));
+            let c_in = graph.in_shapes(id).first().map_or(1, |s| u64::from(s.c));
             eff(c_in, lanes_in) * eff(u64::from(*c_out), lanes_out) * eff(spatial, pes)
         }
         LayerOp::DepthwiseConv { .. }
@@ -424,10 +418,7 @@ mod tests {
         let stats = eval
             .subgraph_stats(&g.node_ids().collect::<Vec<_>>())
             .unwrap();
-        assert_eq!(
-            stats.ema_wgt_bytes,
-            g.total_weight_elements()
-        );
+        assert_eq!(stats.ema_wgt_bytes, g.total_weight_elements());
         assert_eq!(stats.ema_in_bytes, g.out_elements(g.input_ids()[0]));
         assert_eq!(stats.ema_out_bytes, g.out_elements(g.output_ids()[0]));
     }
@@ -505,7 +496,10 @@ mod tests {
             .eval_partition(&parts, &buf, EvalOptions::with_cores(2))
             .unwrap();
         assert!(c2.latency_cycles < c1.latency_cycles);
-        assert!(c2.energy_pj > c1.energy_pj, "crossbar rotation costs energy");
+        assert!(
+            c2.energy_pj > c1.energy_pj,
+            "crossbar rotation costs energy"
+        );
     }
 
     /// Groups consecutive node pairs — a quick valid-ish partition helper

@@ -186,7 +186,10 @@ pub fn derive_scheme(
         let full_h = delta.h >= extent.h;
         let full_w = delta.w >= extent.w;
         let delta = Dims2::new(delta.h.min(extent.h), delta.w.min(extent.w));
-        let tile = Dims2::new(tile.h.min(extent.h).max(delta.h), tile.w.min(extent.w).max(delta.w));
+        let tile = Dims2::new(
+            tile.h.min(extent.h).max(delta.h),
+            tile.w.min(extent.w).max(delta.w),
+        );
         schemes.insert(
             u,
             NodeScheme {
@@ -223,10 +226,7 @@ pub fn derive_scheme(
         }
     }
 
-    Ok(ExecutionScheme::new(
-        schemes.into_iter().collect(),
-        exact,
-    ))
+    Ok(ExecutionScheme::new(schemes.into_iter().collect(), exact))
 }
 
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -297,10 +297,9 @@ fn solve_upd(
                         rate.insert(v, rv);
                         stack.push(v);
                     }
-                    Some(existing) if *existing != rv
-                        && strict => {
-                            return Err(TilingError::InconsistentRates { node: v });
-                        }
+                    Some(existing) if *existing != rv && strict => {
+                        return Err(TilingError::InconsistentRates { node: v });
+                    }
                     _ => {}
                 }
             }
@@ -319,10 +318,9 @@ fn solve_upd(
                         rate.insert(p, rp);
                         stack.push(p);
                     }
-                    Some(existing) if *existing != rp
-                        && strict => {
-                            return Err(TilingError::InconsistentRates { node: p });
-                        }
+                    Some(existing) if *existing != rp && strict => {
+                        return Err(TilingError::InconsistentRates { node: p });
+                    }
                     _ => {}
                 }
             }

@@ -95,19 +95,13 @@ mod tests {
     #[test]
     fn full_tensor() {
         let m = Mapper::new(MapperPolicy::FullTensor);
-        assert_eq!(
-            m.output_tile(TensorShape::new(7, 9, 3)),
-            Dims2::new(7, 9)
-        );
+        assert_eq!(m.output_tile(TensorShape::new(7, 9, 3)), Dims2::new(7, 9));
     }
 
     #[test]
     fn zero_rows_clamped_to_one() {
         let m = Mapper::new(MapperPolicy::Tile { rows: 0, cols: 0 });
-        assert_eq!(
-            m.output_tile(TensorShape::new(8, 8, 3)),
-            Dims2::new(1, 1)
-        );
+        assert_eq!(m.output_tile(TensorShape::new(8, 8, 3)), Dims2::new(1, 1));
     }
 
     #[test]

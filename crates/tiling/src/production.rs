@@ -243,11 +243,7 @@ mod tests {
                 "n0",
                 LayerOp::Conv {
                     // pad 1 so the two branches join at the same 31×31.
-                    kernel: Kernel::new(
-                        Dims2::square(5),
-                        Dims2::square(2),
-                        Dims2::square(1),
-                    ),
+                    kernel: Kernel::new(Dims2::square(5), Dims2::square(2), Dims2::square(1)),
                     c_out: 1,
                 },
                 &[i],
@@ -267,11 +263,7 @@ mod tests {
             .add(
                 "n2",
                 LayerOp::Conv {
-                    kernel: Kernel::new(
-                        Dims2::square(3),
-                        Dims2::square(2),
-                        Dims2::square(0),
-                    ),
+                    kernel: Kernel::new(Dims2::square(3), Dims2::square(2), Dims2::square(0)),
                     c_out: 1,
                 },
                 &[n1],

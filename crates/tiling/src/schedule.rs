@@ -262,8 +262,8 @@ pub fn generate_program(
                                 } else {
                                     // Highest output row whose window fits
                                     // in rows [0, pa): r·s + F − 1 − pad ≤ pa − 1.
-                                    let num = i64::from(pa) + i64::from(k.pad.h)
-                                        - i64::from(k.size.h);
+                                    let num =
+                                        i64::from(pa) + i64::from(k.pad.h) - i64::from(k.size.h);
                                     if num < 0 {
                                         0
                                     } else {

@@ -7,7 +7,7 @@
 
 use cocco::prelude::*;
 
-fn main() -> Result<(), CoccoError> {
+fn main() -> Result<(), cocco::Error> {
     let model = cocco::graph::models::googlenet();
     println!("{model}\n");
 

@@ -7,7 +7,7 @@
 use cocco::mem::footprint::subgraph_footprint;
 use cocco::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), cocco::Error> {
     // An 8x8 PE array at 1.2 GHz with 32 GB/s of DRAM — a beefier core
     // than the paper's default.
     let accel = AcceleratorConfig {

@@ -6,7 +6,7 @@
 
 use cocco::prelude::*;
 
-fn main() -> Result<(), CoccoError> {
+fn main() -> Result<(), cocco::Error> {
     let model = cocco::graph::models::resnet50();
     println!("{model}\n");
     println!(

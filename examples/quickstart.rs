@@ -5,9 +5,11 @@
 
 use cocco::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), cocco::Error> {
     // 1. Describe a model with the graph builder (or use
-    //    `cocco::graph::models::*` for the paper's workloads).
+    //    `cocco::graph::models::*` for the paper's workloads). Builder
+    //    errors convert into the unified `cocco::Error`, so one `?` works
+    //    across the whole pipeline.
     let mut b = GraphBuilder::new("tiny-cnn");
     let input = b.input(TensorShape::new(64, 64, 3));
     let c1 = b.conv("c1", input, 32, Kernel::square_same(3, 1))?;
@@ -21,9 +23,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("model: {model}");
 
     // 2. Co-explore buffer capacity and graph partition (paper Formula 2).
+    //    Any method of the registry plugs in here — swap `SearchMethod::ga()`
+    //    for `sa()`, `greedy()`, `depth_dp()`, `exhaustive()` or
+    //    `two_step()` and the rest of the session is unchanged.
     let result = Cocco::new()
         .with_space(BufferSpace::paper_shared())
         .with_objective(Objective::paper_energy_capacity())
+        .with_method(SearchMethod::ga())
         .with_budget(5_000)
         .with_seed(42)
         .explore(&model)?;

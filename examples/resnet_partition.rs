@@ -38,7 +38,9 @@ fn main() {
     // Baseline: one layer per subgraph.
     report_row("layer-by-layer", &Partition::singletons(model.len()), 0);
 
-    // Deterministic baselines.
+    // Every search method, through the same registry and trait path the
+    // `Cocco` facade uses (partition-only objective at the fixed buffer;
+    // the enumeration is skipped — ResNet-50 is beyond its state budget).
     let ctx = SearchContext::new(
         &model,
         &evaluator,
@@ -46,12 +48,16 @@ fn main() {
         Objective::partition_only(CostMetric::Ema),
         20_000,
     );
-    let greedy = GreedyFusion::default().run(&ctx);
-    report_row("Halide (greedy)", &greedy.best.unwrap().partition, 0);
-    let dp = DepthDp::default().run(&ctx);
-    report_row("Irregular-NN (DP)", &dp.best.unwrap().partition, 0);
-
-    // Cocco's genetic search.
-    let ga = CoccoGa::default().with_seed(0xC0CC0).run(&ctx);
-    report_row("Cocco (GA)", &ga.best.unwrap().partition, ga.samples);
+    for method in [
+        SearchMethod::greedy(),
+        SearchMethod::depth_dp(),
+        SearchMethod::ga().with_seed(0xC0CC0),
+    ] {
+        let outcome = method.run(&ctx);
+        report_row(
+            method.name(),
+            &outcome.best.expect("feasible partition").partition,
+            outcome.samples,
+        );
+    }
 }

@@ -1,0 +1,454 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` against the `serde` shim's `Value` data model.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`,
+//! which are unavailable offline). Supported input shapes — exactly what the
+//! Cocco workspace derives on:
+//!
+//! * structs with named fields (including unit-ish `struct S {}`),
+//! * tuple structs (newtypes serialize transparently, wider ones as arrays),
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   upstream serde's default representation).
+//!
+//! Generics, lifetimes and `#[serde(...)]` attributes are intentionally
+//! rejected so that code written against this shim stays inside the subset
+//! upstream serde would accept unchanged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field list.
+enum Fields {
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+    /// Number of tuple fields.
+    Tuple(usize),
+    /// No payload at all (`struct S;` or a unit enum variant).
+    Unit,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// The parsed input item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde_derive: expected `struct` or `enum`, got {other:?}"
+            ))
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive shim: generic type `{name}` is not supported"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("serde_derive: bad struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("serde_derive: bad enum body: {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("serde_derive: cannot derive for `{other}`")),
+    }
+}
+
+/// Parses `attr* vis? name : type ,`-separated named fields, keeping only
+/// the names. Types are skipped with angle-bracket awareness so commas
+/// inside `Vec<(A, B)>`-style types do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(token) = tokens.next() else { break };
+        let TokenTree::Ident(field) = token else {
+            return Err(format!("serde_derive: expected field name, got {token:?}"));
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde_derive: expected `:`, got {other:?}")),
+        }
+        names.push(field.to_string());
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for token in tokens.by_ref() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(names)
+}
+
+/// Counts the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut in_field = false;
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    count += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Attributes before the variant.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            tokens.next();
+            tokens.next();
+        }
+        let Some(token) = tokens.next() else { break };
+        let TokenTree::Ident(name) = token else {
+            return Err(format!(
+                "serde_derive: expected variant name, got {token:?}"
+            ));
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream())?;
+                tokens.next();
+                Fields::Named(named)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                tokens.next();
+                Fields::Tuple(count)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        for token in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &token {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            fields,
+        });
+    }
+    Ok(variants)
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => object_expr(names, |f| format!("&self.{f}")),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => array_expr(*n, |i| format!("&self.{i}")),
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            impl_serialize(name, body)
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                array_expr(*n, |i| format!("f{i}"))
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), {inner})]),",
+                                binders.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inner = object_expr(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), {inner})]),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            impl_serialize(name, format!("match self {{ {} }}", arms.join("\n")))
+        }
+    }
+}
+
+fn object_expr(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({f:?}.to_string(), ::serde::Serialize::to_value({})),",
+                access(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", entries.join("\n"))
+}
+
+fn array_expr(n: usize, access: impl Fn(usize) -> String) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Serialize::to_value({}),", access(i)))
+        .collect();
+    format!("::serde::Value::Array(vec![{}])", items.join("\n"))
+}
+
+fn impl_serialize(name: &str, body: String) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => named_ctor(name, name, names),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+                }
+                Fields::Tuple(n) => tuple_ctor(name, name, *n, "value"),
+                Fields::Unit => format!(
+                    "match value {{\n\
+                         ::serde::Value::Null => Ok({name}),\n\
+                         other => Err(::serde::Error::mismatch(\"null\", {name:?}, other)),\n\
+                     }}"
+                ),
+            };
+            impl_deserialize(name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("{vname:?} => Ok({name}::{vname}),\n"));
+                        // Also accept `{"Variant": null}` for symmetry.
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => match inner {{\n\
+                                 ::serde::Value::Null => Ok({name}::{vname}),\n\
+                                 other => Err(::serde::Error::mismatch(\"null\", {vname:?}, other)),\n\
+                             }},\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let ctor = tuple_ctor(&format!("{name}::{vname}"), vname, *n, "inner");
+                        tagged_arms.push_str(&format!("{vname:?} => {{ {ctor} }},\n"));
+                    }
+                    Fields::Named(fields) => {
+                        let ctor = named_ctor_from(
+                            &format!("{name}::{vname}"),
+                            vname,
+                            fields,
+                            "inner",
+                        );
+                        tagged_arms.push_str(&format!("{vname:?} => {{ {ctor} }},\n"));
+                    }
+                }
+            }
+            let body = format!(
+                "match value {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err(::serde::Error::custom(format!(\n\
+                             \"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => Err(::serde::Error::custom(format!(\n\
+                                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     other => Err(::serde::Error::mismatch(\n\
+                         \"string or single-key object\", {name:?}, other)),\n\
+                 }}"
+            );
+            impl_deserialize(name, body)
+        }
+    }
+}
+
+/// `Ok(Path { a: ..., b: ... })` reading named fields out of `value`.
+fn named_ctor(path: &str, ty: &str, fields: &[String]) -> String {
+    named_ctor_from(path, ty, fields, "value")
+}
+
+fn named_ctor_from(path: &str, ty: &str, fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::field(fields, {f:?}, {ty:?})?)?,"
+            )
+        })
+        .collect();
+    format!(
+        "match {source}.as_object() {{\n\
+             Some(fields) => Ok({path} {{ {} }}),\n\
+             None => Err(::serde::Error::mismatch(\"object\", {ty:?}, {source})),\n\
+         }}",
+        inits.join("\n")
+    )
+}
+
+/// `Ok(Path(f0, f1, ...))` reading an n-element array out of `source`.
+fn tuple_ctor(path: &str, ty: &str, n: usize, source: &str) -> String {
+    let binders: Vec<String> = (0..n).map(|i| format!("f{i}")).collect();
+    let inits: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(f{i})?,"))
+        .collect();
+    format!(
+        "match {source}.as_array() {{\n\
+             Some([{}]) => Ok({path}({})),\n\
+             _ => Err(::serde::Error::mismatch(\"{n}-element array\", {ty:?}, {source})),\n\
+         }}",
+        binders.join(", "),
+        inits.join("\n")
+    )
+}
+
+fn impl_deserialize(name: &str, body: String) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -30,7 +30,11 @@ fn model_zoo_is_deterministic() {
         let b = cocco::graph::models::by_name(name).unwrap();
         assert_eq!(a.len(), b.len(), "{name}");
         assert_eq!(a.total_macs(), b.total_macs(), "{name}");
-        assert_eq!(a.total_weight_elements(), b.total_weight_elements(), "{name}");
+        assert_eq!(
+            a.total_weight_elements(),
+            b.total_weight_elements(),
+            "{name}"
+        );
     }
 }
 
@@ -46,7 +50,10 @@ fn sa_and_twostep_reproduce() {
             Objective::paper_energy_capacity(),
             400,
         );
-        SimulatedAnnealing::default().with_seed(seed).run(&ctx).best_cost
+        SimulatedAnnealing::default()
+            .with_seed(seed)
+            .run(&ctx)
+            .best_cost
     };
     assert_eq!(sa(3), sa(3));
     let ts = |seed| {

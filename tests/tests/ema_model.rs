@@ -10,8 +10,14 @@ fn ema_floor_holds_for_all_partitions() {
     let eval = Evaluator::new(&g, AcceleratorConfig::default());
     let buffer = BufferConfig::shared(64 << 20);
     let floor = g.total_weight_elements()
-        + g.input_ids().iter().map(|&i| g.out_elements(i)).sum::<u64>()
-        + g.output_ids().iter().map(|&o| g.out_elements(o)).sum::<u64>();
+        + g.input_ids()
+            .iter()
+            .map(|&i| g.out_elements(i))
+            .sum::<u64>()
+        + g.output_ids()
+            .iter()
+            .map(|&o| g.out_elements(o))
+            .sum::<u64>();
     for l in [1usize, 2, 4, 8, 1000] {
         let p = Partition::connected_groups(&g, l);
         let report = eval

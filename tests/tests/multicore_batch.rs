@@ -2,11 +2,7 @@
 
 use cocco::prelude::*;
 
-fn report(
-    g: &cocco::graph::Graph,
-    eval: &Evaluator<'_>,
-    options: EvalOptions,
-) -> PartitionReport {
+fn report(g: &cocco::graph::Graph, eval: &Evaluator<'_>, options: EvalOptions) -> PartitionReport {
     let p = Partition::connected_groups(g, 4);
     eval.eval_partition(&p.subgraphs(), &BufferConfig::shared(2 << 20), options)
         .unwrap()
@@ -58,17 +54,26 @@ fn weight_sharding_relaxes_capacity() {
         .max_by_key(|m| eval.subgraph_stats(m).unwrap().wgt_footprint_bytes)
         .unwrap();
     let stats = eval.subgraph_stats(heaviest).unwrap();
-    let tight = BufferConfig::separate(
-        stats.act_footprint_bytes,
-        stats.wgt_footprint_bytes / 2 + 1,
-    );
+    let tight =
+        BufferConfig::separate(stats.act_footprint_bytes, stats.wgt_footprint_bytes / 2 + 1);
     let r1 = eval
-        .eval_partition(std::slice::from_ref(heaviest), &tight, EvalOptions::with_cores(1))
+        .eval_partition(
+            std::slice::from_ref(heaviest),
+            &tight,
+            EvalOptions::with_cores(1),
+        )
         .unwrap();
     let r2 = eval
-        .eval_partition(std::slice::from_ref(heaviest), &tight, EvalOptions::with_cores(2))
+        .eval_partition(
+            std::slice::from_ref(heaviest),
+            &tight,
+            EvalOptions::with_cores(2),
+        )
         .unwrap();
-    assert!(!r1.fits, "should exceed the tight single-core weight buffer");
+    assert!(
+        !r1.fits,
+        "should exceed the tight single-core weight buffer"
+    );
     assert!(r2.fits, "two cores shard the weights and fit");
 }
 

@@ -1,7 +1,16 @@
-//! Property-based tests over randomly generated DAGs and partitions.
+//! Property-style tests over randomly generated DAGs and partitions.
+//!
+//! The offline toolchain has no `proptest`, so each property runs over a
+//! fixed number of seeded random cases (deterministic, reproducible): the
+//! case generator below mirrors the shapes a proptest strategy would
+//! produce.
 
 use cocco::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of random cases per property.
+const CASES: u64 = 48;
 
 /// A random shape-preserving irregular DAG: every tensor is 32×32×16, so
 /// element-wise joins are legal anywhere and the generator can wire skips
@@ -37,102 +46,161 @@ fn random_dag(ops: Vec<(u8, usize, usize)>) -> cocco::graph::Graph {
     b.finish().unwrap()
 }
 
-fn dag_strategy() -> impl Strategy<Value = cocco::graph::Graph> {
-    proptest::collection::vec((any::<u8>(), 0usize..64, 0usize..64), 3..24).prop_map(random_dag)
+/// Draws a random DAG of 3..24 operators (as the proptest strategy did).
+fn draw_dag(rng: &mut StdRng) -> cocco::graph::Graph {
+    let n = rng.gen_range(3..24usize);
+    let ops = (0..n)
+        .map(|_| {
+            (
+                rng.gen::<u8>(),
+                rng.gen_range(0..64usize),
+                rng.gen_range(0..64usize),
+            )
+        })
+        .collect();
+    random_dag(ops)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+/// Draws a 64-entry random assignment pool with ids below `k`.
+fn draw_ids(rng: &mut StdRng, k: u32) -> Vec<u32> {
+    (0..64).map(|_| rng.gen_range(0..k)).collect()
+}
 
-    /// Repair always produces a valid partition from arbitrary assignments.
-    #[test]
-    fn repair_always_valid(graph in dag_strategy(), ids in proptest::collection::vec(0u32..8, 64)) {
+/// Repair always produces a valid partition from arbitrary assignments.
+#[test]
+fn repair_always_valid() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0000 + case);
+        let graph = draw_dag(&mut rng);
+        let ids = draw_ids(&mut rng, 8);
         let assignment: Vec<u32> = (0..graph.len()).map(|i| ids[i % ids.len()]).collect();
-        let repaired = repair(&graph, Partition::from_assignment(assignment), &|m| m.len() <= 6);
-        prop_assert!(repaired.validate(&graph).is_ok());
-        prop_assert!(repaired.subgraphs().iter().all(|m| m.len() <= 6));
+        let repaired = repair(&graph, Partition::from_assignment(assignment), &|m| {
+            m.len() <= 6
+        });
+        assert!(repaired.validate(&graph).is_ok(), "case {case}");
+        assert!(
+            repaired.subgraphs().iter().all(|m| m.len() <= 6),
+            "case {case}: oversized subgraph survived repair"
+        );
     }
+}
 
-    /// Canonicalization is idempotent.
-    #[test]
-    fn canonicalize_idempotent(graph in dag_strategy(), ids in proptest::collection::vec(0u32..8, 64)) {
+/// Canonicalization is idempotent.
+#[test]
+fn canonicalize_idempotent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_1000 + case);
+        let graph = draw_dag(&mut rng);
+        let ids = draw_ids(&mut rng, 8);
         let assignment: Vec<u32> = (0..graph.len()).map(|i| ids[i % ids.len()]).collect();
         let mut p = repair(&graph, Partition::from_assignment(assignment), &|_| true);
         let once = p.clone();
         p.canonicalize(&graph);
-        prop_assert_eq!(once, p);
+        assert_eq!(once, p, "case {case}");
     }
+}
 
-    /// Tiling invariants: `x ≥ Δ`, divisibility of `Δ(u)/s(v)` on exact
-    /// non-full nodes, and bounded overlap.
-    #[test]
-    fn tiling_invariants(graph in dag_strategy()) {
+/// Tiling invariants: `x ≥ Δ`, divisibility of `Δ(u)/s(v)` on exact
+/// non-full nodes, and bounded overlap.
+#[test]
+fn tiling_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_2000 + case);
+        let graph = draw_dag(&mut rng);
         let members: Vec<_> = graph.node_ids().collect();
         let scheme = derive_scheme(&graph, &members, &Mapper::default()).unwrap();
         for (id, s) in scheme.iter() {
-            prop_assert!(s.tile.h >= s.delta.h);
-            prop_assert!(s.tile.w >= s.delta.w);
+            assert!(s.tile.h >= s.delta.h, "case {case}");
+            assert!(s.tile.w >= s.delta.w, "case {case}");
             let shape = graph.node(id).out_shape();
-            prop_assert!(s.tile.h <= shape.h && s.tile.w <= shape.w);
+            assert!(s.tile.h <= shape.h && s.tile.w <= shape.w, "case {case}");
             if scheme.exact_upd() && !s.full_h {
                 for &v in graph.consumers(id) {
-                    if scheme.get(v).is_none() { continue; }
+                    if scheme.get(v).is_none() {
+                        continue;
+                    }
                     if let cocco::graph::EdgeReq::Sliding(k) = graph.edge_req(id, v) {
-                        prop_assert_eq!(s.delta.h % k.stride.h.max(1), 0);
+                        assert_eq!(s.delta.h % k.stride.h.max(1), 0, "case {case}");
                     }
                 }
             }
         }
     }
+}
 
-    /// Growing a subgraph never shrinks its activation footprint.
-    #[test]
-    fn footprint_monotone_on_prefixes(graph in dag_strategy()) {
+/// Growing a subgraph never shrinks its activation footprint.
+#[test]
+fn footprint_monotone_on_prefixes() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_3000 + case);
+        let graph = draw_dag(&mut rng);
         let eval = Evaluator::new(&graph, AcceleratorConfig::default());
         let ids: Vec<_> = graph.node_ids().collect();
         let mut previous = 0u64;
         for take in 1..=ids.len() {
             let members = &ids[..take];
             let stats = eval.subgraph_stats(members).unwrap();
-            prop_assert!(
+            assert!(
                 stats.act_footprint_bytes >= previous,
-                "footprint shrank at {}: {} < {}", take, stats.act_footprint_bytes, previous
+                "case {case}: footprint shrank at {take}: {} < {previous}",
+                stats.act_footprint_bytes,
             );
             previous = stats.act_footprint_bytes;
         }
     }
+}
 
-    /// EMA of any repaired partition respects the floor.
-    #[test]
-    fn ema_floor(graph in dag_strategy(), ids in proptest::collection::vec(0u32..6, 64)) {
+/// EMA of any repaired partition respects the floor.
+#[test]
+fn ema_floor() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_4000 + case);
+        let graph = draw_dag(&mut rng);
         let eval = Evaluator::new(&graph, AcceleratorConfig::default());
+        let ids = draw_ids(&mut rng, 6);
         let assignment: Vec<u32> = (0..graph.len()).map(|i| ids[i % ids.len()]).collect();
         let p = repair(&graph, Partition::from_assignment(assignment), &|_| true);
         let buffer = BufferConfig::shared(64 << 20);
-        let report = eval.eval_partition(&p.subgraphs(), &buffer, EvalOptions::default()).unwrap();
+        let report = eval
+            .eval_partition(&p.subgraphs(), &buffer, EvalOptions::default())
+            .unwrap();
         let floor: u64 = graph.total_weight_elements()
-            + graph.input_ids().iter().map(|&i| graph.out_elements(i)).sum::<u64>()
-            + graph.output_ids().iter().map(|&o| graph.out_elements(o)).sum::<u64>();
-        prop_assert!(report.ema_bytes >= floor);
+            + graph
+                .input_ids()
+                .iter()
+                .map(|&i| graph.out_elements(i))
+                .sum::<u64>()
+            + graph
+                .output_ids()
+                .iter()
+                .map(|&o| graph.out_elements(o))
+                .sum::<u64>();
+        assert!(report.ema_bytes >= floor, "case {case}");
     }
+}
 
-    /// Subgraph statistics do not depend on member order.
-    #[test]
-    fn stats_order_independent(graph in dag_strategy(), seed in any::<u64>()) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+/// Subgraph statistics do not depend on member order.
+#[test]
+fn stats_order_independent() {
+    use rand::seq::SliceRandom;
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_5000 + case);
+        let graph = draw_dag(&mut rng);
         let eval = Evaluator::new(&graph, AcceleratorConfig::default());
         let mut members: Vec<_> = graph.node_ids().collect();
         let a = eval.subgraph_stats(&members).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         members.shuffle(&mut rng);
         let b = eval.subgraph_stats(&members).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// The GA honours any sample budget exactly.
-    #[test]
-    fn ga_budget_exact(budget in 1u64..120) {
+/// The GA honours any sample budget exactly.
+#[test]
+fn ga_budget_exact() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_6000 + case);
+        let budget = rng.gen_range(1u64..120);
         let graph = cocco::graph::models::diamond();
         let eval = Evaluator::new(&graph, AcceleratorConfig::default());
         let ctx = SearchContext::new(
@@ -142,8 +210,12 @@ proptest! {
             Objective::paper_energy_capacity(),
             budget,
         );
-        let out = CoccoGa::default().with_population(8).with_seed(1).sequential().run(&ctx);
-        prop_assert_eq!(out.samples, budget);
-        prop_assert_eq!(ctx.budget().used(), budget);
+        let out = CoccoGa::default()
+            .with_population(8)
+            .with_seed(1)
+            .sequential()
+            .run(&ctx);
+        assert_eq!(out.samples, budget, "case {case}");
+        assert_eq!(ctx.budget().used(), budget, "case {case}");
     }
 }
