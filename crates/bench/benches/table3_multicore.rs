@@ -28,7 +28,7 @@ fn main() {
         let evaluator = Evaluator::new(&model, AcceleratorConfig::default());
         for cores in [1u32, 2, 4] {
             for batch in [1u32, 2, 8] {
-                let options = EvalOptions { cores, batch };
+                let options = EvalOptions::new(cores, batch).expect("nonzero cores/batch");
                 let cfg = ExperimentCfg {
                     model: &model,
                     evaluator: &evaluator,

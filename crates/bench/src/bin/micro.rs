@@ -1,0 +1,299 @@
+//! Micro-benchmarks of the framework's hot paths: model construction, the
+//! consumption-centric derivation, subgraph statistics (cold and cached),
+//! partition repair, full partition evaluation and the evaluation engine's
+//! serial-vs-parallel batch path.
+//!
+//! Timed with a small std-only harness (the offline toolchain has no
+//! criterion): each case is warmed up, then sampled until ~0.25 s of
+//! wall-clock or 50 samples, whichever comes first, reporting the median
+//! and minimum per-iteration time.
+//!
+//! Modes:
+//!
+//! * `cargo run --release -p cocco-bench --bin micro` — the full suite,
+//!   ending with the engine benchmark (GA on `resnet50`, serial vs. 4
+//!   worker threads) and a `BENCH_engine.json` summary at the repository
+//!   root;
+//! * `cargo run --release -p cocco-bench --bin micro -- --smoke` — the CI
+//!   smoke mode: a scaled-down engine run that exercises the parallel
+//!   batch path and asserts serial/parallel results are bit-identical.
+
+use cocco::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Times `f`, printing `name: median (min) per iteration`.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up and batch-size calibration: aim for batches of >= 1 ms.
+    let mut batch = 1u32;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 4;
+    }
+    let budget = Duration::from_millis(250);
+    let mut samples = Vec::new();
+    let run_start = Instant::now();
+    while samples.len() < 50 && (run_start.elapsed() < budget || samples.len() < 5) {
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        samples.push(start.elapsed().as_secs_f64() / f64::from(batch));
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    println!(
+        "{name:<42} {:>12} (min {})",
+        fmt_time(median),
+        fmt_time(min)
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// One timed GA run at a fixed thread count; returns wall time plus the
+/// outcome fingerprint and engine statistics.
+fn ga_run(
+    model: &Graph,
+    budget: u64,
+    population: usize,
+    threads: u32,
+) -> (Duration, f64, Option<Genome>, EngineStats) {
+    // A fresh evaluator per run so both arms start with cold caches.
+    let evaluator = Evaluator::new(model, AcceleratorConfig::default());
+    let ctx = SearchContext::new(
+        model,
+        &evaluator,
+        BufferSpace::paper_shared(),
+        Objective::paper_energy_capacity(),
+        budget,
+    )
+    .with_engine(EngineConfig::with_threads(threads));
+    let ga = CoccoGa::default().with_population(population).with_seed(42);
+    let start = Instant::now();
+    let outcome = ga.run(&ctx);
+    (
+        start.elapsed(),
+        outcome.best_cost,
+        outcome.best,
+        ctx.engine().stats(),
+    )
+}
+
+/// The engine benchmark: serial vs. parallel GA on a ≥ 50-node model.
+/// Asserts bit-identical results (every host) and the ≥ 2× batch-path
+/// speedup (hosts with ≥ 4 CPUs — a single-core container cannot
+/// physically speed up, so there the number is informational), and returns
+/// the JSON summary document.
+fn engine_bench(smoke: bool) -> serde_json::Value {
+    let model = cocco::graph::models::resnet50();
+    let (budget, population, threads) = if smoke { (600, 50, 4) } else { (3_000, 100, 4) };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "\n== engine: GA on {} ({} nodes), budget {budget}, population {population}, host CPUs {host_cpus} ==\n",
+        model.name(),
+        model.len()
+    );
+
+    let (serial_wall, serial_cost, serial_best, _) = ga_run(&model, budget, population, 1);
+    let (parallel_wall, parallel_cost, parallel_best, stats) =
+        ga_run(&model, budget, population, threads);
+
+    assert_eq!(
+        serial_cost, parallel_cost,
+        "engine determinism violated: serial and parallel best costs differ"
+    );
+    assert_eq!(
+        serial_best, parallel_best,
+        "engine determinism violated: serial and parallel best genomes differ"
+    );
+    assert!(stats.cache_hits > 0, "GA run never hit the eval cache");
+
+    let serial_ms = serial_wall.as_secs_f64() * 1e3;
+    let parallel_ms = parallel_wall.as_secs_f64() * 1e3;
+    let speedup = serial_ms / parallel_ms;
+    println!(
+        "serial  (1 thread)   : {:>10}",
+        fmt_time(serial_wall.as_secs_f64())
+    );
+    println!(
+        "parallel ({threads} threads) : {:>10}",
+        fmt_time(parallel_wall.as_secs_f64())
+    );
+    println!("speedup              : {speedup:.2}x");
+    println!(
+        "cache                : {} evals, {} hits ({:.0}%), {} entries",
+        stats.evals,
+        stats.cache_hits,
+        stats.hit_rate() * 100.0,
+        stats.cache_entries,
+    );
+    println!("results              : bit-identical serial vs parallel ✓");
+    if host_cpus >= 4 && !smoke {
+        assert!(
+            speedup >= 2.0,
+            "batched path must be >= 2x faster than serial at {threads} threads \
+             on a {host_cpus}-CPU host (measured {speedup:.2}x)"
+        );
+    } else if host_cpus < 2 {
+        println!(
+            "note                 : host has {host_cpus} CPU — 4 workers timeslice one core, \
+             so the speedup above measures overhead, not parallelism"
+        );
+    }
+
+    let doc = vec![
+        ("model".to_string(), serde_json::to_value(&model.name())),
+        (
+            "nodes".to_string(),
+            serde_json::to_value(&(model.len() as u64)),
+        ),
+        ("budget".to_string(), serde_json::to_value(&budget)),
+        (
+            "population".to_string(),
+            serde_json::to_value(&(population as u64)),
+        ),
+        (
+            "threads".to_string(),
+            serde_json::to_value(&u64::from(threads)),
+        ),
+        (
+            "host_cpus".to_string(),
+            serde_json::to_value(&(host_cpus as u64)),
+        ),
+        ("serial_ms".to_string(), serde_json::to_value(&serial_ms)),
+        (
+            "parallel_ms".to_string(),
+            serde_json::to_value(&parallel_ms),
+        ),
+        ("speedup".to_string(), serde_json::to_value(&speedup)),
+        ("evals".to_string(), serde_json::to_value(&stats.evals)),
+        (
+            "cache_hits".to_string(),
+            serde_json::to_value(&stats.cache_hits),
+        ),
+        (
+            "cache_hit_rate".to_string(),
+            serde_json::to_value(&stats.hit_rate()),
+        ),
+        ("deterministic".to_string(), serde_json::to_value(&true)),
+    ];
+    serde_json::Value::Object(doc)
+}
+
+fn full_suite() {
+    println!("== micro-benchmarks (median per iteration) ==\n");
+
+    bench("models/build_resnet50", cocco::graph::models::resnet50);
+    bench("models/build_googlenet", cocco::graph::models::googlenet);
+
+    {
+        let model = cocco::graph::models::googlenet();
+        let members: Vec<_> = model.node_ids().collect();
+        let mapper = Mapper::default();
+        bench("tiling/derive_scheme_googlenet_whole", || {
+            derive_scheme(&model, &members, &mapper).unwrap()
+        });
+    }
+
+    {
+        let model = cocco::graph::models::resnet50();
+        let members: Vec<_> = model.node_ids().take(12).collect();
+        bench("evaluator/subgraph_stats_cold", || {
+            // A fresh evaluator per iteration so the cache never warms.
+            let eval = Evaluator::new(&model, AcceleratorConfig::default());
+            eval.subgraph_stats(&members).unwrap()
+        });
+        let eval = Evaluator::new(&model, AcceleratorConfig::default());
+        eval.subgraph_stats(&members).unwrap();
+        bench("evaluator/subgraph_stats_cached", || {
+            eval.subgraph_stats(&members).unwrap()
+        });
+        let partition = repair(&model, Partition::depth_groups(&model, 5), &|_| true);
+        let subgraphs = partition.subgraphs();
+        let buffer = BufferConfig::shared(2 << 20);
+        bench("evaluator/eval_partition_depth5", || {
+            eval.eval_partition(&subgraphs, &buffer, EvalOptions::default())
+                .unwrap()
+        });
+    }
+
+    {
+        let model = cocco::graph::models::googlenet();
+        let mut rng = StdRng::seed_from_u64(42);
+        let assignments: Vec<Vec<u32>> = (0..32)
+            .map(|_| (0..model.len()).map(|_| rng.gen_range(0..12)).collect())
+            .collect();
+        let mut i = 0;
+        bench("repair/random_googlenet", || {
+            let a = assignments[i % assignments.len()].clone();
+            i += 1;
+            repair(&model, Partition::from_assignment(a), &|m| m.len() <= 16)
+        });
+    }
+
+    {
+        let model = cocco::graph::models::googlenet();
+        let eval = Evaluator::new(&model, AcceleratorConfig::default());
+        bench("search/ga_500_samples_googlenet", || {
+            let ctx = SearchContext::new(
+                &model,
+                &eval,
+                BufferSpace::paper_shared(),
+                Objective::paper_energy_capacity(),
+                500,
+            );
+            CoccoGa::default()
+                .with_population(50)
+                .with_seed(1)
+                .run(&ctx)
+        });
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if let Some(bad) = args.iter().find(|a| *a != "--smoke") {
+        eprintln!("unknown argument `{bad}` (only --smoke is supported)");
+        std::process::exit(2);
+    }
+
+    if smoke {
+        // CI smoke: exercise the parallel batch path and the determinism
+        // invariant; skip the slow timing loops.
+        engine_bench(true);
+        println!("\nsmoke OK");
+        return;
+    }
+
+    full_suite();
+    let doc = engine_bench(false);
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
+    let text = serde_json::to_string_pretty(&doc).expect("summary serializes");
+    match std::fs::write(&path, format!("{text}\n")) {
+        Ok(()) => println!("\n(engine summary written to {})", path.display()),
+        Err(e) => eprintln!("\n(could not write {}: {e})", path.display()),
+    }
+}

@@ -15,7 +15,11 @@
 //! | `fig13_distribution` | Fig. 13 — sample-distribution drift |
 //! | `fig14_alpha` | Fig. 14 — α sensitivity |
 //! | `table3_multicore` | Table 3 — cores × batch |
-//! | `micro` | Criterion micro-benchmarks of the hot paths |
+//!
+//! The `micro` binary (`src/bin/micro.rs`) times the hot paths and runs
+//! the engine's serial-vs-parallel comparison (writing `BENCH_engine.json`
+//! at the repository root); CI exercises it with
+//! `cargo run --release -p cocco-bench --bin micro -- --smoke`.
 //!
 //! Budgets are scaled down by default so `cargo bench` finishes quickly;
 //! set `COCCO_FULL=1` for paper-scale budgets (400 k partition samples,

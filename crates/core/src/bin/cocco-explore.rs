@@ -18,8 +18,8 @@ struct Args {
     metric: CostMetric,
     alpha: f64,
     seed: u64,
-    cores: u32,
-    batch: u32,
+    options: EvalOptions,
+    threads: EngineConfig,
     method: SearchMethod,
     json: bool,
     list: bool,
@@ -45,6 +45,8 @@ fn usage() -> String {
            --seed <n>         RNG seed (default 0xC0CC0)\n\
            --cores <n>        NPU cores (default 1)\n\
            --batch <n>        batch size (default 1)\n\
+           --threads <n>      evaluation worker threads, or `auto` (default auto);\n\
+                              results are identical at any thread count\n\
            --json             print the full exploration result as JSON\n\
            --dot              print the partitioned graph in Graphviz DOT\n\
            --list             list available models and exit",
@@ -61,21 +63,36 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         metric: CostMetric::Energy,
         alpha: 0.002,
         seed: 0xC0CC0,
-        cores: 1,
-        batch: 1,
+        options: EvalOptions::default(),
+        threads: EngineConfig::auto(),
         method: SearchMethod::default(),
         json: false,
         list: false,
         dot: false,
     };
+    let mut cores: u32 = 1;
+    let mut batch: u32 = 1;
     let next_value =
         |argv: &mut std::env::Args, flag: &str| argv.next().ok_or(format!("{flag} needs a value"));
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--budget" => args.budget = parse_num(&next_value(&mut argv, "--budget")?)?,
             "--seed" => args.seed = parse_num(&next_value(&mut argv, "--seed")?)?,
-            "--cores" => args.cores = parse_num(&next_value(&mut argv, "--cores")?)?,
-            "--batch" => args.batch = parse_num(&next_value(&mut argv, "--batch")?)?,
+            "--cores" => cores = parse_num(&next_value(&mut argv, "--cores")?)?,
+            "--batch" => batch = parse_num(&next_value(&mut argv, "--batch")?)?,
+            "--threads" => {
+                let value = next_value(&mut argv, "--threads")?;
+                args.threads = match value.as_str() {
+                    "auto" => EngineConfig::auto(),
+                    n => {
+                        let n: u32 = parse_num(n)?;
+                        if n == 0 {
+                            return Err("--threads must be >= 1 (or `auto`)".to_string());
+                        }
+                        EngineConfig::with_threads(n)
+                    }
+                };
+            }
             "--alpha" => {
                 args.alpha = next_value(&mut argv, "--alpha")?
                     .parse()
@@ -114,6 +131,8 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
     if args.json && args.dot {
         return Err("--json and --dot are mutually exclusive (the DOT text would corrupt the JSON document)".to_string());
     }
+    args.options =
+        EvalOptions::new(cores, batch).map_err(|e| format!("bad --cores/--batch: {e}"))?;
     Ok(args)
 }
 
@@ -161,10 +180,8 @@ fn main() -> ExitCode {
     let session = Cocco::new()
         .with_space(args.space)
         .with_objective(Objective::co_exploration(args.metric, args.alpha))
-        .with_options(EvalOptions {
-            cores: args.cores,
-            batch: args.batch,
-        })
+        .with_options(args.options)
+        .with_engine(args.threads)
         .with_budget(args.budget)
         .with_method(method.clone());
     let result = match session.explore(&model) {
@@ -214,6 +231,20 @@ fn main() -> ExitCode {
     );
     println!("avg bandwidth      : {:.2} GB/s", result.report.avg_bw_gbps);
     println!("samples used       : {}", result.samples);
+    println!(
+        "engine             : {} threads, {} evals, {} cache hits ({:.0}%), {:.1} ms",
+        result.stats.threads,
+        result.stats.evals,
+        result.stats.cache_hits,
+        result.stats.hit_rate() * 100.0,
+        result.stats.wall_ms,
+    );
+    if result.infeasible_errors > 0 {
+        println!(
+            "warning            : {} evaluator errors were folded into infeasibility",
+            result.infeasible_errors
+        );
+    }
     if !result.completed {
         println!("note               : method did not complete (limits hit)");
     }

@@ -1,6 +1,7 @@
 //! The end-to-end framework driver (paper Figure 10).
 
 use crate::error::Error;
+use cocco_engine::{EngineConfig, EngineStats};
 use cocco_graph::Graph;
 use cocco_search::{
     BufferSpace, GaConfig, Objective, SearchContext, SearchMethod, Searcher, Trace,
@@ -30,6 +31,13 @@ pub struct Exploration {
     /// (e.g. enumeration hitting its state budget — the paper's "cannot
     /// complete within a reasonable time").
     pub completed: bool,
+    /// Evaluator errors the search pipeline folded into "does not
+    /// fit"/infinite cost. Non-zero on a well-formed run means a
+    /// configuration bug, not a genuinely infeasible design point.
+    pub infeasible_errors: u64,
+    /// Evaluation-engine statistics: scoring requests, cache hits,
+    /// batch wall time and worker-thread count.
+    pub stats: EngineStats,
     /// Every recorded evaluation, for convergence (Fig. 12) and
     /// distribution (Fig. 13) studies.
     pub trace: Trace,
@@ -73,6 +81,7 @@ pub struct Cocco {
     budget: u64,
     method: SearchMethod,
     seed: Option<u64>,
+    engine: EngineConfig,
 }
 
 impl Cocco {
@@ -89,6 +98,7 @@ impl Cocco {
             budget: 50_000,
             method: SearchMethod::default(),
             seed: None,
+            engine: EngineConfig::default(),
         }
     }
 
@@ -119,6 +129,13 @@ impl Cocco {
     /// Sets the sample budget.
     pub fn with_budget(mut self, budget: u64) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Configures the evaluation engine (worker threads). Results are
+    /// identical at any thread count; this is a wall-clock knob.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -178,7 +195,8 @@ impl Cocco {
         }
         let evaluator = Evaluator::new(model, self.accel.clone());
         let ctx = SearchContext::new(model, &evaluator, self.space, self.objective, self.budget)
-            .with_options(self.options);
+            .with_options(self.options)
+            .with_engine(self.engine);
         let outcome = method.run(&ctx);
         let genome = outcome.best.ok_or(if outcome.completed {
             Error::NoFeasibleSolution
@@ -200,6 +218,8 @@ impl Cocco {
             cost: outcome.best_cost,
             samples: outcome.samples,
             completed: outcome.completed,
+            infeasible_errors: ctx.trace().infeasible_errors(),
+            stats: ctx.engine().stats(),
             trace: ctx.trace().clone(),
         })
     }
@@ -285,6 +305,45 @@ mod tests {
             .explore(&model)
             .unwrap();
         assert_ne!(seed_first.trace, default_seed.trace);
+    }
+
+    #[test]
+    fn identical_results_at_any_thread_count() {
+        let model = cocco_graph::models::googlenet();
+        let run = |threads: u32| {
+            Cocco::new()
+                .with_budget(600)
+                .with_seed(13)
+                .with_engine(EngineConfig::with_threads(threads))
+                .explore(&model)
+                .unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.cost, parallel.cost);
+        assert_eq!(serial.genome, parallel.genome);
+        assert_eq!(serial.trace, parallel.trace);
+        assert_eq!(serial.stats.evals, parallel.stats.evals);
+        assert_eq!(parallel.stats.threads, 4);
+    }
+
+    #[test]
+    fn standard_ga_run_reports_engine_stats() {
+        let model = cocco_graph::models::diamond();
+        let result = Cocco::new()
+            .with_budget(800)
+            .with_seed(3)
+            .explore(&model)
+            .unwrap();
+        assert!(
+            result.stats.cache_hits > 0,
+            "a GA population re-proposes genomes; some evaluations must hit the cache"
+        );
+        assert!(result.stats.evals >= result.samples);
+        assert_eq!(
+            result.infeasible_errors, 0,
+            "a well-formed run must not hide evaluator errors"
+        );
     }
 
     #[test]

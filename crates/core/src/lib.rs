@@ -17,6 +17,7 @@
 //! | [`mem`] | `cocco-mem` | MAIN/SIDE regions, region manager, footprints (§3.2) |
 //! | [`sim`] | `cocco-sim` | SIMBA-like NPU cost model (§5.1) |
 //! | [`partition`] | `cocco-partition` | partitions, validity, repair (§4.1) |
+//! | [`engine`] | `cocco-engine` | parallel, memoized evaluation engine |
 //! | [`search`] | `cocco-search` | method registry: GA + all baselines (§4.2-4.4) |
 //!
 //! # Quickstart
@@ -51,6 +52,7 @@
 //! # }
 //! ```
 
+pub use cocco_engine as engine;
 pub use cocco_graph as graph;
 pub use cocco_mem as mem;
 pub use cocco_partition as partition;

@@ -12,6 +12,7 @@
 
 pub use crate::error::{CoccoError, Error};
 pub use crate::framework::{Cocco, Exploration};
+pub use cocco_engine::{Engine, EngineConfig, EngineStats, SampleBudget, ThreadCount};
 pub use cocco_graph::{Dims2, Graph, GraphBuilder, Kernel, LayerOp, NodeId, TensorShape};
 pub use cocco_partition::{repair, Partition, Quotient};
 pub use cocco_search::{

@@ -83,6 +83,66 @@ fn out_of_range_cores_are_rejected_not_truncated() {
 }
 
 #[test]
+fn zero_cores_are_rejected_at_parse_time() {
+    let out = explore(&["vgg16", "--cores", "0", "--budget", "10"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("cores and batch must be nonzero"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn threads_flag_is_validated_and_reported() {
+    let out = explore(&["googlenet", "--budget", "60", "--threads", "2"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("2 threads"), "{stdout}");
+
+    let auto = explore(&["googlenet", "--budget", "60", "--threads", "auto"]);
+    assert!(auto.status.success());
+
+    let bad = explore(&["googlenet", "--budget", "10", "--threads", "0"]);
+    assert!(!bad.status.success());
+    let stderr = String::from_utf8(bad.stderr).unwrap();
+    assert!(stderr.contains("--threads"), "{stderr}");
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let run = |threads: &str| {
+        let out = explore(&[
+            "googlenet",
+            "--budget",
+            "300",
+            "--seed",
+            "5",
+            "--threads",
+            threads,
+            "--json",
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+        serde_json::from_value::<cocco::Exploration>(value.get("exploration").unwrap()).unwrap()
+    };
+    let serial = run("1");
+    let parallel = run("4");
+    assert_eq!(serial.cost, parallel.cost);
+    assert_eq!(serial.genome, parallel.genome);
+    assert_eq!(serial.samples, parallel.samples);
+}
+
+#[test]
 fn unknown_model_reports_the_unified_error() {
     let out = explore(&["alexnet", "--budget", "10"]);
     assert!(!out.status.success());

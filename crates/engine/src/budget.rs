@@ -15,7 +15,7 @@ use std::sync::Arc;
 /// # Examples
 ///
 /// ```
-/// use cocco_search::SampleBudget;
+/// use cocco_engine::SampleBudget;
 ///
 /// let b = SampleBudget::new(2);
 /// assert_eq!(b.try_consume(), Some(0));
@@ -152,5 +152,95 @@ mod tests {
         assert_eq!(b.try_consume(), None, "parent pool drained");
         assert!(b.is_exhausted());
         assert!(parent.is_exhausted());
+    }
+
+    #[test]
+    fn concurrent_shared_budget_yields_unique_indices() {
+        // N threads on one budget: every granted index is unique and the
+        // total never exceeds the limit, even when threads keep hammering
+        // after exhaustion.
+        let b = std::sync::Arc::new(SampleBudget::new(777));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..400 {
+                    if let Some(i) = b.try_consume() {
+                        got.push(i);
+                    }
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 777, "over- or under-consumed");
+        all.dedup();
+        assert_eq!(all.len(), 777, "duplicate sample indices granted");
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn concurrent_slices_never_exceed_caps() {
+        // Four slices of one parent, each hammered by two threads: no slice
+        // exceeds its cap, the parent never exceeds its limit, and every
+        // granted global index is unique.
+        let parent = std::sync::Arc::new(SampleBudget::new(1_000));
+        let slices: Vec<_> = (0..4)
+            .map(|_| std::sync::Arc::new(SampleBudget::slice(parent.clone(), 300)))
+            .collect();
+        let mut handles = Vec::new();
+        for slice in &slices {
+            for _ in 0..2 {
+                let slice = slice.clone();
+                handles.push(std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(i) = slice.try_consume() {
+                        got.push(i);
+                    }
+                    got
+                }));
+            }
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        for slice in &slices {
+            assert!(slice.used() <= 300, "slice exceeded its cap");
+        }
+        // 4 slices × 300 > 1000: the parent pool is the binding constraint.
+        assert_eq!(parent.used(), 1_000);
+        assert_eq!(all.len(), 1_000);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1_000, "duplicate global indices");
+    }
+
+    #[test]
+    fn concurrent_slice_cap_binds_when_parent_is_larger() {
+        // One small slice of a big parent, hammered concurrently: the slice
+        // cap binds exactly.
+        let parent = std::sync::Arc::new(SampleBudget::new(1 << 20));
+        let slice = std::sync::Arc::new(SampleBudget::slice(parent.clone(), 123));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let slice = slice.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0u64;
+                while slice.try_consume().is_some() {
+                    got += 1;
+                }
+                got
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 123);
+        assert_eq!(slice.used(), 123);
+        assert_eq!(parent.used(), 123);
     }
 }

@@ -1,0 +1,274 @@
+//! The sharded memoization cache for partition evaluations.
+
+use crate::engine::ScoredEval;
+use cocco_graph::NodeId;
+use cocco_sim::{BufferConfig, EvalOptions};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Number of independent shards; keys spread by hash, so concurrent
+/// workers rarely contend on the same lock.
+const SHARDS: usize = 16;
+
+/// A compact, collision-free cache key: the ordered subgraph member sets,
+/// the buffer configuration and the evaluation options, flattened into one
+/// `u64` sequence.
+pub type EvalKey = Box<[u64]>;
+
+/// Encodes `(evaluator fingerprint, subgraphs, buffer, options)` into an
+/// [`EvalKey`].
+///
+/// The fingerprint ([`Evaluator::fingerprint`](cocco_sim::Evaluator)) pins
+/// the entry to one `(graph, accelerator config)` pair, so an engine
+/// shared across evaluators — two models, two platforms — never returns
+/// another evaluator's scores. Subgraph *order* is part of the key:
+/// partition evaluation is order-sensitive (the bandwidth model prefetches
+/// the *next* subgraph's weights). Member order within a subgraph is
+/// canonicalized by the evaluator, not here — searchers produce members in
+/// canonical (topological) order already, and a different member order
+/// would merely miss the cache, never corrupt it.
+pub fn eval_key(
+    fingerprint: u64,
+    subgraphs: &[Vec<NodeId>],
+    buffer: &BufferConfig,
+    options: EvalOptions,
+) -> EvalKey {
+    let members: usize = subgraphs.iter().map(Vec::len).sum();
+    let mut key = Vec::with_capacity(6 + members + subgraphs.len());
+    key.push(fingerprint);
+    match buffer {
+        BufferConfig::Shared { total } => {
+            key.push(0);
+            key.push(*total);
+            key.push(0);
+        }
+        BufferConfig::Separate { glb, wgt } => {
+            key.push(1);
+            key.push(*glb);
+            key.push(*wgt);
+        }
+    }
+    key.push(u64::from(options.cores()));
+    key.push(u64::from(options.batch()));
+    for subgraph in subgraphs {
+        for &m in subgraph {
+            key.push(m.index() as u64);
+        }
+        key.push(u64::MAX); // subgraph separator (never a node index)
+    }
+    key.into_boxed_slice()
+}
+
+/// FNV-1a over the key words — cheap, deterministic shard selection.
+fn shard_of(key: &[u64]) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in key {
+        h ^= w;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % SHARDS as u64) as usize
+}
+
+/// A sharded map from [`EvalKey`] to [`ScoredEval`], with hit/miss
+/// counters.
+///
+/// Lookups take a shard read lock; inserts a shard write lock. Two workers
+/// racing on the same missing key may both compute it — the computation is
+/// deterministic, so the duplicate insert is idempotent and results never
+/// depend on the race.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    shards: [RwLock<HashMap<EvalKey, ScoredEval>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks `key` up, counting a hit or miss.
+    pub fn get(&self, key: &[u64]) -> Option<ScoredEval> {
+        let found = self.shards[shard_of(key)].read().unwrap().get(key).copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts a computed evaluation.
+    pub fn insert(&self, key: EvalKey, value: ScoredEval) {
+        self.shards[shard_of(&key)]
+            .write()
+            .unwrap()
+            .insert(key, value);
+    }
+
+    /// Distinct cached evaluations.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// `true` when nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required a fresh evaluation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sg(groups: &[&[usize]]) -> Vec<Vec<NodeId>> {
+        groups
+            .iter()
+            .map(|g| g.iter().map(|&i| NodeId::from_index(i)).collect())
+            .collect()
+    }
+
+    fn scored(ema: u64) -> ScoredEval {
+        ScoredEval {
+            ema_bytes: ema,
+            energy_pj: ema as f64,
+            buffer_bytes: 1,
+            fits: true,
+            error: false,
+        }
+    }
+
+    #[test]
+    fn keys_distinguish_subgraph_boundaries_and_order() {
+        let buf = BufferConfig::shared(1 << 20);
+        let opt = EvalOptions::default();
+        let a = eval_key(7, &sg(&[&[0, 1], &[2]]), &buf, opt);
+        let b = eval_key(7, &sg(&[&[0], &[1, 2]]), &buf, opt);
+        let c = eval_key(7, &sg(&[&[2], &[0, 1]]), &buf, opt);
+        assert_ne!(a, b, "boundary placement must matter");
+        assert_ne!(a, c, "subgraph order must matter");
+    }
+
+    #[test]
+    fn keys_distinguish_evaluators() {
+        // Same subgraphs, buffer and options under two evaluator
+        // fingerprints (two models/platforms) must never collide.
+        let buf = BufferConfig::shared(1 << 20);
+        let opt = EvalOptions::default();
+        let a = eval_key(1, &sg(&[&[0, 1]]), &buf, opt);
+        let b = eval_key(2, &sg(&[&[0, 1]]), &buf, opt);
+        assert_ne!(a, b, "evaluator identity must be part of the key");
+    }
+
+    #[test]
+    fn keys_distinguish_buffer_and_options() {
+        let parts = sg(&[&[0, 1]]);
+        let base = eval_key(
+            7,
+            &parts,
+            &BufferConfig::shared(1 << 20),
+            EvalOptions::default(),
+        );
+        assert_ne!(
+            base,
+            eval_key(
+                7,
+                &parts,
+                &BufferConfig::shared(2 << 20),
+                EvalOptions::default()
+            )
+        );
+        assert_ne!(
+            base,
+            eval_key(
+                7,
+                &parts,
+                &BufferConfig::separate(1 << 19, 1 << 19),
+                EvalOptions::default()
+            )
+        );
+        assert_ne!(
+            base,
+            eval_key(
+                7,
+                &parts,
+                &BufferConfig::shared(1 << 20),
+                EvalOptions::with_cores(2)
+            )
+        );
+        assert_ne!(
+            base,
+            eval_key(
+                7,
+                &parts,
+                &BufferConfig::shared(1 << 20),
+                EvalOptions::with_batch(4)
+            )
+        );
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let cache = EvalCache::new();
+        let key = eval_key(
+            7,
+            &sg(&[&[0]]),
+            &BufferConfig::shared(64),
+            EvalOptions::default(),
+        );
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), scored(7));
+        assert_eq!(cache.get(&key).unwrap().ema_bytes, 7);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_use_is_consistent() {
+        let cache = std::sync::Arc::new(EvalCache::new());
+        let keys: Vec<EvalKey> = (0..64)
+            .map(|i| {
+                eval_key(
+                    7,
+                    &sg(&[&[i]]),
+                    &BufferConfig::shared(64),
+                    EvalOptions::default(),
+                )
+            })
+            .collect();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let cache = cache.clone();
+            let keys = keys.clone();
+            handles.push(std::thread::spawn(move || {
+                for (i, key) in keys.iter().enumerate() {
+                    if let Some(v) = cache.get(key) {
+                        assert_eq!(v.ema_bytes, i as u64, "thread {t}");
+                    } else {
+                        cache.insert(key.clone(), scored(i as u64));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.len(), 64);
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(cache.get(key).unwrap().ema_bytes, i as u64);
+        }
+    }
+}

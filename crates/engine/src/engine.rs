@@ -1,0 +1,313 @@
+//! The engine core: memoized scoring plus run statistics.
+
+use crate::cache::{eval_key, EvalCache};
+use crate::config::EngineConfig;
+use crate::pool::EnginePool;
+use cocco_graph::NodeId;
+use cocco_sim::{BufferConfig, CostMetric, EvalOptions, Evaluator};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One memoized partition evaluation: everything needed to reproduce the
+/// objective cost under *any* objective (metric × Formula 1/2), so one
+/// cache entry serves partition-only and co-exploration searches alike.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScoredEval {
+    /// Total DRAM traffic in bytes.
+    pub ema_bytes: u64,
+    /// Total energy in picojoules.
+    pub energy_pj: f64,
+    /// Total bytes of the evaluated buffer configuration (Formula 2's
+    /// `BUF_SIZE`).
+    pub buffer_bytes: u64,
+    /// Whether every subgraph fits the buffer configuration.
+    pub fits: bool,
+    /// `true` when the evaluator failed outright (a config bug, not a
+    /// genuine misfit); such evaluations score infinite.
+    pub error: bool,
+}
+
+impl ScoredEval {
+    /// The raw metric value (infinite on evaluator errors).
+    pub fn metric(&self, metric: CostMetric) -> f64 {
+        if self.error {
+            return f64::INFINITY;
+        }
+        match metric {
+            CostMetric::Ema => self.ema_bytes as f64,
+            CostMetric::Energy => self.energy_pj,
+        }
+    }
+
+    /// The objective cost: Formula 1 (`alpha = None`) or Formula 2
+    /// (`alpha = Some(α)`); infinite when the partition does not fit or the
+    /// evaluator errored.
+    pub fn cost(&self, metric: CostMetric, alpha: Option<f64>) -> f64 {
+        if self.error || !self.fits {
+            return f64::INFINITY;
+        }
+        match alpha {
+            None => self.metric(metric),
+            Some(alpha) => self.buffer_bytes as f64 + alpha * self.metric(metric),
+        }
+    }
+}
+
+/// Aggregate engine statistics of one exploration run.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Worker threads the engine resolved to.
+    pub threads: u32,
+    /// Partition-scoring requests served (cache hits + fresh evaluations).
+    pub evals: u64,
+    /// Requests answered from the memoization cache.
+    pub cache_hits: u64,
+    /// Distinct cached evaluations at snapshot time.
+    pub cache_entries: u64,
+    /// Wall-clock milliseconds spent inside batch evaluation.
+    pub wall_ms: f64,
+}
+
+impl EngineStats {
+    /// Fraction of scoring requests served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.evals == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.evals as f64
+        }
+    }
+}
+
+/// The parallel, memoized evaluation engine.
+///
+/// One engine is shared (via `Arc`) by every context derived from a search:
+/// the worker pool parallelizes batch evaluation, the cache memoizes
+/// `(subgraphs, buffer, options)` triples across searchers, generations and
+/// two-step inner runs, and the statistics feed the exploration report.
+///
+/// # Examples
+///
+/// ```
+/// use cocco_engine::{Engine, EngineConfig};
+/// use cocco_sim::{AcceleratorConfig, BufferConfig, CostMetric, EvalOptions, Evaluator};
+///
+/// let g = cocco_graph::models::chain(4);
+/// let eval = Evaluator::new(&g, AcceleratorConfig::default());
+/// let engine = Engine::new(EngineConfig::serial());
+/// let subgraphs = vec![g.node_ids().collect::<Vec<_>>()];
+/// let buffer = BufferConfig::shared(1 << 20);
+/// let a = engine.score(&eval, &subgraphs, &buffer, EvalOptions::default());
+/// let b = engine.score(&eval, &subgraphs, &buffer, EvalOptions::default());
+/// assert_eq!(a, b);
+/// assert_eq!(engine.stats().cache_hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    pool: EnginePool,
+    cache: EvalCache,
+    wall_nanos: AtomicU64,
+}
+
+impl Engine {
+    /// Creates an engine with the given thread policy and an empty cache.
+    pub fn new(config: EngineConfig) -> Self {
+        Self {
+            config,
+            pool: EnginePool::new(&config),
+            cache: EvalCache::new(),
+            wall_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The worker pool.
+    pub fn pool(&self) -> &EnginePool {
+        &self.pool
+    }
+
+    /// The memoization cache.
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Scores an ordered partition under `buffer`/`options`, memoized.
+    ///
+    /// Evaluator errors are folded into the result (`error = true`, so
+    /// [`ScoredEval::cost`] is infinite) and memoized like any other
+    /// evaluation — re-scoring a broken configuration is as cheap and as
+    /// deterministic as re-scoring a good one.
+    pub fn score(
+        &self,
+        evaluator: &Evaluator<'_>,
+        subgraphs: &[Vec<NodeId>],
+        buffer: &BufferConfig,
+        options: EvalOptions,
+    ) -> ScoredEval {
+        let key = eval_key(evaluator.fingerprint(), subgraphs, buffer, options);
+        if let Some(cached) = self.cache.get(&key) {
+            return cached;
+        }
+        let scored = match evaluator.eval_partition(subgraphs, buffer, options) {
+            Ok(report) => ScoredEval {
+                ema_bytes: report.ema_bytes,
+                energy_pj: report.energy_pj,
+                buffer_bytes: buffer.total_bytes(),
+                fits: report.fits,
+                error: false,
+            },
+            Err(_) => ScoredEval {
+                ema_bytes: 0,
+                energy_pj: 0.0,
+                buffer_bytes: buffer.total_bytes(),
+                fits: false,
+                error: true,
+            },
+        };
+        self.cache.insert(key, scored);
+        scored
+    }
+
+    /// Adds `elapsed` to the accumulated batch wall time.
+    pub fn record_wall(&self, elapsed: Duration) {
+        self.wall_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the engine statistics.
+    pub fn stats(&self) -> EngineStats {
+        let hits = self.cache.hits();
+        let misses = self.cache.misses();
+        EngineStats {
+            threads: self.pool.threads() as u32,
+            evals: hits + misses,
+            cache_hits: hits,
+            cache_entries: self.cache.len() as u64,
+            wall_ms: self.wall_nanos.load(Ordering::Relaxed) as f64 / 1e6,
+        }
+    }
+}
+
+// The whole point of the engine is cross-thread sharing; fail the build if
+// a field ever regresses that.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<Engine>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocco_sim::AcceleratorConfig;
+
+    #[test]
+    fn score_matches_direct_evaluation() {
+        let g = cocco_graph::models::diamond();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let engine = Engine::new(EngineConfig::serial());
+        let subgraphs: Vec<Vec<NodeId>> = g.node_ids().map(|id| vec![id]).collect();
+        let buffer = BufferConfig::shared(1 << 20);
+        let scored = engine.score(&eval, &subgraphs, &buffer, EvalOptions::default());
+        let report = eval
+            .eval_partition(&subgraphs, &buffer, EvalOptions::default())
+            .unwrap();
+        assert_eq!(scored.ema_bytes, report.ema_bytes);
+        assert_eq!(scored.energy_pj, report.energy_pj);
+        assert_eq!(scored.fits, report.fits);
+        assert_eq!(
+            scored.cost(CostMetric::Ema, None),
+            report.cost_formula1(CostMetric::Ema)
+        );
+        assert_eq!(
+            scored.cost(CostMetric::Energy, Some(0.002)),
+            report.cost_formula2(CostMetric::Energy, 0.002)
+        );
+    }
+
+    #[test]
+    fn errors_are_memoized_and_infinite() {
+        let g = cocco_graph::models::chain(2);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let engine = Engine::new(EngineConfig::serial());
+        // Empty subgraph: a structural evaluator error.
+        let broken: Vec<Vec<NodeId>> = vec![Vec::new()];
+        let buffer = BufferConfig::shared(1 << 20);
+        let scored = engine.score(&eval, &broken, &buffer, EvalOptions::default());
+        assert!(scored.error);
+        assert!(scored.cost(CostMetric::Ema, None).is_infinite());
+        assert!(scored.metric(CostMetric::Ema).is_infinite());
+        let again = engine.score(&eval, &broken, &buffer, EvalOptions::default());
+        assert_eq!(scored, again);
+        assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn stats_snapshot_counts() {
+        let g = cocco_graph::models::chain(3);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let engine = Engine::new(EngineConfig::with_threads(2));
+        let subgraphs = vec![g.node_ids().collect::<Vec<_>>()];
+        let buffer = BufferConfig::shared(1 << 20);
+        for _ in 0..3 {
+            engine.score(&eval, &subgraphs, &buffer, EvalOptions::default());
+        }
+        engine.record_wall(Duration::from_millis(2));
+        let stats = engine.stats();
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.evals, 3);
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.cache_entries, 1);
+        assert!(stats.wall_ms >= 2.0);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_engine_shared_across_evaluators_never_cross_contaminates() {
+        // chain(4) and diamond both index nodes 0..n, so without the
+        // evaluator fingerprint in the key their whole-graph partitions
+        // would collide in the cache.
+        let chain = cocco_graph::models::chain(4);
+        let diamond = cocco_graph::models::diamond();
+        let chain_eval = Evaluator::new(&chain, AcceleratorConfig::default());
+        let diamond_eval = Evaluator::new(&diamond, AcceleratorConfig::default());
+        let engine = Engine::new(EngineConfig::serial());
+        let buffer = BufferConfig::shared(1 << 20);
+        let options = EvalOptions::default();
+        let chain_parts = vec![chain.node_ids().collect::<Vec<_>>()];
+        // diamond has 5 nodes; take its first 5-node whole partition too.
+        let diamond_parts = vec![diamond.node_ids().collect::<Vec<_>>()];
+        let via_engine_chain = engine.score(&chain_eval, &chain_parts, &buffer, options);
+        let via_engine_diamond = engine.score(&diamond_eval, &diamond_parts, &buffer, options);
+        let direct_chain = chain_eval
+            .eval_partition(&chain_parts, &buffer, options)
+            .unwrap();
+        let direct_diamond = diamond_eval
+            .eval_partition(&diamond_parts, &buffer, options)
+            .unwrap();
+        assert_eq!(via_engine_chain.ema_bytes, direct_chain.ema_bytes);
+        assert_eq!(via_engine_diamond.ema_bytes, direct_diamond.ema_bytes);
+        assert_ne!(chain_eval.fingerprint(), diamond_eval.fingerprint());
+        assert_eq!(engine.stats().cache_hits, 0, "distinct keys, no false hits");
+        assert_eq!(engine.cache().len(), 2);
+    }
+
+    #[test]
+    fn unfit_partitions_cost_infinity_but_keep_metrics() {
+        let g = cocco_graph::models::chain(5);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let engine = Engine::new(EngineConfig::serial());
+        let subgraphs = vec![g.node_ids().collect::<Vec<_>>()];
+        let tiny = BufferConfig::shared(256);
+        let scored = engine.score(&eval, &subgraphs, &tiny, EvalOptions::default());
+        assert!(!scored.fits);
+        assert!(!scored.error);
+        assert!(scored.cost(CostMetric::Ema, None).is_infinite());
+        assert!(scored.metric(CostMetric::Ema).is_finite());
+    }
+}

@@ -1,0 +1,61 @@
+//! The parallel, memoized evaluation engine shared by every searcher.
+//!
+//! Genome evaluation — repair, partition scoring, budget accounting, trace
+//! recording — dominates the wall-clock of every search method in this
+//! reproduction, and population-based co-exploration is embarrassingly
+//! parallel at the batch level. This crate factors that hot path out of the
+//! individual searchers into one engine:
+//!
+//! * [`EnginePool`] — a scoped `std::thread` worker pool
+//!   ([`EngineConfig`]: `auto` or a fixed count; `1` ⇒ fully serial);
+//! * [`EvalCache`] — a sharded memoization cache over
+//!   `(subgraph member sets, buffer config, eval options)`, objective-
+//!   agnostic so one entry serves Formula 1 and Formula 2 searches alike;
+//! * [`Engine`] — pool + cache + [`EngineStats`] (`evals`, `cache_hits`,
+//!   `wall_ms`), the object a search context shares across threads;
+//! * [`SampleBudget`] — the thread-safe evaluation budget drawn on by every
+//!   searcher, sliceable for two-step inner runs;
+//! * [`Trace`]/[`TracePoint`] — thread-safe evaluation recording, plus the
+//!   `infeasible_errors` counter that keeps silent evaluator failures
+//!   visible.
+//!
+//! # Determinism
+//!
+//! Parallelism never changes results. Batch evaluation (exposed as
+//! `SearchContext::evaluate_batch` in `cocco-search`) pins the
+//! budget-sample indices and the trace-recording order to the *input*
+//! order of the batch before any worker runs, and each genome's evaluation
+//! is a pure function of the genome itself — so a seeded search is
+//! bit-identical at any thread count, and `threads` is purely a wall-clock
+//! knob.
+//!
+//! # Examples
+//!
+//! ```
+//! use cocco_engine::{Engine, EngineConfig};
+//! use cocco_sim::{AcceleratorConfig, BufferConfig, CostMetric, EvalOptions, Evaluator};
+//!
+//! let g = cocco_graph::models::chain(4);
+//! let eval = Evaluator::new(&g, AcceleratorConfig::default());
+//! let engine = Engine::new(EngineConfig::auto());
+//! let subgraphs = vec![g.node_ids().collect::<Vec<_>>()];
+//! let buffer = BufferConfig::shared(1 << 20);
+//! let first = engine.score(&eval, &subgraphs, &buffer, EvalOptions::default());
+//! let second = engine.score(&eval, &subgraphs, &buffer, EvalOptions::default());
+//! assert_eq!(first.cost(CostMetric::Ema, None), second.cost(CostMetric::Ema, None));
+//! assert_eq!(engine.stats().cache_hits, 1);
+//! ```
+
+mod budget;
+mod cache;
+mod config;
+mod engine;
+mod pool;
+mod trace;
+
+pub use budget::SampleBudget;
+pub use cache::{eval_key, EvalCache, EvalKey};
+pub use config::{EngineConfig, ThreadCount};
+pub use engine::{Engine, EngineStats, ScoredEval};
+pub use pool::EnginePool;
+pub use trace::{Trace, TracePoint};

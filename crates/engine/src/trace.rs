@@ -1,6 +1,7 @@
 //! Search traces for the convergence and distribution studies.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// One recorded evaluation.
@@ -22,18 +23,28 @@ pub struct TracePoint {
 /// over samples (paper Figure 12); [`points`](Trace::points) yields the raw
 /// scatter (paper Figure 13).
 ///
-/// Cloning snapshots the recorded points (sorted by sample index); the
-/// clone records independently from the original. Serialization renders the
-/// same snapshot as a plain array of [`TracePoint`]s.
+/// Besides the evaluation points, the trace counts *infeasible errors*
+/// ([`infeasible_errors`](Trace::infeasible_errors)): evaluator failures the
+/// search pipeline folds into "does not fit"/"infinite cost". A non-zero
+/// count on a well-formed run points at a configuration bug rather than a
+/// genuinely infeasible design point.
+///
+/// Cloning snapshots the recorded points (sorted by sample index) and the
+/// error counter; the clone records independently from the original.
+/// Serialization renders the point snapshot as a plain array of
+/// [`TracePoint`]s (the error counter travels on the owning outcome, not in
+/// the serialized trace). Equality compares the recorded points.
 #[derive(Debug, Default)]
 pub struct Trace {
     points: Mutex<Vec<TracePoint>>,
+    infeasible_errors: AtomicU64,
 }
 
 impl Clone for Trace {
     fn clone(&self) -> Self {
         Self {
             points: Mutex::new(self.points()),
+            infeasible_errors: AtomicU64::new(self.infeasible_errors()),
         }
     }
 }
@@ -54,6 +65,7 @@ impl serde::Deserialize for Trace {
     fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
         Ok(Self {
             points: Mutex::new(Vec::<TracePoint>::from_value(value)?),
+            infeasible_errors: AtomicU64::new(0),
         })
     }
 }
@@ -67,6 +79,17 @@ impl Trace {
     /// Records one evaluation.
     pub fn record(&self, point: TracePoint) {
         self.points.lock().unwrap().push(point);
+    }
+
+    /// Counts one evaluator error that the search pipeline silently mapped
+    /// to "does not fit" or an infinite cost.
+    pub fn record_infeasible_error(&self) {
+        self.infeasible_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Evaluator errors folded into infeasibility so far.
+    pub fn infeasible_errors(&self) -> u64 {
+        self.infeasible_errors.load(Ordering::Relaxed)
     }
 
     /// Number of recorded points.
@@ -151,5 +174,18 @@ mod tests {
         assert_eq!(pts[0].sample, 1);
         assert_eq!(pts[1].sample, 5);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn infeasible_errors_are_counted_and_cloned() {
+        let t = Trace::new();
+        assert_eq!(t.infeasible_errors(), 0);
+        t.record_infeasible_error();
+        t.record_infeasible_error();
+        assert_eq!(t.infeasible_errors(), 2);
+        let clone = t.clone();
+        assert_eq!(clone.infeasible_errors(), 2);
+        clone.record_infeasible_error();
+        assert_eq!(t.infeasible_errors(), 2, "clones record independently");
     }
 }

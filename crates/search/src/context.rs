@@ -1,23 +1,33 @@
-//! The shared search context: evaluator access, budget accounting, repair
+//! The shared search context: engine access, budget accounting, repair
 //! and trace recording.
 
-use crate::budget::SampleBudget;
 use crate::genome::Genome;
 use crate::objective::{BufferSpace, Objective};
-use crate::trace::{Trace, TracePoint};
+use cocco_engine::{Engine, EngineConfig, SampleBudget, Trace, TracePoint};
 use cocco_graph::{Graph, NodeId};
 use cocco_partition::{repair, Partition};
 use cocco_sim::{BufferConfig, EvalOptions, Evaluator};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Everything a [`Searcher`](crate::Searcher) needs: the graph, the shared
 /// evaluator, the buffer space, the objective, evaluation options, a sample
-/// budget and a trace.
+/// budget, a trace and the evaluation [`Engine`].
 ///
-/// Genome-level evaluations ([`evaluate`](SearchContext::evaluate)) consume
-/// budget and are traced; the analytic helpers used inside deterministic
-/// baselines ([`subgraph_cost`](SearchContext::subgraph_cost),
-/// [`fits`](SearchContext::fits)) do not.
+/// Genome-level evaluations ([`evaluate`](SearchContext::evaluate),
+/// [`evaluate_batch`](SearchContext::evaluate_batch)) consume budget and
+/// are traced; the analytic helpers used inside deterministic baselines
+/// ([`subgraph_cost`](SearchContext::subgraph_cost),
+/// [`fits`](SearchContext::fits)) do not consume budget but still share the
+/// engine's memoization cache.
+///
+/// # Parallelism and determinism
+///
+/// [`evaluate_batch`](SearchContext::evaluate_batch) spreads a batch over
+/// the engine's worker pool. Budget samples are drawn and trace points
+/// recorded in **input order** before/after the parallel section, and each
+/// genome's repair + scoring is a pure function of the genome — so a
+/// seeded search produces bit-identical results at any thread count.
 #[derive(Debug)]
 pub struct SearchContext<'a> {
     graph: &'a Graph,
@@ -30,10 +40,12 @@ pub struct SearchContext<'a> {
     pub options: EvalOptions,
     budget: Arc<SampleBudget>,
     trace: Arc<Trace>,
+    engine: Arc<Engine>,
 }
 
 impl<'a> SearchContext<'a> {
-    /// Creates a context with a fresh budget of `budget_limit` samples.
+    /// Creates a context with a fresh budget of `budget_limit` samples and
+    /// a default ([`EngineConfig::auto`]) evaluation engine.
     pub fn new(
         graph: &'a Graph,
         evaluator: &'a Evaluator<'a>,
@@ -49,6 +61,7 @@ impl<'a> SearchContext<'a> {
             options: EvalOptions::default(),
             budget: Arc::new(SampleBudget::new(budget_limit)),
             trace: Arc::new(Trace::new()),
+            engine: Arc::new(Engine::new(EngineConfig::default())),
         }
     }
 
@@ -58,10 +71,18 @@ impl<'a> SearchContext<'a> {
         self
     }
 
+    /// Replaces the evaluation engine (thread policy; results are
+    /// unaffected, only wall-clock). The replacement starts with an empty
+    /// cache, so call this before searching.
+    pub fn with_engine(mut self, config: EngineConfig) -> Self {
+        self.engine = Arc::new(Engine::new(config));
+        self
+    }
+
     /// Derives a context with a different space/objective that shares this
-    /// context's budget, trace, options and evaluator — used by the
+    /// context's budget, trace, options, evaluator and engine — used by the
     /// two-step scheme to run partition-only inner searches against the
-    /// common sample pool.
+    /// common sample pool (and the common memoization cache).
     pub fn derive(&self, space: BufferSpace, objective: Objective) -> SearchContext<'a> {
         SearchContext {
             graph: self.graph,
@@ -71,6 +92,7 @@ impl<'a> SearchContext<'a> {
             options: self.options,
             budget: Arc::clone(&self.budget),
             trace: Arc::clone(&self.trace),
+            engine: Arc::clone(&self.engine),
         }
     }
 
@@ -85,6 +107,7 @@ impl<'a> SearchContext<'a> {
             options: self.options,
             budget: Arc::new(SampleBudget::slice(Arc::clone(&self.budget), cap)),
             trace: Arc::clone(&self.trace),
+            engine: Arc::clone(&self.engine),
         }
     }
 
@@ -108,18 +131,30 @@ impl<'a> SearchContext<'a> {
         &self.trace
     }
 
+    /// The shared evaluation engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
     /// Whether subgraph `members` fits `buffer` under the context's options
     /// (activation footprint, per-core weight shard, region count).
+    ///
+    /// Evaluator errors count as "does not fit" **and** increment the
+    /// trace's `infeasible_errors` counter, so configuration bugs stay
+    /// visible in the outcome.
     pub fn fits(&self, members: &[NodeId], buffer: &BufferConfig) -> bool {
         match self.evaluator.subgraph_stats(members) {
             Ok(stats) => {
                 let wgt = stats
                     .wgt_resident_bytes
-                    .div_ceil(u64::from(self.options.cores.max(1)));
+                    .div_ceil(u64::from(self.options.cores()));
                 buffer.fits(stats.act_footprint_bytes, wgt)
                     && stats.regions <= self.evaluator.config().max_regions
             }
-            Err(_) => false,
+            Err(_) => {
+                self.trace.record_infeasible_error();
+                false
+            }
         }
     }
 
@@ -133,80 +168,134 @@ impl<'a> SearchContext<'a> {
     /// sample. Returns the objective cost, or `None` when the budget is
     /// exhausted (the genome is then left unmodified).
     pub fn evaluate(&self, genome: &mut Genome) -> Option<f64> {
-        let sample = self.budget.try_consume()?;
-        genome.partition = self.repair(
-            std::mem::replace(&mut genome.partition, Partition::singletons(0)),
-            &genome.buffer,
-        );
-        Some(self.score(sample, genome))
+        self.evaluate_batch(std::slice::from_mut(genome))
+            .pop()
+            .flatten()
+    }
+
+    /// Repairs and evaluates a batch of genomes in place on the engine's
+    /// worker pool, consuming one budget sample per evaluated genome.
+    ///
+    /// The result vector preserves input order; entry `i` is `None` iff the
+    /// budget ran out before genome `i` (un-funded genomes are left
+    /// unmodified). Sample indices and trace points follow input order
+    /// regardless of the thread count, so seeded searches are bit-identical
+    /// serial and parallel.
+    pub fn evaluate_batch(&self, genomes: &mut [Genome]) -> Vec<Option<f64>> {
+        let total = genomes.len();
+        // Pin sample indices to input order before any worker runs.
+        let mut samples = Vec::with_capacity(total);
+        while samples.len() < total {
+            match self.budget.try_consume() {
+                Some(sample) => samples.push(sample),
+                None => break,
+            }
+        }
+        let funded = samples.len();
+        let mut out: Vec<Option<f64>> = Vec::with_capacity(total);
+        if funded == 0 {
+            out.resize(total, None);
+            return out;
+        }
+        let start = Instant::now();
+        let jobs: Vec<Mutex<&mut Genome>> = genomes[..funded].iter_mut().map(Mutex::new).collect();
+        let results: Vec<Mutex<Option<TracePoint>>> =
+            (0..funded).map(|_| Mutex::new(None)).collect();
+        self.engine.pool().run(funded, |i| {
+            let genome: &mut Genome = &mut jobs[i].lock().unwrap();
+            genome.partition = self.repair(
+                std::mem::replace(&mut genome.partition, Partition::singletons(0)),
+                &genome.buffer,
+            );
+            let scored = self.engine.score(
+                self.evaluator,
+                &genome.partition.subgraphs(),
+                &genome.buffer,
+                self.options,
+            );
+            if scored.error {
+                self.trace.record_infeasible_error();
+            }
+            *results[i].lock().unwrap() = Some(TracePoint {
+                sample: samples[i],
+                cost: scored.cost(self.objective.metric, self.objective.alpha),
+                buffer_bytes: genome.buffer.total_bytes(),
+                metric_value: scored.metric(self.objective.metric),
+            });
+        });
+        self.engine.record_wall(start.elapsed());
+        // Record trace points in input (= sample) order.
+        for slot in &results {
+            let point = slot.lock().unwrap().take().expect("every funded job ran");
+            self.trace.record(point);
+            out.push(Some(point.cost));
+        }
+        out.resize(total, None);
+        out
     }
 
     /// Evaluates an already-valid genome (no repair), consuming one budget
     /// sample.
     pub fn evaluate_valid(&self, genome: &Genome) -> Option<f64> {
         let sample = self.budget.try_consume()?;
-        Some(self.score(sample, genome))
-    }
-
-    fn score(&self, sample: u64, genome: &Genome) -> f64 {
-        let subgraphs = genome.partition.subgraphs();
-        let (cost, metric_value) =
-            match self
-                .evaluator
-                .eval_partition(&subgraphs, &genome.buffer, self.options)
-            {
-                Ok(report) => {
-                    let metric = report.metric(self.objective.metric);
-                    let cost = match self.objective.alpha {
-                        None => report.cost_formula1(self.objective.metric),
-                        Some(alpha) => report.cost_formula2(self.objective.metric, alpha),
-                    };
-                    (cost, metric)
-                }
-                Err(_) => (f64::INFINITY, f64::INFINITY),
-            };
+        let scored = self.engine.score(
+            self.evaluator,
+            &genome.partition.subgraphs(),
+            &genome.buffer,
+            self.options,
+        );
+        if scored.error {
+            self.trace.record_infeasible_error();
+        }
+        let cost = scored.cost(self.objective.metric, self.objective.alpha);
         self.trace.record(TracePoint {
             sample,
             cost,
             buffer_bytes: genome.buffer.total_bytes(),
-            metric_value,
+            metric_value: scored.metric(self.objective.metric),
         });
-        cost
+        Some(cost)
     }
 
     /// The additive Formula-1 term of a single subgraph under `buffer`
     /// (`None` when it does not fit). Used by the greedy, DP and
-    /// enumeration baselines; does not consume budget.
+    /// enumeration baselines; does not consume budget, but shares the
+    /// engine's memoization cache.
     pub fn subgraph_cost(&self, members: &[NodeId], buffer: &BufferConfig) -> Option<f64> {
         if !self.fits(members, buffer) {
             return None;
         }
-        let report = self
-            .evaluator
-            .eval_partition(
-                std::slice::from_ref(&members.to_vec()),
-                buffer,
-                self.options,
-            )
-            .ok()?;
-        Some(report.metric(self.objective.metric))
+        let scored = self.engine.score(
+            self.evaluator,
+            std::slice::from_ref(&members.to_vec()),
+            buffer,
+            self.options,
+        );
+        if scored.error {
+            self.trace.record_infeasible_error();
+            return None;
+        }
+        Some(scored.metric(self.objective.metric))
     }
 
     /// The full objective cost of a valid partition under `buffer`, without
     /// consuming budget (used to score deterministic baseline outputs).
     pub fn partition_cost(&self, partition: &Partition, buffer: &BufferConfig) -> f64 {
-        match self
-            .evaluator
-            .eval_partition(&partition.subgraphs(), buffer, self.options)
-        {
-            Ok(report) => match self.objective.alpha {
-                None => report.cost_formula1(self.objective.metric),
-                Some(alpha) => report.cost_formula2(self.objective.metric, alpha),
-            },
-            Err(_) => f64::INFINITY,
+        let scored =
+            self.engine
+                .score(self.evaluator, &partition.subgraphs(), buffer, self.options);
+        if scored.error {
+            self.trace.record_infeasible_error();
         }
+        scored.cost(self.objective.metric, self.objective.alpha)
     }
 }
+
+// Batch evaluation shares the context across the engine's workers.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<SearchContext<'static>>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -241,6 +330,8 @@ mod tests {
         assert!(ctx.evaluate(&mut genome).is_none());
         assert_eq!(ctx.trace().len(), 2);
         assert_eq!(ctx.budget().used(), 2);
+        // The repeated evaluation hit the engine cache.
+        assert!(ctx.engine().stats().cache_hits >= 1);
     }
 
     #[test]
@@ -256,6 +347,56 @@ mod tests {
         let cost = ctx.evaluate(&mut genome).unwrap();
         assert!(cost.is_finite());
         assert!(genome.partition.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn batch_preserves_order_and_funds_prefix() {
+        let g = cocco_graph::models::diamond();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let ctx = context(&g, &eval, 3);
+        let mut genomes: Vec<Genome> = (0..5)
+            .map(|_| {
+                Genome::new(
+                    Partition::singletons(g.len()),
+                    BufferConfig::shared(1 << 20),
+                )
+            })
+            .collect();
+        let costs = ctx.evaluate_batch(&mut genomes);
+        assert_eq!(costs.len(), 5);
+        assert!(costs[..3].iter().all(Option::is_some));
+        assert!(costs[3..].iter().all(Option::is_none));
+        assert_eq!(ctx.budget().used(), 3);
+        assert_eq!(ctx.trace().len(), 3);
+        // Trace points carry consecutive input-order samples.
+        let samples: Vec<u64> = ctx.trace().points().iter().map(|p| p.sample).collect();
+        assert_eq!(samples, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn batch_matches_serial_at_any_thread_count() {
+        let g = cocco_graph::models::googlenet();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let run = |threads: u32| {
+            let ctx = context(&g, &eval, 64).with_engine(EngineConfig::with_threads(threads));
+            let mut genomes: Vec<Genome> = (0..64)
+                .map(|i| {
+                    Genome::new(
+                        Partition::connected_groups(&g, 2 + i % 7),
+                        BufferConfig::shared(1 << 20),
+                    )
+                })
+                .collect();
+            let costs = ctx.evaluate_batch(&mut genomes);
+            (costs, genomes, ctx.trace().points())
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            let parallel = run(threads);
+            assert_eq!(serial.0, parallel.0, "costs differ at {threads} threads");
+            assert_eq!(serial.1, parallel.1, "genomes differ at {threads} threads");
+            assert_eq!(serial.2, parallel.2, "traces differ at {threads} threads");
+        }
     }
 
     #[test]

@@ -49,14 +49,12 @@ pub struct GaConfig {
     pub crossover_fraction: f64,
     /// Mutation probabilities.
     pub mutation: MutationRates,
-    /// RNG seed (searches are fully deterministic under a fixed seed).
+    /// RNG seed (searches are fully deterministic under a fixed seed, at
+    /// any engine thread count).
     pub seed: u64,
     /// Optional warm-start partitions (paper benefit 4: initialize GA from
     /// other optimizers and fine-tune).
     pub initial: Vec<Partition>,
-    /// Evaluate generations on multiple threads (results are unaffected;
-    /// only wall-clock changes).
-    pub parallel: bool,
 }
 
 impl Default for GaConfig {
@@ -68,7 +66,6 @@ impl Default for GaConfig {
             mutation: MutationRates::default(),
             seed: 0xC0CC0,
             initial: Vec::new(),
-            parallel: true,
         }
     }
 }
@@ -76,6 +73,11 @@ impl Default for GaConfig {
 /// The Cocco genetic algorithm: co-explores graph partitions and memory
 /// configurations with the paper's customized crossover and mutations,
 /// in-situ capacity repair and tournament selection.
+///
+/// Each generation is scored as one
+/// [`evaluate_batch`](SearchContext::evaluate_batch) call, so the fitness
+/// evaluation spreads over the context's engine pool (DiGamma-style
+/// population parallelism) while staying bit-identical to a serial run.
 ///
 /// # Examples
 ///
@@ -128,12 +130,6 @@ impl CoccoGa {
         self.config.initial = initial;
         self
     }
-
-    /// Disables parallel fitness evaluation.
-    pub fn sequential(mut self) -> Self {
-        self.config.parallel = false;
-        self
-    }
 }
 
 impl Searcher for CoccoGa {
@@ -170,7 +166,7 @@ impl Searcher for CoccoGa {
             seeds.push(Genome::random(graph, &ctx.space, &mut rng));
         }
         seeds.truncate(cfg.population);
-        let costs = evaluate_all(ctx, &mut seeds, cfg.parallel);
+        let costs = ctx.evaluate_batch(&mut seeds);
         for (genome, cost) in seeds.into_iter().zip(costs) {
             let Some(cost) = cost else { break };
             outcome.consider(genome.clone(), cost);
@@ -200,7 +196,7 @@ impl Searcher for CoccoGa {
                 };
                 offspring.push(child);
             }
-            let costs = evaluate_all(ctx, &mut offspring, cfg.parallel);
+            let costs = ctx.evaluate_batch(&mut offspring);
             let mut pool = population;
             for (genome, cost) in offspring.into_iter().zip(costs) {
                 let Some(cost) = cost else { break };
@@ -227,33 +223,6 @@ impl Searcher for CoccoGa {
         outcome.samples = ctx.budget().used() - start_samples;
         outcome
     }
-}
-
-/// Evaluates genomes in place; `None` entries mean the budget ran out.
-fn evaluate_all(
-    ctx: &SearchContext<'_>,
-    genomes: &mut [Genome],
-    parallel: bool,
-) -> Vec<Option<f64>> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8);
-    if !parallel || threads < 2 || genomes.len() < 2 * threads {
-        return genomes.iter_mut().map(|g| ctx.evaluate(g)).collect();
-    }
-    let chunk = genomes.len().div_ceil(threads);
-    let mut results: Vec<Option<f64>> = vec![None; genomes.len()];
-    std::thread::scope(|scope| {
-        for (gs, rs) in genomes.chunks_mut(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (g, r) in gs.iter_mut().zip(rs.iter_mut()) {
-                    *r = ctx.evaluate(g);
-                }
-            });
-        }
-    });
-    results
 }
 
 /// Index of the best genome among `k` uniformly sampled contestants.
@@ -427,7 +396,7 @@ mod tests {
             Objective::partition_only(CostMetric::Ema),
             2_000,
         );
-        let outcome = CoccoGa::default().with_seed(1).sequential().run(&ctx);
+        let outcome = CoccoGa::default().with_seed(1).run(&ctx);
         let best = outcome.best.unwrap();
         assert_eq!(best.partition.num_subgraphs(), 1);
         let floor = g.total_weight_elements()
@@ -442,13 +411,36 @@ mod tests {
         let eval = Evaluator::new(&g, AcceleratorConfig::default());
         let run = |seed| {
             let ctx = ctx_fixed(&g, &eval, 500);
-            CoccoGa::default()
-                .with_seed(seed)
-                .sequential()
-                .run(&ctx)
-                .best_cost
+            CoccoGa::default().with_seed(seed).run(&ctx).best_cost
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn identical_results_at_any_thread_count() {
+        use cocco_engine::EngineConfig;
+        let g = cocco_graph::models::googlenet();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let run = |threads: u32| {
+            let ctx = SearchContext::new(
+                &g,
+                &eval,
+                BufferSpace::paper_shared(),
+                Objective::paper_energy_capacity(),
+                600,
+            )
+            .with_engine(EngineConfig::with_threads(threads));
+            let out = CoccoGa::default()
+                .with_population(24)
+                .with_seed(13)
+                .run(&ctx);
+            (out.best_cost, out.best, ctx.trace().points())
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.0, parallel.0, "best cost differs");
+        assert_eq!(serial.1, parallel.1, "best genome differs");
+        assert_eq!(serial.2, parallel.2, "trace differs");
     }
 
     #[test]
@@ -483,7 +475,6 @@ mod tests {
         let outcome = CoccoGa::default()
             .with_seed(11)
             .with_population(20)
-            .sequential()
             .run(&ctx);
         let best = outcome.best.unwrap();
         assert!(best.partition.validate(&g).is_ok());
@@ -521,7 +512,6 @@ mod tests {
             .with_seed(3)
             .with_population(4)
             .with_initial(vec![warm])
-            .sequential()
             .run(&ctx);
         // The whole-graph partition fits in 1 MB and is optimal here, so
         // the warm start's cost must be the final answer.
@@ -533,7 +523,7 @@ mod tests {
         let g = cocco_graph::models::diamond();
         let eval = Evaluator::new(&g, AcceleratorConfig::default());
         let ctx = ctx_fixed(&g, &eval, 37);
-        let outcome = CoccoGa::default().with_seed(5).sequential().run(&ctx);
+        let outcome = CoccoGa::default().with_seed(5).run(&ctx);
         assert_eq!(outcome.samples, 37);
         assert_eq!(ctx.budget().used(), 37);
         assert_eq!(ctx.trace().len(), 37);

@@ -21,7 +21,11 @@
 //!
 //! Every searcher draws evaluations from a shared [`SampleBudget`] so
 //! "samples" are comparable across methods, and records a [`Trace`] for the
-//! convergence and distribution studies (paper Figures 12-13).
+//! convergence and distribution studies (paper Figures 12-13). All genome
+//! scoring funnels through the `cocco-engine` evaluation engine: batches
+//! run on a worker pool and repeat evaluations hit a shared memoization
+//! cache, with results bit-identical at any thread count (see
+//! [`SearchContext::evaluate_batch`]).
 //!
 //! [`SearchMethod`] is the method registry: one serializable, seedable
 //! selector carrying each method's typed configuration, itself a
@@ -47,7 +51,6 @@
 //! assert!(outcome.best_cost.is_finite());
 //! ```
 
-mod budget;
 mod context;
 mod dp;
 mod exhaustive;
@@ -58,10 +61,13 @@ mod method;
 mod objective;
 mod outcome;
 mod sa;
-mod trace;
 mod twostep;
 
-pub use budget::SampleBudget;
+// Budget and trace primitives live in the engine crate; re-exported here so
+// existing `cocco_search::{SampleBudget, Trace, TracePoint}` paths keep
+// working.
+pub use cocco_engine::{Engine, EngineConfig, EngineStats, SampleBudget, ThreadCount};
+pub use cocco_engine::{Trace, TracePoint};
 pub use context::SearchContext;
 pub use dp::DepthDp;
 pub use exhaustive::{Exhaustive, ExhaustiveLimits};
@@ -72,5 +78,4 @@ pub use method::SearchMethod;
 pub use objective::{BufferSpace, Objective};
 pub use outcome::{SearchOutcome, Searcher};
 pub use sa::{SaConfig, SimulatedAnnealing};
-pub use trace::{Trace, TracePoint};
 pub use twostep::{CapacitySampling, TwoStep};

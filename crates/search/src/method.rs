@@ -257,13 +257,9 @@ mod tests {
                 250,
             )
         };
-        let direct = CoccoGa::default()
-            .with_seed(3)
-            .sequential()
-            .run(&make_ctx());
+        let direct = CoccoGa::default().with_seed(3).run(&make_ctx());
         let cfg = GaConfig {
             seed: 3,
-            parallel: false,
             ..GaConfig::default()
         };
         let via_enum = SearchMethod::Ga(cfg).run(&make_ctx());

@@ -27,7 +27,11 @@ pub enum CapacitySampling {
 ///
 /// The paper's criticism — "the two-step scheme fails to combine the
 /// information between different sizes" — falls out of the construction:
-/// each inner GA restarts from scratch.
+/// each inner GA restarts from scratch. The inner GAs run on derived
+/// contexts, so their generation batches use the outer context's engine —
+/// same worker pool, and a shared memoization cache across capacity
+/// candidates (re-proposed partitions under the same buffer score for
+/// free).
 ///
 /// # Examples
 ///

@@ -1,6 +1,7 @@
 //! Accelerator and buffer configuration types.
 
 use crate::energy::EnergyModel;
+use crate::error::SimError;
 use cocco_tiling::Mapper;
 use serde::{Deserialize, Serialize};
 
@@ -185,12 +186,14 @@ impl CapacityRange {
 }
 
 /// Evaluation options: core count and batch size (paper §5.4.2-§5.4.3).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Validated at construction — `cores >= 1` and `batch >= 1` are invariants
+/// of every live value, so downstream code (the evaluator, the search
+/// context) divides by them without defensive guards.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize)]
 pub struct EvalOptions {
-    /// Number of NPU cores sharing subgraph weights over the crossbar.
-    pub cores: u32,
-    /// Batch size processed per subgraph before moving on.
-    pub batch: u32,
+    cores: u32,
+    batch: u32,
 }
 
 impl Default for EvalOptions {
@@ -200,14 +203,61 @@ impl Default for EvalOptions {
 }
 
 impl EvalOptions {
+    /// Creates options from untrusted input (e.g. CLI flags).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidOptions`] when `cores` or `batch` is
+    /// zero.
+    pub fn new(cores: u32, batch: u32) -> Result<Self, SimError> {
+        if cores == 0 || batch == 0 {
+            return Err(SimError::InvalidOptions);
+        }
+        Ok(Self { cores, batch })
+    }
+
     /// Single-core options with the given batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero — use [`new`](EvalOptions::new) for
+    /// untrusted input.
     pub fn with_batch(batch: u32) -> Self {
-        Self { cores: 1, batch }
+        Self::new(1, batch).expect("batch must be nonzero")
     }
 
     /// Multi-core options with batch 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero — use [`new`](EvalOptions::new) for
+    /// untrusted input.
     pub fn with_cores(cores: u32) -> Self {
-        Self { cores, batch: 1 }
+        Self::new(cores, 1).expect("cores must be nonzero")
+    }
+
+    /// Number of NPU cores sharing subgraph weights over the crossbar
+    /// (always ≥ 1).
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Batch size processed per subgraph before moving on (always ≥ 1).
+    pub fn batch(&self) -> u32 {
+        self.batch
+    }
+}
+
+// Deserialization re-validates, so a hand-edited JSON document cannot
+// smuggle zero cores/batch past the constructor invariant.
+impl serde::Deserialize for EvalOptions {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| serde::Error::mismatch("object", "EvalOptions", value))?;
+        let cores = u32::from_value(serde::field(fields, "cores", "EvalOptions")?)?;
+        let batch = u32::from_value(serde::field(fields, "batch", "EvalOptions")?)?;
+        EvalOptions::new(cores, batch).map_err(serde::Error::custom)
     }
 }
 
@@ -264,5 +314,37 @@ mod tests {
     #[should_panic(expected = "step")]
     fn zero_step_panics() {
         CapacityRange::new(1, 2, 0);
+    }
+
+    #[test]
+    fn eval_options_validate_at_construction() {
+        assert_eq!(EvalOptions::new(0, 1), Err(SimError::InvalidOptions));
+        assert_eq!(EvalOptions::new(1, 0), Err(SimError::InvalidOptions));
+        assert_eq!(EvalOptions::new(0, 0), Err(SimError::InvalidOptions));
+        let ok = EvalOptions::new(2, 8).unwrap();
+        assert_eq!(ok.cores(), 2);
+        assert_eq!(ok.batch(), 8);
+        assert_eq!(EvalOptions::default().cores(), 1);
+        assert_eq!(EvalOptions::default().batch(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn with_cores_zero_panics() {
+        EvalOptions::with_cores(0);
+    }
+
+    #[test]
+    fn eval_options_deserialization_revalidates() {
+        use serde::{Deserialize, Serialize};
+        let ok = EvalOptions::new(2, 4).unwrap();
+        let back = EvalOptions::from_value(&ok.to_value()).unwrap();
+        assert_eq!(back, ok);
+        // A forged document with zero cores is rejected.
+        let forged = serde::Value::Object(vec![
+            ("cores".into(), serde::Value::U64(0)),
+            ("batch".into(), serde::Value::U64(1)),
+        ]);
+        assert!(EvalOptions::from_value(&forged).is_err());
     }
 }

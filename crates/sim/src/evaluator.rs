@@ -11,6 +11,22 @@ use cocco_tiling::derive_scheme;
 use std::collections::HashMap;
 use std::sync::RwLock;
 
+/// Shards of the subgraph-statistics cache: parallel batch evaluation has
+/// every worker reading and occasionally writing this map, so spreading
+/// keys over independent locks keeps them off each other's critical
+/// sections.
+const STATS_SHARDS: usize = 16;
+
+/// FNV-1a over the sorted member indices — deterministic shard selection.
+fn stats_shard(key: &[u32]) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in key {
+        h ^= u64::from(w);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % STATS_SHARDS as u64) as usize
+}
+
 /// Evaluates partitions of one computation graph on one accelerator
 /// configuration, caching the buffer-independent per-subgraph statistics.
 ///
@@ -41,7 +57,8 @@ pub struct Evaluator<'g> {
     macs: Vec<u64>,
     cycles: Vec<f64>,
     is_input: Vec<bool>,
-    cache: RwLock<HashMap<Box<[u32]>, SubgraphStats>>,
+    fingerprint: u64,
+    cache: [RwLock<HashMap<Box<[u32]>, SubgraphStats>>; STATS_SHARDS],
 }
 
 impl<'g> Evaluator<'g> {
@@ -62,6 +79,24 @@ impl<'g> Evaluator<'g> {
             cycles.push(graph.macs(id) as f64 / (peak * util));
             is_input.push(node.op().is_input());
         }
+        // Identity of (graph, accelerator) for external memoization keys:
+        // the serialized configuration plus the graph's name and
+        // per-node precomputation totals.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |w: u64| {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for b in graph.name().bytes() {
+            mix(u64::from(b));
+        }
+        for b in format!("{config:?}").bytes() {
+            mix(u64::from(b));
+        }
+        mix(n as u64);
+        mix(weight_bytes.iter().sum());
+        mix(out_bytes.iter().sum());
+        mix(macs.iter().sum());
         Self {
             graph,
             config,
@@ -70,8 +105,16 @@ impl<'g> Evaluator<'g> {
             macs,
             cycles,
             is_input,
-            cache: RwLock::new(HashMap::new()),
+            fingerprint: h,
+            cache: Default::default(),
         }
+    }
+
+    /// A stable identity of this evaluator's `(graph, accelerator config)`
+    /// pair, for callers that memoize evaluations across evaluators (two
+    /// different models or platforms virtually never collide).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The evaluated graph.
@@ -86,7 +129,7 @@ impl<'g> Evaluator<'g> {
 
     /// Number of distinct subgraphs evaluated so far (cache size).
     pub fn cached_subgraphs(&self) -> usize {
-        self.cache.read().unwrap().len()
+        self.cache.iter().map(|s| s.read().unwrap().len()).sum()
     }
 
     /// Buffer-independent statistics of the subgraph `members` (sorted or
@@ -99,7 +142,8 @@ impl<'g> Evaluator<'g> {
     pub fn subgraph_stats(&self, members: &[NodeId]) -> Result<SubgraphStats, SimError> {
         let mut key: Vec<u32> = members.iter().map(|id| id.index() as u32).collect();
         key.sort_unstable();
-        if let Some(stats) = self.cache.read().unwrap().get(key.as_slice()) {
+        let shard = &self.cache[stats_shard(&key)];
+        if let Some(stats) = shard.read().unwrap().get(key.as_slice()) {
             return Ok(*stats);
         }
         let sorted: Vec<NodeId> = key
@@ -107,10 +151,7 @@ impl<'g> Evaluator<'g> {
             .map(|&i| NodeId::from_index(i as usize))
             .collect();
         let stats = self.compute_stats(&sorted)?;
-        self.cache
-            .write()
-            .unwrap()
-            .insert(key.into_boxed_slice(), stats);
+        shard.write().unwrap().insert(key.into_boxed_slice(), stats);
         Ok(stats)
     }
 
@@ -222,22 +263,20 @@ impl<'g> Evaluator<'g> {
     /// # Errors
     ///
     /// Returns an error for structurally invalid inputs (empty subgraphs,
-    /// duplicate nodes, unknown ids, zero cores/batch) — conditions a
-    /// well-formed search never produces.
+    /// duplicate nodes, unknown ids) — conditions a well-formed search
+    /// never produces. Zero cores/batch cannot reach this function:
+    /// [`EvalOptions`] validates them at construction.
     pub fn eval_partition(
         &self,
         subgraphs: &[Vec<NodeId>],
         buffer: &BufferConfig,
         options: EvalOptions,
     ) -> Result<PartitionReport, SimError> {
-        if options.cores == 0 || options.batch == 0 {
-            return Err(SimError::InvalidOptions);
-        }
         if subgraphs.is_empty() {
             return Err(SimError::EmptySubgraph { index: 0 });
         }
-        let cores = u64::from(options.cores);
-        let batch = u64::from(options.batch);
+        let cores = u64::from(options.cores());
+        let batch = u64::from(options.batch());
         let energy = &self.config.energy;
         let (glb_cap, wgt_cap) = match buffer {
             BufferConfig::Separate { glb, wgt } => (*glb, *wgt),
@@ -531,14 +570,12 @@ mod tests {
     }
 
     #[test]
-    fn invalid_options_rejected() {
+    fn invalid_inputs_rejected() {
         let g = cocco_graph::models::chain(2);
         let eval = Evaluator::new(&g, AcceleratorConfig::default());
         let buf = BufferConfig::shared(1 << 20);
-        let err = eval
-            .eval_partition(&whole(&g), &buf, EvalOptions { cores: 0, batch: 1 })
-            .unwrap_err();
-        assert_eq!(err, SimError::InvalidOptions);
+        // Zero cores/batch are unrepresentable: construction rejects them.
+        assert_eq!(EvalOptions::new(0, 1), Err(SimError::InvalidOptions));
         let err = eval
             .eval_partition(&[], &buf, EvalOptions::default())
             .unwrap_err();

@@ -15,7 +15,7 @@ fn main() -> Result<(), cocco::Error> {
     );
     for cores in [1u32, 2, 4] {
         for batch in [1u32, 2, 8] {
-            let options = EvalOptions { cores, batch };
+            let options = EvalOptions::new(cores, batch).expect("nonzero cores/batch");
             let result = Cocco::new()
                 .with_space(BufferSpace::paper_shared())
                 .with_objective(Objective::paper_energy_capacity())

@@ -5,24 +5,21 @@
 use cocco::prelude::*;
 use std::error::Error as _;
 
-/// Sequential GA config so facade and direct runs evaluate in identical
-/// order even at budget-exhaustion boundaries.
-fn sequential_ga(seed: u64) -> GaConfig {
+/// A seeded GA config. Batch evaluation is deterministic at any thread
+/// count, so facade and direct runs evaluate in identical order even at
+/// budget-exhaustion boundaries — no sequential override needed.
+fn seeded_ga(seed: u64) -> GaConfig {
     GaConfig {
         seed,
-        parallel: false,
         ..GaConfig::default()
     }
 }
 
-/// The six registry methods, seeded, with the GA forced sequential.
+/// The six registry methods, seeded.
 fn all_methods(seed: u64) -> Vec<SearchMethod> {
     SearchMethod::all()
         .into_iter()
-        .map(|m| match m {
-            SearchMethod::Ga(_) => SearchMethod::Ga(sequential_ga(seed)),
-            other => other.with_seed(seed),
-        })
+        .map(|m| m.with_seed(seed))
         .collect()
 }
 
@@ -91,7 +88,7 @@ fn facade_matches_direct_searcher_invocation() {
 fn exploration_round_trips_through_json() {
     let model = cocco::graph::models::diamond();
     let result = Cocco::new()
-        .with_ga(sequential_ga(1))
+        .with_ga(seeded_ga(1))
         .with_budget(120)
         .explore(&model)
         .unwrap();
@@ -203,7 +200,7 @@ fn with_seed_controls_every_stochastic_method() {
         let run = |seed: u64| {
             Cocco::new()
                 .with_method(match &method {
-                    SearchMethod::Ga(_) => SearchMethod::Ga(sequential_ga(0)),
+                    SearchMethod::Ga(_) => SearchMethod::Ga(seeded_ga(0)),
                     other => other.clone(),
                 })
                 .with_seed(seed)

@@ -4,23 +4,53 @@
 use cocco::prelude::*;
 
 #[test]
-fn ga_parallel_equals_sequential() {
+fn ga_is_bit_identical_at_any_thread_count() {
     let g = cocco::graph::models::googlenet();
     let eval = Evaluator::new(&g, AcceleratorConfig::default());
-    let run = |parallel: bool| {
+    let run = |threads: u32| {
         let ctx = SearchContext::new(
             &g,
             &eval,
             BufferSpace::paper_shared(),
             Objective::paper_energy_capacity(),
             1_200,
-        );
+        )
+        .with_engine(EngineConfig::with_threads(threads));
         let ga = CoccoGa::default().with_population(40).with_seed(11);
-        let ga = if parallel { ga } else { ga.sequential() };
         let out = ga.run(&ctx);
-        (out.best_cost, out.best.map(|g| g.buffer))
+        (out.best_cost, out.best, out.samples, ctx.trace().points())
     };
-    assert_eq!(run(true), run(false));
+    let serial = run(1);
+    for threads in [2, 4] {
+        let parallel = run(threads);
+        assert_eq!(serial.0, parallel.0, "best cost at {threads} threads");
+        assert_eq!(serial.1, parallel.1, "best genome at {threads} threads");
+        assert_eq!(serial.2, parallel.2, "samples at {threads} threads");
+        assert_eq!(serial.3, parallel.3, "trace at {threads} threads");
+    }
+}
+
+#[test]
+fn facade_ga_is_identical_serial_and_parallel() {
+    // The acceptance check of the engine rework: `SearchMethod::Ga`
+    // through the facade returns the identical best cost, genome and trace
+    // at 1 and 4 threads.
+    let model = cocco::graph::models::resnet50();
+    let run = |threads: u32| {
+        Cocco::new()
+            .with_method(SearchMethod::ga())
+            .with_budget(500)
+            .with_seed(7)
+            .with_engine(EngineConfig::with_threads(threads))
+            .explore(&model)
+            .unwrap()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.cost, parallel.cost);
+    assert_eq!(serial.genome, parallel.genome);
+    assert_eq!(serial.trace, parallel.trace);
+    assert_eq!(serial.samples, parallel.samples);
 }
 
 #[test]

@@ -1,0 +1,82 @@
+//! Workspace-level tests of the evaluation engine: thread-count
+//! invariance for every stochastic method, cache sharing across derived
+//! contexts, and the `infeasible_errors` accounting.
+
+use cocco::prelude::*;
+
+fn explore(method: SearchMethod, threads: u32, budget: u64) -> Exploration {
+    Cocco::new()
+        .with_method(method)
+        .with_budget(budget)
+        .with_seed(21)
+        .with_engine(EngineConfig::with_threads(threads))
+        .explore(&cocco::graph::models::googlenet())
+        .unwrap()
+}
+
+#[test]
+fn every_stochastic_method_is_thread_count_invariant() {
+    for method in [
+        SearchMethod::ga(),
+        SearchMethod::sa(),
+        SearchMethod::two_step(),
+    ] {
+        let name = method.name();
+        let serial = explore(method.clone(), 1, 400);
+        let parallel = explore(method, 4, 400);
+        assert_eq!(serial.cost, parallel.cost, "{name}: cost diverged");
+        assert_eq!(serial.genome, parallel.genome, "{name}: genome diverged");
+        assert_eq!(serial.trace, parallel.trace, "{name}: trace diverged");
+        assert_eq!(serial.samples, parallel.samples, "{name}: samples diverged");
+    }
+}
+
+#[test]
+fn two_step_inner_runs_share_the_engine_cache() {
+    let result = explore(SearchMethod::two_step(), 2, 600);
+    assert!(
+        result.stats.cache_hits > 0,
+        "inner GAs re-propose partitions; the shared cache must see hits"
+    );
+    assert!(result.stats.evals >= result.samples);
+}
+
+#[test]
+fn engine_stats_round_trip_through_json() {
+    let result = explore(SearchMethod::ga(), 2, 300);
+    let json = serde_json::to_string(&result).unwrap();
+    let back: Exploration = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.stats, result.stats);
+    assert_eq!(back.infeasible_errors, result.infeasible_errors);
+}
+
+#[test]
+fn infeasible_errors_count_silent_evaluator_failures() {
+    let g = cocco::graph::models::diamond();
+    let eval = Evaluator::new(&g, AcceleratorConfig::default());
+    let ctx = SearchContext::new(
+        &g,
+        &eval,
+        BufferSpace::fixed(BufferConfig::shared(1 << 20)),
+        Objective::partition_only(CostMetric::Ema),
+        10,
+    );
+    let buffer = BufferConfig::shared(1 << 20);
+    // An empty member set is an evaluator error, not a genuine misfit —
+    // `fits` maps it to false but must count it.
+    assert!(!ctx.fits(&[], &buffer));
+    assert_eq!(ctx.trace().infeasible_errors(), 1);
+    // Healthy queries leave the counter alone.
+    let members: Vec<NodeId> = g.node_ids().collect();
+    assert!(ctx.fits(&members, &buffer));
+    assert_eq!(ctx.trace().infeasible_errors(), 1);
+}
+
+#[test]
+fn healthy_runs_report_zero_infeasible_errors() {
+    for method in [SearchMethod::ga(), SearchMethod::greedy()] {
+        let name = method.name();
+        let result = explore(method, 2, 300);
+        assert_eq!(result.infeasible_errors, 0, "{name}");
+    }
+}

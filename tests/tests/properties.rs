@@ -210,11 +210,7 @@ fn ga_budget_exact() {
             Objective::paper_energy_capacity(),
             budget,
         );
-        let out = CoccoGa::default()
-            .with_population(8)
-            .with_seed(1)
-            .sequential()
-            .run(&ctx);
+        let out = CoccoGa::default().with_population(8).with_seed(1).run(&ctx);
         assert_eq!(out.samples, budget, "case {case}");
         assert_eq!(ctx.budget().used(), budget, "case {case}");
     }
