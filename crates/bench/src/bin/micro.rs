@@ -11,12 +11,15 @@
 //! Modes:
 //!
 //! * `cargo run --release -p cocco-bench --bin micro` — the full suite,
-//!   ending with the engine benchmark (GA on `resnet50`, serial vs. 4
-//!   worker threads) and a `BENCH_engine.json` summary at the repository
-//!   root;
-//! * `cargo run --release -p cocco-bench --bin micro -- --smoke` — the CI
-//!   smoke mode: a scaled-down engine run that exercises the parallel
-//!   batch path and asserts serial/parallel results are bit-identical.
+//!   ending with the engine benchmark (the same seeded GA on `resnet50`
+//!   through the full-evaluation reference, the incremental serial path
+//!   and the incremental parallel path) and a `BENCH_engine.json` summary
+//!   at the repository root recording wall times, the subgraph-level hit
+//!   rate and the incremental scoring reduction;
+//! * `cargo run --release -p cocco-bench --bin micro -- --smoke
+//!   [--threads <n>]` — the CI smoke mode: a scaled-down run of the same
+//!   three arms that asserts bit-identical results and the >= 30 %
+//!   subgraph-scoring reduction, at the requested worker count.
 
 use cocco::prelude::*;
 use rand::rngs::StdRng;
@@ -70,15 +73,15 @@ fn fmt_time(seconds: f64) -> String {
     }
 }
 
-/// One timed GA run at a fixed thread count; returns wall time plus the
-/// outcome fingerprint and engine statistics.
+/// One timed GA run under an explicit engine configuration; returns wall
+/// time plus the outcome fingerprint and engine statistics.
 fn ga_run(
     model: &Graph,
     budget: u64,
     population: usize,
-    threads: u32,
+    engine: EngineConfig,
 ) -> (Duration, f64, Option<Genome>, EngineStats) {
-    // A fresh evaluator per run so both arms start with cold caches.
+    // A fresh evaluator per run so every arm starts with cold caches.
     let evaluator = Evaluator::new(model, AcceleratorConfig::default());
     let ctx = SearchContext::new(
         model,
@@ -87,7 +90,7 @@ fn ga_run(
         Objective::paper_energy_capacity(),
         budget,
     )
-    .with_engine(EngineConfig::with_threads(threads));
+    .with_engine(engine);
     let ga = CoccoGa::default().with_population(population).with_seed(42);
     let start = Instant::now();
     let outcome = ga.run(&ctx);
@@ -99,14 +102,16 @@ fn ga_run(
     )
 }
 
-/// The engine benchmark: serial vs. parallel GA on a ≥ 50-node model.
-/// Asserts bit-identical results (every host) and the ≥ 2× batch-path
-/// speedup (hosts with ≥ 4 CPUs — a single-core container cannot
-/// physically speed up, so there the number is informational), and returns
-/// the JSON summary document.
-fn engine_bench(smoke: bool) -> serde_json::Value {
+/// The engine benchmark: the same seeded GA on a ≥ 50-node model through
+/// three arms — full-path serial (the reference), incremental serial, and
+/// incremental at `threads` workers. Asserts bit-identical results across
+/// all arms (every host), a ≥ 30 % reduction in full subgraph scorings on
+/// the incremental path, and the ≥ 2× batch-path speedup (hosts with ≥ 4
+/// CPUs — a single-core container cannot physically speed up, so there the
+/// number is informational). Returns the JSON summary document.
+fn engine_bench(smoke: bool, threads: u32) -> serde_json::Value {
     let model = cocco::graph::models::resnet50();
-    let (budget, population, threads) = if smoke { (600, 50, 4) } else { (3_000, 100, 4) };
+    let (budget, population) = if smoke { (600, 50) } else { (3_000, 100) };
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -116,10 +121,29 @@ fn engine_bench(smoke: bool) -> serde_json::Value {
         model.len()
     );
 
-    let (serial_wall, serial_cost, serial_best, _) = ga_run(&model, budget, population, 1);
-    let (parallel_wall, parallel_cost, parallel_best, stats) =
-        ga_run(&model, budget, population, threads);
+    let (full_wall, full_cost, full_best, full_stats) = ga_run(
+        &model,
+        budget,
+        population,
+        EngineConfig::serial().without_incremental(),
+    );
+    let (serial_wall, serial_cost, serial_best, serial_stats) =
+        ga_run(&model, budget, population, EngineConfig::serial());
+    let (parallel_wall, parallel_cost, parallel_best, stats) = ga_run(
+        &model,
+        budget,
+        population,
+        EngineConfig::with_threads(threads),
+    );
 
+    assert_eq!(
+        full_cost, serial_cost,
+        "engine determinism violated: full and incremental best costs differ"
+    );
+    assert_eq!(
+        full_best, serial_best,
+        "engine determinism violated: full and incremental best genomes differ"
+    );
     assert_eq!(
         serial_cost, parallel_cost,
         "engine determinism violated: serial and parallel best costs differ"
@@ -129,27 +153,59 @@ fn engine_bench(smoke: bool) -> serde_json::Value {
         "engine determinism violated: serial and parallel best genomes differ"
     );
     assert!(stats.cache_hits > 0, "GA run never hit the eval cache");
+    assert!(
+        stats.subgraph_reused > 0,
+        "GA offspring never reused a memoized subgraph term"
+    );
+    let scoring_reduction =
+        1.0 - serial_stats.subgraph_scorings as f64 / full_stats.subgraph_scorings.max(1) as f64;
+    assert!(
+        scoring_reduction >= 0.30,
+        "incremental path must avoid >= 30% of full subgraph scorings \
+         (full {} vs incremental {}, reduction {:.0}%)",
+        full_stats.subgraph_scorings,
+        serial_stats.subgraph_scorings,
+        scoring_reduction * 100.0,
+    );
 
+    let full_ms = full_wall.as_secs_f64() * 1e3;
     let serial_ms = serial_wall.as_secs_f64() * 1e3;
     let parallel_ms = parallel_wall.as_secs_f64() * 1e3;
     let speedup = serial_ms / parallel_ms;
     println!(
-        "serial  (1 thread)   : {:>10}",
-        fmt_time(serial_wall.as_secs_f64())
+        "full path (1 thread) : {:>10}  ({} subgraph scorings)",
+        fmt_time(full_wall.as_secs_f64()),
+        full_stats.subgraph_scorings,
     );
     println!(
-        "parallel ({threads} threads) : {:>10}",
+        "incremental (1 thr)  : {:>10}  ({} scorings, {} cached, {} reused)",
+        fmt_time(serial_wall.as_secs_f64()),
+        serial_stats.subgraph_scorings,
+        serial_stats.subgraph_hits,
+        serial_stats.subgraph_reused,
+    );
+    println!(
+        "incremental ({threads} thr)  : {:>10}",
         fmt_time(parallel_wall.as_secs_f64())
     );
-    println!("speedup              : {speedup:.2}x");
+    println!("speedup (threads)    : {speedup:.2}x");
     println!(
-        "cache                : {} evals, {} hits ({:.0}%), {} entries",
+        "scoring reduction    : {:.0}% fewer full subgraph scorings",
+        scoring_reduction * 100.0
+    );
+    println!(
+        "subgraph hit rate    : {:.0}%",
+        serial_stats.subgraph_hit_rate() * 100.0
+    );
+    println!(
+        "cache                : {} evals, {} hits ({:.0}%), {} roll-ups + {} terms",
         stats.evals,
         stats.cache_hits,
         stats.hit_rate() * 100.0,
         stats.cache_entries,
+        stats.subgraph_entries,
     );
-    println!("results              : bit-identical serial vs parallel ✓");
+    println!("results              : bit-identical full vs incremental vs parallel ✓");
     if host_cpus >= 4 && !smoke {
         assert!(
             speedup >= 2.0,
@@ -158,7 +214,7 @@ fn engine_bench(smoke: bool) -> serde_json::Value {
         );
     } else if host_cpus < 2 {
         println!(
-            "note                 : host has {host_cpus} CPU — 4 workers timeslice one core, \
+            "note                 : host has {host_cpus} CPU — {threads} workers timeslice one core, \
              so the speedup above measures overhead, not parallelism"
         );
     }
@@ -182,12 +238,17 @@ fn engine_bench(smoke: bool) -> serde_json::Value {
             "host_cpus".to_string(),
             serde_json::to_value(&(host_cpus as u64)),
         ),
+        ("full_ms".to_string(), serde_json::to_value(&full_ms)),
         ("serial_ms".to_string(), serde_json::to_value(&serial_ms)),
         (
             "parallel_ms".to_string(),
             serde_json::to_value(&parallel_ms),
         ),
         ("speedup".to_string(), serde_json::to_value(&speedup)),
+        (
+            "incremental_speedup".to_string(),
+            serde_json::to_value(&(full_ms / serial_ms)),
+        ),
         ("evals".to_string(), serde_json::to_value(&stats.evals)),
         (
             "cache_hits".to_string(),
@@ -196,6 +257,26 @@ fn engine_bench(smoke: bool) -> serde_json::Value {
         (
             "cache_hit_rate".to_string(),
             serde_json::to_value(&stats.hit_rate()),
+        ),
+        (
+            "subgraph_scorings_full".to_string(),
+            serde_json::to_value(&full_stats.subgraph_scorings),
+        ),
+        (
+            "subgraph_scorings_incremental".to_string(),
+            serde_json::to_value(&serial_stats.subgraph_scorings),
+        ),
+        (
+            "subgraph_scoring_reduction".to_string(),
+            serde_json::to_value(&scoring_reduction),
+        ),
+        (
+            "subgraph_hit_rate".to_string(),
+            serde_json::to_value(&serial_stats.subgraph_hit_rate()),
+        ),
+        (
+            "subgraph_reused".to_string(),
+            serde_json::to_value(&serial_stats.subgraph_reused),
         ),
         ("deterministic".to_string(), serde_json::to_value(&true)),
     ];
@@ -273,23 +354,41 @@ fn full_suite() {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    if let Some(bad) = args.iter().find(|a| *a != "--smoke") {
-        eprintln!("unknown argument `{bad}` (only --smoke is supported)");
-        std::process::exit(2);
+    let mut args = std::env::args().skip(1);
+    let mut smoke = false;
+    let mut threads: u32 = 4;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--threads" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--threads needs a value");
+                    std::process::exit(2);
+                });
+                threads = value.parse().unwrap_or_else(|e| {
+                    eprintln!("bad --threads `{value}`: {e}");
+                    std::process::exit(2);
+                });
+            }
+            bad => {
+                eprintln!("unknown argument `{bad}` (supported: --smoke, --threads <n>)");
+                std::process::exit(2);
+            }
+        }
     }
+    let threads = threads.max(1);
 
     if smoke {
-        // CI smoke: exercise the parallel batch path and the determinism
-        // invariant; skip the slow timing loops.
-        engine_bench(true);
+        // CI smoke: exercise the incremental delta path, the parallel
+        // batch path and the determinism invariant at the requested worker
+        // count; skip the slow timing loops.
+        engine_bench(true, threads);
         println!("\nsmoke OK");
         return;
     }
 
     full_suite();
-    let doc = engine_bench(false);
+    let doc = engine_bench(false, threads);
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
     let text = serde_json::to_string_pretty(&doc).expect("summary serializes");
     match std::fs::write(&path, format!("{text}\n")) {

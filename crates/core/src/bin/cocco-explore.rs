@@ -21,6 +21,7 @@ struct Args {
     options: EvalOptions,
     threads: EngineConfig,
     method: SearchMethod,
+    cache_file: Option<String>,
     json: bool,
     list: bool,
     dot: bool,
@@ -47,6 +48,10 @@ fn usage() -> String {
            --batch <n>        batch size (default 1)\n\
            --threads <n>      evaluation worker threads, or `auto` (default auto);\n\
                               results are identical at any thread count\n\
+           --cache-file <p>   persist the evaluation cache at <p>: repeated\n\
+                              explorations warm-start from it (results are\n\
+                              unchanged; entries of other models/accelerator\n\
+                              configs are kept but never reused)\n\
            --json             print the full exploration result as JSON\n\
            --dot              print the partitioned graph in Graphviz DOT\n\
            --list             list available models and exit",
@@ -66,6 +71,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         options: EvalOptions::default(),
         threads: EngineConfig::auto(),
         method: SearchMethod::default(),
+        cache_file: None,
         json: false,
         list: false,
         dot: false,
@@ -117,6 +123,9 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
                     "ema" => CostMetric::Ema,
                     other => return Err(format!("unknown metric `{other}`")),
                 };
+            }
+            "--cache-file" => {
+                args.cache_file = Some(next_value(&mut argv, "--cache-file")?);
             }
             "--json" => args.json = true,
             "--list" => args.list = true,
@@ -177,13 +186,16 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let method = args.method.with_seed(args.seed);
-    let session = Cocco::new()
+    let mut session = Cocco::new()
         .with_space(args.space)
         .with_objective(Objective::co_exploration(args.metric, args.alpha))
         .with_options(args.options)
         .with_engine(args.threads)
         .with_budget(args.budget)
         .with_method(method.clone());
+    if let Some(path) = &args.cache_file {
+        session = session.with_cache_file(path);
+    }
     let result = match session.explore(&model) {
         Ok(r) => r,
         Err(e) => {
@@ -239,6 +251,16 @@ fn main() -> ExitCode {
         result.stats.hit_rate() * 100.0,
         result.stats.wall_ms,
     );
+    println!(
+        "subgraph terms     : {} scored, {} cached, {} reused ({:.0}% avoided)",
+        result.stats.subgraph_scorings,
+        result.stats.subgraph_hits,
+        result.stats.subgraph_reused,
+        result.stats.subgraph_hit_rate() * 100.0,
+    );
+    if let Some(save_error) = &result.cache_save_error {
+        eprintln!("warning            : could not save cache file ({save_error})");
+    }
     if result.infeasible_errors > 0 {
         println!(
             "warning            : {} evaluator errors were folded into infeasibility",

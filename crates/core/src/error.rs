@@ -75,6 +75,13 @@ pub enum Error {
     },
     /// A request or result failed to (de)serialize.
     Serde(serde::Error),
+    /// Reading or writing a cross-run evaluation-cache file failed.
+    CacheFile {
+        /// The offending path.
+        path: String,
+        /// The underlying I/O or parse failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -106,6 +113,9 @@ impl fmt::Display for Error {
                 requirement,
             } => write!(f, "method {method} requires {requirement}"),
             Error::Serde(e) => write!(f, "serialization failed: {e}"),
+            Error::CacheFile { path, reason } => {
+                write!(f, "cache file `{path}` unusable: {reason}")
+            }
         }
     }
 }
@@ -122,7 +132,8 @@ impl std::error::Error for Error {
             Error::NoFeasibleSolution
             | Error::SearchIncomplete { .. }
             | Error::UnknownModel { .. }
-            | Error::IncompatibleObjective { .. } => None,
+            | Error::IncompatibleObjective { .. }
+            | Error::CacheFile { .. } => None,
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The end-to-end framework driver (paper Figure 10).
 
 use crate::error::Error;
-use cocco_engine::{EngineConfig, EngineStats};
+use cocco_engine::{CacheSnapshot, EngineConfig, EngineStats};
 use cocco_graph::Graph;
 use cocco_search::{
     BufferSpace, GaConfig, Objective, SearchContext, SearchMethod, Searcher, Trace,
@@ -41,6 +41,12 @@ pub struct Exploration {
     /// Every recorded evaluation, for convergence (Fig. 12) and
     /// distribution (Fig. 13) studies.
     pub trace: Trace,
+    /// Set when writing the [`Cocco::with_cache_file`] snapshot failed
+    /// after the exploration itself succeeded. Persistence is a warm-start
+    /// optimization, so a save failure never discards the result — it is
+    /// reported here instead. (A *load* failure, i.e. an unusable existing
+    /// cache file, still fails [`Cocco::explore`] up front.)
+    pub cache_save_error: Option<String>,
 }
 
 /// High-level driver: model + hardware description + memory design space +
@@ -82,6 +88,7 @@ pub struct Cocco {
     method: SearchMethod,
     seed: Option<u64>,
     engine: EngineConfig,
+    cache_file: Option<std::path::PathBuf>,
 }
 
 impl Cocco {
@@ -99,6 +106,7 @@ impl Cocco {
             method: SearchMethod::default(),
             seed: None,
             engine: EngineConfig::default(),
+            cache_file: None,
         }
     }
 
@@ -142,6 +150,25 @@ impl Cocco {
     /// Selects the search method (with its typed configuration).
     pub fn with_method(mut self, method: SearchMethod) -> Self {
         self.method = method;
+        self
+    }
+
+    /// Persists the evaluation cache across runs: before exploring, the
+    /// engine warm-starts from `path` (if it exists); afterwards the
+    /// merged cache is written back.
+    ///
+    /// Entries are keyed by the evaluator's `(model, accelerator config)`
+    /// fingerprint, so changing the accelerator configuration — or the
+    /// model — invalidates previous entries instead of reusing them;
+    /// entries of *other* fingerprints in the file are preserved on save,
+    /// so one file can serve a whole experiment sweep (saves are atomic:
+    /// temp file + rename). Warm-starting never changes results (cached
+    /// values are exact), only which evaluations are recomputed. An
+    /// unusable *existing* file fails [`explore`](Cocco::explore) with
+    /// [`Error::CacheFile`]; a failed *save* is reported non-fatally on
+    /// [`Exploration::cache_save_error`].
+    pub fn with_cache_file(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.cache_file = Some(path.into());
         self
     }
 
@@ -197,7 +224,38 @@ impl Cocco {
         let ctx = SearchContext::new(model, &evaluator, self.space, self.objective, self.budget)
             .with_options(self.options)
             .with_engine(self.engine);
+        // Warm-start from the cache file: restore this evaluator's entries,
+        // carry everyone else's through to the save below.
+        let mut foreign = CacheSnapshot::default();
+        if let Some(path) = &self.cache_file {
+            if path.exists() {
+                let snapshot = CacheSnapshot::load(path).map_err(|e| Error::CacheFile {
+                    path: path.display().to_string(),
+                    reason: e.to_string(),
+                })?;
+                let (mine, rest) = snapshot.split_fingerprint(evaluator.fingerprint());
+                ctx.engine().cache().restore(&mine);
+                foreign = rest;
+            }
+        }
         let outcome = method.run(&ctx);
+        // Persistence is an optimization: a failed save must not discard a
+        // completed exploration, so it is reported on the result instead.
+        let mut cache_save_error = None;
+        if let Some(path) = &self.cache_file {
+            let mut snapshot = ctx.engine().cache().snapshot();
+            snapshot.merge(foreign);
+            // Concurrent explorations can share one sweep-wide file; fold
+            // in whatever landed on disk since our load so the last rename
+            // doesn't drop another run's entries (best effort — merging of
+            // identical keys is value-identical, so order cannot corrupt).
+            if let Ok(on_disk) = CacheSnapshot::load(path) {
+                snapshot.merge(on_disk);
+            }
+            if let Err(e) = snapshot.save(path) {
+                cache_save_error = Some(format!("{}: {e}", path.display()));
+            }
+        }
         let genome = outcome.best.ok_or(if outcome.completed {
             Error::NoFeasibleSolution
         } else {
@@ -221,6 +279,7 @@ impl Cocco {
             infeasible_errors: ctx.trace().infeasible_errors(),
             stats: ctx.engine().stats(),
             trace: ctx.trace().clone(),
+            cache_save_error,
         })
     }
 }
@@ -344,6 +403,75 @@ mod tests {
             result.infeasible_errors, 0,
             "a well-formed run must not hide evaluator errors"
         );
+    }
+
+    #[test]
+    fn cache_file_warm_starts_and_is_invalidated_by_config_change() {
+        let dir = std::env::temp_dir().join(format!("cocco-facade-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("explore-cache.json");
+        let model = cocco_graph::models::googlenet();
+        let session = || {
+            Cocco::new()
+                .with_budget(300)
+                .with_seed(5)
+                .with_cache_file(&path)
+        };
+        let cold = session().explore(&model).unwrap();
+        assert!(path.exists(), "explore must write the cache file");
+        let warm = session().explore(&model).unwrap();
+        // Warm-starting changes hit counts, never results.
+        assert_eq!(cold.cost, warm.cost);
+        assert_eq!(cold.genome, warm.genome);
+        assert_eq!(cold.trace, warm.trace);
+        assert!(
+            warm.stats.hit_rate() > cold.stats.hit_rate(),
+            "second run must answer more requests from the persisted cache \
+             (cold {:.3} vs warm {:.3})",
+            cold.stats.hit_rate(),
+            warm.stats.hit_rate()
+        );
+        assert_eq!(
+            warm.stats.subgraph_scorings, 0,
+            "a fully warm-started run must not re-score any subgraph"
+        );
+
+        // A different accelerator config has a different fingerprint: no
+        // entry of the warm file may be reused (hits can only come from the
+        // run's own evaluations), and both fingerprints' entries coexist in
+        // the file afterwards.
+        let mut accel = AcceleratorConfig::default();
+        accel.mac_cols *= 2;
+        let other = session().with_accelerator(accel).explore(&model).unwrap();
+        assert!(
+            other.stats.subgraph_scorings > 0,
+            "a different accelerator fingerprint must force fresh scorings \
+             instead of reusing the stale file"
+        );
+        let snapshot = cocco_engine::CacheSnapshot::load(&path).unwrap();
+        let fingerprints: std::collections::HashSet<u64> =
+            snapshot.partition.iter().map(|(k, _)| k[0]).collect();
+        assert_eq!(fingerprints.len(), 2, "both configs' entries persist");
+
+        // A corrupt cache file is a reported error, not silent garbage.
+        std::fs::write(&path, "{broken").unwrap();
+        let err = session().explore(&model).unwrap_err();
+        assert!(matches!(err, Error::CacheFile { .. }));
+
+        // An unwritable save path does not discard a completed run: the
+        // exploration succeeds and the failure is reported on the result.
+        let unwritable = dir.join("no-such-dir").join("cache.json");
+        let result = Cocco::new()
+            .with_budget(200)
+            .with_seed(5)
+            .with_cache_file(&unwritable)
+            .explore(&model)
+            .unwrap();
+        assert!(
+            result.cache_save_error.is_some(),
+            "a failed save must be reported"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -12,9 +12,12 @@
 
 pub use crate::error::{CoccoError, Error};
 pub use crate::framework::{Cocco, Exploration};
-pub use cocco_engine::{Engine, EngineConfig, EngineStats, SampleBudget, ThreadCount};
+pub use cocco_engine::{
+    CacheSnapshot, Engine, EngineConfig, EngineStats, EvalMemo, SampleBudget, ScoredEval,
+    SubgraphScore, ThreadCount,
+};
 pub use cocco_graph::{Dims2, Graph, GraphBuilder, Kernel, LayerOp, NodeId, TensorShape};
-pub use cocco_partition::{repair, Partition, Quotient};
+pub use cocco_partition::{repair, repair_with_delta, Partition, PartitionDelta, Quotient};
 pub use cocco_search::{
     BufferSpace, CapacitySampling, CoccoGa, DepthDp, Exhaustive, GaConfig, Genome, GreedyFusion,
     Objective, SearchContext, SearchMethod, SearchOutcome, Searcher, SimulatedAnnealing, Trace,

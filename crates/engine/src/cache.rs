@@ -1,9 +1,29 @@
-//! The sharded memoization cache for partition evaluations.
+//! The sharded, two-level memoization cache for evaluations.
+//!
+//! Level 1 (**subgraph terms**) memoizes the pure per-subgraph scores
+//! produced by `Evaluator::eval_subgraph` under the key
+//! `(evaluator fingerprint, members, next_wgt, buffer, options)` — the
+//! exact inputs of that function, so one entry serves every partition that
+//! places the same subgraph before the same successor. Level 2
+//! (**partition roll-up**) memoizes whole-partition [`ScoredEval`]s under
+//! the ordered-subgraphs key, short-circuiting exact duplicates without
+//! touching level 1. Both levels keep their own hit/miss counters.
+//!
+//! The cache also persists: [`EvalCache::snapshot`]/[`EvalCache::restore`]
+//! move both levels through a serde-serializable [`CacheSnapshot`], and
+//! [`EvalCache::save`]/[`CacheSnapshot::load`] write/read it as JSON so
+//! repeated explorations of the same model warm-start. Keys embed the
+//! evaluator fingerprint, so entries recorded under a different
+//! accelerator configuration (or model) can never produce a false hit;
+//! [`CacheSnapshot::split_fingerprint`] additionally lets callers restore
+//! only the entries of the evaluator at hand.
 
-use crate::engine::ScoredEval;
+use crate::engine::{ScoredEval, SubgraphScore};
 use cocco_graph::NodeId;
 use cocco_sim::{BufferConfig, EvalOptions};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
@@ -16,8 +36,26 @@ const SHARDS: usize = 16;
 /// `u64` sequence.
 pub type EvalKey = Box<[u64]>;
 
-/// Encodes `(evaluator fingerprint, subgraphs, buffer, options)` into an
-/// [`EvalKey`].
+/// Pushes the `(buffer, options)` coordinates shared by both key kinds.
+fn push_coords(key: &mut Vec<u64>, buffer: &BufferConfig, options: EvalOptions) {
+    match buffer {
+        BufferConfig::Shared { total } => {
+            key.push(0);
+            key.push(*total);
+            key.push(0);
+        }
+        BufferConfig::Separate { glb, wgt } => {
+            key.push(1);
+            key.push(*glb);
+            key.push(*wgt);
+        }
+    }
+    key.push(u64::from(options.cores()));
+    key.push(u64::from(options.batch()));
+}
+
+/// Encodes `(evaluator fingerprint, subgraphs, buffer, options)` into a
+/// partition-level [`EvalKey`].
 ///
 /// The fingerprint ([`Evaluator::fingerprint`](cocco_sim::Evaluator)) pins
 /// the entry to one `(graph, accelerator config)` pair, so an engine
@@ -37,20 +75,7 @@ pub fn eval_key(
     let members: usize = subgraphs.iter().map(Vec::len).sum();
     let mut key = Vec::with_capacity(6 + members + subgraphs.len());
     key.push(fingerprint);
-    match buffer {
-        BufferConfig::Shared { total } => {
-            key.push(0);
-            key.push(*total);
-            key.push(0);
-        }
-        BufferConfig::Separate { glb, wgt } => {
-            key.push(1);
-            key.push(*glb);
-            key.push(*wgt);
-        }
-    }
-    key.push(u64::from(options.cores()));
-    key.push(u64::from(options.batch()));
+    push_coords(&mut key, buffer, options);
     for subgraph in subgraphs {
         for &m in subgraph {
             key.push(m.index() as u64);
@@ -58,6 +83,45 @@ pub fn eval_key(
         key.push(u64::MAX); // subgraph separator (never a node index)
     }
     key.into_boxed_slice()
+}
+
+/// Encodes `(evaluator fingerprint, members, next_wgt, buffer, options)`
+/// into a subgraph-level key — the exact input coordinates of
+/// `Evaluator::eval_subgraph`, with the successor's weight prefetch
+/// (`next_wgt`) made explicit so each term is individually cacheable.
+///
+/// Returned as a plain `Vec` so lookups can borrow it as a slice and only
+/// the insert path pays for boxing.
+pub fn subgraph_key(
+    fingerprint: u64,
+    members: &[NodeId],
+    next_wgt: u64,
+    buffer: &BufferConfig,
+    options: EvalOptions,
+) -> Vec<u64> {
+    let mut key = Vec::with_capacity(7 + members.len());
+    subgraph_key_into(&mut key, fingerprint, members, next_wgt, buffer, options);
+    key
+}
+
+/// [`subgraph_key`] into a caller-provided buffer (cleared first), so hot
+/// loops build one key per term without allocating per call.
+pub fn subgraph_key_into(
+    key: &mut Vec<u64>,
+    fingerprint: u64,
+    members: &[NodeId],
+    next_wgt: u64,
+    buffer: &BufferConfig,
+    options: EvalOptions,
+) {
+    key.clear();
+    key.reserve(7 + members.len());
+    key.push(fingerprint);
+    push_coords(key, buffer, options);
+    key.push(next_wgt);
+    for &m in members {
+        key.push(m.index() as u64);
+    }
 }
 
 /// FNV-1a over the key words — cheap, deterministic shard selection.
@@ -70,28 +134,26 @@ fn shard_of(key: &[u64]) -> usize {
     (h % SHARDS as u64) as usize
 }
 
-/// A sharded map from [`EvalKey`] to [`ScoredEval`], with hit/miss
-/// counters.
-///
-/// Lookups take a shard read lock; inserts a shard write lock. Two workers
-/// racing on the same missing key may both compute it — the computation is
-/// deterministic, so the duplicate insert is idempotent and results never
-/// depend on the race.
-#[derive(Debug, Default)]
-pub struct EvalCache {
-    shards: [RwLock<HashMap<EvalKey, ScoredEval>>; SHARDS],
+/// One level of the cache: sharded map plus hit/miss counters.
+#[derive(Debug)]
+struct Level<V> {
+    shards: [RwLock<HashMap<EvalKey, V>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl EvalCache {
-    /// Creates an empty cache.
-    pub fn new() -> Self {
-        Self::default()
+impl<V> Default for Level<V> {
+    fn default() -> Self {
+        Self {
+            shards: Default::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
+}
 
-    /// Looks `key` up, counting a hit or miss.
-    pub fn get(&self, key: &[u64]) -> Option<ScoredEval> {
+impl<V: Copy> Level<V> {
+    fn get(&self, key: &[u64]) -> Option<V> {
         let found = self.shards[shard_of(key)].read().unwrap().get(key).copied();
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -100,32 +162,275 @@ impl EvalCache {
         found
     }
 
-    /// Inserts a computed evaluation.
-    pub fn insert(&self, key: EvalKey, value: ScoredEval) {
+    fn insert(&self, key: EvalKey, value: V) {
         self.shards[shard_of(&key)]
             .write()
             .unwrap()
             .insert(key, value);
     }
 
-    /// Distinct cached evaluations.
-    pub fn len(&self) -> usize {
+    fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().unwrap().len()).sum()
     }
 
-    /// `true` when nothing has been cached.
+    /// All entries, sorted by key so snapshots are stable and diffable.
+    fn entries(&self) -> Vec<(Vec<u64>, V)> {
+        let mut out: Vec<(Vec<u64>, V)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            for (k, v) in shard.read().unwrap().iter() {
+                out.push((k.to_vec(), *v));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// A serializable image of both cache levels, for cross-run persistence.
+///
+/// Entries are plain `(key words, value)` pairs sorted by key; the `f64`
+/// fields inside the values survive the JSON round-trip exactly, so a
+/// warm-started exploration is bit-identical to a cold one — the snapshot
+/// only changes which lookups hit.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    /// Snapshot format version (bumped on incompatible key changes).
+    pub version: u32,
+    /// Partition roll-up entries.
+    pub partition: Vec<(Vec<u64>, ScoredEval)>,
+    /// Per-subgraph term entries.
+    pub subgraph: Vec<(Vec<u64>, SubgraphScore)>,
+}
+
+/// Current [`CacheSnapshot::version`]; snapshots from other versions are
+/// discarded on restore (their keys would be meaningless).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+impl CacheSnapshot {
+    /// Total entries across both levels.
+    pub fn len(&self) -> usize {
+        self.partition.len() + self.subgraph.len()
+    }
+
+    /// `true` when the snapshot holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Lookups answered from the cache.
-    pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+    /// Splits into the entries recorded under `fingerprint` (first) and
+    /// everything else (second). Every key leads with the evaluator
+    /// fingerprint, so this cleanly separates one `(model, accelerator)`
+    /// pair's entries from a multi-model cache file — changing the
+    /// accelerator configuration changes the fingerprint and thereby
+    /// invalidates (filters out) all previous entries.
+    pub fn split_fingerprint(self, fingerprint: u64) -> (CacheSnapshot, CacheSnapshot) {
+        let mut mine = CacheSnapshot {
+            version: self.version,
+            ..Default::default()
+        };
+        let mut rest = mine.clone();
+        for entry in self.partition {
+            let target = if entry.0.first() == Some(&fingerprint) {
+                &mut mine.partition
+            } else {
+                &mut rest.partition
+            };
+            target.push(entry);
+        }
+        for entry in self.subgraph {
+            let target = if entry.0.first() == Some(&fingerprint) {
+                &mut mine.subgraph
+            } else {
+                &mut rest.subgraph
+            };
+            target.push(entry);
+        }
+        (mine, rest)
     }
 
-    /// Lookups that required a fresh evaluation.
+    /// Appends another snapshot's entries (deduplication happens on
+    /// restore — later inserts of an identical key overwrite with an
+    /// identical, deterministically computed value).
+    pub fn merge(&mut self, other: CacheSnapshot) {
+        self.partition.extend(other.partition);
+        self.subgraph.extend(other.subgraph);
+        self.partition.sort_by(|a, b| a.0.cmp(&b.0));
+        self.subgraph.sort_by(|a, b| a.0.cmp(&b.0));
+        self.partition.dedup_by(|a, b| a.0 == b.0);
+        self.subgraph.dedup_by(|a, b| a.0 == b.0);
+    }
+
+    /// Writes the snapshot to `path` as JSON, atomically: the document is
+    /// written to a sibling temp file and renamed into place, so a reader
+    /// (or a concurrent saver sharing one sweep-wide cache file) never
+    /// observes a half-written snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        // Unique per save, not just per process: concurrent saves from one
+        // process (a sweep harness exploring on several threads) must not
+        // share a temp file, or interleaved writes could publish a torn
+        // snapshot.
+        static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let text = serde_json::to_string(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(
+            ".tmp.{}.{}",
+            std::process::id(),
+            SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            std::fs::remove_file(&tmp).ok();
+        })
+    }
+
+    /// Reads a snapshot from `path`. A snapshot of a different
+    /// [`SNAPSHOT_VERSION`] loads as empty (stale keys must not be
+    /// trusted).
+    ///
+    /// # Errors
+    ///
+    /// Returns filesystem errors as-is and malformed JSON as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load(path: &Path) -> std::io::Result<CacheSnapshot> {
+        let text = std::fs::read_to_string(path)?;
+        let snap: CacheSnapshot = serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        if snap.version != SNAPSHOT_VERSION {
+            return Ok(CacheSnapshot {
+                version: SNAPSHOT_VERSION,
+                ..Default::default()
+            });
+        }
+        Ok(snap)
+    }
+}
+
+/// The two-level sharded evaluation cache.
+///
+/// Lookups take a shard read lock; inserts a shard write lock. Two workers
+/// racing on the same missing key may both compute it — the computation is
+/// deterministic, so the duplicate insert is idempotent and results never
+/// depend on the race.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    partition: Level<ScoredEval>,
+    subgraph: Level<SubgraphScore>,
+}
+
+impl EvalCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks a partition roll-up key up, counting a hit or miss.
+    pub fn get(&self, key: &[u64]) -> Option<ScoredEval> {
+        self.partition.get(key)
+    }
+
+    /// Inserts a computed partition evaluation.
+    pub fn insert(&self, key: EvalKey, value: ScoredEval) {
+        self.partition.insert(key, value);
+    }
+
+    /// Looks a per-subgraph term up, counting a subgraph-level hit or miss.
+    pub fn get_subgraph(&self, key: &[u64]) -> Option<SubgraphScore> {
+        self.subgraph.get(key)
+    }
+
+    /// Inserts a computed per-subgraph term.
+    pub fn insert_subgraph(&self, key: Vec<u64>, value: SubgraphScore) {
+        self.subgraph.insert(key.into_boxed_slice(), value);
+    }
+
+    /// Distinct cached evaluations across both levels.
+    pub fn len(&self) -> usize {
+        self.partition.len() + self.subgraph.len()
+    }
+
+    /// `true` when nothing has been cached at either level.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distinct partition roll-up entries.
+    pub fn partition_entries(&self) -> usize {
+        self.partition.len()
+    }
+
+    /// Distinct per-subgraph term entries.
+    pub fn subgraph_entries(&self) -> usize {
+        self.subgraph.len()
+    }
+
+    /// Partition-level lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.partition.hits.load(Ordering::Relaxed)
+    }
+
+    /// Partition-level lookups that required composing or evaluating.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.partition.misses.load(Ordering::Relaxed)
+    }
+
+    /// Subgraph-level lookups answered from the cache.
+    pub fn subgraph_hits(&self) -> u64 {
+        self.subgraph.hits.load(Ordering::Relaxed)
+    }
+
+    /// Subgraph-level lookups that required a fresh `eval_subgraph` term.
+    pub fn subgraph_misses(&self) -> u64 {
+        self.subgraph.misses.load(Ordering::Relaxed)
+    }
+
+    /// A serializable image of both levels (entries sorted by key).
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            version: SNAPSHOT_VERSION,
+            partition: self.partition.entries(),
+            subgraph: self.subgraph.entries(),
+        }
+    }
+
+    /// Inserts every entry of `snapshot` (counters are unaffected —
+    /// restored entries only show up as later hits).
+    pub fn restore(&self, snapshot: &CacheSnapshot) {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return;
+        }
+        for (key, value) in &snapshot.partition {
+            self.partition
+                .insert(key.clone().into_boxed_slice(), *value);
+        }
+        for (key, value) in &snapshot.subgraph {
+            self.subgraph.insert(key.clone().into_boxed_slice(), *value);
+        }
+    }
+
+    /// Saves a snapshot of both levels to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; see [`CacheSnapshot::save`].
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        self.snapshot().save(path)
+    }
+
+    /// Loads a snapshot from `path` and restores every entry.
+    ///
+    /// # Errors
+    ///
+    /// See [`CacheSnapshot::load`].
+    pub fn load(&self, path: &Path) -> std::io::Result<usize> {
+        let snap = CacheSnapshot::load(path)?;
+        self.restore(&snap);
+        Ok(snap.len())
     }
 }
 
@@ -147,6 +452,14 @@ mod tests {
             buffer_bytes: 1,
             fits: true,
             error: false,
+        }
+    }
+
+    fn term(ema: u64) -> SubgraphScore {
+        SubgraphScore {
+            ema_bytes: ema,
+            energy_pj: ema as f64 * 0.5,
+            fits: true,
         }
     }
 
@@ -220,7 +533,22 @@ mod tests {
     }
 
     #[test]
-    fn hit_and_miss_counters() {
+    fn subgraph_keys_distinguish_next_wgt_and_members() {
+        let members: Vec<NodeId> = [0usize, 1].iter().map(|&i| NodeId::from_index(i)).collect();
+        let buf = BufferConfig::shared(1 << 20);
+        let opt = EvalOptions::default();
+        let base = subgraph_key(7, &members, 0, &buf, opt);
+        assert_ne!(
+            base,
+            subgraph_key(7, &members, 4096, &buf, opt),
+            "the successor's weight prefetch is a term input"
+        );
+        assert_ne!(base, subgraph_key(7, &members[..1], 0, &buf, opt));
+        assert_ne!(base, subgraph_key(8, &members, 0, &buf, opt));
+    }
+
+    #[test]
+    fn hit_and_miss_counters_per_level() {
         let cache = EvalCache::new();
         let key = eval_key(
             7,
@@ -233,7 +561,139 @@ mod tests {
         assert_eq!(cache.get(&key).unwrap().ema_bytes, 7);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
-        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.partition_entries(), 1);
+
+        let members = [NodeId::from_index(0)];
+        let skey = subgraph_key(
+            7,
+            &members,
+            0,
+            &BufferConfig::shared(64),
+            Default::default(),
+        );
+        assert!(cache.get_subgraph(&skey).is_none());
+        cache.insert_subgraph(skey.clone(), term(3));
+        assert_eq!(cache.get_subgraph(&skey).unwrap().ema_bytes, 3);
+        assert_eq!(cache.subgraph_hits(), 1);
+        assert_eq!(cache.subgraph_misses(), 1);
+        assert_eq!(cache.subgraph_entries(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_round_trips_both_levels() {
+        let cache = EvalCache::new();
+        let pkey = eval_key(
+            7,
+            &sg(&[&[0, 1]]),
+            &BufferConfig::shared(64),
+            EvalOptions::default(),
+        );
+        cache.insert(pkey.clone(), scored(11));
+        let members = [NodeId::from_index(0)];
+        let skey = subgraph_key(
+            7,
+            &members,
+            5,
+            &BufferConfig::shared(64),
+            Default::default(),
+        );
+        cache.insert_subgraph(skey.clone(), term(13));
+
+        let snap = cache.snapshot();
+        assert_eq!(snap.len(), 2);
+        let other = EvalCache::new();
+        other.restore(&snap);
+        assert_eq!(other.get(&pkey).unwrap(), scored(11));
+        assert_eq!(other.get_subgraph(&skey).unwrap(), term(13));
+        assert_eq!(other.snapshot(), snap, "snapshot ordering is stable");
+    }
+
+    #[test]
+    fn snapshot_split_by_fingerprint() {
+        let cache = EvalCache::new();
+        for fp in [1u64, 2] {
+            cache.insert(
+                eval_key(
+                    fp,
+                    &sg(&[&[0]]),
+                    &BufferConfig::shared(64),
+                    EvalOptions::default(),
+                ),
+                scored(fp),
+            );
+            cache.insert_subgraph(
+                subgraph_key(
+                    fp,
+                    &[NodeId::from_index(0)],
+                    0,
+                    &BufferConfig::shared(64),
+                    Default::default(),
+                ),
+                term(fp),
+            );
+        }
+        let (mine, rest) = cache.snapshot().split_fingerprint(1);
+        assert_eq!(mine.len(), 2);
+        assert_eq!(rest.len(), 2);
+        assert!(mine.partition.iter().all(|(k, _)| k[0] == 1));
+        assert!(rest.partition.iter().all(|(k, _)| k[0] == 2));
+        let mut merged = mine.clone();
+        merged.merge(rest);
+        assert_eq!(merged.len(), 4);
+        // Merging a duplicate is idempotent.
+        merged.merge(mine);
+        assert_eq!(merged.len(), 4);
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let dir = std::env::temp_dir().join(format!("cocco-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        let cache = EvalCache::new();
+        cache.insert(
+            eval_key(
+                9,
+                &sg(&[&[0, 1], &[2]]),
+                &BufferConfig::separate(1 << 19, 1 << 19),
+                EvalOptions::default(),
+            ),
+            scored(21),
+        );
+        cache.insert_subgraph(
+            subgraph_key(
+                9,
+                &[NodeId::from_index(2)],
+                77,
+                &BufferConfig::separate(1 << 19, 1 << 19),
+                Default::default(),
+            ),
+            SubgraphScore {
+                ema_bytes: 5,
+                energy_pj: 1.0 / 3.0, // exercises exact f64 round-trip
+                fits: false,
+            },
+        );
+        cache.save(&path).unwrap();
+        let restored = EvalCache::new();
+        assert_eq!(restored.load(&path).unwrap(), 2);
+        assert_eq!(restored.snapshot(), cache.snapshot());
+
+        // Malformed files surface as InvalidData, not a panic.
+        std::fs::write(&path, "{not json").unwrap();
+        let err = CacheSnapshot::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // Unknown versions load as empty.
+        let stale = CacheSnapshot {
+            version: SNAPSHOT_VERSION + 1,
+            partition: vec![(vec![1, 2], scored(1))],
+            subgraph: Vec::new(),
+        };
+        stale.save(&path).unwrap();
+        assert!(CacheSnapshot::load(&path).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -266,7 +726,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(cache.len(), 64);
+        assert_eq!(cache.partition_entries(), 64);
         for (i, key) in keys.iter().enumerate() {
             assert_eq!(cache.get(key).unwrap().ema_bytes, i as u64);
         }

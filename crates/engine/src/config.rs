@@ -32,6 +32,13 @@ pub enum ThreadCount {
 pub struct EngineConfig {
     /// Worker-thread policy.
     pub threads: ThreadCount,
+    /// Whether partition scores are composed incrementally from memoized
+    /// per-subgraph terms (`true`, the default) or recomputed whole via
+    /// `Evaluator::eval_partition` on every cache miss (`false` — the
+    /// reference "full" path the incremental one is benchmarked and
+    /// property-tested against). Results are **bit-identical** either way;
+    /// this is purely a wall-clock/bookkeeping knob.
+    pub incremental: bool,
 }
 
 impl EngineConfig {
@@ -44,6 +51,7 @@ impl EngineConfig {
     pub fn auto() -> Self {
         Self {
             threads: ThreadCount::Auto,
+            incremental: true,
         }
     }
 
@@ -56,7 +64,18 @@ impl EngineConfig {
     pub fn with_threads(threads: u32) -> Self {
         Self {
             threads: ThreadCount::Fixed(threads.max(1)),
+            incremental: true,
         }
+    }
+
+    /// Disables subgraph-granular incremental evaluation: every partition
+    /// cache miss re-runs the whole-partition evaluator. Used as the
+    /// reference arm of the incremental-vs-full benchmark and property
+    /// tests; results are identical, only the amount of per-subgraph
+    /// re-scoring differs.
+    pub fn without_incremental(mut self) -> Self {
+        self.incremental = false;
+        self
     }
 
     /// The concrete worker count this configuration resolves to on the
@@ -91,6 +110,13 @@ mod tests {
     }
 
     #[test]
+    fn incremental_defaults_on_and_toggles_off() {
+        assert!(EngineConfig::auto().incremental);
+        assert!(EngineConfig::with_threads(4).incremental);
+        assert!(!EngineConfig::serial().without_incremental().incremental);
+    }
+
+    #[test]
     fn auto_is_positive_and_capped() {
         let n = EngineConfig::auto().resolved_threads();
         assert!(n >= 1);
@@ -104,6 +130,7 @@ mod tests {
             EngineConfig::auto(),
             EngineConfig::serial(),
             EngineConfig::with_threads(6),
+            EngineConfig::with_threads(2).without_incremental(),
         ] {
             let back = EngineConfig::from_value(&config.to_value()).unwrap();
             assert_eq!(back, config);

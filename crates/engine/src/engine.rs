@@ -1,12 +1,24 @@
 //! The engine core: memoized scoring plus run statistics.
+//!
+//! Scoring is **subgraph-granular**: a partition's objective terms are
+//! composed from per-subgraph scores that are memoized individually (see
+//! [`EvalCache`]), and a caller that knows *which* subgraphs a mutation
+//! touched ([`Engine::score_delta`]) re-derives only those terms — plus the
+//! `next_wgt` predecessors whose prefetch input changed — while every
+//! untouched term is copied from the previous evaluation's [`EvalMemo`].
+//! All three paths (full evaluator, cached composition, memo reuse) are
+//! bit-identical by construction: `Evaluator::eval_subgraph` is a pure
+//! function and the roll-up is an in-order fold.
 
-use crate::cache::{eval_key, EvalCache};
+use crate::cache::{eval_key, subgraph_key, subgraph_key_into, EvalCache};
 use crate::config::EngineConfig;
 use crate::pool::EnginePool;
 use cocco_graph::NodeId;
-use cocco_sim::{BufferConfig, CostMetric, EvalOptions, Evaluator};
+use cocco_sim::{BufferConfig, CostMetric, EvalOptions, Evaluator, SubgraphStats};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One memoized partition evaluation: everything needed to reproduce the
@@ -52,6 +64,109 @@ impl ScoredEval {
             Some(alpha) => self.buffer_bytes as f64 + alpha * self.metric(metric),
         }
     }
+
+    /// The evaluator-error sentinel under `buffer`.
+    fn errored(buffer: &BufferConfig) -> Self {
+        Self {
+            ema_bytes: 0,
+            energy_pj: 0.0,
+            buffer_bytes: buffer.total_bytes(),
+            fits: false,
+            error: true,
+        }
+    }
+}
+
+/// The additive objective terms of one subgraph — the cached unit of the
+/// incremental evaluation path. A partition's [`ScoredEval`] is the
+/// in-order sum (`ema_bytes`, `energy_pj`) and conjunction (`fits`) of its
+/// subgraphs' scores.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SubgraphScore {
+    /// DRAM traffic of this subgraph in bytes.
+    pub ema_bytes: u64,
+    /// Energy of this subgraph in picojoules.
+    pub energy_pj: f64,
+    /// Whether this subgraph fits the buffer configuration.
+    pub fits: bool,
+}
+
+/// One position of an [`EvalMemo`]: the subgraph's weight footprint (the
+/// `next_wgt` its *predecessor* sees), the `next_wgt` this term was scored
+/// under, and the term itself.
+#[derive(Copy, Clone, Debug)]
+struct MemoEntry {
+    wgt_bytes: u64,
+    next_wgt: u64,
+    score: SubgraphScore,
+}
+
+/// The per-subgraph breakdown of one scored partition, kept by searchers
+/// so that scoring a *mutated* copy of the genome re-derives only the
+/// subgraphs the mutation (and its repair) touched.
+///
+/// A memo is pinned to its `(evaluator fingerprint, buffer, options)`
+/// coordinates; [`Engine::score_delta`] silently falls back to the full
+/// composition path when they do not match (e.g. after a DSE mutation
+/// changed the buffer), so a stale memo can cost time but never
+/// correctness. Reuse of an individual term additionally requires the
+/// term's recorded `next_wgt` to equal the new successor's weight
+/// footprint — the one cross-subgraph coupling of the cost model.
+#[derive(Debug)]
+pub struct EvalMemo {
+    fingerprint: u64,
+    buffer: BufferConfig,
+    options: EvalOptions,
+    keys: Vec<Box<[u32]>>,
+    entries: Vec<MemoEntry>,
+    /// Member indices → position in `entries`; built lazily on the first
+    /// lookup, because most scored genomes never become parents and their
+    /// memos are never consulted.
+    index: std::sync::OnceLock<HashMap<Box<[u32]>, u32>>,
+}
+
+impl EvalMemo {
+    fn new(
+        fingerprint: u64,
+        buffer: BufferConfig,
+        options: EvalOptions,
+        keys: Vec<Box<[u32]>>,
+        entries: Vec<MemoEntry>,
+    ) -> Self {
+        Self {
+            fingerprint,
+            buffer,
+            options,
+            keys,
+            entries,
+            index: std::sync::OnceLock::new(),
+        }
+    }
+
+    fn matches(&self, fingerprint: u64, buffer: &BufferConfig, options: EvalOptions) -> bool {
+        self.fingerprint == fingerprint && self.buffer == *buffer && self.options == options
+    }
+
+    fn lookup(&self, members: &[u32]) -> Option<&MemoEntry> {
+        let index = self.index.get_or_init(|| {
+            self.keys
+                .iter()
+                .enumerate()
+                .map(|(i, k)| (k.clone(), i as u32))
+                .collect()
+        });
+        index.get(members).map(|&i| &self.entries[i as usize])
+    }
+
+    /// Number of memoized subgraph terms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the memo holds no terms.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 /// Aggregate engine statistics of one exploration run.
@@ -61,16 +176,28 @@ pub struct EngineStats {
     pub threads: u32,
     /// Partition-scoring requests served (cache hits + fresh evaluations).
     pub evals: u64,
-    /// Requests answered from the memoization cache.
+    /// Requests answered from the partition roll-up cache.
     pub cache_hits: u64,
-    /// Distinct cached evaluations at snapshot time.
+    /// Distinct cached partition roll-ups at snapshot time.
     pub cache_entries: u64,
+    /// Full per-subgraph scorings: `eval_subgraph` terms computed fresh
+    /// (on the non-incremental path, every subgraph of every computed
+    /// partition counts here).
+    pub subgraph_scorings: u64,
+    /// Subgraph terms answered from the subgraph-level cache.
+    pub subgraph_hits: u64,
+    /// Subgraph terms copied straight from a caller's [`EvalMemo`] on the
+    /// delta path (no key built, no cache queried).
+    pub subgraph_reused: u64,
+    /// Distinct cached subgraph terms at snapshot time.
+    pub subgraph_entries: u64,
     /// Wall-clock milliseconds spent inside batch evaluation.
     pub wall_ms: f64,
 }
 
 impl EngineStats {
-    /// Fraction of scoring requests served from the cache.
+    /// Fraction of partition-scoring requests served from the roll-up
+    /// cache.
     pub fn hit_rate(&self) -> f64 {
         if self.evals == 0 {
             0.0
@@ -78,14 +205,31 @@ impl EngineStats {
             self.cache_hits as f64 / self.evals as f64
         }
     }
+
+    /// Total subgraph-term requests (scorings + cache hits + memo reuses).
+    pub fn subgraph_requests(&self) -> u64 {
+        self.subgraph_scorings + self.subgraph_hits + self.subgraph_reused
+    }
+
+    /// Fraction of subgraph-term requests that avoided a full scoring
+    /// (cache hit or memo reuse).
+    pub fn subgraph_hit_rate(&self) -> f64 {
+        let requests = self.subgraph_requests();
+        if requests == 0 {
+            0.0
+        } else {
+            (self.subgraph_hits + self.subgraph_reused) as f64 / requests as f64
+        }
+    }
 }
 
 /// The parallel, memoized evaluation engine.
 ///
 /// One engine is shared (via `Arc`) by every context derived from a search:
-/// the worker pool parallelizes batch evaluation, the cache memoizes
-/// `(subgraphs, buffer, options)` triples across searchers, generations and
-/// two-step inner runs, and the statistics feed the exploration report.
+/// the worker pool parallelizes batch evaluation, the two-level cache
+/// memoizes per-subgraph terms and whole-partition roll-ups across
+/// searchers, generations and two-step inner runs, and the statistics feed
+/// the exploration report.
 ///
 /// # Examples
 ///
@@ -109,6 +253,10 @@ pub struct Engine {
     pool: EnginePool,
     cache: EvalCache,
     wall_nanos: AtomicU64,
+    /// Memo reuses on the delta path.
+    reused: AtomicU64,
+    /// Terms computed inside whole-partition (non-incremental) evaluations.
+    bulk_scorings: AtomicU64,
 }
 
 impl Engine {
@@ -119,6 +267,8 @@ impl Engine {
             pool: EnginePool::new(&config),
             cache: EvalCache::new(),
             wall_nanos: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            bulk_scorings: AtomicU64::new(0),
         }
     }
 
@@ -150,28 +300,247 @@ impl Engine {
         buffer: &BufferConfig,
         options: EvalOptions,
     ) -> ScoredEval {
-        let key = eval_key(evaluator.fingerprint(), subgraphs, buffer, options);
-        if let Some(cached) = self.cache.get(&key) {
-            return cached;
+        self.score_composed(evaluator, subgraphs, buffer, options).0
+    }
+
+    /// Like [`score`](Self::score), but also returns the per-subgraph
+    /// [`EvalMemo`] when the partition was composed this call (`None` on a
+    /// roll-up cache hit or on the non-incremental path). Searchers keep
+    /// the memo with the genome and hand it back via
+    /// [`score_delta`](Self::score_delta) when scoring mutated offspring.
+    pub fn score_composed(
+        &self,
+        evaluator: &Evaluator<'_>,
+        subgraphs: &[Vec<NodeId>],
+        buffer: &BufferConfig,
+        options: EvalOptions,
+    ) -> (ScoredEval, Option<Arc<EvalMemo>>) {
+        self.score_inner(evaluator, subgraphs, buffer, options, None)
+    }
+
+    /// Scores a partition that differs from a previously scored one (whose
+    /// breakdown is `memo`) only in the subgraphs flagged by `dirty`
+    /// (aligned with `subgraphs`; a flag per execution position).
+    ///
+    /// Clean subgraphs reuse their memoized term directly — provided the
+    /// recorded `next_wgt` still matches the new successor, which the
+    /// engine verifies itself — so the evaluator-facing work is
+    /// `O(|dirty|)` instead of `O(|partition|)`. Falls back to the full
+    /// composition path (bit-identical results) when the memo's
+    /// coordinates do not match or `dirty` is misaligned.
+    pub fn score_delta(
+        &self,
+        evaluator: &Evaluator<'_>,
+        subgraphs: &[Vec<NodeId>],
+        buffer: &BufferConfig,
+        options: EvalOptions,
+        memo: &EvalMemo,
+        dirty: &[bool],
+    ) -> (ScoredEval, Option<Arc<EvalMemo>>) {
+        let reuse = (self.config.incremental
+            && dirty.len() == subgraphs.len()
+            && memo.matches(evaluator.fingerprint(), buffer, options))
+        .then_some((memo, dirty));
+        self.score_inner(evaluator, subgraphs, buffer, options, reuse)
+    }
+
+    /// Scores one subgraph as a standalone single-subgraph partition
+    /// (`next_wgt = 0`) through the subgraph-term cache, without
+    /// allocating an owned partition — the additive Formula-1 term used by
+    /// the greedy/DP/enumeration hot loops.
+    pub fn score_single(
+        &self,
+        evaluator: &Evaluator<'_>,
+        members: &[NodeId],
+        buffer: &BufferConfig,
+        options: EvalOptions,
+    ) -> ScoredEval {
+        if members.is_empty() {
+            return ScoredEval::errored(buffer);
         }
-        let scored = match evaluator.eval_partition(subgraphs, buffer, options) {
-            Ok(report) => ScoredEval {
-                ema_bytes: report.ema_bytes,
-                energy_pj: report.energy_pj,
-                buffer_bytes: buffer.total_bytes(),
-                fits: report.fits,
-                error: false,
-            },
-            Err(_) => ScoredEval {
-                ema_bytes: 0,
-                energy_pj: 0.0,
-                buffer_bytes: buffer.total_bytes(),
-                fits: false,
-                error: true,
+        let key = subgraph_key(evaluator.fingerprint(), members, 0, buffer, options);
+        let term = match self.cache.get_subgraph(&key) {
+            Some(term) => term,
+            None => match evaluator.subgraph_stats(members) {
+                Ok(stats) => {
+                    let term = self.compute_term(evaluator, &stats, 0, buffer, options);
+                    self.cache.insert_subgraph(key, term);
+                    term
+                }
+                Err(_) => return ScoredEval::errored(buffer),
             },
         };
+        ScoredEval {
+            ema_bytes: term.ema_bytes,
+            energy_pj: term.energy_pj,
+            buffer_bytes: buffer.total_bytes(),
+            fits: term.fits,
+            error: false,
+        }
+    }
+
+    fn score_inner(
+        &self,
+        evaluator: &Evaluator<'_>,
+        subgraphs: &[Vec<NodeId>],
+        buffer: &BufferConfig,
+        options: EvalOptions,
+        reuse: Option<(&EvalMemo, &[bool])>,
+    ) -> (ScoredEval, Option<Arc<EvalMemo>>) {
+        let key = eval_key(evaluator.fingerprint(), subgraphs, buffer, options);
+        if let Some(cached) = self.cache.get(&key) {
+            return (cached, None);
+        }
+        let (scored, memo) = if self.config.incremental {
+            self.compose(evaluator, subgraphs, buffer, options, reuse)
+        } else {
+            let scored = match evaluator.eval_partition(subgraphs, buffer, options) {
+                Ok(report) => {
+                    self.bulk_scorings
+                        .fetch_add(subgraphs.len() as u64, Ordering::Relaxed);
+                    ScoredEval {
+                        ema_bytes: report.ema_bytes,
+                        energy_pj: report.energy_pj,
+                        buffer_bytes: buffer.total_bytes(),
+                        fits: report.fits,
+                        error: false,
+                    }
+                }
+                Err(_) => ScoredEval::errored(buffer),
+            };
+            (scored, None)
+        };
         self.cache.insert(key, scored);
-        scored
+        (scored, memo)
+    }
+
+    /// Computes one fresh `eval_subgraph` term, counted as a full scoring
+    /// via the subgraph cache's miss counter (the caller just missed).
+    fn compute_term(
+        &self,
+        evaluator: &Evaluator<'_>,
+        stats: &SubgraphStats,
+        next_wgt: u64,
+        buffer: &BufferConfig,
+        options: EvalOptions,
+    ) -> SubgraphScore {
+        let part = evaluator.eval_subgraph(stats, next_wgt, buffer, options);
+        SubgraphScore {
+            ema_bytes: part.ema_bytes,
+            energy_pj: part.energy_pj,
+            fits: part.fits,
+        }
+    }
+
+    /// Composes a partition score from per-subgraph terms, reusing the
+    /// caller's memo for clean positions and the subgraph-term cache for
+    /// everything else. The fold runs in execution order, so the sums are
+    /// bit-identical to `Evaluator::eval_partition`.
+    fn compose(
+        &self,
+        evaluator: &Evaluator<'_>,
+        subgraphs: &[Vec<NodeId>],
+        buffer: &BufferConfig,
+        options: EvalOptions,
+        reuse: Option<(&EvalMemo, &[bool])>,
+    ) -> (ScoredEval, Option<Arc<EvalMemo>>) {
+        if subgraphs.is_empty() || subgraphs.iter().any(Vec::is_empty) {
+            return (ScoredEval::errored(buffer), None);
+        }
+        let n = subgraphs.len();
+        let keys: Vec<Box<[u32]>> = subgraphs
+            .iter()
+            .map(|m| m.iter().map(|id| id.index() as u32).collect())
+            .collect();
+        // Memoized entry per clean position (members present in the memo).
+        let entries: Vec<Option<&MemoEntry>> = (0..n)
+            .map(|i| match reuse {
+                Some((memo, dirty)) if !dirty[i] => memo.lookup(&keys[i]),
+                _ => None,
+            })
+            .collect();
+        // Weight footprints drive the next_wgt chain; dirty positions need
+        // their (evaluator-cached) statistics, clean ones read the memo.
+        let mut stats_of: Vec<Option<SubgraphStats>> = vec![None; n];
+        let mut wgts = Vec::with_capacity(n);
+        for i in 0..n {
+            match entries[i] {
+                Some(entry) => wgts.push(entry.wgt_bytes),
+                None => match evaluator.subgraph_stats(&subgraphs[i]) {
+                    Ok(stats) => {
+                        wgts.push(stats.ema_wgt_bytes);
+                        stats_of[i] = Some(stats);
+                    }
+                    Err(_) => return (ScoredEval::errored(buffer), None),
+                },
+            }
+        }
+        let mut ema_bytes: u64 = 0;
+        let mut energy_pj: f64 = 0.0;
+        let mut fits = true;
+        let mut memo_entries = Vec::with_capacity(n);
+        let mut key: Vec<u64> = Vec::new(); // reused across terms
+        for i in 0..n {
+            let next_wgt = if i + 1 < n { wgts[i + 1] } else { 0 };
+            let score = match entries[i] {
+                Some(entry) if entry.next_wgt == next_wgt => {
+                    self.reused.fetch_add(1, Ordering::Relaxed);
+                    entry.score
+                }
+                _ => {
+                    subgraph_key_into(
+                        &mut key,
+                        evaluator.fingerprint(),
+                        &subgraphs[i],
+                        next_wgt,
+                        buffer,
+                        options,
+                    );
+                    match self.cache.get_subgraph(&key) {
+                        Some(term) => term,
+                        None => {
+                            let stats = match stats_of[i] {
+                                Some(stats) => stats,
+                                // A clean entry whose next_wgt changed: its
+                                // statistics were computed before, so this
+                                // is an evaluator-cache hit.
+                                None => match evaluator.subgraph_stats(&subgraphs[i]) {
+                                    Ok(stats) => stats,
+                                    Err(_) => return (ScoredEval::errored(buffer), None),
+                                },
+                            };
+                            let term =
+                                self.compute_term(evaluator, &stats, next_wgt, buffer, options);
+                            self.cache.insert_subgraph(key.clone(), term);
+                            term
+                        }
+                    }
+                }
+            };
+            ema_bytes += score.ema_bytes;
+            energy_pj += score.energy_pj;
+            fits &= score.fits;
+            memo_entries.push(MemoEntry {
+                wgt_bytes: wgts[i],
+                next_wgt,
+                score,
+            });
+        }
+        let scored = ScoredEval {
+            ema_bytes,
+            energy_pj,
+            buffer_bytes: buffer.total_bytes(),
+            fits,
+            error: false,
+        };
+        let memo = EvalMemo::new(
+            evaluator.fingerprint(),
+            *buffer,
+            options,
+            keys,
+            memo_entries,
+        );
+        (scored, Some(Arc::new(memo)))
     }
 
     /// Adds `elapsed` to the accumulated batch wall time.
@@ -188,7 +557,12 @@ impl Engine {
             threads: self.pool.threads() as u32,
             evals: hits + misses,
             cache_hits: hits,
-            cache_entries: self.cache.len() as u64,
+            cache_entries: self.cache.partition_entries() as u64,
+            subgraph_scorings: self.cache.subgraph_misses()
+                + self.bulk_scorings.load(Ordering::Relaxed),
+            subgraph_hits: self.cache.subgraph_hits(),
+            subgraph_reused: self.reused.load(Ordering::Relaxed),
+            subgraph_entries: self.cache.subgraph_entries() as u64,
             wall_ms: self.wall_nanos.load(Ordering::Relaxed) as f64 / 1e6,
         }
     }
@@ -199,6 +573,7 @@ impl Engine {
 const _: () = {
     const fn assert_sync_send<T: Sync + Send>() {}
     assert_sync_send::<Engine>();
+    assert_sync_send::<EvalMemo>();
 };
 
 #[cfg(test)]
@@ -227,6 +602,105 @@ mod tests {
         assert_eq!(
             scored.cost(CostMetric::Energy, Some(0.002)),
             report.cost_formula2(CostMetric::Energy, 0.002)
+        );
+    }
+
+    #[test]
+    fn incremental_and_full_paths_are_bit_identical() {
+        let g = cocco_graph::models::googlenet();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let incremental = Engine::new(EngineConfig::serial());
+        let full = Engine::new(EngineConfig::serial().without_incremental());
+        let buffer = BufferConfig::shared(1 << 20);
+        for l in [1usize, 3, 7] {
+            let p = cocco_partition::repair(
+                &g,
+                cocco_partition::Partition::depth_groups(&g, l),
+                &|_| true,
+            );
+            let subgraphs = p.subgraphs();
+            let a = incremental.score(&eval, &subgraphs, &buffer, EvalOptions::default());
+            let b = full.score(&eval, &subgraphs, &buffer, EvalOptions::default());
+            assert_eq!(a, b, "L={l}");
+        }
+        assert!(full.stats().subgraph_scorings > 0);
+        assert_eq!(full.stats().subgraph_hits, 0, "full path bypasses terms");
+    }
+
+    #[test]
+    fn score_delta_reuses_untouched_terms() {
+        let g = cocco_graph::models::chain(7); // 8 nodes, one path
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let engine = Engine::new(EngineConfig::serial());
+        let buffer = BufferConfig::shared(1 << 20);
+        let options = EvalOptions::default();
+        // Pairs: {0,1} {2,3} {4,5} {6,7}.
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        let base: Vec<Vec<NodeId>> = ids.chunks(2).map(|c| c.to_vec()).collect();
+        let (scored, memo) = engine.score_composed(&eval, &base, &buffer, options);
+        let memo = memo.expect("composed this call");
+        assert_eq!(memo.len(), 4);
+        assert!(!scored.error);
+
+        // Mutate the last subgraph only: split {6,7} into {6} {7}.
+        let mut mutated = base[..3].to_vec();
+        mutated.push(vec![ids[6]]);
+        mutated.push(vec![ids[7]]);
+        let dirty = [false, false, false, true, true];
+        let before = engine.stats();
+        let (inc, new_memo) = engine.score_delta(&eval, &mutated, &buffer, options, &memo, &dirty);
+        let after = engine.stats();
+        assert!(new_memo.is_some());
+        // Subgraphs 0 and 1 reuse their terms; subgraph 2's next_wgt
+        // changed ({6,7} -> {6}), so it re-scores along with the two dirty
+        // ones.
+        assert_eq!(after.subgraph_reused - before.subgraph_reused, 2);
+        let direct = eval.eval_partition(&mutated, &buffer, options).unwrap();
+        assert_eq!(inc.ema_bytes, direct.ema_bytes);
+        assert_eq!(inc.energy_pj, direct.energy_pj);
+        assert_eq!(inc.fits, direct.fits);
+    }
+
+    #[test]
+    fn score_delta_with_stale_memo_falls_back() {
+        let g = cocco_graph::models::chain(3);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let engine = Engine::new(EngineConfig::serial());
+        let subgraphs: Vec<Vec<NodeId>> = g.node_ids().map(|id| vec![id]).collect();
+        let small = BufferConfig::shared(1 << 20);
+        let big = BufferConfig::shared(2 << 20);
+        let options = EvalOptions::default();
+        let (_, memo) = engine.score_composed(&eval, &subgraphs, &small, options);
+        let memo = memo.unwrap();
+        let dirty = vec![false; subgraphs.len()];
+        // Different buffer: the memo must not be trusted.
+        let (scored, _) = engine.score_delta(&eval, &subgraphs, &big, options, &memo, &dirty);
+        let direct = eval.eval_partition(&subgraphs, &big, options).unwrap();
+        assert_eq!(scored.energy_pj, direct.energy_pj);
+        assert_eq!(engine.stats().subgraph_reused, 0);
+    }
+
+    #[test]
+    fn score_single_matches_single_subgraph_partition() {
+        let g = cocco_graph::models::chain(3);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let engine = Engine::new(EngineConfig::serial());
+        let members: Vec<NodeId> = g.node_ids().collect();
+        let buffer = BufferConfig::shared(1 << 20);
+        let single = engine.score_single(&eval, &members, &buffer, EvalOptions::default());
+        let via_partition = engine.score(
+            &eval,
+            std::slice::from_ref(&members),
+            &buffer,
+            EvalOptions::default(),
+        );
+        assert_eq!(single, via_partition);
+        // And the second route reused the first's cached term.
+        assert_eq!(engine.stats().subgraph_hits, 1);
+        assert!(
+            engine
+                .score_single(&eval, &[], &buffer, EvalOptions::default())
+                .error
         );
     }
 
@@ -263,6 +737,8 @@ mod tests {
         assert_eq!(stats.evals, 3);
         assert_eq!(stats.cache_hits, 2);
         assert_eq!(stats.cache_entries, 1);
+        assert_eq!(stats.subgraph_scorings, 1);
+        assert_eq!(stats.subgraph_entries, 1);
         assert!(stats.wall_ms >= 2.0);
         assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
@@ -294,7 +770,8 @@ mod tests {
         assert_eq!(via_engine_diamond.ema_bytes, direct_diamond.ema_bytes);
         assert_ne!(chain_eval.fingerprint(), diamond_eval.fingerprint());
         assert_eq!(engine.stats().cache_hits, 0, "distinct keys, no false hits");
-        assert_eq!(engine.cache().len(), 2);
+        assert_eq!(engine.cache().partition_entries(), 2);
+        assert_eq!(engine.stats().subgraph_hits, 0);
     }
 
     #[test]

@@ -8,11 +8,16 @@
 //!
 //! * [`EnginePool`] — a scoped `std::thread` worker pool
 //!   ([`EngineConfig`]: `auto` or a fixed count; `1` ⇒ fully serial);
-//! * [`EvalCache`] — a sharded memoization cache over
-//!   `(subgraph member sets, buffer config, eval options)`, objective-
-//!   agnostic so one entry serves Formula 1 and Formula 2 searches alike;
-//! * [`Engine`] — pool + cache + [`EngineStats`] (`evals`, `cache_hits`,
-//!   `wall_ms`), the object a search context shares across threads;
+//! * [`EvalCache`] — a sharded **two-level** memoization cache:
+//!   per-subgraph terms ([`SubgraphScore`], keyed by
+//!   `(evaluator fingerprint, members, next_wgt, buffer, options)`) below
+//!   whole-partition roll-ups ([`ScoredEval`]), objective-agnostic so one
+//!   entry serves Formula 1 and Formula 2 searches alike, and persistable
+//!   across runs via [`CacheSnapshot`];
+//! * [`Engine`] — pool + cache + [`EngineStats`], the object a search
+//!   context shares across threads, with a subgraph-granular delta path
+//!   ([`Engine::score_delta`] + [`EvalMemo`]) that re-scores only the
+//!   subgraphs a mutation touched;
 //! * [`SampleBudget`] — the thread-safe evaluation budget drawn on by every
 //!   searcher, sliceable for two-step inner runs;
 //! * [`Trace`]/[`TracePoint`] — thread-safe evaluation recording, plus the
@@ -54,8 +59,8 @@ mod pool;
 mod trace;
 
 pub use budget::SampleBudget;
-pub use cache::{eval_key, EvalCache, EvalKey};
+pub use cache::{eval_key, subgraph_key, CacheSnapshot, EvalCache, EvalKey, SNAPSHOT_VERSION};
 pub use config::{EngineConfig, ThreadCount};
-pub use engine::{Engine, EngineStats, ScoredEval};
+pub use engine::{Engine, EngineStats, EvalMemo, ScoredEval, SubgraphScore};
 pub use pool::EnginePool;
 pub use trace::{Trace, TracePoint};

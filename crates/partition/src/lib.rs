@@ -16,12 +16,17 @@
 //! subgraph that exceeds the buffer via the paper's in-situ
 //! `split-subgraph` (§4.4.4).
 
+mod delta;
 mod error;
 mod partition;
 mod quotient;
 mod repair;
 
+pub use delta::PartitionDelta;
 pub use error::PartitionError;
 pub use partition::Partition;
 pub use quotient::Quotient;
-pub use repair::{repair, repair_connectivity, split_oversized};
+pub use repair::{
+    repair, repair_connectivity, repair_connectivity_with_delta, repair_with_delta,
+    split_oversized, split_oversized_with_delta,
+};

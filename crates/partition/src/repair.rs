@@ -1,6 +1,15 @@
 //! Validity repair: connectivity splits, SCC merges and in-situ capacity
 //! splits (paper §4.4.4).
+//!
+//! Every pass exists in two flavours: the plain entry points
+//! ([`repair`], [`repair_connectivity`], [`split_oversized`]) and
+//! `*_with_delta` variants that additionally record, into a
+//! [`PartitionDelta`], every node whose subgraph *membership set* the pass
+//! changed — the change record the incremental evaluation path uses to
+//! re-score only touched subgraphs. Renumbering alone (canonicalization)
+//! emits no dirt: node-level deltas survive id remapping by construction.
 
+use crate::delta::PartitionDelta;
 use crate::partition::Partition;
 use crate::quotient::Quotient;
 use cocco_graph::{Graph, NodeId};
@@ -28,11 +37,21 @@ use cocco_graph::{Graph, NodeId};
 /// let fixed = repair_connectivity(&g, broken);
 /// assert!(fixed.validate(&g).is_ok());
 /// ```
-pub fn repair_connectivity(graph: &Graph, mut partition: Partition) -> Partition {
+pub fn repair_connectivity(graph: &Graph, partition: Partition) -> Partition {
+    let mut delta = PartitionDelta::clean(graph.len());
+    repair_connectivity_with_delta(graph, partition, &mut delta)
+}
+
+/// [`repair_connectivity`], recording every membership change into `delta`.
+pub fn repair_connectivity_with_delta(
+    graph: &Graph,
+    mut partition: Partition,
+    delta: &mut PartitionDelta,
+) -> Partition {
     debug_assert_eq!(partition.len(), graph.len());
     for _ in 0..graph.len().max(4) {
-        split_components(graph, &mut partition);
-        let merged = merge_sccs(graph, &mut partition);
+        split_components(graph, &mut partition, delta);
+        let merged = merge_sccs(graph, &mut partition, delta);
         if !merged {
             break;
         }
@@ -50,8 +69,19 @@ pub fn repair_connectivity(graph: &Graph, mut partition: Partition) -> Partition
 /// `fits` receives the (ascending) member list of one subgraph.
 pub fn split_oversized(
     graph: &Graph,
+    partition: Partition,
+    fits: &dyn Fn(&[NodeId]) -> bool,
+) -> Partition {
+    let mut delta = PartitionDelta::clean(graph.len());
+    split_oversized_with_delta(graph, partition, fits, &mut delta)
+}
+
+/// [`split_oversized`], recording every membership change into `delta`.
+pub fn split_oversized_with_delta(
+    graph: &Graph,
     mut partition: Partition,
     fits: &dyn Fn(&[NodeId]) -> bool,
+    delta: &mut PartitionDelta,
 ) -> Partition {
     loop {
         let mut changed = false;
@@ -62,6 +92,7 @@ pub fn split_oversized(
             }
             // Halve along the topological order: members are ascending, so
             // all internal edges flow first-half -> second-half.
+            delta.touch_members(&members);
             let mid = members.len() / 2;
             for &m in &members[mid..] {
                 partition.assign(m, next);
@@ -73,7 +104,7 @@ pub fn split_oversized(
             break;
         }
         // Halving may disconnect pieces; restore validity before retrying.
-        partition = repair_connectivity(graph, partition);
+        partition = repair_connectivity_with_delta(graph, partition, delta);
     }
     partition
 }
@@ -81,12 +112,27 @@ pub fn split_oversized(
 /// Full repair pipeline: connectivity + acyclicity, then capacity splits.
 /// The result is valid and every multi-node subgraph satisfies `fits`.
 pub fn repair(graph: &Graph, partition: Partition, fits: &dyn Fn(&[NodeId]) -> bool) -> Partition {
-    let partition = repair_connectivity(graph, partition);
-    split_oversized(graph, partition, fits)
+    let mut delta = PartitionDelta::clean(graph.len());
+    repair_with_delta(graph, partition, fits, &mut delta)
 }
 
-/// Splits each subgraph into weakly-connected components (in place).
-fn split_components(graph: &Graph, partition: &mut Partition) {
+/// [`repair`], recording every membership change into `delta`. A node the
+/// pipeline never moves between member sets stays clean, so a subgraph
+/// with no dirty node is guaranteed to be the same member set the caller
+/// had before repair.
+pub fn repair_with_delta(
+    graph: &Graph,
+    partition: Partition,
+    fits: &dyn Fn(&[NodeId]) -> bool,
+    delta: &mut PartitionDelta,
+) -> Partition {
+    let partition = repair_connectivity_with_delta(graph, partition, delta);
+    split_oversized_with_delta(graph, partition, fits, delta)
+}
+
+/// Splits each subgraph into weakly-connected components (in place),
+/// marking the members of every subgraph that actually split.
+fn split_components(graph: &Graph, partition: &mut Partition, delta: &mut PartitionDelta) {
     let n = graph.len();
     // Union-find over nodes, unioning only edges internal to a subgraph.
     let mut parent: Vec<u32> = (0..n as u32).collect();
@@ -117,39 +163,54 @@ fn split_components(graph: &Graph, partition: &mut Partition) {
         }
     }
     // Each (old subgraph, component root) pair becomes its own subgraph.
+    let olds: Vec<u32> = (0..n)
+        .map(|i| partition.subgraph_of(NodeId::from_index(i)))
+        .collect();
+    let roots: Vec<u32> = (0..n).map(|i| find(&mut parent, i as u32)).collect();
     let mut fresh = partition.fresh_id();
     let mut remap: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+    let mut components_of: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
     for i in 0..n {
-        let node = NodeId::from_index(i);
-        let old = partition.subgraph_of(node);
-        let root = find(&mut parent, i as u32);
-        let id = *remap.entry((old, root)).or_insert_with(|| {
+        let id = *remap.entry((olds[i], roots[i])).or_insert_with(|| {
             let id = fresh;
             fresh += 1;
+            *components_of.entry(olds[i]).or_insert(0) += 1;
             id
         });
-        partition.assign(node, id);
+        partition.assign(NodeId::from_index(i), id);
+    }
+    // A subgraph that stayed in one piece kept its member set (only its id
+    // changed); one that split changed every piece's membership.
+    for (i, old) in olds.iter().enumerate() {
+        if components_of.get(old).copied().unwrap_or(0) > 1 {
+            delta.touch(NodeId::from_index(i));
+        }
     }
 }
 
-/// Merges every non-trivial quotient SCC into a single subgraph; returns
-/// whether anything changed.
-fn merge_sccs(graph: &Graph, partition: &mut Partition) -> bool {
+/// Merges every non-trivial quotient SCC into a single subgraph, marking
+/// the members of every merged subgraph; returns whether anything changed.
+fn merge_sccs(graph: &Graph, partition: &mut Partition, delta: &mut PartitionDelta) -> bool {
     let quotient = Quotient::build(graph, partition);
     let sccs = quotient.sccs();
     if sccs.iter().all(|s| s.len() == 1) {
         return false;
     }
-    // Map compact id -> SCC representative (first member).
+    // Map compact id -> SCC representative (first member) and SCC size.
     let mut rep = vec![0u32; quotient.num_subgraphs()];
+    let mut scc_len = vec![0usize; quotient.num_subgraphs()];
     for scc in &sccs {
         for &m in scc {
             rep[m as usize] = scc[0];
+            scc_len[m as usize] = scc.len();
         }
     }
     for i in 0..partition.len() {
         let node = NodeId::from_index(i);
         let compact = quotient.compact_id(partition.subgraph_of(node));
+        if scc_len[compact as usize] > 1 {
+            delta.touch(node);
+        }
         partition.assign(node, rep[compact as usize]);
     }
     true
@@ -212,6 +273,80 @@ mod tests {
         assert!(fixed.subgraphs().iter().all(|m| m.len() <= 3));
         // Should not have split all the way down.
         assert!(fixed.num_subgraphs() < g.len());
+    }
+
+    #[test]
+    fn clean_pass_through_emits_no_dirt() {
+        let g = cocco_graph::models::chain(5);
+        let p = Partition::from_assignment(vec![0, 0, 0, 1, 1, 1]);
+        let mut delta = PartitionDelta::clean(g.len());
+        let repaired = repair_with_delta(&g, p.clone(), &|_| true, &mut delta);
+        assert_eq!(repaired, p);
+        assert!(delta.is_clean(), "a no-op repair must not invalidate reuse");
+    }
+
+    #[test]
+    fn scc_merge_marks_merged_members() {
+        let g = cocco_graph::models::diamond();
+        // Cycle: {input,a,l,add} vs {r} — repair merges everything.
+        let p = Partition::from_assignment(vec![0, 0, 0, 1, 0]);
+        let mut delta = PartitionDelta::clean(g.len());
+        let fixed = repair_connectivity_with_delta(&g, p, &mut delta);
+        assert_eq!(fixed.num_subgraphs(), 1);
+        assert!(
+            delta.is_all(),
+            "every node's subgraph membership changed in the merge"
+        );
+    }
+
+    #[test]
+    fn capacity_split_marks_only_the_halved_subgraph() {
+        let g = cocco_graph::models::chain(7); // 8 nodes
+        let p = Partition::from_assignment(vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        let mut delta = PartitionDelta::clean(g.len());
+        // Only the second subgraph is "too big".
+        let first = cocco_graph::NodeId::from_index(0);
+        let fixed =
+            split_oversized_with_delta(&g, p, &|m| m.len() <= 2 || m.contains(&first), &mut delta);
+        assert!(fixed.validate(&g).is_ok());
+        for i in 0..4 {
+            assert!(
+                !delta.is_dirty(cocco_graph::NodeId::from_index(i)),
+                "untouched subgraph must stay clean (node {i})"
+            );
+        }
+        for i in 4..8 {
+            assert!(
+                delta.is_dirty(cocco_graph::NodeId::from_index(i)),
+                "halved subgraph must be marked (node {i})"
+            );
+        }
+    }
+
+    #[test]
+    fn untouched_subgraphs_keep_their_member_sets() {
+        // The reuse invariant: after repair, any subgraph with no dirty
+        // node has a member set that already existed before the repair.
+        let g = cocco_graph::models::googlenet();
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..20 {
+            let k = rng.gen_range(1..=16u32);
+            let assignment: Vec<u32> = (0..g.len()).map(|_| rng.gen_range(0..k)).collect();
+            let before = Partition::from_assignment(assignment);
+            let old_sets: std::collections::HashSet<Vec<cocco_graph::NodeId>> =
+                before.subgraphs().into_iter().collect();
+            let mut delta = PartitionDelta::clean(g.len());
+            let after = repair_with_delta(&g, before, &|m| m.len() <= 6, &mut delta);
+            let dirty = delta.dirty_subgraphs(&after);
+            for (members, dirty) in after.subgraphs().into_iter().zip(dirty) {
+                if !dirty {
+                    assert!(
+                        old_sets.contains(&members),
+                        "clean subgraph {members:?} did not exist before repair"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

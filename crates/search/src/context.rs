@@ -3,12 +3,69 @@
 
 use crate::genome::Genome;
 use crate::objective::{BufferSpace, Objective};
-use cocco_engine::{Engine, EngineConfig, SampleBudget, Trace, TracePoint};
+use cocco_engine::{Engine, EngineConfig, EvalMemo, SampleBudget, Trace, TracePoint};
 use cocco_graph::{Graph, NodeId};
-use cocco_partition::{repair, Partition};
+use cocco_partition::{repair, repair_with_delta, Partition, PartitionDelta};
 use cocco_sim::{BufferConfig, EvalOptions, Evaluator};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// What a mutation operator knows about the genome it produced: the
+/// scored parent's per-subgraph breakdown ([`EvalMemo`]) plus the
+/// [`PartitionDelta`] naming which nodes the operator moved. The
+/// evaluation path extends the delta with repair-induced changes and
+/// re-scores only dirty subgraphs (plus `next_wgt` predecessors, which the
+/// engine re-checks itself).
+#[derive(Debug)]
+pub struct EvalHint {
+    /// Per-subgraph terms of the parent genome's evaluation.
+    pub memo: Arc<EvalMemo>,
+    /// Nodes whose subgraph membership the mutation changed.
+    pub delta: PartitionDelta,
+}
+
+/// One genome queued for (incremental) batch evaluation.
+///
+/// Inputs: the genome and an optional [`EvalHint`]. Outputs, filled in by
+/// [`SearchContext::evaluate_candidates`]: the repaired genome, its
+/// objective `cost` (`None` iff the budget ran out first) and the fresh
+/// `memo` to hand to this genome's own offspring (`None` when the score
+/// came straight from the roll-up cache).
+#[derive(Debug)]
+pub struct EvalCandidate {
+    /// The genome; repaired in place by evaluation.
+    pub genome: Genome,
+    /// Incremental-evaluation hint, consumed by evaluation.
+    pub hint: Option<EvalHint>,
+    /// The evaluation's per-subgraph breakdown (output).
+    pub memo: Option<Arc<EvalMemo>>,
+    /// The objective cost (output).
+    pub cost: Option<f64>,
+}
+
+impl EvalCandidate {
+    /// A candidate with no incremental hint (scored through the cache
+    /// composition path).
+    pub fn new(genome: Genome) -> Self {
+        Self {
+            genome,
+            hint: None,
+            memo: None,
+            cost: None,
+        }
+    }
+
+    /// A candidate carrying its parent's breakdown and the mutation's
+    /// delta.
+    pub fn with_hint(genome: Genome, hint: Option<EvalHint>) -> Self {
+        Self {
+            genome,
+            hint,
+            memo: None,
+            cost: None,
+        }
+    }
+}
 
 /// Everything a [`Searcher`](crate::Searcher) needs: the graph, the shared
 /// evaluator, the buffer space, the objective, evaluation options, a sample
@@ -164,6 +221,23 @@ impl<'a> SearchContext<'a> {
         repair(self.graph, partition, &|members| self.fits(members, buffer))
     }
 
+    /// [`repair`](Self::repair), recording every membership change the
+    /// pipeline makes into `delta` (on top of whatever the caller already
+    /// marked).
+    pub fn repair_with_delta(
+        &self,
+        partition: Partition,
+        buffer: &BufferConfig,
+        delta: &mut PartitionDelta,
+    ) -> Partition {
+        repair_with_delta(
+            self.graph,
+            partition,
+            &|members| self.fits(members, buffer),
+            delta,
+        )
+    }
+
     /// Repairs and evaluates `genome` in place, consuming one budget
     /// sample. Returns the objective cost, or `None` when the budget is
     /// exhausted (the genome is then left unmodified).
@@ -182,7 +256,38 @@ impl<'a> SearchContext<'a> {
     /// regardless of the thread count, so seeded searches are bit-identical
     /// serial and parallel.
     pub fn evaluate_batch(&self, genomes: &mut [Genome]) -> Vec<Option<f64>> {
-        let total = genomes.len();
+        let mut candidates: Vec<EvalCandidate> = genomes
+            .iter_mut()
+            .map(|g| {
+                let buffer = g.buffer;
+                EvalCandidate::new(std::mem::replace(
+                    g,
+                    Genome::new(Partition::singletons(0), buffer),
+                ))
+            })
+            .collect();
+        let costs = self.evaluate_candidates(&mut candidates);
+        for (g, candidate) in genomes.iter_mut().zip(candidates) {
+            *g = candidate.genome;
+        }
+        costs
+    }
+
+    /// Repairs and evaluates a batch of [`EvalCandidate`]s in place on the
+    /// engine's worker pool — the incremental-evaluation entry point used
+    /// by the GA and SA.
+    ///
+    /// A candidate carrying an [`EvalHint`] is scored through the engine's
+    /// delta path: the hint's [`PartitionDelta`] (extended with whatever
+    /// the repair pipeline touches) names the dirty subgraphs, everything
+    /// else reuses the parent memo's terms. Candidates without a hint go
+    /// through the cache-composition path. Either way each candidate's
+    /// `memo` output is its own breakdown, ready to seed its offspring's
+    /// hints. Results are bit-identical across paths and thread counts
+    /// (sample indices and trace points follow input order, and every
+    /// scoring path computes the exact same pure per-subgraph terms).
+    pub fn evaluate_candidates(&self, candidates: &mut [EvalCandidate]) -> Vec<Option<f64>> {
+        let total = candidates.len();
         // Pin sample indices to input order before any worker runs.
         let mut samples = Vec::with_capacity(total);
         while samples.len() < total {
@@ -198,28 +303,49 @@ impl<'a> SearchContext<'a> {
             return out;
         }
         let start = Instant::now();
-        let jobs: Vec<Mutex<&mut Genome>> = genomes[..funded].iter_mut().map(Mutex::new).collect();
+        let jobs: Vec<Mutex<&mut EvalCandidate>> =
+            candidates[..funded].iter_mut().map(Mutex::new).collect();
         let results: Vec<Mutex<Option<TracePoint>>> =
             (0..funded).map(|_| Mutex::new(None)).collect();
         self.engine.pool().run(funded, |i| {
-            let genome: &mut Genome = &mut jobs[i].lock().unwrap();
-            genome.partition = self.repair(
-                std::mem::replace(&mut genome.partition, Partition::singletons(0)),
-                &genome.buffer,
+            let candidate: &mut EvalCandidate = &mut jobs[i].lock().unwrap();
+            let buffer = candidate.genome.buffer;
+            let (parent_memo, mut delta) = match candidate.hint.take() {
+                Some(hint) => (Some(hint.memo), hint.delta),
+                None => (None, PartitionDelta::all(self.graph.len())),
+            };
+            candidate.genome.partition = self.repair_with_delta(
+                std::mem::replace(&mut candidate.genome.partition, Partition::singletons(0)),
+                &buffer,
+                &mut delta,
             );
-            let scored = self.engine.score(
-                self.evaluator,
-                &genome.partition.subgraphs(),
-                &genome.buffer,
-                self.options,
-            );
+            let subgraphs = candidate.genome.partition.subgraphs();
+            let (scored, memo) = match parent_memo {
+                Some(memo) if !delta.is_all() => {
+                    let dirty = delta.dirty_subgraphs(&candidate.genome.partition);
+                    self.engine.score_delta(
+                        self.evaluator,
+                        &subgraphs,
+                        &buffer,
+                        self.options,
+                        &memo,
+                        &dirty,
+                    )
+                }
+                _ => self
+                    .engine
+                    .score_composed(self.evaluator, &subgraphs, &buffer, self.options),
+            };
+            candidate.memo = memo;
             if scored.error {
                 self.trace.record_infeasible_error();
             }
+            let cost = scored.cost(self.objective.metric, self.objective.alpha);
+            candidate.cost = Some(cost);
             *results[i].lock().unwrap() = Some(TracePoint {
                 sample: samples[i],
-                cost: scored.cost(self.objective.metric, self.objective.alpha),
-                buffer_bytes: genome.buffer.total_bytes(),
+                cost,
+                buffer_bytes: buffer.total_bytes(),
                 metric_value: scored.metric(self.objective.metric),
             });
         });
@@ -265,12 +391,11 @@ impl<'a> SearchContext<'a> {
         if !self.fits(members, buffer) {
             return None;
         }
-        let scored = self.engine.score(
-            self.evaluator,
-            std::slice::from_ref(&members.to_vec()),
-            buffer,
-            self.options,
-        );
+        // score_single borrows `members` directly — no owned partition is
+        // allocated in this (greedy/DP/enumeration) hot loop.
+        let scored = self
+            .engine
+            .score_single(self.evaluator, members, buffer, self.options);
         if scored.error {
             self.trace.record_infeasible_error();
             return None;

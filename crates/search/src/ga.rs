@@ -1,13 +1,24 @@
 //! The Cocco genetic co-exploration engine (paper §4.3-§4.4, Figure 9).
 
-use crate::context::SearchContext;
+use crate::context::{EvalCandidate, EvalHint, SearchContext};
 use crate::genome::Genome;
 use crate::outcome::{SearchOutcome, Searcher};
+use cocco_engine::EvalMemo;
 use cocco_graph::Graph;
-use cocco_partition::Partition;
+use cocco_partition::{Partition, PartitionDelta};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One scored population member: the genome, its cost and the evaluation's
+/// per-subgraph breakdown (seed for its offspring's incremental hints).
+#[derive(Clone, Debug)]
+struct Member {
+    genome: Genome,
+    cost: f64,
+    memo: Option<Arc<EvalMemo>>,
+}
 
 /// Per-operation mutation probabilities (each applied independently).
 #[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -145,7 +156,7 @@ impl Searcher for CoccoGa {
         let mut outcome = SearchOutcome::empty();
 
         // Initialization (paper §4.4.1): warm starts + random genomes.
-        let mut population: Vec<(Genome, f64)> = Vec::with_capacity(cfg.population);
+        let mut population: Vec<Member> = Vec::with_capacity(cfg.population);
         let mut seeds: Vec<Genome> = cfg
             .initial
             .iter()
@@ -166,49 +177,80 @@ impl Searcher for CoccoGa {
             seeds.push(Genome::random(graph, &ctx.space, &mut rng));
         }
         seeds.truncate(cfg.population);
-        let costs = ctx.evaluate_batch(&mut seeds);
-        for (genome, cost) in seeds.into_iter().zip(costs) {
+        let mut seeds: Vec<EvalCandidate> = seeds.into_iter().map(EvalCandidate::new).collect();
+        let costs = ctx.evaluate_candidates(&mut seeds);
+        for (candidate, cost) in seeds.into_iter().zip(costs) {
             let Some(cost) = cost else { break };
-            outcome.consider(genome.clone(), cost);
-            population.push((genome, cost));
+            outcome.consider(candidate.genome.clone(), cost);
+            population.push(Member {
+                genome: candidate.genome,
+                cost,
+                memo: candidate.memo,
+            });
         }
 
         // Generations: crossover + mutation -> evaluation -> tournament.
+        // Mutated copies of tournament winners carry the winner's memo plus
+        // the mutation's delta, so evaluation re-scores only the touched
+        // subgraphs; crossover children mix two parents and are scored
+        // through the (subgraph-term) cache composition path instead.
         while !ctx.budget().is_exhausted() && !population.is_empty() {
-            let mut offspring: Vec<Genome> = Vec::with_capacity(cfg.population);
+            let mut offspring: Vec<EvalCandidate> = Vec::with_capacity(cfg.population);
             while offspring.len() < cfg.population {
                 let child = if rng.gen_bool(cfg.crossover_fraction.clamp(0.0, 1.0))
                     && population.len() >= 2
                 {
-                    let dad = &population[rng.gen_range(0..population.len())].0;
-                    let mom = &population[rng.gen_range(0..population.len())].0;
+                    let dad_idx = rng.gen_range(0..population.len());
+                    let mom_idx = rng.gen_range(0..population.len());
+                    let (dad, mom) = (&population[dad_idx].genome, &population[mom_idx].genome);
                     let mut child = Genome::new(
                         crossover(graph, &dad.partition, &mom.partition, &mut rng),
                         ctx.space.blend(dad.buffer, mom.buffer),
                     );
-                    mutate(ctx, graph, &mut child, &cfg.mutation, &mut rng);
-                    child
+                    // A crossover child reproduces whole parent subgraphs,
+                    // so dad's memo still matches many of its member sets;
+                    // the engine verifies every reuse by member set and
+                    // next_wgt itself, so a memo entry that no longer
+                    // applies is a lookup miss, never a wrong score. (When
+                    // the blended buffer differs from dad's the engine
+                    // drops the memo and the term cache takes over.)
+                    let mut delta = PartitionDelta::clean(graph.len());
+                    mutate_with_delta(ctx, graph, &mut child, &cfg.mutation, &mut rng, &mut delta);
+                    let hint = population[dad_idx]
+                        .memo
+                        .clone()
+                        .map(|memo| EvalHint { memo, delta });
+                    EvalCandidate::with_hint(child, hint)
                 } else {
                     let parent = tournament(&population, cfg.tournament, &mut rng);
-                    let mut child = population[parent].0.clone();
-                    mutate(ctx, graph, &mut child, &cfg.mutation, &mut rng);
-                    child
+                    let mut child = population[parent].genome.clone();
+                    let mut delta = PartitionDelta::clean(graph.len());
+                    mutate_with_delta(ctx, graph, &mut child, &cfg.mutation, &mut rng, &mut delta);
+                    let hint = population[parent]
+                        .memo
+                        .clone()
+                        .map(|memo| EvalHint { memo, delta });
+                    EvalCandidate::with_hint(child, hint)
                 };
                 offspring.push(child);
             }
-            let costs = ctx.evaluate_batch(&mut offspring);
+            let costs = ctx.evaluate_candidates(&mut offspring);
             let mut pool = population;
-            for (genome, cost) in offspring.into_iter().zip(costs) {
+            for (candidate, cost) in offspring.into_iter().zip(costs) {
                 let Some(cost) = cost else { break };
-                outcome.consider(genome.clone(), cost);
-                pool.push((genome, cost));
+                outcome.consider(candidate.genome.clone(), cost);
+                pool.push(Member {
+                    genome: candidate.genome,
+                    cost,
+                    memo: candidate.memo,
+                });
             }
             // Survivor selection: elitism + tournaments over the pool.
-            let mut next: Vec<(Genome, f64)> = Vec::with_capacity(cfg.population);
+            let mut next: Vec<Member> = Vec::with_capacity(cfg.population);
             if let Some(best_idx) = pool
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+                .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
                 .map(|(i, _)| i)
             {
                 next.push(pool[best_idx].clone());
@@ -226,11 +268,11 @@ impl Searcher for CoccoGa {
 }
 
 /// Index of the best genome among `k` uniformly sampled contestants.
-fn tournament(pool: &[(Genome, f64)], k: usize, rng: &mut StdRng) -> usize {
+fn tournament(pool: &[Member], k: usize, rng: &mut StdRng) -> usize {
     let mut best = rng.gen_range(0..pool.len());
     for _ in 1..k.max(1) {
         let challenger = rng.gen_range(0..pool.len());
-        if pool[challenger].1 < pool[best].1 {
+        if pool[challenger].cost < pool[best].cost {
             best = challenger;
         }
     }
@@ -306,13 +348,22 @@ pub(crate) fn crossover(
 }
 
 /// Applies the four customized mutations, each with its own probability
-/// (shared with the simulated-annealing baseline, paper §4.2.4).
-pub(crate) fn mutate(
+/// (shared with the simulated-annealing baseline, paper §4.2.4), recording
+/// into `delta` every node whose subgraph membership changes.
+///
+/// The delta invariant is member-set based: an operator that changes a
+/// subgraph's member set marks **all** of that subgraph's (old and new)
+/// members, so an unmarked subgraph is guaranteed untouched and its cached
+/// evaluation terms can be reused. A DSE (buffer) perturbation marks no
+/// nodes — the buffer is part of every term's cache key, so the engine
+/// detects the change itself and drops the memo.
+pub(crate) fn mutate_with_delta(
     ctx: &SearchContext<'_>,
     graph: &Graph,
     genome: &mut Genome,
     rates: &MutationRates,
     rng: &mut StdRng,
+    delta: &mut PartitionDelta,
 ) {
     let n = graph.len();
     if rng.gen_bool(rates.modify_node.clamp(0.0, 1.0)) {
@@ -331,6 +382,10 @@ pub(crate) fn mutate(
         candidates.dedup();
         candidates.push(genome.partition.fresh_id());
         let target = candidates[rng.gen_range(0..candidates.len())];
+        // Both the donor's and the receiver's member sets change.
+        delta.touch_subgraph(&genome.partition, genome.partition.subgraph_of(node));
+        delta.touch_subgraph(&genome.partition, target);
+        delta.touch(node);
         genome.partition.assign(node, target);
     }
     if rng.gen_bool(rates.split_subgraph.clamp(0.0, 1.0)) {
@@ -341,6 +396,7 @@ pub(crate) fn mutate(
             let group = splittable[rng.gen_range(0..splittable.len())];
             let cut = rng.gen_range(1..group.len());
             let fresh = genome.partition.fresh_id();
+            delta.touch_members(group);
             for &m in &group[cut..] {
                 genome.partition.assign(m, fresh);
             }
@@ -357,6 +413,8 @@ pub(crate) fn mutate(
         if !edges.is_empty() {
             let (a, b) = edges[rng.gen_range(0..edges.len())];
             let target = genome.partition.subgraph_of(groups[a as usize][0]);
+            delta.touch_members(&groups[a as usize]);
+            delta.touch_members(&groups[b as usize]);
             for &m in &groups[b as usize] {
                 genome.partition.assign(m, target);
             }

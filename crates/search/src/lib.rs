@@ -66,9 +66,11 @@ mod twostep;
 // Budget and trace primitives live in the engine crate; re-exported here so
 // existing `cocco_search::{SampleBudget, Trace, TracePoint}` paths keep
 // working.
+pub use cocco_engine::EvalMemo;
 pub use cocco_engine::{Engine, EngineConfig, EngineStats, SampleBudget, ThreadCount};
 pub use cocco_engine::{Trace, TracePoint};
-pub use context::SearchContext;
+pub use cocco_partition::PartitionDelta;
+pub use context::{EvalCandidate, EvalHint, SearchContext};
 pub use dp::DepthDp;
 pub use exhaustive::{Exhaustive, ExhaustiveLimits};
 pub use ga::{CoccoGa, GaConfig, MutationRates};

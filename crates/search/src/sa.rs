@@ -1,9 +1,10 @@
 //! Simulated-annealing baseline (paper §4.2.4).
 
-use crate::context::SearchContext;
-use crate::ga::{mutate, MutationRates};
+use crate::context::{EvalCandidate, EvalHint, SearchContext};
+use crate::ga::{mutate_with_delta, MutationRates};
 use crate::genome::Genome;
 use crate::outcome::{SearchOutcome, Searcher};
+use cocco_partition::PartitionDelta;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -102,10 +103,20 @@ impl Searcher for SimulatedAnnealing {
         let start_samples = ctx.budget().used();
         let mut outcome = SearchOutcome::empty();
 
-        let mut current = Genome::random(graph, &ctx.space, &mut rng);
-        let Some(mut current_cost) = ctx.evaluate(&mut current) else {
+        let mut seed = EvalCandidate::new(Genome::random(graph, &ctx.space, &mut rng));
+        let Some(Some(seed_cost)) = ctx
+            .evaluate_candidates(std::slice::from_mut(&mut seed))
+            .pop()
+        else {
             return outcome;
         };
+        let mut current = seed.genome;
+        let mut current_cost = seed_cost;
+        // The current state's per-subgraph breakdown seeds each neighbor's
+        // incremental hint; the best state's breakdown restores it on
+        // restarts.
+        let mut current_memo = seed.memo;
+        let mut best_memo = current_memo.clone();
         outcome.consider(current.clone(), current_cost);
 
         // Temperature in absolute cost units.
@@ -121,28 +132,44 @@ impl Searcher for SimulatedAnnealing {
         'anneal: loop {
             // Propose a batch of neighbors of the current state (serial RNG
             // draws keep the proposal sequence seed-deterministic), score
-            // them as one engine batch, then run the Metropolis scan in
+            // them as one engine batch — each neighbor carrying the current
+            // state's memo plus its own mutation delta, so only touched
+            // subgraphs are re-scored — then run the Metropolis scan in
             // proposal order.
-            let mut neighbors: Vec<Genome> = (0..batch)
+            let mut neighbors: Vec<EvalCandidate> = (0..batch)
                 .map(|_| {
                     let mut candidate = current.clone();
-                    mutate(ctx, graph, &mut candidate, &cfg.mutation, &mut rng);
-                    candidate
+                    let mut delta = PartitionDelta::clean(graph.len());
+                    mutate_with_delta(
+                        ctx,
+                        graph,
+                        &mut candidate,
+                        &cfg.mutation,
+                        &mut rng,
+                        &mut delta,
+                    );
+                    let hint = current_memo.clone().map(|memo| EvalHint { memo, delta });
+                    EvalCandidate::with_hint(candidate, hint)
                 })
                 .collect();
-            let costs = ctx.evaluate_batch(&mut neighbors);
+            let costs = ctx.evaluate_candidates(&mut neighbors);
             for (candidate, cost) in neighbors.into_iter().zip(costs) {
                 let Some(cost) = cost else {
                     break 'anneal; // budget exhausted
                 };
-                outcome.consider(candidate.clone(), cost);
+                let improved = cost < outcome.best_cost;
+                outcome.consider(candidate.genome.clone(), cost);
+                if improved {
+                    best_memo = candidate.memo.clone();
+                }
                 let accept = cost <= current_cost || {
                     let delta = cost - current_cost;
                     temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp()
                 };
                 if accept {
-                    current = candidate;
+                    current = candidate.genome;
                     current_cost = cost;
+                    current_memo = candidate.memo;
                     rejected = 0;
                 } else {
                     rejected += 1;
@@ -150,6 +177,7 @@ impl Searcher for SimulatedAnnealing {
                         if let Some(best) = &outcome.best {
                             current = best.clone();
                             current_cost = outcome.best_cost;
+                            current_memo = best_memo.clone();
                         }
                         rejected = 0;
                     }

@@ -253,7 +253,86 @@ impl<'g> Evaluator<'g> {
         Ok(stats)
     }
 
+    /// Scores one subgraph under a buffer configuration — the pure
+    /// per-subgraph term of the cost model.
+    ///
+    /// `next_wgt` is the weight footprint (in DRAM bytes) of the subgraph
+    /// that executes next, prefetched during this subgraph's execution; it
+    /// is the **only** cross-subgraph coupling of the model, made an
+    /// explicit input so the term is a pure function of
+    /// `(stats, next_wgt, buffer, options)` and can be memoized at subgraph
+    /// granularity. Pass `0` for the last subgraph of a partition (or a
+    /// standalone subgraph).
+    pub fn eval_subgraph(
+        &self,
+        stats: &SubgraphStats,
+        next_wgt: u64,
+        buffer: &BufferConfig,
+        options: EvalOptions,
+    ) -> SubgraphReport {
+        let cores = u64::from(options.cores());
+        let batch = u64::from(options.batch());
+        let energy = &self.config.energy;
+        let (glb_cap, wgt_cap) = match buffer {
+            BufferConfig::Separate { glb, wgt } => (*glb, *wgt),
+            BufferConfig::Shared { total } => (*total, *total),
+        };
+        let e_glb = energy.sram_pj_per_byte(glb_cap);
+        let e_wgt = energy.sram_pj_per_byte(wgt_cap);
+
+        // Per-core weight shard (multi-core weight sharing); single
+        // layers fall back to streamed weights.
+        let wgt_per_core = stats.wgt_resident_bytes.div_ceil(cores);
+        let fits = buffer.fits(stats.act_footprint_bytes, wgt_per_core)
+            && stats.regions <= self.config.max_regions;
+
+        // DRAM traffic: weights once per subgraph (batch reuse);
+        // activations per sample; halo re-fetch per extra core.
+        let halo = stats.halo_bytes_per_cut * (cores - 1) * batch;
+        let ema = stats.ema_wgt_bytes + stats.ema_act_bytes() * batch + halo;
+
+        // Energy. With weights sharded 1/n per core and rotated
+        // (Tangram-BSD style), (n−1)/n of every weight-buffer read
+        // crosses the interconnect.
+        let crossbar_bytes = if cores > 1 {
+            stats.wgt_access_bytes * batch * (cores - 1) / cores
+        } else {
+            0
+        };
+        let energy_pj = ema as f64 * energy.dram_pj_per_byte
+            + (stats.glb_access_bytes * batch) as f64 * e_glb
+            + (stats.wgt_access_bytes * batch) as f64 * e_wgt
+            + (stats.macs * batch) as f64 * energy.mac_pj
+            + crossbar_bytes as f64 * energy.crossbar_pj_per_byte;
+
+        // Latency: compute parallelized over cores; DRAM over the
+        // aggregate per-core links.
+        let compute = stats.compute_cycles * batch as f64 / cores as f64;
+        let dram = ema as f64 / (self.config.dram_bytes_per_cycle() * cores as f64);
+        let latency = compute.max(dram).max(1.0);
+
+        // Bandwidth requirement: prefetch of the next subgraph's
+        // weights plus this subgraph's boundary activations.
+        let bw_bytes_per_cycle = (next_wgt + stats.ema_act_bytes() * batch + halo) as f64 / latency;
+
+        SubgraphReport {
+            index: 0,
+            stats: *stats,
+            ema_bytes: ema,
+            energy_pj,
+            latency_cycles: latency,
+            bw_bytes_per_cycle,
+            fits,
+        }
+    }
+
     /// Evaluates an ordered partition under a buffer configuration.
+    ///
+    /// Each subgraph is scored by [`eval_subgraph`](Self::eval_subgraph)
+    /// (its `next_wgt` input taken from the successor's statistics) and the
+    /// terms are rolled up with [`PartitionReport::from_parts`] — the same
+    /// composition the incremental evaluation path performs from cached
+    /// terms, so both paths are bit-identical by construction.
     ///
     /// Subgraphs whose footprints exceed the buffers (or whose region count
     /// exceeds the region manager) are flagged in
@@ -275,16 +354,6 @@ impl<'g> Evaluator<'g> {
         if subgraphs.is_empty() {
             return Err(SimError::EmptySubgraph { index: 0 });
         }
-        let cores = u64::from(options.cores());
-        let batch = u64::from(options.batch());
-        let energy = &self.config.energy;
-        let (glb_cap, wgt_cap) = match buffer {
-            BufferConfig::Separate { glb, wgt } => (*glb, *wgt),
-            BufferConfig::Shared { total } => (*total, *total),
-        };
-        let e_glb = energy.sram_pj_per_byte(glb_cap);
-        let e_wgt = energy.sram_pj_per_byte(wgt_cap);
-
         let mut all_stats = Vec::with_capacity(subgraphs.len());
         for (index, members) in subgraphs.iter().enumerate() {
             if members.is_empty() {
@@ -292,78 +361,19 @@ impl<'g> Evaluator<'g> {
             }
             all_stats.push(self.subgraph_stats(members)?);
         }
-
-        let mut report = PartitionReport {
-            ema_bytes: 0,
-            energy_pj: 0.0,
-            latency_cycles: 0.0,
-            avg_bw_gbps: 0.0,
-            peak_bw_gbps: 0.0,
-            fits: true,
-            oversized: Vec::new(),
-            per_subgraph: Vec::with_capacity(subgraphs.len()),
-            buffer: *buffer,
-        };
-
-        for (index, stats) in all_stats.iter().enumerate() {
-            // Per-core weight shard (multi-core weight sharing); single
-            // layers fall back to streamed weights.
-            let wgt_per_core = stats.wgt_resident_bytes.div_ceil(cores);
-            let fits = buffer.fits(stats.act_footprint_bytes, wgt_per_core)
-                && stats.regions <= self.config.max_regions;
-            if !fits {
-                report.fits = false;
-                report.oversized.push(index);
-            }
-
-            // DRAM traffic: weights once per subgraph (batch reuse);
-            // activations per sample; halo re-fetch per extra core.
-            let halo = stats.halo_bytes_per_cut * (cores - 1) * batch;
-            let ema = stats.ema_wgt_bytes + stats.ema_act_bytes() * batch + halo;
-
-            // Energy. With weights sharded 1/n per core and rotated
-            // (Tangram-BSD style), (n−1)/n of every weight-buffer read
-            // crosses the interconnect.
-            let crossbar_bytes = if cores > 1 {
-                stats.wgt_access_bytes * batch * (cores - 1) / cores
-            } else {
-                0
-            };
-            let energy_pj = ema as f64 * energy.dram_pj_per_byte
-                + (stats.glb_access_bytes * batch) as f64 * e_glb
-                + (stats.wgt_access_bytes * batch) as f64 * e_wgt
-                + (stats.macs * batch) as f64 * energy.mac_pj
-                + crossbar_bytes as f64 * energy.crossbar_pj_per_byte;
-
-            // Latency: compute parallelized over cores; DRAM over the
-            // aggregate per-core links.
-            let compute = stats.compute_cycles * batch as f64 / cores as f64;
-            let dram = ema as f64 / (self.config.dram_bytes_per_cycle() * cores as f64);
-            let latency = compute.max(dram).max(1.0);
-
-            // Bandwidth requirement: prefetch of the next subgraph's
-            // weights plus this subgraph's boundary activations.
-            let next_wgt = all_stats.get(index + 1).map_or(0, |s| s.ema_wgt_bytes);
-            let bw_bytes_per_cycle =
-                (next_wgt + stats.ema_act_bytes() * batch + halo) as f64 / latency;
-
-            report.ema_bytes += ema;
-            report.energy_pj += energy_pj;
-            report.latency_cycles += latency;
-            report.peak_bw_gbps = report
-                .peak_bw_gbps
-                .max(bw_bytes_per_cycle * self.config.freq_ghz);
-            report.per_subgraph.push(SubgraphReport {
-                index,
-                stats: *stats,
-                energy_pj,
-                latency_cycles: latency,
-                bw_bytes_per_cycle,
-                fits,
-            });
-        }
-        report.avg_bw_gbps = report.ema_bytes as f64 / report.latency_cycles * self.config.freq_ghz;
-        Ok(report)
+        let parts: Vec<SubgraphReport> = all_stats
+            .iter()
+            .enumerate()
+            .map(|(index, stats)| {
+                let next_wgt = all_stats.get(index + 1).map_or(0, |s| s.ema_wgt_bytes);
+                self.eval_subgraph(stats, next_wgt, buffer, options)
+            })
+            .collect();
+        Ok(PartitionReport::from_parts(
+            parts,
+            *buffer,
+            self.config.freq_ghz,
+        ))
     }
 }
 

@@ -5,12 +5,21 @@ use crate::cost::{CostMetric, SubgraphStats};
 use serde::{Deserialize, Serialize};
 
 /// Evaluation result of one subgraph within a partition.
+///
+/// Produced by [`Evaluator::eval_subgraph`](crate::Evaluator::eval_subgraph)
+/// — a pure function of the subgraph's statistics, the successor's weight
+/// prefetch (`next_wgt`), the buffer configuration and the evaluation
+/// options — so per-subgraph terms are individually cacheable and a whole
+/// partition composes with [`PartitionReport::from_parts`].
 #[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SubgraphReport {
-    /// Index of the subgraph in execution order.
+    /// Index of the subgraph in execution order (assigned by the roll-up).
     pub index: usize,
     /// The cached raw statistics.
     pub stats: SubgraphStats,
+    /// DRAM traffic of this subgraph in bytes under the evaluated options
+    /// (weights once, activations per sample, halo per extra core).
+    pub ema_bytes: u64,
     /// Energy in picojoules under the evaluated buffer configuration.
     pub energy_pj: f64,
     /// Latency in core cycles (max of compute and DRAM transfer, with the
@@ -48,6 +57,44 @@ pub struct PartitionReport {
 }
 
 impl PartitionReport {
+    /// Composes a whole-partition report from per-subgraph parts in
+    /// execution order — the associative roll-up of the incremental
+    /// evaluation path.
+    ///
+    /// The only cross-subgraph coupling of the cost model is the
+    /// successor's weight prefetch, and it is already folded into each
+    /// part's `bw_bytes_per_cycle` by
+    /// [`Evaluator::eval_subgraph`](crate::Evaluator::eval_subgraph); the
+    /// roll-up is therefore a plain in-order fold (sums, `max`, `all`),
+    /// bit-identical to evaluating the partition in one pass.
+    pub fn from_parts(mut parts: Vec<SubgraphReport>, buffer: BufferConfig, freq_ghz: f64) -> Self {
+        let mut report = PartitionReport {
+            ema_bytes: 0,
+            energy_pj: 0.0,
+            latency_cycles: 0.0,
+            avg_bw_gbps: 0.0,
+            peak_bw_gbps: 0.0,
+            fits: true,
+            oversized: Vec::new(),
+            per_subgraph: Vec::new(),
+            buffer,
+        };
+        for (index, part) in parts.iter_mut().enumerate() {
+            part.index = index;
+            if !part.fits {
+                report.fits = false;
+                report.oversized.push(index);
+            }
+            report.ema_bytes += part.ema_bytes;
+            report.energy_pj += part.energy_pj;
+            report.latency_cycles += part.latency_cycles;
+            report.peak_bw_gbps = report.peak_bw_gbps.max(part.bw_bytes_per_cycle * freq_ghz);
+        }
+        report.avg_bw_gbps = report.ema_bytes as f64 / report.latency_cycles * freq_ghz;
+        report.per_subgraph = parts;
+        report
+    }
+
     /// The metric value used by the cost functions.
     pub fn metric(&self, metric: CostMetric) -> f64 {
         match metric {

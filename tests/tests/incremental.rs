@@ -1,0 +1,228 @@
+//! Incremental (subgraph-granular) evaluation: bit-identity with the full
+//! path over random mutation sequences, across thread counts, and for
+//! every stochastic searcher — the acceptance tests of the delta pipeline.
+
+use cocco::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// One random partition edit in the style of the GA operators, recording
+/// the touched subgraphs into `delta` under the member-set invariant
+/// (every member of every changed subgraph is marked).
+fn random_edit(g: &Graph, p: &mut Partition, delta: &mut PartitionDelta, rng: &mut StdRng) {
+    match rng.gen_range(0..3u32) {
+        0 => {
+            // Move one node to a neighbouring or fresh subgraph.
+            let node = NodeId::from_index(rng.gen_range(0..g.len()));
+            let mut candidates: Vec<u32> = g
+                .producers(node)
+                .iter()
+                .chain(g.consumers(node).iter())
+                .map(|&v| p.subgraph_of(v))
+                .filter(|&sg| sg != p.subgraph_of(node))
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            candidates.push(p.fresh_id());
+            let target = candidates[rng.gen_range(0..candidates.len())];
+            delta.touch_subgraph(p, p.subgraph_of(node));
+            delta.touch_subgraph(p, target);
+            delta.touch(node);
+            p.assign(node, target);
+        }
+        1 => {
+            // Split one subgraph at a random topological point.
+            let groups = p.subgraphs();
+            let splittable: Vec<_> = groups.iter().filter(|m| m.len() >= 2).collect();
+            if !splittable.is_empty() {
+                let group = splittable[rng.gen_range(0..splittable.len())];
+                let cut = rng.gen_range(1..group.len());
+                let fresh = p.fresh_id();
+                delta.touch_members(group);
+                for &m in &group[cut..] {
+                    p.assign(m, fresh);
+                }
+            }
+        }
+        _ => {
+            // Merge across a random quotient edge.
+            let quotient = Quotient::build(g, p);
+            let groups = p.subgraphs();
+            let edges: Vec<(u32, u32)> = (0..quotient.num_subgraphs() as u32)
+                .flat_map(|a| quotient.succs(a).iter().map(move |&b| (a, b)))
+                .collect();
+            if !edges.is_empty() {
+                let (a, b) = edges[rng.gen_range(0..edges.len())];
+                let target = p.subgraph_of(groups[a as usize][0]);
+                delta.touch_members(&groups[a as usize]);
+                delta.touch_members(&groups[b as usize]);
+                for &m in &groups[b as usize] {
+                    p.assign(m, target);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_scoring_is_bit_identical_over_random_mutation_sequences() {
+    for model in ["randwire-a", "resnet50"] {
+        let g = cocco::graph::models::by_name(model).unwrap();
+        let evaluator = Evaluator::new(&g, AcceleratorConfig::default());
+        let engine = Engine::new(EngineConfig::serial());
+        let buffer = BufferConfig::shared(1 << 20);
+        let options = EvalOptions::default();
+        let fits = |members: &[NodeId]| -> bool {
+            evaluator
+                .subgraph_stats(members)
+                .is_ok_and(|s| buffer.fits(s.act_footprint_bytes, s.wgt_resident_bytes))
+        };
+
+        let mut rng = StdRng::seed_from_u64(0xDE17A);
+        let mut partition = repair(&g, Partition::connected_groups(&g, 4), &fits);
+        let (scored, memo) =
+            engine.score_composed(&evaluator, &partition.subgraphs(), &buffer, options);
+        assert!(!scored.error, "{model}: seed partition must score");
+        let mut memo: Arc<EvalMemo> = memo.expect("first composition returns a memo");
+
+        let mut reused_total = 0u64;
+        for step in 0..60 {
+            // Mutate (1-3 edits), repair, then score through the delta path
+            // and compare against the whole-partition evaluator, bit for
+            // bit.
+            let mut delta = PartitionDelta::clean(g.len());
+            for _ in 0..rng.gen_range(1..=3u32) {
+                random_edit(&g, &mut partition, &mut delta, &mut rng);
+            }
+            partition = repair_with_delta(&g, partition, &fits, &mut delta);
+            let subgraphs = partition.subgraphs();
+            let dirty = delta.dirty_subgraphs(&partition);
+            let before = engine.stats().subgraph_reused;
+            let (incremental, next_memo) =
+                engine.score_delta(&evaluator, &subgraphs, &buffer, options, &memo, &dirty);
+            reused_total += engine.stats().subgraph_reused - before;
+            let full = evaluator
+                .eval_partition(&subgraphs, &buffer, options)
+                .unwrap();
+            assert_eq!(
+                incremental.ema_bytes, full.ema_bytes,
+                "{model} step {step}: EMA diverged"
+            );
+            assert_eq!(
+                incremental.energy_pj, full.energy_pj,
+                "{model} step {step}: energy diverged (must be bit-identical)"
+            );
+            assert_eq!(
+                incremental.fits, full.fits,
+                "{model} step {step}: fits diverged"
+            );
+            if let Some(next) = next_memo {
+                memo = next;
+            }
+        }
+        assert!(
+            reused_total > 0,
+            "{model}: the walk never reused a term — the delta path is dead"
+        );
+    }
+}
+
+/// Runs one seeded search on resnet50 under an explicit engine
+/// configuration and returns everything determinism is judged on.
+fn resnet_run(
+    method: SearchMethod,
+    engine: EngineConfig,
+) -> (f64, Option<Genome>, Vec<TracePoint>, EngineStats) {
+    let g = cocco::graph::models::resnet50();
+    let evaluator = Evaluator::new(&g, AcceleratorConfig::default());
+    let ctx = SearchContext::new(
+        &g,
+        &evaluator,
+        BufferSpace::paper_shared(),
+        Objective::paper_energy_capacity(),
+        400,
+    )
+    .with_engine(engine);
+    let out = method.run(&ctx);
+    (
+        out.best_cost,
+        out.best,
+        ctx.trace().points(),
+        ctx.engine().stats(),
+    )
+}
+
+#[test]
+fn ga_sa_twostep_incremental_matches_full_path_at_any_thread_count() {
+    // The acceptance criterion: seeded GA/SA/two-step runs on resnet50
+    // produce bit-identical best cost and trace through the incremental
+    // path vs the full path, serial and parallel.
+    for method in [
+        SearchMethod::ga(),
+        SearchMethod::sa(),
+        SearchMethod::two_step(),
+    ] {
+        let name = method.name();
+        let reference = resnet_run(
+            method.clone().with_seed(17),
+            EngineConfig::serial().without_incremental(),
+        );
+        for threads in [1u32, 4] {
+            let incremental = resnet_run(
+                method.clone().with_seed(17),
+                EngineConfig::with_threads(threads),
+            );
+            assert_eq!(
+                reference.0, incremental.0,
+                "{name}: best cost diverged at {threads} threads"
+            );
+            assert_eq!(
+                reference.1, incremental.1,
+                "{name}: best genome diverged at {threads} threads"
+            );
+            assert_eq!(
+                reference.2, incremental.2,
+                "{name}: trace diverged at {threads} threads"
+            );
+        }
+        // And the incremental path actually reduces full subgraph
+        // scorings on the mutation-heavy searchers.
+        let incremental = resnet_run(method.with_seed(17), EngineConfig::serial());
+        assert!(
+            incremental.3.subgraph_scorings < reference.3.subgraph_scorings,
+            "{name}: incremental path must score fewer subgraphs \
+             ({} vs full {})",
+            incremental.3.subgraph_scorings,
+            reference.3.subgraph_scorings,
+        );
+    }
+}
+
+#[test]
+fn delta_reuse_survives_dse_buffer_changes() {
+    // A DSE mutation changes the buffer without touching the partition;
+    // the engine must detect the stale memo itself and still be exact.
+    let g = cocco::graph::models::googlenet();
+    let evaluator = Evaluator::new(&g, AcceleratorConfig::default());
+    let engine = Engine::new(EngineConfig::serial());
+    let options = EvalOptions::default();
+    let partition = repair(&g, Partition::connected_groups(&g, 3), &|_| true);
+    let subgraphs = partition.subgraphs();
+    let small = BufferConfig::shared(1 << 20);
+    let large = BufferConfig::shared(2 << 20);
+    let (_, memo) = engine.score_composed(&evaluator, &subgraphs, &small, options);
+    let memo = memo.unwrap();
+    let dirty = vec![false; subgraphs.len()];
+    let (scored, _) = engine.score_delta(&evaluator, &subgraphs, &large, options, &memo, &dirty);
+    let full = evaluator
+        .eval_partition(&subgraphs, &large, options)
+        .unwrap();
+    assert_eq!(scored.energy_pj, full.energy_pj);
+    assert_eq!(scored.ema_bytes, full.ema_bytes);
+    assert_eq!(
+        engine.stats().subgraph_reused,
+        0,
+        "terms under another buffer must never be reused"
+    );
+}
