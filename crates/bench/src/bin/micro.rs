@@ -13,13 +13,18 @@
 //! * `cargo run --release -p cocco-bench --bin micro` — the full suite,
 //!   ending with the engine benchmark (the same seeded GA on `resnet50`
 //!   through the full-evaluation reference, the incremental serial path
-//!   and the incremental parallel path) and a `BENCH_engine.json` summary
-//!   at the repository root recording wall times, the subgraph-level hit
-//!   rate and the incremental scoring reduction;
+//!   and the incremental parallel path under both pool lifecycles), a
+//!   cache-capacity sweep, the key-build and pool-overhead
+//!   micro-measurements, and a `BENCH_engine.json` summary at the
+//!   repository root recording wall times, the subgraph-level hit rate,
+//!   the incremental scoring reduction, key-build cost, evictions and the
+//!   persistent-vs-scoped pool comparison;
 //! * `cargo run --release -p cocco-bench --bin micro -- --smoke
-//!   [--threads <n>]` — the CI smoke mode: a scaled-down run of the same
-//!   three arms that asserts bit-identical results and the >= 30 %
-//!   subgraph-scoring reduction, at the requested worker count.
+//!   [--threads <n>] [--pool scoped|persistent]` — the CI smoke mode: a
+//!   scaled-down run of the same arms that asserts bit-identical results
+//!   across {full, incremental} × {serial, scoped, persistent}, the ≥30%
+//!   subgraph-scoring reduction, and zero per-probe key allocations on
+//!   the incremental path, at the requested worker count.
 
 use cocco::prelude::*;
 use rand::rngs::StdRng;
@@ -103,13 +108,16 @@ fn ga_run(
 }
 
 /// The engine benchmark: the same seeded GA on a ≥ 50-node model through
-/// three arms — full-path serial (the reference), incremental serial, and
-/// incremental at `threads` workers. Asserts bit-identical results across
-/// all arms (every host), a ≥ 30 % reduction in full subgraph scorings on
-/// the incremental path, and the ≥ 2× batch-path speedup (hosts with ≥ 4
-/// CPUs — a single-core container cannot physically speed up, so there the
-/// number is informational). Returns the JSON summary document.
-fn engine_bench(smoke: bool, threads: u32) -> serde_json::Value {
+/// the full-path serial reference, the incremental serial path, and the
+/// incremental parallel path under **both** pool lifecycles (persistent
+/// and scoped) at `threads` workers. Asserts bit-identical results across
+/// every arm (every host), a ≥ 30 % reduction in full subgraph scorings on
+/// the incremental path, zero per-probe key allocations, and the ≥ 2×
+/// batch-path speedup (hosts with ≥ 4 CPUs — a single-core container
+/// cannot physically speed up, so there the number is informational).
+/// `pool` selects which parallel arm the headline speedup is reported
+/// against. Returns the JSON summary document.
+fn engine_bench(smoke: bool, threads: u32, pool: PoolMode) -> serde_json::Value {
     let model = cocco::graph::models::resnet50();
     let (budget, population) = if smoke { (600, 50) } else { (3_000, 100) };
     let host_cpus = std::thread::available_parallelism()
@@ -129,11 +137,17 @@ fn engine_bench(smoke: bool, threads: u32) -> serde_json::Value {
     );
     let (serial_wall, serial_cost, serial_best, serial_stats) =
         ga_run(&model, budget, population, EngineConfig::serial());
-    let (parallel_wall, parallel_cost, parallel_best, stats) = ga_run(
+    let (persistent_wall, persistent_cost, persistent_best, persistent_stats) = ga_run(
         &model,
         budget,
         population,
         EngineConfig::with_threads(threads),
+    );
+    let (scoped_wall, scoped_cost, scoped_best, scoped_stats) = ga_run(
+        &model,
+        budget,
+        population,
+        EngineConfig::with_threads(threads).with_pool(PoolMode::Scoped),
     );
 
     assert_eq!(
@@ -145,18 +159,42 @@ fn engine_bench(smoke: bool, threads: u32) -> serde_json::Value {
         "engine determinism violated: full and incremental best genomes differ"
     );
     assert_eq!(
-        serial_cost, parallel_cost,
-        "engine determinism violated: serial and parallel best costs differ"
+        serial_cost, persistent_cost,
+        "engine determinism violated: serial and persistent-pool best costs differ"
     );
     assert_eq!(
-        serial_best, parallel_best,
-        "engine determinism violated: serial and parallel best genomes differ"
+        serial_best, persistent_best,
+        "engine determinism violated: serial and persistent-pool best genomes differ"
     );
+    assert_eq!(
+        serial_cost, scoped_cost,
+        "engine determinism violated: serial and scoped-pool best costs differ"
+    );
+    assert_eq!(
+        serial_best, scoped_best,
+        "engine determinism violated: serial and scoped-pool best genomes differ"
+    );
+    let stats = match pool {
+        PoolMode::Persistent => persistent_stats,
+        PoolMode::Scoped => scoped_stats,
+    };
     assert!(stats.cache_hits > 0, "GA run never hit the eval cache");
     assert!(
         stats.subgraph_reused > 0,
         "GA offspring never reused a memoized subgraph term"
     );
+    for (arm, arm_stats) in [
+        ("incremental serial", &serial_stats),
+        ("incremental persistent", &persistent_stats),
+        ("incremental scoped", &scoped_stats),
+    ] {
+        assert_eq!(
+            arm_stats.key_allocs, 0,
+            "{arm}: the incremental path must build zero per-probe keys \
+             ({} allocations recorded)",
+            arm_stats.key_allocs,
+        );
+    }
     let scoring_reduction =
         1.0 - serial_stats.subgraph_scorings as f64 / full_stats.subgraph_scorings.max(1) as f64;
     assert!(
@@ -170,7 +208,12 @@ fn engine_bench(smoke: bool, threads: u32) -> serde_json::Value {
 
     let full_ms = full_wall.as_secs_f64() * 1e3;
     let serial_ms = serial_wall.as_secs_f64() * 1e3;
-    let parallel_ms = parallel_wall.as_secs_f64() * 1e3;
+    let persistent_ms = persistent_wall.as_secs_f64() * 1e3;
+    let scoped_ms = scoped_wall.as_secs_f64() * 1e3;
+    let parallel_ms = match pool {
+        PoolMode::Persistent => persistent_ms,
+        PoolMode::Scoped => scoped_ms,
+    };
     let speedup = serial_ms / parallel_ms;
     println!(
         "full path (1 thread) : {:>10}  ({} subgraph scorings)",
@@ -185,10 +228,14 @@ fn engine_bench(smoke: bool, threads: u32) -> serde_json::Value {
         serial_stats.subgraph_reused,
     );
     println!(
-        "incremental ({threads} thr)  : {:>10}",
-        fmt_time(parallel_wall.as_secs_f64())
+        "persistent ({threads} thr)   : {:>10}",
+        fmt_time(persistent_wall.as_secs_f64())
     );
-    println!("speedup (threads)    : {speedup:.2}x");
+    println!(
+        "scoped ({threads} thr)       : {:>10}",
+        fmt_time(scoped_wall.as_secs_f64())
+    );
+    println!("speedup (threads)    : {speedup:.2}x ({pool:?} pool)");
     println!(
         "scoring reduction    : {:.0}% fewer full subgraph scorings",
         scoring_reduction * 100.0
@@ -198,14 +245,18 @@ fn engine_bench(smoke: bool, threads: u32) -> serde_json::Value {
         serial_stats.subgraph_hit_rate() * 100.0
     );
     println!(
-        "cache                : {} evals, {} hits ({:.0}%), {} roll-ups + {} terms",
+        "cache                : {} evals, {} hits ({:.0}%), {} roll-ups + {} terms, {} evicted",
         stats.evals,
         stats.cache_hits,
         stats.hit_rate() * 100.0,
         stats.cache_entries,
         stats.subgraph_entries,
+        stats.evictions(),
     );
-    println!("results              : bit-identical full vs incremental vs parallel ✓");
+    println!(
+        "results              : bit-identical full vs incremental vs persistent vs scoped ✓ \
+         (0 per-probe key allocations)"
+    );
     if host_cpus >= 4 && !smoke {
         assert!(
             speedup >= 2.0,
@@ -244,6 +295,18 @@ fn engine_bench(smoke: bool, threads: u32) -> serde_json::Value {
             "parallel_ms".to_string(),
             serde_json::to_value(&parallel_ms),
         ),
+        (
+            "parallel_persistent_ms".to_string(),
+            serde_json::to_value(&persistent_ms),
+        ),
+        (
+            "parallel_scoped_ms".to_string(),
+            serde_json::to_value(&scoped_ms),
+        ),
+        (
+            "pool".to_string(),
+            serde_json::to_value(&format!("{pool:?}").to_lowercase()),
+        ),
         ("speedup".to_string(), serde_json::to_value(&speedup)),
         (
             "incremental_speedup".to_string(),
@@ -278,9 +341,164 @@ fn engine_bench(smoke: bool, threads: u32) -> serde_json::Value {
             "subgraph_reused".to_string(),
             serde_json::to_value(&serial_stats.subgraph_reused),
         ),
+        (
+            "key_allocs".to_string(),
+            serde_json::to_value(&serial_stats.key_allocs),
+        ),
+        (
+            "cache_evictions".to_string(),
+            serde_json::to_value(&stats.evictions()),
+        ),
         ("deterministic".to_string(), serde_json::to_value(&true)),
     ];
     serde_json::Value::Object(doc)
+}
+
+/// Measures bare pool batch overhead: the wall time of dispatching a
+/// 64-job batch of trivial work through a `threads`-worker pool, scoped
+/// spawn vs persistent workers. Returns the two medians in nanoseconds;
+/// the persistent pool must not be slower — that is the whole point of
+/// keeping the threads alive.
+fn pool_overhead_bench(threads: u32) -> (f64, f64) {
+    let mut medians = [0.0f64; 2];
+    for (slot, mode) in [PoolMode::Scoped, PoolMode::Persistent]
+        .into_iter()
+        .enumerate()
+    {
+        let pool =
+            cocco::engine::EnginePool::new(&EngineConfig::with_threads(threads).with_pool(mode));
+        let sink = std::sync::atomic::AtomicU64::new(0);
+        // Warm up (spawns the persistent workers).
+        pool.run(64, |i| {
+            sink.fetch_add(i as u64, std::sync::atomic::Ordering::Relaxed);
+        });
+        let mut samples: Vec<f64> = (0..200)
+            .map(|_| {
+                let start = Instant::now();
+                pool.run(64, |i| {
+                    sink.fetch_add(i as u64, std::sync::atomic::Ordering::Relaxed);
+                });
+                start.elapsed().as_secs_f64() * 1e9
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        medians[slot] = samples[samples.len() / 2];
+        std::hint::black_box(sink.load(std::sync::atomic::Ordering::Relaxed));
+    }
+    let (scoped_ns, persistent_ns) = (medians[0], medians[1]);
+    println!(
+        "engine/pool_batch_overhead_64jobs          scoped {:>10}   persistent {:>10}",
+        fmt_time(scoped_ns / 1e9),
+        fmt_time(persistent_ns / 1e9),
+    );
+    // The real gap is ~5-10x (thread spawn/join syscalls vs a channel
+    // send), so require persistent to undercut scoped by at least 1.5x —
+    // strictly below scoped as the acceptance criterion demands, with the
+    // jitter headroom taken out of the large real margin rather than
+    // granted on top of it.
+    assert!(
+        persistent_ns * 1.5 < scoped_ns,
+        "persistent-pool batch overhead ({persistent_ns:.0} ns) must undercut \
+         scoped-spawn overhead ({scoped_ns:.0} ns) by at least 1.5x"
+    );
+    (scoped_ns, persistent_ns)
+}
+
+/// Measures the per-evaluation key-build cost on the incremental path:
+/// folding a resnet50 partition's precomputed subgraph fingerprints into a
+/// partition-level `EvalKey` (what every cache probe pays per evaluation —
+/// no allocation, no member walk). Returns the median in nanoseconds.
+fn key_build_bench() -> f64 {
+    let model = cocco::graph::models::resnet50();
+    let evaluator = Evaluator::new(&model, AcceleratorConfig::default());
+    let partition = repair(&model, Partition::depth_groups(&model, 5), &|_| true);
+    let fps = PartitionFingerprints::compute(&partition);
+    let buffer = BufferConfig::shared(2 << 20);
+    let fingerprint = evaluator.fingerprint();
+    let mut samples = Vec::with_capacity(64);
+    for _ in 0..64 {
+        let start = Instant::now();
+        for _ in 0..4096 {
+            std::hint::black_box(cocco::engine::EvalKey::partition(
+                fingerprint,
+                fps.positions().iter().copied(),
+                &buffer,
+                EvalOptions::default(),
+            ));
+        }
+        samples.push(start.elapsed().as_secs_f64() * 1e9 / 4096.0);
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    println!(
+        "engine/eval_key_build_resnet50_depth5      {:>12} (zero allocations)",
+        fmt_time(median / 1e9)
+    );
+    median
+}
+
+/// Cache-capacity sweep: the same seeded GA under shrinking entry budgets.
+/// Results must stay bit-identical to the unbounded run; what changes is
+/// eviction pressure (recorded per capacity).
+fn capacity_sweep(threads: u32) -> serde_json::Value {
+    let model = cocco::graph::models::resnet50();
+    let (budget, population) = (1_500, 60);
+    println!("\n== cache-capacity sweep: GA on resnet50, budget {budget} ==\n");
+    let (_, reference_cost, reference_best, _) = ga_run(
+        &model,
+        budget,
+        population,
+        EngineConfig::with_threads(threads),
+    );
+    let mut rows = Vec::new();
+    for capacity in [usize::MAX, 16_384, 2_048, 256] {
+        let config = EngineConfig::with_threads(threads).with_cache_capacity(capacity);
+        let (wall, cost, best, stats) = ga_run(&model, budget, population, config);
+        assert_eq!(
+            cost, reference_cost,
+            "capacity {capacity}: eviction changed the best cost"
+        );
+        assert_eq!(
+            best, reference_best,
+            "capacity {capacity}: eviction changed the best genome"
+        );
+        let entries = stats.cache_entries + stats.subgraph_entries;
+        if capacity != usize::MAX {
+            assert!(
+                entries <= capacity as u64,
+                "capacity {capacity}: {entries} entries exceed the budget"
+            );
+        }
+        println!(
+            "capacity {:>10} : {:>10}  ({} entries, {} evicted, {:.0}% hits)",
+            if capacity == usize::MAX {
+                "unbounded".to_string()
+            } else {
+                capacity.to_string()
+            },
+            fmt_time(wall.as_secs_f64()),
+            entries,
+            stats.evictions(),
+            stats.hit_rate() * 100.0,
+        );
+        rows.push(serde_json::Value::Object(vec![
+            (
+                "capacity".to_string(),
+                serde_json::to_value(&(capacity.min(u64::MAX as usize) as u64)),
+            ),
+            (
+                "wall_ms".to_string(),
+                serde_json::to_value(&(wall.as_secs_f64() * 1e3)),
+            ),
+            ("entries".to_string(), serde_json::to_value(&entries)),
+            (
+                "evictions".to_string(),
+                serde_json::to_value(&stats.evictions()),
+            ),
+        ]));
+    }
+    println!("results              : bit-identical across every capacity ✓");
+    serde_json::Value::Array(rows)
 }
 
 fn full_suite() {
@@ -357,6 +575,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let mut smoke = false;
     let mut threads: u32 = 4;
+    let mut pool = PoolMode::Persistent;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
@@ -370,8 +589,25 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--pool" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--pool needs a value (scoped | persistent)");
+                    std::process::exit(2);
+                });
+                pool = match value.as_str() {
+                    "scoped" => PoolMode::Scoped,
+                    "persistent" => PoolMode::Persistent,
+                    bad => {
+                        eprintln!("bad --pool `{bad}` (scoped | persistent)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             bad => {
-                eprintln!("unknown argument `{bad}` (supported: --smoke, --threads <n>)");
+                eprintln!(
+                    "unknown argument `{bad}` \
+                     (supported: --smoke, --threads <n>, --pool scoped|persistent)"
+                );
                 std::process::exit(2);
             }
         }
@@ -379,16 +615,37 @@ fn main() {
     let threads = threads.max(1);
 
     if smoke {
-        // CI smoke: exercise the incremental delta path, the parallel
-        // batch path and the determinism invariant at the requested worker
-        // count; skip the slow timing loops.
-        engine_bench(true, threads);
+        // CI smoke: exercise the incremental delta path, both pool
+        // lifecycles, the zero-key-allocation invariant and the
+        // determinism invariant at the requested worker count; skip the
+        // slow timing loops.
+        engine_bench(true, threads, pool);
         println!("\nsmoke OK");
         return;
     }
 
     full_suite();
-    let doc = engine_bench(false, threads);
+    println!();
+    let key_build_ns = key_build_bench();
+    let (scoped_overhead_ns, persistent_overhead_ns) = pool_overhead_bench(threads);
+    let mut doc = match engine_bench(false, threads, pool) {
+        serde_json::Value::Object(fields) => fields,
+        _ => unreachable!("engine_bench returns an object"),
+    };
+    doc.push((
+        "key_build_ns".to_string(),
+        serde_json::to_value(&key_build_ns),
+    ));
+    doc.push((
+        "pool_batch_overhead_scoped_ns".to_string(),
+        serde_json::to_value(&scoped_overhead_ns),
+    ));
+    doc.push((
+        "pool_batch_overhead_persistent_ns".to_string(),
+        serde_json::to_value(&persistent_overhead_ns),
+    ));
+    doc.push(("capacity_sweep".to_string(), capacity_sweep(threads)));
+    let doc = serde_json::Value::Object(doc);
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
     let text = serde_json::to_string_pretty(&doc).expect("summary serializes");
     match std::fs::write(&path, format!("{text}\n")) {

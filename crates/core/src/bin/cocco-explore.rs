@@ -48,6 +48,11 @@ fn usage() -> String {
            --batch <n>        batch size (default 1)\n\
            --threads <n>      evaluation worker threads, or `auto` (default auto);\n\
                               results are identical at any thread count\n\
+           --pool <mode>      worker-pool lifecycle: persistent (default) keeps\n\
+                              threads alive across batches, scoped re-spawns per\n\
+                              batch; results are identical either way\n\
+           --cache-capacity <n>  bound the evaluation cache to <n> entries\n\
+                              (generation-sweep eviction; results unchanged)\n\
            --cache-file <p>   persist the evaluation cache at <p>: repeated\n\
                               explorations warm-start from it (results are\n\
                               unchanged; entries of other models/accelerator\n\
@@ -78,6 +83,8 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
     };
     let mut cores: u32 = 1;
     let mut batch: u32 = 1;
+    let mut pool: Option<PoolMode> = None;
+    let mut cache_capacity: Option<usize> = None;
     let next_value =
         |argv: &mut std::env::Args, flag: &str| argv.next().ok_or(format!("{flag} needs a value"));
     while let Some(arg) = argv.next() {
@@ -124,6 +131,16 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
                     other => return Err(format!("unknown metric `{other}`")),
                 };
             }
+            "--pool" => {
+                pool = Some(match next_value(&mut argv, "--pool")?.as_str() {
+                    "persistent" => PoolMode::Persistent,
+                    "scoped" => PoolMode::Scoped,
+                    other => return Err(format!("unknown pool mode `{other}`")),
+                });
+            }
+            "--cache-capacity" => {
+                cache_capacity = Some(parse_num(&next_value(&mut argv, "--cache-capacity")?)?);
+            }
             "--cache-file" => {
                 args.cache_file = Some(next_value(&mut argv, "--cache-file")?);
             }
@@ -142,6 +159,12 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
     }
     args.options =
         EvalOptions::new(cores, batch).map_err(|e| format!("bad --cores/--batch: {e}"))?;
+    if let Some(mode) = pool {
+        args.threads = args.threads.with_pool(mode);
+    }
+    if let Some(capacity) = cache_capacity {
+        args.threads = args.threads.with_cache_capacity(capacity);
+    }
     Ok(args)
 }
 
@@ -258,6 +281,12 @@ fn main() -> ExitCode {
         result.stats.subgraph_reused,
         result.stats.subgraph_hit_rate() * 100.0,
     );
+    if result.stats.evictions() > 0 {
+        println!(
+            "cache evictions    : {} roll-ups + {} terms (bounded cache)",
+            result.stats.cache_evictions, result.stats.subgraph_evictions,
+        );
+    }
     if let Some(save_error) = &result.cache_save_error {
         eprintln!("warning            : could not save cache file ({save_error})");
     }

@@ -449,8 +449,11 @@ mod tests {
              instead of reusing the stale file"
         );
         let snapshot = cocco_engine::CacheSnapshot::load(&path).unwrap();
-        let fingerprints: std::collections::HashSet<u64> =
-            snapshot.partition.iter().map(|(k, _)| k[0]).collect();
+        let fingerprints: std::collections::HashSet<u64> = snapshot
+            .partition
+            .iter()
+            .map(|(k, _)| k.fingerprint)
+            .collect();
         assert_eq!(fingerprints.len(), 2, "both configs' entries persist");
 
         // A corrupt cache file is a reported error, not silent garbage.

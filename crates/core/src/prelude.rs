@@ -13,11 +13,15 @@
 pub use crate::error::{CoccoError, Error};
 pub use crate::framework::{Cocco, Exploration};
 pub use cocco_engine::{
-    CacheSnapshot, Engine, EngineConfig, EngineStats, EvalMemo, SampleBudget, ScoredEval,
+    CacheSnapshot, Engine, EngineConfig, EngineStats, EvalMemo, PoolMode, SampleBudget, ScoredEval,
     SubgraphScore, ThreadCount,
 };
-pub use cocco_graph::{Dims2, Graph, GraphBuilder, Kernel, LayerOp, NodeId, TensorShape};
-pub use cocco_partition::{repair, repair_with_delta, Partition, PartitionDelta, Quotient};
+pub use cocco_graph::{
+    Dims2, Graph, GraphBuilder, Kernel, LayerOp, NodeId, NodeSetFp, TensorShape,
+};
+pub use cocco_partition::{
+    repair, repair_with_delta, Partition, PartitionDelta, PartitionFingerprints, Quotient,
+};
 pub use cocco_search::{
     BufferSpace, CapacitySampling, CoccoGa, DepthDp, Exhaustive, GaConfig, Genome, GreedyFusion,
     Objective, SearchContext, SearchMethod, SearchOutcome, Searcher, SimulatedAnnealing, Trace,

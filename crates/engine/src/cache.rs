@@ -1,13 +1,37 @@
-//! The sharded, two-level memoization cache for evaluations.
+//! The sharded, two-level, bounded memoization cache for evaluations.
 //!
 //! Level 1 (**subgraph terms**) memoizes the pure per-subgraph scores
-//! produced by `Evaluator::eval_subgraph` under the key
+//! produced by `Evaluator::eval_subgraph` under the coordinates
 //! `(evaluator fingerprint, members, next_wgt, buffer, options)` — the
 //! exact inputs of that function, so one entry serves every partition that
 //! places the same subgraph before the same successor. Level 2
-//! (**partition roll-up**) memoizes whole-partition [`ScoredEval`]s under
-//! the ordered-subgraphs key, short-circuiting exact duplicates without
-//! touching level 1. Both levels keep their own hit/miss counters.
+//! (**partition roll-up**) memoizes whole-partition [`ScoredEval`]s —
+//! together with the evaluation's per-subgraph [`EvalMemo`], so a genome
+//! whose score comes from a cache hit still hands a memo to its offspring.
+//!
+//! # Zero-rehash keys
+//!
+//! Cache identity is **incremental state, not recomputed work**: every key
+//! is a fixed-size [`EvalKey`] — the evaluator fingerprint plus a 128-bit
+//! content hash folded from precomputed per-subgraph
+//! [`NodeSetFp`] fingerprints and the `(buffer, options, next_wgt)`
+//! coordinates. Building a key allocates nothing and never walks a member
+//! vector, shard selection reads one precomputed word, and the maps use a
+//! pass-through hasher ([`BuildFpHasher`]) instead of re-hashing the key
+//! per probe. Key equality is fingerprint equality; see
+//! [`NodeSetFp`] for the (negligible) collision model.
+//!
+//! # Bounded growth
+//!
+//! Both levels are bounded by a configurable entry budget
+//! (`EngineConfig::cache_capacity`; the subgraph-term level takes at
+//! least half, the memo-carrying partition level the rest under a fixed
+//! entry cap — see [`EvalCache::with_capacity`]). A
+//! shard that fills up runs a **generation sweep**: entries not touched
+//! since the previous sweep are evicted (counted in the level's eviction
+//! counter), so a long exploration keeps its working set and sheds stale
+//! genomes. Eviction never changes results — a re-miss recomputes the
+//! bit-identical value.
 //!
 //! The cache also persists: [`EvalCache::snapshot`]/[`EvalCache::restore`]
 //! move both levels through a serde-serializable [`CacheSnapshot`], and
@@ -16,145 +40,225 @@
 //! evaluator fingerprint, so entries recorded under a different
 //! accelerator configuration (or model) can never produce a false hit;
 //! [`CacheSnapshot::split_fingerprint`] additionally lets callers restore
-//! only the entries of the evaluator at hand.
+//! only the entries of the evaluator at hand. Snapshots from the previous
+//! (v1, member-vector-keyed) format are upgraded on load by re-deriving
+//! each key's fingerprints, so `--cache-file` warm starts survive the
+//! re-keying.
 
-use crate::engine::{ScoredEval, SubgraphScore};
-use cocco_graph::NodeId;
+use crate::engine::{EvalMemo, ScoredEval, SubgraphScore};
+use cocco_graph::{mix64, BuildFpHasher, NodeId, NodeSetFp};
 use cocco_sim::{BufferConfig, EvalOptions};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
-/// Number of independent shards; keys spread by hash, so concurrent
-/// workers rarely contend on the same lock.
+/// Number of independent shards; keys spread by their precomputed hash, so
+/// concurrent workers rarely contend on the same lock.
 const SHARDS: usize = 16;
 
-/// A compact, collision-free cache key: the ordered subgraph member sets,
-/// the buffer configuration and the evaluation options, flattened into one
-/// `u64` sequence.
-pub type EvalKey = Box<[u64]>;
+/// Folds one word into a 128-bit chain state (order-sensitive; the two
+/// lanes stay independent through different salts).
+#[inline]
+fn fold(lo: &mut u64, hi: &mut u64, word: u64) {
+    *lo = mix64(*lo ^ word);
+    *hi = mix64(*hi ^ word ^ 0x9E37_79B9_7F4A_7C15);
+}
 
-/// Pushes the `(buffer, options)` coordinates shared by both key kinds.
-fn push_coords(key: &mut Vec<u64>, buffer: &BufferConfig, options: EvalOptions) {
-    match buffer {
-        BufferConfig::Shared { total } => {
-            key.push(0);
-            key.push(*total);
-            key.push(0);
+/// A fixed-size cache key: the evaluator fingerprint (kept verbatim so
+/// snapshots can be split per `(model, accelerator)` pair) plus a 128-bit
+/// content hash of the evaluation coordinates. Copyable, allocation-free,
+/// and pre-hashed — a probe neither builds a key vector nor re-hashes one.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EvalKey {
+    /// The evaluator's `(graph, accelerator config)` fingerprint.
+    pub fingerprint: u64,
+    /// First lane of the content hash (also the shard/bucket selector).
+    pub lo: u64,
+    /// Second, independently salted lane of the content hash.
+    pub hi: u64,
+}
+
+impl EvalKey {
+    /// The `(fingerprint, buffer, options)` coordinate prefix shared by
+    /// both key kinds.
+    #[inline]
+    fn coords(fingerprint: u64, buffer: &BufferConfig, options: EvalOptions) -> (u64, u64) {
+        let mut lo = mix64(fingerprint ^ 0x243F_6A88_85A3_08D3);
+        let mut hi = mix64(fingerprint ^ 0x1319_8A2E_0370_7344);
+        let (tag, a, b) = match buffer {
+            BufferConfig::Shared { total } => (0u64, *total, 0u64),
+            BufferConfig::Separate { glb, wgt } => (1u64, *glb, *wgt),
+        };
+        for word in [
+            tag,
+            a,
+            b,
+            u64::from(options.cores()),
+            u64::from(options.batch()),
+        ] {
+            fold(&mut lo, &mut hi, word);
         }
-        BufferConfig::Separate { glb, wgt } => {
-            key.push(1);
-            key.push(*glb);
-            key.push(*wgt);
+        (lo, hi)
+    }
+
+    /// The key of one subgraph term: `(evaluator fingerprint, members,
+    /// next_wgt, buffer, options)`, with the member set represented by its
+    /// precomputed [`NodeSetFp`]. O(1), no allocation.
+    pub fn subgraph(
+        fingerprint: u64,
+        members: NodeSetFp,
+        next_wgt: u64,
+        buffer: &BufferConfig,
+        options: EvalOptions,
+    ) -> Self {
+        let (mut lo, mut hi) = Self::coords(fingerprint, buffer, options);
+        fold(&mut lo, &mut hi, next_wgt);
+        fold(&mut lo, &mut hi, members.lo);
+        fold(&mut lo, &mut hi, members.hi);
+        Self {
+            fingerprint,
+            lo,
+            hi,
         }
     }
-    key.push(u64::from(options.cores()));
-    key.push(u64::from(options.batch()));
+
+    /// The key of a whole-partition roll-up: the ordered subgraph
+    /// fingerprints folded into the coordinate chain. Subgraph *order* is
+    /// part of the key (the fold is a chain) — partition evaluation is
+    /// order-sensitive because the bandwidth model prefetches the *next*
+    /// subgraph's weights. O(#subgraphs), no allocation.
+    pub fn partition<I>(
+        fingerprint: u64,
+        subgraphs: I,
+        buffer: &BufferConfig,
+        options: EvalOptions,
+    ) -> Self
+    where
+        I: IntoIterator<Item = NodeSetFp>,
+    {
+        let (mut lo, mut hi) = Self::coords(fingerprint, buffer, options);
+        let mut count = 0u64;
+        for fp in subgraphs {
+            fold(&mut lo, &mut hi, fp.lo);
+            fold(&mut lo, &mut hi, fp.hi);
+            count += 1;
+        }
+        fold(&mut lo, &mut hi, count);
+        Self {
+            fingerprint,
+            lo,
+            hi,
+        }
+    }
+
+    /// Deterministic shard selection from the precomputed hash.
+    #[inline]
+    fn shard(&self) -> usize {
+        (self.lo % SHARDS as u64) as usize
+    }
 }
 
 /// Encodes `(evaluator fingerprint, subgraphs, buffer, options)` into a
-/// partition-level [`EvalKey`].
-///
-/// The fingerprint ([`Evaluator::fingerprint`](cocco_sim::Evaluator)) pins
-/// the entry to one `(graph, accelerator config)` pair, so an engine
-/// shared across evaluators — two models, two platforms — never returns
-/// another evaluator's scores. Subgraph *order* is part of the key:
-/// partition evaluation is order-sensitive (the bandwidth model prefetches
-/// the *next* subgraph's weights). Member order within a subgraph is
-/// canonicalized by the evaluator, not here — searchers produce members in
-/// canonical (topological) order already, and a different member order
-/// would merely miss the cache, never corrupt it.
+/// partition-level [`EvalKey`], fingerprinting each member list on the fly
+/// (hot paths precompute the fingerprints instead and call
+/// [`EvalKey::partition`]).
 pub fn eval_key(
     fingerprint: u64,
     subgraphs: &[Vec<NodeId>],
     buffer: &BufferConfig,
     options: EvalOptions,
 ) -> EvalKey {
-    let members: usize = subgraphs.iter().map(Vec::len).sum();
-    let mut key = Vec::with_capacity(6 + members + subgraphs.len());
-    key.push(fingerprint);
-    push_coords(&mut key, buffer, options);
-    for subgraph in subgraphs {
-        for &m in subgraph {
-            key.push(m.index() as u64);
-        }
-        key.push(u64::MAX); // subgraph separator (never a node index)
-    }
-    key.into_boxed_slice()
+    EvalKey::partition(
+        fingerprint,
+        subgraphs.iter().map(|m| NodeSetFp::of_members(m)),
+        buffer,
+        options,
+    )
 }
 
 /// Encodes `(evaluator fingerprint, members, next_wgt, buffer, options)`
-/// into a subgraph-level key — the exact input coordinates of
-/// `Evaluator::eval_subgraph`, with the successor's weight prefetch
-/// (`next_wgt`) made explicit so each term is individually cacheable.
-///
-/// Returned as a plain `Vec` so lookups can borrow it as a slice and only
-/// the insert path pays for boxing.
+/// into a subgraph-level [`EvalKey`], fingerprinting the member list on
+/// the fly.
 pub fn subgraph_key(
     fingerprint: u64,
     members: &[NodeId],
     next_wgt: u64,
     buffer: &BufferConfig,
     options: EvalOptions,
-) -> Vec<u64> {
-    let mut key = Vec::with_capacity(7 + members.len());
-    subgraph_key_into(&mut key, fingerprint, members, next_wgt, buffer, options);
-    key
+) -> EvalKey {
+    EvalKey::subgraph(
+        fingerprint,
+        NodeSetFp::of_members(members),
+        next_wgt,
+        buffer,
+        options,
+    )
 }
 
-/// [`subgraph_key`] into a caller-provided buffer (cleared first), so hot
-/// loops build one key per term without allocating per call.
-pub fn subgraph_key_into(
-    key: &mut Vec<u64>,
-    fingerprint: u64,
-    members: &[NodeId],
-    next_wgt: u64,
-    buffer: &BufferConfig,
-    options: EvalOptions,
-) {
-    key.clear();
-    key.reserve(7 + members.len());
-    key.push(fingerprint);
-    push_coords(key, buffer, options);
-    key.push(next_wgt);
-    for &m in members {
-        key.push(m.index() as u64);
-    }
+/// One cached value plus its last-touched generation (updated on hits
+/// under the shard's read lock, hence atomic).
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    gen: AtomicU64,
 }
 
-/// FNV-1a over the key words — cheap, deterministic shard selection.
-fn shard_of(key: &[u64]) -> usize {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &w in key {
-        h ^= w;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    (h % SHARDS as u64) as usize
+/// One shard: the map plus the shard's sweep generation.
+#[derive(Debug)]
+struct ShardMap<V> {
+    map: HashMap<EvalKey, Slot<V>, BuildFpHasher>,
+    gen: u64,
 }
 
-/// One level of the cache: sharded map plus hit/miss counters.
+/// One level of the cache: sharded bounded map plus hit/miss/eviction
+/// counters.
 #[derive(Debug)]
 struct Level<V> {
-    shards: [RwLock<HashMap<EvalKey, V>>; SHARDS],
+    shards: [RwLock<ShardMap<V>>; SHARDS],
+    /// Entry budget per shard.
+    shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
-impl<V> Default for Level<V> {
-    fn default() -> Self {
+impl<V> Level<V> {
+    fn new(capacity: usize) -> Self {
         Self {
-            shards: Default::default(),
+            shards: std::array::from_fn(|_| {
+                RwLock::new(ShardMap {
+                    map: HashMap::default(),
+                    gen: 0,
+                })
+            }),
+            shard_capacity: (capacity / SHARDS).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap().map.len())
+            .sum()
     }
 }
 
-impl<V: Copy> Level<V> {
-    fn get(&self, key: &[u64]) -> Option<V> {
-        let found = self.shards[shard_of(key)].read().unwrap().get(key).copied();
+impl<V: Clone> Level<V> {
+    fn get(&self, key: &EvalKey) -> Option<V> {
+        let found = {
+            let shard = self.shards[key.shard()].read().unwrap();
+            shard.map.get(key).map(|slot| {
+                // Touch: mark the entry live in the current generation so
+                // the next sweep keeps it.
+                slot.gen.store(shard.gen, Ordering::Relaxed);
+                slot.value.clone()
+            })
+        };
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -163,48 +267,148 @@ impl<V: Copy> Level<V> {
     }
 
     fn insert(&self, key: EvalKey, value: V) {
-        self.shards[shard_of(&key)]
-            .write()
-            .unwrap()
-            .insert(key, value);
+        let mut shard = self.shards[key.shard()].write().unwrap();
+        let gen = shard.gen;
+        shard.map.insert(
+            key,
+            Slot {
+                value,
+                gen: AtomicU64::new(gen),
+            },
+        );
+        if shard.map.len() > self.shard_capacity {
+            // Generation sweep: evict everything not touched since the
+            // previous sweep; if the live working set alone overflows the
+            // budget, shed down to *half* the budget (not just the
+            // surplus) so the next full-shard sweep is amortized over
+            // `capacity/2` inserts instead of firing on every one.
+            let before = shard.map.len();
+            shard
+                .map
+                .retain(|_, slot| slot.gen.load(Ordering::Relaxed) >= gen);
+            if shard.map.len() > self.shard_capacity {
+                let target = (self.shard_capacity / 2).max(1);
+                let surplus = shard.map.len() - target;
+                let victims: Vec<EvalKey> = shard.map.keys().take(surplus).copied().collect();
+                for victim in &victims {
+                    shard.map.remove(victim);
+                }
+            }
+            shard.gen += 1;
+            self.evictions
+                .fetch_add((before - shard.map.len()) as u64, Ordering::Relaxed);
+        }
     }
 
-    fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
-    }
-
-    /// All entries, sorted by key so snapshots are stable and diffable.
-    fn entries(&self) -> Vec<(Vec<u64>, V)> {
-        let mut out: Vec<(Vec<u64>, V)> = Vec::with_capacity(self.len());
+    /// All entries projected through `project`, sorted by key so snapshots
+    /// are stable and diffable.
+    fn entries<T>(&self, project: impl Fn(&V) -> T) -> Vec<(EvalKey, T)> {
+        let mut out: Vec<(EvalKey, T)> = Vec::with_capacity(self.len());
         for shard in &self.shards {
-            for (k, v) in shard.read().unwrap().iter() {
-                out.push((k.to_vec(), *v));
+            for (k, slot) in shard.read().unwrap().map.iter() {
+                out.push((*k, project(&slot.value)));
             }
         }
-        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out.sort_by_key(|entry| entry.0);
         out
     }
 }
 
 /// A serializable image of both cache levels, for cross-run persistence.
 ///
-/// Entries are plain `(key words, value)` pairs sorted by key; the `f64`
-/// fields inside the values survive the JSON round-trip exactly, so a
+/// Entries are plain `(key, value)` pairs sorted by key; the `f64` fields
+/// inside the values survive the JSON round-trip exactly, so a
 /// warm-started exploration is bit-identical to a cold one — the snapshot
-/// only changes which lookups hit.
+/// only changes which lookups hit. (The in-memory memos attached to
+/// partition entries are *not* persisted: a restored entry answers with
+/// its score and no memo, exactly like a fresh roll-up hit did before
+/// memos were cached.)
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct CacheSnapshot {
     /// Snapshot format version (bumped on incompatible key changes).
     pub version: u32,
     /// Partition roll-up entries.
-    pub partition: Vec<(Vec<u64>, ScoredEval)>,
+    pub partition: Vec<(EvalKey, ScoredEval)>,
     /// Per-subgraph term entries.
-    pub subgraph: Vec<(Vec<u64>, SubgraphScore)>,
+    pub subgraph: Vec<(EvalKey, SubgraphScore)>,
 }
 
-/// Current [`CacheSnapshot::version`]; snapshots from other versions are
-/// discarded on restore (their keys would be meaningless).
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current [`CacheSnapshot::version`]. Version 1 (member-vector keys) is
+/// upgraded on load by re-deriving each key's fingerprints; other versions
+/// load as empty.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// The version-1 on-disk shape: keys were flattened `u64` sequences
+/// (`[fingerprint, buffer tag, b1, b2, cores, batch, ...members...]`).
+#[derive(Deserialize)]
+struct SnapshotV1 {
+    version: u32,
+    partition: Vec<(Vec<u64>, ScoredEval)>,
+    subgraph: Vec<(Vec<u64>, SubgraphScore)>,
+}
+
+/// Parses a v1 key's coordinate prefix; returns the trailing member words.
+fn v1_coords(words: &[u64]) -> Option<(u64, BufferConfig, EvalOptions, &[u64])> {
+    if words.len() < 6 {
+        return None;
+    }
+    let fingerprint = words[0];
+    let buffer = match words[1] {
+        0 => BufferConfig::shared(words[2]),
+        1 => BufferConfig::separate(words[2], words[3]),
+        _ => return None,
+    };
+    let cores = u32::try_from(words[4]).ok()?;
+    let batch = u32::try_from(words[5]).ok()?;
+    let options = EvalOptions::new(cores, batch).ok()?;
+    Some((fingerprint, buffer, options, &words[6..]))
+}
+
+/// Re-derives a v2 partition key from a v1 one (member groups separated by
+/// `u64::MAX`).
+fn v1_partition_key(words: &[u64]) -> Option<EvalKey> {
+    let (fingerprint, buffer, options, rest) = v1_coords(words)?;
+    let mut fps = Vec::new();
+    let mut current = NodeSetFp::EMPTY;
+    let mut members = 0usize;
+    for &w in rest {
+        if w == u64::MAX {
+            if members == 0 {
+                return None; // empty group: not a v1 writer's output
+            }
+            fps.push(current);
+            current = NodeSetFp::EMPTY;
+            members = 0;
+        } else {
+            current.insert(NodeId::from_index(usize::try_from(w).ok()?));
+            members += 1;
+        }
+    }
+    if members != 0 {
+        return None; // trailing members without a separator
+    }
+    Some(EvalKey::partition(fingerprint, fps, &buffer, options))
+}
+
+/// Re-derives a v2 subgraph key from a v1 one (`[next_wgt, ...members]`).
+fn v1_subgraph_key(words: &[u64]) -> Option<EvalKey> {
+    let (fingerprint, buffer, options, rest) = v1_coords(words)?;
+    let (&next_wgt, members) = rest.split_first()?;
+    if members.is_empty() {
+        return None;
+    }
+    let mut fp = NodeSetFp::EMPTY;
+    for &w in members {
+        fp.insert(NodeId::from_index(usize::try_from(w).ok()?));
+    }
+    Some(EvalKey::subgraph(
+        fingerprint,
+        fp,
+        next_wgt,
+        &buffer,
+        options,
+    ))
+}
 
 impl CacheSnapshot {
     /// Total entries across both levels.
@@ -218,7 +422,7 @@ impl CacheSnapshot {
     }
 
     /// Splits into the entries recorded under `fingerprint` (first) and
-    /// everything else (second). Every key leads with the evaluator
+    /// everything else (second). Every key carries the evaluator
     /// fingerprint, so this cleanly separates one `(model, accelerator)`
     /// pair's entries from a multi-model cache file — changing the
     /// accelerator configuration changes the fingerprint and thereby
@@ -230,7 +434,7 @@ impl CacheSnapshot {
         };
         let mut rest = mine.clone();
         for entry in self.partition {
-            let target = if entry.0.first() == Some(&fingerprint) {
+            let target = if entry.0.fingerprint == fingerprint {
                 &mut mine.partition
             } else {
                 &mut rest.partition
@@ -238,7 +442,7 @@ impl CacheSnapshot {
             target.push(entry);
         }
         for entry in self.subgraph {
-            let target = if entry.0.first() == Some(&fingerprint) {
+            let target = if entry.0.fingerprint == fingerprint {
                 &mut mine.subgraph
             } else {
                 &mut rest.subgraph
@@ -254,8 +458,8 @@ impl CacheSnapshot {
     pub fn merge(&mut self, other: CacheSnapshot) {
         self.partition.extend(other.partition);
         self.subgraph.extend(other.subgraph);
-        self.partition.sort_by(|a, b| a.0.cmp(&b.0));
-        self.subgraph.sort_by(|a, b| a.0.cmp(&b.0));
+        self.partition.sort_by_key(|entry| entry.0);
+        self.subgraph.sort_by_key(|entry| entry.0);
         self.partition.dedup_by(|a, b| a.0 == b.0);
         self.subgraph.dedup_by(|a, b| a.0 == b.0);
     }
@@ -289,9 +493,9 @@ impl CacheSnapshot {
         })
     }
 
-    /// Reads a snapshot from `path`. A snapshot of a different
-    /// [`SNAPSHOT_VERSION`] loads as empty (stale keys must not be
-    /// trusted).
+    /// Reads a snapshot from `path`. A version-1 snapshot is upgraded in
+    /// place (fingerprints re-derived from its member-vector keys); other
+    /// foreign versions load as empty (their keys must not be trusted).
     ///
     /// # Errors
     ///
@@ -299,54 +503,126 @@ impl CacheSnapshot {
     /// [`std::io::ErrorKind::InvalidData`].
     pub fn load(path: &Path) -> std::io::Result<CacheSnapshot> {
         let text = std::fs::read_to_string(path)?;
-        let snap: CacheSnapshot = serde_json::from_str(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        if snap.version != SNAPSHOT_VERSION {
+        let current = serde_json::from_str::<CacheSnapshot>(&text);
+        if let Ok(snap) = current {
+            if snap.version == SNAPSHOT_VERSION {
+                return Ok(snap);
+            }
             return Ok(CacheSnapshot {
                 version: SNAPSHOT_VERSION,
                 ..Default::default()
             });
         }
-        Ok(snap)
+        // Not the current shape: either a v1 document (upgrade it) or
+        // garbage (report it).
+        let v1: SnapshotV1 = serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        if v1.version != 1 {
+            return Ok(CacheSnapshot {
+                version: SNAPSHOT_VERSION,
+                ..Default::default()
+            });
+        }
+        let mut out = CacheSnapshot {
+            version: SNAPSHOT_VERSION,
+            ..Default::default()
+        };
+        for (words, value) in v1.partition {
+            if let Some(key) = v1_partition_key(&words) {
+                out.partition.push((key, value));
+            }
+        }
+        for (words, value) in v1.subgraph {
+            if let Some(key) = v1_subgraph_key(&words) {
+                out.subgraph.push((key, value));
+            }
+        }
+        out.partition.sort_by_key(|entry| entry.0);
+        out.subgraph.sort_by_key(|entry| entry.0);
+        Ok(out)
     }
 }
 
-/// The two-level sharded evaluation cache.
+/// The two-level sharded, bounded evaluation cache.
 ///
 /// Lookups take a shard read lock; inserts a shard write lock. Two workers
 /// racing on the same missing key may both compute it — the computation is
 /// deterministic, so the duplicate insert is idempotent and results never
 /// depend on the race.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EvalCache {
-    partition: Level<ScoredEval>,
+    partition: Level<(ScoredEval, Option<Arc<EvalMemo>>)>,
     subgraph: Level<SubgraphScore>,
+    /// Per-probe key-material heap allocations. The fingerprint path never
+    /// allocates to build or look up a key, so this stays 0; it exists as
+    /// a regression tripwire (asserted by the CI smoke benchmark) for any
+    /// future code path that falls back to allocating keys.
+    key_allocs: AtomicU64,
 }
 
 impl EvalCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default (generous) entry budget.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(crate::config::EngineConfig::DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Upper bound on the partition level's share of any capacity.
+    /// Partition entries are the heavy ones — each pins an [`EvalMemo`]
+    /// (O(#subgraphs) fingerprints + terms, kilobytes on large models),
+    /// where subgraph-term entries are a few dozen bytes — and partition
+    /// roll-ups also pay off only for recently re-proposed genomes, so a
+    /// moderate budget keeps their hit rate while capping memo residency
+    /// at tens of megabytes instead of letting a generous total budget
+    /// admit gigabytes of memos.
+    const PARTITION_ENTRY_CAP: usize = 1 << 14;
+
+    /// Creates an empty cache bounded to `capacity` total entries. The
+    /// subgraph-term level takes at least half; the partition level takes
+    /// the rest, additionally capped at
+    /// [`PARTITION_ENTRY_CAP`](Self::PARTITION_ENTRY_CAP) entries because
+    /// its entries carry memos (see the constant's docs). Tiny capacities
+    /// are clamped so every shard can hold at least one entry.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let partition = (capacity / 2).clamp(SHARDS, Self::PARTITION_ENTRY_CAP);
+        let subgraph = capacity.saturating_sub(partition).max(SHARDS);
+        Self {
+            partition: Level::new(partition),
+            subgraph: Level::new(subgraph),
+            key_allocs: AtomicU64::new(0),
+        }
     }
 
     /// Looks a partition roll-up key up, counting a hit or miss.
-    pub fn get(&self, key: &[u64]) -> Option<ScoredEval> {
+    pub fn get(&self, key: &EvalKey) -> Option<ScoredEval> {
+        self.get_memoized(key).map(|(scored, _)| scored)
+    }
+
+    /// Looks a partition roll-up key up, returning the score *and* the
+    /// per-subgraph memo recorded with it (if the entry was composed on
+    /// the incremental path), counting a hit or miss.
+    pub fn get_memoized(&self, key: &EvalKey) -> Option<(ScoredEval, Option<Arc<EvalMemo>>)> {
         self.partition.get(key)
     }
 
-    /// Inserts a computed partition evaluation.
+    /// Inserts a computed partition evaluation without a memo.
     pub fn insert(&self, key: EvalKey, value: ScoredEval) {
-        self.partition.insert(key, value);
+        self.insert_memoized(key, value, None);
+    }
+
+    /// Inserts a computed partition evaluation together with its
+    /// per-subgraph memo, so later hits can hand the memo to offspring.
+    pub fn insert_memoized(&self, key: EvalKey, value: ScoredEval, memo: Option<Arc<EvalMemo>>) {
+        self.partition.insert(key, (value, memo));
     }
 
     /// Looks a per-subgraph term up, counting a subgraph-level hit or miss.
-    pub fn get_subgraph(&self, key: &[u64]) -> Option<SubgraphScore> {
+    pub fn get_subgraph(&self, key: &EvalKey) -> Option<SubgraphScore> {
         self.subgraph.get(key)
     }
 
     /// Inserts a computed per-subgraph term.
-    pub fn insert_subgraph(&self, key: Vec<u64>, value: SubgraphScore) {
-        self.subgraph.insert(key.into_boxed_slice(), value);
+    pub fn insert_subgraph(&self, key: EvalKey, value: SubgraphScore) {
+        self.subgraph.insert(key, value);
     }
 
     /// Distinct cached evaluations across both levels.
@@ -389,12 +665,34 @@ impl EvalCache {
         self.subgraph.misses.load(Ordering::Relaxed)
     }
 
-    /// A serializable image of both levels (entries sorted by key).
+    /// Partition-level entries evicted by generation sweeps.
+    pub fn evictions(&self) -> u64 {
+        self.partition.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Subgraph-level entries evicted by generation sweeps.
+    pub fn subgraph_evictions(&self) -> u64 {
+        self.subgraph.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Per-probe key-material allocations (see the field docs; always 0 on
+    /// the fingerprint path).
+    pub fn key_allocs(&self) -> u64 {
+        self.key_allocs.load(Ordering::Relaxed)
+    }
+
+    /// Records a per-probe key allocation (tripwire; no current caller).
+    pub fn record_key_alloc(&self) {
+        self.key_allocs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A serializable image of both levels (entries sorted by key; memos
+    /// are process-local and not persisted).
     pub fn snapshot(&self) -> CacheSnapshot {
         CacheSnapshot {
             version: SNAPSHOT_VERSION,
-            partition: self.partition.entries(),
-            subgraph: self.subgraph.entries(),
+            partition: self.partition.entries(|(scored, _)| *scored),
+            subgraph: self.subgraph.entries(|term| *term),
         }
     }
 
@@ -405,11 +703,10 @@ impl EvalCache {
             return;
         }
         for (key, value) in &snapshot.partition {
-            self.partition
-                .insert(key.clone().into_boxed_slice(), *value);
+            self.partition.insert(*key, (*value, None));
         }
         for (key, value) in &snapshot.subgraph {
-            self.subgraph.insert(key.clone().into_boxed_slice(), *value);
+            self.subgraph.insert(*key, *value);
         }
     }
 
@@ -431,6 +728,12 @@ impl EvalCache {
         let snap = CacheSnapshot::load(path)?;
         self.restore(&snap);
         Ok(snap.len())
+    }
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -472,6 +775,13 @@ mod tests {
         let c = eval_key(7, &sg(&[&[2], &[0, 1]]), &buf, opt);
         assert_ne!(a, b, "boundary placement must matter");
         assert_ne!(a, c, "subgraph order must matter");
+        // Member order inside one subgraph is canonical by construction:
+        // the fingerprint is order-independent, so permuted listings of
+        // the same set share a key.
+        assert_eq!(
+            eval_key(7, &sg(&[&[0, 1], &[2]]), &buf, opt),
+            eval_key(7, &sg(&[&[1, 0], &[2]]), &buf, opt)
+        );
     }
 
     #[test]
@@ -483,6 +793,8 @@ mod tests {
         let a = eval_key(1, &sg(&[&[0, 1]]), &buf, opt);
         let b = eval_key(2, &sg(&[&[0, 1]]), &buf, opt);
         assert_ne!(a, b, "evaluator identity must be part of the key");
+        assert_eq!(a.fingerprint, 1, "the raw fingerprint rides along");
+        assert_eq!(b.fingerprint, 2);
     }
 
     #[test]
@@ -557,7 +869,7 @@ mod tests {
             EvalOptions::default(),
         );
         assert!(cache.get(&key).is_none());
-        cache.insert(key.clone(), scored(7));
+        cache.insert(key, scored(7));
         assert_eq!(cache.get(&key).unwrap().ema_bytes, 7);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
@@ -572,12 +884,67 @@ mod tests {
             Default::default(),
         );
         assert!(cache.get_subgraph(&skey).is_none());
-        cache.insert_subgraph(skey.clone(), term(3));
+        cache.insert_subgraph(skey, term(3));
         assert_eq!(cache.get_subgraph(&skey).unwrap().ema_bytes, 3);
         assert_eq!(cache.subgraph_hits(), 1);
         assert_eq!(cache.subgraph_misses(), 1);
         assert_eq!(cache.subgraph_entries(), 1);
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.key_allocs(), 0);
+    }
+
+    #[test]
+    fn capacity_bounds_entries_with_generation_sweeps() {
+        // 64 total -> 32 per level -> 2 per shard; flooding one level far
+        // past the budget must stay bounded and count evictions.
+        let cache = EvalCache::with_capacity(64);
+        let buf = BufferConfig::shared(64);
+        for i in 0..4096usize {
+            cache.insert_subgraph(
+                subgraph_key(7, &[NodeId::from_index(i)], 0, &buf, Default::default()),
+                term(i as u64),
+            );
+        }
+        assert!(
+            cache.subgraph_entries() <= 32,
+            "level exceeded its budget: {}",
+            cache.subgraph_entries()
+        );
+        assert!(cache.subgraph_evictions() > 0);
+        // A hot entry that is touched between sweeps survives them.
+        let hot = subgraph_key(7, &[NodeId::from_index(9999)], 0, &buf, Default::default());
+        cache.insert_subgraph(hot, term(1));
+        for i in 0..512usize {
+            assert!(
+                cache.get_subgraph(&hot).is_some(),
+                "hot entry evicted at {i}"
+            );
+            cache.insert_subgraph(
+                subgraph_key(
+                    7,
+                    &[NodeId::from_index(100_000 + i)],
+                    0,
+                    &buf,
+                    Default::default(),
+                ),
+                term(2),
+            );
+        }
+    }
+
+    #[test]
+    fn memo_rides_along_partition_entries() {
+        let cache = EvalCache::new();
+        let key = eval_key(
+            7,
+            &sg(&[&[0, 1]]),
+            &BufferConfig::shared(64),
+            EvalOptions::default(),
+        );
+        cache.insert_memoized(key, scored(5), None);
+        let (value, memo) = cache.get_memoized(&key).unwrap();
+        assert_eq!(value, scored(5));
+        assert!(memo.is_none());
     }
 
     #[test]
@@ -589,7 +956,7 @@ mod tests {
             &BufferConfig::shared(64),
             EvalOptions::default(),
         );
-        cache.insert(pkey.clone(), scored(11));
+        cache.insert(pkey, scored(11));
         let members = [NodeId::from_index(0)];
         let skey = subgraph_key(
             7,
@@ -598,7 +965,7 @@ mod tests {
             &BufferConfig::shared(64),
             Default::default(),
         );
-        cache.insert_subgraph(skey.clone(), term(13));
+        cache.insert_subgraph(skey, term(13));
 
         let snap = cache.snapshot();
         assert_eq!(snap.len(), 2);
@@ -636,8 +1003,8 @@ mod tests {
         let (mine, rest) = cache.snapshot().split_fingerprint(1);
         assert_eq!(mine.len(), 2);
         assert_eq!(rest.len(), 2);
-        assert!(mine.partition.iter().all(|(k, _)| k[0] == 1));
-        assert!(rest.partition.iter().all(|(k, _)| k[0] == 2));
+        assert!(mine.partition.iter().all(|(k, _)| k.fingerprint == 1));
+        assert!(rest.partition.iter().all(|(k, _)| k.fingerprint == 2));
         let mut merged = mine.clone();
         merged.merge(rest);
         assert_eq!(merged.len(), 4);
@@ -688,11 +1055,61 @@ mod tests {
         // Unknown versions load as empty.
         let stale = CacheSnapshot {
             version: SNAPSHOT_VERSION + 1,
-            partition: vec![(vec![1, 2], scored(1))],
+            partition: vec![(
+                EvalKey {
+                    fingerprint: 1,
+                    lo: 2,
+                    hi: 3,
+                },
+                scored(1),
+            )],
             subgraph: Vec::new(),
         };
         stale.save(&path).unwrap();
         assert!(CacheSnapshot::load(&path).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_snapshots_upgrade_with_rederived_fingerprints() {
+        // A hand-written v1 document (flattened u64 keys, exactly the PR 3
+        // writer's layout) must load with keys equal to the ones the new
+        // constructors produce for the same coordinates.
+        let dir = std::env::temp_dir().join(format!("cocco-cache-v1-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1.json");
+        let buffer = BufferConfig::shared(1 << 20);
+        let options = EvalOptions::default();
+        let max = u64::MAX;
+        // Partition key: fp=9, shared(1MiB), cores=1, batch=1,
+        // subgraphs {0,1} {2}; subgraph key: same coords, next_wgt=77,
+        // members {2}.
+        let text = format!(
+            concat!(
+                "{{\"version\":1,",
+                "\"partition\":[[[9,0,{total},0,1,1,0,1,{max},2,{max}],",
+                "{{\"ema_bytes\":21,\"energy_pj\":21.0,\"buffer_bytes\":1,",
+                "\"fits\":true,\"error\":false}}]],",
+                "\"subgraph\":[[[9,0,{total},0,1,1,77,2],",
+                "{{\"ema_bytes\":5,\"energy_pj\":2.5,\"fits\":true}}]]}}"
+            ),
+            total = 1u64 << 20,
+            max = max,
+        );
+        std::fs::write(&path, text).unwrap();
+        let snap = CacheSnapshot::load(&path).unwrap();
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+        assert_eq!(snap.len(), 2);
+        let expected_pkey = eval_key(9, &sg(&[&[0, 1], &[2]]), &buffer, options);
+        let expected_skey = subgraph_key(9, &[NodeId::from_index(2)], 77, &buffer, options);
+        assert_eq!(snap.partition[0].0, expected_pkey);
+        assert_eq!(snap.partition[0].1, scored(21));
+        assert_eq!(snap.subgraph[0].0, expected_skey);
+        // Restoring serves hits under the re-derived keys.
+        let cache = EvalCache::new();
+        cache.restore(&snap);
+        assert_eq!(cache.get(&expected_pkey).unwrap(), scored(21));
+        assert_eq!(cache.get_subgraph(&expected_skey).unwrap().ema_bytes, 5);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -718,7 +1135,7 @@ mod tests {
                     if let Some(v) = cache.get(key) {
                         assert_eq!(v.ema_bytes, i as u64, "thread {t}");
                     } else {
-                        cache.insert(key.clone(), scored(i as u64));
+                        cache.insert(*key, scored(i as u64));
                     }
                 }
             }));

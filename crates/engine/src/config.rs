@@ -1,4 +1,5 @@
-//! Engine configuration: worker-thread policy.
+//! Engine configuration: worker-thread policy, pool lifecycle, incremental
+//! evaluation and cache bounding.
 
 use serde::{Deserialize, Serialize};
 
@@ -12,21 +13,42 @@ pub enum ThreadCount {
     Fixed(u32),
 }
 
+/// Worker-pool lifecycle policy. Results are bit-identical either way —
+/// workers claim batch indices from a shared counter and the caller stores
+/// results per index, so the mode is purely a wall-clock knob.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolMode {
+    /// Threads live for the whole engine lifetime (spawned lazily on the
+    /// first parallel batch, joined on drop) and batches are fed through a
+    /// channel — no spawn/join syscalls on the per-generation hot path.
+    /// The default.
+    Persistent,
+    /// One `std::thread::scope` spawn per batch — the reference
+    /// implementation the persistent pool is benchmarked and
+    /// determinism-tested against.
+    Scoped,
+}
+
 /// Configuration of the evaluation engine.
 ///
-/// Results are **identical at any thread count** — the engine assigns
-/// budget samples and records trace points in input order regardless of
-/// which worker scores which genome — so the thread policy is purely a
-/// wall-clock knob.
+/// Results are **identical at any thread count, pool mode and cache
+/// capacity** — the engine assigns budget samples and records trace points
+/// in input order regardless of which worker scores which genome, and
+/// evicted cache entries are recomputed to bit-identical values — so every
+/// knob here is purely about wall-clock and memory.
 ///
 /// # Examples
 ///
 /// ```
-/// use cocco_engine::EngineConfig;
+/// use cocco_engine::{EngineConfig, PoolMode};
 ///
 /// assert_eq!(EngineConfig::serial().resolved_threads(), 1);
 /// assert_eq!(EngineConfig::with_threads(4).resolved_threads(), 4);
 /// assert!(EngineConfig::auto().resolved_threads() >= 1);
+/// let scoped = EngineConfig::with_threads(4).with_pool(PoolMode::Scoped);
+/// assert_eq!(scoped.pool, PoolMode::Scoped);
+/// let bounded = EngineConfig::auto().with_cache_capacity(10_000);
+/// assert_eq!(bounded.cache_capacity, 10_000);
 /// ```
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -39,6 +61,16 @@ pub struct EngineConfig {
     /// property-tested against). Results are **bit-identical** either way;
     /// this is purely a wall-clock/bookkeeping knob.
     pub incremental: bool,
+    /// Worker-pool lifecycle ([`PoolMode::Persistent`] by default).
+    pub pool: PoolMode,
+    /// Upper bound on cached evaluation entries across the two cache
+    /// levels (the memo-carrying partition level's share is additionally
+    /// capped — see `EvalCache::with_capacity`). When a level fills up, a
+    /// generation sweep evicts the entries not touched since the previous
+    /// sweep (evictions are counted in `EngineStats`). Defaults to
+    /// [`DEFAULT_CACHE_CAPACITY`](Self::DEFAULT_CACHE_CAPACITY) — generous
+    /// enough that ordinary explorations never evict.
+    pub cache_capacity: usize,
 }
 
 impl EngineConfig {
@@ -47,11 +79,17 @@ impl EngineConfig {
     /// scheduling overhead.
     pub const AUTO_CAP: usize = 8;
 
+    /// Default [`cache_capacity`](Self::cache_capacity): one million
+    /// entries, far above what a 50k-sample exploration produces.
+    pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
+
     /// Auto-detected thread count.
     pub fn auto() -> Self {
         Self {
             threads: ThreadCount::Auto,
             incremental: true,
+            pool: PoolMode::Persistent,
+            cache_capacity: Self::DEFAULT_CACHE_CAPACITY,
         }
     }
 
@@ -64,7 +102,7 @@ impl EngineConfig {
     pub fn with_threads(threads: u32) -> Self {
         Self {
             threads: ThreadCount::Fixed(threads.max(1)),
-            incremental: true,
+            ..Self::auto()
         }
     }
 
@@ -75,6 +113,21 @@ impl EngineConfig {
     /// re-scoring differs.
     pub fn without_incremental(mut self) -> Self {
         self.incremental = false;
+        self
+    }
+
+    /// Selects the worker-pool lifecycle (wall-clock only; results are
+    /// bit-identical across modes).
+    pub fn with_pool(mut self, pool: PoolMode) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Bounds the evaluation cache to `capacity` total entries (clamped to
+    /// a small minimum so the sharded levels stay functional). Evictions
+    /// never change results — evicted entries are recomputed bit-identical.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
         self
     }
 
@@ -117,6 +170,29 @@ mod tests {
     }
 
     #[test]
+    fn pool_defaults_persistent_and_toggles() {
+        assert_eq!(EngineConfig::auto().pool, PoolMode::Persistent);
+        assert_eq!(
+            EngineConfig::with_threads(4)
+                .with_pool(PoolMode::Scoped)
+                .pool,
+            PoolMode::Scoped
+        );
+    }
+
+    #[test]
+    fn cache_capacity_defaults_generous() {
+        assert_eq!(
+            EngineConfig::auto().cache_capacity,
+            EngineConfig::DEFAULT_CACHE_CAPACITY
+        );
+        assert_eq!(
+            EngineConfig::auto().with_cache_capacity(64).cache_capacity,
+            64
+        );
+    }
+
+    #[test]
     fn auto_is_positive_and_capped() {
         let n = EngineConfig::auto().resolved_threads();
         assert!(n >= 1);
@@ -131,6 +207,8 @@ mod tests {
             EngineConfig::serial(),
             EngineConfig::with_threads(6),
             EngineConfig::with_threads(2).without_incremental(),
+            EngineConfig::with_threads(3).with_pool(PoolMode::Scoped),
+            EngineConfig::auto().with_cache_capacity(12_345),
         ] {
             let back = EngineConfig::from_value(&config.to_value()).unwrap();
             assert_eq!(back, config);

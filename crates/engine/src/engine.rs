@@ -9,11 +9,19 @@
 //! All three paths (full evaluator, cached composition, memo reuse) are
 //! bit-identical by construction: `Evaluator::eval_subgraph` is a pure
 //! function and the roll-up is an in-order fold.
+//!
+//! Cache identity is carried by precomputed 128-bit subgraph fingerprints
+//! ([`PartitionFingerprints`]): a memo stores the fingerprints of the
+//! partition it scored, and scoring a mutated offspring re-fingerprints
+//! only the dirty subgraphs — clean ones copy their fingerprint through a
+//! stable member node in O(1). No evaluation path allocates a key or walks
+//! a member vector to probe the cache.
 
-use crate::cache::{eval_key, subgraph_key, subgraph_key_into, EvalCache};
+use crate::cache::{EvalCache, EvalKey};
 use crate::config::EngineConfig;
 use crate::pool::EnginePool;
-use cocco_graph::NodeId;
+use cocco_graph::{BuildFpHasher, NodeId, NodeSetFp};
+use cocco_partition::PartitionFingerprints;
 use cocco_sim::{BufferConfig, CostMetric, EvalOptions, Evaluator, SubgraphStats};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -102,27 +110,46 @@ struct MemoEntry {
 }
 
 /// The per-subgraph breakdown of one scored partition, kept by searchers
-/// so that scoring a *mutated* copy of the genome re-derives only the
-/// subgraphs the mutation (and its repair) touched.
+/// (and stored with partition-level cache entries) so that scoring a
+/// *mutated* copy of the genome re-derives only the subgraphs the mutation
+/// (and its repair) touched.
 ///
 /// A memo is pinned to its `(evaluator fingerprint, buffer, options)`
 /// coordinates; [`Engine::score_delta`] silently falls back to the full
 /// composition path when they do not match (e.g. after a DSE mutation
-/// changed the buffer), so a stale memo can cost time but never
-/// correctness. Reuse of an individual term additionally requires the
-/// term's recorded `next_wgt` to equal the new successor's weight
-/// footprint — the one cross-subgraph coupling of the cost model.
+/// changed the buffer), so a memo recorded under *different coordinates*
+/// can cost time but never correctness. Reuse of an individual term
+/// additionally requires the term's recorded `next_wgt` to equal the new
+/// successor's weight footprint — the one cross-subgraph coupling of the
+/// cost model. The memo also carries the scored partition's
+/// [`PartitionFingerprints`], the incremental state offspring
+/// fingerprints are refreshed from.
+///
+/// The `dirty` flags handed to [`Engine::score_delta`], by contrast, are
+/// a **trusted input**: a subgraph wrongly marked clean would copy a
+/// stale fingerprint and thereby a stale cached score. Every in-tree
+/// delta producer upholds the member-set invariant documented on
+/// [`PartitionDelta`](cocco_partition::PartitionDelta) (mutation
+/// operators and repair mark whole changed subgraphs; crossover diffs
+/// fingerprints via `PartitionFingerprints::delta_against`), debug builds
+/// assert each copied fingerprint against a from-scratch recomputation,
+/// and the property suite walks random mutation/repair sequences — but a
+/// new operator that under-reports dirt would be a correctness bug in
+/// release builds, not a slowdown.
 #[derive(Debug)]
 pub struct EvalMemo {
     fingerprint: u64,
     buffer: BufferConfig,
     options: EvalOptions,
-    keys: Vec<Box<[u32]>>,
+    /// Subgraph fingerprints of the scored partition (by position and by
+    /// anchor node — the latter is what offspring copy clean fingerprints
+    /// from).
+    fps: PartitionFingerprints,
     entries: Vec<MemoEntry>,
-    /// Member indices → position in `entries`; built lazily on the first
-    /// lookup, because most scored genomes never become parents and their
-    /// memos are never consulted.
-    index: std::sync::OnceLock<HashMap<Box<[u32]>, u32>>,
+    /// Subgraph fingerprint → position in `entries`; built lazily on the
+    /// first lookup, because most scored genomes never become parents and
+    /// their memos are never consulted.
+    index: std::sync::OnceLock<HashMap<NodeSetFp, u32, BuildFpHasher>>,
 }
 
 impl EvalMemo {
@@ -130,14 +157,14 @@ impl EvalMemo {
         fingerprint: u64,
         buffer: BufferConfig,
         options: EvalOptions,
-        keys: Vec<Box<[u32]>>,
+        fps: PartitionFingerprints,
         entries: Vec<MemoEntry>,
     ) -> Self {
         Self {
             fingerprint,
             buffer,
             options,
-            keys,
+            fps,
             entries,
             index: std::sync::OnceLock::new(),
         }
@@ -147,15 +174,21 @@ impl EvalMemo {
         self.fingerprint == fingerprint && self.buffer == *buffer && self.options == options
     }
 
-    fn lookup(&self, members: &[u32]) -> Option<&MemoEntry> {
+    fn lookup(&self, fp: NodeSetFp) -> Option<&MemoEntry> {
         let index = self.index.get_or_init(|| {
-            self.keys
+            self.fps
+                .positions()
                 .iter()
                 .enumerate()
-                .map(|(i, k)| (k.clone(), i as u32))
+                .map(|(i, &fp)| (fp, i as u32))
                 .collect()
         });
-        index.get(members).map(|&i| &self.entries[i as usize])
+        index.get(&fp).map(|&i| &self.entries[i as usize])
+    }
+
+    /// The scored partition's subgraph fingerprints.
+    pub fn fingerprints(&self) -> &PartitionFingerprints {
+        &self.fps
     }
 
     /// Number of memoized subgraph terms.
@@ -180,6 +213,8 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Distinct cached partition roll-ups at snapshot time.
     pub cache_entries: u64,
+    /// Partition roll-up entries evicted by generation sweeps.
+    pub cache_evictions: u64,
     /// Full per-subgraph scorings: `eval_subgraph` terms computed fresh
     /// (on the non-incremental path, every subgraph of every computed
     /// partition counts here).
@@ -191,6 +226,11 @@ pub struct EngineStats {
     pub subgraph_reused: u64,
     /// Distinct cached subgraph terms at snapshot time.
     pub subgraph_entries: u64,
+    /// Subgraph term entries evicted by generation sweeps.
+    pub subgraph_evictions: u64,
+    /// Per-probe key-material heap allocations — 0 on the fingerprint
+    /// path; a regression tripwire asserted by the CI smoke benchmark.
+    pub key_allocs: u64,
     /// Wall-clock milliseconds spent inside batch evaluation.
     pub wall_ms: f64,
 }
@@ -220,6 +260,11 @@ impl EngineStats {
         } else {
             (self.subgraph_hits + self.subgraph_reused) as f64 / requests as f64
         }
+    }
+
+    /// Total entries evicted across both cache levels.
+    pub fn evictions(&self) -> u64 {
+        self.cache_evictions + self.subgraph_evictions
     }
 }
 
@@ -260,12 +305,13 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Creates an engine with the given thread policy and an empty cache.
+    /// Creates an engine with the given thread/pool/cache policy and an
+    /// empty cache.
     pub fn new(config: EngineConfig) -> Self {
         Self {
             config,
             pool: EnginePool::new(&config),
-            cache: EvalCache::new(),
+            cache: EvalCache::with_capacity(config.cache_capacity),
             wall_nanos: AtomicU64::new(0),
             reused: AtomicU64::new(0),
             bulk_scorings: AtomicU64::new(0),
@@ -304,10 +350,10 @@ impl Engine {
     }
 
     /// Like [`score`](Self::score), but also returns the per-subgraph
-    /// [`EvalMemo`] when the partition was composed this call (`None` on a
-    /// roll-up cache hit or on the non-incremental path). Searchers keep
-    /// the memo with the genome and hand it back via
-    /// [`score_delta`](Self::score_delta) when scoring mutated offspring.
+    /// [`EvalMemo`]. Roll-up cache hits hand back the memo stored with the
+    /// entry, so even a genome whose score came straight from the cache
+    /// seeds its offspring's incremental hints (`None` only on the
+    /// non-incremental path or for entries restored from a snapshot).
     pub fn score_composed(
         &self,
         evaluator: &Evaluator<'_>,
@@ -325,9 +371,15 @@ impl Engine {
     /// Clean subgraphs reuse their memoized term directly — provided the
     /// recorded `next_wgt` still matches the new successor, which the
     /// engine verifies itself — so the evaluator-facing work is
-    /// `O(|dirty|)` instead of `O(|partition|)`. Falls back to the full
+    /// `O(|dirty|)` instead of `O(|partition|)`, and only dirty subgraphs
+    /// are re-fingerprinted for the cache keys. Falls back to the full
     /// composition path (bit-identical results) when the memo's
     /// coordinates do not match or `dirty` is misaligned.
+    ///
+    /// `dirty` must satisfy the member-set invariant documented on
+    /// [`PartitionDelta`](cocco_partition::PartitionDelta): a subgraph
+    /// containing no dirty node must have exactly the member set it had in
+    /// the memo's partition (debug builds assert this).
     pub fn score_delta(
         &self,
         evaluator: &Evaluator<'_>,
@@ -358,10 +410,11 @@ impl Engine {
         if members.is_empty() {
             return ScoredEval::errored(buffer);
         }
-        let key = subgraph_key(evaluator.fingerprint(), members, 0, buffer, options);
+        let fp = NodeSetFp::of_members(members);
+        let key = EvalKey::subgraph(evaluator.fingerprint(), fp, 0, buffer, options);
         let term = match self.cache.get_subgraph(&key) {
             Some(term) => term,
-            None => match evaluator.subgraph_stats(members) {
+            None => match evaluator.subgraph_stats_keyed(fp, members) {
                 Ok(stats) => {
                     let term = self.compute_term(evaluator, &stats, 0, buffer, options);
                     self.cache.insert_subgraph(key, term);
@@ -387,12 +440,26 @@ impl Engine {
         options: EvalOptions,
         reuse: Option<(&EvalMemo, &[bool])>,
     ) -> (ScoredEval, Option<Arc<EvalMemo>>) {
-        let key = eval_key(evaluator.fingerprint(), subgraphs, buffer, options);
-        if let Some(cached) = self.cache.get(&key) {
-            return (cached, None);
+        // Subgraph fingerprints: clean positions copy the memo's
+        // incrementally maintained fingerprint in O(1); dirty (or
+        // memo-less) positions re-fingerprint from their members. This is
+        // the only place key material is derived — everything downstream
+        // folds these fixed-size values.
+        let fps = match reuse {
+            Some((memo, dirty)) => memo.fps.refresh_positions(subgraphs, dirty),
+            None => PartitionFingerprints::from_subgraphs(subgraphs),
+        };
+        let key = EvalKey::partition(
+            evaluator.fingerprint(),
+            fps.positions().iter().copied(),
+            buffer,
+            options,
+        );
+        if let Some((cached, memo)) = self.cache.get_memoized(&key) {
+            return (cached, memo);
         }
         let (scored, memo) = if self.config.incremental {
-            self.compose(evaluator, subgraphs, buffer, options, reuse)
+            self.compose(evaluator, subgraphs, fps, buffer, options, reuse)
         } else {
             let scored = match evaluator.eval_partition(subgraphs, buffer, options) {
                 Ok(report) => {
@@ -410,7 +477,7 @@ impl Engine {
             };
             (scored, None)
         };
-        self.cache.insert(key, scored);
+        self.cache.insert_memoized(key, scored, memo.clone());
         (scored, memo)
     }
 
@@ -440,6 +507,7 @@ impl Engine {
         &self,
         evaluator: &Evaluator<'_>,
         subgraphs: &[Vec<NodeId>],
+        fps: PartitionFingerprints,
         buffer: &BufferConfig,
         options: EvalOptions,
         reuse: Option<(&EvalMemo, &[bool])>,
@@ -448,14 +516,11 @@ impl Engine {
             return (ScoredEval::errored(buffer), None);
         }
         let n = subgraphs.len();
-        let keys: Vec<Box<[u32]>> = subgraphs
-            .iter()
-            .map(|m| m.iter().map(|id| id.index() as u32).collect())
-            .collect();
-        // Memoized entry per clean position (members present in the memo).
+        // Memoized entry per clean position (fingerprint present in the
+        // memo).
         let entries: Vec<Option<&MemoEntry>> = (0..n)
             .map(|i| match reuse {
-                Some((memo, dirty)) if !dirty[i] => memo.lookup(&keys[i]),
+                Some((memo, dirty)) if !dirty[i] => memo.lookup(fps.positions()[i]),
                 _ => None,
             })
             .collect();
@@ -466,7 +531,7 @@ impl Engine {
         for i in 0..n {
             match entries[i] {
                 Some(entry) => wgts.push(entry.wgt_bytes),
-                None => match evaluator.subgraph_stats(&subgraphs[i]) {
+                None => match evaluator.subgraph_stats_keyed(fps.positions()[i], &subgraphs[i]) {
                     Ok(stats) => {
                         wgts.push(stats.ema_wgt_bytes);
                         stats_of[i] = Some(stats);
@@ -479,7 +544,6 @@ impl Engine {
         let mut energy_pj: f64 = 0.0;
         let mut fits = true;
         let mut memo_entries = Vec::with_capacity(n);
-        let mut key: Vec<u64> = Vec::new(); // reused across terms
         for i in 0..n {
             let next_wgt = if i + 1 < n { wgts[i + 1] } else { 0 };
             let score = match entries[i] {
@@ -488,10 +552,9 @@ impl Engine {
                     entry.score
                 }
                 _ => {
-                    subgraph_key_into(
-                        &mut key,
+                    let key = EvalKey::subgraph(
                         evaluator.fingerprint(),
-                        &subgraphs[i],
+                        fps.positions()[i],
                         next_wgt,
                         buffer,
                         options,
@@ -504,14 +567,16 @@ impl Engine {
                                 // A clean entry whose next_wgt changed: its
                                 // statistics were computed before, so this
                                 // is an evaluator-cache hit.
-                                None => match evaluator.subgraph_stats(&subgraphs[i]) {
+                                None => match evaluator
+                                    .subgraph_stats_keyed(fps.positions()[i], &subgraphs[i])
+                                {
                                     Ok(stats) => stats,
                                     Err(_) => return (ScoredEval::errored(buffer), None),
                                 },
                             };
                             let term =
                                 self.compute_term(evaluator, &stats, next_wgt, buffer, options);
-                            self.cache.insert_subgraph(key.clone(), term);
+                            self.cache.insert_subgraph(key, term);
                             term
                         }
                     }
@@ -533,13 +598,7 @@ impl Engine {
             fits,
             error: false,
         };
-        let memo = EvalMemo::new(
-            evaluator.fingerprint(),
-            *buffer,
-            options,
-            keys,
-            memo_entries,
-        );
+        let memo = EvalMemo::new(evaluator.fingerprint(), *buffer, options, fps, memo_entries);
         (scored, Some(Arc::new(memo)))
     }
 
@@ -558,11 +617,14 @@ impl Engine {
             evals: hits + misses,
             cache_hits: hits,
             cache_entries: self.cache.partition_entries() as u64,
+            cache_evictions: self.cache.evictions(),
             subgraph_scorings: self.cache.subgraph_misses()
                 + self.bulk_scorings.load(Ordering::Relaxed),
             subgraph_hits: self.cache.subgraph_hits(),
             subgraph_reused: self.reused.load(Ordering::Relaxed),
             subgraph_entries: self.cache.subgraph_entries() as u64,
+            subgraph_evictions: self.cache.subgraph_evictions(),
+            key_allocs: self.cache.key_allocs(),
             wall_ms: self.wall_nanos.load(Ordering::Relaxed) as f64 / 1e6,
         }
     }
@@ -659,6 +721,7 @@ mod tests {
         assert_eq!(inc.ema_bytes, direct.ema_bytes);
         assert_eq!(inc.energy_pj, direct.energy_pj);
         assert_eq!(inc.fits, direct.fits);
+        assert_eq!(after.key_allocs, 0, "the delta path must not build keys");
     }
 
     #[test]
@@ -678,6 +741,31 @@ mod tests {
         let direct = eval.eval_partition(&subgraphs, &big, options).unwrap();
         assert_eq!(scored.energy_pj, direct.energy_pj);
         assert_eq!(engine.stats().subgraph_reused, 0);
+    }
+
+    #[test]
+    fn roll_up_hits_hand_back_memos() {
+        // The memo-on-hit path: a genome whose score comes from the
+        // partition cache still receives the breakdown recorded with the
+        // entry, so its offspring can take the delta path.
+        let g = cocco_graph::models::chain(5);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let engine = Engine::new(EngineConfig::serial());
+        let buffer = BufferConfig::shared(1 << 20);
+        let options = EvalOptions::default();
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        let parts: Vec<Vec<NodeId>> = ids.chunks(2).map(|c| c.to_vec()).collect();
+        let (first, first_memo) = engine.score_composed(&eval, &parts, &buffer, options);
+        assert!(first_memo.is_some());
+        let (second, second_memo) = engine.score_composed(&eval, &parts, &buffer, options);
+        assert_eq!(first, second);
+        assert_eq!(engine.stats().cache_hits, 1);
+        let memo = second_memo.expect("roll-up hit must hand back the stored memo");
+        assert_eq!(memo.len(), parts.len());
+        // And the handed-back memo drives a working delta path.
+        let dirty = vec![false; parts.len()];
+        let (third, _) = engine.score_delta(&eval, &parts, &buffer, options, &memo, &dirty);
+        assert_eq!(third, first);
     }
 
     #[test]
@@ -739,8 +827,42 @@ mod tests {
         assert_eq!(stats.cache_entries, 1);
         assert_eq!(stats.subgraph_scorings, 1);
         assert_eq!(stats.subgraph_entries, 1);
+        assert_eq!(stats.cache_evictions, 0);
+        assert_eq!(stats.subgraph_evictions, 0);
+        assert_eq!(stats.key_allocs, 0);
         assert!(stats.wall_ms >= 2.0);
         assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_but_stays_exact() {
+        let g = cocco_graph::models::googlenet();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        // A tiny budget forces sweeps while scoring many distinct
+        // partitions; every re-score after an eviction must still be
+        // bit-identical to an unbounded engine's answer.
+        let bounded = Engine::new(EngineConfig::serial().with_cache_capacity(64));
+        let unbounded = Engine::new(EngineConfig::serial());
+        let buffer = BufferConfig::shared(1 << 20);
+        for l in 1..=12usize {
+            let p = cocco_partition::repair(
+                &g,
+                cocco_partition::Partition::depth_groups(&g, l),
+                &|_| true,
+            );
+            let subgraphs = p.subgraphs();
+            let a = bounded.score(&eval, &subgraphs, &buffer, EvalOptions::default());
+            let b = unbounded.score(&eval, &subgraphs, &buffer, EvalOptions::default());
+            assert_eq!(a, b, "L={l}");
+        }
+        let stats = bounded.stats();
+        assert!(
+            stats.subgraph_entries + stats.cache_entries <= 64,
+            "entry budget exceeded: {} roll-ups + {} terms",
+            stats.cache_entries,
+            stats.subgraph_entries
+        );
+        assert!(stats.evictions() > 0, "the tiny budget must have evicted");
     }
 
     #[test]

@@ -6,14 +6,21 @@
 //! parallel at the batch level. This crate factors that hot path out of the
 //! individual searchers into one engine:
 //!
-//! * [`EnginePool`] — a scoped `std::thread` worker pool
-//!   ([`EngineConfig`]: `auto` or a fixed count; `1` ⇒ fully serial);
-//! * [`EvalCache`] — a sharded **two-level** memoization cache:
+//! * [`EnginePool`] — a worker pool with a **persistent** thread set (the
+//!   default: spawned lazily, channel-fed, joined on drop) or per-batch
+//!   scoped spawns ([`EngineConfig`]: `auto` or a fixed count; `1` ⇒ fully
+//!   serial; [`PoolMode`] selects the lifecycle);
+//! * [`EvalCache`] — a sharded, **bounded** two-level memoization cache:
 //!   per-subgraph terms ([`SubgraphScore`], keyed by
 //!   `(evaluator fingerprint, members, next_wgt, buffer, options)`) below
-//!   whole-partition roll-ups ([`ScoredEval`]), objective-agnostic so one
-//!   entry serves Formula 1 and Formula 2 searches alike, and persistable
-//!   across runs via [`CacheSnapshot`];
+//!   whole-partition roll-ups ([`ScoredEval`] plus the entry's
+//!   [`EvalMemo`], so even cache *hits* hand a breakdown to offspring).
+//!   Keys are fixed-size [`EvalKey`] fingerprints folded from precomputed
+//!   128-bit subgraph content hashes — no per-probe allocation or member
+//!   re-hashing — the cache is objective-agnostic so one entry serves
+//!   Formula 1 and Formula 2 searches alike, growth is bounded by a
+//!   generation-sweep eviction policy (`EngineConfig::cache_capacity`),
+//!   and both levels persist across runs via [`CacheSnapshot`];
 //! * [`Engine`] — pool + cache + [`EngineStats`], the object a search
 //!   context shares across threads, with a subgraph-granular delta path
 //!   ([`Engine::score_delta`] + [`EvalMemo`]) that re-scores only the
@@ -60,7 +67,7 @@ mod trace;
 
 pub use budget::SampleBudget;
 pub use cache::{eval_key, subgraph_key, CacheSnapshot, EvalCache, EvalKey, SNAPSHOT_VERSION};
-pub use config::{EngineConfig, ThreadCount};
+pub use config::{EngineConfig, PoolMode, ThreadCount};
 pub use engine::{Engine, EngineStats, EvalMemo, ScoredEval, SubgraphScore};
 pub use pool::EnginePool;
 pub use trace::{Trace, TracePoint};

@@ -1,16 +1,96 @@
-//! The scoped worker pool: deterministic order-preserving parallel map.
+//! The worker pool: deterministic order-preserving parallel map, with a
+//! **persistent** thread set (the default) or per-batch scoped spawns.
+//!
+//! Both modes run the same claim loop — workers take indices from a shared
+//! atomic counter and the caller stores results per index — so the set of
+//! executed jobs, and anything the caller records per index, is identical
+//! regardless of mode, thread count or scheduling. The persistent mode
+//! exists purely to take thread spawn/join syscalls off the per-batch hot
+//! path: a GA evaluates one batch per generation, and re-spawning workers
+//! hundreds of times per exploration is measurable overhead.
 
-use crate::config::EngineConfig;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::config::{EngineConfig, PoolMode};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-/// A scoped `std::thread` worker pool.
+/// One submitted batch, shared between the caller and the workers that
+/// picked it up.
+struct Batch {
+    /// Type-erased pointer to the caller's job closure. The caller blocks
+    /// inside [`EnginePool::run`] until every worker that received this
+    /// batch has signalled completion, so the pointee outlives every
+    /// dereference (see the safety comment in `run_persistent`).
+    job: *const (dyn Fn(usize) + Sync),
+    /// Number of job indices.
+    jobs: usize,
+    /// Next index to claim.
+    next: AtomicUsize,
+    /// Workers that finished processing their copy of this batch.
+    done: Mutex<usize>,
+    done_cv: Condvar,
+    /// Set when any job panicked; the first payload is kept for re-raise.
+    panicked: AtomicBool,
+    payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// SAFETY: `job` points at a `Sync` closure that the submitting thread
+// keeps alive (and blocked on) until all workers are done with the batch.
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+impl Batch {
+    /// Claims and runs indices until the batch is drained, then signals
+    /// completion. Panics inside jobs are captured (first payload wins)
+    /// and re-raised by the submitting caller.
+    fn work(&self) {
+        // SAFETY: see the field invariant — the caller is still inside
+        // `run`, keeping the closure alive, until we signal `done` below.
+        let job = unsafe { &*self.job };
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.jobs {
+                break;
+            }
+            job(i);
+        }));
+        if let Err(payload) = result {
+            self.panicked.store(true, Ordering::Relaxed);
+            let mut slot = self.payload.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut done = self.done.lock().unwrap();
+        *done += 1;
+        self.done_cv.notify_all();
+    }
+}
+
+/// The long-lived worker set of a persistent pool.
+#[derive(Debug)]
+struct Workers {
+    /// Submission side; dropping it shuts the workers down.
+    tx: Sender<Arc<Batch>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// The engine's worker pool.
 ///
 /// [`run`](EnginePool::run) executes `jobs` closures indexed `0..jobs`;
 /// workers claim indices from a shared atomic counter, so the set of
 /// executed jobs — and anything the caller stores per index — is
 /// independent of scheduling. With one worker (or one job) everything runs
 /// inline on the caller's thread: the serial fallback is the same code
-/// path minus the spawns.
+/// path minus the hand-off.
+///
+/// In [`PoolMode::Persistent`] (the default) worker threads are spawned
+/// lazily on the first parallel batch, fed through a channel, kept alive
+/// across batches, and joined when the pool drops. In [`PoolMode::Scoped`]
+/// each batch spawns scoped threads — the reference implementation the
+/// persistent pool is determinism-tested and benchmarked against. Jobs
+/// must not re-enter the pool.
 ///
 /// # Examples
 ///
@@ -28,19 +108,34 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 #[derive(Debug)]
 pub struct EnginePool {
     threads: usize,
+    mode: PoolMode,
+    workers: OnceLock<Workers>,
 }
 
 impl EnginePool {
-    /// Creates a pool with the configuration's resolved worker count.
+    /// Creates a pool with the configuration's resolved worker count and
+    /// pool mode. No threads are spawned until the first parallel batch.
     pub fn new(config: &EngineConfig) -> Self {
         Self {
             threads: config.resolved_threads(),
+            mode: config.pool,
+            workers: OnceLock::new(),
         }
     }
 
     /// The worker count used for sufficiently large batches.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The pool lifecycle mode.
+    pub fn mode(&self) -> PoolMode {
+        self.mode
+    }
+
+    /// `true` once persistent workers have been spawned.
+    pub fn is_spawned(&self) -> bool {
+        self.workers.get().is_some()
     }
 
     /// Runs `job(i)` for every `i` in `0..jobs`, spreading indices over the
@@ -54,6 +149,14 @@ impl EnginePool {
             }
             return;
         }
+        match self.mode {
+            PoolMode::Scoped => Self::run_scoped(jobs, workers, &job),
+            PoolMode::Persistent => self.run_persistent(jobs, workers, &job),
+        }
+    }
+
+    /// The per-batch scoped-spawn reference path.
+    fn run_scoped(jobs: usize, workers: usize, job: &(dyn Fn(usize) + Sync)) {
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -67,6 +170,87 @@ impl EnginePool {
             }
         });
     }
+
+    /// The persistent path: hand the batch to the long-lived workers and
+    /// block until all of them signalled completion.
+    fn run_persistent(&self, jobs: usize, workers: usize, job: &(dyn Fn(usize) + Sync)) {
+        let pool = self.workers.get_or_init(|| Self::spawn(self.threads));
+        // SAFETY: we erase the closure's lifetime to store it in the
+        // shared `Batch`. The loop below does not return until `done`
+        // equals the number of workers the batch was handed to, and every
+        // worker signals `done` only after its last dereference of `job`
+        // (see `Batch::work`) — so the pointer never outlives the
+        // borrow it was created from.
+        let job: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(job) };
+        let batch = Arc::new(Batch {
+            job,
+            jobs,
+            next: AtomicUsize::new(0),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+            panicked: AtomicBool::new(false),
+            payload: Mutex::new(None),
+        });
+        for _ in 0..workers {
+            pool.tx
+                .send(Arc::clone(&batch))
+                .expect("persistent workers outlive the pool");
+        }
+        let mut done = batch.done.lock().unwrap();
+        while *done < workers {
+            done = batch.done_cv.wait(done).unwrap();
+        }
+        drop(done);
+        if batch.panicked.load(Ordering::Relaxed) {
+            match batch.payload.lock().unwrap().take() {
+                Some(payload) => std::panic::resume_unwind(payload),
+                None => panic!("a pool job panicked"),
+            }
+        }
+    }
+
+    fn spawn(threads: usize) -> Workers {
+        let (tx, rx) = channel::<Arc<Batch>>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("cocco-engine-{i}"))
+                    .spawn(move || Self::worker(&rx))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Workers { tx, handles }
+    }
+
+    /// Worker main loop: block for the next batch, drain it, repeat until
+    /// the submission channel closes (pool drop).
+    fn worker(rx: &Mutex<Receiver<Arc<Batch>>>) {
+        loop {
+            // Holding the lock while blocked on `recv` is fine: batches
+            // are sent in bursts of `workers` copies, and each copy is
+            // claimed by whichever worker gets the lock next — any subset
+            // of workers draining the copies completes the batch.
+            let batch = match rx.lock().unwrap().recv() {
+                Ok(batch) => batch,
+                Err(_) => break,
+            };
+            batch.work();
+        }
+    }
+}
+
+impl Drop for EnginePool {
+    fn drop(&mut self) {
+        if let Some(workers) = self.workers.take() {
+            drop(workers.tx); // closes the channel; workers exit their loop
+            for handle in workers.handles {
+                let _ = handle.join();
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -74,25 +258,49 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
 
+    fn pools(threads: u32) -> [EnginePool; 2] {
+        [
+            EnginePool::new(&EngineConfig::with_threads(threads)),
+            EnginePool::new(&EngineConfig::with_threads(threads).with_pool(PoolMode::Scoped)),
+        ]
+    }
+
     #[test]
     fn covers_every_index_exactly_once() {
         for threads in [1, 2, 4, 7] {
-            let pool = EnginePool::new(&EngineConfig::with_threads(threads));
-            let hits: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
-            pool.run(hits.len(), |i| {
-                hits[i].fetch_add(1, Ordering::Relaxed);
-            });
-            assert!(
-                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
-                "threads={threads}"
-            );
+            for pool in pools(threads) {
+                let hits: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+                pool.run(hits.len(), |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "threads={threads} mode={:?}",
+                    pool.mode()
+                );
+            }
         }
     }
 
     #[test]
-    fn zero_jobs_is_a_no_op() {
+    fn persistent_workers_survive_across_batches() {
         let pool = EnginePool::new(&EngineConfig::with_threads(4));
-        pool.run(0, |_| panic!("no job should run"));
+        assert!(!pool.is_spawned(), "workers spawn lazily");
+        let count = AtomicU64::new(0);
+        for round in 1..=20u64 {
+            pool.run(64, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), round * 64);
+        }
+        assert!(pool.is_spawned());
+    }
+
+    #[test]
+    fn zero_jobs_is_a_no_op() {
+        for pool in pools(4) {
+            pool.run(0, |_| panic!("no job should run"));
+        }
     }
 
     #[test]
@@ -101,5 +309,38 @@ mod tests {
         let order = std::sync::Mutex::new(Vec::new());
         pool.run(10, |i| order.lock().unwrap().push(i));
         assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+        assert!(!pool.is_spawned(), "serial runs never spawn workers");
+    }
+
+    #[test]
+    fn panics_propagate_and_the_pool_stays_usable() {
+        let pool = EnginePool::new(&EngineConfig::with_threads(2));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, |i| {
+                if i == 3 {
+                    panic!("job 3 exploded");
+                }
+            });
+        }));
+        let payload = result.expect_err("the job panic must reach the caller");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(message.contains("job 3 exploded"), "got: {message}");
+        // The workers caught the panic and are still alive.
+        let count = AtomicU64::new(0);
+        pool.run(16, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let pool = EnginePool::new(&EngineConfig::with_threads(3));
+        pool.run(9, |_| {});
+        assert!(pool.is_spawned());
+        drop(pool); // must not hang or leak
     }
 }

@@ -36,6 +36,7 @@
 mod builder;
 mod dot;
 mod error;
+mod fingerprint;
 mod graph;
 mod layer;
 pub mod models;
@@ -44,6 +45,7 @@ mod shape;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;
+pub use fingerprint::{mix64, BuildFpHasher, FpHasher, NodeSetFp};
 pub use graph::{Graph, NodeId, NodeIter};
 pub use layer::{EdgeReq, Kernel, LayerOp, Node};
 pub use randgraph::{WattsStrogatz, WsEdge};

@@ -18,12 +18,14 @@
 
 mod delta;
 mod error;
+mod fingerprint;
 mod partition;
 mod quotient;
 mod repair;
 
 pub use delta::PartitionDelta;
 pub use error::PartitionError;
+pub use fingerprint::PartitionFingerprints;
 pub use partition::Partition;
 pub use quotient::Quotient;
 pub use repair::{

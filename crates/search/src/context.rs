@@ -13,9 +13,16 @@ use std::time::Instant;
 /// What a mutation operator knows about the genome it produced: the
 /// scored parent's per-subgraph breakdown ([`EvalMemo`]) plus the
 /// [`PartitionDelta`] naming which nodes the operator moved. The
-/// evaluation path extends the delta with repair-induced changes and
-/// re-scores only dirty subgraphs (plus `next_wgt` predecessors, which the
-/// engine re-checks itself).
+/// evaluation path extends the delta with repair-induced changes,
+/// re-fingerprints only the dirty subgraphs (clean ones copy the memo's
+/// incrementally maintained fingerprint) and re-scores only dirty terms
+/// (plus `next_wgt` predecessors, which the engine re-checks itself).
+///
+/// The delta **must** satisfy the member-set invariant documented on
+/// [`PartitionDelta`] relative to the memo's partition — the
+/// fingerprint-keyed cache derives key identity from it. Operators of
+/// unknown extent derive an honest delta by diffing fingerprints
+/// (`PartitionFingerprints::delta_against`) instead of guessing.
 #[derive(Debug)]
 pub struct EvalHint {
     /// Per-subgraph terms of the parent genome's evaluation.

@@ -191,9 +191,9 @@ impl Searcher for CoccoGa {
 
         // Generations: crossover + mutation -> evaluation -> tournament.
         // Mutated copies of tournament winners carry the winner's memo plus
-        // the mutation's delta, so evaluation re-scores only the touched
-        // subgraphs; crossover children mix two parents and are scored
-        // through the (subgraph-term) cache composition path instead.
+        // the mutation's delta; crossover children carry dad's memo plus a
+        // fingerprint-diff delta — either way evaluation re-scores only the
+        // subgraphs whose member sets actually changed.
         while !ctx.budget().is_exhausted() && !population.is_empty() {
             let mut offspring: Vec<EvalCandidate> = Vec::with_capacity(cfg.population);
             while offspring.len() < cfg.population {
@@ -208,13 +208,18 @@ impl Searcher for CoccoGa {
                         ctx.space.blend(dad.buffer, mom.buffer),
                     );
                     // A crossover child reproduces whole parent subgraphs,
-                    // so dad's memo still matches many of its member sets;
-                    // the engine verifies every reuse by member set and
-                    // next_wgt itself, so a memo entry that no longer
-                    // applies is a lookup miss, never a wrong score. (When
-                    // the blended buffer differs from dad's the engine
-                    // drops the memo and the term cache takes over.)
-                    let mut delta = PartitionDelta::clean(graph.len());
+                    // so dad's memo still covers many of its member sets —
+                    // but crossover edits are of unknown extent, so the
+                    // honest delta (required by the fingerprint-keyed
+                    // incremental path) is derived by diffing the child's
+                    // subgraph fingerprints against dad's: exactly the
+                    // nodes whose member set changed are marked. (When the
+                    // blended buffer differs from dad's the engine drops
+                    // the memo and the term cache takes over.)
+                    let mut delta = match &population[dad_idx].memo {
+                        Some(memo) => memo.fingerprints().delta_against(&child.partition),
+                        None => PartitionDelta::all(graph.len()),
+                    };
                     mutate_with_delta(ctx, graph, &mut child, &cfg.mutation, &mut rng, &mut delta);
                     let hint = population[dad_idx]
                         .memo

@@ -67,7 +67,7 @@ mod twostep;
 // existing `cocco_search::{SampleBudget, Trace, TracePoint}` paths keep
 // working.
 pub use cocco_engine::EvalMemo;
-pub use cocco_engine::{Engine, EngineConfig, EngineStats, SampleBudget, ThreadCount};
+pub use cocco_engine::{Engine, EngineConfig, EngineStats, PoolMode, SampleBudget, ThreadCount};
 pub use cocco_engine::{Trace, TracePoint};
 pub use cocco_partition::PartitionDelta;
 pub use context::{EvalCandidate, EvalHint, SearchContext};

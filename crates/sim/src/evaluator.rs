@@ -5,7 +5,7 @@ use crate::config::{AcceleratorConfig, BufferConfig, EvalOptions};
 use crate::cost::SubgraphStats;
 use crate::error::SimError;
 use crate::report::{PartitionReport, SubgraphReport};
-use cocco_graph::{EdgeReq, Graph, LayerOp, NodeId};
+use cocco_graph::{BuildFpHasher, EdgeReq, Graph, LayerOp, NodeId, NodeSetFp};
 use cocco_mem::footprint::subgraph_footprint;
 use cocco_tiling::derive_scheme;
 use std::collections::HashMap;
@@ -17,14 +17,10 @@ use std::sync::RwLock;
 /// sections.
 const STATS_SHARDS: usize = 16;
 
-/// FNV-1a over the sorted member indices — deterministic shard selection.
-fn stats_shard(key: &[u32]) -> usize {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &w in key {
-        h ^= u64::from(w);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    (h % STATS_SHARDS as u64) as usize
+/// Shard selection from a member-set fingerprint — the fingerprint is
+/// already uniform, so one lane picks the shard directly.
+fn stats_shard(fp: NodeSetFp) -> usize {
+    (fp.lo % STATS_SHARDS as u64) as usize
 }
 
 /// Evaluates partitions of one computation graph on one accelerator
@@ -58,7 +54,10 @@ pub struct Evaluator<'g> {
     cycles: Vec<f64>,
     is_input: Vec<bool>,
     fingerprint: u64,
-    cache: [RwLock<HashMap<Box<[u32]>, SubgraphStats>>; STATS_SHARDS],
+    /// Member-set fingerprint → statistics. Keyed by the same 128-bit
+    /// [`NodeSetFp`] the engine caches key on, so a probe neither
+    /// allocates a key vector nor re-hashes the member list.
+    cache: [RwLock<HashMap<NodeSetFp, SubgraphStats, BuildFpHasher>>; STATS_SHARDS],
 }
 
 impl<'g> Evaluator<'g> {
@@ -133,25 +132,42 @@ impl<'g> Evaluator<'g> {
     }
 
     /// Buffer-independent statistics of the subgraph `members` (sorted or
-    /// unsorted; the result is cached under the sorted set).
+    /// unsorted; the result is cached under the order-independent member
+    /// fingerprint).
     ///
     /// # Errors
     ///
     /// Returns an error if `members` is empty, has duplicates or references
     /// nodes outside the graph.
     pub fn subgraph_stats(&self, members: &[NodeId]) -> Result<SubgraphStats, SimError> {
-        let mut key: Vec<u32> = members.iter().map(|id| id.index() as u32).collect();
-        key.sort_unstable();
-        let shard = &self.cache[stats_shard(&key)];
-        if let Some(stats) = shard.read().unwrap().get(key.as_slice()) {
+        self.subgraph_stats_keyed(NodeSetFp::of_members(members), members)
+    }
+
+    /// [`subgraph_stats`](Self::subgraph_stats) with the member-set
+    /// fingerprint already in hand (the engine precomputes it per
+    /// subgraph), so a cache hit costs one map probe — no key allocation,
+    /// no member sort, no re-hash.
+    pub fn subgraph_stats_keyed(
+        &self,
+        fp: NodeSetFp,
+        members: &[NodeId],
+    ) -> Result<SubgraphStats, SimError> {
+        debug_assert_eq!(fp, NodeSetFp::of_members(members), "stale fingerprint");
+        let shard = &self.cache[stats_shard(fp)];
+        if let Some(stats) = shard.read().unwrap().get(&fp) {
             return Ok(*stats);
         }
-        let sorted: Vec<NodeId> = key
-            .iter()
-            .map(|&i| NodeId::from_index(i as usize))
-            .collect();
-        let stats = self.compute_stats(&sorted)?;
-        shard.write().unwrap().insert(key.into_boxed_slice(), stats);
+        // Miss: the derivation expects members in ascending (topological)
+        // order — canonicalize only when the caller's order is not already
+        // canonical (searchers always produce ascending members).
+        let stats = if members.windows(2).all(|w| w[0] < w[1]) {
+            self.compute_stats(members)?
+        } else {
+            let mut sorted = members.to_vec();
+            sorted.sort_unstable();
+            self.compute_stats(&sorted)?
+        };
+        shard.write().unwrap().insert(fp, stats);
         Ok(stats)
     }
 

@@ -80,3 +80,67 @@ fn healthy_runs_report_zero_infeasible_errors() {
         assert_eq!(result.infeasible_errors, 0, "{name}");
     }
 }
+
+#[test]
+fn bounded_cache_stays_within_budget_and_preserves_results() {
+    // The memory-bounding criterion: a long exploration under a small
+    // `cache_capacity` stays within the configured entry budget, reports
+    // its evictions, and produces the exact result of an unbounded run.
+    let capacity = 512usize;
+    let run = |config: EngineConfig| {
+        Cocco::new()
+            .with_budget(2_000)
+            .with_seed(17)
+            .with_engine(config)
+            .explore(&cocco::graph::models::googlenet())
+            .unwrap()
+    };
+    let unbounded = run(EngineConfig::with_threads(2));
+    let bounded = run(EngineConfig::with_threads(2).with_cache_capacity(capacity));
+    assert_eq!(bounded.cost, unbounded.cost, "eviction changed the cost");
+    assert_eq!(
+        bounded.genome, unbounded.genome,
+        "eviction changed the genome"
+    );
+    assert_eq!(bounded.trace, unbounded.trace, "eviction changed the trace");
+    let entries = bounded.stats.cache_entries + bounded.stats.subgraph_entries;
+    assert!(
+        entries <= capacity as u64,
+        "{entries} cached entries exceed the {capacity}-entry budget"
+    );
+    assert!(
+        bounded.stats.evictions() > 0,
+        "a 2000-sample run against a 512-entry budget must evict"
+    );
+    assert_eq!(
+        unbounded.stats.evictions(),
+        0,
+        "the default budget must be generous enough to never evict here"
+    );
+}
+
+#[test]
+fn incremental_path_builds_zero_per_probe_keys() {
+    // The zero-rehash criterion, observed end to end through the facade.
+    let result = explore(SearchMethod::ga(), 2, 400);
+    assert_eq!(result.stats.key_allocs, 0);
+}
+
+#[test]
+fn roll_up_cache_hits_seed_offspring_memos() {
+    // Memo-on-hit (ROADMAP item): genomes scored from the partition
+    // roll-up cache still hand breakdowns to their offspring, so the
+    // fraction of terms answered without a fresh scoring rises. Observable
+    // signal: a GA run reuses memo terms even when many evaluations are
+    // cache hits, and total fresh scorings stay a small fraction of term
+    // requests.
+    let result = explore(SearchMethod::ga(), 1, 800);
+    assert!(result.stats.cache_hits > 0);
+    assert!(result.stats.subgraph_reused > 0);
+    assert!(
+        result.stats.subgraph_hit_rate() > 0.5,
+        "memo reuse + term cache must answer most term requests \
+         (got {:.0}%)",
+        result.stats.subgraph_hit_rate() * 100.0
+    );
+}

@@ -66,6 +66,37 @@ fn random_edit(g: &Graph, p: &mut Partition, delta: &mut PartitionDelta, rng: &m
 }
 
 #[test]
+fn incrementally_maintained_fingerprints_equal_from_scratch_fingerprints() {
+    // The fingerprint property test of the zero-rehash cache identity:
+    // over random mutation + repair sequences, refreshing only the dirty
+    // subgraphs' fingerprints must reproduce a from-scratch recomputation,
+    // bit for bit, on every step.
+    for model in ["randwire-a", "resnet50"] {
+        let g = cocco::graph::models::by_name(model).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xF19E5);
+        let mut partition = repair(&g, Partition::connected_groups(&g, 4), &|m| m.len() <= 12);
+        let mut fps = PartitionFingerprints::compute(&partition);
+        for step in 0..80 {
+            let mut delta = PartitionDelta::clean(g.len());
+            for _ in 0..rng.gen_range(1..=3u32) {
+                random_edit(&g, &mut partition, &mut delta, &mut rng);
+            }
+            partition = repair_with_delta(&g, partition, &|m| m.len() <= 12, &mut delta);
+            fps = fps.refresh(&partition, &delta);
+            assert_eq!(
+                fps,
+                PartitionFingerprints::compute(&partition),
+                "{model} step {step}: incremental fingerprints diverged from recompute"
+            );
+            // And the by-position view matches the member lists.
+            for (members, &fp) in partition.subgraphs().iter().zip(fps.positions()) {
+                assert_eq!(fp, NodeSetFp::of_members(members), "{model} step {step}");
+            }
+        }
+    }
+}
+
+#[test]
 fn incremental_scoring_is_bit_identical_over_random_mutation_sequences() {
     for model in ["randwire-a", "resnet50"] {
         let g = cocco::graph::models::by_name(model).unwrap();
@@ -196,6 +227,42 @@ fn ga_sa_twostep_incremental_matches_full_path_at_any_thread_count() {
             incremental.3.subgraph_scorings,
             reference.3.subgraph_scorings,
         );
+    }
+}
+
+#[test]
+fn persistent_scoped_and_serial_pools_are_bit_identical() {
+    // The pool-lifecycle determinism criterion: seeded GA and SA runs on
+    // resnet50 produce bit-identical best cost, genome and trace through
+    // the persistent pool, the scoped pool and plain serial evaluation, at
+    // 1 and 4 threads.
+    for method in [SearchMethod::ga(), SearchMethod::sa()] {
+        let name = method.name();
+        let reference = resnet_run(method.clone().with_seed(29), EngineConfig::serial());
+        for threads in [1u32, 4] {
+            for pool in [PoolMode::Persistent, PoolMode::Scoped] {
+                let run = resnet_run(
+                    method.clone().with_seed(29),
+                    EngineConfig::with_threads(threads).with_pool(pool),
+                );
+                assert_eq!(
+                    reference.0, run.0,
+                    "{name}: best cost diverged ({pool:?}, {threads} threads)"
+                );
+                assert_eq!(
+                    reference.1, run.1,
+                    "{name}: best genome diverged ({pool:?}, {threads} threads)"
+                );
+                assert_eq!(
+                    reference.2, run.2,
+                    "{name}: trace diverged ({pool:?}, {threads} threads)"
+                );
+                assert_eq!(
+                    run.3.key_allocs, 0,
+                    "{name}: incremental path built keys ({pool:?}, {threads} threads)"
+                );
+            }
+        }
     }
 }
 
