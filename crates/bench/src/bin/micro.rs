@@ -11,20 +11,26 @@
 //! Modes:
 //!
 //! * `cargo run --release -p cocco-bench --bin micro` — the full suite,
-//!   ending with the engine benchmark (the same seeded GA on `resnet50`
-//!   through the full-evaluation reference, the incremental serial path
-//!   and the incremental parallel path under both pool lifecycles), a
-//!   cache-capacity sweep, the key-build and pool-overhead
-//!   micro-measurements, and a `BENCH_engine.json` summary at the
-//!   repository root recording wall times, the subgraph-level hit rate,
-//!   the incremental scoring reduction, key-build cost, evictions and the
-//!   persistent-vs-scoped pool comparison;
+//!   ending with the stepped-vs-monolithic parity check, the engine
+//!   benchmark (the same seeded GA on `resnet50` through the
+//!   full-evaluation reference, the incremental serial path and the
+//!   incremental parallel path under both pool lifecycles), the
+//!   interleaved-vs-sequential two-step comparison, a cache-capacity
+//!   sweep, the key-build and pool-overhead micro-measurements, and a
+//!   `BENCH_engine.json` summary at the repository root recording wall
+//!   times, the subgraph-level hit rate, the incremental scoring
+//!   reduction, key-build cost, evictions, the persistent-vs-scoped pool
+//!   comparison and the two-step arms' cross-candidate stats-cache hit
+//!   rates;
 //! * `cargo run --release -p cocco-bench --bin micro -- --smoke
 //!   [--threads <n>] [--pool scoped|persistent]` — the CI smoke mode: a
 //!   scaled-down run of the same arms that asserts bit-identical results
 //!   across {full, incremental} × {serial, scoped, persistent}, the ≥30%
-//!   subgraph-scoring reduction, and zero per-probe key allocations on
-//!   the incremental path, at the requested worker count.
+//!   subgraph-scoring reduction, zero per-probe key allocations on the
+//!   incremental path, stepped-vs-monolithic parity (driver loop +
+//!   JSON-resume == `run()`), and the interleaved two-step's strictly
+//!   higher cross-candidate subgraph hit rate, at the requested worker
+//!   count.
 
 use cocco::prelude::*;
 use rand::rngs::StdRng;
@@ -571,6 +577,217 @@ fn full_suite() {
     }
 }
 
+/// Stepped-vs-monolithic parity: the same seeded GA through `run()` (now a
+/// thin driver loop) and through an explicit step loop that round-trips the
+/// whole `SearchSnapshot` through JSON at a mid step and resumes on a fresh
+/// context. Asserts bit-identical best cost, genome and trace.
+fn stepped_parity_check(threads: u32) {
+    fn make_ctx<'a>(
+        evaluator: &'a Evaluator<'a>,
+        model: &'a Graph,
+        threads: u32,
+    ) -> SearchContext<'a> {
+        SearchContext::new(
+            model,
+            evaluator,
+            BufferSpace::paper_shared(),
+            Objective::paper_energy_capacity(),
+            400,
+        )
+        .with_engine(EngineConfig::with_threads(threads))
+    }
+    let model = cocco::graph::models::googlenet();
+    let method = SearchMethod::ga().with_seed(23);
+    let evaluator = Evaluator::new(&model, AcceleratorConfig::default());
+    let ctx = make_ctx(&evaluator, &model, threads);
+    let monolithic = method.run(&ctx);
+    let monolithic_trace = ctx.trace().points();
+
+    // Stepped arm: drive 3 steps, snapshot through JSON, resume fresh.
+    let snapshot = {
+        let ctx = make_ctx(&evaluator, &model, threads);
+        let mut driver = method.driver();
+        for _ in 0..3 {
+            match driver.next_batch(&ctx) {
+                Step::Evaluate(mut batch) => {
+                    ctx.evaluate_chunks(&mut batch);
+                    driver.absorb(&ctx, batch);
+                }
+                Step::Continue => {}
+                Step::Done => break,
+            }
+        }
+        SearchSnapshot::capture(&method, &*driver, &ctx)
+    };
+    let json = serde_json::to_string(&snapshot).expect("snapshot serializes");
+    let snapshot: SearchSnapshot = serde_json::from_str(&json).expect("snapshot deserializes");
+    let ctx = make_ctx(&evaluator, &model, threads);
+    snapshot.replay_into(&ctx);
+    let mut driver = method
+        .driver_from_state(&snapshot.driver)
+        .expect("state matches method");
+    let stepped = run_driver(&mut *driver, &ctx);
+    assert_eq!(
+        monolithic.best_cost, stepped.best_cost,
+        "stepped-vs-monolithic parity violated: best cost"
+    );
+    assert_eq!(
+        monolithic.best, stepped.best,
+        "stepped-vs-monolithic parity violated: best genome"
+    );
+    assert_eq!(
+        monolithic.samples, stepped.samples,
+        "stepped-vs-monolithic parity violated: samples"
+    );
+    assert_eq!(
+        monolithic_trace,
+        ctx.trace().points(),
+        "stepped-vs-monolithic parity violated: trace"
+    );
+    println!("stepped parity       : run() == stepped+JSON-resumed GA ✓ ({threads} threads)");
+}
+
+/// One timed two-step run (interleaved or sequential) with a fresh
+/// evaluator, so the evaluator's per-subgraph stats cache measures only
+/// this arm. Returns wall time, the outcome, the evaluator stats-cache hit
+/// rate (the cross-candidate reuse channel: statistics are
+/// buffer-independent, so elite partitions migrating between capacity
+/// candidates hit it) and the engine stats.
+fn twostep_run(
+    model: &Graph,
+    budget: u64,
+    interleave: bool,
+    threads: u32,
+) -> (Duration, f64, f64, u64, EngineStats) {
+    let evaluator = Evaluator::new(model, AcceleratorConfig::default());
+    let ctx = SearchContext::new(
+        model,
+        &evaluator,
+        BufferSpace::paper_shared(),
+        Objective::paper_energy_capacity(),
+        budget,
+    )
+    .with_engine(EngineConfig::with_threads(threads));
+    // A small inner population: each capacity candidate runs several
+    // generations within its slice, so elite migration has rounds to act
+    // across (with one or two generations per candidate the two arms
+    // barely differ).
+    let ga = GaConfig {
+        population: 24,
+        ..GaConfig::default()
+    };
+    let mut method = TwoStep {
+        sampling: CapacitySampling::Random,
+        per_candidate: (budget / 4).max(1),
+        ga,
+        seed: 29,
+        interleave: true,
+    };
+    if !interleave {
+        method = method.sequential();
+    }
+    let start = Instant::now();
+    let outcome = method.run(&ctx);
+    (
+        start.elapsed(),
+        outcome.best_cost,
+        evaluator.stats_cache_hit_rate(),
+        evaluator.stats_cache_misses(),
+        ctx.engine().stats(),
+    )
+}
+
+/// The interleaved-vs-sequential two-step comparison: same budget, same
+/// candidate count, same seeds. The interleaved scheme batches all inner
+/// GAs into shared engine dispatches and migrates elites across capacity
+/// candidates, so its cross-candidate subgraph (stats-cache) hit rate must
+/// be **strictly higher** than the sequential baseline's. Returns the JSON
+/// summary fields.
+fn twostep_bench(smoke: bool, threads: u32) -> serde_json::Value {
+    let model = cocco::graph::models::resnet50();
+    let budget = if smoke { 600 } else { 2_000 };
+    let (seq_wall, seq_cost, seq_hit_rate, seq_misses, seq_stats) =
+        twostep_run(&model, budget, false, threads);
+    let (int_wall, int_cost, int_hit_rate, int_misses, int_stats) =
+        twostep_run(&model, budget, true, threads);
+    assert!(seq_cost.is_finite() && int_cost.is_finite());
+    assert!(
+        int_hit_rate > seq_hit_rate,
+        "interleaved two-step must show a strictly higher cross-candidate subgraph hit rate \
+         than the sequential baseline (interleaved {:.6} vs sequential {:.6})",
+        int_hit_rate,
+        seq_hit_rate,
+    );
+    assert!(
+        int_misses <= seq_misses,
+        "interleaved two-step must not derive more distinct subgraph statistics \
+         ({int_misses} vs sequential {seq_misses})"
+    );
+    println!(
+        "two-step sequential  : {:>10}  (stats-cache hit rate {:.2}%, {} derivations, cost {:.4e})",
+        fmt_time(seq_wall.as_secs_f64()),
+        seq_hit_rate * 100.0,
+        seq_misses,
+        seq_cost,
+    );
+    println!(
+        "two-step interleaved : {:>10}  (stats-cache hit rate {:.2}%, {} derivations, cost {:.4e})",
+        fmt_time(int_wall.as_secs_f64()),
+        int_hit_rate * 100.0,
+        int_misses,
+        int_cost,
+    );
+    println!(
+        "cross-candidate reuse: interleaved +{:.2} pp subgraph-stats hit rate, {} fewer \
+         derivations than sequential ✓",
+        (int_hit_rate - seq_hit_rate) * 100.0,
+        seq_misses - int_misses,
+    );
+    serde_json::Value::Object(vec![
+        ("budget".to_string(), serde_json::to_value(&budget)),
+        (
+            "sequential_ms".to_string(),
+            serde_json::to_value(&(seq_wall.as_secs_f64() * 1e3)),
+        ),
+        (
+            "interleaved_ms".to_string(),
+            serde_json::to_value(&(int_wall.as_secs_f64() * 1e3)),
+        ),
+        (
+            "sequential_cost".to_string(),
+            serde_json::to_value(&seq_cost),
+        ),
+        (
+            "interleaved_cost".to_string(),
+            serde_json::to_value(&int_cost),
+        ),
+        (
+            "sequential_stats_hit_rate".to_string(),
+            serde_json::to_value(&seq_hit_rate),
+        ),
+        (
+            "interleaved_stats_hit_rate".to_string(),
+            serde_json::to_value(&int_hit_rate),
+        ),
+        (
+            "sequential_stats_misses".to_string(),
+            serde_json::to_value(&seq_misses),
+        ),
+        (
+            "interleaved_stats_misses".to_string(),
+            serde_json::to_value(&int_misses),
+        ),
+        (
+            "sequential_engine_hit_rate".to_string(),
+            serde_json::to_value(&seq_stats.hit_rate()),
+        ),
+        (
+            "interleaved_engine_hit_rate".to_string(),
+            serde_json::to_value(&int_stats.hit_rate()),
+        ),
+    ])
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut smoke = false;
@@ -616,22 +833,28 @@ fn main() {
 
     if smoke {
         // CI smoke: exercise the incremental delta path, both pool
-        // lifecycles, the zero-key-allocation invariant and the
-        // determinism invariant at the requested worker count; skip the
-        // slow timing loops.
+        // lifecycles, the zero-key-allocation invariant, the determinism
+        // invariant, stepped-vs-monolithic parity (driver + JSON-resume)
+        // and the interleaved-vs-sequential two-step arm at the requested
+        // worker count; skip the slow timing loops.
         engine_bench(true, threads, pool);
+        println!();
+        stepped_parity_check(threads);
+        twostep_bench(true, threads);
         println!("\nsmoke OK");
         return;
     }
 
     full_suite();
     println!();
+    stepped_parity_check(threads);
     let key_build_ns = key_build_bench();
     let (scoped_overhead_ns, persistent_overhead_ns) = pool_overhead_bench(threads);
     let mut doc = match engine_bench(false, threads, pool) {
         serde_json::Value::Object(fields) => fields,
         _ => unreachable!("engine_bench returns an object"),
     };
+    doc.push(("twostep".to_string(), twostep_bench(false, threads)));
     doc.push((
         "key_build_ns".to_string(),
         serde_json::to_value(&key_build_ns),

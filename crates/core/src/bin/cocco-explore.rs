@@ -22,6 +22,8 @@ struct Args {
     threads: EngineConfig,
     method: SearchMethod,
     cache_file: Option<String>,
+    checkpoint_file: Option<String>,
+    checkpoint_every: Option<u64>,
     json: bool,
     list: bool,
     dot: bool,
@@ -38,7 +40,13 @@ fn usage() -> String {
          models: {}\n\
          \n\
          options:\n\
-           --method <m>       ga | sa | greedy | dp | exhaustive | twostep (default ga)\n\
+           --method <m>       ga | sa | greedy | dp | exhaustive | twostep | portfolio\n\
+                              (default ga)\n\
+           --portfolio <ms>   race a comma-separated list of methods round-robin on\n\
+                              one budget/engine (e.g. `--portfolio ga,sa,twostep`;\n\
+                              overrides --method)\n\
+           --target <cost>    stop a portfolio as soon as any member reaches this\n\
+                              Formula-2 cost (default: run to exhaustion)\n\
            --budget <n>       evaluation samples (default 20000)\n\
            --space <s>        shared | separate (default shared)\n\
            --metric <m>       energy | ema (default energy)\n\
@@ -57,6 +65,11 @@ fn usage() -> String {
                               explorations warm-start from it (results are\n\
                               unchanged; entries of other models/accelerator\n\
                               configs are kept but never reused)\n\
+           --checkpoint-file <p>  run step-driven and checkpoint the search to <p>;\n\
+                              an existing snapshot resumes the interrupted run\n\
+                              bit-identically (removed on completion)\n\
+           --checkpoint-every <n>  driver steps between checkpoint saves\n\
+                              (default 16; a GA step is one generation)\n\
            --json             print the full exploration result as JSON\n\
            --dot              print the partitioned graph in Graphviz DOT\n\
            --list             list available models and exit",
@@ -77,6 +90,8 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         threads: EngineConfig::auto(),
         method: SearchMethod::default(),
         cache_file: None,
+        checkpoint_file: None,
+        checkpoint_every: None,
         json: false,
         list: false,
         dot: false,
@@ -85,6 +100,8 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
     let mut batch: u32 = 1;
     let mut pool: Option<PoolMode> = None;
     let mut cache_capacity: Option<usize> = None;
+    let mut portfolio: Option<Vec<SearchMethod>> = None;
+    let mut target: Option<f64> = None;
     let next_value =
         |argv: &mut std::env::Args, flag: &str| argv.next().ok_or(format!("{flag} needs a value"));
     while let Some(arg) = argv.next() {
@@ -114,8 +131,39 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             "--method" => {
                 let key = next_value(&mut argv, "--method")?;
                 args.method = SearchMethod::parse(&key).ok_or(format!(
-                    "unknown method `{key}` (ga | sa | greedy | dp | exhaustive | twostep)"
+                    "unknown method `{key}` \
+                     (ga | sa | greedy | dp | exhaustive | twostep | portfolio)"
                 ))?;
+            }
+            "--portfolio" => {
+                let list = next_value(&mut argv, "--portfolio")?;
+                let members = list
+                    .split(',')
+                    .map(|key| {
+                        SearchMethod::parse(key.trim()).ok_or(format!(
+                            "unknown portfolio member `{key}` \
+                             (ga | sa | greedy | dp | exhaustive | twostep)"
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if members.is_empty() {
+                    return Err("--portfolio needs at least one method".to_string());
+                }
+                portfolio = Some(members);
+            }
+            "--target" => {
+                target = Some(
+                    next_value(&mut argv, "--target")?
+                        .parse()
+                        .map_err(|e| format!("bad --target: {e}"))?,
+                );
+            }
+            "--checkpoint-file" => {
+                args.checkpoint_file = Some(next_value(&mut argv, "--checkpoint-file")?);
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every =
+                    Some(parse_num(&next_value(&mut argv, "--checkpoint-every")?)?);
             }
             "--space" => {
                 args.space = match next_value(&mut argv, "--space")?.as_str() {
@@ -164,6 +212,16 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
     }
     if let Some(capacity) = cache_capacity {
         args.threads = args.threads.with_cache_capacity(capacity);
+    }
+    if let Some(members) = portfolio {
+        args.method = SearchMethod::Portfolio(Portfolio::new(members));
+    }
+    if let Some(target) = target {
+        // Applies to `--portfolio ...` and `--method portfolio` alike.
+        match &mut args.method {
+            SearchMethod::Portfolio(p) => p.policy = PortfolioPolicy::FirstToTarget(target),
+            _ => return Err("--target only applies to a portfolio run".to_string()),
+        }
     }
     Ok(args)
 }
@@ -218,6 +276,12 @@ fn main() -> ExitCode {
         .with_method(method.clone());
     if let Some(path) = &args.cache_file {
         session = session.with_cache_file(path);
+    }
+    if let Some(path) = &args.checkpoint_file {
+        session = session.with_checkpoint_file(path);
+    }
+    if let Some(every) = args.checkpoint_every {
+        session = session.with_checkpoint_every(every);
     }
     let result = match session.explore(&model) {
         Ok(r) => r,
@@ -289,6 +353,9 @@ fn main() -> ExitCode {
     }
     if let Some(save_error) = &result.cache_save_error {
         eprintln!("warning            : could not save cache file ({save_error})");
+    }
+    if let Some(save_error) = &result.checkpoint_save_error {
+        eprintln!("warning            : could not save checkpoint ({save_error})");
     }
     if result.infeasible_errors > 0 {
         println!(

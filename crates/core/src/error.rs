@@ -82,6 +82,15 @@ pub enum Error {
         /// The underlying I/O or parse failure.
         reason: String,
     },
+    /// A search checkpoint file was unusable: unreadable, malformed, or
+    /// recorded under different coordinates (another method/configuration,
+    /// budget, or evaluator fingerprint — i.e. model/accelerator).
+    Checkpoint {
+        /// The offending path.
+        path: String,
+        /// Why the checkpoint cannot resume this exploration.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -116,6 +125,9 @@ impl fmt::Display for Error {
             Error::CacheFile { path, reason } => {
                 write!(f, "cache file `{path}` unusable: {reason}")
             }
+            Error::Checkpoint { path, reason } => {
+                write!(f, "checkpoint file `{path}` unusable: {reason}")
+            }
         }
     }
 }
@@ -133,7 +145,8 @@ impl std::error::Error for Error {
             | Error::SearchIncomplete { .. }
             | Error::UnknownModel { .. }
             | Error::IncompatibleObjective { .. }
-            | Error::CacheFile { .. } => None,
+            | Error::CacheFile { .. }
+            | Error::Checkpoint { .. } => None,
         }
     }
 }

@@ -4,7 +4,8 @@ use crate::error::Error;
 use cocco_engine::{CacheSnapshot, EngineConfig, EngineStats};
 use cocco_graph::Graph;
 use cocco_search::{
-    BufferSpace, GaConfig, Objective, SearchContext, SearchMethod, Searcher, Trace,
+    BufferSpace, GaConfig, Objective, SearchContext, SearchMethod, SearchOutcome, SearchSnapshot,
+    Searcher, Step, Trace, CHECKPOINT_VERSION,
 };
 use cocco_sim::{AcceleratorConfig, EvalOptions, Evaluator, PartitionReport};
 use serde::{Deserialize, Serialize};
@@ -47,6 +48,12 @@ pub struct Exploration {
     /// reported here instead. (A *load* failure, i.e. an unusable existing
     /// cache file, still fails [`Cocco::explore`] up front.)
     pub cache_save_error: Option<String>,
+    /// Set when writing a [`Cocco::with_checkpoint_file`] snapshot failed
+    /// mid-run. Checkpointing is resilience, not correctness: a save
+    /// failure never aborts the exploration — the last failure is
+    /// reported here. (An unusable *existing* checkpoint still fails
+    /// [`Cocco::explore`] up front with [`Error::Checkpoint`].)
+    pub checkpoint_save_error: Option<String>,
 }
 
 /// High-level driver: model + hardware description + memory design space +
@@ -89,6 +96,8 @@ pub struct Cocco {
     seed: Option<u64>,
     engine: EngineConfig,
     cache_file: Option<std::path::PathBuf>,
+    checkpoint_file: Option<std::path::PathBuf>,
+    checkpoint_every: u64,
 }
 
 impl Cocco {
@@ -107,6 +116,8 @@ impl Cocco {
             seed: None,
             engine: EngineConfig::default(),
             cache_file: None,
+            checkpoint_file: None,
+            checkpoint_every: 16,
         }
     }
 
@@ -169,6 +180,37 @@ impl Cocco {
     /// [`Exploration::cache_save_error`].
     pub fn with_cache_file(mut self, path: impl Into<std::path::PathBuf>) -> Self {
         self.cache_file = Some(path.into());
+        self
+    }
+
+    /// Makes the exploration checkpointable/resumable: the search runs
+    /// step-driven (the method's [`SearchDriver`](cocco_search::SearchDriver)),
+    /// a [`SearchSnapshot`] is written to `path` every
+    /// [`with_checkpoint_every`](Cocco::with_checkpoint_every) steps
+    /// (atomically: temp file + rename), and an existing snapshot at
+    /// `path` resumes the interrupted run — **bit-identically**: the
+    /// resumed exploration's best cost, genome and trace equal the
+    /// uninterrupted run's, at any thread count.
+    ///
+    /// A snapshot is only accepted when its method (full configuration),
+    /// budget and evaluator fingerprint — the same `(model, accelerator)`
+    /// identity the engine's cache keys embed — match this session;
+    /// anything else fails with [`Error::Checkpoint`]. On successful
+    /// completion the checkpoint file is removed (it has served its
+    /// purpose; the returned [`Exploration`] carries the results).
+    pub fn with_checkpoint_file(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.checkpoint_file = Some(path.into());
+        self
+    }
+
+    /// Sets how many driver steps elapse between checkpoint saves
+    /// (default 16; clamped to at least 1). A GA step is one generation,
+    /// so the default saves every ~16 generations. Saves are additionally
+    /// floored by a small wall-clock interval, so fast analytic steps
+    /// (greedy merges, DP rows, enumeration levels) never spend a
+    /// meaningful fraction of the run serializing snapshots.
+    pub fn with_checkpoint_every(mut self, steps: u64) -> Self {
+        self.checkpoint_every = steps.max(1);
         self
     }
 
@@ -238,7 +280,17 @@ impl Cocco {
                 foreign = rest;
             }
         }
-        let outcome = method.run(&ctx);
+        let mut checkpoint_save_error = None;
+        let outcome = match &self.checkpoint_file {
+            Some(path) => self.run_checkpointed(
+                &method,
+                &ctx,
+                evaluator.fingerprint(),
+                path,
+                &mut checkpoint_save_error,
+            )?,
+            None => method.run(&ctx),
+        };
         // Persistence is an optimization: a failed save must not discard a
         // completed exploration, so it is reported on the result instead.
         let mut cache_save_error = None;
@@ -280,8 +332,117 @@ impl Cocco {
             stats: ctx.engine().stats(),
             trace: ctx.trace().clone(),
             cache_save_error,
+            checkpoint_save_error,
         })
     }
+
+    /// The step-driven, checkpointed search loop: resume from an existing
+    /// snapshot (after verifying its coordinates), then step the driver,
+    /// saving a snapshot every `checkpoint_every` steps. Save failures are
+    /// non-fatal (reported via `save_error`); the checkpoint is removed on
+    /// successful completion.
+    fn run_checkpointed(
+        &self,
+        method: &SearchMethod,
+        ctx: &SearchContext<'_>,
+        fingerprint: u64,
+        path: &std::path::Path,
+        save_error: &mut Option<String>,
+    ) -> Result<SearchOutcome, Error> {
+        let checkpoint_error = |reason: String| Error::Checkpoint {
+            path: path.display().to_string(),
+            reason,
+        };
+        let mut driver = if path.exists() {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| checkpoint_error(e.to_string()))?;
+            let snapshot: SearchSnapshot =
+                serde_json::from_str(&text).map_err(|e| checkpoint_error(e.to_string()))?;
+            if snapshot.version != CHECKPOINT_VERSION {
+                return Err(checkpoint_error(format!(
+                    "snapshot version {} (this build reads {})",
+                    snapshot.version, CHECKPOINT_VERSION
+                )));
+            }
+            if snapshot.fingerprint != fingerprint {
+                return Err(checkpoint_error(
+                    "evaluator fingerprint mismatch (the model or accelerator configuration \
+                     changed since the checkpoint was written)"
+                        .to_string(),
+                ));
+            }
+            if snapshot.method != *method {
+                return Err(checkpoint_error(
+                    "method/configuration mismatch (the checkpoint was written by a different \
+                     search setup)"
+                        .to_string(),
+                ));
+            }
+            if snapshot.budget_limit != self.budget {
+                return Err(checkpoint_error(format!(
+                    "budget mismatch (checkpoint ran under {} samples, this session under {})",
+                    snapshot.budget_limit, self.budget
+                )));
+            }
+            snapshot.replay_into(ctx);
+            method
+                .driver_from_state(&snapshot.driver)
+                .ok_or_else(|| checkpoint_error("driver state does not match the method".into()))?
+        } else {
+            method.driver()
+        };
+        let mut steps = 0u64;
+        // Snapshot serialization can be expensive for state-heavy drivers
+        // (the enumeration's downset tables), and analytic methods step
+        // very fast — so the step cadence is additionally floored by a
+        // wall-clock interval, bounding checkpoint overhead to a small
+        // fraction of the run regardless of step granularity.
+        const MIN_SAVE_INTERVAL: std::time::Duration = std::time::Duration::from_millis(100);
+        let mut last_save = std::time::Instant::now();
+        loop {
+            match driver.next_batch(ctx) {
+                Step::Evaluate(mut batch) => {
+                    ctx.evaluate_chunks(&mut batch);
+                    driver.absorb(ctx, batch);
+                }
+                Step::Continue => {}
+                Step::Done => break,
+            }
+            steps += 1;
+            if steps.is_multiple_of(self.checkpoint_every)
+                && last_save.elapsed() >= MIN_SAVE_INTERVAL
+            {
+                let snapshot = SearchSnapshot::capture(method, &*driver, ctx);
+                if let Err(e) = save_checkpoint(&snapshot, path) {
+                    *save_error = Some(format!("{}: {e}", path.display()));
+                }
+                last_save = std::time::Instant::now();
+            }
+        }
+        // Completed: the checkpoint has served its purpose.
+        std::fs::remove_file(path).ok();
+        Ok(driver.outcome())
+    }
+}
+
+/// Writes a checkpoint atomically (unique temp file + rename), so an
+/// interrupted save never leaves a torn snapshot behind.
+fn save_checkpoint(snapshot: &SearchSnapshot, path: &std::path::Path) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+    let text = serde_json::to_string(snapshot)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        std::fs::remove_file(&tmp).ok();
+    })
 }
 
 impl Default for Cocco {
@@ -475,6 +636,131 @@ mod tests {
             "a failed save must be reported"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("cocco-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt.json");
+        let model = cocco_graph::models::googlenet();
+        let plain = Cocco::new()
+            .with_budget(400)
+            .with_seed(5)
+            .explore(&model)
+            .unwrap();
+        let checkpointed = Cocco::new()
+            .with_budget(400)
+            .with_seed(5)
+            .with_checkpoint_file(&path)
+            .with_checkpoint_every(1)
+            .explore(&model)
+            .unwrap();
+        assert_eq!(plain.cost, checkpointed.cost);
+        assert_eq!(plain.genome, checkpointed.genome);
+        assert_eq!(plain.trace, checkpointed.trace);
+        assert_eq!(plain.samples, checkpointed.samples);
+        assert!(!path.exists(), "a completed run must remove its checkpoint");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_from_interrupted_checkpoint_is_bit_identical() {
+        use cocco_search::{SearchSnapshot, Step};
+        let dir = std::env::temp_dir().join(format!("cocco-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("interrupted.ckpt.json");
+        let model = cocco_graph::models::googlenet();
+        let method = SearchMethod::ga().with_seed(9);
+        let budget = 500;
+
+        // Simulate an interruption: drive the same search the facade
+        // would run for a few steps, then snapshot and abandon it.
+        let evaluator = Evaluator::new(&model, AcceleratorConfig::default());
+        let ctx = SearchContext::new(
+            &model,
+            &evaluator,
+            BufferSpace::paper_shared(),
+            Objective::paper_energy_capacity(),
+            budget,
+        );
+        let mut driver = method.driver();
+        for _ in 0..2 {
+            match driver.next_batch(&ctx) {
+                Step::Evaluate(mut batch) => {
+                    ctx.evaluate_chunks(&mut batch);
+                    driver.absorb(&ctx, batch);
+                }
+                Step::Continue => {}
+                Step::Done => break,
+            }
+        }
+        let snapshot = SearchSnapshot::capture(&method, &*driver, &ctx);
+        std::fs::write(&path, serde_json::to_string(&snapshot).unwrap()).unwrap();
+        drop(driver);
+
+        // The facade resumes the interrupted run; the result must equal
+        // the uninterrupted exploration bit for bit.
+        let session = || Cocco::new().with_budget(budget).with_seed(9);
+        let resumed = session()
+            .with_checkpoint_file(&path)
+            .explore(&model)
+            .unwrap();
+        let uninterrupted = session().explore(&model).unwrap();
+        assert_eq!(resumed.cost, uninterrupted.cost);
+        assert_eq!(resumed.genome, uninterrupted.genome);
+        assert_eq!(resumed.trace, uninterrupted.trace);
+        assert_eq!(resumed.samples, uninterrupted.samples);
+
+        // Mismatched coordinates are rejected, not silently restarted.
+        std::fs::write(&path, serde_json::to_string(&snapshot).unwrap()).unwrap();
+        let err = session()
+            .with_method(SearchMethod::sa())
+            .with_checkpoint_file(&path)
+            .explore(&model)
+            .unwrap_err();
+        assert!(matches!(err, Error::Checkpoint { .. }), "{err}");
+        let err = session()
+            .with_budget(budget + 1)
+            .with_checkpoint_file(&path)
+            .explore(&model)
+            .unwrap_err();
+        assert!(matches!(err, Error::Checkpoint { .. }), "{err}");
+        let err = session()
+            .with_accelerator({
+                let mut accel = AcceleratorConfig::default();
+                accel.mac_cols *= 2;
+                accel
+            })
+            .with_checkpoint_file(&path)
+            .explore(&model)
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Checkpoint { .. }),
+            "fingerprint mismatch must be rejected: {err}"
+        );
+        // A corrupt checkpoint is a reported error.
+        std::fs::write(&path, "{torn").unwrap();
+        let err = session()
+            .with_checkpoint_file(&path)
+            .explore(&model)
+            .unwrap_err();
+        assert!(matches!(err, Error::Checkpoint { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn portfolio_explores_through_the_facade() {
+        let model = cocco_graph::models::diamond();
+        let result = Cocco::new()
+            .with_method(SearchMethod::portfolio())
+            .with_budget(600)
+            .with_seed(4)
+            .explore(&model)
+            .unwrap();
+        assert!(result.genome.partition.validate(&model).is_ok());
+        assert!(result.cost.is_finite());
+        assert!(result.samples <= 600);
     }
 
     #[test]

@@ -13,8 +13,8 @@
 pub use crate::error::{CoccoError, Error};
 pub use crate::framework::{Cocco, Exploration};
 pub use cocco_engine::{
-    CacheSnapshot, Engine, EngineConfig, EngineStats, EvalMemo, PoolMode, SampleBudget, ScoredEval,
-    SubgraphScore, ThreadCount,
+    CacheSnapshot, Engine, EngineConfig, EngineStats, EvalMemo, PoolMode, SampleBudget,
+    SampleReservation, ScoredEval, SubgraphScore, ThreadCount,
 };
 pub use cocco_graph::{
     Dims2, Graph, GraphBuilder, Kernel, LayerOp, NodeId, NodeSetFp, TensorShape,
@@ -23,9 +23,10 @@ pub use cocco_partition::{
     repair, repair_with_delta, Partition, PartitionDelta, PartitionFingerprints, Quotient,
 };
 pub use cocco_search::{
-    BufferSpace, CapacitySampling, CoccoGa, DepthDp, Exhaustive, GaConfig, Genome, GreedyFusion,
-    Objective, SearchContext, SearchMethod, SearchOutcome, Searcher, SimulatedAnnealing, Trace,
-    TracePoint, TwoStep,
+    run_driver, BufferSpace, CapacitySampling, CoccoGa, DepthDp, DriverState, EvalBatch, EvalChunk,
+    Exhaustive, GaConfig, Genome, GreedyFusion, Objective, Portfolio, PortfolioPolicy,
+    SearchContext, SearchDriver, SearchMethod, SearchOutcome, SearchSnapshot, Searcher,
+    SimulatedAnnealing, Step, Trace, TracePoint, TwoStep,
 };
 pub use cocco_sim::{
     AcceleratorConfig, BufferConfig, CapacityRange, CostMetric, EvalOptions, Evaluator,

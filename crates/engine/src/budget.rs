@@ -12,6 +12,21 @@ use std::sync::Arc;
 /// how a two-step scheme grants each capacity candidate 5 000 samples out
 /// of the global 50 000.
 ///
+/// Consumption can also be *reserved up front*
+/// ([`SampleBudget::reserve`]): an interleaved driver draws its next
+/// batch's funding before dispatch, and if the step is abandoned — the
+/// driver dropped mid-step, a checkpointed run exiting — the unused
+/// [`SampleReservation`] returns every unspent sample to the slice **and**
+/// the shared pool on drop, so no samples are silently stranded.
+///
+/// # Accounting
+///
+/// Two counters per budget: `spent` (charged against the limit; exact via
+/// compare-and-swap, decremented by refunds) and `issued` (the sample-index
+/// source; strictly monotone, never decremented). Refunds therefore free
+/// capacity without ever re-issuing an index — trace sample indices stay
+/// globally unique, at the cost of index gaps equal to the refund count.
+///
 /// # Examples
 ///
 /// ```
@@ -25,7 +40,11 @@ use std::sync::Arc;
 /// ```
 #[derive(Debug)]
 pub struct SampleBudget {
-    used: AtomicU64,
+    /// Samples currently charged against the limit (consumed − refunded).
+    spent: AtomicU64,
+    /// Sample indices handed out; monotone, so indices stay unique across
+    /// refunds.
+    issued: AtomicU64,
     limit: u64,
     parent: Option<Arc<SampleBudget>>,
 }
@@ -34,7 +53,8 @@ impl SampleBudget {
     /// Creates a budget of `limit` evaluations.
     pub fn new(limit: u64) -> Self {
         Self {
-            used: AtomicU64::new(0),
+            spent: AtomicU64::new(0),
+            issued: AtomicU64::new(0),
             limit,
             parent: None,
         }
@@ -45,7 +65,8 @@ impl SampleBudget {
     /// globally ordered.
     pub fn slice(parent: Arc<SampleBudget>, cap: u64) -> Self {
         Self {
-            used: AtomicU64::new(0),
+            spent: AtomicU64::new(0),
+            issued: AtomicU64::new(0),
             limit: cap,
             parent: Some(parent),
         }
@@ -56,43 +77,159 @@ impl SampleBudget {
         self.limit
     }
 
-    /// Evaluations consumed so far (may exceed the limit by the number of
-    /// concurrently failing consumers, never by more).
+    /// Evaluations charged so far (never exceeds the limit; refunds give
+    /// capacity back).
     pub fn used(&self) -> u64 {
-        self.used.load(Ordering::Relaxed).min(self.limit)
+        self.spent.load(Ordering::Relaxed).min(self.limit)
+    }
+
+    /// Charges one local sample against the limit, exactly (CAS loop: a
+    /// concurrent failure never overshoots and a refund is never
+    /// double-spent).
+    fn charge(&self) -> bool {
+        let mut spent = self.spent.load(Ordering::Relaxed);
+        loop {
+            if spent >= self.limit {
+                return false;
+            }
+            match self.spent.compare_exchange_weak(
+                spent,
+                spent + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(current) => spent = current,
+            }
+        }
+    }
+
+    /// Returns up to `n` charged samples to this budget only (not the
+    /// ancestors).
+    fn refund_local(&self, n: u64) {
+        let mut spent = self.spent.load(Ordering::Relaxed);
+        loop {
+            let next = spent.saturating_sub(n);
+            match self.spent.compare_exchange_weak(
+                spent,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(current) => spent = current,
+            }
+        }
+    }
+
+    /// Returns `n` unconsumed samples to this budget **and** every
+    /// ancestor pool, so reserved-but-never-evaluated capacity becomes
+    /// available again. The original sample indices are not re-issued
+    /// (indices stay unique); refunding more than was consumed saturates
+    /// at zero.
+    pub fn refund(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.refund_local(n);
+        if let Some(parent) = &self.parent {
+            parent.refund(n);
+        }
     }
 
     /// Consumes one evaluation, returning its 0-based index (from the
     /// outermost pool when sliced), or `None` when the budget — or any
     /// ancestor pool — is exhausted.
     pub fn try_consume(&self) -> Option<u64> {
-        let idx = self.used.fetch_add(1, Ordering::Relaxed);
-        if idx >= self.limit {
-            // Undo the overshoot so `used` stays clamped.
-            self.used.fetch_sub(1, Ordering::Relaxed);
+        if !self.charge() {
             return None;
         }
         match &self.parent {
-            None => Some(idx),
+            None => Some(self.issued.fetch_add(1, Ordering::Relaxed)),
             Some(parent) => match parent.try_consume() {
                 Some(global) => Some(global),
                 None => {
-                    self.used.fetch_sub(1, Ordering::Relaxed);
+                    self.refund_local(1);
                     None
                 }
             },
         }
     }
 
+    /// Pre-draws up to `n` samples as a [`SampleReservation`]. Taken
+    /// samples are spent; whatever remains un-taken when the reservation
+    /// drops is refunded to this budget and every ancestor.
+    pub fn reserve(self: &Arc<Self>, n: u64) -> SampleReservation {
+        let mut samples = Vec::with_capacity(usize::try_from(n).unwrap_or(0));
+        for _ in 0..n {
+            match self.try_consume() {
+                Some(sample) => samples.push(sample),
+                None => break,
+            }
+        }
+        SampleReservation {
+            budget: Arc::clone(self),
+            samples,
+            next: 0,
+        }
+    }
+
     /// `true` once the limit — or any ancestor pool — has been reached.
     pub fn is_exhausted(&self) -> bool {
-        self.used.load(Ordering::Relaxed) >= self.limit
+        self.spent.load(Ordering::Relaxed) >= self.limit
             || self.parent.as_ref().is_some_and(|p| p.is_exhausted())
     }
 
     /// Remaining evaluations.
     pub fn remaining(&self) -> u64 {
         self.limit - self.used()
+    }
+}
+
+/// Funding drawn from a [`SampleBudget`] ahead of evaluation: a batch of
+/// pre-consumed sample indices. Taking hands them out in draw order;
+/// dropping the reservation refunds every un-taken sample to the budget
+/// chain (slice and shared pool alike), so a driver abandoned mid-step
+/// strands nothing.
+#[derive(Debug)]
+pub struct SampleReservation {
+    budget: Arc<SampleBudget>,
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl SampleReservation {
+    /// Takes the next reserved sample index, if any remain.
+    pub fn take(&mut self) -> Option<u64> {
+        let sample = self.samples.get(self.next).copied();
+        if sample.is_some() {
+            self.next += 1;
+        }
+        sample
+    }
+
+    /// Samples still available to take.
+    pub fn remaining(&self) -> u64 {
+        (self.samples.len() - self.next) as u64
+    }
+
+    /// Samples originally secured by the reservation.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the reservation secured no samples at all.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+impl Drop for SampleReservation {
+    fn drop(&mut self) {
+        let unused = self.remaining();
+        if unused > 0 {
+            self.budget.refund(unused);
+        }
     }
 }
 
@@ -242,5 +379,87 @@ mod tests {
         assert_eq!(total, 123);
         assert_eq!(slice.used(), 123);
         assert_eq!(parent.used(), 123);
+    }
+
+    #[test]
+    fn refund_restores_capacity_without_reissuing_indices() {
+        let b = std::sync::Arc::new(SampleBudget::new(4));
+        assert_eq!(b.try_consume(), Some(0));
+        assert_eq!(b.try_consume(), Some(1));
+        b.refund(1);
+        assert_eq!(b.used(), 1);
+        // New consumption gets fresh indices — never a duplicate.
+        assert_eq!(b.try_consume(), Some(2));
+        assert_eq!(b.try_consume(), Some(3));
+        assert_eq!(b.try_consume(), Some(4));
+        assert_eq!(b.try_consume(), None, "limit still binds after refund");
+        assert_eq!(b.used(), 4);
+        // Over-refunding saturates instead of underflowing.
+        b.refund(100);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn dropped_reservation_refunds_slice_and_pool() {
+        let parent = std::sync::Arc::new(SampleBudget::new(10));
+        let slice = std::sync::Arc::new(SampleBudget::slice(parent.clone(), 6));
+        {
+            let mut reservation = slice.reserve(4);
+            assert_eq!(reservation.len(), 4);
+            assert_eq!(parent.used(), 4);
+            assert_eq!(slice.used(), 4);
+            // Spend two of the four; the rest dies with the reservation.
+            assert_eq!(reservation.take(), Some(0));
+            assert_eq!(reservation.take(), Some(1));
+            assert_eq!(reservation.remaining(), 2);
+        }
+        // Conservation: only the two taken samples stay charged, at both
+        // the slice and the shared pool.
+        assert_eq!(slice.used(), 2, "slice kept stranded samples");
+        assert_eq!(parent.used(), 2, "pool kept stranded samples");
+        // The refunded capacity is immediately reusable by another slice.
+        let other = std::sync::Arc::new(SampleBudget::slice(parent.clone(), 10));
+        let mut got = 0;
+        while other.try_consume().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 8, "refunded samples must be reusable");
+        assert_eq!(parent.used(), 10);
+    }
+
+    #[test]
+    fn reservation_conserves_total_budget() {
+        // Reserve/take/drop cycles across several slices never create or
+        // destroy budget: at the end, pool used == samples actually taken,
+        // and the pool can still hand out exactly the remainder.
+        let parent = std::sync::Arc::new(SampleBudget::new(100));
+        let mut taken = 0u64;
+        for round in 0..7u64 {
+            let slice = std::sync::Arc::new(SampleBudget::slice(parent.clone(), 11));
+            let mut reservation = slice.reserve(11);
+            // Take a varying prefix, abandon the rest.
+            for _ in 0..(round % 5) {
+                if reservation.take().is_some() {
+                    taken += 1;
+                }
+            }
+        }
+        assert_eq!(parent.used(), taken);
+        let mut rest = 0u64;
+        while parent.try_consume().is_some() {
+            rest += 1;
+        }
+        assert_eq!(taken + rest, 100, "budget not conserved");
+    }
+
+    #[test]
+    fn reservation_on_exhausted_pool_is_empty() {
+        let parent = std::sync::Arc::new(SampleBudget::new(2));
+        parent.try_consume();
+        parent.try_consume();
+        let slice = std::sync::Arc::new(SampleBudget::slice(parent.clone(), 5));
+        let reservation = slice.reserve(3);
+        assert!(reservation.is_empty());
+        assert_eq!(reservation.remaining(), 0);
     }
 }

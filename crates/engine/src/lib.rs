@@ -26,7 +26,10 @@
 //!   ([`Engine::score_delta`] + [`EvalMemo`]) that re-scores only the
 //!   subgraphs a mutation touched;
 //! * [`SampleBudget`] — the thread-safe evaluation budget drawn on by every
-//!   searcher, sliceable for two-step inner runs;
+//!   searcher: sliceable for two-step inner runs, and reservable
+//!   ([`SampleBudget::reserve`] → [`SampleReservation`]) for interleaved
+//!   drivers that pre-fund a dispatch — abandoned reservations refund to
+//!   the slice and the shared pool on drop, so no samples are stranded;
 //! * [`Trace`]/[`TracePoint`] — thread-safe evaluation recording, plus the
 //!   `infeasible_errors` counter that keeps silent evaluator failures
 //!   visible.
@@ -65,7 +68,7 @@ mod engine;
 mod pool;
 mod trace;
 
-pub use budget::SampleBudget;
+pub use budget::{SampleBudget, SampleReservation};
 pub use cache::{eval_key, subgraph_key, CacheSnapshot, EvalCache, EvalKey, SNAPSHOT_VERSION};
 pub use config::{EngineConfig, PoolMode, ThreadCount};
 pub use engine::{Engine, EngineStats, EvalMemo, ScoredEval, SubgraphScore};

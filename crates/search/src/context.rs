@@ -1,9 +1,12 @@
 //! The shared search context: engine access, budget accounting, repair
 //! and trace recording.
 
+use crate::driver::EvalBatch;
 use crate::genome::Genome;
 use crate::objective::{BufferSpace, Objective};
-use cocco_engine::{Engine, EngineConfig, EvalMemo, SampleBudget, Trace, TracePoint};
+use cocco_engine::{
+    Engine, EngineConfig, EvalMemo, SampleBudget, SampleReservation, Trace, TracePoint,
+};
 use cocco_graph::{Graph, NodeId};
 use cocco_partition::{repair, repair_with_delta, Partition, PartitionDelta};
 use cocco_sim::{BufferConfig, EvalOptions, Evaluator};
@@ -72,6 +75,24 @@ impl EvalCandidate {
             cost: None,
         }
     }
+}
+
+/// Where a group's funding comes from (see `evaluate_groups`).
+enum Funding<'f> {
+    /// The context's own budget.
+    Context,
+    /// An explicit budget (a sub-search's slice).
+    Budget(&'f SampleBudget),
+    /// Funding drawn ahead of dispatch.
+    Reservation(&'f mut SampleReservation),
+}
+
+/// One contiguous group of candidates sharing an objective and a funding
+/// source inside a single engine dispatch.
+struct EvalGroup<'g> {
+    candidates: &'g mut [EvalCandidate],
+    objective: Objective,
+    funding: Funding<'g>,
 }
 
 /// Everything a [`Searcher`](crate::Searcher) needs: the graph, the shared
@@ -163,16 +184,39 @@ impl<'a> SearchContext<'a> {
     /// Derives a context whose budget is capped at `cap` additional samples
     /// while still drawing from (and counting against) this context's pool.
     pub fn slice_budget(&self, cap: u64) -> SearchContext<'a> {
+        self.derive_with_budget(
+            self.space,
+            self.objective,
+            Arc::new(SampleBudget::slice(Arc::clone(&self.budget), cap)),
+        )
+    }
+
+    /// [`derive`](Self::derive) with an explicit budget handle — how a
+    /// stepped sub-search (a two-step inner GA, a portfolio member) keeps
+    /// drawing from **its own persistent slice** across driver steps while
+    /// sharing this context's trace, engine and evaluator.
+    pub fn derive_with_budget(
+        &self,
+        space: BufferSpace,
+        objective: Objective,
+        budget: Arc<SampleBudget>,
+    ) -> SearchContext<'a> {
         SearchContext {
             graph: self.graph,
             evaluator: self.evaluator,
-            space: self.space,
-            objective: self.objective,
+            space,
+            objective,
             options: self.options,
-            budget: Arc::new(SampleBudget::slice(Arc::clone(&self.budget), cap)),
+            budget,
             trace: Arc::clone(&self.trace),
             engine: Arc::clone(&self.engine),
         }
+    }
+
+    /// The shared budget as a cloneable handle (for slicing by stepped
+    /// sub-searches).
+    pub fn budget_handle(&self) -> Arc<SampleBudget> {
+        Arc::clone(&self.budget)
     }
 
     /// The searched graph.
@@ -294,28 +338,99 @@ impl<'a> SearchContext<'a> {
     /// (sample indices and trace points follow input order, and every
     /// scoring path computes the exact same pure per-subgraph terms).
     pub fn evaluate_candidates(&self, candidates: &mut [EvalCandidate]) -> Vec<Option<f64>> {
-        let total = candidates.len();
+        let mut groups = [EvalGroup {
+            candidates,
+            objective: self.objective,
+            funding: Funding::Context,
+        }];
+        self.evaluate_groups(&mut groups);
+        groups[0].candidates.iter().map(|c| c.cost).collect()
+    }
+
+    /// Evaluates a driver's [`EvalBatch`] — every chunk of every candidate
+    /// — as **one** engine dispatch, honoring each chunk's objective and
+    /// funding overrides.
+    ///
+    /// Funding is drawn in chunk order, candidate order (a chunk whose
+    /// budget runs dry leaves its remaining candidates unfunded and moves
+    /// on to the next chunk, whose own budget may still have capacity).
+    /// Trace points follow that same funding order, so interleaved
+    /// sub-searches sharing one dispatch stay bit-identical at any thread
+    /// count.
+    pub fn evaluate_chunks(&self, batch: &mut EvalBatch) {
+        let mut groups: Vec<EvalGroup<'_>> = batch
+            .chunks
+            .iter_mut()
+            .map(|chunk| {
+                let crate::driver::EvalChunk {
+                    candidates,
+                    objective,
+                    budget,
+                    reservation,
+                } = chunk;
+                EvalGroup {
+                    candidates,
+                    objective: objective.unwrap_or(self.objective),
+                    funding: match (reservation, budget) {
+                        (Some(reservation), _) => Funding::Reservation(reservation),
+                        (None, Some(budget)) => Funding::Budget(budget),
+                        (None, None) => Funding::Context,
+                    },
+                }
+            })
+            .collect();
+        self.evaluate_groups(&mut groups);
+    }
+
+    /// The shared grouped evaluation core: fund in group/input order, run
+    /// every funded candidate in one pool dispatch, record trace points in
+    /// funding order.
+    fn evaluate_groups(&self, groups: &mut [EvalGroup<'_>]) {
         // Pin sample indices to input order before any worker runs.
-        let mut samples = Vec::with_capacity(total);
-        while samples.len() < total {
-            match self.budget.try_consume() {
-                Some(sample) => samples.push(sample),
-                None => break,
+        let mut funded_per_group = Vec::with_capacity(groups.len());
+        let mut samples = Vec::new();
+        for group in groups.iter_mut() {
+            let mut funded = 0usize;
+            for _ in 0..group.candidates.len() {
+                let sample = match &mut group.funding {
+                    Funding::Context => self.budget.try_consume(),
+                    Funding::Budget(budget) => budget.try_consume(),
+                    Funding::Reservation(reservation) => reservation.take(),
+                };
+                match sample {
+                    Some(sample) => {
+                        samples.push(sample);
+                        funded += 1;
+                    }
+                    None => break,
+                }
             }
+            funded_per_group.push(funded);
         }
-        let funded = samples.len();
-        let mut out: Vec<Option<f64>> = Vec::with_capacity(total);
-        if funded == 0 {
-            out.resize(total, None);
-            return out;
+        if samples.is_empty() {
+            return;
         }
         let start = Instant::now();
-        let jobs: Vec<Mutex<&mut EvalCandidate>> =
-            candidates[..funded].iter_mut().map(Mutex::new).collect();
+        let mut jobs: Vec<(Mutex<&mut EvalCandidate>, Objective, u64)> =
+            Vec::with_capacity(samples.len());
+        {
+            let mut sample_iter = samples.iter();
+            for (group, &funded) in groups.iter_mut().zip(&funded_per_group) {
+                let objective = group.objective;
+                for candidate in group.candidates.iter_mut().take(funded) {
+                    jobs.push((
+                        Mutex::new(candidate),
+                        objective,
+                        *sample_iter.next().unwrap(),
+                    ));
+                }
+            }
+        }
         let results: Vec<Mutex<Option<TracePoint>>> =
-            (0..funded).map(|_| Mutex::new(None)).collect();
-        self.engine.pool().run(funded, |i| {
-            let candidate: &mut EvalCandidate = &mut jobs[i].lock().unwrap();
+            (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+        self.engine.pool().run(jobs.len(), |i| {
+            let (slot, objective, sample) = &jobs[i];
+            let candidate: &mut EvalCandidate = &mut slot.lock().unwrap();
             let buffer = candidate.genome.buffer;
             let (parent_memo, mut delta) = match candidate.hint.take() {
                 Some(hint) => (Some(hint.memo), hint.delta),
@@ -347,24 +462,21 @@ impl<'a> SearchContext<'a> {
             if scored.error {
                 self.trace.record_infeasible_error();
             }
-            let cost = scored.cost(self.objective.metric, self.objective.alpha);
+            let cost = scored.cost(objective.metric, objective.alpha);
             candidate.cost = Some(cost);
             *results[i].lock().unwrap() = Some(TracePoint {
-                sample: samples[i],
+                sample: *sample,
                 cost,
                 buffer_bytes: buffer.total_bytes(),
-                metric_value: scored.metric(self.objective.metric),
+                metric_value: scored.metric(objective.metric),
             });
         });
         self.engine.record_wall(start.elapsed());
-        // Record trace points in input (= sample) order.
+        // Record trace points in funding (= sample) order.
         for slot in &results {
             let point = slot.lock().unwrap().take().expect("every funded job ran");
             self.trace.record(point);
-            out.push(Some(point.cost));
         }
-        out.resize(total, None);
-        out
     }
 
     /// Evaluates an already-valid genome (no repair), consuming one budget

@@ -1,10 +1,12 @@
 //! Depth-ordered dynamic-programming baseline (Irregular-NN, paper §4.2.3).
 
 use crate::context::SearchContext;
+use crate::driver::{run_driver, DriverState, EvalBatch, SearchDriver, Step};
 use crate::genome::Genome;
 use crate::outcome::{SearchOutcome, Searcher};
 use cocco_graph::NodeId;
 use cocco_partition::Partition;
+use cocco_sim::BufferConfig;
 use serde::{Deserialize, Serialize};
 
 /// The DP baseline of Zheng et al.: layers are arranged by depth and a
@@ -57,37 +59,131 @@ impl DepthDp {
     }
 }
 
-impl Searcher for DepthDp {
-    fn name(&self) -> &'static str {
-        "Irregular-NN (DP)"
+impl DepthDp {
+    /// The DP as a resumable [`SearchDriver`] (one table row per step).
+    pub fn driver(&self) -> DpDriver {
+        DpDriver {
+            config: self.clone(),
+            dp: Vec::new(),
+            back: Vec::new(),
+            row: 0,
+            order: Vec::new(),
+            done: false,
+            outcome: SearchOutcome::empty(),
+        }
     }
 
-    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
-        let graph = ctx.graph();
-        let buffer = match ctx.space {
+    /// The depth order (ties by id) — the "arrange the layers based on
+    /// their depth" step. Recomputed deterministically from the graph, so
+    /// it never travels in a snapshot.
+    fn depth_order(graph: &cocco_graph::Graph) -> Vec<usize> {
+        let depths = graph.depths();
+        let mut order: Vec<usize> = (0..graph.len()).collect();
+        order.sort_by_key(|&i| (depths[i], i));
+        order
+    }
+
+    /// The fixed buffer the DP runs under.
+    fn buffer(ctx: &SearchContext<'_>) -> BufferConfig {
+        match ctx.space {
             crate::objective::BufferSpace::Fixed(c) => c,
             _ => *ctx
                 .space
                 .grid()
                 .last()
                 .expect("buffer space has at least one configuration"),
-        };
+        }
+    }
+}
+
+impl Searcher for DepthDp {
+    fn name(&self) -> &'static str {
+        "Irregular-NN (DP)"
+    }
+
+    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        run_driver(&mut self.driver(), ctx)
+    }
+}
+
+/// Serializable state of a [`DpDriver`]: the DP table so far (infinite
+/// costs round-trip exactly), back-pointers, and the next row to fill.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DpState {
+    dp: Vec<f64>,
+    back: Vec<u64>,
+    row: u64,
+    done: bool,
+    outcome: SearchOutcome,
+}
+
+/// The depth-ordered chain DP as a step-driven state machine: each step
+/// fills one row of the table (`dp[i]` = best cost covering the first `i`
+/// nodes of the depth order); the final step reconstructs and scores the
+/// run boundaries. Analytic: no step consumes budget.
+#[derive(Debug)]
+pub struct DpDriver {
+    config: DepthDp,
+    dp: Vec<f64>,
+    back: Vec<usize>,
+    /// Next row to fill (`0` = table not yet initialized).
+    row: usize,
+    /// The depth order, derived once per driver (deterministic from the
+    /// graph, so it never travels in a snapshot; rebuilt lazily on
+    /// resume).
+    order: Vec<usize>,
+    done: bool,
+    outcome: SearchOutcome,
+}
+
+impl DpDriver {
+    /// Resumes a driver from a serialized state.
+    pub fn from_state(config: DepthDp, state: DpState) -> Self {
+        Self {
+            config,
+            dp: state.dp,
+            back: state
+                .back
+                .into_iter()
+                .map(|b| usize::try_from(b).unwrap_or(usize::MAX))
+                .collect(),
+            row: state.row as usize,
+            order: Vec::new(),
+            done: state.done,
+            outcome: state.outcome,
+        }
+    }
+}
+
+impl SearchDriver for DpDriver {
+    fn name(&self) -> &'static str {
+        "Irregular-NN (DP)"
+    }
+
+    fn next_batch(&mut self, ctx: &SearchContext<'_>) -> Step {
+        if self.done {
+            return Step::Done;
+        }
+        let graph = ctx.graph();
+        let buffer = DepthDp::buffer(ctx);
         let n = graph.len();
-
-        // Depth order (ties by id) — the "arrange the layers based on their
-        // depth" step.
-        let depths = graph.depths();
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&i| (depths[i], i));
-
-        // dp[i]: best cost covering the first i nodes of the order.
-        let mut dp = vec![f64::INFINITY; n + 1];
-        let mut back = vec![usize::MAX; n + 1];
-        dp[0] = 0.0;
-        for i in 1..=n {
-            let lo = i.saturating_sub(self.max_run);
+        if self.row == 0 {
+            // dp[i]: best cost covering the first i nodes of the order.
+            self.dp = vec![f64::INFINITY; n + 1];
+            self.back = vec![usize::MAX; n + 1];
+            self.dp[0] = 0.0;
+            self.row = 1;
+            return Step::Continue;
+        }
+        if self.order.is_empty() {
+            self.order = DepthDp::depth_order(graph);
+        }
+        let order = &self.order;
+        if self.row <= n {
+            let i = self.row;
+            let lo = i.saturating_sub(self.config.max_run);
             for j in (lo..i).rev() {
-                if !dp[j].is_finite() {
+                if !self.dp[j].is_finite() {
                     continue;
                 }
                 let members: Vec<NodeId> =
@@ -100,24 +196,25 @@ impl Searcher for DepthDp {
                     // stops fitting, longer runs cannot fit either.
                     break;
                 };
-                if dp[j] + cost < dp[i] {
-                    dp[i] = dp[j] + cost;
-                    back[i] = j;
+                if self.dp[j] + cost < self.dp[i] {
+                    self.dp[i] = self.dp[j] + cost;
+                    self.back[i] = j;
                 }
             }
+            self.row += 1;
+            return Step::Continue;
         }
-
-        let mut outcome = SearchOutcome::empty();
-        if !dp[n].is_finite() {
-            return outcome;
+        // Table complete: reconstruct the run boundaries and score.
+        self.done = true;
+        if !self.dp[n].is_finite() {
+            return Step::Done;
         }
-        // Reconstruct the run boundaries.
         let mut assignment = vec![0u32; n];
         let mut i = n;
         let mut sg = 0u32;
         let mut cuts = Vec::new();
         while i > 0 {
-            let j = back[i];
+            let j = self.back[i];
             cuts.push((j, i));
             i = j;
         }
@@ -131,8 +228,24 @@ impl Searcher for DepthDp {
         let mut partition = Partition::from_assignment(assignment);
         partition.canonicalize(graph);
         let cost = ctx.partition_cost(&partition, &buffer);
-        outcome.consider(Genome::new(partition, buffer), cost);
-        outcome
+        self.outcome.consider(Genome::new(partition, buffer), cost);
+        Step::Done
+    }
+
+    fn absorb(&mut self, _ctx: &SearchContext<'_>, _batch: EvalBatch) {}
+
+    fn outcome(&self) -> SearchOutcome {
+        self.outcome.clone()
+    }
+
+    fn state(&self) -> DriverState {
+        DriverState::DepthDp(DpState {
+            dp: self.dp.clone(),
+            back: self.back.iter().map(|&b| b as u64).collect(),
+            row: self.row as u64,
+            done: self.done,
+            outcome: self.outcome.clone(),
+        })
     }
 }
 

@@ -1,0 +1,284 @@
+//! Step-driven, resumable search: the [`SearchDriver`] state machine that
+//! sits under every method of the crate.
+//!
+//! A driver replaces the monolithic run-to-completion loop with an
+//! explicit protocol:
+//!
+//! 1. [`next_batch`](SearchDriver::next_batch) advances the method's
+//!    internal state machine and yields a [`Step`] — either a batch of
+//!    [`EvalCandidate`]s to evaluate (with per-chunk objective/budget
+//!    overrides, so sub-searches and interleaved schemes can share one
+//!    engine dispatch), an internal-work notification, or completion;
+//! 2. the harness evaluates the batch as **one** engine dispatch
+//!    ([`SearchContext::evaluate_chunks`]);
+//! 3. [`absorb`](SearchDriver::absorb) feeds the evaluated candidates back,
+//!    advancing selection/acceptance/fold state.
+//!
+//! Between any two steps, [`state`](SearchDriver::state) produces a
+//! serde-serializable [`DriverState`] snapshot: round-tripping it through
+//! JSON and resuming with `SearchMethod::driver_from_state` continues the
+//! run **bit-identically** (best cost, genome and trace equal to the
+//! uninterrupted seeded run, at any thread count). Snapshots deliberately
+//! drop in-memory [`EvalMemo`](cocco_engine::EvalMemo)s — memos are a
+//! wall-clock optimization, so a resumed run recomputes a little more but
+//! never scores differently.
+//!
+//! [`run_driver`] is the thin default loop every [`Searcher`] now runs
+//! through; on top of the same uniform step surface sit the interleaved
+//! two-step scheme ([`TwoStep`](crate::TwoStep)) and the
+//! [`Portfolio`](crate::Portfolio) meta-driver.
+
+use crate::context::{EvalCandidate, SearchContext};
+use crate::dp::DpState;
+use crate::exhaustive::ExhaustiveState;
+use crate::ga::GaState;
+use crate::greedy::GreedyState;
+use crate::objective::Objective;
+use crate::outcome::SearchOutcome;
+use crate::portfolio::PortfolioState;
+use crate::sa::SaState;
+use crate::twostep::TwoStepState;
+use cocco_engine::{SampleBudget, SampleReservation, TracePoint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One contiguous group of candidates inside an [`EvalBatch`], carrying
+/// its own evaluation coordinates:
+///
+/// * `objective` — `None` evaluates under the context's objective; a
+///   two-step inner GA overrides it with the partition-only objective;
+/// * `budget` — `None` draws funding from the context budget; a sliced
+///   sub-search points at its slice;
+/// * `reservation` — funding drawn **ahead of dispatch** (deterministic
+///   interleaving); takes precedence over `budget`. An abandoned batch
+///   refunds the unconsumed reservation to the shared pool on drop.
+#[derive(Debug)]
+pub struct EvalChunk {
+    /// The candidates; repaired and scored in place by evaluation.
+    pub candidates: Vec<EvalCandidate>,
+    /// Objective override (`None` → the context's objective).
+    pub objective: Option<Objective>,
+    /// Funding source override (`None` → the context's budget).
+    pub budget: Option<Arc<SampleBudget>>,
+    /// Pre-drawn funding; supersedes `budget` when present.
+    pub reservation: Option<SampleReservation>,
+}
+
+impl EvalChunk {
+    /// A chunk evaluated under the context's own objective and budget.
+    pub fn new(candidates: Vec<EvalCandidate>) -> Self {
+        Self {
+            candidates,
+            objective: None,
+            budget: None,
+            reservation: None,
+        }
+    }
+}
+
+/// One driver step's worth of evaluation work: chunks dispatched to the
+/// engine pool **together**, funded and traced in chunk order.
+#[derive(Debug, Default)]
+pub struct EvalBatch {
+    /// The chunks, in funding/trace order.
+    pub chunks: Vec<EvalChunk>,
+}
+
+impl EvalBatch {
+    /// A batch of one plain chunk (the common single-method case).
+    pub fn single(candidates: Vec<EvalCandidate>) -> Self {
+        Self {
+            chunks: vec![EvalChunk::new(candidates)],
+        }
+    }
+
+    /// Total candidates across all chunks.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(|c| c.candidates.len()).sum()
+    }
+
+    /// `true` when no chunk carries any candidate.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What a driver wants next.
+#[derive(Debug)]
+pub enum Step {
+    /// Evaluate this batch (one engine dispatch), then call
+    /// [`absorb`](SearchDriver::absorb) with it.
+    Evaluate(EvalBatch),
+    /// Internal (analytic) work was done; call
+    /// [`next_batch`](SearchDriver::next_batch) again.
+    Continue,
+    /// The search is finished; read [`outcome`](SearchDriver::outcome).
+    Done,
+}
+
+/// A search method as a resumable state machine. See the module docs for
+/// the protocol; every method of the registry implements it, and
+/// `Searcher::run` is now a thin [`run_driver`] loop.
+pub trait SearchDriver: Send {
+    /// The method's display name.
+    fn name(&self) -> &'static str;
+
+    /// Advances the state machine and yields the next step.
+    fn next_batch(&mut self, ctx: &SearchContext<'_>) -> Step;
+
+    /// Feeds an evaluated batch back (costs/memos filled in; a candidate
+    /// with `cost == None` was not funded — the budget ran out).
+    fn absorb(&mut self, ctx: &SearchContext<'_>, batch: EvalBatch);
+
+    /// The best-so-far outcome (final once [`Step::Done`] was returned).
+    fn outcome(&self) -> SearchOutcome;
+
+    /// A serializable snapshot of the driver's state, valid between any
+    /// two steps. In-memory evaluation memos are dropped (performance
+    /// only, never results).
+    fn state(&self) -> DriverState;
+}
+
+/// The serializable state of any driver in the registry — what a
+/// checkpoint stores and `SearchMethod::driver_from_state` resumes from.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DriverState {
+    /// Genetic co-exploration.
+    Ga(GaState),
+    /// Simulated annealing.
+    Sa(SaState),
+    /// Greedy fusion.
+    Greedy(GreedyState),
+    /// Depth-ordered DP.
+    DepthDp(DpState),
+    /// Downset enumeration.
+    Exhaustive(ExhaustiveState),
+    /// Two-step capacity-then-partition scheme.
+    TwoStep(TwoStepState),
+    /// Portfolio meta-driver.
+    Portfolio(PortfolioState),
+}
+
+/// The default run loop: step the driver, evaluate each batch as one
+/// engine dispatch, absorb, repeat until done. Every `Searcher::run` in
+/// the crate is this loop over the method's driver, so the stepped and
+/// "monolithic" paths are one code path and bit-identical by construction.
+pub fn run_driver(driver: &mut dyn SearchDriver, ctx: &SearchContext<'_>) -> SearchOutcome {
+    loop {
+        match driver.next_batch(ctx) {
+            Step::Evaluate(mut batch) => {
+                ctx.evaluate_chunks(&mut batch);
+                driver.absorb(ctx, batch);
+            }
+            Step::Continue => {}
+            Step::Done => return driver.outcome(),
+        }
+    }
+}
+
+/// Current [`SearchSnapshot::version`].
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A whole-run checkpoint: the driver state plus everything the harness
+/// must restore around it (trace so far, budget consumption, and the
+/// coordinates the snapshot is only valid under).
+///
+/// `fingerprint` is the evaluator's `(model, accelerator config)`
+/// fingerprint — the same identity the engine's cache keys embed — so a
+/// resume against a different model or platform is rejected instead of
+/// continuing a nonsensical search.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SearchSnapshot {
+    /// Snapshot format version.
+    pub version: u32,
+    /// The evaluator fingerprint the run was recorded under.
+    pub fingerprint: u64,
+    /// The method (with its full configuration) that produced the state.
+    pub method: crate::SearchMethod,
+    /// The driver's serialized state machine.
+    pub driver: DriverState,
+    /// The budget limit of the interrupted run.
+    pub budget_limit: u64,
+    /// Samples consumed when the snapshot was taken.
+    pub budget_used: u64,
+    /// Every trace point recorded up to the snapshot.
+    pub trace: Vec<TracePoint>,
+}
+
+impl SearchSnapshot {
+    /// Captures a snapshot of `driver` between steps, under `ctx`.
+    pub fn capture(
+        method: &crate::SearchMethod,
+        driver: &dyn SearchDriver,
+        ctx: &SearchContext<'_>,
+    ) -> Self {
+        Self {
+            version: CHECKPOINT_VERSION,
+            fingerprint: ctx.evaluator().fingerprint(),
+            method: method.clone(),
+            driver: driver.state(),
+            budget_limit: ctx.budget().limit(),
+            budget_used: ctx.budget().used(),
+            trace: ctx.trace().points(),
+        }
+    }
+
+    /// Replays the snapshot's consumed budget and recorded trace into a
+    /// fresh context, so the resumed run continues with the exact sample
+    /// indices and trace the uninterrupted run would have.
+    pub fn replay_into(&self, ctx: &SearchContext<'_>) {
+        for _ in 0..self.budget_used {
+            ctx.budget().try_consume();
+        }
+        for point in &self.trace {
+            ctx.trace().record(*point);
+        }
+    }
+}
+
+/// Serializes an RNG for a [`DriverState`] (the xoshiro256** state words).
+pub(crate) fn rng_state(rng: &StdRng) -> Vec<u64> {
+    rng.state().to_vec()
+}
+
+/// Restores an RNG from [`rng_state`] words (a short vector — from a
+/// hand-edited snapshot — falls back to reseeding from the first word).
+pub(crate) fn rng_from_state(words: &[u64]) -> StdRng {
+    match <[u64; 4]>::try_from(words) {
+        Ok(state) => StdRng::from_state(state),
+        Err(_) => StdRng::seed_from_u64(words.first().copied().unwrap_or(0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, RngCore};
+
+    #[test]
+    fn rng_state_round_trips_mid_stream() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..13 {
+            rng.next_u64();
+        }
+        let mut restored = rng_from_state(&rng_state(&rng));
+        for _ in 0..50 {
+            assert_eq!(rng.gen::<u64>(), restored.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn malformed_rng_state_falls_back_to_seed() {
+        let rng = rng_from_state(&[42]);
+        let seeded = StdRng::seed_from_u64(42);
+        assert_eq!(rng.state(), seeded.state());
+    }
+
+    #[test]
+    fn batch_len_counts_across_chunks() {
+        let batch = EvalBatch::default();
+        assert!(batch.is_empty());
+    }
+}

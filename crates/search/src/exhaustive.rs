@@ -11,6 +11,7 @@
 //! reportable outcome ([`SearchOutcome::completed`]).
 
 use crate::context::SearchContext;
+use crate::driver::{run_driver, DriverState, EvalBatch, SearchDriver, Step};
 use crate::genome::Genome;
 use crate::outcome::{SearchOutcome, Searcher};
 use cocco_graph::{Graph, NodeId};
@@ -93,9 +94,38 @@ fn bits_count(b: &[u64]) -> usize {
     b.iter().map(|w| w.count_ones() as usize).sum()
 }
 
+#[derive(Clone)]
 struct StateInfo {
     cost: f64,
     back: Option<(Bits, Vec<u32>)>,
+}
+
+impl Exhaustive {
+    /// The enumeration as a resumable [`SearchDriver`] (one popcount level
+    /// per step).
+    pub fn driver(&self) -> ExhaustiveDriver {
+        ExhaustiveDriver {
+            limits: self.limits,
+            levels: Vec::new(),
+            level: 0,
+            total_states: 1,
+            expansions: 0,
+            done: false,
+            outcome: SearchOutcome::empty(),
+        }
+    }
+
+    /// The fixed buffer the enumeration runs under.
+    fn buffer(ctx: &SearchContext<'_>) -> BufferConfig {
+        match ctx.space {
+            crate::objective::BufferSpace::Fixed(c) => c,
+            _ => *ctx
+                .space
+                .grid()
+                .last()
+                .expect("buffer space has at least one configuration"),
+        }
+    }
 }
 
 impl Searcher for Exhaustive {
@@ -104,19 +134,170 @@ impl Searcher for Exhaustive {
     }
 
     fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        run_driver(&mut self.driver(), ctx)
+    }
+}
+
+/// One serialized downset state: the downset bits, its best cost (always
+/// finite) and the back-pointer `(parent downset, executed subgraph)`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct ExhaustiveEntry {
+    downset: Vec<u64>,
+    cost: f64,
+    back: Option<(Vec<u64>, Vec<u32>)>,
+}
+
+/// Serializable state of an [`ExhaustiveDriver`]: the per-level downset
+/// tables (sorted by downset, so snapshots are stable) plus the
+/// level cursor and abort counters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExhaustiveState {
+    levels: Vec<Vec<ExhaustiveEntry>>,
+    level: u64,
+    total_states: u64,
+    expansions: u64,
+    done: bool,
+    outcome: SearchOutcome,
+}
+
+/// The downset-DP enumeration as a step-driven state machine: each step
+/// expands every state of one popcount level (states processed in sorted
+/// downset order, so the run — including abort boundaries and equal-cost
+/// tie-breaks — is deterministic across processes); the final step
+/// reconstructs the optimal execution chain. Analytic: no step consumes
+/// budget.
+#[derive(Debug)]
+pub struct ExhaustiveDriver {
+    limits: ExhaustiveLimits,
+    levels: Vec<HashMap<Bits, StateInfo>>,
+    /// Next level to expand (`levels` empty ⇒ not yet initialized).
+    level: usize,
+    total_states: usize,
+    expansions: u64,
+    done: bool,
+    outcome: SearchOutcome,
+}
+
+impl std::fmt::Debug for StateInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateInfo")
+            .field("cost", &self.cost)
+            .finish()
+    }
+}
+
+impl ExhaustiveDriver {
+    /// Resumes a driver from a serialized state.
+    pub fn from_state(limits: ExhaustiveLimits, state: ExhaustiveState) -> Self {
+        Self {
+            limits,
+            levels: state
+                .levels
+                .into_iter()
+                .map(|entries| {
+                    entries
+                        .into_iter()
+                        .map(|e| {
+                            (
+                                e.downset.into_boxed_slice(),
+                                StateInfo {
+                                    cost: e.cost,
+                                    back: e
+                                        .back
+                                        .map(|(p, members)| (p.into_boxed_slice(), members)),
+                                },
+                            )
+                        })
+                        .collect()
+                })
+                .collect(),
+            level: state.level as usize,
+            total_states: state.total_states as usize,
+            expansions: state.expansions,
+            done: state.done,
+            outcome: state.outcome,
+        }
+    }
+
+    /// Finalizes after an abort or a completed sweep.
+    fn finalize(&mut self, ctx: &SearchContext<'_>, aborted: bool) -> Step {
         let graph = ctx.graph();
-        let buffer = match ctx.space {
-            crate::objective::BufferSpace::Fixed(c) => c,
-            _ => *ctx
-                .space
-                .grid()
-                .last()
-                .expect("buffer space has at least one configuration"),
-        };
+        let buffer = Exhaustive::buffer(ctx);
         let n = graph.len();
         let words = n.div_ceil(64);
+        self.done = true;
+        self.outcome.completed = !aborted;
+        if aborted {
+            return Step::Done;
+        }
+        // Reconstruct the optimal chain from the full downset.
+        let full: Bits = {
+            let mut b = bits_new(words);
+            for i in 0..n {
+                bits_set(&mut b, i);
+            }
+            b
+        };
+        if !self.levels[n].contains_key(&full) {
+            return Step::Done; // nothing fits at all
+        }
+        let mut assignment = vec![0u32; n];
+        let mut cursor = full;
+        let mut sg = 0u32;
+        loop {
+            let level = bits_count(&cursor);
+            let info = &self.levels[level][&cursor];
+            match &info.back {
+                Some((parent, members)) => {
+                    for &m in members {
+                        assignment[m as usize] = sg;
+                    }
+                    sg += 1;
+                    cursor = parent.clone();
+                }
+                None => break,
+            }
+        }
+        let mut partition = Partition::from_assignment(assignment);
+        partition.canonicalize(graph);
+        let cost = ctx.partition_cost(&partition, &buffer);
+        self.outcome.consider(Genome::new(partition, buffer), cost);
+        Step::Done
+    }
+}
 
-        // Weight-capacity bound for monotone pruning during enumeration.
+impl SearchDriver for ExhaustiveDriver {
+    fn name(&self) -> &'static str {
+        "Enumeration"
+    }
+
+    fn next_batch(&mut self, ctx: &SearchContext<'_>) -> Step {
+        if self.done {
+            return Step::Done;
+        }
+        let graph = ctx.graph();
+        let buffer = Exhaustive::buffer(ctx);
+        let n = graph.len();
+        let words = n.div_ceil(64);
+        if self.levels.is_empty() {
+            // DP over downsets, processed by popcount level.
+            self.levels = (0..=n).map(|_| HashMap::new()).collect();
+            self.levels[0].insert(
+                bits_new(words),
+                StateInfo {
+                    cost: 0.0,
+                    back: None,
+                },
+            );
+            return Step::Continue;
+        }
+        if self.level >= n {
+            return self.finalize(ctx, false);
+        }
+
+        // Per-step precomputation (cheap relative to a level's expansion
+        // work, and keeps snapshots small): weight-capacity bound for
+        // monotone pruning, and undirected adjacency for connectivity.
         let wgt_cap = match buffer {
             BufferConfig::Separate { wgt, .. } => wgt,
             BufferConfig::Shared { total } => total,
@@ -126,8 +307,6 @@ impl Searcher for Exhaustive {
             .node_ids()
             .map(|id| graph.weight_elements(id) * elem)
             .collect();
-
-        // Undirected adjacency for connectivity expansion.
         let neighbors: Vec<Vec<u32>> = graph
             .node_ids()
             .map(|id| {
@@ -143,131 +322,124 @@ impl Searcher for Exhaustive {
             })
             .collect();
 
-        // DP over downsets, processed by popcount level.
-        let mut levels: Vec<HashMap<Bits, StateInfo>> = (0..=n).map(|_| HashMap::new()).collect();
-        levels[0].insert(
-            bits_new(words),
-            StateInfo {
-                cost: 0.0,
-                back: None,
-            },
-        );
-        let mut total_states = 1usize;
-        let mut expansions = 0u64;
+        let level = self.level;
+        self.level += 1;
+        if self.levels[level].is_empty() {
+            return Step::Continue;
+        }
+        // Sorted-state iteration: processing order (and with it abort
+        // boundaries and equal-cost tie-breaks) must not depend on the
+        // hash map's per-process iteration order.
+        let mut states: Vec<(Bits, f64)> = self.levels[level]
+            .iter()
+            .map(|(k, v)| (k.clone(), v.cost))
+            .collect();
+        states.sort_by(|a, b| a.0.cmp(&b.0));
         let mut aborted = false;
-
-        'levels: for level in 0..n {
-            if levels[level].is_empty() {
-                continue;
-            }
-            let states: Vec<(Bits, f64)> = levels[level]
-                .iter()
-                .map(|(k, v)| (k.clone(), v.cost))
+        'states: for (downset, base_cost) in states {
+            // Ready nodes: not computed, all producers computed.
+            let ready: Vec<u32> = (0..n as u32)
+                .filter(|&v| {
+                    !bits_get(&downset, v as usize)
+                        && graph
+                            .producers(NodeId::from_index(v as usize))
+                            .iter()
+                            .all(|p| bits_get(&downset, p.index()))
+                })
                 .collect();
-            for (downset, base_cost) in states {
-                // Ready nodes: not computed, all producers computed.
-                let ready: Vec<u32> = (0..n as u32)
-                    .filter(|&v| {
-                        !bits_get(&downset, v as usize)
-                            && graph
-                                .producers(NodeId::from_index(v as usize))
-                                .iter()
-                                .all(|p| bits_get(&downset, p.index()))
-                    })
-                    .collect();
-                for &start in &ready {
-                    let mut enumerator = SubgraphEnumerator {
-                        graph,
-                        ctx,
-                        buffer: &buffer,
-                        neighbors: &neighbors,
-                        node_wgt: &node_wgt,
-                        wgt_cap,
-                        downset: &downset,
-                        start,
-                        expansions: &mut expansions,
-                        limit: self.limits.max_expansions,
-                        emitted: Vec::new(),
-                    };
-                    enumerator.enumerate();
-                    let emitted = std::mem::take(&mut enumerator.emitted);
-                    drop(enumerator);
-                    if expansions >= self.limits.max_expansions {
-                        aborted = true;
-                        break 'levels;
+            for &start in &ready {
+                let mut enumerator = SubgraphEnumerator {
+                    graph,
+                    ctx,
+                    buffer: &buffer,
+                    neighbors: &neighbors,
+                    node_wgt: &node_wgt,
+                    wgt_cap,
+                    downset: &downset,
+                    start,
+                    expansions: &mut self.expansions,
+                    limit: self.limits.max_expansions,
+                    emitted: Vec::new(),
+                };
+                enumerator.enumerate();
+                let emitted = std::mem::take(&mut enumerator.emitted);
+                drop(enumerator);
+                if self.expansions >= self.limits.max_expansions {
+                    aborted = true;
+                    break 'states;
+                }
+                for (members, cost) in emitted {
+                    let mut next = downset.clone();
+                    for &m in &members {
+                        bits_set(&mut next, m as usize);
                     }
-                    for (members, cost) in emitted {
-                        let mut next = downset.clone();
-                        for &m in &members {
-                            bits_set(&mut next, m as usize);
-                        }
-                        let next_level = bits_count(&next);
-                        let new_cost = base_cost + cost;
-                        let entry = levels[next_level].entry(next);
-                        match entry {
-                            std::collections::hash_map::Entry::Occupied(mut o) => {
-                                if new_cost < o.get().cost {
-                                    o.insert(StateInfo {
-                                        cost: new_cost,
-                                        back: Some((downset.clone(), members)),
-                                    });
-                                }
-                            }
-                            std::collections::hash_map::Entry::Vacant(v) => {
-                                total_states += 1;
-                                v.insert(StateInfo {
+                    let next_level = bits_count(&next);
+                    let new_cost = base_cost + cost;
+                    let entry = self.levels[next_level].entry(next);
+                    match entry {
+                        std::collections::hash_map::Entry::Occupied(mut o) => {
+                            if new_cost < o.get().cost {
+                                o.insert(StateInfo {
                                     cost: new_cost,
                                     back: Some((downset.clone(), members)),
                                 });
                             }
                         }
-                        if total_states > self.limits.max_states {
-                            aborted = true;
-                            break 'levels;
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            self.total_states += 1;
+                            v.insert(StateInfo {
+                                cost: new_cost,
+                                back: Some((downset.clone(), members)),
+                            });
                         }
                     }
-                }
-            }
-        }
-
-        let mut outcome = SearchOutcome::empty();
-        outcome.completed = !aborted;
-        if aborted {
-            return outcome;
-        }
-        // Reconstruct the optimal chain from the full downset.
-        let full: Bits = {
-            let mut b = bits_new(words);
-            for i in 0..n {
-                bits_set(&mut b, i);
-            }
-            b
-        };
-        let Some(_final_state) = levels[n].get(&full) else {
-            return outcome; // nothing fits at all
-        };
-        let mut assignment = vec![0u32; n];
-        let mut cursor = full;
-        let mut sg = 0u32;
-        loop {
-            let level = bits_count(&cursor);
-            let info = &levels[level][&cursor];
-            match &info.back {
-                Some((parent, members)) => {
-                    for &m in members {
-                        assignment[m as usize] = sg;
+                    if self.total_states > self.limits.max_states {
+                        aborted = true;
+                        break 'states;
                     }
-                    sg += 1;
-                    cursor = parent.clone();
                 }
-                None => break,
             }
         }
-        let mut partition = Partition::from_assignment(assignment);
-        partition.canonicalize(graph);
-        let cost = ctx.partition_cost(&partition, &buffer);
-        outcome.consider(Genome::new(partition, buffer), cost);
-        outcome
+        if aborted {
+            return self.finalize(ctx, true);
+        }
+        Step::Continue
+    }
+
+    fn absorb(&mut self, _ctx: &SearchContext<'_>, _batch: EvalBatch) {}
+
+    fn outcome(&self) -> SearchOutcome {
+        self.outcome.clone()
+    }
+
+    fn state(&self) -> DriverState {
+        let levels: Vec<Vec<ExhaustiveEntry>> = self
+            .levels
+            .iter()
+            .map(|level| {
+                let mut entries: Vec<ExhaustiveEntry> = level
+                    .iter()
+                    .map(|(downset, info)| ExhaustiveEntry {
+                        downset: downset.to_vec(),
+                        cost: info.cost,
+                        back: info
+                            .back
+                            .as_ref()
+                            .map(|(p, members)| (p.to_vec(), members.clone())),
+                    })
+                    .collect();
+                entries.sort_by(|a, b| a.downset.cmp(&b.downset));
+                entries
+            })
+            .collect();
+        DriverState::Exhaustive(ExhaustiveState {
+            levels,
+            level: self.level as u64,
+            total_states: self.total_states as u64,
+            expansions: self.expansions,
+            done: self.done,
+            outcome: self.outcome.clone(),
+        })
     }
 }
 

@@ -1,6 +1,9 @@
 //! The Cocco genetic co-exploration engine (paper §4.3-§4.4, Figure 9).
 
 use crate::context::{EvalCandidate, EvalHint, SearchContext};
+use crate::driver::{
+    rng_from_state, rng_state, run_driver, DriverState, EvalBatch, SearchDriver, Step,
+};
 use crate::genome::Genome;
 use crate::outcome::{SearchOutcome, Searcher};
 use cocco_engine::EvalMemo;
@@ -143,24 +146,122 @@ impl CoccoGa {
     }
 }
 
+impl CoccoGa {
+    /// The GA as a resumable [`SearchDriver`].
+    pub fn driver(&self) -> GaDriver {
+        GaDriver::new(self.config.clone())
+    }
+}
+
 impl Searcher for CoccoGa {
     fn name(&self) -> &'static str {
         "Cocco (GA)"
     }
 
     fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        run_driver(&mut self.driver(), ctx)
+    }
+}
+
+/// Where the GA state machine stands.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+enum GaPhase {
+    /// The initial population is being built/evaluated.
+    Seed,
+    /// Generations are running.
+    Evolve,
+    /// The budget ran out (or the population died).
+    Done,
+}
+
+/// One serialized population member (the in-memory memo is dropped — a
+/// resumed run re-derives breakdowns lazily, bit-identically).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct GaMember {
+    genome: Genome,
+    cost: f64,
+}
+
+/// Serializable state of a [`GaDriver`], valid between any two steps.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GaState {
+    rng: Vec<u64>,
+    phase: GaPhase,
+    population: Vec<GaMember>,
+    /// Warm partitions queued for injection into the next generation
+    /// (cross-candidate elite migration in the interleaved two-step).
+    pending: Vec<Partition>,
+    outcome: SearchOutcome,
+}
+
+/// The genetic algorithm as a step-driven state machine: one
+/// [`next_batch`](SearchDriver::next_batch) builds one generation (the
+/// seed population first), one [`absorb`](SearchDriver::absorb) folds the
+/// scored generation and runs survivor selection. RNG draws happen in the
+/// exact order of the former monolithic loop, so `CoccoGa::run`, manual
+/// stepping and a checkpoint-resumed run are bit-identical.
+#[derive(Debug)]
+pub struct GaDriver {
+    config: GaConfig,
+    rng: StdRng,
+    phase: GaPhase,
+    population: Vec<Member>,
+    pending: Vec<Partition>,
+    outcome: SearchOutcome,
+}
+
+impl GaDriver {
+    /// A fresh driver (seeds its RNG from the configuration).
+    pub fn new(config: GaConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            config,
+            rng,
+            phase: GaPhase::Seed,
+            population: Vec::new(),
+            pending: Vec::new(),
+            outcome: SearchOutcome::empty(),
+        }
+    }
+
+    /// Resumes a driver from a serialized state (memos start empty; the
+    /// first resumed generation recomputes them, results unchanged).
+    pub fn from_state(config: GaConfig, state: GaState) -> Self {
+        Self {
+            config,
+            rng: rng_from_state(&state.rng),
+            phase: state.phase,
+            population: state
+                .population
+                .into_iter()
+                .map(|m| Member {
+                    genome: m.genome,
+                    cost: m.cost,
+                    memo: None,
+                })
+                .collect(),
+            pending: state.pending,
+            outcome: state.outcome,
+        }
+    }
+
+    /// Queues a warm partition for injection into the next generation —
+    /// how the interleaved two-step migrates elites between capacity
+    /// candidates ("combining the information between different sizes",
+    /// the very ability the paper says the two-step scheme lacks).
+    pub fn inject(&mut self, partition: Partition) {
+        self.pending.push(partition);
+    }
+
+    /// Builds the seed population, drawing RNG in the legacy order
+    /// (paper §4.4.1: warm starts, structured seeds, random genomes).
+    fn seed_batch(&mut self, ctx: &SearchContext<'_>) -> Vec<EvalCandidate> {
         let cfg = &self.config;
         let graph = ctx.graph();
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let start_samples = ctx.budget().used();
-        let mut outcome = SearchOutcome::empty();
-
-        // Initialization (paper §4.4.1): warm starts + random genomes.
-        let mut population: Vec<Member> = Vec::with_capacity(cfg.population);
         let mut seeds: Vec<Genome> = cfg
             .initial
             .iter()
-            .map(|p| Genome::new(p.clone(), ctx.space.sample(&mut rng)))
+            .map(|p| Genome::new(p.clone(), ctx.space.sample(&mut self.rng)))
             .collect();
         // A few structured seeds (fused connected groups at several sizes)
         // alongside the random genomes: they compensate for scaled-down
@@ -169,106 +270,184 @@ impl Searcher for CoccoGa {
             if seeds.len() < cfg.population {
                 seeds.push(Genome::new(
                     Partition::connected_groups(graph, l),
-                    ctx.space.sample(&mut rng),
+                    ctx.space.sample(&mut self.rng),
                 ));
             }
         }
         while seeds.len() < cfg.population {
-            seeds.push(Genome::random(graph, &ctx.space, &mut rng));
+            seeds.push(Genome::random(graph, &ctx.space, &mut self.rng));
         }
         seeds.truncate(cfg.population);
-        let mut seeds: Vec<EvalCandidate> = seeds.into_iter().map(EvalCandidate::new).collect();
-        let costs = ctx.evaluate_candidates(&mut seeds);
-        for (candidate, cost) in seeds.into_iter().zip(costs) {
-            let Some(cost) = cost else { break };
-            outcome.consider(candidate.genome.clone(), cost);
-            population.push(Member {
-                genome: candidate.genome,
-                cost,
-                memo: candidate.memo,
-            });
-        }
+        seeds.into_iter().map(EvalCandidate::new).collect()
+    }
 
-        // Generations: crossover + mutation -> evaluation -> tournament.
-        // Mutated copies of tournament winners carry the winner's memo plus
-        // the mutation's delta; crossover children carry dad's memo plus a
-        // fingerprint-diff delta — either way evaluation re-scores only the
-        // subgraphs whose member sets actually changed.
-        while !ctx.budget().is_exhausted() && !population.is_empty() {
-            let mut offspring: Vec<EvalCandidate> = Vec::with_capacity(cfg.population);
-            while offspring.len() < cfg.population {
-                let child = if rng.gen_bool(cfg.crossover_fraction.clamp(0.0, 1.0))
-                    && population.len() >= 2
-                {
-                    let dad_idx = rng.gen_range(0..population.len());
-                    let mom_idx = rng.gen_range(0..population.len());
-                    let (dad, mom) = (&population[dad_idx].genome, &population[mom_idx].genome);
-                    let mut child = Genome::new(
-                        crossover(graph, &dad.partition, &mom.partition, &mut rng),
-                        ctx.space.blend(dad.buffer, mom.buffer),
-                    );
-                    // A crossover child reproduces whole parent subgraphs,
-                    // so dad's memo still covers many of its member sets —
-                    // but crossover edits are of unknown extent, so the
-                    // honest delta (required by the fingerprint-keyed
-                    // incremental path) is derived by diffing the child's
-                    // subgraph fingerprints against dad's: exactly the
-                    // nodes whose member set changed are marked. (When the
-                    // blended buffer differs from dad's the engine drops
-                    // the memo and the term cache takes over.)
-                    let mut delta = match &population[dad_idx].memo {
-                        Some(memo) => memo.fingerprints().delta_against(&child.partition),
-                        None => PartitionDelta::all(graph.len()),
-                    };
-                    mutate_with_delta(ctx, graph, &mut child, &cfg.mutation, &mut rng, &mut delta);
-                    let hint = population[dad_idx]
-                        .memo
-                        .clone()
-                        .map(|memo| EvalHint { memo, delta });
-                    EvalCandidate::with_hint(child, hint)
-                } else {
-                    let parent = tournament(&population, cfg.tournament, &mut rng);
-                    let mut child = population[parent].genome.clone();
-                    let mut delta = PartitionDelta::clean(graph.len());
-                    mutate_with_delta(ctx, graph, &mut child, &cfg.mutation, &mut rng, &mut delta);
-                    let hint = population[parent]
-                        .memo
-                        .clone()
-                        .map(|memo| EvalHint { memo, delta });
-                    EvalCandidate::with_hint(child, hint)
-                };
-                offspring.push(child);
+    /// Builds one generation of offspring. Queued warm injections go
+    /// first (they displace random offspring, never grow the generation);
+    /// the rest is the paper's crossover/mutation mix.
+    fn offspring_batch(&mut self, ctx: &SearchContext<'_>) -> Vec<EvalCandidate> {
+        let cfg = &self.config;
+        let graph = ctx.graph();
+        let mut offspring: Vec<EvalCandidate> = Vec::with_capacity(cfg.population);
+        for partition in self.pending.drain(..) {
+            if offspring.len() < cfg.population {
+                offspring.push(EvalCandidate::new(Genome::new(
+                    partition,
+                    ctx.space.sample(&mut self.rng),
+                )));
             }
-            let costs = ctx.evaluate_candidates(&mut offspring);
-            let mut pool = population;
-            for (candidate, cost) in offspring.into_iter().zip(costs) {
-                let Some(cost) = cost else { break };
-                outcome.consider(candidate.genome.clone(), cost);
-                pool.push(Member {
-                    genome: candidate.genome,
-                    cost,
-                    memo: candidate.memo,
-                });
-            }
-            // Survivor selection: elitism + tournaments over the pool.
-            let mut next: Vec<Member> = Vec::with_capacity(cfg.population);
-            if let Some(best_idx) = pool
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
-                .map(|(i, _)| i)
+        }
+        while offspring.len() < cfg.population {
+            let child = if self.rng.gen_bool(cfg.crossover_fraction.clamp(0.0, 1.0))
+                && self.population.len() >= 2
             {
-                next.push(pool[best_idx].clone());
-            }
-            while next.len() < cfg.population && !pool.is_empty() {
-                let w = tournament(&pool, cfg.tournament, &mut rng);
-                next.push(pool[w].clone());
-            }
-            population = next;
+                let dad_idx = self.rng.gen_range(0..self.population.len());
+                let mom_idx = self.rng.gen_range(0..self.population.len());
+                let (dad, mom) = (
+                    &self.population[dad_idx].genome,
+                    &self.population[mom_idx].genome,
+                );
+                let mut child = Genome::new(
+                    crossover(graph, &dad.partition, &mom.partition, &mut self.rng),
+                    ctx.space.blend(dad.buffer, mom.buffer),
+                );
+                // A crossover child reproduces whole parent subgraphs,
+                // so dad's memo still covers many of its member sets —
+                // but crossover edits are of unknown extent, so the
+                // honest delta (required by the fingerprint-keyed
+                // incremental path) is derived by diffing the child's
+                // subgraph fingerprints against dad's: exactly the
+                // nodes whose member set changed are marked. (When the
+                // blended buffer differs from dad's the engine drops
+                // the memo and the term cache takes over.)
+                let mut delta = match &self.population[dad_idx].memo {
+                    Some(memo) => memo.fingerprints().delta_against(&child.partition),
+                    None => PartitionDelta::all(graph.len()),
+                };
+                mutate_with_delta(
+                    ctx,
+                    graph,
+                    &mut child,
+                    &cfg.mutation,
+                    &mut self.rng,
+                    &mut delta,
+                );
+                let hint = self.population[dad_idx]
+                    .memo
+                    .clone()
+                    .map(|memo| EvalHint { memo, delta });
+                EvalCandidate::with_hint(child, hint)
+            } else {
+                let parent = tournament(&self.population, cfg.tournament, &mut self.rng);
+                let mut child = self.population[parent].genome.clone();
+                let mut delta = PartitionDelta::clean(graph.len());
+                mutate_with_delta(
+                    ctx,
+                    graph,
+                    &mut child,
+                    &cfg.mutation,
+                    &mut self.rng,
+                    &mut delta,
+                );
+                let hint = self.population[parent]
+                    .memo
+                    .clone()
+                    .map(|memo| EvalHint { memo, delta });
+                EvalCandidate::with_hint(child, hint)
+            };
+            offspring.push(child);
         }
+        offspring
+    }
+}
 
-        outcome.samples = ctx.budget().used() - start_samples;
-        outcome
+impl SearchDriver for GaDriver {
+    fn name(&self) -> &'static str {
+        "Cocco (GA)"
+    }
+
+    fn next_batch(&mut self, ctx: &SearchContext<'_>) -> Step {
+        match self.phase {
+            GaPhase::Seed => Step::Evaluate(EvalBatch::single(self.seed_batch(ctx))),
+            GaPhase::Evolve => {
+                if ctx.budget().is_exhausted() || self.population.is_empty() {
+                    self.phase = GaPhase::Done;
+                    return Step::Done;
+                }
+                Step::Evaluate(EvalBatch::single(self.offspring_batch(ctx)))
+            }
+            GaPhase::Done => Step::Done,
+        }
+    }
+
+    fn absorb(&mut self, _ctx: &SearchContext<'_>, batch: EvalBatch) {
+        let cfg = &self.config;
+        let evaluated = batch.chunks.into_iter().flat_map(|c| c.candidates);
+        match self.phase {
+            GaPhase::Seed => {
+                for candidate in evaluated {
+                    let Some(cost) = candidate.cost else { break };
+                    self.outcome.samples += 1;
+                    self.outcome.consider(candidate.genome.clone(), cost);
+                    self.population.push(Member {
+                        genome: candidate.genome,
+                        cost,
+                        memo: candidate.memo,
+                    });
+                }
+                self.phase = GaPhase::Evolve;
+            }
+            GaPhase::Evolve => {
+                // Fold the scored generation, then survivor selection:
+                // elitism + tournaments over the combined pool.
+                let mut pool = std::mem::take(&mut self.population);
+                for candidate in evaluated {
+                    let Some(cost) = candidate.cost else { break };
+                    self.outcome.samples += 1;
+                    self.outcome.consider(candidate.genome.clone(), cost);
+                    pool.push(Member {
+                        genome: candidate.genome,
+                        cost,
+                        memo: candidate.memo,
+                    });
+                }
+                let mut next: Vec<Member> = Vec::with_capacity(cfg.population);
+                if let Some(best_idx) = pool
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
+                    .map(|(i, _)| i)
+                {
+                    next.push(pool[best_idx].clone());
+                }
+                while next.len() < cfg.population && !pool.is_empty() {
+                    let w = tournament(&pool, cfg.tournament, &mut self.rng);
+                    next.push(pool[w].clone());
+                }
+                self.population = next;
+            }
+            GaPhase::Done => {}
+        }
+    }
+
+    fn outcome(&self) -> SearchOutcome {
+        self.outcome.clone()
+    }
+
+    fn state(&self) -> DriverState {
+        DriverState::Ga(GaState {
+            rng: rng_state(&self.rng),
+            phase: self.phase,
+            population: self
+                .population
+                .iter()
+                .map(|m| GaMember {
+                    genome: m.genome.clone(),
+                    cost: m.cost,
+                })
+                .collect(),
+            pending: self.pending.clone(),
+            outcome: self.outcome.clone(),
+        })
     }
 }
 

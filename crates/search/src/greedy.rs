@@ -1,10 +1,12 @@
 //! Halide-style greedy fusion baseline (paper §4.2.2).
 
 use crate::context::SearchContext;
+use crate::driver::{run_driver, DriverState, EvalBatch, SearchDriver, Step};
 use crate::genome::Genome;
 use crate::outcome::{SearchOutcome, Searcher};
 use cocco_partition::{Partition, Quotient};
 use cocco_sim::BufferConfig;
+use serde::{Deserialize, Serialize};
 
 /// Greedy grouping as in Halide's auto-scheduler: start from one subgraph
 /// per layer, then repeatedly apply the feasible merge (across a quotient
@@ -59,61 +61,139 @@ impl GreedyFusion {
     }
 }
 
+impl GreedyFusion {
+    /// The greedy merger as a resumable [`SearchDriver`] (one merge round
+    /// per step).
+    pub fn driver(&self) -> GreedyDriver {
+        GreedyDriver {
+            partition: None,
+            outcome: SearchOutcome::empty(),
+            done: false,
+        }
+    }
+}
+
 impl Searcher for GreedyFusion {
     fn name(&self) -> &'static str {
         "Halide (greedy)"
     }
 
     fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        run_driver(&mut self.driver(), ctx)
+    }
+}
+
+/// Serializable state of a [`GreedyDriver`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GreedyState {
+    /// Current assignment (`None` until the first step ran).
+    assignment: Option<Vec<u32>>,
+    done: bool,
+    outcome: SearchOutcome,
+}
+
+/// Greedy fusion as a step-driven state machine: each step applies the one
+/// feasible merge with the greatest benefit (a full scan, as before —
+/// shared with the engine's term cache, so re-scans are cheap); the final
+/// step scores the converged partition. Analytic: no step consumes budget.
+#[derive(Debug)]
+pub struct GreedyDriver {
+    partition: Option<Partition>,
+    outcome: SearchOutcome,
+    done: bool,
+}
+
+impl GreedyDriver {
+    /// Resumes a driver from a serialized state.
+    pub fn from_state(state: GreedyState) -> Self {
+        Self {
+            partition: state.assignment.map(Partition::from_assignment),
+            outcome: state.outcome,
+            done: state.done,
+        }
+    }
+}
+
+impl SearchDriver for GreedyDriver {
+    fn name(&self) -> &'static str {
+        "Halide (greedy)"
+    }
+
+    fn next_batch(&mut self, ctx: &SearchContext<'_>) -> Step {
+        if self.done {
+            return Step::Done;
+        }
         let graph = ctx.graph();
-        let buffer = Self::buffer(ctx);
-        let mut partition = Partition::singletons(graph.len());
+        let buffer = GreedyFusion::buffer(ctx);
+        let mut partition = self
+            .partition
+            .take()
+            .unwrap_or_else(|| Partition::singletons(graph.len()));
         // Per-subgraph additive cost; infinity when a subgraph cannot fit.
         let cost_of = |members: &[cocco_graph::NodeId]| -> f64 {
             ctx.subgraph_cost(members, &buffer).unwrap_or(f64::INFINITY)
         };
-
-        loop {
-            let groups = partition.subgraphs();
-            let group_cost: Vec<f64> = groups.iter().map(|m| cost_of(m)).collect();
-            let quotient = Quotient::build(graph, &partition);
-            let mut best: Option<(f64, u32, u32)> = None; // (benefit, a, b)
-            for a in 0..quotient.num_subgraphs() as u32 {
-                for &b in quotient.succs(a) {
-                    // Merging across edge a->b is legal iff no alternative
-                    // path a ⇝ b exists (it would close a cycle).
-                    if has_indirect_path(&quotient, a, b) {
-                        continue;
-                    }
-                    let mut merged: Vec<cocco_graph::NodeId> = groups[a as usize]
-                        .iter()
-                        .chain(groups[b as usize].iter())
-                        .copied()
-                        .collect();
-                    merged.sort_unstable();
-                    let Some(merged_cost) = ctx.subgraph_cost(&merged, &buffer) else {
-                        continue; // does not fit
-                    };
-                    let benefit = group_cost[a as usize] + group_cost[b as usize] - merged_cost;
-                    if benefit > 0.0 && best.is_none_or(|(bb, _, _)| benefit > bb) {
-                        best = Some((benefit, a, b));
-                    }
+        let groups = partition.subgraphs();
+        let group_cost: Vec<f64> = groups.iter().map(|m| cost_of(m)).collect();
+        let quotient = Quotient::build(graph, &partition);
+        let mut best: Option<(f64, u32, u32)> = None; // (benefit, a, b)
+        for a in 0..quotient.num_subgraphs() as u32 {
+            for &b in quotient.succs(a) {
+                // Merging across edge a->b is legal iff no alternative
+                // path a ⇝ b exists (it would close a cycle).
+                if has_indirect_path(&quotient, a, b) {
+                    continue;
+                }
+                let mut merged: Vec<cocco_graph::NodeId> = groups[a as usize]
+                    .iter()
+                    .chain(groups[b as usize].iter())
+                    .copied()
+                    .collect();
+                merged.sort_unstable();
+                let Some(merged_cost) = ctx.subgraph_cost(&merged, &buffer) else {
+                    continue; // does not fit
+                };
+                let benefit = group_cost[a as usize] + group_cost[b as usize] - merged_cost;
+                if benefit > 0.0 && best.is_none_or(|(bb, _, _)| benefit > bb) {
+                    best = Some((benefit, a, b));
                 }
             }
-            let Some((_, a, b)) = best else { break };
-            // Relabel b's members into a's subgraph.
-            let groups = partition.subgraphs();
-            let target = partition.subgraph_of(groups[a as usize][0]);
-            for &m in &groups[b as usize] {
-                partition.assign(m, target);
+        }
+        match best {
+            Some((_, a, b)) => {
+                // Relabel b's members into a's subgraph; another round next
+                // step.
+                let groups = partition.subgraphs();
+                let target = partition.subgraph_of(groups[a as usize][0]);
+                for &m in &groups[b as usize] {
+                    partition.assign(m, target);
+                }
+                self.partition = Some(partition);
+                Step::Continue
+            }
+            None => {
+                // Converged: score the result.
+                partition.canonicalize(graph);
+                let cost = ctx.partition_cost(&partition, &buffer);
+                self.outcome.consider(Genome::new(partition, buffer), cost);
+                self.done = true;
+                Step::Done
             }
         }
+    }
 
-        partition.canonicalize(graph);
-        let cost = ctx.partition_cost(&partition, &buffer);
-        let mut outcome = SearchOutcome::empty();
-        outcome.consider(Genome::new(partition, buffer), cost);
-        outcome
+    fn absorb(&mut self, _ctx: &SearchContext<'_>, _batch: EvalBatch) {}
+
+    fn outcome(&self) -> SearchOutcome {
+        self.outcome.clone()
+    }
+
+    fn state(&self) -> DriverState {
+        DriverState::Greedy(GreedyState {
+            assignment: self.partition.as_ref().map(|p| p.assignment().to_vec()),
+            done: self.done,
+            outcome: self.outcome.clone(),
+        })
     }
 }
 

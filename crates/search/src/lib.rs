@@ -32,6 +32,15 @@
 //! [`Searcher`], so callers (notably the `cocco` facade) stay
 //! method-agnostic.
 //!
+//! Under every method sits a **step-driven state machine**
+//! ([`SearchDriver`]): `next_batch` yields a batch of [`EvalCandidate`]s
+//! (with per-chunk objective/budget overrides), the harness evaluates it
+//! as one engine dispatch, `absorb` advances the method's internal state,
+//! and a serde-serializable [`DriverState`] snapshot makes any run
+//! checkpoint/resumable mid-run — bit-identically. `Searcher::run` is the
+//! thin default loop ([`run_driver`]); on top of the same surface sit the
+//! interleaved [`TwoStep`] scheme and the [`Portfolio`] meta-driver.
+//!
 //! # Examples
 //!
 //! ```
@@ -53,6 +62,7 @@
 
 mod context;
 mod dp;
+mod driver;
 mod exhaustive;
 mod ga;
 mod genome;
@@ -60,6 +70,7 @@ mod greedy;
 mod method;
 mod objective;
 mod outcome;
+mod portfolio;
 mod sa;
 mod twostep;
 
@@ -67,17 +78,24 @@ mod twostep;
 // existing `cocco_search::{SampleBudget, Trace, TracePoint}` paths keep
 // working.
 pub use cocco_engine::EvalMemo;
-pub use cocco_engine::{Engine, EngineConfig, EngineStats, PoolMode, SampleBudget, ThreadCount};
+pub use cocco_engine::{
+    Engine, EngineConfig, EngineStats, PoolMode, SampleBudget, SampleReservation, ThreadCount,
+};
 pub use cocco_engine::{Trace, TracePoint};
 pub use cocco_partition::PartitionDelta;
 pub use context::{EvalCandidate, EvalHint, SearchContext};
-pub use dp::DepthDp;
-pub use exhaustive::{Exhaustive, ExhaustiveLimits};
-pub use ga::{CoccoGa, GaConfig, MutationRates};
+pub use dp::{DepthDp, DpDriver, DpState};
+pub use driver::{
+    run_driver, DriverState, EvalBatch, EvalChunk, SearchDriver, SearchSnapshot, Step,
+    CHECKPOINT_VERSION,
+};
+pub use exhaustive::{Exhaustive, ExhaustiveDriver, ExhaustiveLimits, ExhaustiveState};
+pub use ga::{CoccoGa, GaConfig, GaDriver, GaState, MutationRates};
 pub use genome::Genome;
-pub use greedy::GreedyFusion;
+pub use greedy::{GreedyDriver, GreedyFusion, GreedyState};
 pub use method::SearchMethod;
 pub use objective::{BufferSpace, Objective};
 pub use outcome::{SearchOutcome, Searcher};
-pub use sa::{SaConfig, SimulatedAnnealing};
-pub use twostep::{CapacitySampling, TwoStep};
+pub use portfolio::{Portfolio, PortfolioDriver, PortfolioPolicy, PortfolioState};
+pub use sa::{SaConfig, SaDriver, SaState, SimulatedAnnealing};
+pub use twostep::{CapacitySampling, TwoStep, TwoStepDriver, TwoStepState};

@@ -31,12 +31,14 @@
 
 use crate::context::SearchContext;
 use crate::dp::DepthDp;
+use crate::driver::{run_driver, DriverState, SearchDriver};
 use crate::exhaustive::{Exhaustive, ExhaustiveLimits};
-use crate::ga::{CoccoGa, GaConfig};
-use crate::greedy::GreedyFusion;
+use crate::ga::{CoccoGa, GaConfig, GaDriver};
+use crate::greedy::{GreedyDriver, GreedyFusion};
 use crate::outcome::{SearchOutcome, Searcher};
+use crate::portfolio::{Portfolio, PortfolioDriver};
 use crate::sa::{SaConfig, SimulatedAnnealing};
-use crate::twostep::{CapacitySampling, TwoStep};
+use crate::twostep::{CapacitySampling, TwoStep, TwoStepDriver};
 use serde::{Deserialize, Serialize};
 
 /// Selects a search method together with its typed configuration.
@@ -62,6 +64,9 @@ pub enum SearchMethod {
     Exhaustive(ExhaustiveLimits),
     /// Two-step capacity-then-partition scheme, RS+GA / GS+GA (§5.1.3).
     TwoStep(TwoStep),
+    /// A portfolio of methods racing round-robin on one budget/engine
+    /// (built on the step-driven [`SearchDriver`] surface).
+    Portfolio(Portfolio),
 }
 
 impl SearchMethod {
@@ -95,6 +100,16 @@ impl SearchMethod {
         SearchMethod::TwoStep(TwoStep::random())
     }
 
+    /// A default portfolio: the stochastic methods (GA, SA, two-step)
+    /// racing best-at-exhaustion on one budget.
+    pub fn portfolio() -> Self {
+        SearchMethod::Portfolio(Portfolio::new(vec![
+            Self::ga(),
+            Self::sa(),
+            Self::two_step(),
+        ]))
+    }
+
     /// One instance of every method, under default configurations
     /// (the order of the paper's method tables).
     pub fn all() -> Vec<SearchMethod> {
@@ -119,6 +134,7 @@ impl SearchMethod {
             SearchMethod::DepthDp(_) => "dp",
             SearchMethod::Exhaustive(_) => "exhaustive",
             SearchMethod::TwoStep(_) => "twostep",
+            SearchMethod::Portfolio(_) => "portfolio",
         }
     }
 
@@ -132,6 +148,7 @@ impl SearchMethod {
             "dp" => Some(Self::depth_dp()),
             "exhaustive" => Some(Self::exhaustive()),
             "twostep" => Some(Self::two_step()),
+            "portfolio" => Some(Self::portfolio()),
             _ => None,
         }
     }
@@ -144,6 +161,7 @@ impl SearchMethod {
             SearchMethod::Ga(cfg) => cfg.seed = seed,
             SearchMethod::Sa(cfg) => cfg.seed = seed,
             SearchMethod::TwoStep(cfg) => cfg.seed = seed,
+            SearchMethod::Portfolio(cfg) => cfg.seed = seed,
             SearchMethod::Greedy | SearchMethod::DepthDp(_) | SearchMethod::Exhaustive(_) => {}
         }
         self
@@ -151,9 +169,14 @@ impl SearchMethod {
 
     /// `true` when the method only works under a Formula-2 objective
     /// (currently the two-step scheme, whose first step scores capacity
-    /// candidates by `BUF_SIZE + α·cost`).
+    /// candidates by `BUF_SIZE + α·cost` — and any portfolio containing
+    /// it).
     pub fn requires_formula2(&self) -> bool {
-        matches!(self, SearchMethod::TwoStep(_))
+        match self {
+            SearchMethod::TwoStep(_) => true,
+            SearchMethod::Portfolio(cfg) => cfg.members.iter().any(Self::requires_formula2),
+            _ => false,
+        }
     }
 
     /// `true` when the method can explore a non-fixed buffer space. The
@@ -161,10 +184,11 @@ impl SearchMethod {
     /// "cannot co-explore with DSE") — under a non-fixed space they pick
     /// the largest grid point.
     pub fn co_explores(&self) -> bool {
-        !matches!(
-            self,
-            SearchMethod::Greedy | SearchMethod::DepthDp(_) | SearchMethod::Exhaustive(_)
-        )
+        match self {
+            SearchMethod::Greedy | SearchMethod::DepthDp(_) | SearchMethod::Exhaustive(_) => false,
+            SearchMethod::Portfolio(cfg) => cfg.members.iter().any(Self::co_explores),
+            _ => true,
+        }
     }
 
     /// Instantiates the underlying searcher — the registry lookup.
@@ -176,6 +200,52 @@ impl SearchMethod {
             SearchMethod::DepthDp(cfg) => Box::new(cfg.clone()),
             SearchMethod::Exhaustive(limits) => Box::new(Exhaustive::new(*limits)),
             SearchMethod::TwoStep(cfg) => Box::new(cfg.clone()),
+            SearchMethod::Portfolio(cfg) => Box::new(cfg.clone()),
+        }
+    }
+
+    /// Instantiates the method's resumable [`SearchDriver`] — the stepped
+    /// registry lookup (`Searcher::run` is a thin loop over this).
+    pub fn driver(&self) -> Box<dyn SearchDriver> {
+        match self {
+            SearchMethod::Ga(cfg) => Box::new(CoccoGa::new(cfg.clone()).driver()),
+            SearchMethod::Sa(cfg) => Box::new(SimulatedAnnealing::new(*cfg).driver()),
+            SearchMethod::Greedy => Box::new(GreedyFusion::new().driver()),
+            SearchMethod::DepthDp(cfg) => Box::new(cfg.driver()),
+            SearchMethod::Exhaustive(limits) => Box::new(Exhaustive::new(*limits).driver()),
+            SearchMethod::TwoStep(cfg) => Box::new(cfg.driver()),
+            SearchMethod::Portfolio(cfg) => Box::new(cfg.driver()),
+        }
+    }
+
+    /// Resumes a driver from a serialized [`DriverState`]. Returns `None`
+    /// when the state does not belong to this method (e.g. a checkpoint
+    /// written by a different method or portfolio shape).
+    pub fn driver_from_state(&self, state: &DriverState) -> Option<Box<dyn SearchDriver>> {
+        match (self, state) {
+            (SearchMethod::Ga(cfg), DriverState::Ga(s)) => {
+                Some(Box::new(GaDriver::from_state(cfg.clone(), s.clone())))
+            }
+            (SearchMethod::Sa(cfg), DriverState::Sa(s)) => {
+                Some(Box::new(crate::sa::SaDriver::from_state(*cfg, s.clone())))
+            }
+            (SearchMethod::Greedy, DriverState::Greedy(s)) => {
+                Some(Box::new(GreedyDriver::from_state(s.clone())))
+            }
+            (SearchMethod::DepthDp(cfg), DriverState::DepthDp(s)) => Some(Box::new(
+                crate::dp::DpDriver::from_state(cfg.clone(), s.clone()),
+            )),
+            (SearchMethod::Exhaustive(limits), DriverState::Exhaustive(s)) => Some(Box::new(
+                crate::exhaustive::ExhaustiveDriver::from_state(*limits, s.clone()),
+            )),
+            (SearchMethod::TwoStep(cfg), DriverState::TwoStep(s)) => {
+                Some(Box::new(TwoStepDriver::from_state(cfg.clone(), s.clone())))
+            }
+            (SearchMethod::Portfolio(cfg), DriverState::Portfolio(s)) => {
+                PortfolioDriver::from_state(cfg.clone(), s.clone())
+                    .map(|d| Box::new(d) as Box<dyn SearchDriver>)
+            }
+            _ => None,
         }
     }
 }
@@ -199,11 +269,12 @@ impl Searcher for SearchMethod {
                 CapacitySampling::Random => "RS+GA",
                 CapacitySampling::Grid => "GS+GA",
             },
+            SearchMethod::Portfolio(_) => "Portfolio",
         }
     }
 
     fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
-        self.build().run(ctx)
+        run_driver(&mut *self.driver(), ctx)
     }
 }
 

@@ -2,9 +2,14 @@
 
 use crate::context::SearchContext;
 use crate::genome::Genome;
+use serde::{Deserialize, Serialize};
 
 /// Result of one search run.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Serializes (infinite costs included — they round-trip exactly), so a
+/// best-so-far outcome can travel inside a
+/// [`DriverState`](crate::DriverState) checkpoint.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SearchOutcome {
     /// The best genome found (repaired, canonical), if any evaluation
     /// produced a finite cost.

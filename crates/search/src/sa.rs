@@ -1,13 +1,18 @@
 //! Simulated-annealing baseline (paper §4.2.4).
 
 use crate::context::{EvalCandidate, EvalHint, SearchContext};
+use crate::driver::{
+    rng_from_state, rng_state, run_driver, DriverState, EvalBatch, SearchDriver, Step,
+};
 use crate::ga::{mutate_with_delta, MutationRates};
 use crate::genome::Genome;
 use crate::outcome::{SearchOutcome, Searcher};
+use cocco_engine::EvalMemo;
 use cocco_partition::PartitionDelta;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration of [`SimulatedAnnealing`].
 #[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -91,103 +96,227 @@ impl SimulatedAnnealing {
     }
 }
 
+impl SimulatedAnnealing {
+    /// The annealer as a resumable [`SearchDriver`].
+    pub fn driver(&self) -> SaDriver {
+        SaDriver::new(self.config)
+    }
+}
+
 impl Searcher for SimulatedAnnealing {
     fn name(&self) -> &'static str {
         "SA"
     }
 
     fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
-        let cfg = &self.config;
-        let graph = ctx.graph();
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let start_samples = ctx.budget().used();
-        let mut outcome = SearchOutcome::empty();
+        run_driver(&mut self.driver(), ctx)
+    }
+}
 
-        let mut seed = EvalCandidate::new(Genome::random(graph, &ctx.space, &mut rng));
-        let Some(Some(seed_cost)) = ctx
-            .evaluate_candidates(std::slice::from_mut(&mut seed))
-            .pop()
-        else {
-            return outcome;
-        };
-        let mut current = seed.genome;
-        let mut current_cost = seed_cost;
-        // The current state's per-subgraph breakdown seeds each neighbor's
-        // incremental hint; the best state's breakdown restores it on
-        // restarts.
-        let mut current_memo = seed.memo;
-        let mut best_memo = current_memo.clone();
-        outcome.consider(current.clone(), current_cost);
+/// Where the annealing state machine stands.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+enum SaPhase {
+    /// The random seed state is being evaluated.
+    Init,
+    /// The annealing chain is running.
+    Anneal,
+    /// The budget ran out.
+    Done,
+}
 
-        // Temperature in absolute cost units.
-        let scale = if current_cost.is_finite() {
-            current_cost
-        } else {
-            1.0
-        };
-        let mut temperature = cfg.initial_temperature * scale;
-        let mut rejected = 0u64;
+/// Serializable state of an [`SaDriver`], valid between any two steps.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SaState {
+    rng: Vec<u64>,
+    phase: SaPhase,
+    current: Option<Genome>,
+    current_cost: f64,
+    temperature: f64,
+    rejected: u64,
+    outcome: SearchOutcome,
+}
 
-        let batch = cfg.neighbor_batch.max(1) as usize;
-        'anneal: loop {
-            // Propose a batch of neighbors of the current state (serial RNG
-            // draws keep the proposal sequence seed-deterministic), score
-            // them as one engine batch — each neighbor carrying the current
-            // state's memo plus its own mutation delta, so only touched
-            // subgraphs are re-scored — then run the Metropolis scan in
-            // proposal order.
-            let mut neighbors: Vec<EvalCandidate> = (0..batch)
-                .map(|_| {
-                    let mut candidate = current.clone();
-                    let mut delta = PartitionDelta::clean(graph.len());
-                    mutate_with_delta(
-                        ctx,
-                        graph,
-                        &mut candidate,
-                        &cfg.mutation,
-                        &mut rng,
-                        &mut delta,
-                    );
-                    let hint = current_memo.clone().map(|memo| EvalHint { memo, delta });
-                    EvalCandidate::with_hint(candidate, hint)
-                })
-                .collect();
-            let costs = ctx.evaluate_candidates(&mut neighbors);
-            for (candidate, cost) in neighbors.into_iter().zip(costs) {
-                let Some(cost) = cost else {
-                    break 'anneal; // budget exhausted
-                };
-                let improved = cost < outcome.best_cost;
-                outcome.consider(candidate.genome.clone(), cost);
-                if improved {
-                    best_memo = candidate.memo.clone();
-                }
-                let accept = cost <= current_cost || {
-                    let delta = cost - current_cost;
-                    temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp()
-                };
-                if accept {
-                    current = candidate.genome;
-                    current_cost = cost;
-                    current_memo = candidate.memo;
-                    rejected = 0;
-                } else {
-                    rejected += 1;
-                    if cfg.restart_after > 0 && rejected >= cfg.restart_after {
-                        if let Some(best) = &outcome.best {
-                            current = best.clone();
-                            current_cost = outcome.best_cost;
-                            current_memo = best_memo.clone();
-                        }
-                        rejected = 0;
-                    }
-                }
-                temperature *= cfg.cooling;
-            }
+/// Simulated annealing as a step-driven state machine: one
+/// [`next_batch`](SearchDriver::next_batch) proposes a neighbor batch of
+/// the current state, one [`absorb`](SearchDriver::absorb) runs the
+/// Metropolis scan in proposal order. RNG draws match the former
+/// monolithic loop exactly.
+#[derive(Debug)]
+pub struct SaDriver {
+    config: SaConfig,
+    rng: StdRng,
+    phase: SaPhase,
+    current: Option<Genome>,
+    current_cost: f64,
+    /// The current state's breakdown (seeds each neighbor's incremental
+    /// hint); the best state's breakdown restores it on restarts. Both are
+    /// in-memory only — a resumed run re-derives them lazily.
+    current_memo: Option<Arc<EvalMemo>>,
+    best_memo: Option<Arc<EvalMemo>>,
+    temperature: f64,
+    rejected: u64,
+    outcome: SearchOutcome,
+}
+
+impl SaDriver {
+    /// A fresh driver (seeds its RNG from the configuration).
+    pub fn new(config: SaConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            config,
+            rng,
+            phase: SaPhase::Init,
+            current: None,
+            current_cost: f64::INFINITY,
+            current_memo: None,
+            best_memo: None,
+            temperature: 0.0,
+            rejected: 0,
+            outcome: SearchOutcome::empty(),
         }
+    }
 
-        outcome.samples = ctx.budget().used() - start_samples;
-        outcome
+    /// Resumes a driver from a serialized state.
+    pub fn from_state(config: SaConfig, state: SaState) -> Self {
+        Self {
+            config,
+            rng: rng_from_state(&state.rng),
+            phase: state.phase,
+            current: state.current,
+            current_cost: state.current_cost,
+            current_memo: None,
+            best_memo: None,
+            temperature: state.temperature,
+            rejected: state.rejected,
+            outcome: state.outcome,
+        }
+    }
+}
+
+impl SearchDriver for SaDriver {
+    fn name(&self) -> &'static str {
+        "SA"
+    }
+
+    fn next_batch(&mut self, ctx: &SearchContext<'_>) -> Step {
+        match self.phase {
+            SaPhase::Init => {
+                let seed =
+                    EvalCandidate::new(Genome::random(ctx.graph(), &ctx.space, &mut self.rng));
+                Step::Evaluate(EvalBatch::single(vec![seed]))
+            }
+            SaPhase::Anneal => {
+                // Propose a batch of neighbors of the current state (serial
+                // RNG draws keep the proposal sequence seed-deterministic);
+                // each neighbor carries the current state's memo plus its
+                // own mutation delta, so only touched subgraphs re-score.
+                let graph = ctx.graph();
+                let current = self.current.clone().expect("annealing has a current state");
+                let batch = self.config.neighbor_batch.max(1) as usize;
+                let neighbors: Vec<EvalCandidate> = (0..batch)
+                    .map(|_| {
+                        let mut candidate = current.clone();
+                        let mut delta = PartitionDelta::clean(graph.len());
+                        mutate_with_delta(
+                            ctx,
+                            graph,
+                            &mut candidate,
+                            &self.config.mutation,
+                            &mut self.rng,
+                            &mut delta,
+                        );
+                        let hint = self
+                            .current_memo
+                            .clone()
+                            .map(|memo| EvalHint { memo, delta });
+                        EvalCandidate::with_hint(candidate, hint)
+                    })
+                    .collect();
+                Step::Evaluate(EvalBatch::single(neighbors))
+            }
+            SaPhase::Done => Step::Done,
+        }
+    }
+
+    fn absorb(&mut self, _ctx: &SearchContext<'_>, batch: EvalBatch) {
+        let cfg = self.config;
+        let evaluated = batch.chunks.into_iter().flat_map(|c| c.candidates);
+        match self.phase {
+            SaPhase::Init => {
+                let Some(candidate) = evaluated.into_iter().next() else {
+                    self.phase = SaPhase::Done;
+                    return;
+                };
+                let Some(cost) = candidate.cost else {
+                    self.phase = SaPhase::Done;
+                    return;
+                };
+                self.outcome.samples += 1;
+                self.current = Some(candidate.genome.clone());
+                self.current_cost = cost;
+                self.current_memo = candidate.memo;
+                self.best_memo = self.current_memo.clone();
+                self.outcome.consider(candidate.genome, cost);
+                // Temperature in absolute cost units.
+                let scale = if cost.is_finite() { cost } else { 1.0 };
+                self.temperature = cfg.initial_temperature * scale;
+                self.phase = SaPhase::Anneal;
+            }
+            SaPhase::Anneal => {
+                // The Metropolis scan, in proposal order.
+                for candidate in evaluated {
+                    let Some(cost) = candidate.cost else {
+                        self.phase = SaPhase::Done; // budget exhausted
+                        return;
+                    };
+                    self.outcome.samples += 1;
+                    let improved = cost < self.outcome.best_cost;
+                    self.outcome.consider(candidate.genome.clone(), cost);
+                    if improved {
+                        self.best_memo = candidate.memo.clone();
+                    }
+                    let accept = cost <= self.current_cost || {
+                        let delta = cost - self.current_cost;
+                        self.temperature > 0.0
+                            && self.rng.gen::<f64>() < (-delta / self.temperature).exp()
+                    };
+                    if accept {
+                        self.current = Some(candidate.genome);
+                        self.current_cost = cost;
+                        self.current_memo = candidate.memo;
+                        self.rejected = 0;
+                    } else {
+                        self.rejected += 1;
+                        if cfg.restart_after > 0 && self.rejected >= cfg.restart_after {
+                            if let Some(best) = &self.outcome.best {
+                                self.current = Some(best.clone());
+                                self.current_cost = self.outcome.best_cost;
+                                self.current_memo = self.best_memo.clone();
+                            }
+                            self.rejected = 0;
+                        }
+                    }
+                    self.temperature *= cfg.cooling;
+                }
+            }
+            SaPhase::Done => {}
+        }
+    }
+
+    fn outcome(&self) -> SearchOutcome {
+        self.outcome.clone()
+    }
+
+    fn state(&self) -> DriverState {
+        DriverState::Sa(SaState {
+            rng: rng_state(&self.rng),
+            phase: self.phase,
+            current: self.current.clone(),
+            current_cost: self.current_cost,
+            temperature: self.temperature,
+            rejected: self.rejected,
+            outcome: self.outcome.clone(),
+        })
     }
 }
 

@@ -9,6 +9,7 @@ use cocco_graph::{BuildFpHasher, EdgeReq, Graph, LayerOp, NodeId, NodeSetFp};
 use cocco_mem::footprint::subgraph_footprint;
 use cocco_tiling::derive_scheme;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 /// Shards of the subgraph-statistics cache: parallel batch evaluation has
@@ -21,6 +22,22 @@ const STATS_SHARDS: usize = 16;
 /// already uniform, so one lane picks the shard directly.
 fn stats_shard(fp: NodeSetFp) -> usize {
     (fp.lo % STATS_SHARDS as u64) as usize
+}
+
+/// One cached statistics entry plus its last-touched generation (updated on
+/// hits under the shard's read lock, hence atomic) — the same
+/// generation-sweep bookkeeping the engine's `EvalCache` uses.
+#[derive(Debug)]
+struct StatsSlot {
+    stats: SubgraphStats,
+    gen: AtomicU64,
+}
+
+/// One shard of the stats cache: the map plus the shard's sweep generation.
+#[derive(Debug, Default)]
+struct StatsShard {
+    map: HashMap<NodeSetFp, StatsSlot, BuildFpHasher>,
+    gen: u64,
 }
 
 /// Evaluates partitions of one computation graph on one accelerator
@@ -56,8 +73,17 @@ pub struct Evaluator<'g> {
     fingerprint: u64,
     /// Member-set fingerprint → statistics. Keyed by the same 128-bit
     /// [`NodeSetFp`] the engine caches key on, so a probe neither
-    /// allocates a key vector nor re-hashes the member list.
-    cache: [RwLock<HashMap<NodeSetFp, SubgraphStats, BuildFpHasher>>; STATS_SHARDS],
+    /// allocates a key vector nor re-hashes the member list. Bounded by
+    /// [`stats_capacity`](Self::with_stats_capacity): a full shard runs a
+    /// generation sweep evicting entries untouched since the previous
+    /// sweep, so a long exploration keeps its working set while stale
+    /// subgraphs are shed.
+    cache: [RwLock<StatsShard>; STATS_SHARDS],
+    /// Entry budget per cache shard.
+    stats_shard_capacity: usize,
+    stats_hits: AtomicU64,
+    stats_misses: AtomicU64,
+    stats_evictions: AtomicU64,
 }
 
 impl<'g> Evaluator<'g> {
@@ -106,7 +132,29 @@ impl<'g> Evaluator<'g> {
             is_input,
             fingerprint: h,
             cache: Default::default(),
+            stats_shard_capacity: (Self::DEFAULT_STATS_CAPACITY / STATS_SHARDS).max(1),
+            stats_hits: AtomicU64::new(0),
+            stats_misses: AtomicU64::new(0),
+            stats_evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Default bound on cached per-subgraph statistics entries: ~100 B per
+    /// entry, so the default caps the cache's residency at tens of
+    /// megabytes while staying far above what a 50k-sample exploration of
+    /// one model touches.
+    pub const DEFAULT_STATS_CAPACITY: usize = 1 << 18;
+
+    /// Bounds the per-subgraph statistics cache to `capacity` entries
+    /// (clamped so every shard holds at least one). A full shard runs a
+    /// generation sweep — entries untouched since the previous sweep are
+    /// evicted and counted — exactly the engine cache's eviction policy.
+    /// Eviction never changes results; a re-miss recomputes the
+    /// bit-identical statistics.
+    #[must_use]
+    pub fn with_stats_capacity(mut self, capacity: usize) -> Self {
+        self.stats_shard_capacity = (capacity / STATS_SHARDS).max(1);
+        self
     }
 
     /// A stable identity of this evaluator's `(graph, accelerator config)`
@@ -126,9 +174,36 @@ impl<'g> Evaluator<'g> {
         &self.config
     }
 
-    /// Number of distinct subgraphs evaluated so far (cache size).
+    /// Number of distinct subgraphs currently cached (bounded by the stats
+    /// capacity; see [`with_stats_capacity`](Self::with_stats_capacity)).
     pub fn cached_subgraphs(&self) -> usize {
-        self.cache.iter().map(|s| s.read().unwrap().len()).sum()
+        self.cache.iter().map(|s| s.read().unwrap().map.len()).sum()
+    }
+
+    /// Statistics-cache lookups answered from the cache.
+    pub fn stats_cache_hits(&self) -> u64 {
+        self.stats_hits.load(Ordering::Relaxed)
+    }
+
+    /// Statistics-cache lookups that required a fresh derivation.
+    pub fn stats_cache_misses(&self) -> u64 {
+        self.stats_misses.load(Ordering::Relaxed)
+    }
+
+    /// Statistics entries evicted by generation sweeps.
+    pub fn stats_cache_evictions(&self) -> u64 {
+        self.stats_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of statistics lookups answered from the cache.
+    pub fn stats_cache_hit_rate(&self) -> f64 {
+        let hits = self.stats_cache_hits();
+        let total = hits + self.stats_cache_misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
     }
 
     /// Buffer-independent statistics of the subgraph `members` (sorted or
@@ -154,9 +229,17 @@ impl<'g> Evaluator<'g> {
     ) -> Result<SubgraphStats, SimError> {
         debug_assert_eq!(fp, NodeSetFp::of_members(members), "stale fingerprint");
         let shard = &self.cache[stats_shard(fp)];
-        if let Some(stats) = shard.read().unwrap().get(&fp) {
-            return Ok(*stats);
+        {
+            let shard = shard.read().unwrap();
+            if let Some(slot) = shard.map.get(&fp) {
+                // Touch: mark the entry live in the current generation so
+                // the next sweep keeps it.
+                slot.gen.store(shard.gen, Ordering::Relaxed);
+                self.stats_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(slot.stats);
+            }
         }
+        self.stats_misses.fetch_add(1, Ordering::Relaxed);
         // Miss: the derivation expects members in ascending (topological)
         // order — canonicalize only when the caller's order is not already
         // canonical (searchers always produce ascending members).
@@ -167,7 +250,36 @@ impl<'g> Evaluator<'g> {
             sorted.sort_unstable();
             self.compute_stats(&sorted)?
         };
-        shard.write().unwrap().insert(fp, stats);
+        let mut shard = shard.write().unwrap();
+        let gen = shard.gen;
+        shard.map.insert(
+            fp,
+            StatsSlot {
+                stats,
+                gen: AtomicU64::new(gen),
+            },
+        );
+        if shard.map.len() > self.stats_shard_capacity {
+            // Generation sweep (the engine cache's policy): evict
+            // everything not touched since the previous sweep; if the live
+            // working set alone overflows, shed down to half the budget so
+            // the next full-shard sweep is amortized.
+            let before = shard.map.len();
+            shard
+                .map
+                .retain(|_, slot| slot.gen.load(Ordering::Relaxed) >= gen);
+            if shard.map.len() > self.stats_shard_capacity {
+                let target = (self.stats_shard_capacity / 2).max(1);
+                let surplus = shard.map.len() - target;
+                let victims: Vec<NodeSetFp> = shard.map.keys().take(surplus).copied().collect();
+                for victim in &victims {
+                    shard.map.remove(victim);
+                }
+            }
+            shard.gen += 1;
+            self.stats_evictions
+                .fetch_add((before - shard.map.len()) as u64, Ordering::Relaxed);
+        }
         Ok(stats)
     }
 
@@ -515,6 +627,54 @@ mod tests {
         let c = eval.subgraph_stats(&rev).unwrap();
         assert_eq!(a, c);
         assert_eq!(eval.cached_subgraphs(), 1);
+    }
+
+    #[test]
+    fn stats_cache_is_bounded_and_exact() {
+        let g = cocco_graph::models::googlenet();
+        let bounded = Evaluator::new(&g, AcceleratorConfig::default()).with_stats_capacity(64);
+        let unbounded = Evaluator::new(&g, AcceleratorConfig::default());
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        // Flood with many distinct member sets (singletons, pairs,
+        // triples), then re-probe: entries stay bounded, sweeps are
+        // counted, and every answer matches the unbounded evaluator's.
+        for pass in 0..2 {
+            for window in [1usize, 2, 3] {
+                for chunk in ids.chunks(window) {
+                    if !g.is_connected_subset(chunk) {
+                        continue;
+                    }
+                    let a = bounded.subgraph_stats(chunk).unwrap();
+                    let b = unbounded.subgraph_stats(chunk).unwrap();
+                    assert_eq!(a, b, "pass {pass}: eviction changed statistics");
+                }
+            }
+        }
+        assert!(
+            bounded.cached_subgraphs() <= 64,
+            "stats cache exceeded its budget: {}",
+            bounded.cached_subgraphs()
+        );
+        assert!(
+            bounded.stats_cache_evictions() > 0,
+            "the tiny budget must have swept"
+        );
+        assert!(bounded.stats_cache_hits() > 0 || bounded.stats_cache_misses() > 0);
+        // A hot entry touched between sweeps survives them.
+        let hot: Vec<NodeId> = ids[..2].to_vec();
+        bounded.subgraph_stats(&hot).unwrap();
+        let miss_before = bounded.stats_cache_misses();
+        for chunk in ids.chunks(1) {
+            bounded.subgraph_stats(&hot).unwrap();
+            bounded.subgraph_stats(chunk).unwrap();
+        }
+        let hot_probe_misses = bounded.stats_cache_misses() - miss_before;
+        // The hot set itself never misses again (all new misses come from
+        // the singleton flood).
+        assert!(
+            hot_probe_misses <= ids.len() as u64,
+            "hot entry was evicted between touches"
+        );
     }
 
     #[test]

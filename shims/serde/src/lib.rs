@@ -204,9 +204,15 @@ impl Serialize for f64 {
     fn to_value(&self) -> Value {
         if self.is_finite() {
             Value::F64(*self)
+        } else if self.is_nan() {
+            // JSON has no infinities or NaN; they round-trip as tagged
+            // strings so checkpointed costs (often infinite) survive
+            // exactly.
+            Value::Str("NaN".to_string())
+        } else if *self > 0.0 {
+            Value::Str("Infinity".to_string())
         } else {
-            // JSON has no infinities or NaN; they round-trip as null.
-            Value::Null
+            Value::Str("-Infinity".to_string())
         }
     }
 }
@@ -217,7 +223,15 @@ impl Deserialize for f64 {
             Value::F64(x) => Ok(*x),
             Value::U64(n) => Ok(*n as f64),
             Value::I64(n) => Ok(*n as f64),
-            // Non-finite floats serialize as null (see `Serialize for f64`).
+            // Non-finite floats serialize as tagged strings (see
+            // `Serialize for f64`).
+            Value::Str(s) => match s.as_str() {
+                "Infinity" => Ok(f64::INFINITY),
+                "-Infinity" => Ok(f64::NEG_INFINITY),
+                "NaN" => Ok(f64::NAN),
+                _ => Err(Error::mismatch("number", "f64", value)),
+            },
+            // Older snapshots rendered non-finite floats as null.
             Value::Null => Ok(f64::NAN),
             other => Err(Error::mismatch("number", "f64", other)),
         }
@@ -405,8 +419,12 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_floats_become_null() {
-        assert_eq!(f64::INFINITY.to_value(), Value::Null);
+    fn non_finite_floats_round_trip_exactly() {
+        for x in [f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(f64::from_value(&x.to_value()).unwrap(), x);
+        }
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+        // Legacy null (the previous non-finite encoding) still reads.
         assert!(f64::from_value(&Value::Null).unwrap().is_nan());
     }
 
