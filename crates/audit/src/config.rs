@@ -1,0 +1,325 @@
+//! `audit.toml` — repo-level audit configuration.
+//!
+//! The audit binary is dependency-free, so this module hand-rolls a
+//! parser for the small TOML subset the config actually uses:
+//!
+//! ```toml
+//! version = 1
+//! include = ["crates", "tests"]
+//! exclude = ["crates/audit/tests/fixtures"]
+//!
+//! [[allow]]
+//! rule = "D3"
+//! path = "crates/bench/"
+//! reason = "the bench harness measures wall time by design"
+//! ```
+//!
+//! Supported: comments, top-level `key = value` (string / integer /
+//! boolean / array-of-strings), and repeated `[[allow]]` tables with
+//! string values. Anything else is a hard parse error — the config gates
+//! CI, so silent misreads are worse than loud ones.
+
+use std::fmt;
+use std::path::Path;
+
+/// One path-level exemption: `rule` is not enforced under `path`
+/// (repo-relative prefix), for the stated `reason`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allow {
+    pub rule: String,
+    pub path: String,
+    pub reason: String,
+}
+
+/// The parsed `audit.toml`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Config {
+    /// Config format version (currently 1).
+    pub version: u32,
+    /// Repo-relative directories (or files) to scan.
+    pub include: Vec<String>,
+    /// Repo-relative path prefixes to skip entirely.
+    pub exclude: Vec<String>,
+    /// Path-level rule exemptions.
+    pub allows: Vec<Allow>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            version: 1,
+            include: vec!["crates".into(), "tests".into(), "examples".into()],
+            exclude: Vec::new(),
+            allows: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// True if `rel_path` (repo-relative, `/`-separated) is exempt from
+    /// `rule` via a path allow.
+    pub fn is_allowed(&self, rule: &str, rel_path: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && rel_path.starts_with(a.path.as_str()))
+    }
+
+    /// True if `rel_path` falls under an `exclude` prefix.
+    pub fn is_excluded(&self, rel_path: &str) -> bool {
+        self.exclude
+            .iter()
+            .any(|e| rel_path.starts_with(e.as_str()))
+    }
+
+    /// Loads the config from `path`.
+    pub fn load(path: &Path) -> Result<Self, ConfigError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ConfigError {
+            line: 0,
+            message: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Self::parse(&text)
+    }
+
+    /// Parses the TOML-subset text.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut config = Config {
+            version: 1,
+            include: Vec::new(),
+            exclude: Vec::new(),
+            allows: Vec::new(),
+        };
+        let mut have_include = false;
+        // Which `[[allow]]` table (if any) key/value lines belong to.
+        let mut in_allow: Option<Allow> = None;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(allow) = in_allow.take() {
+                    config.allows.push(finish_allow(allow, lineno)?);
+                }
+                in_allow = Some(Allow {
+                    rule: String::new(),
+                    path: String::new(),
+                    reason: String::new(),
+                });
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("unsupported table header `{line}` (only [[allow]])"),
+                });
+            }
+            let (key, value) = split_kv(line, lineno)?;
+            if let Some(allow) = in_allow.as_mut() {
+                let value = parse_string(value, lineno)?;
+                match key {
+                    "rule" => allow.rule = value,
+                    "path" => allow.path = value,
+                    "reason" => allow.reason = value,
+                    _ => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown [[allow]] key `{key}`"),
+                        })
+                    }
+                }
+            } else {
+                match key {
+                    "version" => {
+                        config.version = value.parse().map_err(|_| ConfigError {
+                            line: lineno,
+                            message: format!("version must be an integer, got `{value}`"),
+                        })?;
+                    }
+                    "include" => {
+                        config.include = parse_string_array(value, lineno)?;
+                        have_include = true;
+                    }
+                    "exclude" => {
+                        config.exclude = parse_string_array(value, lineno)?;
+                    }
+                    _ => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown key `{key}`"),
+                        })
+                    }
+                }
+            }
+        }
+        if let Some(allow) = in_allow.take() {
+            config
+                .allows
+                .push(finish_allow(allow, text.lines().count() as u32)?);
+        }
+        if !have_include {
+            config.include = Config::default().include;
+        }
+        if config.version != 1 {
+            return Err(ConfigError {
+                line: 0,
+                message: format!("unsupported config version {}", config.version),
+            });
+        }
+        Ok(config)
+    }
+}
+
+/// Validates a completed `[[allow]]` block: every field is mandatory —
+/// an exemption without a reason is exactly the discipline failure the
+/// audit exists to prevent.
+fn finish_allow(allow: Allow, line: u32) -> Result<Allow, ConfigError> {
+    if allow.rule.is_empty() || allow.path.is_empty() {
+        return Err(ConfigError {
+            line,
+            message: "[[allow]] requires both `rule` and `path`".into(),
+        });
+    }
+    if allow.reason.trim().is_empty() {
+        return Err(ConfigError {
+            line,
+            message: format!(
+                "[[allow]] for {} on `{}` has no reason — reasons are mandatory",
+                allow.rule, allow.path
+            ),
+        });
+    }
+    Ok(allow)
+}
+
+/// Drops a trailing `#` comment (string-aware).
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_string = !in_string,
+            b'#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Splits `key = value`.
+fn split_kv(line: &str, lineno: u32) -> Result<(&str, &str), ConfigError> {
+    match line.split_once('=') {
+        Some((k, v)) => Ok((k.trim(), v.trim())),
+        None => Err(ConfigError {
+            line: lineno,
+            message: format!("expected `key = value`, got `{line}`"),
+        }),
+    }
+}
+
+/// Parses `"text"`.
+fn parse_string(value: &str, lineno: u32) -> Result<String, ConfigError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(ConfigError {
+            line: lineno,
+            message: format!("expected a quoted string, got `{value}`"),
+        })
+    }
+}
+
+/// Parses `["a", "b"]` (single line).
+fn parse_string_array(value: &str, lineno: u32) -> Result<Vec<String>, ConfigError> {
+    let v = value.trim();
+    if !v.starts_with('[') || !v.ends_with(']') {
+        return Err(ConfigError {
+            line: lineno,
+            message: format!("expected a [\"…\"] array, got `{value}`"),
+        });
+    }
+    let inner = v[1..v.len() - 1].trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_string(s, lineno))
+        .collect()
+}
+
+/// A config parse failure with its 1-based line (0 = file-level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "audit.toml:{}: {}", self.line, self.message)
+        } else {
+            write!(f, "audit.toml: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = Config::parse(
+            r#"
+            # workspace audit policy
+            version = 1
+            include = ["crates", "tests"]  # scanned roots
+            exclude = ["crates/audit/tests/fixtures"]
+
+            [[allow]]
+            rule = "D3"
+            path = "crates/bench/"
+            reason = "bench harness measures wall time by design"
+
+            [[allow]]
+            rule = "R1"
+            path = "examples/"
+            reason = "examples may panic"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.include, vec!["crates", "tests"]);
+        assert!(cfg.is_excluded("crates/audit/tests/fixtures/bad.rs"));
+        assert!(cfg.is_allowed("D3", "crates/bench/src/harness.rs"));
+        assert!(!cfg.is_allowed("D3", "crates/engine/src/cache.rs"));
+        assert!(cfg.is_allowed("R1", "examples/quickstart.rs"));
+    }
+
+    #[test]
+    fn allow_without_reason_is_an_error() {
+        let err =
+            Config::parse("[[allow]]\nrule = \"D1\"\npath = \"x\"\nreason = \"  \"\n").unwrap_err();
+        assert!(err.message.contains("mandatory"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_are_loud() {
+        assert!(Config::parse("colour = \"red\"").is_err());
+        assert!(Config::parse("[allow]\n").is_err());
+        assert!(Config::parse("include = \"not-an-array\"").is_err());
+    }
+
+    #[test]
+    fn defaults_apply_without_include() {
+        let cfg = Config::parse("version = 1\n").unwrap();
+        assert_eq!(cfg.include, Config::default().include);
+    }
+}

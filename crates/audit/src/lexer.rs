@@ -1,0 +1,366 @@
+//! A minimal, lossless-enough Rust lexer for auditing.
+//!
+//! The rules only need a *token stream* that is reliably free of string
+//! and comment content (so `"thread_rng"` inside a message or a doc
+//! comment never trips a rule), plus the line comments themselves (for
+//! suppression parsing). This is a hand-rolled scanner — no syn, no
+//! proc-macro2 — because the audit binary must stay dependency-free.
+//!
+//! Coverage notes:
+//! - Nested block comments, raw strings (`r#"…"#` with any hash depth),
+//!   byte/raw-byte strings, char literals and lifetimes are handled.
+//! - Multi-character operators arrive as single-character [`Punct`]
+//!   tokens (`->` is `-` then `>`); rule scanners pattern-match short
+//!   token windows, so this is a feature, not a loss.
+//! - Numeric literals are collapsed into a single [`Literal`] token.
+//!
+//! [`Punct`]: TokenKind::Punct
+//! [`Literal`]: TokenKind::Literal
+
+/// What a token is; only identifiers carry their text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`for`, `in`, `HashMap`, …).
+    Ident(String),
+    /// A single punctuation character (`.`, `&`, `<`, …).
+    Punct(char),
+    /// A string / char / numeric literal (content discarded).
+    Literal,
+    /// A lifetime (`'a`) — distinct from char literals.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+}
+
+/// A `//` comment with its line, kept out of the token stream but needed
+/// for suppression parsing.
+#[derive(Clone, Debug)]
+pub struct LineComment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Text after the leading `//` (including any `/` or `!` doc marker).
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<LineComment>,
+}
+
+/// Lexes `source`, discarding comment/string *content* but keeping line
+/// comments on the side. Never fails: unterminated constructs simply end
+/// the scan (the audit runs over code that already compiles).
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Advances over `bytes[from..to)` counting newlines.
+    fn count_lines(bytes: &[u8], from: usize, to: usize, line: &mut u32) {
+        *line += bytes[from..to].iter().filter(|&&b| b == b'\n').count() as u32;
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(LineComment {
+                    line,
+                    text: source[start..j].to_string(),
+                });
+                i = j;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Nested block comment.
+                let start = i;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && j + 1 < bytes.len() && bytes[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && j + 1 < bytes.len() && bytes[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                count_lines(bytes, start, j, &mut line);
+                i = j;
+            }
+            b'"' => {
+                let j = skip_string(bytes, i);
+                count_lines(bytes, i, j, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+                i = j;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let j = skip_raw_or_byte_string(bytes, i);
+                let at = line;
+                count_lines(bytes, i, j, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: at,
+                });
+                i = j;
+            }
+            b'\'' => {
+                // Lifetime vs char literal: `'ident` not followed by a
+                // closing quote is a lifetime.
+                let (kind, j) = lex_quote(bytes, i);
+                out.tokens.push(Token { kind, line });
+                i = j;
+            }
+            _ if b.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let c = bytes[j];
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        j += 1;
+                    } else if c == b'.'
+                        && j + 1 < bytes.len()
+                        && bytes[j + 1].is_ascii_digit()
+                        && bytes[j - 1] != b'.'
+                    {
+                        // `1.5`, but not the first dot of `0..n`.
+                        j += 1;
+                    } else if (c == b'+' || c == b'-')
+                        && matches!(bytes[j - 1], b'e' | b'E')
+                        && j > i + 1
+                    {
+                        // Exponent sign: `1e-7`.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+                i = j;
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] >= 0x80)
+                {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(source[i..j].to_string()),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(b as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the index
+/// just past the closing quote.
+fn skip_string(bytes: &[u8], start: usize) -> usize {
+    let mut j = start + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// True if position `i` starts `r"`, `r#`, `b"`, `br"`, `br#`, `b'`-less
+/// raw/byte string forms (plain `b'x'` char is handled by the quote path).
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let rest = &bytes[i..];
+    if rest.starts_with(b"r\"") || rest.starts_with(b"r#") {
+        return true;
+    }
+    if rest.starts_with(b"b\"") {
+        return true;
+    }
+    rest.starts_with(b"br\"") || rest.starts_with(b"br#")
+}
+
+/// Skips a raw / byte / raw-byte string starting at `i`; returns the index
+/// just past its end.
+fn skip_raw_or_byte_string(bytes: &[u8], i: usize) -> usize {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'r' {
+        j += 1;
+        // Count hashes.
+        let mut hashes = 0usize;
+        while j < bytes.len() && bytes[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == b'"' {
+            j += 1;
+            // Scan for `"` followed by `hashes` hashes.
+            while j < bytes.len() {
+                if bytes[j] == b'"'
+                    && bytes[j + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&b| b == b'#')
+                        .count()
+                        == hashes
+                {
+                    return j + 1 + hashes;
+                }
+                j += 1;
+            }
+            return j;
+        }
+        return j;
+    }
+    // Plain byte string `b"…"`.
+    skip_string(bytes, j)
+}
+
+/// Lexes from a `'`: either a lifetime or a char literal.
+fn lex_quote(bytes: &[u8], i: usize) -> (TokenKind, usize) {
+    let n = bytes.len();
+    // `'\x'` escapes are always char literals.
+    if i + 1 < n && bytes[i + 1] == b'\\' {
+        let mut j = i + 2;
+        // Skip the escape body up to the closing quote.
+        while j < n && bytes[j] != b'\'' {
+            j += 1;
+        }
+        return (TokenKind::Literal, (j + 1).min(n));
+    }
+    // `'a'` (any single char incl. unicode) → char literal; `'a` → lifetime.
+    if i + 1 < n {
+        // Find the extent of an identifier-ish run after the quote.
+        let mut j = i + 1;
+        while j < n && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] >= 0x80) {
+            j += 1;
+        }
+        if j < n && bytes[j] == b'\'' && j > i + 1 {
+            // 'x' or a multi-byte unicode char literal.
+            return (TokenKind::Literal, j + 1);
+        }
+        if j == i + 1 {
+            // `'(` or similar: a char literal of one punct char, e.g. '('.
+            if i + 2 < n && bytes[i + 2] == b'\'' {
+                return (TokenKind::Literal, i + 3);
+            }
+            return (TokenKind::Punct('\''), i + 1);
+        }
+        return (TokenKind::Lifetime, j);
+    }
+    (TokenKind::Punct('\''), i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(String::from))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            // thread_rng in a comment
+            /* nested /* thread_rng */ still comment */
+            let x = "thread_rng";
+            let y = r#"thread_rng "quoted""#;
+            let z = b"thread_rng";
+        "##;
+        assert!(!idents(src).iter().any(|s| s == "thread_rng"));
+        let lexed = lex(src);
+        assert!(lexed.comments.iter().any(|c| c.text.contains("thread_rng")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Literal));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "/* a\nb */\nlet x = 1;\n\"s\ntr\"\nfinal_ident";
+        let toks = lex(src).tokens;
+        let last = toks.last().unwrap();
+        assert!(last.is_ident("final_ident"));
+        assert_eq!(last.line, 6);
+    }
+
+    #[test]
+    fn numeric_forms_do_not_split() {
+        // Ranges keep their dots as puncts; floats and exponents collapse.
+        let toks = lex("0..10 1.5 1e-7 0xFF_u64.count_ones()").tokens;
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 3); // two from `..`, one before count_ones
+        assert!(toks.iter().any(|t| t.is_ident("count_ones")));
+    }
+}

@@ -1,0 +1,138 @@
+//! The `cocco-audit` CLI — the CI gate for the workspace determinism &
+//! robustness invariants.
+//!
+//! ```text
+//! cocco-audit [--root <dir>] [--config <file>] [--json] [--deny] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 = clean (or findings without `--deny`), 1 = findings
+//! under `--deny`, 2 = usage/config/IO error.
+
+use cocco_audit::{audit_tree, Config, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+// cocco-audit is itself covered by `audit.toml` allows for D3/R1 (a CLI
+// binary measuring its own wall time and panicking on broken invariants
+// is fine); keep the code clean anyway.
+use std::time::Instant;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    deny: bool,
+    list_rules: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: cocco-audit [--root <dir>] [--config <file>] [--json] [--deny] [--list-rules]\n\
+     \n\
+     Scans the workspace for determinism & robustness violations.\n\
+       --root <dir>     workspace root (default: nearest dir with audit.toml, else cwd)\n\
+       --config <file>  audit config (default: <root>/audit.toml)\n\
+       --json           machine-readable output\n\
+       --deny           exit nonzero when findings survive (the CI gate)\n\
+       --list-rules     print the rule set and exit\n"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: default_root(),
+        config: None,
+        json: false,
+        deny: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a value")?));
+            }
+            "--json" => args.json = true,
+            "--deny" => args.deny = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// The nearest ancestor of the current directory containing `audit.toml`
+/// (so the binary works from any crate dir), else the cwd itself.
+fn default_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        if dir.join("audit.toml").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("cocco-audit: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in RULES {
+            println!("{}  {}\n    {}", rule.id, rule.title, rule.detail);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("audit.toml"));
+    let config = if config_path.exists() {
+        match Config::load(&config_path) {
+            Ok(config) => config,
+            Err(e) => {
+                eprintln!("cocco-audit: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Config::default()
+    };
+
+    let start = Instant::now();
+    let report = match audit_tree(&args.root, &config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("cocco-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    if args.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+        println!("cocco-audit: scanned in {wall_ms:.1} ms");
+    }
+
+    if args.deny && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,942 @@
+//! The audit rule set and the per-file analysis that enforces it.
+//!
+//! Every rule encodes an invariant the workspace actually depends on
+//! (see README "Determinism invariants"):
+//!
+//! - **D1** — no iteration over `HashMap`/`HashSet` (`for … in &map`,
+//!   `.iter()`, `.keys()`, `.values()`, `.drain()`, …): hash iteration
+//!   order is nondeterministic across processes, so it can leak into
+//!   results, traces, or snapshots.
+//! - **D2** — RNG discipline: only the seeded `StdRng` shim; no
+//!   `thread_rng`, `from_entropy`, or `rand::random`.
+//! - **D3** — wall-clock discipline: `Instant::now` / `SystemTime` only
+//!   in stats/bench/checkpoint-timer code, never feeding search
+//!   decisions.
+//! - **D4** — no `std::thread::spawn` (or `thread::Builder`) outside the
+//!   sanctioned `cocco-engine` pool.
+//! - **R1** — no `.unwrap()` / `.expect()` in library code outside
+//!   tests; `.read()/.write()/.lock()` lock-poisoning unwraps are
+//!   recognized and allowed (a poisoned lock means a panic already
+//!   happened on another thread).
+//!
+//! Findings are suppressed inline with
+//! `// cocco-audit: allow(<rule>) <reason>` (reason mandatory; the
+//! comment covers its own line, or the next code line when it stands
+//! alone) or path-wide via `[[allow]]` in `audit.toml`. Malformed
+//! suppressions are themselves findings (**A1**), as are suppressions
+//! that no longer suppress anything (**A2**) — exemptions must never
+//! outlive the code they excuse.
+//!
+//! The analysis is token-based and intentionally heuristic: D1 resolves
+//! receivers by tracking, per file, which identifiers are declared or
+//! assigned with `HashMap`/`HashSet` types. It cannot see through
+//! function boundaries; that trade is documented and the escape hatch is
+//! an annotated suppression.
+
+use crate::lexer::{lex, Lexed, LineComment, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Metadata for one audit rule.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub title: &'static str,
+    pub detail: &'static str,
+    /// Whether findings inside test code (`#[cfg(test)]` modules,
+    /// `#[test]` fns, `tests/` paths) are skipped.
+    pub skip_tests: bool,
+}
+
+/// The complete rule set, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D1",
+        title: "no HashMap/HashSet iteration",
+        detail: "hash iteration order is nondeterministic and can leak into results, traces, or snapshots; iterate a sorted projection or a deterministic container instead",
+        skip_tests: true,
+    },
+    RuleInfo {
+        id: "D2",
+        title: "seeded RNG only",
+        detail: "thread_rng/from_entropy/rand::random break seeded reproducibility; derive every RNG from the run seed",
+        skip_tests: false,
+    },
+    RuleInfo {
+        id: "D3",
+        title: "wall-clock discipline",
+        detail: "Instant::now/SystemTime may only feed stats, benches, or checkpoint timers — never search decisions",
+        skip_tests: true,
+    },
+    RuleInfo {
+        id: "D4",
+        title: "no ad-hoc thread spawns",
+        detail: "std::thread::spawn outside the cocco-engine pool bypasses the deterministic batch dispatch",
+        skip_tests: true,
+    },
+    RuleInfo {
+        id: "R1",
+        title: "no unwrap/expect in library code",
+        detail: "user-reachable panics must become typed errors; lock-poisoning unwraps (.read()/.write()/.lock()) are allowed",
+        skip_tests: true,
+    },
+    RuleInfo {
+        id: "A1",
+        title: "malformed suppression",
+        detail: "a cocco-audit suppression must be `cocco-audit: allow(<rule>) <reason>` with a known rule and a non-empty reason",
+        skip_tests: false,
+    },
+    RuleInfo {
+        id: "A2",
+        title: "unused suppression",
+        detail: "a suppression that no longer matches a finding must be removed — exemptions must not outlive the code they excuse",
+        skip_tests: false,
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// One audit finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Repo-relative, `/`-separated path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`D1` … `R1`, `A1`, `A2`).
+    pub rule: &'static str,
+    /// Human-oriented description of the specific violation.
+    pub message: String,
+    /// The trimmed source line.
+    pub snippet: String,
+}
+
+/// Per-file analysis result.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Findings that survived suppressions and path allows.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings silenced by an inline suppression.
+    pub suppressed: usize,
+    /// Findings silenced by an `audit.toml` path allow.
+    pub allowed: usize,
+}
+
+/// Decides path-level questions for a file; implemented by the driver so
+/// the rule engine stays config-agnostic.
+pub trait PathPolicy {
+    /// True if `rule` is exempt for this file via `audit.toml`.
+    fn rule_allowed(&self, rule: &str) -> bool;
+}
+
+/// A policy that allows nothing (used by fixtures/tests).
+pub struct NoAllows;
+
+impl PathPolicy for NoAllows {
+    fn rule_allowed(&self, _rule: &str) -> bool {
+        false
+    }
+}
+
+/// An inline suppression parsed from a `// cocco-audit: …` comment.
+#[derive(Debug)]
+struct Suppression {
+    /// Line of the comment itself.
+    comment_line: u32,
+    /// Line the suppression covers (same line, or next code line).
+    target_line: u32,
+    /// Rules it silences.
+    rules: Vec<String>,
+    /// Whether any finding matched it.
+    used: bool,
+}
+
+/// True for paths that are test code wholesale.
+pub fn path_is_test(rel_path: &str) -> bool {
+    rel_path.starts_with("tests/")
+        || rel_path.contains("/tests/")
+        || rel_path.contains("/benches/")
+        || rel_path.ends_with("/tests.rs")
+}
+
+/// Runs every rule over one file.
+pub fn analyze_file(rel_path: &str, source: &str, policy: &dyn PathPolicy) -> FileReport {
+    let lexed = lex(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let whole_file_test = path_is_test(rel_path);
+    let test_spans = if whole_file_test {
+        Vec::new()
+    } else {
+        find_test_spans(&lexed.tokens)
+    };
+    let in_test = |line: u32| -> bool {
+        whole_file_test || test_spans.iter().any(|&(s, e)| line >= s && line <= e)
+    };
+
+    let (mut suppressions, mut raw) = parse_suppressions(&lexed.comments, &lexed.tokens);
+
+    // Raw findings from each content rule.
+    scan_d1(&lexed, &mut raw);
+    scan_d2(&lexed.tokens, &mut raw);
+    scan_d3(&lexed.tokens, &mut raw);
+    scan_d4(&lexed.tokens, &mut raw);
+    scan_r1(&lexed.tokens, &mut raw);
+    raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+
+    let mut report = FileReport::default();
+    for finding in raw {
+        let skip_tests = rule(finding.rule).is_some_and(|info| info.skip_tests);
+        if skip_tests && in_test(finding.line) {
+            continue;
+        }
+        // Inline suppressions are consulted first so they register as
+        // used even under a path-wide allow (removing the allow later
+        // must not surface stale A2s).
+        let suppressed = suppressions
+            .iter_mut()
+            .find(|s| s.target_line == finding.line && s.rules.iter().any(|r| r == finding.rule));
+        let is_meta = finding.rule == "A1" || finding.rule == "A2";
+        if let Some(s) = suppressed {
+            if !is_meta {
+                s.used = true;
+                report.suppressed += 1;
+                continue;
+            }
+        }
+        if !is_meta && policy.rule_allowed(finding.rule) {
+            report.allowed += 1;
+            continue;
+        }
+        report.diagnostics.push(Diagnostic {
+            path: rel_path.to_string(),
+            line: finding.line,
+            rule: finding.rule,
+            message: finding.message,
+            snippet: snippet(&lines, finding.line),
+        });
+    }
+
+    // A2: suppressions that matched nothing.
+    for s in &suppressions {
+        if !s.used {
+            report.diagnostics.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: s.comment_line,
+                rule: "A2",
+                message: format!(
+                    "suppression for {} matches no finding — remove it",
+                    s.rules.join(", ")
+                ),
+                snippet: snippet(&lines, s.comment_line),
+            });
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    report
+}
+
+/// A finding before suppression/allow filtering.
+#[derive(Debug)]
+struct RawFinding {
+    line: u32,
+    rule: &'static str,
+    message: String,
+}
+
+fn snippet(lines: &[&str], line: u32) -> String {
+    lines
+        .get(line as usize - 1)
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default()
+}
+
+// ---------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------
+
+/// Parses `cocco-audit: allow(<rules>) <reason>` comments. Malformed ones
+/// become A1 raw findings immediately.
+fn parse_suppressions(
+    comments: &[LineComment],
+    tokens: &[Token],
+) -> (Vec<Suppression>, Vec<RawFinding>) {
+    let mut suppressions = Vec::new();
+    let mut findings = Vec::new();
+    for comment in comments {
+        // Only plain `// cocco-audit: …` comments are suppressions. Doc
+        // comments (`///`, `//!`) are documentation — they may *mention*
+        // the syntax (in backticks or prose) without invoking it.
+        if comment.text.starts_with('/') || comment.text.starts_with('!') {
+            continue;
+        }
+        let Some(rest) = comment.text.trim().strip_prefix("cocco-audit:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let parsed = (|| {
+            let rest = rest.strip_prefix("allow")?.trim_start();
+            let rest = rest.strip_prefix('(')?;
+            let close = rest.find(')')?;
+            let rules: Vec<String> = rest[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            let reason = rest[close + 1..].trim();
+            Some((rules, reason.to_string()))
+        })();
+        let Some((rules, reason)) = parsed else {
+            findings.push(RawFinding {
+                line: comment.line,
+                rule: "A1",
+                message: "unparseable cocco-audit comment — expected `cocco-audit: allow(<rule>) <reason>`"
+                    .into(),
+            });
+            continue;
+        };
+        if rules.is_empty() {
+            findings.push(RawFinding {
+                line: comment.line,
+                rule: "A1",
+                message: "suppression names no rules".into(),
+            });
+            continue;
+        }
+        if let Some(unknown) = rules.iter().find(|r| rule(r).is_none()) {
+            findings.push(RawFinding {
+                line: comment.line,
+                rule: "A1",
+                message: format!("suppression names unknown rule `{unknown}`"),
+            });
+            continue;
+        }
+        if reason.is_empty() {
+            findings.push(RawFinding {
+                line: comment.line,
+                rule: "A1",
+                message: format!(
+                    "suppression for {} has no reason — reasons are mandatory",
+                    rules.join(", ")
+                ),
+            });
+            continue;
+        }
+        // Trailing comment covers its own line; a standalone comment
+        // covers the next line that has code on it.
+        let own_line_has_code = tokens.iter().any(|t| t.line == comment.line);
+        let target_line = if own_line_has_code {
+            comment.line
+        } else {
+            tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > comment.line)
+                .unwrap_or(comment.line)
+        };
+        suppressions.push(Suppression {
+            comment_line: comment.line,
+            target_line,
+            rules,
+            used: false,
+        });
+    }
+    (suppressions, findings)
+}
+
+// ---------------------------------------------------------------------
+// Test-span detection
+// ---------------------------------------------------------------------
+
+/// Finds `(start_line, end_line)` spans of `#[cfg(test)] mod … { … }` and
+/// `#[test] fn … { … }` items by brace matching the token stream.
+fn find_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let attr_line = tokens[i].line;
+        let Some((is_test_attr, after_attr)) = parse_attr(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        if !is_test_attr {
+            i = after_attr;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut j = after_attr;
+        while j < tokens.len() && tokens[j].is_punct('#') {
+            match parse_attr(tokens, j) {
+                Some((_, next)) => j = next,
+                None => break,
+            }
+        }
+        // Find the item body: the first `{` before a `;` ends the
+        // signature. `#[cfg(test)] mod tests;` (out-of-line) has no body.
+        let mut k = j;
+        let mut body_start = None;
+        while k < tokens.len() {
+            if tokens[k].is_punct(';') {
+                break;
+            }
+            if tokens[k].is_punct('{') {
+                body_start = Some(k);
+                break;
+            }
+            k += 1;
+        }
+        if let Some(open) = body_start {
+            let mut depth = 0i64;
+            let mut end = open;
+            for (idx, t) in tokens.iter().enumerate().skip(open) {
+                match t.kind {
+                    TokenKind::Punct('{') => depth += 1,
+                    TokenKind::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = idx;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            spans.push((attr_line, tokens[end].line));
+            i = end + 1;
+        } else {
+            i = k + 1;
+        }
+    }
+    spans
+}
+
+/// Parses the attribute starting at token `i` (a `#`). Returns
+/// `(is_test_marker, index_after_attr)`; `None` if not an attribute.
+fn parse_attr(tokens: &[Token], i: usize) -> Option<(bool, usize)> {
+    if !tokens.get(i)?.is_punct('#') {
+        return None;
+    }
+    let mut j = i + 1;
+    if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    if !tokens.get(j)?.is_punct('[') {
+        return None;
+    }
+    let open = j;
+    let mut depth = 0i64;
+    let mut end = open;
+    for (idx, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    end = idx;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let body = &tokens[open + 1..end];
+    // `#[test]`, `#[bench]`, or `#[cfg(…test…)]`.
+    let is_test = match body.first().and_then(Token::ident) {
+        Some("test") | Some("bench") => true,
+        Some("cfg") => body.iter().skip(1).any(|t| t.is_ident("test")),
+        _ => false,
+    };
+    Some((is_test, end + 1))
+}
+
+// ---------------------------------------------------------------------
+// D1 — hash iteration
+// ---------------------------------------------------------------------
+
+/// Iterator-yielding methods whose order is the map's internal order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+fn scan_d1(lexed: &Lexed, out: &mut Vec<RawFinding>) {
+    let tokens = &lexed.tokens;
+    let hash_idents = collect_hash_idents(tokens);
+    if hash_idents.is_empty() {
+        return;
+    }
+
+    // `.method()` receivers.
+    for i in 0..tokens.len() {
+        if !tokens[i].is_punct('.') {
+            continue;
+        }
+        let Some(method) = tokens.get(i + 1).and_then(Token::ident) else {
+            continue;
+        };
+        if !ITER_METHODS.contains(&method) {
+            continue;
+        }
+        if !tokens.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let Some(recv) = (i > 0).then(|| &tokens[i - 1]).and_then(Token::ident) else {
+            continue;
+        };
+        if hash_idents.contains(recv) {
+            out.push(RawFinding {
+                line: tokens[i + 1].line,
+                rule: "D1",
+                message: format!(
+                    "`.{method}()` on hash-based `{recv}` — iteration order is nondeterministic"
+                ),
+            });
+        }
+    }
+
+    // `for pat in <chain> {` loops.
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("for") {
+            i += 1;
+            continue;
+        }
+        // Find `in` at depth 0 (the pattern may contain parens/brackets).
+        let mut j = i + 1;
+        let mut depth = 0i64;
+        let mut found_in = None;
+        while j < tokens.len() && j < i + 40 {
+            match &tokens[j].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Punct('{') | TokenKind::Punct(';') => break,
+                TokenKind::Ident(s) if s == "in" && depth == 0 => {
+                    found_in = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(in_at) = found_in else {
+            i += 1;
+            continue;
+        };
+        // Expression tokens until the body `{` at depth 0.
+        let mut k = in_at + 1;
+        let mut depth = 0i64;
+        let mut expr_end = None;
+        while k < tokens.len() && k < in_at + 60 {
+            match &tokens[k].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Punct('{') if depth == 0 => {
+                    expr_end = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(end) = expr_end else {
+            i = in_at + 1;
+            continue;
+        };
+        // A pure place-expression chain (`&`, `mut`, idents, `.`, `::`)
+        // iterates the container directly; method calls in the chain are
+        // covered by the receiver pass above.
+        let expr = &tokens[in_at + 1..end];
+        let mut pure = !expr.is_empty();
+        let mut last_ident: Option<&str> = None;
+        for t in expr {
+            match &t.kind {
+                TokenKind::Ident(s) if s == "mut" => {}
+                TokenKind::Ident(s) => last_ident = Some(s.as_str()),
+                TokenKind::Punct('&') | TokenKind::Punct('.') | TokenKind::Punct(':') => {}
+                _ => {
+                    pure = false;
+                    break;
+                }
+            }
+        }
+        if pure {
+            if let Some(name) = last_ident {
+                if hash_idents.contains(name) {
+                    out.push(RawFinding {
+                        line: tokens[in_at].line,
+                        rule: "D1",
+                        message: format!(
+                            "`for … in` over hash-based `{name}` — iteration order is nondeterministic"
+                        ),
+                    });
+                }
+            }
+        }
+        i = end + 1;
+    }
+}
+
+/// Collects, per file, the identifiers declared or assigned with a
+/// `HashMap`/`HashSet` type: `name: …HashMap<…>…` annotations (fields,
+/// params, lets) and `name = …HashMap::new()…` style assignments.
+fn collect_hash_idents(tokens: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..tokens.len() {
+        let Some(name) = tokens[i].ident() else {
+            continue;
+        };
+        let Some(next) = tokens.get(i + 1) else {
+            continue;
+        };
+        // `name : Type` — not part of a `::` path on either side.
+        if next.is_punct(':')
+            && !tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && !(i > 0 && tokens[i - 1].is_punct(':'))
+        {
+            if type_mentions_hash(&tokens[i + 2..]) {
+                names.insert(name.to_string());
+            }
+            continue;
+        }
+        // `name = <expr containing HashMap/HashSet>` (not `==`, and the
+        // token before `name` rules out compound ops like `+=`).
+        if next.is_punct('=')
+            && !tokens.get(i + 2).is_some_and(|t| t.is_punct('='))
+            && expr_mentions_hash(&tokens[i + 2..])
+        {
+            names.insert(name.to_string());
+        }
+    }
+    names
+}
+
+/// Scans a type position (after `:`) and reports whether the type's
+/// *head* is `HashMap`/`HashSet` — i.e. the annotated binding itself is
+/// the hash container. `Vec<HashMap<…>>` is not a match: iterating the
+/// outer `Vec` is deterministic. References (`&`, `&mut`) and path
+/// prefixes (`std::collections::`) are looked through.
+fn type_mentions_hash(tokens: &[Token]) -> bool {
+    for t in tokens.iter().take(16) {
+        match &t.kind {
+            TokenKind::Ident(s) if s == "HashMap" || s == "HashSet" => return true,
+            // Reference / path prefixes and their segments.
+            TokenKind::Ident(_) | TokenKind::Punct('&') | TokenKind::Punct(':') => {}
+            TokenKind::Lifetime => {}
+            // Generic args (or anything else) begin before a hash head
+            // appeared — `Vec<HashMap<…>>` is not itself a hash container.
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Scans an expression (after `=`) for a `HashMap`/`HashSet` constructor
+/// or `collect` turbofish *at nesting depth 0* — a hash container built
+/// inside a nested call or closure belongs to some other binding.
+fn expr_mentions_hash(tokens: &[Token]) -> bool {
+    let mut depth = 0i64;
+    for t in tokens.iter().take(64) {
+        match &t.kind {
+            TokenKind::Ident(s) if depth == 0 && (s == "HashMap" || s == "HashSet") => return true,
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                if depth == 0 {
+                    return false;
+                }
+                depth -= 1;
+            }
+            TokenKind::Punct(';') if depth == 0 => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// D2 — RNG discipline
+// ---------------------------------------------------------------------
+
+fn scan_d2(tokens: &[Token], out: &mut Vec<RawFinding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        let banned = match name {
+            "thread_rng" | "from_entropy" => true,
+            // `rand::random` — `random` directly preceded by `rand::`.
+            "random" => {
+                i >= 3
+                    && tokens[i - 1].is_punct(':')
+                    && tokens[i - 2].is_punct(':')
+                    && tokens[i - 3].is_ident("rand")
+            }
+            _ => false,
+        };
+        if banned {
+            out.push(RawFinding {
+                line: t.line,
+                rule: "D2",
+                message: format!(
+                    "`{name}` draws entropy outside the run seed — derive RNGs from the seeded StdRng"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D3 — wall-clock discipline
+// ---------------------------------------------------------------------
+
+fn scan_d3(tokens: &[Token], out: &mut Vec<RawFinding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        match name {
+            // Only the *read* is flagged; mentioning the type (fields,
+            // signatures) is fine.
+            "Instant" => {
+                let is_now = tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(i + 3).is_some_and(|t| t.is_ident("now"));
+                if is_now {
+                    out.push(RawFinding {
+                        line: t.line,
+                        rule: "D3",
+                        message: "`Instant::now()` outside stats/bench/checkpoint-timer code"
+                            .into(),
+                    });
+                }
+            }
+            "SystemTime" => out.push(RawFinding {
+                line: t.line,
+                rule: "D3",
+                message: "`SystemTime` outside stats/bench/checkpoint-timer code".into(),
+            }),
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D4 — thread spawns
+// ---------------------------------------------------------------------
+
+fn scan_d4(tokens: &[Token], out: &mut Vec<RawFinding>) {
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("thread") {
+            continue;
+        }
+        let path_sep = tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'));
+        if !path_sep {
+            continue;
+        }
+        let Some(what) = tokens.get(i + 3).and_then(Token::ident) else {
+            continue;
+        };
+        if what == "spawn" || what == "Builder" {
+            out.push(RawFinding {
+                line: tokens[i].line,
+                rule: "D4",
+                message: format!(
+                    "`thread::{what}` outside the cocco-engine pool — all parallelism goes through the deterministic batch dispatch"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R1 — unwrap/expect
+// ---------------------------------------------------------------------
+
+fn scan_r1(tokens: &[Token], out: &mut Vec<RawFinding>) {
+    for i in 0..tokens.len() {
+        if !tokens[i].is_punct('.') {
+            continue;
+        }
+        let Some(method) = tokens.get(i + 1).and_then(Token::ident) else {
+            continue;
+        };
+        if method != "unwrap" && method != "expect" {
+            continue;
+        }
+        if !tokens.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        // Lock-poisoning pattern: `.read().unwrap()` / `.write()…` /
+        // `.lock()…` — a poisoned lock means another thread already
+        // panicked, so propagating is the right move.
+        if i >= 4 {
+            let locky = tokens[i - 4].is_punct('.')
+                && tokens[i - 2].is_punct('(')
+                && tokens[i - 1].is_punct(')')
+                && tokens[i - 3]
+                    .ident()
+                    .is_some_and(|m| matches!(m, "read" | "write" | "lock"));
+            if locky {
+                continue;
+            }
+        }
+        out.push(RawFinding {
+            line: tokens[i + 1].line,
+            rule: "R1",
+            message: format!(
+                "`.{method}()` in library code — return a typed error or suppress with a reason"
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> FileReport {
+        analyze_file("crates/x/src/lib.rs", src, &NoAllows)
+    }
+
+    fn rules_of(report: &FileReport) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn d1_flags_typed_and_assigned_receivers() {
+        let src = r#"
+            use std::collections::{HashMap, HashSet};
+            struct S { index: HashMap<u32, u32> }
+            fn f(s: &S) {
+                let mut seen = HashSet::new();
+                seen.insert(1);
+                for k in s.index.keys() { let _ = k; }
+                for v in &seen { let _ = v; }
+                let names: HashMap<String, u32> = HashMap::new();
+                let _ = names.values().count();
+            }
+        "#;
+        let report = run(src);
+        assert_eq!(rules_of(&report), vec!["D1", "D1", "D1"]);
+    }
+
+    #[test]
+    fn d1_ignores_vec_receivers_and_lookups() {
+        let src = r#"
+            use std::collections::HashMap;
+            fn f(items: Vec<u32>, map: HashMap<u32, u32>) -> u32 {
+                let total: u32 = items.iter().sum();
+                total + map.get(&1).copied().unwrap_or(0) + map.len() as u32
+            }
+        "#;
+        assert!(run(src).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn d2_flags_entropy_sources_even_in_tests() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { let _ = rand::random::<u32>(); let _r = thread_rng(); }
+            }
+        "#;
+        assert_eq!(rules_of(&run(src)), vec!["D2", "D2"]);
+    }
+
+    #[test]
+    fn d3_flags_reads_not_type_mentions() {
+        let src = r#"
+            use std::time::Instant;
+            struct T { started: Instant }
+            fn go() -> T { T { started: Instant::now() } }
+        "#;
+        assert_eq!(rules_of(&run(src)), vec!["D3"]);
+    }
+
+    #[test]
+    fn d4_and_r1_skip_test_spans() {
+        let src = r#"
+            fn lib_code(x: Option<u32>) -> u32 { x.unwrap() }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    let h = std::thread::spawn(|| 1);
+                    assert_eq!(h.join().unwrap(), 1);
+                }
+            }
+        "#;
+        assert_eq!(rules_of(&run(src)), vec!["R1"]);
+    }
+
+    #[test]
+    fn r1_lock_poisoning_is_allowed() {
+        let src = r#"
+            use std::sync::{Mutex, RwLock};
+            fn f(m: &Mutex<u32>, l: &RwLock<u32>) -> u32 {
+                *m.lock().unwrap() + *l.read().unwrap() + *l.write().expect("w")
+            }
+        "#;
+        assert!(run(src).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn suppressions_cover_own_or_next_line_and_require_reasons() {
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 {
+                // cocco-audit: allow(R1) checked non-empty by caller
+                x.unwrap()
+            }
+            fn g(x: Option<u32>) -> u32 {
+                x.unwrap() // cocco-audit: allow(R1) invariant: always Some
+            }
+        "#;
+        let report = run(src);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert_eq!(report.suppressed, 2);
+    }
+
+    #[test]
+    fn missing_reason_and_unknown_rule_are_a1() {
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 {
+                // cocco-audit: allow(R1)
+                x.unwrap()
+            }
+            // cocco-audit: allow(Z9) because reasons
+            fn g() {}
+        "#;
+        let rules = rules_of(&run(src));
+        // The reasonless suppression is A1 and does NOT silence the unwrap.
+        assert!(rules.contains(&"A1"));
+        assert!(rules.contains(&"R1"));
+        assert_eq!(rules.iter().filter(|r| **r == "A1").count(), 2);
+    }
+
+    #[test]
+    fn unused_suppression_is_a2() {
+        let src = r#"
+            // cocco-audit: allow(D2) historical; the call is gone
+            fn clean() {}
+        "#;
+        assert_eq!(rules_of(&run(src)), vec!["A2"]);
+    }
+
+    #[test]
+    fn tests_paths_are_whole_file_test_code() {
+        let src = "fn helper(x: Option<u32>) -> u32 { x.unwrap() }";
+        let report = analyze_file("tests/tests/helpers.rs", src, &NoAllows);
+        assert!(report.diagnostics.is_empty());
+    }
+}

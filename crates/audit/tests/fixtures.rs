@@ -1,0 +1,107 @@
+//! Golden-file tests for the rule engine.
+//!
+//! Every `fixtures/<name>.rs` is a known-bad (or known-clean) snippet;
+//! its `fixtures/<name>.expected` sidecar lists the diagnostics the
+//! engine must produce, one `line:RULE` per line in (line, rule) order,
+//! followed by a `suppressed=<n>` count. The fixtures are excluded from
+//! the live workspace scan via `audit.toml`, so they never have to
+//! compile — they only have to lex.
+
+use cocco_audit::{analyze_file, Config, NoAllows};
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Renders a fixture's diagnostics in the `.expected` format.
+fn render(name: &str) -> String {
+    let source = std::fs::read_to_string(fixture_dir().join(name)).unwrap();
+    // A src-like relative path, so no whole-file test exemption applies.
+    let rel = format!("crates/fixture/src/{name}");
+    let report = analyze_file(&rel, &source, &NoAllows);
+    let mut lines: Vec<(u32, &str)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.line, d.rule))
+        .collect();
+    lines.sort_unstable();
+    let mut out = String::new();
+    for (line, rule) in lines {
+        out.push_str(&format!("{line}:{rule}\n"));
+    }
+    out.push_str(&format!("suppressed={}\n", report.suppressed));
+    out
+}
+
+#[test]
+fn every_fixture_matches_its_golden_expectations() {
+    let mut checked = 0;
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(fixture_dir())
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().unwrap().to_str().unwrap();
+        let golden_path = path.with_extension("expected");
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|_| panic!("{name} has no .expected sidecar"));
+        assert_eq!(render(name), golden, "{name} diverged from its golden file");
+        checked += 1;
+    }
+    assert!(checked >= 7, "fixture corpus shrank: only {checked} files");
+}
+
+#[test]
+fn every_rule_has_at_least_one_fixture_finding() {
+    // The corpus stays honest: if a rule id appears in RULES but no
+    // fixture triggers it, its detection could silently rot.
+    let mut seen: Vec<&str> = Vec::new();
+    for entry in std::fs::read_dir(fixture_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "expected") {
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap();
+        for line in golden.lines() {
+            if let Some((_, rule)) = line.split_once(':') {
+                if let Some(info) = cocco_audit::rule(rule) {
+                    seen.push(info.id);
+                }
+            }
+        }
+    }
+    for info in cocco_audit::RULES {
+        assert!(
+            seen.contains(&info.id),
+            "rule {} has no fixture-backed expectation",
+            info.id
+        );
+    }
+}
+
+#[test]
+fn fixtures_are_excluded_but_allowlist_paths_round_trip() {
+    // The repo config must exclude the fixture corpus (it is deliberately
+    // full of violations) while its allows survive a parse round-trip.
+    let root = fixture_dir().join("../../../..").canonicalize().unwrap();
+    let config = Config::load(&root.join("audit.toml")).unwrap();
+    assert!(config.is_excluded("crates/audit/tests/fixtures/d2_rng.rs"));
+    assert!(!config.is_excluded("crates/audit/src/rules.rs"));
+    for allow in &config.allows {
+        assert!(
+            config.is_allowed(&allow.rule, &allow.path),
+            "allow({}) for {} does not match its own path",
+            allow.rule,
+            allow.path
+        );
+        assert!(!allow.reason.is_empty(), "reasons are mandatory");
+    }
+    // Prefix semantics: a directory allow covers files beneath it, and
+    // only for the named rule.
+    assert!(config.is_allowed("D3", "crates/bench/src/main.rs"));
+    assert!(!config.is_allowed("D1", "crates/bench/src/main.rs"));
+    assert!(!config.is_allowed("D3", "crates/sim/src/evaluator.rs"));
+}

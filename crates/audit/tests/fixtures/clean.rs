@@ -1,0 +1,22 @@
+// Fixture: idiomatic code that trips no rule.
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+pub struct Registry {
+    entries: BTreeMap<String, u64>,
+}
+
+impl Registry {
+    pub fn lookup(&self, name: &str) -> Option<u64> {
+        self.entries.get(name).copied()
+    }
+
+    pub fn total(&self) -> u64 {
+        self.entries.values().sum()
+    }
+
+    pub fn budget(&self) -> Result<Duration, String> {
+        let raw = self.lookup("budget_ms").ok_or("missing budget")?;
+        Ok(Duration::from_millis(raw))
+    }
+}

@@ -1,0 +1,34 @@
+// Fixture: D1 — iteration over hash-ordered containers. Golden
+// expectations live in the `.expected` sidecar.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn flagged(map: &HashMap<u32, u32>, set: &HashSet<u32>) {
+    for (k, v) in map.iter() {}
+    for k in map.keys() {}
+    for v in map.values() {}
+    for x in set {}
+    let _: Vec<u32> = map.keys().copied().collect();
+}
+
+fn flagged_locals() {
+    let mut scratch = HashMap::new();
+    scratch.insert(1u32, 2u32);
+    for entry in scratch.drain() {}
+    let lookup: HashSet<String> = HashSet::new();
+    let _ = lookup.iter().count();
+}
+
+fn not_flagged(tree: &BTreeMap<u32, u32>, rows: &[u32]) {
+    // Ordered containers and slices iterate deterministically.
+    for (k, v) in tree.iter() {}
+    for r in rows.iter() {}
+    let names: Vec<String> = Vec::new();
+    for n in names.iter() {}
+    // A Vec *of* hash maps: iterating the outer Vec is fine.
+    let levels: Vec<HashMap<u32, u32>> = Vec::new();
+    for level in levels.iter() {}
+    // Point lookups into a hash map are fine — only iteration is banned.
+    let table: HashMap<u32, u32> = HashMap::new();
+    let _ = table.get(&1);
+    let _ = table.len();
+}

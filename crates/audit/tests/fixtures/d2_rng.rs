@@ -1,0 +1,25 @@
+// Fixture: D2 — RNG discipline. Unlike the other rules, D2 applies in
+// test code too: entropy-seeded tests are flaky by construction.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn flagged() {
+    let mut rng = rand::thread_rng();
+    let seeded = StdRng::from_entropy();
+    let coin: bool = rand::random();
+}
+
+fn not_flagged() {
+    let rng = StdRng::seed_from_u64(42);
+    let forked = StdRng::seed_from_u64(7 ^ 42);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn still_flagged_in_tests() {
+        let rng = rand::thread_rng();
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: D3 — wall-clock reads outside stats/bench/timer modules.
+use std::time::{Duration, Instant};
+
+fn flagged() -> Duration {
+    let start = Instant::now();
+    let _ = std::time::SystemTime::now();
+    start.elapsed()
+}
+
+fn not_flagged(budget: Duration) {
+    // Mentioning the types (fields, signatures, arithmetic) is fine —
+    // only *reading* the clock is a determinism hazard.
+    let half: Duration = budget / 2;
+    let _ = Duration::from_millis(5);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_allowed() {
+        let start = std::time::Instant::now();
+        assert!(start.elapsed().as_secs() < 1);
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: D4 — ad-hoc thread creation outside the engine pool.
+
+fn flagged() {
+    let handle = std::thread::spawn(|| 1 + 1);
+    let _ = handle.join();
+    let builder = std::thread::Builder::new();
+}
+
+fn not_flagged() {
+    // Naming the current thread, sleeping, or joining handles is fine —
+    // only *creating* threads is restricted.
+    let _ = std::thread::current();
+    std::thread::yield_now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helper_threads_in_tests_are_allowed() {
+        let h = std::thread::spawn(|| 2 + 2);
+        assert_eq!(h.join().unwrap(), 4);
+    }
+}

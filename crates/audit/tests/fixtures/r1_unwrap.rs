@@ -1,0 +1,26 @@
+// Fixture: R1 — `.unwrap()`/`.expect()` in library code.
+use std::sync::RwLock;
+
+fn flagged(values: &[u32]) -> u32 {
+    let first = values.first().unwrap();
+    let parsed: u32 = "7".parse().expect("parses");
+    first + parsed
+}
+
+fn not_flagged(lock: &RwLock<u32>) -> u32 {
+    // Lock poisoning means another thread already panicked; propagating
+    // is the only sane response, so these are auto-allowed.
+    let guard = lock.read().unwrap();
+    let mut w = lock.write().expect("poisoned");
+    *w += 1;
+    *guard
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_allowed() {
+        let v = vec![1, 2, 3];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,29 @@
+// Fixture: inline suppressions and the A1/A2 meta-rules.
+
+fn suppressed_findings() {
+    // A trailing suppression covers its own line…
+    let x = "1".parse::<u32>().unwrap(); // cocco-audit: allow(R1) fixture constant always parses
+    // …and a standalone suppression covers the next code line.
+    // cocco-audit: allow(D3) fixture exercises next-line targeting
+    let t = std::time::Instant::now();
+}
+
+fn missing_reason() {
+    // cocco-audit: allow(R1)
+    let y = "2".parse::<u32>().unwrap();
+}
+
+fn unknown_rule() {
+    // cocco-audit: allow(Z9) the rule id does not exist
+    let z = 4;
+}
+
+fn not_an_allow() {
+    // cocco-audit: suppress R1 please
+    let w = 5;
+}
+
+fn unused() {
+    // cocco-audit: allow(D4) nothing on the next line spawns a thread
+    let v = 3;
+}

@@ -1,0 +1,32 @@
+//! The meta-test: the live workspace itself must audit clean.
+//!
+//! This is the same gate CI runs via `cocco-audit --deny`, expressed as a
+//! plain test so `cargo test` alone catches a regression — a new hash
+//! iteration, an entropy-seeded RNG, a stray `.unwrap()` — without
+//! anyone remembering to run the binary.
+
+use cocco_audit::audit_workspace;
+use std::path::PathBuf;
+
+#[test]
+fn live_workspace_has_zero_unsuppressed_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap();
+    assert!(
+        root.join("audit.toml").is_file(),
+        "workspace root not found from CARGO_MANIFEST_DIR"
+    );
+    let report = audit_workspace(&root).unwrap();
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously small scan: {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "the workspace must audit clean:\n{}",
+        report.render_human()
+    );
+}

@@ -788,6 +788,25 @@ fn twostep_bench(smoke: bool, threads: u32) -> serde_json::Value {
     ])
 }
 
+/// Runs the workspace determinism audit in-process and prints its wall
+/// time — the smoke's cheap proof that the gate stays both green and
+/// fast enough to run on every CI push.
+fn audit_gate_check() {
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let start = std::time::Instant::now();
+    let report = cocco_audit::audit_workspace(&root).expect("workspace audit runs");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        report.is_clean(),
+        "workspace audit found violations:\n{}",
+        report.render_human()
+    );
+    println!(
+        "\naudit gate: clean ({} files scanned, {} suppressed, {} path-allowed) in {wall_ms:.1} ms",
+        report.files_scanned, report.suppressed, report.allowed
+    );
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut smoke = false;
@@ -841,6 +860,7 @@ fn main() {
         println!();
         stepped_parity_check(threads);
         twostep_bench(true, threads);
+        audit_gate_check();
         println!("\nsmoke OK");
         return;
     }

@@ -398,6 +398,7 @@ impl Cocco {
         // wall-clock interval, bounding checkpoint overhead to a small
         // fraction of the run regardless of step granularity.
         const MIN_SAVE_INTERVAL: std::time::Duration = std::time::Duration::from_millis(100);
+        // cocco-audit: allow(D3) checkpoint-save throttle — gates how often snapshots hit disk, never what the search does
         let mut last_save = std::time::Instant::now();
         loop {
             match driver.next_batch(ctx) {
@@ -416,6 +417,7 @@ impl Cocco {
                 if let Err(e) = save_checkpoint(&snapshot, path) {
                     *save_error = Some(format!("{}: {e}", path.display()));
                 }
+                // cocco-audit: allow(D3) checkpoint-save throttle — wall time only spaces saves out
                 last_save = std::time::Instant::now();
             }
         }

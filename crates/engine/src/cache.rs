@@ -289,8 +289,15 @@ impl<V: Clone> Level<V> {
             if shard.map.len() > self.shard_capacity {
                 let target = (self.shard_capacity / 2).max(1);
                 let surplus = shard.map.len() - target;
-                let victims: Vec<EvalKey> = shard.map.keys().take(surplus).copied().collect();
-                for victim in &victims {
+                // Victim selection must not depend on HashMap iteration
+                // order: two identical runs have to shed the *same*
+                // entries, or their persisted snapshots diverge. Sort the
+                // candidate keys and evict the smallest — any total order
+                // works, as long as it is a property of the keys alone.
+                // cocco-audit: allow(D1) victims are sorted before use, so map order never escapes
+                let mut victims: Vec<EvalKey> = shard.map.keys().copied().collect();
+                victims.sort_unstable();
+                for victim in victims.iter().take(surplus) {
                     shard.map.remove(victim);
                 }
             }
@@ -305,6 +312,7 @@ impl<V: Clone> Level<V> {
     fn entries<T>(&self, project: impl Fn(&V) -> T) -> Vec<(EvalKey, T)> {
         let mut out: Vec<(EvalKey, T)> = Vec::with_capacity(self.len());
         for shard in &self.shards {
+            // cocco-audit: allow(D1) the collected entries are sorted by key below, so map order never escapes
             for (k, slot) in shard.read().unwrap().map.iter() {
                 out.push((*k, project(&slot.value)));
             }

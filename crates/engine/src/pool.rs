@@ -195,10 +195,12 @@ impl EnginePool {
         for _ in 0..workers {
             pool.tx
                 .send(Arc::clone(&batch))
+                // cocco-audit: allow(R1) send fails only if every worker hung up, which Workers::drop makes impossible while the pool lives
                 .expect("persistent workers outlive the pool");
         }
         let mut done = batch.done.lock().unwrap();
         while *done < workers {
+            // cocco-audit: allow(R1) condvar poisoning means a worker panicked; that panic is re-raised via the payload below
             done = batch.done_cv.wait(done).unwrap();
         }
         drop(done);
@@ -219,6 +221,7 @@ impl EnginePool {
                 std::thread::Builder::new()
                     .name(format!("cocco-engine-{i}"))
                     .spawn(move || Self::worker(&rx))
+                    // cocco-audit: allow(R1) failing to spawn OS threads at pool construction is unrecoverable — no engine can exist
                     .expect("spawn engine worker")
             })
             .collect();

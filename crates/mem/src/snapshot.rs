@@ -61,6 +61,7 @@ pub fn replay(graph: &Graph, scheme: &ExecutionScheme, ops: u32) -> Vec<OpSnapsh
     for op in 1..=ops {
         let mut updates = Vec::new();
         for (id, t) in counters.iter_mut() {
+            // cocco-audit: allow(R1) counters was built from this scheme's own iterator two lines up
             let s = scheme.get(*id).expect("scheme covers id");
             let h = graph.node(*id).out_shape().h;
             for _ in 0..s.upd_num.h.max(1) {

@@ -47,8 +47,10 @@ impl Quotient {
         originals.sort_unstable();
         originals.dedup();
         let k = originals.len();
-        let compact =
-            |orig: u32| -> u32 { originals.binary_search(&orig).expect("id exists") as u32 };
+        let compact = |orig: u32| -> u32 {
+            // cocco-audit: allow(R1) originals is the sorted-deduped image of the same assignment the ids come from
+            originals.binary_search(&orig).expect("id exists") as u32
+        };
         let mut succs: Vec<Vec<u32>> = vec![Vec::new(); k];
         let mut preds: Vec<Vec<u32>> = vec![Vec::new(); k];
         let mut min_member = vec![u32::MAX; k];
@@ -91,6 +93,7 @@ impl Quotient {
     pub fn compact_id(&self, original: u32) -> u32 {
         self.originals
             .binary_search(&original)
+            // cocco-audit: allow(R1) documented panic: the contract requires a subgraph id of this partition
             .expect("unknown subgraph id") as u32
     }
 

@@ -410,6 +410,7 @@ impl<'a> SearchContext<'a> {
         if samples.is_empty() {
             return;
         }
+        // cocco-audit: allow(D3) feeds EngineStats.wall_ms only — reporting, never a search decision
         let start = Instant::now();
         let mut jobs: Vec<(Mutex<&mut EvalCandidate>, Objective, u64)> =
             Vec::with_capacity(samples.len());
@@ -421,6 +422,7 @@ impl<'a> SearchContext<'a> {
                     jobs.push((
                         Mutex::new(candidate),
                         objective,
+                        // cocco-audit: allow(R1) samples holds exactly sum(funded_per_group) entries by construction above
                         *sample_iter.next().unwrap(),
                     ));
                 }
@@ -474,6 +476,7 @@ impl<'a> SearchContext<'a> {
         self.engine.record_wall(start.elapsed());
         // Record trace points in funding (= sample) order.
         for slot in &results {
+            // cocco-audit: allow(R1) the engine ran one job per slot; an empty slot means the dispatch itself is broken
             let point = slot.lock().unwrap().take().expect("every funded job ran");
             self.trace.record(point);
         }

@@ -91,6 +91,7 @@ impl DepthDp {
                 .space
                 .grid()
                 .last()
+                // cocco-audit: allow(R1) CapacityRange is non-empty by construction, so every grid() has entries
                 .expect("buffer space has at least one configuration"),
         }
     }

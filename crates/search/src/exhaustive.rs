@@ -123,6 +123,7 @@ impl Exhaustive {
                 .space
                 .grid()
                 .last()
+                // cocco-audit: allow(R1) CapacityRange is non-empty by construction, so every grid() has entries
                 .expect("buffer space has at least one configuration"),
         }
     }

@@ -211,6 +211,7 @@ impl SearchDriver for SaDriver {
                 // each neighbor carries the current state's memo plus its
                 // own mutation delta, so only touched subgraphs re-score.
                 let graph = ctx.graph();
+                // cocco-audit: allow(R1) the Anneal phase is only entered after Seed sets self.current
                 let current = self.current.clone().expect("annealing has a current state");
                 let batch = self.config.neighbor_batch.max(1) as usize;
                 let neighbors: Vec<EvalCandidate> = (0..batch)

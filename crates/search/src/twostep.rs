@@ -270,6 +270,7 @@ impl TwoStepDriver {
     fn alpha(ctx: &SearchContext<'_>) -> f64 {
         ctx.objective
             .alpha
+            // cocco-audit: allow(R1) the facade rejects two-step without alpha before any driver is built (Error::Config)
             .expect("two-step exploration requires a Formula-2 objective")
     }
 
@@ -332,6 +333,7 @@ impl TwoStepDriver {
         ctx.derive_with_budget(
             BufferSpace::fixed(slot.buffer),
             Objective::partition_only(ctx.objective.metric),
+            // cocco-audit: allow(R1) every caller runs ensure_slice(si) first
             Arc::clone(slot.slice.as_ref().expect("slice materialized")),
         )
     }
@@ -382,6 +384,7 @@ impl TwoStepDriver {
             match self.slots[si].ga.next_batch(&inner_ctx) {
                 Step::Evaluate(mut batch) => {
                     let objective = Objective::partition_only(ctx.objective.metric);
+                    // cocco-audit: allow(R1) ensure_slice(ctx, si) ran two lines above
                     let slice = Arc::clone(self.slots[si].slice.as_ref().unwrap());
                     for chunk in &mut batch.chunks {
                         chunk.objective = Some(objective);
@@ -419,6 +422,7 @@ impl TwoStepDriver {
             let inner_ctx = self.inner_ctx(ctx, si);
             match self.slots[si].ga.next_batch(&inner_ctx) {
                 Step::Evaluate(inner_batch) => {
+                    // cocco-audit: allow(R1) ensure_slice(ctx, si) ran two lines above
                     let slice = Arc::clone(self.slots[si].slice.as_ref().unwrap());
                     let mut count = 0usize;
                     for mut chunk in inner_batch.chunks {

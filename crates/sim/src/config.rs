@@ -223,6 +223,7 @@ impl EvalOptions {
     /// Panics if `batch` is zero — use [`new`](EvalOptions::new) for
     /// untrusted input.
     pub fn with_batch(batch: u32) -> Self {
+        // cocco-audit: allow(R1) documented panic; EvalOptions::new is the fallible path for untrusted input
         Self::new(1, batch).expect("batch must be nonzero")
     }
 
@@ -233,6 +234,7 @@ impl EvalOptions {
     /// Panics if `cores` is zero — use [`new`](EvalOptions::new) for
     /// untrusted input.
     pub fn with_cores(cores: u32) -> Self {
+        // cocco-audit: allow(R1) documented panic; EvalOptions::new is the fallible path for untrusted input
         Self::new(cores, 1).expect("cores must be nonzero")
     }
 

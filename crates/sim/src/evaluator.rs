@@ -271,8 +271,14 @@ impl<'g> Evaluator<'g> {
             if shard.map.len() > self.stats_shard_capacity {
                 let target = (self.stats_shard_capacity / 2).max(1);
                 let surplus = shard.map.len() - target;
-                let victims: Vec<NodeSetFp> = shard.map.keys().take(surplus).copied().collect();
-                for victim in &victims {
+                // Deterministic victim selection (mirrors the engine
+                // cache): never let HashMap iteration order decide which
+                // entries survive, or identical runs diverge in what they
+                // keep warm.
+                // cocco-audit: allow(D1) victims are sorted before use, so map order never escapes
+                let mut victims: Vec<NodeSetFp> = shard.map.keys().copied().collect();
+                victims.sort_unstable();
+                for victim in victims.iter().take(surplus) {
                     shard.map.remove(victim);
                 }
             }

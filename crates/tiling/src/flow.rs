@@ -5,7 +5,7 @@ use crate::mapper::Mapper;
 use crate::ratio::{gcd, lcm, Ratio};
 use crate::scheme::{ExecutionScheme, NodeScheme};
 use cocco_graph::{Dims2, EdgeReq, Graph, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-dimension view of an [`EdgeReq`] used by the backward derivation.
 #[derive(Copy, Clone, Debug)]
@@ -97,7 +97,7 @@ pub fn derive_scheme(
         .collect();
 
     // Member consumers of each extended node (deduplicated).
-    let mut cons_in: HashMap<NodeId, Vec<NodeId>> = HashMap::with_capacity(ext.len());
+    let mut cons_in: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
     for &u in &ext {
         let mut cs: Vec<NodeId> = graph
             .consumers(u)
@@ -111,7 +111,7 @@ pub fn derive_scheme(
     }
 
     // Stages 1-2: backward pass in reverse topological order.
-    let mut schemes: HashMap<NodeId, NodeScheme> = HashMap::with_capacity(ext.len());
+    let mut schemes: BTreeMap<NodeId, NodeScheme> = BTreeMap::new();
     let mut exact = true;
     for &u in ext.iter().rev() {
         let shape = graph.node(u).out_shape();
@@ -210,6 +210,7 @@ pub fn derive_scheme(
         match solve_upd(graph, &ext, &cons_in, &schemes, dim, strict) {
             Ok(upd) => {
                 for (&id, value) in &upd {
+                    // cocco-audit: allow(R1) solve_upd returns one entry per ext node, and schemes covers ext
                     let s = schemes.get_mut(&id).expect("scheme exists");
                     match dim {
                         Dim::H => s.upd_num.h = *value,
@@ -266,15 +267,15 @@ impl Dim {
 fn solve_upd(
     graph: &Graph,
     ext: &[NodeId],
-    cons_in: &HashMap<NodeId, Vec<NodeId>>,
-    schemes: &HashMap<NodeId, NodeScheme>,
+    cons_in: &BTreeMap<NodeId, Vec<NodeId>>,
+    schemes: &BTreeMap<NodeId, NodeScheme>,
     dim: Dim,
     strict: bool,
-) -> Result<HashMap<NodeId, u32>, TilingError> {
+) -> Result<BTreeMap<NodeId, u32>, TilingError> {
     // rate(u) = upd(u)·Δ(u), determined up to one scalar per weakly
     // connected component. Edges touching fully-buffered nodes are skipped
     // (their update pattern is "once per elementary op").
-    let mut rate: HashMap<NodeId, Ratio> = HashMap::with_capacity(ext.len());
+    let mut rate: BTreeMap<NodeId, Ratio> = BTreeMap::new();
     for &start in ext {
         if rate.contains_key(&start) {
             continue;
@@ -340,7 +341,7 @@ fn solve_upd(
         scale = lcm(scale, r.den);
         upd_ratio.push((u, r));
     }
-    let mut upd: HashMap<NodeId, u32> = HashMap::with_capacity(ext.len());
+    let mut upd: BTreeMap<NodeId, u32> = BTreeMap::new();
     let mut all_gcd = 0u64;
     for (u, r) in &upd_ratio {
         let v = r.num.saturating_mul(scale / r.den);

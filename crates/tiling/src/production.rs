@@ -9,7 +9,7 @@
 
 use crate::error::TilingError;
 use cocco_graph::{Dims2, EdgeReq, Graph, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-node result of the production-centric forward derivation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -120,7 +120,7 @@ pub fn derive_production(
         .collect();
 
     // Forward pass: produced extents.
-    let mut produced: HashMap<NodeId, Dims2> = HashMap::with_capacity(ext.len());
+    let mut produced: BTreeMap<NodeId, Dims2> = BTreeMap::new();
     for &u in &ext {
         let shape = graph.node(u).out_shape();
         let extent = Dims2::new(shape.h, shape.w);
@@ -160,7 +160,7 @@ pub fn derive_production(
     }
 
     // Backward pass: needed extents, driven by the subgraph outputs.
-    let mut needed: HashMap<NodeId, Dims2> = HashMap::with_capacity(ext.len());
+    let mut needed: BTreeMap<NodeId, Dims2> = BTreeMap::new();
     for &u in ext.iter().rev() {
         let consumers: Vec<NodeId> = graph
             .consumers(u)

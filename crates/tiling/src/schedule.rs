@@ -16,7 +16,7 @@
 use crate::scheme::ExecutionScheme;
 use cocco_graph::{EdgeReq, Graph, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Where a step's data comes from.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -84,7 +84,7 @@ impl Program {
 
     /// `true` when every covered node has produced its full height extent.
     pub fn is_complete(&self, graph: &Graph, scheme: &ExecutionScheme) -> bool {
-        let mut avail: HashMap<NodeId, u32> = HashMap::new();
+        let mut avail: BTreeMap<NodeId, u32> = BTreeMap::new();
         for step in self.ops.iter().flat_map(|op| &op.steps) {
             avail.insert(step.node, step.to + 1);
         }
@@ -101,7 +101,7 @@ impl Program {
     /// hazard-free. Pair with [`retention_slack`](Program::retention_slack)
     /// to also bound the eviction side of the invariant.
     pub fn validate(&self, graph: &Graph, scheme: &ExecutionScheme) -> Option<Step> {
-        let mut avail: HashMap<NodeId, u32> = HashMap::new();
+        let mut avail: BTreeMap<NodeId, u32> = BTreeMap::new();
         for op in &self.ops {
             for step in &op.steps {
                 if step.kind == StepKind::Compute {
@@ -133,7 +133,7 @@ impl Program {
     /// The extra footprint is at most a few rows per node — callers can
     /// treat the returned value (in rows) as the required per-node slack.
     pub fn retention_slack(&self, graph: &Graph, scheme: &ExecutionScheme) -> u32 {
-        let mut avail: HashMap<NodeId, u32> = HashMap::new();
+        let mut avail: BTreeMap<NodeId, u32> = BTreeMap::new();
         let mut worst = 0u32;
         for op in &self.ops {
             for step in &op.steps {
@@ -206,12 +206,13 @@ pub fn generate_program(
     max_ops: u32,
 ) -> Program {
     let covered: Vec<NodeId> = scheme.iter().map(|(id, _)| id).collect();
-    let mut avail: HashMap<NodeId, u32> = covered.iter().map(|&id| (id, 0)).collect();
-    let mut updates: HashMap<NodeId, u32> = covered.iter().map(|&id| (id, 0)).collect();
+    let mut avail: BTreeMap<NodeId, u32> = covered.iter().map(|&id| (id, 0)).collect();
+    let mut updates: BTreeMap<NodeId, u32> = covered.iter().map(|&id| (id, 0)).collect();
     let mut program = Program { ops: Vec::new() };
     for index in 1..=max_ops {
         let mut steps = Vec::new();
         for &id in &covered {
+            // cocco-audit: allow(R1) covered is scheme's own node list collected above
             let s = scheme.get(id).expect("covered");
             let h = graph.node(id).out_shape().h;
             let node = graph.node(id);
@@ -279,6 +280,7 @@ pub fn generate_program(
                 if producible <= got {
                     break; // stall: producers have not advanced enough
                 }
+                // cocco-audit: allow(R1) updates was initialized with every covered id
                 let t = updates.get_mut(&id).expect("covered");
                 *t += 1;
                 steps.push(Step {

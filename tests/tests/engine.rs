@@ -120,6 +120,42 @@ fn bounded_cache_stays_within_budget_and_preserves_results() {
 }
 
 #[test]
+fn eviction_victims_are_deterministic_across_identical_runs() {
+    // The regression test for nondeterministic victim selection: when a
+    // generation sweep still overflows the shard budget, the entries shed
+    // must be a function of the keys alone — never of map iteration
+    // order — so two identical runs persist byte-identical snapshots.
+    let dir = std::env::temp_dir().join(format!("cocco-evict-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |tag: &str| {
+        let path = dir.join(format!("snapshot-{tag}.json"));
+        let result = Cocco::new()
+            .with_budget(2_000)
+            .with_seed(17)
+            .with_engine(EngineConfig::serial().with_cache_capacity(512))
+            .with_cache_file(&path)
+            .explore(&cocco::graph::models::googlenet())
+            .unwrap();
+        assert!(
+            result.stats.evictions() > 0,
+            "the run must evict, or byte-identity proves nothing"
+        );
+        (std::fs::read(&path).unwrap(), result)
+    };
+    let (bytes_a, a) = run("a");
+    let (bytes_b, b) = run("b");
+    assert_eq!(
+        a.cost, b.cost,
+        "identical runs diverged before the snapshot"
+    );
+    assert_eq!(
+        bytes_a, bytes_b,
+        "identical runs persisted different cache snapshots after evictions"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn incremental_path_builds_zero_per_probe_keys() {
     // The zero-rehash criterion, observed end to end through the facade.
     let result = explore(SearchMethod::ga(), 2, 400);
