@@ -20,29 +20,33 @@
 //!   `BENCH_engine.json` summary at the repository root recording wall
 //!   times, the subgraph-level hit rate, the incremental scoring
 //!   reduction, key-build cost, evictions, the persistent-vs-scoped pool
-//!   comparison and the two-step arms' cross-candidate stats-cache hit
-//!   rates;
+//!   comparison, the two-step arms' cross-candidate stats-cache hit
+//!   rates, the telemetry arm's per-batch dispatch-latency percentiles
+//!   (p50/p90/p99) and the facade's per-phase wall profile;
 //! * `cargo run --release -p cocco-bench --bin micro -- --smoke
 //!   [--threads <n>] [--pool scoped|persistent]` — the CI smoke mode: a
 //!   scaled-down run of the same arms that asserts bit-identical results
 //!   across {full, incremental} × {serial, scoped, persistent}, the ≥30%
 //!   subgraph-scoring reduction, zero per-probe key allocations on the
 //!   incremental path, stepped-vs-monolithic parity (driver loop +
-//!   JSON-resume == `run()`), and the interleaved two-step's strictly
-//!   higher cross-candidate subgraph hit rate, at the requested worker
-//!   count.
+//!   JSON-resume == `run()`), the interleaved two-step's strictly
+//!   higher cross-candidate subgraph hit rate, telemetry's
+//!   zero-perturbation guarantee (a live sink leaves the seeded GA
+//!   bit-identical) and its bounded cost on the cached-score leaf, at the
+//!   requested worker count.
 
 use cocco::prelude::*;
+use cocco::telemetry::Stopwatch;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Times `f`, printing `name: median (min) per iteration`.
 fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     // Warm-up and batch-size calibration: aim for batches of >= 1 ms.
     let mut batch = 1u32;
     loop {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         for _ in 0..batch {
             std::hint::black_box(f());
         }
@@ -54,9 +58,9 @@ fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     }
     let budget = Duration::from_millis(250);
     let mut samples = Vec::new();
-    let run_start = Instant::now();
+    let run_start = Stopwatch::start();
     while samples.len() < 50 && (run_start.elapsed() < budget || samples.len() < 5) {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         for _ in 0..batch {
             std::hint::black_box(f());
         }
@@ -84,13 +88,15 @@ fn fmt_time(seconds: f64) -> String {
     }
 }
 
-/// One timed GA run under an explicit engine configuration; returns wall
-/// time plus the outcome fingerprint and engine statistics.
+/// One timed GA run under an explicit engine configuration (optionally
+/// with a live telemetry sink); returns wall time plus the outcome
+/// fingerprint and engine statistics.
 fn ga_run(
     model: &Graph,
     budget: u64,
     population: usize,
     engine: EngineConfig,
+    telemetry: Option<&Telemetry>,
 ) -> (Duration, f64, Option<Genome>, EngineStats) {
     // A fresh evaluator per run so every arm starts with cold caches.
     let evaluator = Evaluator::new(model, AcceleratorConfig::default());
@@ -100,10 +106,13 @@ fn ga_run(
         BufferSpace::paper_shared(),
         Objective::paper_energy_capacity(),
         budget,
-    )
-    .with_engine(engine);
+    );
+    let ctx = match telemetry {
+        Some(t) => ctx.with_engine_telemetry(engine, t),
+        None => ctx.with_engine(engine),
+    };
     let ga = CoccoGa::default().with_population(population).with_seed(42);
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let outcome = ga.run(&ctx);
     (
         start.elapsed(),
@@ -140,21 +149,48 @@ fn engine_bench(smoke: bool, threads: u32, pool: PoolMode) -> serde_json::Value 
         budget,
         population,
         EngineConfig::serial().without_incremental(),
+        None,
     );
     let (serial_wall, serial_cost, serial_best, serial_stats) =
-        ga_run(&model, budget, population, EngineConfig::serial());
+        ga_run(&model, budget, population, EngineConfig::serial(), None);
     let (persistent_wall, persistent_cost, persistent_best, persistent_stats) = ga_run(
         &model,
         budget,
         population,
         EngineConfig::with_threads(threads),
+        None,
     );
     let (scoped_wall, scoped_cost, scoped_best, scoped_stats) = ga_run(
         &model,
         budget,
         population,
         EngineConfig::with_threads(threads).with_pool(PoolMode::Scoped),
+        None,
     );
+    // Telemetry arm: the same seeded parallel GA with a live sink.
+    // Observation only — results must stay bit-identical — and the sink
+    // yields the per-batch dispatch latency histogram for the summary.
+    let telemetry = Telemetry::enabled();
+    let (telemetry_wall, telemetry_cost, telemetry_best, _) = ga_run(
+        &model,
+        budget,
+        population,
+        EngineConfig::with_threads(threads),
+        Some(&telemetry),
+    );
+    assert_eq!(
+        serial_cost, telemetry_cost,
+        "telemetry perturbed the engine: best costs differ with a live sink"
+    );
+    assert_eq!(
+        serial_best, telemetry_best,
+        "telemetry perturbed the engine: best genomes differ with a live sink"
+    );
+    let batch_latency = telemetry
+        .snapshot()
+        .histogram("engine.batch.latency_ns")
+        .cloned()
+        .expect("a GA run dispatches batches");
 
     assert_eq!(
         full_cost, serial_cost,
@@ -240,6 +276,13 @@ fn engine_bench(smoke: bool, threads: u32, pool: PoolMode) -> serde_json::Value 
     println!(
         "scoped ({threads} thr)       : {:>10}",
         fmt_time(scoped_wall.as_secs_f64())
+    );
+    println!(
+        "telemetry ({threads} thr)    : {:>10}  ({} batches, p50 {}, p99 {})",
+        fmt_time(telemetry_wall.as_secs_f64()),
+        batch_latency.count,
+        fmt_time(batch_latency.p50() as f64 / 1e9),
+        fmt_time(batch_latency.p99() as f64 / 1e9),
     );
     println!("speedup (threads)    : {speedup:.2}x ({pool:?} pool)");
     println!(
@@ -355,6 +398,31 @@ fn engine_bench(smoke: bool, threads: u32, pool: PoolMode) -> serde_json::Value 
             "cache_evictions".to_string(),
             serde_json::to_value(&stats.evictions()),
         ),
+        (
+            "telemetry_ms".to_string(),
+            serde_json::to_value(&(telemetry_wall.as_secs_f64() * 1e3)),
+        ),
+        (
+            "batch_latency".to_string(),
+            serde_json::Value::Object(vec![
+                (
+                    "count".to_string(),
+                    serde_json::to_value(&batch_latency.count),
+                ),
+                (
+                    "p50_ns".to_string(),
+                    serde_json::to_value(&batch_latency.p50()),
+                ),
+                (
+                    "p90_ns".to_string(),
+                    serde_json::to_value(&batch_latency.p90()),
+                ),
+                (
+                    "p99_ns".to_string(),
+                    serde_json::to_value(&batch_latency.p99()),
+                ),
+            ]),
+        ),
         ("deterministic".to_string(), serde_json::to_value(&true)),
     ];
     serde_json::Value::Object(doc)
@@ -380,7 +448,7 @@ fn pool_overhead_bench(threads: u32) -> (f64, f64) {
         });
         let mut samples: Vec<f64> = (0..200)
             .map(|_| {
-                let start = Instant::now();
+                let start = Stopwatch::start();
                 pool.run(64, |i| {
                     sink.fetch_add(i as u64, std::sync::atomic::Ordering::Relaxed);
                 });
@@ -423,7 +491,7 @@ fn key_build_bench() -> f64 {
     let fingerprint = evaluator.fingerprint();
     let mut samples = Vec::with_capacity(64);
     for _ in 0..64 {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         for _ in 0..4096 {
             std::hint::black_box(cocco::engine::EvalKey::partition(
                 fingerprint,
@@ -455,11 +523,12 @@ fn capacity_sweep(threads: u32) -> serde_json::Value {
         budget,
         population,
         EngineConfig::with_threads(threads),
+        None,
     );
     let mut rows = Vec::new();
     for capacity in [usize::MAX, 16_384, 2_048, 256] {
         let config = EngineConfig::with_threads(threads).with_cache_capacity(capacity);
-        let (wall, cost, best, stats) = ga_run(&model, budget, population, config);
+        let (wall, cost, best, stats) = ga_run(&model, budget, population, config, None);
         assert_eq!(
             cost, reference_cost,
             "capacity {capacity}: eviction changed the best cost"
@@ -686,7 +755,7 @@ fn twostep_run(
     if !interleave {
         method = method.sequential();
     }
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let outcome = method.run(&ctx);
     (
         start.elapsed(),
@@ -788,14 +857,94 @@ fn twostep_bench(smoke: bool, threads: u32) -> serde_json::Value {
     ])
 }
 
+/// Bounds what telemetry may cost on the engine's hottest leaf: a warmed
+/// `score_single` cache hit (tens of nanoseconds). Probes the same cached
+/// subgraph 20 000 times through a disabled handle and through a live
+/// sink; both arms must stay under a generous 5 µs/probe ceiling, which
+/// catches a regression that puts a clock read, lock round-trip or
+/// allocation onto the cached path. The cached leaf must also stay silent:
+/// after every probe the live sink's event buffer is still empty.
+fn telemetry_overhead_check() {
+    let model = cocco::graph::models::resnet50();
+    let evaluator = Evaluator::new(&model, AcceleratorConfig::default());
+    let members: Vec<_> = model.node_ids().take(12).collect();
+    let buffer = BufferConfig::shared(2 << 20);
+    const PROBES: u32 = 20_000;
+    const CEILING_NS: f64 = 5_000.0;
+    println!();
+    for (arm, telemetry) in [
+        ("disabled", Telemetry::disabled()),
+        ("enabled", Telemetry::enabled()),
+    ] {
+        let engine =
+            cocco::engine::Engine::with_telemetry(EngineConfig::serial(), telemetry.clone());
+        // Warm the subgraph-term cache so every timed probe is a hit.
+        engine.score_single(&evaluator, &members, &buffer, EvalOptions::default());
+        let start = Stopwatch::start();
+        for _ in 0..PROBES {
+            std::hint::black_box(engine.score_single(
+                &evaluator,
+                &members,
+                &buffer,
+                EvalOptions::default(),
+            ));
+        }
+        let per_probe_ns = start.elapsed().as_secs_f64() * 1e9 / f64::from(PROBES);
+        assert!(
+            per_probe_ns < CEILING_NS,
+            "telemetry ({arm}): cached score_single probe costs {per_probe_ns:.0} ns — \
+             something put a clock, lock or allocation on the cached leaf \
+             (ceiling {CEILING_NS:.0} ns)"
+        );
+        assert!(
+            telemetry.events().is_empty(),
+            "telemetry ({arm}): the cached score_single leaf must emit no events"
+        );
+        println!(
+            "telemetry/cached_leaf_{arm:<9}             {:>12} per probe (< {} ceiling)",
+            fmt_time(per_probe_ns / 1e9),
+            fmt_time(CEILING_NS / 1e9),
+        );
+    }
+}
+
+/// One seeded facade exploration with a live sink, reported as the
+/// per-phase wall profile (setup / search / eval / cache / serialize).
+/// Eval is nested inside search, so it can never exceed it. Returns the
+/// phase snapshot as JSON for the summary.
+fn phase_profile_bench(threads: u32) -> serde_json::Value {
+    let model = cocco::graph::models::resnet50();
+    let telemetry = Telemetry::enabled();
+    Cocco::new()
+        .with_method(SearchMethod::ga())
+        .with_budget(1_500)
+        .with_seed(7)
+        .with_engine(EngineConfig::with_threads(threads))
+        .with_telemetry(telemetry.clone())
+        .explore(&model)
+        .expect("exploration succeeds");
+    let phases = telemetry.phases();
+    println!("\n== phase profile: GA on resnet50, budget 1500, {threads} threads ==\n");
+    for (name, ms) in phases.rows() {
+        println!("phase/{name:<36} {:>12}", fmt_time(ms / 1e3));
+    }
+    assert!(
+        phases.eval_ms <= phases.search_ms,
+        "phase accounting violated: eval ({:.1} ms) is nested inside search ({:.1} ms)",
+        phases.eval_ms,
+        phases.search_ms,
+    );
+    serde_json::to_value(&phases)
+}
+
 /// Runs the workspace determinism audit in-process and prints its wall
 /// time — the smoke's cheap proof that the gate stays both green and
 /// fast enough to run on every CI push.
 fn audit_gate_check() {
     let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let start = std::time::Instant::now();
+    let start = Stopwatch::start();
     let report = cocco_audit::audit_workspace(&root).expect("workspace audit runs");
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let wall_ms = start.elapsed_ms();
     assert!(
         report.is_clean(),
         "workspace audit found violations:\n{}",
@@ -860,6 +1009,7 @@ fn main() {
         println!();
         stepped_parity_check(threads);
         twostep_bench(true, threads);
+        telemetry_overhead_check();
         audit_gate_check();
         println!("\nsmoke OK");
         return;
@@ -888,6 +1038,8 @@ fn main() {
         serde_json::to_value(&persistent_overhead_ns),
     ));
     doc.push(("capacity_sweep".to_string(), capacity_sweep(threads)));
+    doc.push(("phases".to_string(), phase_profile_bench(threads)));
+    telemetry_overhead_check();
     let doc = serde_json::Value::Object(doc);
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
     let text = serde_json::to_string_pretty(&doc).expect("summary serializes");

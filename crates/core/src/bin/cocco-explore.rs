@@ -24,6 +24,9 @@ struct Args {
     cache_file: Option<String>,
     checkpoint_file: Option<String>,
     checkpoint_every: Option<u64>,
+    stats_json: Option<String>,
+    telemetry_jsonl: Option<String>,
+    telemetry_report: bool,
     json: bool,
     list: bool,
     dot: bool,
@@ -70,6 +73,13 @@ fn usage() -> String {
                               bit-identically (removed on completion)\n\
            --checkpoint-every <n>  driver steps between checkpoint saves\n\
                               (default 16; a GA step is one generation)\n\
+           --stats-json <p>   write engine stats + metrics + phase profile to <p>\n\
+                              as JSON (enables telemetry; results unchanged)\n\
+           --telemetry-jsonl <p>  write every telemetry event to <p>, one JSON\n\
+                              object per line (enables telemetry)\n\
+           --telemetry-report print a summary table of counters, latency\n\
+                              histograms (p50/p90/p99) and per-phase wall time\n\
+                              (enables telemetry)\n\
            --json             print the full exploration result as JSON\n\
            --dot              print the partitioned graph in Graphviz DOT\n\
            --list             list available models and exit",
@@ -92,6 +102,9 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         cache_file: None,
         checkpoint_file: None,
         checkpoint_every: None,
+        stats_json: None,
+        telemetry_jsonl: None,
+        telemetry_report: false,
         json: false,
         list: false,
         dot: false,
@@ -192,6 +205,13 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             "--cache-file" => {
                 args.cache_file = Some(next_value(&mut argv, "--cache-file")?);
             }
+            "--stats-json" => {
+                args.stats_json = Some(next_value(&mut argv, "--stats-json")?);
+            }
+            "--telemetry-jsonl" => {
+                args.telemetry_jsonl = Some(next_value(&mut argv, "--telemetry-jsonl")?);
+            }
+            "--telemetry-report" => args.telemetry_report = true,
             "--json" => args.json = true,
             "--list" => args.list = true,
             "--dot" => args.dot = true,
@@ -241,6 +261,81 @@ struct JsonReport {
     exploration: Exploration,
 }
 
+/// What `--stats-json` writes: the compatibility [`EngineStats`] next to
+/// the full metrics registry and per-phase wall-time profile.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct StatsDump {
+    stats: EngineStats,
+    metrics: MetricsSnapshot,
+    phases: PhaseSnapshot,
+    events_dropped: u64,
+}
+
+/// Nanoseconds, human-scaled.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// The `--telemetry-report` summary table.
+fn telemetry_report(telemetry: &Telemetry) -> String {
+    use std::fmt::Write as _;
+    let snap = telemetry.snapshot();
+    let phases = telemetry.phases();
+    let mut out = String::new();
+    let _ = writeln!(out, "telemetry:");
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "  counters:");
+        for c in &snap.counters {
+            let _ = writeln!(out, "    {:<34} {:>12}", c.name, c.value);
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "  gauges:");
+        for g in &snap.gauges {
+            let _ = writeln!(out, "    {:<34} {:>12}", g.name, g.value);
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "  histograms:{:>30} {:>9} {:>9} {:>9}",
+            "count", "p50", "p90", "p99"
+        );
+        for h in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "    {:<34} {:>6} {:>9} {:>9} {:>9}",
+                h.name,
+                h.count,
+                fmt_ns(h.p50() as f64),
+                fmt_ns(h.p90() as f64),
+                fmt_ns(h.p99() as f64),
+            );
+        }
+    }
+    let rows: Vec<String> = phases
+        .rows()
+        .iter()
+        .map(|(name, ms)| format!("{name} {ms:.1}"))
+        .collect();
+    let _ = writeln!(out, "  phases (ms): {}", rows.join(" | "));
+    let _ = writeln!(
+        out,
+        "  events: {} recorded, {} dropped",
+        telemetry.events().len(),
+        telemetry.events_dropped(),
+    );
+    out
+}
+
 fn main() -> ExitCode {
     let args = match parse(std::env::args()) {
         Ok(a) => a,
@@ -267,13 +362,22 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let method = args.method.with_seed(args.seed);
+    // Telemetry is observation-only: enabling it never changes results.
+    let wants_telemetry =
+        args.stats_json.is_some() || args.telemetry_jsonl.is_some() || args.telemetry_report;
+    let telemetry = if wants_telemetry {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     let mut session = Cocco::new()
         .with_space(args.space)
         .with_objective(Objective::co_exploration(args.metric, args.alpha))
         .with_options(args.options)
         .with_engine(args.threads)
         .with_budget(args.budget)
-        .with_method(method.clone());
+        .with_method(method.clone())
+        .with_telemetry(telemetry.clone());
     if let Some(path) = &args.cache_file {
         session = session.with_cache_file(path);
     }
@@ -290,6 +394,33 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Telemetry side outputs are best effort: a failed write warns, it
+    // never discards a completed exploration.
+    if let Some(path) = &args.stats_json {
+        let dump = StatsDump {
+            stats: result.stats,
+            metrics: telemetry.snapshot(),
+            phases: telemetry.phases(),
+            events_dropped: telemetry.events_dropped(),
+        };
+        let outcome = serde_json::to_string_pretty(&dump)
+            .map_err(|e| e.to_string())
+            .and_then(|text| std::fs::write(path, text).map_err(|e| e.to_string()));
+        if let Err(e) = outcome {
+            eprintln!("warning: could not write --stats-json {path}: {e}");
+        }
+    }
+    if let Some(path) = &args.telemetry_jsonl {
+        let outcome =
+            std::fs::File::create(path).and_then(|mut file| telemetry.export_jsonl(&mut file));
+        if let Err(e) = outcome {
+            eprintln!("warning: could not write --telemetry-jsonl {path}: {e}");
+        }
+    }
+    if args.telemetry_report && args.json {
+        // The JSON document owns stdout; the table goes to stderr.
+        eprint!("{}", telemetry_report(&telemetry));
+    }
     if args.json {
         let report = JsonReport {
             model: model.name().to_string(),
@@ -365,6 +496,9 @@ fn main() -> ExitCode {
     }
     if !result.completed {
         println!("note               : method did not complete (limits hit)");
+    }
+    if args.telemetry_report {
+        print!("{}", telemetry_report(&telemetry));
     }
     if args.dot {
         let partition = &result.genome.partition;

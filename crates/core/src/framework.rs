@@ -4,10 +4,11 @@ use crate::error::Error;
 use cocco_engine::{CacheSnapshot, EngineConfig, EngineStats};
 use cocco_graph::Graph;
 use cocco_search::{
-    BufferSpace, GaConfig, Objective, SearchContext, SearchMethod, SearchOutcome, SearchSnapshot,
-    Searcher, Step, Trace, CHECKPOINT_VERSION,
+    drive_step, BufferSpace, GaConfig, Objective, SearchContext, SearchMethod, SearchOutcome,
+    SearchSnapshot, Searcher, Trace, CHECKPOINT_VERSION,
 };
 use cocco_sim::{AcceleratorConfig, EvalOptions, Evaluator, PartitionReport};
+use cocco_telemetry::{Phase, Stopwatch, Telemetry};
 use serde::{Deserialize, Serialize};
 
 pub use cocco_search::Genome;
@@ -98,6 +99,7 @@ pub struct Cocco {
     cache_file: Option<std::path::PathBuf>,
     checkpoint_file: Option<std::path::PathBuf>,
     checkpoint_every: u64,
+    telemetry: Telemetry,
 }
 
 impl Cocco {
@@ -118,6 +120,7 @@ impl Cocco {
             cache_file: None,
             checkpoint_file: None,
             checkpoint_every: 16,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -161,6 +164,17 @@ impl Cocco {
     /// Selects the search method (with its typed configuration).
     pub fn with_method(mut self, method: SearchMethod) -> Self {
         self.method = method;
+        self
+    }
+
+    /// Attaches a telemetry sink: the engine, evaluator and search loop
+    /// report spans, metrics and per-phase wall time through it, and the
+    /// caller reads them back off its own clone of the handle after
+    /// [`explore`](Cocco::explore). **Observation only** — a seeded run
+    /// is bit-identical with telemetry enabled, disabled, or shared, at
+    /// any thread count.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -252,6 +266,7 @@ impl Cocco {
     ///   (internal error — the wrapped [`SimError`](cocco_sim::SimError)
     ///   is preserved as the source).
     pub fn explore(&self, model: &Graph) -> Result<Exploration, Error> {
+        let setup_phase = self.telemetry.phase(Phase::Setup);
         let method = match self.seed {
             Some(seed) => self.method.clone().with_seed(seed),
             None => self.method.clone(),
@@ -262,15 +277,17 @@ impl Cocco {
                 requirement: "a Formula-2 objective (co-exploration with an α)",
             });
         }
-        let evaluator = Evaluator::new(model, self.accel.clone());
+        let evaluator = Evaluator::new(model, self.accel.clone()).with_telemetry(&self.telemetry);
         let ctx = SearchContext::new(model, &evaluator, self.space, self.objective, self.budget)
             .with_options(self.options)
-            .with_engine(self.engine);
+            .with_engine_telemetry(self.engine, &self.telemetry);
+        drop(setup_phase);
         // Warm-start from the cache file: restore this evaluator's entries,
         // carry everyone else's through to the save below.
         let mut foreign = CacheSnapshot::default();
         if let Some(path) = &self.cache_file {
             if path.exists() {
+                let _cache_phase = self.telemetry.phase(Phase::Cache);
                 let snapshot = CacheSnapshot::load(path).map_err(|e| Error::CacheFile {
                     path: path.display().to_string(),
                     reason: e.to_string(),
@@ -281,6 +298,7 @@ impl Cocco {
             }
         }
         let mut checkpoint_save_error = None;
+        let search_phase = self.telemetry.phase(Phase::Search);
         let outcome = match &self.checkpoint_file {
             Some(path) => self.run_checkpointed(
                 &method,
@@ -291,10 +309,33 @@ impl Cocco {
             )?,
             None => method.run(&ctx),
         };
+        drop(search_phase);
+        // Publish the engine's absorbed counters/gauges into the shared
+        // sink (the engine dies with this call frame, the caller's
+        // telemetry handle lives on), and credit the accumulated dispatch
+        // wall time to the Eval phase (a subset of Search; the difference
+        // is driver time). Raising counters to the engine's absolute value
+        // keeps already-registered sink counters untouched.
+        if let Some(registry) = self.telemetry.registry() {
+            let metrics = ctx.engine().metrics();
+            for counter in &metrics.counters {
+                let handle = registry.counter(&counter.name);
+                let current = handle.get();
+                if counter.value > current {
+                    handle.add(counter.value - current);
+                }
+            }
+            for gauge in &metrics.gauges {
+                registry.gauge(&gauge.name).set(gauge.value);
+            }
+            self.telemetry
+                .add_phase_time(Phase::Eval, metrics.gauge("engine.batch.wall_ns"));
+        }
         // Persistence is an optimization: a failed save must not discard a
         // completed exploration, so it is reported on the result instead.
         let mut cache_save_error = None;
         if let Some(path) = &self.cache_file {
+            let _cache_phase = self.telemetry.phase(Phase::Cache);
             let mut snapshot = ctx.engine().cache().snapshot();
             snapshot.merge(foreign);
             // Concurrent explorations can share one sweep-wide file; fold
@@ -398,27 +439,21 @@ impl Cocco {
         // wall-clock interval, bounding checkpoint overhead to a small
         // fraction of the run regardless of step granularity.
         const MIN_SAVE_INTERVAL: std::time::Duration = std::time::Duration::from_millis(100);
-        // cocco-audit: allow(D3) checkpoint-save throttle — gates how often snapshots hit disk, never what the search does
-        let mut last_save = std::time::Instant::now();
-        loop {
-            match driver.next_batch(ctx) {
-                Step::Evaluate(mut batch) => {
-                    ctx.evaluate_chunks(&mut batch);
-                    driver.absorb(ctx, batch);
-                }
-                Step::Continue => {}
-                Step::Done => break,
-            }
+        // The throttle gates how often snapshots hit disk, never what the
+        // search does; `Stopwatch` is the sanctioned timing authority.
+        let mut last_save = Stopwatch::start();
+        while drive_step(&mut *driver, ctx) {
             steps += 1;
             if steps.is_multiple_of(self.checkpoint_every)
                 && last_save.elapsed() >= MIN_SAVE_INTERVAL
             {
+                let serialize_phase = self.telemetry.phase(Phase::Serialize);
                 let snapshot = SearchSnapshot::capture(method, &*driver, ctx);
                 if let Err(e) = save_checkpoint(&snapshot, path) {
                     *save_error = Some(format!("{}: {e}", path.display()));
                 }
-                // cocco-audit: allow(D3) checkpoint-save throttle — wall time only spaces saves out
-                last_save = std::time::Instant::now();
+                drop(serialize_phase);
+                last_save = Stopwatch::start();
             }
         }
         // Completed: the checkpoint has served its purpose.
@@ -749,6 +784,38 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, Error::Checkpoint { .. }));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_enabled_run_is_bit_identical_and_profiled() {
+        let model = cocco_graph::models::googlenet();
+        let telemetry = Telemetry::enabled();
+        let session = || Cocco::new().with_budget(400).with_seed(11);
+        let observed = session()
+            .with_telemetry(telemetry.clone())
+            .explore(&model)
+            .unwrap();
+        let plain = session().explore(&model).unwrap();
+        assert_eq!(observed.cost, plain.cost);
+        assert_eq!(observed.genome, plain.genome);
+        assert_eq!(observed.trace, plain.trace);
+
+        // The phase profile covers the lifecycle, with Eval ⊆ Search.
+        let phases = telemetry.phases();
+        assert!(phases.search_ms > 0.0);
+        assert!(phases.eval_ms > 0.0);
+        assert!(phases.eval_ms <= phases.search_ms);
+
+        // Engine counters, step spans and improvement events all landed
+        // in the one shared sink.
+        let snap = telemetry.snapshot();
+        assert!(snap.counter("engine.evals") > 0);
+        assert!(snap.histogram("search.step_ns").unwrap().count > 0);
+        assert!(snap.histogram("engine.batch.latency_ns").unwrap().count > 0);
+        assert!(telemetry
+            .events()
+            .iter()
+            .any(|e| e.name == "search.improvement"));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | [`partition`] | `cocco-partition` | partitions, validity, repair (§4.1) |
 //! | [`engine`] | `cocco-engine` | parallel, memoized evaluation engine |
 //! | [`search`] | `cocco-search` | method registry: GA + all baselines (§4.2-4.4) |
+//! | [`telemetry`] | `cocco-telemetry` | spans, metrics, per-phase profiling (observation-only) |
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@ pub use cocco_mem as mem;
 pub use cocco_partition as partition;
 pub use cocco_search as search;
 pub use cocco_sim as sim;
+pub use cocco_telemetry as telemetry;
 pub use cocco_tiling as tiling;
 
 mod error;

@@ -32,4 +32,5 @@ pub use cocco_sim::{
     AcceleratorConfig, BufferConfig, CapacityRange, CostMetric, EvalOptions, Evaluator,
     PartitionReport,
 };
+pub use cocco_telemetry::{MetricsSnapshot, Phase, PhaseSnapshot, Telemetry};
 pub use cocco_tiling::{derive_scheme, ExecutionScheme, Mapper, MapperPolicy};

@@ -48,6 +48,7 @@
 use crate::engine::{EvalMemo, ScoredEval, SubgraphScore};
 use cocco_graph::{mix64, BuildFpHasher, NodeId, NodeSetFp};
 use cocco_sim::{BufferConfig, EvalOptions};
+use cocco_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
@@ -216,17 +217,23 @@ struct ShardMap<V> {
 /// counters.
 #[derive(Debug)]
 struct Level<V> {
+    /// Level name for telemetry events (`"partition"` / `"subgraph"`).
+    name: &'static str,
     shards: [RwLock<ShardMap<V>>; SHARDS],
     /// Entry budget per shard.
     shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Sweep events land here; disabled handles cost one branch per
+    /// sweep (sweeps are rare — at most one per `capacity/2` inserts).
+    telemetry: Telemetry,
 }
 
 impl<V> Level<V> {
-    fn new(capacity: usize) -> Self {
+    fn new(name: &'static str, capacity: usize, telemetry: Telemetry) -> Self {
         Self {
+            name,
             shards: std::array::from_fn(|_| {
                 RwLock::new(ShardMap {
                     map: HashMap::default(),
@@ -237,6 +244,7 @@ impl<V> Level<V> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            telemetry,
         }
     }
 
@@ -302,8 +310,16 @@ impl<V: Clone> Level<V> {
                 }
             }
             shard.gen += 1;
-            self.evictions
-                .fetch_add((before - shard.map.len()) as u64, Ordering::Relaxed);
+            let evicted = (before - shard.map.len()) as u64;
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            let remaining = shard.map.len();
+            self.telemetry.emit("engine.cache.sweep", || {
+                vec![
+                    ("level", self.name.into()),
+                    ("evicted", evicted.into()),
+                    ("remaining", remaining.into()),
+                ]
+            });
         }
     }
 
@@ -591,11 +607,19 @@ impl EvalCache {
     /// its entries carry memos (see the constant's docs). Tiny capacities
     /// are clamped so every shard can hold at least one entry.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_telemetry(capacity, Telemetry::disabled())
+    }
+
+    /// Like [`with_capacity`](Self::with_capacity), but an enabled
+    /// `telemetry` handle receives an `engine.cache.sweep` event (level,
+    /// evicted, remaining) whenever a generation sweep fires.
+    /// Observation-only: the sweep policy and its victims are unchanged.
+    pub fn with_capacity_telemetry(capacity: usize, telemetry: Telemetry) -> Self {
         let partition = (capacity / 2).clamp(SHARDS, Self::PARTITION_ENTRY_CAP);
         let subgraph = capacity.saturating_sub(partition).max(SHARDS);
         Self {
-            partition: Level::new(partition),
-            subgraph: Level::new(subgraph),
+            partition: Level::new("partition", partition, telemetry.clone()),
+            subgraph: Level::new("subgraph", subgraph, telemetry),
             key_allocs: AtomicU64::new(0),
         }
     }

@@ -23,6 +23,7 @@ use crate::pool::EnginePool;
 use cocco_graph::{BuildFpHasher, NodeId, NodeSetFp};
 use cocco_partition::PartitionFingerprints;
 use cocco_sim::{BufferConfig, CostMetric, EvalOptions, Evaluator, SubgraphStats};
+use cocco_telemetry::{Histogram, MetricsSnapshot, Stopwatch, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -203,7 +204,15 @@ impl EvalMemo {
 }
 
 /// Aggregate engine statistics of one exploration run.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Since the telemetry substrate landed, this type is a **compatibility
+/// snapshot**: the authoritative collection point is
+/// [`Engine::metrics`], which returns every counter under its
+/// dot-separated metric name (plus whatever live telemetry recorded),
+/// and [`Engine::stats`] is a fixed-field projection of that snapshot
+/// via [`EngineStats::from_metrics`]. Existing callers — reports,
+/// serialized `Exploration`s, tests — keep their stable shape.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Worker threads the engine resolved to.
     pub threads: u32,
@@ -236,6 +245,25 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
+    /// Projects the fixed legacy fields out of a metrics snapshot (see
+    /// the type docs; inverse of [`Engine::metrics`]' absorption).
+    pub fn from_metrics(m: &MetricsSnapshot) -> Self {
+        Self {
+            threads: m.gauge("engine.threads") as u32,
+            evals: m.counter("engine.evals"),
+            cache_hits: m.counter("engine.cache.partition.hits"),
+            cache_entries: m.gauge("engine.cache.partition.entries"),
+            cache_evictions: m.counter("engine.cache.partition.evictions"),
+            subgraph_scorings: m.counter("engine.subgraph.scorings"),
+            subgraph_hits: m.counter("engine.cache.subgraph.hits"),
+            subgraph_reused: m.counter("engine.subgraph.reused"),
+            subgraph_entries: m.gauge("engine.cache.subgraph.entries"),
+            subgraph_evictions: m.counter("engine.cache.subgraph.evictions"),
+            key_allocs: m.counter("engine.key_allocs"),
+            wall_ms: m.gauge("engine.batch.wall_ns") as f64 / 1e6,
+        }
+    }
+
     /// Fraction of partition-scoring requests served from the roll-up
     /// cache.
     pub fn hit_rate(&self) -> f64 {
@@ -302,25 +330,49 @@ pub struct Engine {
     reused: AtomicU64,
     /// Terms computed inside whole-partition (non-incremental) evaluations.
     bulk_scorings: AtomicU64,
+    /// Observation sink shared with the pool and cache; disabled by
+    /// default ([`Engine::new`]), so nothing below ever pays more than a
+    /// branch for it.
+    telemetry: Telemetry,
+    /// Per-batch dispatch latency (`engine.batch.latency_ns`); `None`
+    /// when telemetry is disabled.
+    batch_latency: Option<Histogram>,
 }
 
 impl Engine {
     /// Creates an engine with the given thread/pool/cache policy and an
-    /// empty cache.
+    /// empty cache. Telemetry is disabled — the zero-overhead default.
     pub fn new(config: EngineConfig) -> Self {
+        Self::with_telemetry(config, Telemetry::disabled())
+    }
+
+    /// Like [`new`](Self::new), but instrumented: batch dispatches feed
+    /// the `engine.batch.latency_ns` histogram and an `engine.batch`
+    /// event, the pool records queue waits, and cache sweeps emit
+    /// events. All of it is observation-only — scores, cache contents
+    /// and scheduling are bit-identical to an uninstrumented engine.
+    pub fn with_telemetry(config: EngineConfig, telemetry: Telemetry) -> Self {
         Self {
             config,
-            pool: EnginePool::new(&config),
-            cache: EvalCache::with_capacity(config.cache_capacity),
+            pool: EnginePool::with_telemetry(&config, &telemetry),
+            cache: EvalCache::with_capacity_telemetry(config.cache_capacity, telemetry.clone()),
             wall_nanos: AtomicU64::new(0),
             reused: AtomicU64::new(0),
             bulk_scorings: AtomicU64::new(0),
+            batch_latency: telemetry.latency_histogram("engine.batch.latency_ns"),
+            telemetry,
         }
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The telemetry handle this engine records through (disabled unless
+    /// constructed via [`with_telemetry`](Self::with_telemetry)).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The worker pool.
@@ -602,31 +654,84 @@ impl Engine {
         (scored, Some(Arc::new(memo)))
     }
 
-    /// Adds `elapsed` to the accumulated batch wall time.
+    /// Runs `job(i)` for every `i` in `0..jobs` on the worker pool,
+    /// timing the batch: the elapsed wall time accumulates into
+    /// [`EngineStats::wall_ms`], and — when telemetry is enabled — also
+    /// lands in the `engine.batch.latency_ns` histogram plus an
+    /// `engine.batch` event. This is the one timed dispatch path; search
+    /// code calls this instead of timing `pool().run` itself, which is
+    /// what lets the audit confine wall-clock reads to `cocco-telemetry`.
+    pub fn dispatch(&self, jobs: usize, job: impl Fn(usize) + Sync) {
+        let sw = Stopwatch::start();
+        self.pool.run(jobs, job);
+        let nanos = sw.elapsed_nanos();
+        self.wall_nanos.fetch_add(nanos, Ordering::Relaxed);
+        if let Some(hist) = &self.batch_latency {
+            hist.record(nanos);
+            self.telemetry.emit("engine.batch", || {
+                vec![("jobs", jobs.into()), ("nanos", nanos.into())]
+            });
+        }
+    }
+
+    /// Adds `elapsed` to the accumulated batch wall time (callers that
+    /// time a region themselves — e.g. via a telemetry `Stopwatch` —
+    /// rather than going through [`dispatch`](Self::dispatch)).
     pub fn record_wall(&self, elapsed: Duration) {
         self.wall_nanos
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
 
-    /// A snapshot of the engine statistics.
-    pub fn stats(&self) -> EngineStats {
+    /// The authoritative metrics snapshot: everything live telemetry
+    /// recorded (batch/queue histograms, sweep events' counters) plus
+    /// the engine's own counters absorbed under their metric names —
+    /// `engine.evals`, `engine.cache.{partition,subgraph}.*`,
+    /// `engine.subgraph.*`, `engine.key_allocs`, `engine.threads`,
+    /// `engine.batch.wall_ns`. Works with telemetry disabled (the
+    /// absorbed names are always present).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut m = self.telemetry.snapshot();
         let hits = self.cache.hits();
         let misses = self.cache.misses();
-        EngineStats {
-            threads: self.pool.threads() as u32,
-            evals: hits + misses,
-            cache_hits: hits,
-            cache_entries: self.cache.partition_entries() as u64,
-            cache_evictions: self.cache.evictions(),
-            subgraph_scorings: self.cache.subgraph_misses()
-                + self.bulk_scorings.load(Ordering::Relaxed),
-            subgraph_hits: self.cache.subgraph_hits(),
-            subgraph_reused: self.reused.load(Ordering::Relaxed),
-            subgraph_entries: self.cache.subgraph_entries() as u64,
-            subgraph_evictions: self.cache.subgraph_evictions(),
-            key_allocs: self.cache.key_allocs(),
-            wall_ms: self.wall_nanos.load(Ordering::Relaxed) as f64 / 1e6,
-        }
+        m.set_gauge("engine.threads", self.pool.threads() as u64);
+        m.set_counter("engine.evals", hits + misses);
+        m.set_counter("engine.cache.partition.hits", hits);
+        m.set_counter("engine.cache.partition.misses", misses);
+        m.set_gauge(
+            "engine.cache.partition.entries",
+            self.cache.partition_entries() as u64,
+        );
+        m.set_counter("engine.cache.partition.evictions", self.cache.evictions());
+        m.set_counter("engine.cache.subgraph.hits", self.cache.subgraph_hits());
+        m.set_counter("engine.cache.subgraph.misses", self.cache.subgraph_misses());
+        m.set_gauge(
+            "engine.cache.subgraph.entries",
+            self.cache.subgraph_entries() as u64,
+        );
+        m.set_counter(
+            "engine.cache.subgraph.evictions",
+            self.cache.subgraph_evictions(),
+        );
+        m.set_counter(
+            "engine.subgraph.scorings",
+            self.cache.subgraph_misses() + self.bulk_scorings.load(Ordering::Relaxed),
+        );
+        m.set_counter(
+            "engine.subgraph.reused",
+            self.reused.load(Ordering::Relaxed),
+        );
+        m.set_counter("engine.key_allocs", self.cache.key_allocs());
+        m.set_gauge(
+            "engine.batch.wall_ns",
+            self.wall_nanos.load(Ordering::Relaxed),
+        );
+        m
+    }
+
+    /// A snapshot of the engine statistics — the legacy fixed-field view
+    /// of [`metrics`](Self::metrics).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats::from_metrics(&self.metrics())
     }
 }
 
@@ -894,6 +999,81 @@ mod tests {
         assert_eq!(engine.stats().cache_hits, 0, "distinct keys, no false hits");
         assert_eq!(engine.cache().partition_entries(), 2);
         assert_eq!(engine.stats().subgraph_hits, 0);
+    }
+
+    #[test]
+    fn metrics_absorb_stats_and_time_batches() {
+        let g = cocco_graph::models::chain(4);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let telemetry = Telemetry::enabled();
+        let engine = Engine::with_telemetry(EngineConfig::serial(), telemetry.clone());
+        let subgraphs = vec![g.node_ids().collect::<Vec<_>>()];
+        let buffer = BufferConfig::shared(1 << 20);
+        engine.dispatch(2, |_| {
+            engine.score(&eval, &subgraphs, &buffer, EvalOptions::default());
+        });
+        let m = engine.metrics();
+        // The compatibility snapshot and the absorbed names agree.
+        let stats = engine.stats();
+        assert_eq!(stats, EngineStats::from_metrics(&m));
+        assert_eq!(m.counter("engine.evals"), stats.evals);
+        assert_eq!(m.counter("engine.cache.partition.hits"), stats.cache_hits);
+        assert_eq!(
+            m.gauge("engine.cache.subgraph.entries"),
+            stats.subgraph_entries
+        );
+        // The dispatch was timed into both wall_ms and the histogram.
+        assert!(stats.wall_ms > 0.0);
+        let hist = m.histogram("engine.batch.latency_ns").expect("registered");
+        assert_eq!(hist.count, 1);
+        // And the batch event fired.
+        let events = telemetry.events();
+        assert!(events.iter().any(|e| e.name == "engine.batch"));
+    }
+
+    #[test]
+    fn disabled_telemetry_still_feeds_stats() {
+        let g = cocco_graph::models::chain(3);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let engine = Engine::new(EngineConfig::serial());
+        assert!(!engine.telemetry().is_enabled());
+        let subgraphs = vec![g.node_ids().collect::<Vec<_>>()];
+        let buffer = BufferConfig::shared(1 << 20);
+        engine.dispatch(1, |_| {
+            engine.score(&eval, &subgraphs, &buffer, EvalOptions::default());
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.evals, 1);
+        assert!(
+            stats.wall_ms > 0.0,
+            "dispatch timing works without telemetry"
+        );
+        assert!(engine
+            .metrics()
+            .histogram("engine.batch.latency_ns")
+            .is_none());
+    }
+
+    #[test]
+    fn cached_leaf_probes_record_no_telemetry() {
+        // The zero-perturbation contract on the hot leaf: a cached
+        // `score_single` probe must not emit events, bump histograms, or
+        // touch the registry even with telemetry ENABLED — so the
+        // disabled path is trivially free too.
+        let g = cocco_graph::models::chain(3);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let telemetry = Telemetry::enabled();
+        let engine = Engine::with_telemetry(EngineConfig::serial(), telemetry.clone());
+        let members: Vec<NodeId> = g.node_ids().collect();
+        let buffer = BufferConfig::shared(1 << 20);
+        engine.score_single(&eval, &members, &buffer, EvalOptions::default());
+        let events_before = telemetry.events().len();
+        let snap_before = telemetry.snapshot();
+        for _ in 0..100 {
+            engine.score_single(&eval, &members, &buffer, EvalOptions::default());
+        }
+        assert_eq!(telemetry.events().len(), events_before);
+        assert_eq!(telemetry.snapshot(), snap_before);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! hundreds of times per exploration is measurable overhead.
 
 use crate::config::{EngineConfig, PoolMode};
+use cocco_telemetry::{Histogram, Stopwatch, Telemetry};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -110,16 +111,29 @@ pub struct EnginePool {
     threads: usize,
     mode: PoolMode,
     workers: OnceLock<Workers>,
+    /// Submit-to-first-claim latency histogram
+    /// (`engine.pool.queue_wait_ns`); `None` when telemetry is disabled,
+    /// in which case batches run with zero added work.
+    queue_wait: Option<Histogram>,
 }
 
 impl EnginePool {
     /// Creates a pool with the configuration's resolved worker count and
     /// pool mode. No threads are spawned until the first parallel batch.
     pub fn new(config: &EngineConfig) -> Self {
+        Self::with_telemetry(config, &Telemetry::disabled())
+    }
+
+    /// Like [`new`](Self::new), but an enabled `telemetry` handle records
+    /// the submit-to-first-claim queue wait of every parallel batch into
+    /// the `engine.pool.queue_wait_ns` histogram. Observation-only: job
+    /// claiming and results are unaffected.
+    pub fn with_telemetry(config: &EngineConfig, telemetry: &Telemetry) -> Self {
         Self {
             threads: config.resolved_threads(),
             mode: config.pool,
             workers: OnceLock::new(),
+            queue_wait: telemetry.latency_histogram("engine.pool.queue_wait_ns"),
         }
     }
 
@@ -149,9 +163,30 @@ impl EnginePool {
             }
             return;
         }
+        match &self.queue_wait {
+            None => self.run_parallel(jobs, workers, &job),
+            Some(hist) => {
+                // Queue wait = submit to first index claim, recorded by
+                // whichever worker claims first. One relaxed swap per job
+                // — a batch job is microseconds of scoring, so this is
+                // noise even when telemetry is on (and absent entirely
+                // when it is off).
+                let submitted = Stopwatch::start();
+                let claimed = AtomicBool::new(false);
+                self.run_parallel(jobs, workers, &|i| {
+                    if !claimed.swap(true, Ordering::Relaxed) {
+                        hist.record(submitted.elapsed_nanos());
+                    }
+                    job(i);
+                });
+            }
+        }
+    }
+
+    fn run_parallel(&self, jobs: usize, workers: usize, job: &(dyn Fn(usize) + Sync)) {
         match self.mode {
-            PoolMode::Scoped => Self::run_scoped(jobs, workers, &job),
-            PoolMode::Persistent => self.run_persistent(jobs, workers, &job),
+            PoolMode::Scoped => Self::run_scoped(jobs, workers, job),
+            PoolMode::Persistent => self.run_persistent(jobs, workers, job),
         }
     }
 
@@ -337,6 +372,25 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn queue_wait_is_recorded_only_when_enabled_and_parallel() {
+        let telemetry = cocco_telemetry::Telemetry::enabled();
+        let pool = EnginePool::with_telemetry(&EngineConfig::with_threads(2), &telemetry);
+        pool.run(8, |_| {});
+        pool.run(1, |_| {}); // serial fallback: no queue, no sample
+        let snap = telemetry.snapshot();
+        let hist = snap
+            .histogram("engine.pool.queue_wait_ns")
+            .expect("histogram registered at construction");
+        assert_eq!(hist.count, 1, "one sample per parallel batch");
+        // Results are unaffected: every index still runs exactly once.
+        let hits: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        pool.run(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
     #[test]

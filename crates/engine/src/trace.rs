@@ -31,9 +31,14 @@ pub struct TracePoint {
 ///
 /// Cloning snapshots the recorded points (sorted by sample index) and the
 /// error counter; the clone records independently from the original.
-/// Serialization renders the point snapshot as a plain array of
-/// [`TracePoint`]s (the error counter travels on the owning outcome, not in
-/// the serialized trace). Equality compares the recorded points.
+/// Equality, cloning and serialization all agree on what a trace *is*:
+/// the point snapshot **plus** the error counter. (Equality used to
+/// ignore the counter while `clone` copied it, so `a == a.clone()` held
+/// but two traces could compare equal yet disagree on their error
+/// count — a silent way to lose the "configuration bug" signal across a
+/// checkpoint round-trip.) Serialization renders an object with `points`
+/// and `infeasible_errors` fields; deserialization also accepts the
+/// legacy bare point array (counter zero) so pre-existing files load.
 #[derive(Debug, Default)]
 pub struct Trace {
     points: Mutex<Vec<TracePoint>>,
@@ -51,21 +56,40 @@ impl Clone for Trace {
 
 impl PartialEq for Trace {
     fn eq(&self, other: &Self) -> bool {
-        self.points() == other.points()
+        self.points() == other.points() && self.infeasible_errors() == other.infeasible_errors()
     }
 }
 
 impl serde::Serialize for Trace {
     fn to_value(&self) -> serde::Value {
-        self.points().to_value()
+        serde::Value::Object(vec![
+            ("points".to_string(), self.points().to_value()),
+            (
+                "infeasible_errors".to_string(),
+                serde::Value::U64(self.infeasible_errors()),
+            ),
+        ])
     }
 }
 
 impl serde::Deserialize for Trace {
     fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        // Legacy form: a bare point array with no counter.
+        if let serde::Value::Array(_) = value {
+            return Ok(Self {
+                points: Mutex::new(Vec::<TracePoint>::from_value(value)?),
+                infeasible_errors: AtomicU64::new(0),
+            });
+        }
+        let fields = value
+            .as_object()
+            .ok_or_else(|| serde::Error::mismatch("object or array", "Trace", value))?;
+        let points = Vec::<TracePoint>::from_value(serde::field(fields, "points", "Trace")?)?;
+        let infeasible_errors =
+            u64::from_value(serde::field(fields, "infeasible_errors", "Trace")?)?;
         Ok(Self {
-            points: Mutex::new(Vec::<TracePoint>::from_value(value)?),
-            infeasible_errors: AtomicU64::new(0),
+            points: Mutex::new(points),
+            infeasible_errors: AtomicU64::new(infeasible_errors),
         })
     }
 }
@@ -85,6 +109,12 @@ impl Trace {
     /// to "does not fit" or an infinite cost.
     pub fn record_infeasible_error(&self) {
         self.infeasible_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` evaluator errors at once — checkpoint replay restoring
+    /// a snapshot's accumulated count.
+    pub fn add_infeasible_errors(&self, n: u64) {
+        self.infeasible_errors.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Evaluator errors folded into infeasibility so far.
@@ -174,6 +204,33 @@ mod tests {
         assert_eq!(pts[0].sample, 1);
         assert_eq!(pts[1].sample, 5);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn equality_clone_and_serde_agree_on_the_error_counter() {
+        // Pinned semantics: the infeasible-error counter is part of a
+        // trace's identity. Two traces with identical points but
+        // different counters are NOT equal, and both clone and serde
+        // round-trips preserve the counter.
+        let a = Trace::new();
+        let b = Trace::new();
+        a.record(pt(0, 1.0));
+        b.record(pt(0, 1.0));
+        assert_eq!(a, b);
+        a.record_infeasible_error();
+        assert_ne!(a, b, "counter mismatch must break equality");
+        assert_eq!(a, a.clone(), "clone preserves points and counter");
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back, "serde round-trip preserves the counter");
+        assert_eq!(back.infeasible_errors(), 1);
+        // Legacy bare-array form still loads, with a zero counter.
+        let legacy: Trace = serde_json::from_str("[]").unwrap();
+        assert_eq!(legacy.infeasible_errors(), 0);
+        assert!(legacy.is_empty());
+        let replayed = Trace::new();
+        replayed.add_infeasible_errors(3);
+        assert_eq!(replayed.infeasible_errors(), 3);
     }
 
     #[test]

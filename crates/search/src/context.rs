@@ -10,8 +10,9 @@ use cocco_engine::{
 use cocco_graph::{Graph, NodeId};
 use cocco_partition::{repair, repair_with_delta, Partition, PartitionDelta};
 use cocco_sim::{BufferConfig, EvalOptions, Evaluator};
+use cocco_telemetry::Telemetry;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 /// What a mutation operator knows about the genome it produced: the
 /// scored parent's per-subgraph breakdown ([`EvalMemo`]) plus the
@@ -126,6 +127,11 @@ pub struct SearchContext<'a> {
     budget: Arc<SampleBudget>,
     trace: Arc<Trace>,
     engine: Arc<Engine>,
+    /// Best cost any evaluation of this context family has produced, as
+    /// `f64` bits — telemetry only (`search.improvement` events), never
+    /// consulted by a search decision. Shared by [`derive`](Self::derive)d
+    /// contexts so an improvement is "new best of the whole run".
+    best_seen: Arc<AtomicU64>,
 }
 
 impl<'a> SearchContext<'a> {
@@ -147,6 +153,7 @@ impl<'a> SearchContext<'a> {
             budget: Arc::new(SampleBudget::new(budget_limit)),
             trace: Arc::new(Trace::new()),
             engine: Arc::new(Engine::new(EngineConfig::default())),
+            best_seen: Arc::new(AtomicU64::new(f64::INFINITY.to_bits())),
         }
     }
 
@@ -164,6 +171,24 @@ impl<'a> SearchContext<'a> {
         self
     }
 
+    /// [`with_engine`](Self::with_engine) with a telemetry sink attached
+    /// to the replacement engine — the context's own instrumentation
+    /// (step spans, improvement events, budget gauge) reports through the
+    /// engine's handle, so this is how a harness turns search telemetry
+    /// on. Observation only: results are bit-identical with telemetry
+    /// enabled, disabled, or shared with other components.
+    pub fn with_engine_telemetry(mut self, config: EngineConfig, telemetry: &Telemetry) -> Self {
+        self.engine = Arc::new(Engine::with_telemetry(config, telemetry.clone()));
+        self
+    }
+
+    /// The telemetry handle this context reports through (the engine's;
+    /// disabled unless [`with_engine_telemetry`](Self::with_engine_telemetry)
+    /// attached a sink).
+    pub fn telemetry(&self) -> &Telemetry {
+        self.engine.telemetry()
+    }
+
     /// Derives a context with a different space/objective that shares this
     /// context's budget, trace, options, evaluator and engine — used by the
     /// two-step scheme to run partition-only inner searches against the
@@ -178,6 +203,7 @@ impl<'a> SearchContext<'a> {
             budget: Arc::clone(&self.budget),
             trace: Arc::clone(&self.trace),
             engine: Arc::clone(&self.engine),
+            best_seen: Arc::clone(&self.best_seen),
         }
     }
 
@@ -210,6 +236,7 @@ impl<'a> SearchContext<'a> {
             budget,
             trace: Arc::clone(&self.trace),
             engine: Arc::clone(&self.engine),
+            best_seen: Arc::clone(&self.best_seen),
         }
     }
 
@@ -410,8 +437,11 @@ impl<'a> SearchContext<'a> {
         if samples.is_empty() {
             return;
         }
-        // cocco-audit: allow(D3) feeds EngineStats.wall_ms only — reporting, never a search decision
-        let start = Instant::now();
+        // Budget consumption gauge: the root pool's position after this
+        // batch's funding (slices/reservations all draw from it).
+        if let Some(gauge) = self.engine.telemetry().gauge("search.budget.used") {
+            gauge.set(self.budget.used());
+        }
         let mut jobs: Vec<(Mutex<&mut EvalCandidate>, Objective, u64)> =
             Vec::with_capacity(samples.len());
         {
@@ -430,7 +460,7 @@ impl<'a> SearchContext<'a> {
         }
         let results: Vec<Mutex<Option<TracePoint>>> =
             (0..jobs.len()).map(|_| Mutex::new(None)).collect();
-        self.engine.pool().run(jobs.len(), |i| {
+        self.engine.dispatch(jobs.len(), |i| {
             let (slot, objective, sample) = &jobs[i];
             let candidate: &mut EvalCandidate = &mut slot.lock().unwrap();
             let buffer = candidate.genome.buffer;
@@ -473,13 +503,35 @@ impl<'a> SearchContext<'a> {
                 metric_value: scored.metric(objective.metric),
             });
         });
-        self.engine.record_wall(start.elapsed());
         // Record trace points in funding (= sample) order.
         for slot in &results {
             // cocco-audit: allow(R1) the engine ran one job per slot; an empty slot means the dispatch itself is broken
             let point = slot.lock().unwrap().take().expect("every funded job ran");
-            self.trace.record(point);
+            self.record_traced(point);
         }
+    }
+
+    /// Records a trace point, emitting a `search.improvement` event when
+    /// its cost beats the best this context family has seen. Runs in the
+    /// serial funding-order sections only, so the event order is
+    /// deterministic; with telemetry disabled it is exactly
+    /// `trace.record`.
+    fn record_traced(&self, point: TracePoint) {
+        let telemetry = self.engine.telemetry();
+        if telemetry.is_enabled()
+            && point.cost < f64::from_bits(self.best_seen.load(Ordering::Relaxed))
+        {
+            self.best_seen
+                .store(point.cost.to_bits(), Ordering::Relaxed);
+            telemetry.emit("search.improvement", || {
+                vec![
+                    ("sample", point.sample.into()),
+                    ("cost", point.cost.into()),
+                    ("buffer_bytes", point.buffer_bytes.into()),
+                ]
+            });
+        }
+        self.trace.record(point);
     }
 
     /// Evaluates an already-valid genome (no repair), consuming one budget
@@ -496,7 +548,7 @@ impl<'a> SearchContext<'a> {
             self.trace.record_infeasible_error();
         }
         let cost = scored.cost(self.objective.metric, self.objective.alpha);
-        self.trace.record(TracePoint {
+        self.record_traced(TracePoint {
             sample,
             cost,
             buffer_bytes: genome.buffer.total_bytes(),
@@ -644,6 +696,52 @@ mod tests {
             assert_eq!(serial.1, parallel.1, "genomes differ at {threads} threads");
             assert_eq!(serial.2, parallel.2, "traces differ at {threads} threads");
         }
+    }
+
+    #[test]
+    fn telemetry_observes_searches_without_perturbing_them() {
+        let g = cocco_graph::models::googlenet();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let run = |telemetry: Option<&Telemetry>| {
+            let ctx = context(&g, &eval, 32);
+            let ctx = match telemetry {
+                Some(t) => ctx.with_engine_telemetry(EngineConfig::with_threads(2), t),
+                None => ctx.with_engine(EngineConfig::with_threads(2)),
+            };
+            let mut genomes: Vec<Genome> = (0..32)
+                .map(|i| {
+                    Genome::new(
+                        Partition::connected_groups(&g, 2 + i % 5),
+                        BufferConfig::shared(1 << 20),
+                    )
+                })
+                .collect();
+            let costs = ctx.evaluate_batch(&mut genomes);
+            (costs, ctx.trace().points())
+        };
+        let telemetry = cocco_telemetry::Telemetry::enabled();
+        let observed = run(Some(&telemetry));
+        let plain = run(None);
+        assert_eq!(observed, plain, "telemetry must not change results");
+
+        // Improvement events carry strictly decreasing costs.
+        let improvements: Vec<f64> = telemetry
+            .events()
+            .iter()
+            .filter(|e| e.name == "search.improvement")
+            .map(|e| match &e.fields[1].1 {
+                cocco_telemetry::EventValue::F64(c) => *c,
+                other => panic!("cost field holds {other:?}"),
+            })
+            .collect();
+        assert!(!improvements.is_empty());
+        assert!(improvements.windows(2).all(|w| w[1] < w[0]));
+
+        // Budget gauge tracked the pool; dispatch fed the batch histogram.
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.gauge("search.budget.used"), 32);
+        let batches = snap.histogram("engine.batch.latency_ns").unwrap();
+        assert!(batches.count >= 1);
     }
 
     #[test]

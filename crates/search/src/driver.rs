@@ -161,25 +161,43 @@ pub enum DriverState {
     Portfolio(PortfolioState),
 }
 
-/// The default run loop: step the driver, evaluate each batch as one
-/// engine dispatch, absorb, repeat until done. Every `Searcher::run` in
-/// the crate is this loop over the method's driver, so the stepped and
-/// "monolithic" paths are one code path and bit-identical by construction.
-pub fn run_driver(driver: &mut dyn SearchDriver, ctx: &SearchContext<'_>) -> SearchOutcome {
-    loop {
-        match driver.next_batch(ctx) {
-            Step::Evaluate(mut batch) => {
-                ctx.evaluate_chunks(&mut batch);
-                driver.absorb(ctx, batch);
-            }
-            Step::Continue => {}
-            Step::Done => return driver.outcome(),
+/// Advances `driver` by exactly one step — `next_batch`, evaluate (one
+/// engine dispatch), `absorb` — under a `search.step_ns` telemetry span.
+/// Returns `false` once the driver reported [`Step::Done`]. Both
+/// [`run_driver`] and the facade's checkpointed loop are loops over this
+/// function, so stepping and instrumentation stay one code path.
+pub fn drive_step(driver: &mut dyn SearchDriver, ctx: &SearchContext<'_>) -> bool {
+    let telemetry = ctx.telemetry();
+    let span = telemetry.span("search.step_ns");
+    match driver.next_batch(ctx) {
+        Step::Evaluate(mut batch) => {
+            let candidates = batch.len();
+            ctx.evaluate_chunks(&mut batch);
+            driver.absorb(ctx, batch);
+            let name = driver.name();
+            drop(span);
+            telemetry.emit("search.step", || {
+                vec![("driver", name.into()), ("candidates", candidates.into())]
+            });
+            true
         }
+        Step::Continue => true,
+        Step::Done => false,
     }
 }
 
-/// Current [`SearchSnapshot::version`].
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// The default run loop: [`drive_step`] until done. Every `Searcher::run`
+/// in the crate is this loop over the method's driver, so the stepped and
+/// "monolithic" paths are one code path and bit-identical by construction.
+pub fn run_driver(driver: &mut dyn SearchDriver, ctx: &SearchContext<'_>) -> SearchOutcome {
+    while drive_step(driver, ctx) {}
+    driver.outcome()
+}
+
+/// Current [`SearchSnapshot::version`]. Version 2 added
+/// [`SearchSnapshot::infeasible_errors`], so a resumed run's final
+/// error count matches the uninterrupted run's.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// A whole-run checkpoint: the driver state plus everything the harness
 /// must restore around it (trace so far, budget consumption, and the
@@ -203,6 +221,8 @@ pub struct SearchSnapshot {
     pub budget_limit: u64,
     /// Samples consumed when the snapshot was taken.
     pub budget_used: u64,
+    /// Evaluator errors folded into "does not fit"/infinite cost so far.
+    pub infeasible_errors: u64,
     /// Every trace point recorded up to the snapshot.
     pub trace: Vec<TracePoint>,
 }
@@ -221,17 +241,20 @@ impl SearchSnapshot {
             driver: driver.state(),
             budget_limit: ctx.budget().limit(),
             budget_used: ctx.budget().used(),
+            infeasible_errors: ctx.trace().infeasible_errors(),
             trace: ctx.trace().points(),
         }
     }
 
-    /// Replays the snapshot's consumed budget and recorded trace into a
-    /// fresh context, so the resumed run continues with the exact sample
-    /// indices and trace the uninterrupted run would have.
+    /// Replays the snapshot's consumed budget, recorded trace and error
+    /// counter into a fresh context, so the resumed run continues with the
+    /// exact sample indices, trace and diagnostics the uninterrupted run
+    /// would have.
     pub fn replay_into(&self, ctx: &SearchContext<'_>) {
         for _ in 0..self.budget_used {
             ctx.budget().try_consume();
         }
+        ctx.trace().add_infeasible_errors(self.infeasible_errors);
         for point in &self.trace {
             ctx.trace().record(*point);
         }

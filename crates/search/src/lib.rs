@@ -86,7 +86,7 @@ pub use cocco_partition::PartitionDelta;
 pub use context::{EvalCandidate, EvalHint, SearchContext};
 pub use dp::{DepthDp, DpDriver, DpState};
 pub use driver::{
-    run_driver, DriverState, EvalBatch, EvalChunk, SearchDriver, SearchSnapshot, Step,
+    drive_step, run_driver, DriverState, EvalBatch, EvalChunk, SearchDriver, SearchSnapshot, Step,
     CHECKPOINT_VERSION,
 };
 pub use exhaustive::{Exhaustive, ExhaustiveDriver, ExhaustiveLimits, ExhaustiveState};

@@ -7,6 +7,7 @@ use crate::error::SimError;
 use crate::report::{PartitionReport, SubgraphReport};
 use cocco_graph::{BuildFpHasher, EdgeReq, Graph, LayerOp, NodeId, NodeSetFp};
 use cocco_mem::footprint::subgraph_footprint;
+use cocco_telemetry::{Histogram, Stopwatch, Telemetry};
 use cocco_tiling::derive_scheme;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -84,6 +85,10 @@ pub struct Evaluator<'g> {
     stats_hits: AtomicU64,
     stats_misses: AtomicU64,
     stats_evictions: AtomicU64,
+    /// Fresh-derivation latency (`sim.subgraph_stats_ns`), recorded only
+    /// on the miss path — the cached hit path (the engine's 47 ns leaf)
+    /// never touches telemetry. `None` when telemetry is disabled.
+    stats_latency: Option<Histogram>,
 }
 
 impl<'g> Evaluator<'g> {
@@ -136,7 +141,19 @@ impl<'g> Evaluator<'g> {
             stats_hits: AtomicU64::new(0),
             stats_misses: AtomicU64::new(0),
             stats_evictions: AtomicU64::new(0),
+            stats_latency: None,
         }
+    }
+
+    /// Records the latency of every fresh subgraph-statistics derivation
+    /// (the stats-cache miss path) into `telemetry`'s
+    /// `sim.subgraph_stats_ns` histogram. Observation-only: derived
+    /// statistics, caching and eviction are bit-identical with or
+    /// without it, and the cached hit path is untouched.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.stats_latency = telemetry.latency_histogram("sim.subgraph_stats_ns");
+        self
     }
 
     /// Default bound on cached per-subgraph statistics entries: ~100 B per
@@ -240,6 +257,7 @@ impl<'g> Evaluator<'g> {
             }
         }
         self.stats_misses.fetch_add(1, Ordering::Relaxed);
+        let derivation = self.stats_latency.as_ref().map(|_| Stopwatch::start());
         // Miss: the derivation expects members in ascending (topological)
         // order — canonicalize only when the caller's order is not already
         // canonical (searchers always produce ascending members).
@@ -250,6 +268,9 @@ impl<'g> Evaluator<'g> {
             sorted.sort_unstable();
             self.compute_stats(&sorted)?
         };
+        if let (Some(hist), Some(sw)) = (&self.stats_latency, derivation) {
+            hist.record(sw.elapsed_nanos());
+        }
         let mut shard = shard.write().unwrap();
         let gen = shard.gen;
         shard.map.insert(
@@ -772,6 +793,27 @@ mod tests {
             .eval_partition(&[], &buf, EvalOptions::default())
             .unwrap_err();
         assert!(matches!(err, SimError::EmptySubgraph { .. }));
+    }
+
+    #[test]
+    fn stats_derivation_latency_records_misses_only() {
+        let g = cocco_graph::models::chain(4);
+        let telemetry = Telemetry::enabled();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default()).with_telemetry(&telemetry);
+        let members: Vec<NodeId> = g.node_ids().collect();
+        let stats = eval.subgraph_stats(&members).unwrap();
+        let snap = telemetry.snapshot();
+        let hist = snap.histogram("sim.subgraph_stats_ns").expect("registered");
+        assert_eq!(hist.count, 1, "one derivation, one sample");
+        // Cached probes add no samples — and derive identical statistics
+        // to an uninstrumented evaluator.
+        for _ in 0..10 {
+            assert_eq!(eval.subgraph_stats(&members).unwrap(), stats);
+        }
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.histogram("sim.subgraph_stats_ns").unwrap().count, 1);
+        let plain = Evaluator::new(&g, AcceleratorConfig::default());
+        assert_eq!(plain.subgraph_stats(&members).unwrap(), stats);
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! The workspace's wall-clock authority.
+//!
+//! The `cocco-audit` D3 rule confines `Instant::now` / `SystemTime` to
+//! this crate: every other crate that wants to know how long something
+//! took goes through a [`Stopwatch`]. That keeps two properties
+//! machine-checkable at once:
+//!
+//! - **Timing never steers search.** A grep for clock reads has exactly
+//!   one hit outside audit fixtures — here — so a reviewer (or the audit
+//!   gate) can see at a glance that no search decision depends on wall
+//!   time.
+//! - **Telemetry is observation-only.** All durations flow *out* of this
+//!   type into metrics/events; nothing flows back.
+//!
+//! Only monotonic time is exposed. There is deliberately no calendar
+//! clock (`SystemTime`) anywhere in the workspace: events are stamped
+//! relative to a run-local origin, which keeps exports diffable across
+//! runs.
+
+use std::time::{Duration, Instant};
+
+/// A started monotonic timer.
+///
+/// ```
+/// use cocco_telemetry::Stopwatch;
+/// let sw = Stopwatch::start();
+/// let nanos = sw.elapsed_nanos();
+/// assert!(nanos <= sw.elapsed_nanos());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a timer now.
+    ///
+    /// This is the only sanctioned wall-clock read in the workspace
+    /// (audit rule D3 names `crates/telemetry/` as the sole timing
+    /// authority in `audit.toml`).
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`start`](Self::start).
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX` (≈ 585 years).
+    pub fn elapsed_nanos(&self) -> u64 {
+        let d = self.elapsed();
+        u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Elapsed milliseconds as a float (the unit most reports use).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_nanos();
+        let b = sw.elapsed_nanos();
+        assert!(b >= a);
+        assert!(sw.elapsed_ms() >= 0.0);
+    }
+
+    #[test]
+    fn copies_share_the_origin() {
+        let sw = Stopwatch::start();
+        let copy = sw;
+        assert!(copy.elapsed() >= Duration::ZERO);
+        assert!(sw.elapsed() >= Duration::ZERO);
+    }
+}

@@ -1,0 +1,376 @@
+//! The handle-passed telemetry sink.
+//!
+//! [`Telemetry`] is a cheap clone (an `Option<Arc<…>>`): subsystems
+//! receive one by value and keep it. A **disabled** handle (the
+//! default) is `None` — every operation is a single branch that touches
+//! no clock, no lock, and no allocation, which is what lets telemetry
+//! ride inside the 47 ns cached-score leaf's callers without perturbing
+//! them. There is deliberately no global: whoever builds the stack
+//! decides which components share a sink.
+//!
+//! Events are stamped with nanoseconds since the sink's creation
+//! (monotonic, run-local — never calendar time) and buffered up to a
+//! fixed capacity; overflow increments a drop counter instead of
+//! growing without bound.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Serialize, Value};
+
+use crate::clock::Stopwatch;
+use crate::metrics::{
+    Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, LATENCY_BOUNDS_NS,
+};
+use crate::phase::{Phase, PhaseGuard, PhaseProfile, PhaseSnapshot};
+
+/// Default event-buffer capacity.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 16;
+
+/// A field value on an [`Event`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventValue {
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl From<u64> for EventValue {
+    fn from(v: u64) -> Self {
+        EventValue::U64(v)
+    }
+}
+
+impl From<usize> for EventValue {
+    fn from(v: usize) -> Self {
+        EventValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for EventValue {
+    fn from(v: f64) -> Self {
+        EventValue::F64(v)
+    }
+}
+
+impl From<&str> for EventValue {
+    fn from(v: &str) -> Self {
+        EventValue::Str(v.to_string())
+    }
+}
+
+impl From<bool> for EventValue {
+    fn from(v: bool) -> Self {
+        EventValue::Bool(v)
+    }
+}
+
+impl Serialize for EventValue {
+    fn to_value(&self) -> Value {
+        match self {
+            EventValue::U64(v) => Value::U64(*v),
+            EventValue::F64(v) => Value::F64(*v),
+            EventValue::Str(v) => Value::Str(v.clone()),
+            EventValue::Bool(v) => Value::Bool(*v),
+        }
+    }
+}
+
+/// One recorded event: a name, a monotonic timestamp relative to the
+/// sink's creation, a sequence number, and free-form fields.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    pub seq: u64,
+    pub at_ns: u64,
+    pub name: String,
+    pub fields: Vec<(String, EventValue)>,
+}
+
+impl Serialize for Event {
+    /// Flat JSON object — `{"seq":…,"at_ns":…,"name":…,<fields…>}` —
+    /// one line of the JSONL export.
+    fn to_value(&self) -> Value {
+        let mut obj = Vec::with_capacity(3 + self.fields.len());
+        obj.push(("seq".to_string(), Value::U64(self.seq)));
+        obj.push(("at_ns".to_string(), Value::U64(self.at_ns)));
+        obj.push(("name".to_string(), Value::Str(self.name.clone())));
+        for (key, value) in &self.fields {
+            obj.push((key.clone(), value.to_value()));
+        }
+        Value::Object(obj)
+    }
+}
+
+#[derive(Debug)]
+struct Sink {
+    origin: Stopwatch,
+    metrics: MetricsRegistry,
+    phases: PhaseProfile,
+    events: Mutex<Vec<Event>>,
+    seq: AtomicU64,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+/// The telemetry handle. `Default`/[`disabled`](Self::disabled) is off;
+/// [`enabled`](Self::enabled) allocates a sink. Clones share the sink.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Sink>>,
+}
+
+impl Telemetry {
+    /// A no-op handle: every operation is one branch.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An active sink with the default event-buffer capacity.
+    pub fn enabled() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An active sink buffering at most `capacity` events (overflow is
+    /// counted, not stored).
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(Sink {
+                origin: Stopwatch::start(),
+                metrics: MetricsRegistry::default(),
+                phases: PhaseProfile::default(),
+                events: Mutex::new(Vec::new()),
+                seq: AtomicU64::new(0),
+                capacity,
+                dropped: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// True when this handle records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The metrics registry, when enabled.
+    pub fn registry(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_deref().map(|s| &s.metrics)
+    }
+
+    /// Counter handle `name`, when enabled. Fetch once and store the
+    /// handle; recording through it is lock-free.
+    pub fn counter(&self, name: &str) -> Option<Counter> {
+        self.registry().map(|r| r.counter(name))
+    }
+
+    /// Gauge handle `name`, when enabled.
+    pub fn gauge(&self, name: &str) -> Option<Gauge> {
+        self.registry().map(|r| r.gauge(name))
+    }
+
+    /// Histogram handle `name` with the default latency bounds, when
+    /// enabled.
+    pub fn latency_histogram(&self, name: &str) -> Option<Histogram> {
+        self.registry()
+            .map(|r| r.histogram(name, &LATENCY_BOUNDS_NS))
+    }
+
+    /// Records event `name`; `fields` is only invoked when the handle
+    /// is enabled, so callers may build field vectors lazily.
+    pub fn emit<F>(&self, name: &str, fields: F)
+    where
+        F: FnOnce() -> Vec<(&'static str, EventValue)>,
+    {
+        let Some(sink) = self.inner.as_deref() else {
+            return;
+        };
+        let at_ns = sink.origin.elapsed_nanos();
+        let seq = sink.seq.fetch_add(1, Ordering::Relaxed);
+        let mut events = sink.events.lock().unwrap();
+        if events.len() >= sink.capacity {
+            sink.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(Event {
+            seq,
+            at_ns,
+            name: name.to_string(),
+            fields: fields()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        });
+    }
+
+    /// Starts a span named `name`: on drop, the elapsed nanoseconds are
+    /// recorded into the histogram of the same name. Disabled handles
+    /// return a no-op guard without reading the clock.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        match self.inner.as_deref() {
+            None => SpanGuard { active: None },
+            Some(sink) => SpanGuard {
+                active: Some((
+                    sink.metrics.histogram(name, &LATENCY_BOUNDS_NS),
+                    Stopwatch::start(),
+                )),
+            },
+        }
+    }
+
+    /// Adds `nanos` directly to `phase`'s accumulated time (no-op when
+    /// disabled) — for absorbing a duration measured elsewhere, e.g.
+    /// crediting the engine's dispatch wall time to the `Eval` phase.
+    pub fn add_phase_time(&self, phase: Phase, nanos: u64) {
+        if let Some(sink) = self.inner.as_deref() {
+            sink.phases.add(phase, nanos);
+        }
+    }
+
+    /// Starts timing `phase` (no-op guard when disabled).
+    pub fn phase(&self, phase: Phase) -> PhaseGuard {
+        match self.inner.as_deref() {
+            None => PhaseGuard::noop(),
+            Some(sink) => sink.phases.time(phase),
+        }
+    }
+
+    /// The per-phase wall-time profile (zeroed when disabled).
+    pub fn phases(&self) -> PhaseSnapshot {
+        self.inner
+            .as_deref()
+            .map(|s| s.phases.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// A point-in-time metrics snapshot (empty when disabled).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner
+            .as_deref()
+            .map(|s| s.metrics.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// All buffered events in sequence order.
+    pub fn events(&self) -> Vec<Event> {
+        let Some(sink) = self.inner.as_deref() else {
+            return Vec::new();
+        };
+        let mut events = sink.events.lock().unwrap().clone();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Events refused because the buffer was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner
+            .as_deref()
+            .map_or(0, |s| s.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Writes every buffered event as one JSON object per line.
+    /// Returns the number of lines written.
+    pub fn export_jsonl<W: Write>(&self, out: &mut W) -> io::Result<usize> {
+        let events = self.events();
+        for event in &events {
+            let line = serde_json::to_string(event)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            out.write_all(line.as_bytes())?;
+            out.write_all(b"\n")?;
+        }
+        Ok(events.len())
+    }
+}
+
+/// RAII span guard: records its duration into a histogram on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<(Histogram, Stopwatch)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((hist, sw)) = self.active.take() {
+            hist.record(sw.elapsed_nanos());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        let mut invoked = false;
+        t.emit("never", || {
+            invoked = true;
+            vec![]
+        });
+        assert!(!invoked, "field closure must not run when disabled");
+        drop(t.span("noop"));
+        assert!(t.events().is_empty());
+        assert_eq!(t.snapshot(), MetricsSnapshot::default());
+        assert_eq!(t.phases(), Default::default());
+    }
+
+    #[test]
+    fn events_record_in_sequence_order() {
+        let t = Telemetry::enabled();
+        t.emit("first", || vec![("k", EventValue::from(1u64))]);
+        t.emit("second", || vec![("cost", EventValue::from(2.5f64))]);
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "first");
+        assert_eq!(events[0].seq, 0);
+        assert!(events[1].at_ns >= events[0].at_ns);
+        assert_eq!(
+            events[1].fields,
+            vec![("cost".to_string(), EventValue::F64(2.5))]
+        );
+    }
+
+    #[test]
+    fn overflow_is_counted_not_stored() {
+        let t = Telemetry::with_event_capacity(2);
+        for _ in 0..5 {
+            t.emit("e", Vec::new);
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events_dropped(), 3);
+    }
+
+    #[test]
+    fn spans_feed_the_histogram_of_the_same_name() {
+        let t = Telemetry::enabled();
+        for _ in 0..3 {
+            drop(t.span("step_ns"));
+        }
+        let snap = t.snapshot();
+        let h = snap.histogram("step_ns").expect("histogram registered");
+        assert_eq!(h.count, 3);
+    }
+
+    #[test]
+    fn jsonl_export_is_one_flat_object_per_line() {
+        let t = Telemetry::enabled();
+        t.emit("improved", || {
+            vec![
+                ("sample", 7usize.into()),
+                ("ok", true.into()),
+                ("tag", "ga".into()),
+            ]
+        });
+        let mut buf = Vec::new();
+        let lines = t.export_jsonl(&mut buf).unwrap();
+        assert_eq!(lines, 1);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.ends_with('\n'));
+        let parsed: Value = serde_json::from_str(text.trim_end()).unwrap();
+        assert_eq!(parsed.get("name"), Some(&Value::Str("improved".into())));
+        assert_eq!(parsed.get("sample"), Some(&Value::U64(7)));
+        assert_eq!(parsed.get("ok"), Some(&Value::Bool(true)));
+    }
+}
