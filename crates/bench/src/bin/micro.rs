@@ -15,20 +15,25 @@
 //!   benchmark (the same seeded GA on `resnet50` through the
 //!   full-evaluation reference, the incremental serial path and the
 //!   incremental parallel path under both pool lifecycles), the
-//!   interleaved-vs-sequential two-step comparison, a cache-capacity
-//!   sweep, the key-build and pool-overhead micro-measurements, and a
-//!   `BENCH_engine.json` summary at the repository root recording wall
-//!   times, the subgraph-level hit rate, the incremental scoring
-//!   reduction, key-build cost, evictions, the persistent-vs-scoped pool
-//!   comparison, the two-step arms' cross-candidate stats-cache hit
-//!   rates, the telemetry arm's per-batch dispatch-latency percentiles
-//!   (p50/p90/p99) and the facade's per-phase wall profile;
+//!   interleaved-vs-sequential two-step comparison, the arena-vs-reference
+//!   comparison (`--arena on|off` selects the arm the other benchmarks
+//!   run under), a cache-capacity sweep, the key-build and pool-overhead
+//!   micro-measurements, and a `BENCH_engine.json` summary at the
+//!   repository root recording wall times, the subgraph-level hit rate,
+//!   the incremental scoring reduction, key-build cost, evictions, the
+//!   persistent-vs-scoped pool comparison, the arena arm's cached-batch
+//!   wall time, scratch footprint and batch-latency percentiles against
+//!   the reference arm's, the two-step arms' cross-candidate stats-cache
+//!   hit rates, the telemetry arm's per-batch dispatch-latency
+//!   percentiles (p50/p90/p99) and the facade's per-phase wall profile;
 //! * `cargo run --release -p cocco-bench --bin micro -- --smoke
 //!   [--threads <n>] [--pool scoped|persistent]` — the CI smoke mode: a
 //!   scaled-down run of the same arms that asserts bit-identical results
-//!   across {full, incremental} × {serial, scoped, persistent}, the ≥30%
-//!   subgraph-scoring reduction, zero per-probe key allocations on the
-//!   incremental path, stepped-vs-monolithic parity (driver loop +
+//!   across {full, incremental} × {serial, scoped, persistent} and the
+//!   {1, 2, 8} threads × {persistent, scoped} × {arena, reference}
+//!   determinism matrix, the ≥30% subgraph-scoring reduction, zero
+//!   hot-path allocations (per-probe keys and canonicalize fallbacks) on
+//!   the arena path, stepped-vs-monolithic parity (driver loop +
 //!   JSON-resume == `run()`), the interleaved two-step's strictly
 //!   higher cross-candidate subgraph hit rate, telemetry's
 //!   zero-perturbation guarantee (a live sink leaves the seeded GA
@@ -131,8 +136,10 @@ fn ga_run(
 /// batch-path speedup (hosts with ≥ 4 CPUs — a single-core container
 /// cannot physically speed up, so there the number is informational).
 /// `pool` selects which parallel arm the headline speedup is reported
-/// against. Returns the JSON summary document.
-fn engine_bench(smoke: bool, threads: u32, pool: PoolMode) -> serde_json::Value {
+/// against; `arena` selects which allocation arm every run uses (results
+/// are bit-identical either way). Returns the JSON summary document.
+fn engine_bench(smoke: bool, threads: u32, pool: PoolMode, arena: bool) -> serde_json::Value {
+    let arm = |config: EngineConfig| if arena { config } else { config.without_arena() };
     let model = cocco::graph::models::resnet50();
     let (budget, population) = if smoke { (600, 50) } else { (3_000, 100) };
     let host_cpus = std::thread::available_parallelism()
@@ -148,23 +155,23 @@ fn engine_bench(smoke: bool, threads: u32, pool: PoolMode) -> serde_json::Value 
         &model,
         budget,
         population,
-        EngineConfig::serial().without_incremental(),
+        arm(EngineConfig::serial().without_incremental()),
         None,
     );
     let (serial_wall, serial_cost, serial_best, serial_stats) =
-        ga_run(&model, budget, population, EngineConfig::serial(), None);
+        ga_run(&model, budget, population, arm(EngineConfig::serial()), None);
     let (persistent_wall, persistent_cost, persistent_best, persistent_stats) = ga_run(
         &model,
         budget,
         population,
-        EngineConfig::with_threads(threads),
+        arm(EngineConfig::with_threads(threads)),
         None,
     );
     let (scoped_wall, scoped_cost, scoped_best, scoped_stats) = ga_run(
         &model,
         budget,
         population,
-        EngineConfig::with_threads(threads).with_pool(PoolMode::Scoped),
+        arm(EngineConfig::with_threads(threads).with_pool(PoolMode::Scoped)),
         None,
     );
     // Telemetry arm: the same seeded parallel GA with a live sink.
@@ -175,7 +182,7 @@ fn engine_bench(smoke: bool, threads: u32, pool: PoolMode) -> serde_json::Value 
         &model,
         budget,
         population,
-        EngineConfig::with_threads(threads),
+        arm(EngineConfig::with_threads(threads)),
         Some(&telemetry),
     );
     assert_eq!(
@@ -235,6 +242,18 @@ fn engine_bench(smoke: bool, threads: u32, pool: PoolMode) -> serde_json::Value 
             "{arm}: the incremental path must build zero per-probe keys \
              ({} allocations recorded)",
             arm_stats.key_allocs,
+        );
+        assert_eq!(
+            arm_stats.stats_canonicalize_fallbacks, 0,
+            "{arm}: engine-fed member lists must already be sorted \
+             ({} canonicalize fallbacks recorded)",
+            arm_stats.stats_canonicalize_fallbacks,
+        );
+        assert_eq!(
+            arm_stats.hot_allocs, 0,
+            "{arm}: the warmed scoring hot path must stay allocation-free \
+             ({} instrumented allocations recorded)",
+            arm_stats.hot_allocs,
         );
     }
     let scoring_reduction =
@@ -395,6 +414,10 @@ fn engine_bench(smoke: bool, threads: u32, pool: PoolMode) -> serde_json::Value 
             serde_json::to_value(&serial_stats.key_allocs),
         ),
         (
+            "hot_allocs".to_string(),
+            serde_json::to_value(&serial_stats.hot_allocs),
+        ),
+        (
             "cache_evictions".to_string(),
             serde_json::to_value(&stats.evictions()),
         ),
@@ -426,6 +449,264 @@ fn engine_bench(smoke: bool, threads: u32, pool: PoolMode) -> serde_json::Value 
         ("deterministic".to_string(), serde_json::to_value(&true)),
     ];
     serde_json::Value::Object(doc)
+}
+
+/// The warmed cached-batch latency distribution of one arena arm:
+/// p50/p90/p99 nanoseconds per batch.
+struct CachedBatch {
+    p50: f64,
+    p90: f64,
+    p99: f64,
+}
+
+/// Measures the warmed cached-batch latency of one arena arm: a fixed
+/// set of repaired resnet50 partitions scored through
+/// `Engine::score_partition` until every roll-up is a cache hit, then
+/// per-batch wall-time samples of re-scoring the whole batch (pure hits
+/// — what a converged search population pays per generation). Both arms
+/// run identical work in identical order, so the distributions differ
+/// only by the reference arm's per-candidate member-list allocations.
+fn cached_batch(arena: bool) -> CachedBatch {
+    let model = cocco::graph::models::resnet50();
+    let evaluator = Evaluator::new(&model, AcceleratorConfig::default());
+    let mut config = EngineConfig::serial();
+    if !arena {
+        config = config.without_arena();
+    }
+    let engine = cocco::engine::Engine::new(config);
+    let buffer = BufferConfig::shared(2 << 20);
+    let partitions: Vec<Partition> = (2..=9)
+        .map(|depth| repair(&model, Partition::depth_groups(&model, depth), &|_| true))
+        .collect();
+    // Warm: every partition's roll-up lands in the cache, and the arena
+    // arm's layout buffers reach their steady-state capacity.
+    for _ in 0..8 {
+        for partition in &partitions {
+            engine.score_partition(&evaluator, partition, &buffer, EvalOptions::default(), None);
+        }
+    }
+    let mut samples = Vec::with_capacity(256);
+    for _ in 0..256 {
+        let start = Stopwatch::start();
+        for partition in &partitions {
+            std::hint::black_box(engine.score_partition(
+                &evaluator,
+                partition,
+                &buffer,
+                EvalOptions::default(),
+                None,
+            ));
+        }
+        samples.push(start.elapsed().as_secs_f64() * 1e9);
+    }
+    samples.sort_by(f64::total_cmp);
+    CachedBatch {
+        p50: samples[samples.len() / 2],
+        p90: samples[samples.len() * 9 / 10],
+        p99: samples[samples.len() * 99 / 100],
+    }
+}
+
+/// The arena-vs-reference comparison: the same seeded GA with the flat
+/// layout arenas on (the default) and off (`without_arena`), plus the
+/// warmed cached-batch microbench for both arms. Asserts bit-identical
+/// results, the zero-allocation tripwire on the arena arm, and that the
+/// arena arm's cached-batch wall time and batch-latency p50 are no worse
+/// than the reference arm's. Returns the JSON summary section.
+fn arena_bench(smoke: bool, threads: u32) -> serde_json::Value {
+    let model = cocco::graph::models::resnet50();
+    let (budget, population) = if smoke { (600, 50) } else { (3_000, 100) };
+    println!(
+        "\n== arena: GA on {} ({} nodes), budget {budget}, arena on vs off ==\n",
+        model.name(),
+        model.len()
+    );
+    // Arena arm: run with a live sink (for the latency histogram) and
+    // keep the context alive long enough to pull the arena metrics.
+    let run_arm = |arena: bool| {
+        let mut config = EngineConfig::with_threads(threads);
+        if !arena {
+            config = config.without_arena();
+        }
+        let evaluator = Evaluator::new(&model, AcceleratorConfig::default());
+        let telemetry = Telemetry::enabled();
+        let ctx = SearchContext::new(
+            &model,
+            &evaluator,
+            BufferSpace::paper_shared(),
+            Objective::paper_energy_capacity(),
+            budget,
+        )
+        .with_engine_telemetry(config, &telemetry);
+        let ga = CoccoGa::default().with_population(population).with_seed(42);
+        let start = Stopwatch::start();
+        let outcome = ga.run(&ctx);
+        let wall = start.elapsed();
+        let metrics = ctx.engine().metrics();
+        let latency = metrics
+            .histogram("engine.batch.latency_ns")
+            .cloned()
+            .expect("a GA run dispatches batches");
+        (wall, outcome.best_cost, outcome.best, metrics, latency)
+    };
+    let (arena_wall, arena_cost, arena_best, arena_metrics, arena_latency) = run_arm(true);
+    let (ref_wall, ref_cost, ref_best, ref_metrics, ref_latency) = run_arm(false);
+    assert_eq!(
+        arena_cost, ref_cost,
+        "arena determinism violated: arena and reference best costs differ"
+    );
+    assert_eq!(
+        arena_best, ref_best,
+        "arena determinism violated: arena and reference best genomes differ"
+    );
+    for (name, metrics) in [("arena", &arena_metrics), ("reference", &ref_metrics)] {
+        assert_eq!(
+            metrics.counter("engine.hot_allocs"),
+            0,
+            "{name} arm: the warmed scoring hot path must stay allocation-free"
+        );
+    }
+    assert!(
+        arena_metrics.counter("engine.arena.reuses") > 0,
+        "the arena arm never reused a warmed layout buffer"
+    );
+    let arena_batch = cached_batch(true);
+    let ref_batch = cached_batch(false);
+    assert!(
+        arena_batch.p50 <= ref_batch.p50,
+        "arena regression: warmed cached-batch latency p50 {:.0} ns exceeds \
+         the reference arm's {:.0} ns",
+        arena_batch.p50,
+        ref_batch.p50,
+    );
+    let arena_ms = arena_wall.as_secs_f64() * 1e3;
+    let ref_ms = ref_wall.as_secs_f64() * 1e3;
+    println!(
+        "arena ({threads} thr)        : {:>10}  ({} B scratch, {} reuses, {} grows)",
+        fmt_time(arena_wall.as_secs_f64()),
+        arena_metrics.gauge("engine.arena.bytes"),
+        arena_metrics.counter("engine.arena.reuses"),
+        arena_metrics.counter("engine.arena.grows"),
+    );
+    println!(
+        "reference ({threads} thr)    : {:>10}",
+        fmt_time(ref_wall.as_secs_f64())
+    );
+    println!(
+        "cached batch p50     : arena {:>10}   reference {:>10}",
+        fmt_time(arena_batch.p50 / 1e9),
+        fmt_time(ref_batch.p50 / 1e9),
+    );
+    println!(
+        "ga batch p50 (noisy) : arena {:>10}   reference {:>10}",
+        fmt_time(arena_latency.p50() as f64 / 1e9),
+        fmt_time(ref_latency.p50() as f64 / 1e9),
+    );
+    println!(
+        "results              : bit-identical arena vs reference ✓ (0 hot-path allocations)"
+    );
+    let latency_doc = |h: &cocco::telemetry::HistogramSnapshot| {
+        serde_json::Value::Object(vec![
+            ("count".to_string(), serde_json::to_value(&h.count)),
+            ("p50_ns".to_string(), serde_json::to_value(&h.p50())),
+            ("p90_ns".to_string(), serde_json::to_value(&h.p90())),
+            ("p99_ns".to_string(), serde_json::to_value(&h.p99())),
+        ])
+    };
+    serde_json::Value::Object(vec![
+        ("arena_ms".to_string(), serde_json::to_value(&arena_ms)),
+        ("reference_ms".to_string(), serde_json::to_value(&ref_ms)),
+        (
+            "hot_allocs".to_string(),
+            serde_json::to_value(&arena_metrics.counter("engine.hot_allocs")),
+        ),
+        (
+            "arena_bytes".to_string(),
+            serde_json::to_value(&arena_metrics.gauge("engine.arena.bytes")),
+        ),
+        (
+            "arena_reuses".to_string(),
+            serde_json::to_value(&arena_metrics.counter("engine.arena.reuses")),
+        ),
+        (
+            "arena_grows".to_string(),
+            serde_json::to_value(&arena_metrics.counter("engine.arena.grows")),
+        ),
+        (
+            "batch_latency_arena".to_string(),
+            serde_json::Value::Object(vec![
+                ("p50_ns".to_string(), serde_json::to_value(&arena_batch.p50)),
+                ("p90_ns".to_string(), serde_json::to_value(&arena_batch.p90)),
+                ("p99_ns".to_string(), serde_json::to_value(&arena_batch.p99)),
+            ]),
+        ),
+        (
+            "batch_latency_reference".to_string(),
+            serde_json::Value::Object(vec![
+                ("p50_ns".to_string(), serde_json::to_value(&ref_batch.p50)),
+                ("p90_ns".to_string(), serde_json::to_value(&ref_batch.p90)),
+                ("p99_ns".to_string(), serde_json::to_value(&ref_batch.p99)),
+            ]),
+        ),
+        (
+            "ga_batch_latency_arena".to_string(),
+            latency_doc(&arena_latency),
+        ),
+        (
+            "ga_batch_latency_reference".to_string(),
+            latency_doc(&ref_latency),
+        ),
+        ("deterministic".to_string(), serde_json::to_value(&true)),
+    ])
+}
+
+/// The determinism smoke matrix: the same seeded GA across {1, 2, 8}
+/// worker threads × both pool lifecycles × both arena arms — every cell
+/// must be bit-identical to the first, and the arena cells must record
+/// zero hot-path allocations.
+fn arena_matrix_check() {
+    let model = cocco::graph::models::googlenet();
+    let (budget, population) = (240, 24);
+    let mut reference: Option<(f64, Option<Genome>)> = None;
+    for threads in [1u32, 2, 8] {
+        for pool in [PoolMode::Persistent, PoolMode::Scoped] {
+            for arena in [true, false] {
+                let mut config = EngineConfig::with_threads(threads).with_pool(pool);
+                if !arena {
+                    config = config.without_arena();
+                }
+                let (_, cost, best, stats) = ga_run(&model, budget, population, config, None);
+                let cell = format!(
+                    "{threads} threads, {pool:?} pool, {} arm",
+                    if arena { "arena" } else { "reference" }
+                );
+                match &reference {
+                    Some((ref_cost, ref_best)) => {
+                        assert_eq!(*ref_cost, cost, "matrix determinism violated: cost ({cell})");
+                        assert_eq!(
+                            *ref_best, best,
+                            "matrix determinism violated: genome ({cell})"
+                        );
+                    }
+                    None => reference = Some((cost, best)),
+                }
+                if arena {
+                    assert_eq!(
+                        stats.hot_allocs, 0,
+                        "{cell}: the warmed scoring hot path must stay allocation-free"
+                    );
+                    assert_eq!(
+                        stats.key_allocs, 0,
+                        "{cell}: cache probes must build zero per-probe keys"
+                    );
+                }
+            }
+        }
+    }
+    println!(
+        "arena matrix         : bit-identical across {{1,2,8}} threads × \
+         {{persistent,scoped}} × {{arena,reference}} ✓ (0 hot-path allocations)"
+    );
 }
 
 /// Measures bare pool batch overhead: the wall time of dispatching a
@@ -961,9 +1242,24 @@ fn main() {
     let mut smoke = false;
     let mut threads: u32 = 4;
     let mut pool = PoolMode::Persistent;
+    let mut arena = true;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--arena" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--arena needs a value (on | off)");
+                    std::process::exit(2);
+                });
+                arena = match value.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    bad => {
+                        eprintln!("bad --arena `{bad}` (on | off)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--threads" => {
                 let value = args.next().unwrap_or_else(|| {
                     eprintln!("--threads needs a value");
@@ -991,7 +1287,8 @@ fn main() {
             bad => {
                 eprintln!(
                     "unknown argument `{bad}` \
-                     (supported: --smoke, --threads <n>, --pool scoped|persistent)"
+                     (supported: --smoke, --threads <n>, --pool scoped|persistent, \
+                      --arena on|off)"
                 );
                 std::process::exit(2);
             }
@@ -1005,8 +1302,10 @@ fn main() {
         // invariant, stepped-vs-monolithic parity (driver + JSON-resume)
         // and the interleaved-vs-sequential two-step arm at the requested
         // worker count; skip the slow timing loops.
-        engine_bench(true, threads, pool);
+        engine_bench(true, threads, pool, arena);
+        arena_bench(true, threads);
         println!();
+        arena_matrix_check();
         stepped_parity_check(threads);
         twostep_bench(true, threads);
         telemetry_overhead_check();
@@ -1020,10 +1319,11 @@ fn main() {
     stepped_parity_check(threads);
     let key_build_ns = key_build_bench();
     let (scoped_overhead_ns, persistent_overhead_ns) = pool_overhead_bench(threads);
-    let mut doc = match engine_bench(false, threads, pool) {
+    let mut doc = match engine_bench(false, threads, pool, arena) {
         serde_json::Value::Object(fields) => fields,
         _ => unreachable!("engine_bench returns an object"),
     };
+    doc.push(("arena".to_string(), arena_bench(false, threads)));
     doc.push(("twostep".to_string(), twostep_bench(false, threads)));
     doc.push((
         "key_build_ns".to_string(),

@@ -63,6 +63,12 @@ pub struct EngineConfig {
     pub incremental: bool,
     /// Worker-pool lifecycle ([`PoolMode::Persistent`] by default).
     pub pool: PoolMode,
+    /// Whether partition scoring materializes member lists into per-worker
+    /// flat layout arenas (`true`, the default) or into freshly allocated
+    /// `Vec<Vec<NodeId>>`s (`false` — the reference arm the arena path is
+    /// benchmarked and property-tested against). Results are
+    /// **bit-identical** either way; this is purely an allocation knob.
+    pub arena: bool,
     /// Upper bound on cached evaluation entries across the two cache
     /// levels (the memo-carrying partition level's share is additionally
     /// capped — see `EvalCache::with_capacity`). When a level fills up, a
@@ -89,6 +95,7 @@ impl EngineConfig {
             threads: ThreadCount::Auto,
             incremental: true,
             pool: PoolMode::Persistent,
+            arena: true,
             cache_capacity: Self::DEFAULT_CACHE_CAPACITY,
         }
     }
@@ -120,6 +127,17 @@ impl EngineConfig {
     /// bit-identical across modes).
     pub fn with_pool(mut self, pool: PoolMode) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Disables the flat layout arenas on the partition-scoring path:
+    /// `Engine::score_partition` materializes each candidate's member
+    /// lists as a fresh `Vec<Vec<NodeId>>` instead of reusing per-worker
+    /// arena buffers. The reference arm of the arena benchmark and
+    /// equivalence property tests; results are identical, only the
+    /// allocation behavior differs.
+    pub fn without_arena(mut self) -> Self {
+        self.arena = false;
         self
     }
 
@@ -170,6 +188,13 @@ mod tests {
     }
 
     #[test]
+    fn arena_defaults_on_and_toggles_off() {
+        assert!(EngineConfig::auto().arena);
+        assert!(EngineConfig::serial().arena);
+        assert!(!EngineConfig::auto().without_arena().arena);
+    }
+
+    #[test]
     fn pool_defaults_persistent_and_toggles() {
         assert_eq!(EngineConfig::auto().pool, PoolMode::Persistent);
         assert_eq!(
@@ -209,6 +234,8 @@ mod tests {
             EngineConfig::with_threads(2).without_incremental(),
             EngineConfig::with_threads(3).with_pool(PoolMode::Scoped),
             EngineConfig::auto().with_cache_capacity(12_345),
+            EngineConfig::auto().without_arena(),
+            EngineConfig::serial().without_arena().without_incremental(),
         ] {
             let back = EngineConfig::from_value(&config.to_value()).unwrap();
             assert_eq!(back, config);

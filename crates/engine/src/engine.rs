@@ -17,12 +17,15 @@
 //! stable member node in O(1). No evaluation path allocates a key or walks
 //! a member vector to probe the cache.
 
+use crate::arena::{ComposeScratch, EvalArena, ScratchPool};
 use crate::cache::{EvalCache, EvalKey};
 use crate::config::EngineConfig;
 use crate::pool::EnginePool;
 use cocco_graph::{BuildFpHasher, NodeId, NodeSetFp};
-use cocco_partition::PartitionFingerprints;
-use cocco_sim::{BufferConfig, CostMetric, EvalOptions, Evaluator, SubgraphStats};
+use cocco_partition::{
+    Partition, PartitionDelta, PartitionFingerprints, PartitionLayout, SubgraphsView,
+};
+use cocco_sim::{BufferConfig, CostMetric, EvalOptions, Evaluator, SubgraphColumns, SubgraphStats};
 use cocco_telemetry::{Histogram, MetricsSnapshot, Stopwatch, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -104,10 +107,72 @@ pub struct SubgraphScore {
 /// `next_wgt` its *predecessor* sees), the `next_wgt` this term was scored
 /// under, and the term itself.
 #[derive(Copy, Clone, Debug)]
-struct MemoEntry {
+pub(crate) struct MemoEntry {
     wgt_bytes: u64,
     next_wgt: u64,
     score: SubgraphScore,
+}
+
+/// A [`SubgraphsView`] the engine can also evaluate whole on the
+/// non-incremental path: the nested reference representation goes through
+/// `Evaluator::eval_partition`, the flat layout through the
+/// struct-of-arrays batch scorer — the two produce bit-identical totals
+/// (the batch scorer runs the identical pipeline; see `cocco-sim`).
+trait ViewEval: SubgraphsView {
+    /// Evaluates the whole partition, returning
+    /// `(ema_bytes, energy_pj, fits)` or `Err(())` on structurally
+    /// invalid input.
+    fn eval_full(
+        &self,
+        evaluator: &Evaluator<'_>,
+        buffer: &BufferConfig,
+        options: EvalOptions,
+        columns: &mut SubgraphColumns,
+    ) -> Result<(u64, f64, bool), ()>;
+}
+
+impl ViewEval for [Vec<NodeId>] {
+    fn eval_full(
+        &self,
+        evaluator: &Evaluator<'_>,
+        buffer: &BufferConfig,
+        options: EvalOptions,
+        _columns: &mut SubgraphColumns,
+    ) -> Result<(u64, f64, bool), ()> {
+        match evaluator.eval_partition(self, buffer, options) {
+            Ok(report) => Ok((report.ema_bytes, report.energy_pj, report.fits)),
+            Err(_) => Err(()),
+        }
+    }
+}
+
+impl ViewEval for PartitionLayout<'_> {
+    fn eval_full(
+        &self,
+        evaluator: &Evaluator<'_>,
+        buffer: &BufferConfig,
+        options: EvalOptions,
+        columns: &mut SubgraphColumns,
+    ) -> Result<(u64, f64, bool), ()> {
+        if evaluator
+            .eval_subgraph_batch(self.members(), self.offsets(), buffer, options, columns)
+            .is_err()
+        {
+            return Err(());
+        }
+        // The same in-order fold `PartitionReport::from_parts` performs,
+        // as tight loops over the contiguous columns.
+        let mut ema_bytes: u64 = 0;
+        for &bytes in &columns.ema_bytes {
+            ema_bytes += bytes;
+        }
+        let mut energy_pj: f64 = 0.0;
+        for &pj in &columns.energy_pj {
+            energy_pj += pj;
+        }
+        let fits = columns.fits.iter().all(|&fit| fit);
+        Ok((ema_bytes, energy_pj, fits))
+    }
 }
 
 /// The per-subgraph breakdown of one scored partition, kept by searchers
@@ -240,6 +305,17 @@ pub struct EngineStats {
     /// Per-probe key-material heap allocations — 0 on the fingerprint
     /// path; a regression tripwire asserted by the CI smoke benchmark.
     pub key_allocs: u64,
+    /// Statistics misses that had to sort a copy of an out-of-order
+    /// member list (see `Evaluator::stats_canonicalize_fallbacks`) — 0 on
+    /// every production path, asserted by the CI smoke benchmark.
+    pub stats_canonicalize_fallbacks: u64,
+    /// The general hot-path allocation tripwire:
+    /// `key_allocs + stats_canonicalize_fallbacks` — every instrumented
+    /// way a warmed scoring dispatch could touch the allocator for
+    /// per-probe material. 0 on the arena path, asserted by the CI smoke
+    /// benchmark. (Values that *escape* the dispatch — memo entries,
+    /// fingerprints, cache inserts — are inherent and not counted.)
+    pub hot_allocs: u64,
     /// Wall-clock milliseconds spent inside batch evaluation.
     pub wall_ms: f64,
 }
@@ -260,6 +336,8 @@ impl EngineStats {
             subgraph_entries: m.gauge("engine.cache.subgraph.entries"),
             subgraph_evictions: m.counter("engine.cache.subgraph.evictions"),
             key_allocs: m.counter("engine.key_allocs"),
+            stats_canonicalize_fallbacks: m.counter("engine.stats_canonicalize_fallbacks"),
+            hot_allocs: m.counter("engine.hot_allocs"),
             wall_ms: m.gauge("engine.batch.wall_ns") as f64 / 1e6,
         }
     }
@@ -325,11 +403,19 @@ pub struct Engine {
     config: EngineConfig,
     pool: EnginePool,
     cache: EvalCache,
+    /// Per-worker scoring scratch (layout arenas + composition buffers);
+    /// one more slot than worker threads, claimed per scoring call.
+    scratch: ScratchPool,
     wall_nanos: AtomicU64,
     /// Memo reuses on the delta path.
     reused: AtomicU64,
     /// Terms computed inside whole-partition (non-incremental) evaluations.
     bulk_scorings: AtomicU64,
+    /// High-water mark of any evaluator's canonicalize-fallback count
+    /// observed by this engine (see
+    /// `Evaluator::stats_canonicalize_fallbacks`); 0 in production,
+    /// folded into the `hot_allocs` tripwire.
+    stats_fallbacks: AtomicU64,
     /// Observation sink shared with the pool and cache; disabled by
     /// default ([`Engine::new`]), so nothing below ever pays more than a
     /// branch for it.
@@ -337,7 +423,37 @@ pub struct Engine {
     /// Per-batch dispatch latency (`engine.batch.latency_ns`); `None`
     /// when telemetry is disabled.
     batch_latency: Option<Histogram>,
+    /// Per-batch scratch growth (`engine.batch.alloc_bytes`); `None`
+    /// when telemetry is disabled.
+    alloc_bytes: Option<Histogram>,
 }
+
+/// Bucket bounds of the `engine.batch.alloc_bytes` histogram: powers of
+/// two from 64 B to 64 MiB (plus the automatic overflow bucket). Warmed
+/// dispatches record 0 — growth only appears while arenas warm up.
+const ALLOC_BOUNDS_BYTES: [u64; 21] = [
+    1 << 6,
+    1 << 7,
+    1 << 8,
+    1 << 9,
+    1 << 10,
+    1 << 11,
+    1 << 12,
+    1 << 13,
+    1 << 14,
+    1 << 15,
+    1 << 16,
+    1 << 17,
+    1 << 18,
+    1 << 19,
+    1 << 20,
+    1 << 21,
+    1 << 22,
+    1 << 23,
+    1 << 24,
+    1 << 25,
+    1 << 26,
+];
 
 impl Engine {
     /// Creates an engine with the given thread/pool/cache policy and an
@@ -356,10 +472,15 @@ impl Engine {
             config,
             pool: EnginePool::with_telemetry(&config, &telemetry),
             cache: EvalCache::with_capacity_telemetry(config.cache_capacity, telemetry.clone()),
+            scratch: ScratchPool::new(config.resolved_threads() + 1),
             wall_nanos: AtomicU64::new(0),
             reused: AtomicU64::new(0),
             bulk_scorings: AtomicU64::new(0),
+            stats_fallbacks: AtomicU64::new(0),
             batch_latency: telemetry.latency_histogram("engine.batch.latency_ns"),
+            alloc_bytes: telemetry
+                .registry()
+                .map(|r| r.histogram("engine.batch.alloc_bytes", &ALLOC_BOUNDS_BYTES)),
             telemetry,
         }
     }
@@ -413,7 +534,9 @@ impl Engine {
         buffer: &BufferConfig,
         options: EvalOptions,
     ) -> (ScoredEval, Option<Arc<EvalMemo>>) {
-        self.score_inner(evaluator, subgraphs, buffer, options, None)
+        self.scratch.with_slot(|arena| {
+            self.score_inner(evaluator, subgraphs, buffer, options, None, &mut arena.compose)
+        })
     }
 
     /// Scores a partition that differs from a previously scored one (whose
@@ -445,7 +568,90 @@ impl Engine {
             && dirty.len() == subgraphs.len()
             && memo.matches(evaluator.fingerprint(), buffer, options))
         .then_some((memo, dirty));
-        self.score_inner(evaluator, subgraphs, buffer, options, reuse)
+        self.scratch.with_slot(|arena| {
+            self.score_inner(evaluator, subgraphs, buffer, options, reuse, &mut arena.compose)
+        })
+    }
+
+    /// Scores a [`Partition`] directly, materializing its member lists
+    /// into this call's scratch slot — on the default arena arm
+    /// ([`EngineConfig::arena`]) as a flat [`PartitionLayout`] built
+    /// without per-candidate allocations; on the reference arm
+    /// (`EngineConfig::without_arena`) as a freshly allocated
+    /// `Vec<Vec<NodeId>>`. Results are bit-identical across arms: both
+    /// views feed the identical fingerprinting, cache probing and
+    /// composition fold through [`SubgraphsView`].
+    ///
+    /// `hint` carries the parent's memo plus the [`PartitionDelta`]
+    /// recorded by mutation/repair; when it is usable (incremental
+    /// engine, delta not all-dirty, matching memo coordinates and node
+    /// count) the call takes the delta path — clean subgraphs reuse their
+    /// memoized terms — otherwise it composes from the caches like
+    /// [`score_composed`](Self::score_composed).
+    pub fn score_partition(
+        &self,
+        evaluator: &Evaluator<'_>,
+        partition: &Partition,
+        buffer: &BufferConfig,
+        options: EvalOptions,
+        hint: Option<(&EvalMemo, &PartitionDelta)>,
+    ) -> (ScoredEval, Option<Arc<EvalMemo>>) {
+        self.scratch.with_slot(|arena| {
+            let EvalArena {
+                layout,
+                dirty,
+                compose,
+            } = arena;
+            let usable = hint.filter(|(memo, delta)| {
+                self.config.incremental
+                    && !delta.is_all()
+                    && delta.len() == partition.len()
+                    && memo.matches(evaluator.fingerprint(), buffer, options)
+            });
+            if self.config.arena {
+                let view = layout.build_from_partition(partition);
+                let reuse = match usable {
+                    Some((memo, delta)) => {
+                        Self::project_dirty(&view, delta, dirty);
+                        Some((memo, dirty.as_slice()))
+                    }
+                    None => None,
+                };
+                self.score_inner(evaluator, &view, buffer, options, reuse, compose)
+            } else {
+                let subgraphs = partition.subgraphs();
+                let reuse = match usable {
+                    Some((memo, delta)) => {
+                        Self::project_dirty(subgraphs.as_slice(), delta, dirty);
+                        Some((memo, dirty.as_slice()))
+                    }
+                    None => None,
+                };
+                self.score_inner(
+                    evaluator,
+                    subgraphs.as_slice(),
+                    buffer,
+                    options,
+                    reuse,
+                    compose,
+                )
+            }
+        })
+    }
+
+    /// Projects node-level delta dirt onto per-subgraph flags in view
+    /// order — the same flags `PartitionDelta::dirty_subgraphs` produces,
+    /// written into reusable scratch instead of a fresh vector.
+    fn project_dirty<S: SubgraphsView + ?Sized>(
+        view: &S,
+        delta: &PartitionDelta,
+        out: &mut Vec<bool>,
+    ) {
+        out.clear();
+        out.extend(
+            (0..view.num_subgraphs())
+                .map(|i| view.members_of(i).iter().any(|&m| delta.is_dirty(m))),
+        );
     }
 
     /// Scores one subgraph as a standalone single-subgraph partition
@@ -484,13 +690,14 @@ impl Engine {
         }
     }
 
-    fn score_inner(
+    fn score_inner<S: ViewEval + ?Sized>(
         &self,
         evaluator: &Evaluator<'_>,
-        subgraphs: &[Vec<NodeId>],
+        subgraphs: &S,
         buffer: &BufferConfig,
         options: EvalOptions,
         reuse: Option<(&EvalMemo, &[bool])>,
+        scratch: &mut ComposeScratch,
     ) -> (ScoredEval, Option<Arc<EvalMemo>>) {
         // Subgraph fingerprints: clean positions copy the memo's
         // incrementally maintained fingerprint in O(1); dirty (or
@@ -508,29 +715,43 @@ impl Engine {
             options,
         );
         if let Some((cached, memo)) = self.cache.get_memoized(&key) {
+            self.note_stats_fallbacks(evaluator);
             return (cached, memo);
         }
         let (scored, memo) = if self.config.incremental {
-            self.compose(evaluator, subgraphs, fps, buffer, options, reuse)
+            self.compose(evaluator, subgraphs, fps, buffer, options, reuse, scratch)
         } else {
-            let scored = match evaluator.eval_partition(subgraphs, buffer, options) {
-                Ok(report) => {
+            let scored = match subgraphs.eval_full(evaluator, buffer, options, &mut scratch.columns)
+            {
+                Ok((ema_bytes, energy_pj, fits)) => {
                     self.bulk_scorings
-                        .fetch_add(subgraphs.len() as u64, Ordering::Relaxed);
+                        .fetch_add(subgraphs.num_subgraphs() as u64, Ordering::Relaxed);
                     ScoredEval {
-                        ema_bytes: report.ema_bytes,
-                        energy_pj: report.energy_pj,
+                        ema_bytes,
+                        energy_pj,
                         buffer_bytes: buffer.total_bytes(),
-                        fits: report.fits,
+                        fits,
                         error: false,
                     }
                 }
-                Err(_) => ScoredEval::errored(buffer),
+                Err(()) => ScoredEval::errored(buffer),
             };
             (scored, None)
         };
         self.cache.insert_memoized(key, scored, memo.clone());
+        self.note_stats_fallbacks(evaluator);
         (scored, memo)
+    }
+
+    /// Folds the evaluator's canonicalize-fallback count into the
+    /// engine's `hot_allocs` tripwire (high-water mark across the
+    /// evaluators this engine has scored with; free while the count stays
+    /// 0, the production invariant).
+    fn note_stats_fallbacks(&self, evaluator: &Evaluator<'_>) {
+        let fallbacks = evaluator.stats_canonicalize_fallbacks();
+        if fallbacks != 0 {
+            self.stats_fallbacks.fetch_max(fallbacks, Ordering::Relaxed);
+        }
     }
 
     /// Computes one fresh `eval_subgraph` term, counted as a full scoring
@@ -555,50 +776,58 @@ impl Engine {
     /// caller's memo for clean positions and the subgraph-term cache for
     /// everything else. The fold runs in execution order, so the sums are
     /// bit-identical to `Evaluator::eval_partition`.
-    fn compose(
+    #[allow(clippy::too_many_arguments)]
+    fn compose<S: SubgraphsView + ?Sized>(
         &self,
         evaluator: &Evaluator<'_>,
-        subgraphs: &[Vec<NodeId>],
+        subgraphs: &S,
         fps: PartitionFingerprints,
         buffer: &BufferConfig,
         options: EvalOptions,
         reuse: Option<(&EvalMemo, &[bool])>,
+        scratch: &mut ComposeScratch,
     ) -> (ScoredEval, Option<Arc<EvalMemo>>) {
-        if subgraphs.is_empty() || subgraphs.iter().any(Vec::is_empty) {
+        if subgraphs.no_subgraphs() || subgraphs.any_empty() {
             return (ScoredEval::errored(buffer), None);
         }
-        let n = subgraphs.len();
+        let n = subgraphs.num_subgraphs();
         // Memoized entry per clean position (fingerprint present in the
-        // memo).
-        let entries: Vec<Option<&MemoEntry>> = (0..n)
-            .map(|i| match reuse {
-                Some((memo, dirty)) if !dirty[i] => memo.lookup(fps.positions()[i]),
-                _ => None,
-            })
-            .collect();
+        // memo); `MemoEntry` is `Copy`, so the scratch holds copies and
+        // the memo borrow ends here.
+        scratch.entries.clear();
+        scratch.entries.extend((0..n).map(|i| match reuse {
+            Some((memo, dirty)) if !dirty[i] => memo.lookup(fps.positions()[i]).copied(),
+            _ => None,
+        }));
         // Weight footprints drive the next_wgt chain; dirty positions need
         // their (evaluator-cached) statistics, clean ones read the memo.
-        let mut stats_of: Vec<Option<SubgraphStats>> = vec![None; n];
-        let mut wgts = Vec::with_capacity(n);
+        scratch.stats_of.clear();
+        scratch.stats_of.resize(n, None);
+        scratch.wgts.clear();
         for i in 0..n {
-            match entries[i] {
-                Some(entry) => wgts.push(entry.wgt_bytes),
-                None => match evaluator.subgraph_stats_keyed(fps.positions()[i], &subgraphs[i]) {
-                    Ok(stats) => {
-                        wgts.push(stats.ema_wgt_bytes);
-                        stats_of[i] = Some(stats);
+            match scratch.entries[i] {
+                Some(entry) => scratch.wgts.push(entry.wgt_bytes),
+                None => {
+                    match evaluator.subgraph_stats_keyed(fps.positions()[i], subgraphs.members_of(i))
+                    {
+                        Ok(stats) => {
+                            scratch.wgts.push(stats.ema_wgt_bytes);
+                            scratch.stats_of[i] = Some(stats);
+                        }
+                        Err(_) => return (ScoredEval::errored(buffer), None),
                     }
-                    Err(_) => return (ScoredEval::errored(buffer), None),
-                },
+                }
             }
         }
         let mut ema_bytes: u64 = 0;
         let mut energy_pj: f64 = 0.0;
         let mut fits = true;
+        // The one hot-path vector that escapes: it becomes the memo's
+        // entry list inside the returned `Arc<EvalMemo>`.
         let mut memo_entries = Vec::with_capacity(n);
         for i in 0..n {
-            let next_wgt = if i + 1 < n { wgts[i + 1] } else { 0 };
-            let score = match entries[i] {
+            let next_wgt = if i + 1 < n { scratch.wgts[i + 1] } else { 0 };
+            let score = match scratch.entries[i] {
                 Some(entry) if entry.next_wgt == next_wgt => {
                     self.reused.fetch_add(1, Ordering::Relaxed);
                     entry.score
@@ -614,14 +843,15 @@ impl Engine {
                     match self.cache.get_subgraph(&key) {
                         Some(term) => term,
                         None => {
-                            let stats = match stats_of[i] {
+                            let stats = match scratch.stats_of[i] {
                                 Some(stats) => stats,
                                 // A clean entry whose next_wgt changed: its
                                 // statistics were computed before, so this
                                 // is an evaluator-cache hit.
-                                None => match evaluator
-                                    .subgraph_stats_keyed(fps.positions()[i], &subgraphs[i])
-                                {
+                                None => match evaluator.subgraph_stats_keyed(
+                                    fps.positions()[i],
+                                    subgraphs.members_of(i),
+                                ) {
                                     Ok(stats) => stats,
                                     Err(_) => return (ScoredEval::errored(buffer), None),
                                 },
@@ -638,7 +868,7 @@ impl Engine {
             energy_pj += score.energy_pj;
             fits &= score.fits;
             memo_entries.push(MemoEntry {
-                wgt_bytes: wgts[i],
+                wgt_bytes: scratch.wgts[i],
                 next_wgt,
                 score,
             });
@@ -662,6 +892,9 @@ impl Engine {
     /// code calls this instead of timing `pool().run` itself, which is
     /// what lets the audit confine wall-clock reads to `cocco-telemetry`.
     pub fn dispatch(&self, jobs: usize, job: impl Fn(usize) + Sync) {
+        // Scratch growth across the batch (dispatch boundaries are
+        // quiescent, so the slot sum is exact); warmed batches record 0.
+        let bytes_before = self.alloc_bytes.as_ref().map(|_| self.scratch.bytes());
         let sw = Stopwatch::start();
         self.pool.run(jobs, job);
         let nanos = sw.elapsed_nanos();
@@ -671,6 +904,9 @@ impl Engine {
             self.telemetry.emit("engine.batch", || {
                 vec![("jobs", jobs.into()), ("nanos", nanos.into())]
             });
+        }
+        if let (Some(hist), Some(before)) = (&self.alloc_bytes, bytes_before) {
+            hist.record(self.scratch.bytes().saturating_sub(before));
         }
     }
 
@@ -686,7 +922,9 @@ impl Engine {
     /// recorded (batch/queue histograms, sweep events' counters) plus
     /// the engine's own counters absorbed under their metric names —
     /// `engine.evals`, `engine.cache.{partition,subgraph}.*`,
-    /// `engine.subgraph.*`, `engine.key_allocs`, `engine.threads`,
+    /// `engine.subgraph.*`, `engine.key_allocs`,
+    /// `engine.stats_canonicalize_fallbacks`, `engine.hot_allocs`,
+    /// `engine.arena.{bytes,reuses,grows}`, `engine.threads`,
     /// `engine.batch.wall_ns`. Works with telemetry disabled (the
     /// absorbed names are always present).
     pub fn metrics(&self) -> MetricsSnapshot {
@@ -721,6 +959,12 @@ impl Engine {
             self.reused.load(Ordering::Relaxed),
         );
         m.set_counter("engine.key_allocs", self.cache.key_allocs());
+        let fallbacks = self.stats_fallbacks.load(Ordering::Relaxed);
+        m.set_counter("engine.stats_canonicalize_fallbacks", fallbacks);
+        m.set_counter("engine.hot_allocs", self.cache.key_allocs() + fallbacks);
+        m.set_gauge("engine.arena.bytes", self.scratch.bytes());
+        m.set_counter("engine.arena.reuses", self.scratch.reuses());
+        m.set_counter("engine.arena.grows", self.scratch.grows());
         m.set_gauge(
             "engine.batch.wall_ns",
             self.wall_nanos.load(Ordering::Relaxed),
@@ -1074,6 +1318,121 @@ mod tests {
         }
         assert_eq!(telemetry.events().len(), events_before);
         assert_eq!(telemetry.snapshot(), snap_before);
+    }
+
+    #[test]
+    fn score_partition_arms_are_bit_identical() {
+        // The flat arena arm and the nested reference arm must agree on
+        // every path: cold compose, cache hit, delta hint, and the
+        // non-incremental batch scorer.
+        let g = cocco_graph::models::googlenet();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let buffer = BufferConfig::shared(1 << 20);
+        let options = EvalOptions::default();
+        for incremental in [true, false] {
+            let base_cfg = if incremental {
+                EngineConfig::serial()
+            } else {
+                EngineConfig::serial().without_incremental()
+            };
+            let arena = Engine::new(base_cfg);
+            let reference = Engine::new(base_cfg.without_arena());
+            for l in [1usize, 3, 7] {
+                let p = cocco_partition::repair(
+                    &g,
+                    cocco_partition::Partition::depth_groups(&g, l),
+                    &|_| true,
+                );
+                let (a, memo_a) = arena.score_partition(&eval, &p, &buffer, options, None);
+                let (b, memo_b) = reference.score_partition(&eval, &p, &buffer, options, None);
+                assert_eq!(a, b, "L={l} incremental={incremental}");
+                assert_eq!(memo_a.is_some(), memo_b.is_some());
+                // And both agree with the legacy nested entry point.
+                let via_slices = arena.score(&eval, &p.subgraphs(), &buffer, options);
+                assert_eq!(a, via_slices, "cache-keyed identity across entry points");
+            }
+        }
+    }
+
+    #[test]
+    fn score_partition_delta_hint_reuses_terms() {
+        let g = cocco_graph::models::chain(7);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let engine = Engine::new(EngineConfig::serial());
+        let buffer = BufferConfig::shared(1 << 20);
+        let options = EvalOptions::default();
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        // Pairs {0,1} {2,3} {4,5} {6,7} as a partition assignment.
+        let p = cocco_partition::Partition::from_assignment(vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        let (scored, memo) = engine.score_partition(&eval, &p, &buffer, options, None);
+        let memo = memo.expect("composed this call");
+        assert!(!scored.error);
+        // Split the last pair; mark exactly its members dirty.
+        let mutated = cocco_partition::Partition::from_assignment(vec![0, 0, 1, 1, 2, 2, 3, 4]);
+        let mut delta = PartitionDelta::clean(8);
+        delta.touch_members(&[ids[6], ids[7]]);
+        let before = engine.stats();
+        let (inc, _) = engine.score_partition(&eval, &mutated, &buffer, options, Some((&memo, &delta)));
+        let after = engine.stats();
+        assert_eq!(after.subgraph_reused - before.subgraph_reused, 2);
+        let direct = eval
+            .eval_partition(&mutated.subgraphs(), &buffer, options)
+            .unwrap();
+        assert_eq!(inc.ema_bytes, direct.ema_bytes);
+        assert_eq!(inc.energy_pj, direct.energy_pj);
+        assert_eq!(after.hot_allocs, 0, "arena delta path must stay clean");
+    }
+
+    #[test]
+    fn arena_metrics_report_reuse_after_warmup() {
+        let g = cocco_graph::models::googlenet();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let engine = Engine::new(EngineConfig::serial());
+        let buffer = BufferConfig::shared(1 << 20);
+        let p = cocco_partition::repair(
+            &g,
+            cocco_partition::Partition::depth_groups(&g, 3),
+            &|_| true,
+        );
+        // Distinct options defeat the partition cache so every call
+        // rebuilds the layout into the warmed arena.
+        for batch in 1..=8u32 {
+            engine.score_partition(&eval, &p, &buffer, EvalOptions::with_batch(batch), None);
+        }
+        let m = engine.metrics();
+        assert!(m.gauge("engine.arena.bytes") > 0);
+        assert!(
+            m.counter("engine.arena.reuses") >= 6,
+            "warmed builds must reuse capacity: {} reuses, {} grows",
+            m.counter("engine.arena.reuses"),
+            m.counter("engine.arena.grows")
+        );
+        assert_eq!(m.counter("engine.hot_allocs"), 0);
+        assert_eq!(m.counter("engine.stats_canonicalize_fallbacks"), 0);
+        let stats = engine.stats();
+        assert_eq!(stats.hot_allocs, 0);
+        assert_eq!(stats.stats_canonicalize_fallbacks, 0);
+    }
+
+    #[test]
+    fn batch_alloc_bytes_histogram_records_warmed_zero() {
+        let g = cocco_graph::models::chain(6);
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let telemetry = Telemetry::enabled();
+        let engine = Engine::with_telemetry(EngineConfig::serial(), telemetry);
+        let buffer = BufferConfig::shared(1 << 20);
+        let p = cocco_partition::Partition::from_assignment(vec![0, 0, 1, 1, 2, 2, 3]);
+        for _ in 0..3 {
+            engine.dispatch(1, |_| {
+                engine.score_partition(&eval, &p, &buffer, EvalOptions::default(), None);
+            });
+        }
+        let m = engine.metrics();
+        let hist = m.histogram("engine.batch.alloc_bytes").expect("registered");
+        assert_eq!(hist.count, 3);
+        // The first dispatch grows the arenas; the warmed repeats record
+        // exactly zero growth (the cached probes allocate nothing).
+        assert!(hist.counts[0] >= 2, "warmed dispatches must record 0 bytes");
     }
 
     #[test]

@@ -61,6 +61,7 @@
 //! assert_eq!(engine.stats().cache_hits, 1);
 //! ```
 
+mod arena;
 mod budget;
 mod cache;
 mod config;

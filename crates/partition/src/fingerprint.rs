@@ -21,6 +21,7 @@
 //! recomputation.
 
 use crate::delta::PartitionDelta;
+use crate::layout::SubgraphsView;
 use crate::partition::Partition;
 use cocco_graph::{NodeId, NodeSetFp};
 
@@ -86,17 +87,18 @@ impl PartitionFingerprints {
     }
 
     /// Fingerprints an explicit ordered subgraph list (the evaluation-side
-    /// view of a partition; members of each subgraph must be ascending, as
-    /// [`Partition::subgraphs`] produces them).
-    pub fn from_subgraphs(subgraphs: &[Vec<NodeId>]) -> Self {
-        let by_position: Vec<NodeSetFp> =
-            subgraphs.iter().map(|m| NodeSetFp::of_members(m)).collect();
-        let anchors = Self::index(
-            subgraphs
-                .iter()
-                .zip(&by_position)
-                .filter_map(|(m, &fp)| m.first().map(|&a| (a, fp))),
-        );
+    /// view of a partition — nested vectors or a flat
+    /// [`PartitionLayout`](crate::PartitionLayout); members of each
+    /// subgraph must be ascending, as [`Partition::subgraphs`] produces
+    /// them).
+    pub fn from_subgraphs<S: SubgraphsView + ?Sized>(subgraphs: &S) -> Self {
+        let n = subgraphs.num_subgraphs();
+        let by_position: Vec<NodeSetFp> = (0..n)
+            .map(|i| NodeSetFp::of_members(subgraphs.members_of(i)))
+            .collect();
+        let anchors = Self::index((0..n).zip(&by_position).filter_map(|(i, &fp)| {
+            subgraphs.members_of(i).first().map(|&a| (a, fp))
+        }));
         Self {
             by_position,
             anchors,
@@ -115,11 +117,15 @@ impl PartitionFingerprints {
     /// through their (stable) anchor, dirty positions re-derive from their
     /// members. Debug builds assert every copied fingerprint equals the
     /// from-scratch one.
-    pub fn refresh_positions(&self, subgraphs: &[Vec<NodeId>], dirty: &[bool]) -> Self {
-        let by_position: Vec<NodeSetFp> = subgraphs
-            .iter()
-            .enumerate()
-            .map(|(i, members)| {
+    pub fn refresh_positions<S: SubgraphsView + ?Sized>(
+        &self,
+        subgraphs: &S,
+        dirty: &[bool],
+    ) -> Self {
+        let n = subgraphs.num_subgraphs();
+        let by_position: Vec<NodeSetFp> = (0..n)
+            .map(|i| {
+                let members = subgraphs.members_of(i);
                 let clean = !dirty.get(i).copied().unwrap_or(true);
                 if clean {
                     if let Some(fp) = members.first().and_then(|&m| self.anchored(m)) {
@@ -134,12 +140,9 @@ impl PartitionFingerprints {
                 NodeSetFp::of_members(members)
             })
             .collect();
-        let anchors = Self::index(
-            subgraphs
-                .iter()
-                .zip(&by_position)
-                .filter_map(|(m, &fp)| m.first().map(|&a| (a, fp))),
-        );
+        let anchors = Self::index((0..n).zip(&by_position).filter_map(|(i, &fp)| {
+            subgraphs.members_of(i).first().map(|&a| (a, fp))
+        }));
         Self {
             by_position,
             anchors,

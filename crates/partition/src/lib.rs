@@ -19,6 +19,7 @@
 mod delta;
 mod error;
 mod fingerprint;
+mod layout;
 mod partition;
 mod quotient;
 mod repair;
@@ -26,6 +27,7 @@ mod repair;
 pub use delta::PartitionDelta;
 pub use error::PartitionError;
 pub use fingerprint::PartitionFingerprints;
+pub use layout::{LayoutArena, PartitionLayout, SubgraphsView};
 pub use partition::Partition;
 pub use quotient::Quotient;
 pub use repair::{

@@ -473,23 +473,17 @@ impl<'a> SearchContext<'a> {
                 &buffer,
                 &mut delta,
             );
-            let subgraphs = candidate.genome.partition.subgraphs();
-            let (scored, memo) = match parent_memo {
-                Some(memo) if !delta.is_all() => {
-                    let dirty = delta.dirty_subgraphs(&candidate.genome.partition);
-                    self.engine.score_delta(
-                        self.evaluator,
-                        &subgraphs,
-                        &buffer,
-                        self.options,
-                        &memo,
-                        &dirty,
-                    )
-                }
-                _ => self
-                    .engine
-                    .score_composed(self.evaluator, &subgraphs, &buffer, self.options),
-            };
+            // score_partition materializes the member lists into the
+            // worker's scratch slot (a flat layout arena on the default
+            // arm) — no per-candidate `subgraphs()` allocation — and
+            // takes the delta path itself whenever the hint is usable.
+            let (scored, memo) = self.engine.score_partition(
+                self.evaluator,
+                &candidate.genome.partition,
+                &buffer,
+                self.options,
+                parent_memo.as_deref().map(|memo| (memo, &delta)),
+            );
             candidate.memo = memo;
             if scored.error {
                 self.trace.record_infeasible_error();
@@ -538,11 +532,12 @@ impl<'a> SearchContext<'a> {
     /// sample.
     pub fn evaluate_valid(&self, genome: &Genome) -> Option<f64> {
         let sample = self.budget.try_consume()?;
-        let scored = self.engine.score(
+        let (scored, _) = self.engine.score_partition(
             self.evaluator,
-            &genome.partition.subgraphs(),
+            &genome.partition,
             &genome.buffer,
             self.options,
+            None,
         );
         if scored.error {
             self.trace.record_infeasible_error();
@@ -580,9 +575,9 @@ impl<'a> SearchContext<'a> {
     /// The full objective cost of a valid partition under `buffer`, without
     /// consuming budget (used to score deterministic baseline outputs).
     pub fn partition_cost(&self, partition: &Partition, buffer: &BufferConfig) -> f64 {
-        let scored =
+        let (scored, _) =
             self.engine
-                .score(self.evaluator, &partition.subgraphs(), buffer, self.options);
+                .score_partition(self.evaluator, partition, buffer, self.options, None);
         if scored.error {
             self.trace.record_infeasible_error();
         }

@@ -1,0 +1,183 @@
+//! Arena-path parity property test.
+//!
+//! Drives seeded random mutation / repair / crossover walks through
+//! `SearchContext::evaluate_candidates` — the same operator shapes the GA
+//! uses, including incremental [`EvalHint`]s — and asserts the flat-arena
+//! hot path ([`EngineConfig::auto`]) is **bit-identical** to the reference
+//! `Vec<Vec<NodeId>>` path ([`EngineConfig::without_arena`]) on every
+//! observable output: the full cost stream, the final (repaired) genomes,
+//! the recorded trace and the persisted cache snapshot — at 1 and 4
+//! worker threads, on `resnet50` and `randwire-a`.
+
+use cocco_engine::{CacheSnapshot, EngineConfig, EvalMemo, TracePoint};
+use cocco_graph::{Graph, NodeId};
+use cocco_partition::{Partition, PartitionDelta};
+use cocco_search::{
+    BufferSpace, EvalCandidate, EvalHint, Genome, Objective, SearchContext,
+};
+use cocco_sim::{AcceleratorConfig, BufferConfig, CostMetric, Evaluator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const POP: usize = 6;
+const ROUNDS: usize = 5;
+const GROUPS: u32 = 10;
+const BUFFER: BufferConfig = BufferConfig::Shared { total: 2 << 20 };
+
+/// Everything a walk observes; two walks are "bit-identical" iff these
+/// compare equal.
+struct WalkResult {
+    costs: Vec<Option<f64>>,
+    genomes: Vec<Genome>,
+    trace: Vec<TracePoint>,
+    snapshot: CacheSnapshot,
+}
+
+/// One seeded mutation/repair/crossover walk under an explicit engine
+/// arm. The RNG drives genome construction only — it is consumed
+/// identically on every arm, so any divergence comes from evaluation.
+fn walk(model: &Graph, threads: u32, arena: bool) -> WalkResult {
+    let evaluator = Evaluator::new(model, AcceleratorConfig::default());
+    let mut config = EngineConfig::with_threads(threads);
+    if !arena {
+        config = config.without_arena();
+    }
+    let ctx = SearchContext::new(
+        model,
+        &evaluator,
+        BufferSpace::fixed(BUFFER),
+        Objective::partition_only(CostMetric::Ema),
+        100_000,
+    )
+    .with_engine(config);
+    let ids: Vec<NodeId> = model.node_ids().collect();
+    let mut rng = StdRng::seed_from_u64(0xC0CC0);
+    let mut genomes: Vec<Genome> = (0..POP)
+        .map(|_| {
+            let assignment: Vec<u32> =
+                (0..model.len()).map(|_| rng.gen_range(0..GROUPS)).collect();
+            Genome::new(Partition::from_assignment(assignment), BUFFER)
+        })
+        .collect();
+    let mut memos: Vec<Option<Arc<EvalMemo>>> = vec![None; POP];
+    let mut costs = Vec::new();
+    for _ in 0..ROUNDS {
+        let mut candidates: Vec<EvalCandidate> = (0..POP)
+            .map(|i| match rng.gen_range(0..3u32) {
+                0 => {
+                    // Move-node mutation with the GA's member-set delta
+                    // discipline: donor and receiver subgraphs are fully
+                    // touched, so unmarked terms are reusable.
+                    let mut child = genomes[i].clone();
+                    let mut delta = PartitionDelta::clean(model.len());
+                    for _ in 0..rng.gen_range(1..4u32) {
+                        let node = ids[rng.gen_range(0..ids.len())];
+                        let target = child
+                            .partition
+                            .subgraph_of(ids[rng.gen_range(0..ids.len())]);
+                        delta.touch_subgraph(&child.partition, child.partition.subgraph_of(node));
+                        delta.touch_subgraph(&child.partition, target);
+                        delta.touch(node);
+                        child.partition.assign(node, target);
+                    }
+                    let hint = memos[i].clone().map(|memo| EvalHint { memo, delta });
+                    EvalCandidate::with_hint(child, hint)
+                }
+                1 => {
+                    // Single-point assignment crossover; the delta is the
+                    // honest fingerprint diff against the parent memo.
+                    let j = rng.gen_range(0..POP);
+                    let cut = rng.gen_range(0..=model.len());
+                    let a = genomes[i].partition.assignment();
+                    let b = genomes[j].partition.assignment();
+                    let mut assignment = a[..cut].to_vec();
+                    assignment.extend_from_slice(&b[cut..]);
+                    let child = Genome::new(Partition::from_assignment(assignment), BUFFER);
+                    let hint = memos[i].clone().map(|memo| {
+                        let delta = memo.fingerprints().delta_against(&child.partition);
+                        EvalHint { memo, delta }
+                    });
+                    EvalCandidate::with_hint(child, hint)
+                }
+                // Re-evaluation without a hint: the cache-composition
+                // path (an exact roll-up hit after round one).
+                _ => EvalCandidate::new(genomes[i].clone()),
+            })
+            .collect();
+        costs.extend(ctx.evaluate_candidates(&mut candidates));
+        for (i, candidate) in candidates.into_iter().enumerate() {
+            genomes[i] = candidate.genome;
+            memos[i] = candidate.memo;
+        }
+    }
+    let stats = ctx.engine().stats();
+    if arena {
+        assert_eq!(
+            stats.hot_allocs, 0,
+            "arena arm recorded hot-path allocations at {threads} threads"
+        );
+    }
+    assert_eq!(
+        stats.key_allocs, 0,
+        "cache probes must build zero per-probe keys at {threads} threads"
+    );
+    assert_eq!(
+        stats.stats_canonicalize_fallbacks, 0,
+        "engine-fed member lists must already be sorted at {threads} threads"
+    );
+    WalkResult {
+        costs,
+        genomes,
+        trace: ctx.trace().points(),
+        snapshot: ctx.engine().cache().snapshot(),
+    }
+}
+
+fn assert_walks_identical(model: &Graph) {
+    let reference = walk(model, 1, false);
+    assert_eq!(
+        reference.costs.len(),
+        POP * ROUNDS,
+        "budget must never run out in this walk"
+    );
+    for threads in [1u32, 4] {
+        for arena in [true, false] {
+            if threads == 1 && !arena {
+                continue; // that is the reference itself
+            }
+            let other = walk(model, threads, arena);
+            let arm = if arena { "arena" } else { "reference" };
+            assert_eq!(
+                reference.costs, other.costs,
+                "{}: cost stream diverged ({arm}, {threads} threads)",
+                model.name()
+            );
+            assert_eq!(
+                reference.genomes, other.genomes,
+                "{}: repaired genomes diverged ({arm}, {threads} threads)",
+                model.name()
+            );
+            assert_eq!(
+                reference.trace, other.trace,
+                "{}: traces diverged ({arm}, {threads} threads)",
+                model.name()
+            );
+            assert_eq!(
+                reference.snapshot, other.snapshot,
+                "{}: persisted cache snapshots diverged ({arm}, {threads} threads)",
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn arena_walks_are_bit_identical_on_resnet50() {
+    assert_walks_identical(&cocco_graph::models::resnet50());
+}
+
+#[test]
+fn arena_walks_are_bit_identical_on_randwire_a() {
+    assert_walks_identical(&cocco_graph::models::randwire_a());
+}

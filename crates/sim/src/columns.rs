@@ -1,0 +1,108 @@
+//! Struct-of-arrays output buffers for batch subgraph scoring.
+//!
+//! [`SubgraphColumns`] is the column-major mirror of
+//! `Vec<SubgraphReport>`: one contiguous column per scored field, filled
+//! by [`Evaluator::eval_subgraph_batch`](crate::Evaluator::eval_subgraph_batch)
+//! and rolled up by
+//! [`PartitionReport::from_columns`](crate::PartitionReport::from_columns)
+//! as tight loops over `u64`/`f64` columns. The buffers are reusable:
+//! [`clear`](SubgraphColumns::clear) keeps capacity, so a warmed caller
+//! (the engine's per-worker scratch) refills them without heap
+//! allocation.
+
+use std::mem::size_of;
+
+use crate::cost::SubgraphStats;
+use crate::report::SubgraphReport;
+
+/// Column-major per-subgraph evaluation terms in execution order.
+///
+/// All columns always have equal length; rows correspond to subgraph
+/// indices. Row `i` round-trips to a [`SubgraphReport`] via
+/// [`report`](Self::report).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SubgraphColumns {
+    /// Buffer-independent statistics (the cached derivation term).
+    pub stats: Vec<SubgraphStats>,
+    /// DRAM traffic in bytes per subgraph.
+    pub ema_bytes: Vec<u64>,
+    /// Energy in picojoules per subgraph.
+    pub energy_pj: Vec<f64>,
+    /// Latency in core cycles per subgraph.
+    pub latency_cycles: Vec<f64>,
+    /// Bandwidth requirement in bytes/cycle per subgraph.
+    pub bw_bytes_per_cycle: Vec<f64>,
+    /// Whether each subgraph fits the buffer configuration.
+    pub fits: Vec<bool>,
+}
+
+impl SubgraphColumns {
+    /// Empty columns with no capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of scored subgraphs (rows).
+    pub fn len(&self) -> usize {
+        self.ema_bytes.len()
+    }
+
+    /// Whether no subgraphs are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ema_bytes.is_empty()
+    }
+
+    /// Drops all rows, keeping every column's capacity for reuse.
+    pub fn clear(&mut self) {
+        self.stats.clear();
+        self.ema_bytes.clear();
+        self.energy_pj.clear();
+        self.latency_cycles.clear();
+        self.bw_bytes_per_cycle.clear();
+        self.fits.clear();
+    }
+
+    /// Reserves room for `rows` subgraphs in every column (no-op once
+    /// warmed to the partition size).
+    pub fn reserve(&mut self, rows: usize) {
+        self.stats.reserve(rows);
+        self.ema_bytes.reserve(rows);
+        self.energy_pj.reserve(rows);
+        self.latency_cycles.reserve(rows);
+        self.bw_bytes_per_cycle.reserve(rows);
+        self.fits.reserve(rows);
+    }
+
+    /// Capacity footprint of all columns in bytes (for arena telemetry).
+    pub fn bytes(&self) -> usize {
+        self.stats.capacity() * size_of::<SubgraphStats>()
+            + self.ema_bytes.capacity() * size_of::<u64>()
+            + self.energy_pj.capacity() * size_of::<f64>()
+            + self.latency_cycles.capacity() * size_of::<f64>()
+            + self.bw_bytes_per_cycle.capacity() * size_of::<f64>()
+            + self.fits.capacity() * size_of::<bool>()
+    }
+
+    /// Reconstructs row `index` as a [`SubgraphReport`].
+    pub fn report(&self, index: usize) -> SubgraphReport {
+        SubgraphReport {
+            index,
+            stats: self.stats[index],
+            ema_bytes: self.ema_bytes[index],
+            energy_pj: self.energy_pj[index],
+            latency_cycles: self.latency_cycles[index],
+            bw_bytes_per_cycle: self.bw_bytes_per_cycle[index],
+            fits: self.fits[index],
+        }
+    }
+
+    /// Appends one scored row.
+    pub fn push(&mut self, part: &SubgraphReport) {
+        self.stats.push(part.stats);
+        self.ema_bytes.push(part.ema_bytes);
+        self.energy_pj.push(part.energy_pj);
+        self.latency_cycles.push(part.latency_cycles);
+        self.bw_bytes_per_cycle.push(part.bw_bytes_per_cycle);
+        self.fits.push(part.fits);
+    }
+}

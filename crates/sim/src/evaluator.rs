@@ -1,6 +1,7 @@
 //! The partition evaluator: cached per-subgraph statistics plus the
 //! energy/latency/bandwidth roll-up.
 
+use crate::columns::SubgraphColumns;
 use crate::config::{AcceleratorConfig, BufferConfig, EvalOptions};
 use crate::cost::SubgraphStats;
 use crate::error::SimError;
@@ -85,6 +86,12 @@ pub struct Evaluator<'g> {
     stats_hits: AtomicU64,
     stats_misses: AtomicU64,
     stats_evictions: AtomicU64,
+    /// Misses whose member list arrived out of ascending order and had to
+    /// be sorted into a temporary before derivation. Every production
+    /// path (arena layouts, `Partition::subgraphs`) produces ascending
+    /// members by construction, so this counts a slow path the smoke
+    /// benchmark asserts never fires; debug builds additionally assert.
+    stats_canon_fallbacks: AtomicU64,
     /// Fresh-derivation latency (`sim.subgraph_stats_ns`), recorded only
     /// on the miss path — the cached hit path (the engine's 47 ns leaf)
     /// never touches telemetry. `None` when telemetry is disabled.
@@ -141,6 +148,7 @@ impl<'g> Evaluator<'g> {
             stats_hits: AtomicU64::new(0),
             stats_misses: AtomicU64::new(0),
             stats_evictions: AtomicU64::new(0),
+            stats_canon_fallbacks: AtomicU64::new(0),
             stats_latency: None,
         }
     }
@@ -212,6 +220,14 @@ impl<'g> Evaluator<'g> {
         self.stats_evictions.load(Ordering::Relaxed)
     }
 
+    /// Statistics misses that had to canonicalize (sort a copy of) an
+    /// out-of-order member list before derivation. 0 on every production
+    /// path — the smoke benchmark asserts it via
+    /// `EngineStats::stats_canonicalize_fallbacks`.
+    pub fn stats_canonicalize_fallbacks(&self) -> u64 {
+        self.stats_canon_fallbacks.load(Ordering::Relaxed)
+    }
+
     /// Fraction of statistics lookups answered from the cache.
     pub fn stats_cache_hit_rate(&self) -> f64 {
         let hits = self.stats_cache_hits();
@@ -259,11 +275,19 @@ impl<'g> Evaluator<'g> {
         self.stats_misses.fetch_add(1, Ordering::Relaxed);
         let derivation = self.stats_latency.as_ref().map(|_| Stopwatch::start());
         // Miss: the derivation expects members in ascending (topological)
-        // order — canonicalize only when the caller's order is not already
-        // canonical (searchers always produce ascending members).
+        // order. Every production caller guarantees it by construction —
+        // `Partition::subgraphs` and arena layouts both emit ascending
+        // members — so the sort below is a counted slow path kept only for
+        // order-agnostic external callers. Debug builds assert it never
+        // fires; `micro --smoke` asserts the counter stays 0.
         let stats = if members.windows(2).all(|w| w[0] < w[1]) {
             self.compute_stats(members)?
         } else {
+            debug_assert!(
+                members.windows(2).all(|w| w[0] != w[1]),
+                "duplicate members reach the canonicalize fallback"
+            );
+            self.stats_canon_fallbacks.fetch_add(1, Ordering::Relaxed);
             let mut sorted = members.to_vec();
             sorted.sort_unstable();
             self.compute_stats(&sorted)?
@@ -529,6 +553,59 @@ impl<'g> Evaluator<'g> {
             *buffer,
             self.config.freq_ghz,
         ))
+    }
+
+    /// Batch scorer over a flat partition layout: `members` is one
+    /// contiguous buffer of node ids and `offsets` delimits subgraph `i`
+    /// as `members[offsets[i]..offsets[i + 1]]` (execution order, members
+    /// ascending within each subgraph). Per-subgraph terms are written
+    /// column-wise into `out`, which is cleared first and whose capacity
+    /// is reused across calls — a warmed caller refills it without heap
+    /// allocation.
+    ///
+    /// The scoring pipeline is exactly
+    /// [`eval_partition`](Self::eval_partition)'s — a statistics pass,
+    /// then an [`eval_subgraph`](Self::eval_subgraph) pass chaining each
+    /// successor's weight prefetch — so
+    /// [`PartitionReport::from_columns`] over `out` is bit-identical to
+    /// the nested path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for structurally invalid inputs (no subgraphs,
+    /// empty subgraphs, duplicate nodes, unknown ids), like
+    /// [`eval_partition`](Self::eval_partition).
+    pub fn eval_subgraph_batch(
+        &self,
+        members: &[NodeId],
+        offsets: &[u32],
+        buffer: &BufferConfig,
+        options: EvalOptions,
+        out: &mut SubgraphColumns,
+    ) -> Result<(), SimError> {
+        out.clear();
+        let count = offsets.len().saturating_sub(1);
+        if count == 0 {
+            return Err(SimError::EmptySubgraph { index: 0 });
+        }
+        out.reserve(count);
+        for index in 0..count {
+            let sub = &members[offsets[index] as usize..offsets[index + 1] as usize];
+            if sub.is_empty() {
+                return Err(SimError::EmptySubgraph { index });
+            }
+            out.stats.push(self.subgraph_stats(sub)?);
+        }
+        for index in 0..count {
+            let next_wgt = out.stats.get(index + 1).map_or(0, |s| s.ema_wgt_bytes);
+            let part = self.eval_subgraph(&out.stats[index], next_wgt, buffer, options);
+            out.ema_bytes.push(part.ema_bytes);
+            out.energy_pj.push(part.energy_pj);
+            out.latency_cycles.push(part.latency_cycles);
+            out.bw_bytes_per_cycle.push(part.bw_bytes_per_cycle);
+            out.fits.push(part.fits);
+        }
+        Ok(())
     }
 }
 
@@ -827,5 +904,92 @@ mod tests {
             .unwrap();
         assert!(r.avg_bw_gbps > 0.0);
         assert!(r.peak_bw_gbps >= r.avg_bw_gbps * 0.99);
+    }
+
+    /// Flattens nested subgraphs into the (members, offsets) layout the
+    /// batch scorer consumes.
+    fn flatten(subgraphs: &[Vec<NodeId>]) -> (Vec<NodeId>, Vec<u32>) {
+        let mut members = Vec::new();
+        let mut offsets = vec![0u32];
+        for sub in subgraphs {
+            members.extend_from_slice(sub);
+            offsets.push(members.len() as u32);
+        }
+        (members, offsets)
+    }
+
+    #[test]
+    fn batch_scorer_is_bit_identical_to_eval_partition() {
+        for g in [
+            cocco_graph::models::googlenet(),
+            cocco_graph::models::resnet50(),
+        ] {
+            let eval = Evaluator::new(&g, AcceleratorConfig::default());
+            let buf = BufferConfig::shared(2 << 20);
+            for options in [EvalOptions::default(), EvalOptions::with_cores(2)] {
+                let parts = depth_pairs(&g);
+                let nested = eval.eval_partition(&parts, &buf, options).unwrap();
+                let (members, offsets) = flatten(&parts);
+                let mut columns = SubgraphColumns::new();
+                eval.eval_subgraph_batch(&members, &offsets, &buf, options, &mut columns)
+                    .unwrap();
+                let flat =
+                    PartitionReport::from_columns(&columns, buf, eval.config().freq_ghz);
+                assert_eq!(nested, flat, "SoA roll-up must be bit-identical");
+                // Warmed reuse: clearing keeps capacity, refilling keeps
+                // the result.
+                let before = columns.bytes();
+                eval.eval_subgraph_batch(&members, &offsets, &buf, options, &mut columns)
+                    .unwrap();
+                assert_eq!(columns.bytes(), before, "reuse must not grow columns");
+                assert_eq!(
+                    PartitionReport::from_columns(&columns, buf, eval.config().freq_ghz),
+                    flat
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scorer_rejects_empty_layouts() {
+        let g = cocco_graph::models::diamond();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let buf = BufferConfig::shared(1 << 20);
+        let mut columns = SubgraphColumns::new();
+        let err = eval
+            .eval_subgraph_batch(&[], &[0], &buf, EvalOptions::default(), &mut columns)
+            .unwrap_err();
+        assert!(matches!(err, SimError::EmptySubgraph { index: 0 }));
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        let err = eval
+            .eval_subgraph_batch(
+                &ids,
+                &[0, 2, 2, ids.len() as u32],
+                &buf,
+                EvalOptions::default(),
+                &mut columns,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::EmptySubgraph { index: 1 }));
+    }
+
+    #[test]
+    fn canonicalize_fallback_is_counted_and_avoided_when_sorted() {
+        let g = cocco_graph::models::diamond();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let members: Vec<NodeId> = g.node_ids().collect();
+        // Sorted misses never take the fallback.
+        eval.subgraph_stats(&members).unwrap();
+        assert_eq!(eval.stats_canonicalize_fallbacks(), 0);
+        // An out-of-order *miss* takes the counted slow path and derives
+        // the same statistics.
+        let sub: Vec<NodeId> = members[2..=4].to_vec();
+        let mut rev = sub.clone();
+        rev.reverse();
+        let a = eval.subgraph_stats(&rev).unwrap();
+        assert_eq!(eval.stats_canonicalize_fallbacks(), 1);
+        assert_eq!(a, eval.subgraph_stats(&sub).unwrap());
+        // The re-probe above was a hit: no second fallback.
+        assert_eq!(eval.stats_canonicalize_fallbacks(), 1);
     }
 }

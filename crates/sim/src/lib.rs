@@ -30,6 +30,7 @@
 //! assert!(report.ema_bytes > 0);
 //! ```
 
+mod columns;
 mod config;
 mod cost;
 mod energy;
@@ -37,6 +38,7 @@ mod error;
 mod evaluator;
 mod report;
 
+pub use columns::SubgraphColumns;
 pub use config::{AcceleratorConfig, BufferConfig, CapacityRange, EvalOptions};
 pub use cost::{CostMetric, SubgraphStats};
 pub use energy::EnergyModel;
