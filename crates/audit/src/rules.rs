@@ -18,6 +18,10 @@
 //!   tests; `.read()/.write()/.lock()` lock-poisoning unwraps are
 //!   recognized and allowed (a poisoned lock means a panic already
 //!   happened on another thread).
+//! - **R2** — no silently swallowed I/O results: `let _ = …;` and
+//!   statement-final `.ok();` on filesystem/save paths hide failures the
+//!   recovery machinery is supposed to surface; suppress with a reason
+//!   when the discard is genuinely deliberate.
 //!
 //! Findings are suppressed inline with
 //! `// cocco-audit: allow(<rule>) <reason>` (reason mandatory; the
@@ -77,6 +81,12 @@ pub const RULES: &[RuleInfo] = &[
         id: "R1",
         title: "no unwrap/expect in library code",
         detail: "user-reachable panics must become typed errors; lock-poisoning unwraps (.read()/.write()/.lock()) are allowed",
+        skip_tests: true,
+    },
+    RuleInfo {
+        id: "R2",
+        title: "no silently swallowed I/O results",
+        detail: "`let _ = …;` / statement-final `.ok();` on I/O paths hides failures the recovery machinery should surface; handle the Result or suppress with a reason",
         skip_tests: true,
     },
     RuleInfo {
@@ -183,6 +193,7 @@ pub fn analyze_file(rel_path: &str, source: &str, policy: &dyn PathPolicy) -> Fi
     scan_d3(&lexed.tokens, &mut raw);
     scan_d4(&lexed.tokens, &mut raw);
     scan_r1(&lexed.tokens, &mut raw);
+    scan_r2(&lexed.tokens, &mut raw);
     raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
 
     let mut report = FileReport::default();
@@ -800,6 +811,141 @@ fn scan_r1(tokens: &[Token], out: &mut Vec<RawFinding>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// R2 — silently swallowed I/O results
+// ---------------------------------------------------------------------
+
+/// Identifiers that mark a statement as an I/O path. Deliberately
+/// excludes bare `write` so `let _ = write!(buf, …)` fmt usage never
+/// false-positives; `std::fs::write` is still caught via `fs`.
+const IO_IDENTS: &[&str] = &[
+    "fs",
+    "File",
+    "OpenOptions",
+    "write_all",
+    "flush",
+    "sync_all",
+    "sync_data",
+    "rename",
+    "remove_file",
+    "remove_dir",
+    "remove_dir_all",
+    "create_dir",
+    "create_dir_all",
+    "read_to_string",
+    "read_dir",
+    "set_len",
+    "atomic_save",
+    "save",
+    "save_with",
+];
+
+fn span_mentions_io(tokens: &[Token]) -> bool {
+    tokens
+        .iter()
+        .any(|t| t.ident().is_some_and(|s| IO_IDENTS.contains(&s)))
+}
+
+fn scan_r2(tokens: &[Token], out: &mut Vec<RawFinding>) {
+    // Pattern A: `let _ = <expr containing an I/O call>;` — the binding
+    // discards the Result wholesale.
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("let") {
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|t| t.is_ident("_")) {
+            continue;
+        }
+        if !tokens.get(i + 2).is_some_and(|t| t.is_punct('=')) {
+            continue;
+        }
+        // The discarded expression runs to the first `;` at depth 0.
+        let mut depth = 0i64;
+        let mut end = None;
+        for (idx, t) in tokens.iter().enumerate().skip(i + 3).take(200) {
+            match t.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => depth -= 1,
+                TokenKind::Punct(';') if depth == 0 => {
+                    end = Some(idx);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else { continue };
+        if span_mentions_io(&tokens[i + 3..end]) {
+            out.push(RawFinding {
+                line: tokens[i].line,
+                rule: "R2",
+                message:
+                    "`let _ = …;` discards an I/O Result — handle it or suppress with a reason"
+                        .into(),
+            });
+        }
+    }
+
+    // Pattern B: statement-final `.ok();` on an I/O chain — converts the
+    // Result to an Option only to drop it.
+    for i in 0..tokens.len().saturating_sub(4) {
+        let run = tokens[i].is_punct('.')
+            && tokens[i + 1].is_ident("ok")
+            && tokens[i + 2].is_punct('(')
+            && tokens[i + 3].is_punct(')')
+            && tokens[i + 4].is_punct(';');
+        if !run {
+            continue;
+        }
+        // Walk back to the statement start: the previous `;`, an
+        // enclosing `{`/`(`/`[`, or a depth-0 `}` (the end of a
+        // preceding block statement). Walking backward, closers open
+        // nesting.
+        let mut depth = 0i64;
+        let mut start = 0usize;
+        for j in (0..i).rev() {
+            match tokens[j].kind {
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth += 1,
+                TokenKind::Punct('}') => {
+                    if depth == 0 {
+                        start = j + 1;
+                        break;
+                    }
+                    depth += 1;
+                }
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => {
+                    if depth == 0 {
+                        start = j + 1;
+                        break;
+                    }
+                    depth -= 1;
+                }
+                TokenKind::Punct(';') if depth == 0 => {
+                    start = j + 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let stmt = &tokens[start..i];
+        // `let opt = save().ok();` binds the Option, `return x.ok();`
+        // returns it — neither discards.
+        let consumes = stmt
+            .iter()
+            .any(|t| t.ident().is_some_and(|s| s == "let" || s == "return"));
+        if consumes {
+            continue;
+        }
+        if span_mentions_io(stmt) {
+            out.push(RawFinding {
+                line: tokens[i].line,
+                rule: "R2",
+                message: "statement-final `.ok();` discards an I/O Result — handle it or suppress with a reason"
+                    .into(),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -889,6 +1035,59 @@ mod tests {
             }
         "#;
         assert!(run(src).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn r2_flags_discarded_io_results() {
+        let src = r#"
+            fn f(path: &std::path::Path, text: &str) {
+                let _ = std::fs::write(path, text);
+                std::fs::remove_file(path).ok();
+                std::fs::create_dir_all(path).ok();
+            }
+        "#;
+        assert_eq!(rules_of(&run(src)), vec!["R2", "R2", "R2"]);
+    }
+
+    #[test]
+    fn r2_ignores_non_io_discards_and_consumed_options() {
+        let src = r#"
+            use std::fmt::Write as _;
+            fn f(path: &std::path::Path, v: Vec<u32>) -> Option<()> {
+                // Non-I/O discards are fine.
+                let _ = v.len();
+                // fmt write! returns a Result too, but it is not I/O.
+                let mut s = String::new();
+                let _ = write!(s, "{}", v.len());
+                // Binding or returning the Option consumes it.
+                let removed = std::fs::remove_file(path).ok();
+                let _x = removed;
+                return std::fs::remove_file(path).ok();
+            }
+        "#;
+        let report = run(src);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn r2_skips_tests_and_accepts_reasoned_suppressions() {
+        let src = r#"
+            fn lib(path: &std::path::Path) {
+                // cocco-audit: allow(R2) best-effort cleanup; error already reported
+                let _ = std::fs::remove_file(path);
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    let _ = std::fs::remove_file("x");
+                    std::fs::remove_dir_all("y").ok();
+                }
+            }
+        "#;
+        let report = run(src);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert_eq!(report.suppressed, 1);
     }
 
     #[test]

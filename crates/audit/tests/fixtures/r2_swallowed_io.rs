@@ -1,0 +1,36 @@
+// Fixture: R2 — silently swallowed I/O results.
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn flagged(path: &Path, text: &str) {
+    let _ = std::fs::write(path, text);
+    std::fs::remove_file(path).ok();
+    let _ = std::fs::File::create(path).and_then(|mut f| {
+        use std::io::Write;
+        f.write_all(text.as_bytes())
+    });
+}
+
+fn not_flagged(path: &Path, values: &[u32]) -> Option<()> {
+    // Non-I/O discards are fine.
+    let _ = values.len();
+    // fmt `write!` returns a Result, but it is not I/O.
+    let mut rendered = String::new();
+    let _ = write!(rendered, "{}", values.len());
+    // Binding or returning the Option consumes it rather than dropping it.
+    let removed = std::fs::remove_file(path).ok();
+    let _kept = removed;
+    // A reasoned suppression covers a deliberate discard.
+    // cocco-audit: allow(R2) best-effort cleanup; the original error is what gets reported
+    let _ = std::fs::remove_file(path);
+    std::fs::remove_file(path).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn swallowing_in_tests_is_allowed() {
+        let _ = std::fs::remove_file("scratch");
+        std::fs::remove_dir_all("scratch-dir").ok();
+    }
+}

@@ -33,7 +33,10 @@
 //!   {1, 2, 8} threads × {persistent, scoped} × {arena, reference}
 //!   determinism matrix, the ≥30% subgraph-scoring reduction, zero
 //!   hot-path allocations (per-probe keys and canonicalize fallbacks) on
-//!   the arena path, stepped-vs-monolithic parity (driver loop +
+//!   the arena path, the fault-injection matrix (seeded fault schedules ×
+//!   threads × pool lifecycles: bit-identical completion or a structured
+//!   error with salvage — never a hang, a stranded budget sample or a
+//!   leaked temp file), stepped-vs-monolithic parity (driver loop +
 //!   JSON-resume == `run()`), the interleaved two-step's strictly
 //!   higher cross-candidate subgraph hit rate, telemetry's
 //!   zero-perturbation guarantee (a live sink leaves the seeded GA
@@ -139,7 +142,13 @@ fn ga_run(
 /// against; `arena` selects which allocation arm every run uses (results
 /// are bit-identical either way). Returns the JSON summary document.
 fn engine_bench(smoke: bool, threads: u32, pool: PoolMode, arena: bool) -> serde_json::Value {
-    let arm = |config: EngineConfig| if arena { config } else { config.without_arena() };
+    let arm = |config: EngineConfig| {
+        if arena {
+            config
+        } else {
+            config.without_arena()
+        }
+    };
     let model = cocco::graph::models::resnet50();
     let (budget, population) = if smoke { (600, 50) } else { (3_000, 100) };
     let host_cpus = std::thread::available_parallelism()
@@ -158,8 +167,13 @@ fn engine_bench(smoke: bool, threads: u32, pool: PoolMode, arena: bool) -> serde
         arm(EngineConfig::serial().without_incremental()),
         None,
     );
-    let (serial_wall, serial_cost, serial_best, serial_stats) =
-        ga_run(&model, budget, population, arm(EngineConfig::serial()), None);
+    let (serial_wall, serial_cost, serial_best, serial_stats) = ga_run(
+        &model,
+        budget,
+        population,
+        arm(EngineConfig::serial()),
+        None,
+    );
     let (persistent_wall, persistent_cost, persistent_best, persistent_stats) = ga_run(
         &model,
         budget,
@@ -602,9 +616,7 @@ fn arena_bench(smoke: bool, threads: u32) -> serde_json::Value {
         fmt_time(arena_latency.p50() as f64 / 1e9),
         fmt_time(ref_latency.p50() as f64 / 1e9),
     );
-    println!(
-        "results              : bit-identical arena vs reference ✓ (0 hot-path allocations)"
-    );
+    println!("results              : bit-identical arena vs reference ✓ (0 hot-path allocations)");
     let latency_doc = |h: &cocco::telemetry::HistogramSnapshot| {
         serde_json::Value::Object(vec![
             ("count".to_string(), serde_json::to_value(&h.count)),
@@ -682,7 +694,10 @@ fn arena_matrix_check() {
                 );
                 match &reference {
                     Some((ref_cost, ref_best)) => {
-                        assert_eq!(*ref_cost, cost, "matrix determinism violated: cost ({cell})");
+                        assert_eq!(
+                            *ref_cost, cost,
+                            "matrix determinism violated: cost ({cell})"
+                        );
                         assert_eq!(
                             *ref_best, best,
                             "matrix determinism violated: genome ({cell})"
@@ -706,6 +721,224 @@ fn arena_matrix_check() {
     println!(
         "arena matrix         : bit-identical across {{1,2,8}} threads × \
          {{persistent,scoped}} × {{arena,reference}} ✓ (0 hot-path allocations)"
+    );
+}
+
+/// The fault-injection matrix: seeded fault schedules × {1, n} workers ×
+/// both pool lifecycles, driven through the facade with cache and
+/// checkpoint files. Transparent schedules (save-path faults, evaluator
+/// transients) must complete bit-identically to the fault-free baseline;
+/// the worker-panic schedule must degrade to a structured error carrying
+/// a salvaged best-so-far plus a resumable checkpoint; the
+/// budget-revocation schedule must complete degraded with a conserved
+/// trace. No cell may hang, abort the process, strand a budget sample,
+/// or leak a `*.tmp.*` file.
+fn fault_matrix_check(threads: u32) {
+    let dir = std::env::temp_dir().join(format!("cocco-fault-matrix-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("fault-matrix scratch dir");
+    let model = cocco::graph::models::googlenet();
+    let cells: Vec<(u32, PoolMode)> = [1, threads.max(2)]
+        .iter()
+        .flat_map(|&t| [(t, PoolMode::Persistent), (t, PoolMode::Scoped)])
+        .collect();
+    let explore = |t: u32, pool: PoolMode, faults: FaultPlan, tag: &str| {
+        Cocco::new()
+            .with_budget(300)
+            .with_seed(5)
+            .with_engine(EngineConfig::with_threads(t).with_pool(pool))
+            .with_cache_file(dir.join(format!("{tag}.cache.json")))
+            .with_checkpoint_file(dir.join(format!("{tag}.ckpt.json")))
+            .with_checkpoint_every(1)
+            .with_faults(faults)
+            .explore(&model)
+    };
+    let baseline = explore(1, PoolMode::Persistent, FaultPlan::disabled(), "baseline")
+        .expect("the fault-free baseline completes");
+
+    // Transparent schedules: injected save failures retry, torn writes
+    // get cleaned up, evaluator transients re-score. Fault draws happen
+    // in the serial funding-order section, so an identically seeded plan
+    // fires at the same points in every cell — and every cell must match
+    // the fault-free baseline bit for bit.
+    let io_rates = FaultRates::none()
+        .with(FaultSite::SaveWrite, 0.3)
+        .with(FaultSite::SaveTorn, 0.2);
+    let eval_rates = FaultRates::none().with(FaultSite::EvalError, 0.2);
+    for (schedule, rates) in [("io_faults", io_rates), ("eval_transients", eval_rates)] {
+        for &(t, pool) in &cells {
+            let cell = format!("{schedule}, {t} threads, {pool:?} pool");
+            let tag = format!("{schedule}-{t}-{pool:?}").to_lowercase();
+            let plan = FaultPlan::seeded(11, rates);
+            let result = explore(t, pool, plan.clone(), &tag)
+                .unwrap_or_else(|e| panic!("{cell}: transparent schedule failed: {e}"));
+            assert_eq!(
+                baseline.cost, result.cost,
+                "fault matrix: cost drifted ({cell})"
+            );
+            assert_eq!(
+                baseline.genome, result.genome,
+                "fault matrix: genome drifted ({cell})"
+            );
+            assert_eq!(
+                baseline.trace, result.trace,
+                "fault matrix: trace drifted ({cell})"
+            );
+            assert_eq!(
+                result.trace.len() as u64,
+                result.samples,
+                "fault matrix: stranded budget samples ({cell})"
+            );
+            if schedule == "eval_transients" {
+                assert!(
+                    plan.health().eval_rescores > 0,
+                    "fault matrix: the eval-transient schedule never fired ({cell})"
+                );
+            }
+        }
+    }
+
+    // Worker-panic schedule: a deterministic mid-run panic. Every cell
+    // must return the same structured error with the same salvaged
+    // best-so-far, keep its last periodic checkpoint, refund the
+    // quarantined batch, and resume to completion once disarmed.
+    let mut panic_reference: Option<(f64, u64)> = None;
+    for &(t, pool) in &cells {
+        let cell = format!("worker_panic, {t} threads, {pool:?} pool");
+        let tag = format!("worker_panic-{t}-{pool:?}").to_lowercase();
+        let ckpt = dir.join(format!("{tag}.ckpt.json"));
+        let plan = FaultPlan::seeded(2, FaultRates::none().with(FaultSite::WorkerPanic, 0.002));
+        // The injected panic is caught and quarantined by the engine, but
+        // the default hook would still spew a backtrace into the CI log;
+        // silence it for just this call, then restore so genuine
+        // assertion failures stay loud.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = Cocco::new()
+            .with_budget(2_000)
+            .with_seed(9)
+            .with_engine(EngineConfig::with_threads(t).with_pool(pool))
+            .with_checkpoint_file(&ckpt)
+            .with_checkpoint_every(1)
+            .with_faults(plan.clone())
+            .explore(&model);
+        std::panic::set_hook(hook);
+        let err = result.expect_err("an injected worker panic must surface as an error");
+        let Error::WorkerPanic { salvage, .. } = err else {
+            panic!("{cell}: expected WorkerPanic, got {err}");
+        };
+        let salvage = salvage.expect("generations before the fault leave a best-so-far");
+        match &panic_reference {
+            Some((cost, samples)) => {
+                assert_eq!(
+                    *cost, salvage.cost,
+                    "fault matrix: salvage cost drifted ({cell})"
+                );
+                assert_eq!(
+                    *samples, salvage.samples,
+                    "fault matrix: salvage samples drifted ({cell})"
+                );
+            }
+            None => panic_reference = Some((salvage.cost, salvage.samples)),
+        }
+        let health = plan.health();
+        assert_eq!(
+            health.quarantined_batches, 1,
+            "fault matrix: the panicked batch must be quarantined ({cell})"
+        );
+        assert!(
+            health.refunded_samples > 0,
+            "fault matrix: quarantined funding must be refunded ({cell})"
+        );
+        assert!(
+            ckpt.exists(),
+            "fault matrix: aborted run lost its checkpoint ({cell})"
+        );
+        let resumed = Cocco::new()
+            .with_budget(2_000)
+            .with_seed(9)
+            .with_engine(EngineConfig::with_threads(t).with_pool(pool))
+            .with_checkpoint_file(&ckpt)
+            .explore(&model)
+            .unwrap_or_else(|e| panic!("{cell}: disarmed resume failed: {e}"));
+        assert!(
+            resumed.cost <= salvage.cost,
+            "fault matrix: resume regressed past the salvage ({cell})"
+        );
+        assert_eq!(
+            resumed.trace.len() as u64,
+            resumed.samples,
+            "fault matrix: stranded budget samples after resume ({cell})"
+        );
+        assert!(
+            !ckpt.exists(),
+            "fault matrix: completed resume left its checkpoint behind ({cell})"
+        );
+    }
+
+    // Budget-revocation schedule: the run is cut short but completes
+    // normally, degraded, with a conserved trace — identically in every
+    // cell.
+    let small = cocco::graph::models::diamond();
+    let mut revoke_reference: Option<(f64, u64)> = None;
+    for &(t, pool) in &cells {
+        let cell = format!("budget_revoke, {t} threads, {pool:?} pool");
+        let plan = FaultPlan::seeded(4, FaultRates::none().with(FaultSite::BudgetRevoke, 0.05));
+        let result = Cocco::new()
+            .with_budget(5_000)
+            .with_seed(3)
+            .with_engine(EngineConfig::with_threads(t).with_pool(pool))
+            .with_faults(plan.clone())
+            .explore(&small)
+            .unwrap_or_else(|e| panic!("{cell}: revocation must degrade, not fail: {e}"));
+        assert!(
+            result.samples < 5_000,
+            "fault matrix: revoked budget must cut the run short ({cell})"
+        );
+        assert_eq!(
+            result.trace.len() as u64,
+            result.samples,
+            "fault matrix: stranded budget samples ({cell})"
+        );
+        assert!(
+            result.is_degraded(),
+            "fault matrix: revocation must degrade ({cell})"
+        );
+        assert_eq!(
+            result.health.budget_revocations, 1,
+            "fault matrix: the revocation must be accounted ({cell})"
+        );
+        match &revoke_reference {
+            Some((cost, samples)) => {
+                assert_eq!(
+                    *cost, result.cost,
+                    "fault matrix: revoked cost drifted ({cell})"
+                );
+                assert_eq!(
+                    *samples, result.samples,
+                    "fault matrix: revoked samples drifted ({cell})"
+                );
+            }
+            None => revoke_reference = Some((result.cost, result.samples)),
+        }
+    }
+
+    let stale: Vec<String> = std::fs::read_dir(&dir)
+        .expect("fault-matrix scratch dir is readable")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.contains(".tmp."))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "fault matrix leaked temp files: {stale:?}"
+    );
+    // cocco-audit: allow(R2) scratch cleanup; every assertion above already passed
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "fault matrix         : {{io,eval,panic,revoke}} schedules × {{1,{}}} threads × \
+         {{persistent,scoped}} ✓ (bit-identical or structured+salvaged, 0 stranded samples, \
+         0 temp leaks)",
+        threads.max(2)
     );
 }
 
@@ -1299,13 +1532,15 @@ fn main() {
     if smoke {
         // CI smoke: exercise the incremental delta path, both pool
         // lifecycles, the zero-key-allocation invariant, the determinism
-        // invariant, stepped-vs-monolithic parity (driver + JSON-resume)
-        // and the interleaved-vs-sequential two-step arm at the requested
-        // worker count; skip the slow timing loops.
+        // invariant, the fault-injection matrix, stepped-vs-monolithic
+        // parity (driver + JSON-resume) and the interleaved-vs-sequential
+        // two-step arm at the requested worker count; skip the slow
+        // timing loops.
         engine_bench(true, threads, pool, arena);
         arena_bench(true, threads);
         println!();
         arena_matrix_check();
+        fault_matrix_check(threads);
         stepped_parity_check(threads);
         twostep_bench(true, threads);
         telemetry_overhead_check();

@@ -11,6 +11,18 @@ use cocco::prelude::*;
 use std::process::ExitCode;
 use std::str::FromStr;
 
+/// The search itself failed: no feasible solution, the method gave up,
+/// an internal evaluation error, or a worker panic with nothing salvaged.
+const EXIT_SEARCH_FAILED: u8 = 1;
+/// Bad invocation: unknown flags/values or an unknown model.
+const EXIT_USAGE: u8 = 2;
+/// An existing cache or checkpoint file was unusable (I/O or parse).
+const EXIT_IO: u8 = 3;
+/// Degraded outcome: the run produced a usable result but carries scar
+/// tissue — a worker panic with salvaged best-so-far, a revoked budget,
+/// or a failed cache/checkpoint save.
+const EXIT_DEGRADED: u8 = 4;
+
 struct Args {
     model: Option<String>,
     budget: u64,
@@ -82,7 +94,17 @@ fn usage() -> String {
                               (enables telemetry)\n\
            --json             print the full exploration result as JSON\n\
            --dot              print the partitioned graph in Graphviz DOT\n\
-           --list             list available models and exit",
+           --list             list available models and exit\n\
+         \n\
+         exit codes:\n\
+           0  success\n\
+           1  search failed (no feasible solution, method gave up, or a\n\
+              worker panic with nothing to salvage)\n\
+           2  usage error (bad flags or unknown model)\n\
+           3  cache/checkpoint file unusable (I/O or parse failure)\n\
+           4  degraded: a usable result with recovery scars (worker panic\n\
+              with salvaged best-so-far, revoked budget, or a failed\n\
+              cache/checkpoint save)",
         models.join(" ")
     )
 }
@@ -340,11 +362,15 @@ fn main() -> ExitCode {
     let args = match parse(std::env::args()) {
         Ok(a) => a,
         Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}\n");
+            // An empty message is `--help`: the usage text is the
+            // requested output, not an error.
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
             }
+            eprintln!("error: {msg}\n");
             eprintln!("{}", usage());
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     if args.list {
@@ -355,11 +381,11 @@ fn main() -> ExitCode {
     }
     let Some(name) = args.model else {
         eprintln!("{}", usage());
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     };
     let Some(model) = cocco::graph::models::by_name(&name) else {
         eprintln!("error: {}", cocco::Error::UnknownModel { name });
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     };
     let method = args.method.with_seed(args.seed);
     // Telemetry is observation-only: enabling it never changes results.
@@ -391,8 +417,34 @@ fn main() -> ExitCode {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            let code = match &e {
+                cocco::Error::WorkerPanic {
+                    salvage: Some(salvage),
+                    ..
+                } => {
+                    eprintln!(
+                        "salvaged best-so-far: cost {:.4e} after {} samples \
+                         ({} subgraphs, {} KB buffer)",
+                        salvage.cost,
+                        salvage.samples,
+                        salvage.genome.partition.num_subgraphs(),
+                        salvage.genome.buffer.total_bytes() >> 10,
+                    );
+                    EXIT_DEGRADED
+                }
+                cocco::Error::CacheFile { .. } | cocco::Error::Checkpoint { .. } => EXIT_IO,
+                _ => EXIT_SEARCH_FAILED,
+            };
+            return ExitCode::from(code);
         }
+    };
+    // A run that completed with recovery scars (failed saves, revoked
+    // budget, quarantine) still prints its result, but exits 4 so
+    // harnesses can tell "clean" from "degraded but usable".
+    let exit = if result.is_degraded() {
+        ExitCode::from(EXIT_DEGRADED)
+    } else {
+        ExitCode::SUCCESS
     };
     // Telemetry side outputs are best effort: a failed write warns, it
     // never discards a completed exploration.
@@ -431,10 +483,10 @@ fn main() -> ExitCode {
             Ok(text) => println!("{text}"),
             Err(e) => {
                 eprintln!("error: {}", cocco::Error::Serde(e));
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_SEARCH_FAILED);
             }
         }
-        return ExitCode::SUCCESS;
+        return exit;
     }
     println!("model: {model}");
     println!("method             : {}", method.name());
@@ -488,6 +540,18 @@ fn main() -> ExitCode {
     if let Some(save_error) = &result.checkpoint_save_error {
         eprintln!("warning            : could not save checkpoint ({save_error})");
     }
+    if result.health.faults_seen() > 0 || result.health.recoveries() > 0 {
+        println!(
+            "fault recovery     : {} faults seen, {} recoveries ({} rescores, \
+             {} refunded samples, {} save retries, {} salvaged entries)",
+            result.health.faults_seen(),
+            result.health.recoveries(),
+            result.health.eval_rescores,
+            result.health.refunded_samples,
+            result.health.save_retries,
+            result.health.salvaged_entries,
+        );
+    }
     if result.infeasible_errors > 0 {
         println!(
             "warning            : {} evaluator errors were folded into infeasibility",
@@ -507,5 +571,5 @@ fn main() -> ExitCode {
             model.to_dot(|id| Some(partition.subgraph_of(id) as usize))
         );
     }
-    ExitCode::SUCCESS
+    exit
 }

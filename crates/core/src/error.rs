@@ -26,9 +26,24 @@
 use cocco_graph::GraphError;
 use cocco_mem::MemError;
 use cocco_partition::PartitionError;
+use cocco_search::Genome;
 use cocco_sim::SimError;
 use cocco_tiling::TilingError;
 use std::fmt;
+
+/// The best feasible result a search had already found when a worker
+/// panic forced it to stop — carried on [`Error::WorkerPanic`] so a
+/// degraded run still hands its progress to the caller.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SalvagedBest {
+    /// The best genome found before the fault.
+    pub genome: Genome,
+    /// Its objective cost.
+    pub cost: f64,
+    /// Samples consumed by the interrupted run (quarantined samples were
+    /// refunded and are not counted).
+    pub samples: u64,
+}
 
 /// Any failure of the Cocco framework, from graph construction to
 /// exploration to request/result (de)serialization.
@@ -91,6 +106,18 @@ pub enum Error {
         /// Why the checkpoint cannot resume this exploration.
         reason: String,
     },
+    /// An evaluation worker panicked mid-dispatch. The batch was
+    /// quarantined — its funded samples refunded, no trace points
+    /// recorded — and the engine, budget and cache stay reusable. When
+    /// the run had already found a feasible genome, the best-so-far is
+    /// salvaged here; a checkpointed run also keeps its last snapshot on
+    /// disk so the search can resume.
+    WorkerPanic {
+        /// The panic payload's message.
+        message: String,
+        /// Best-so-far at the time of the fault, if any was found.
+        salvage: Option<Box<SalvagedBest>>,
+    },
 }
 
 impl fmt::Display for Error {
@@ -128,6 +155,16 @@ impl fmt::Display for Error {
             Error::Checkpoint { path, reason } => {
                 write!(f, "checkpoint file `{path}` unusable: {reason}")
             }
+            Error::WorkerPanic { message, salvage } => {
+                write!(
+                    f,
+                    "evaluation worker panicked ({message}); batch quarantined"
+                )?;
+                if salvage.is_some() {
+                    write!(f, ", best-so-far salvaged")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -146,7 +183,8 @@ impl std::error::Error for Error {
             | Error::UnknownModel { .. }
             | Error::IncompatibleObjective { .. }
             | Error::CacheFile { .. }
-            | Error::Checkpoint { .. } => None,
+            | Error::Checkpoint { .. }
+            | Error::WorkerPanic { .. } => None,
         }
     }
 }

@@ -1,7 +1,8 @@
 //! The end-to-end framework driver (paper Figure 10).
 
-use crate::error::Error;
+use crate::error::{Error, SalvagedBest};
 use cocco_engine::{CacheSnapshot, EngineConfig, EngineStats};
+use cocco_faults::{FaultPlan, FaultSite, HealthReport};
 use cocco_graph::Graph;
 use cocco_search::{
     drive_step, BufferSpace, GaConfig, Objective, SearchContext, SearchMethod, SearchOutcome,
@@ -55,6 +56,24 @@ pub struct Exploration {
     /// reported here. (An unusable *existing* checkpoint still fails
     /// [`Cocco::explore`] up front with [`Error::Checkpoint`].)
     pub checkpoint_save_error: Option<String>,
+    /// Fault and recovery accounting for the run: injected faults (all
+    /// zero unless a [`Cocco::with_faults`] plan was armed) next to the
+    /// recovery work the pipeline actually performed — eval re-scores,
+    /// quarantines, refunds, save retries, snapshot salvage.
+    pub health: HealthReport,
+}
+
+impl Exploration {
+    /// `true` when the run completed but carries visible scar tissue: a
+    /// revoked budget, a quarantined batch, an exhausted save retry, or a
+    /// failed cache/checkpoint save. Transparent recoveries (successful
+    /// save retries, eval re-scores, snapshot salvage) do not count —
+    /// they changed nothing the caller can observe besides counters.
+    pub fn is_degraded(&self) -> bool {
+        self.health.is_degraded()
+            || self.cache_save_error.is_some()
+            || self.checkpoint_save_error.is_some()
+    }
 }
 
 /// High-level driver: model + hardware description + memory design space +
@@ -100,6 +119,7 @@ pub struct Cocco {
     checkpoint_file: Option<std::path::PathBuf>,
     checkpoint_every: u64,
     telemetry: Telemetry,
+    faults: FaultPlan,
 }
 
 impl Cocco {
@@ -121,6 +141,7 @@ impl Cocco {
             checkpoint_file: None,
             checkpoint_every: 16,
             telemetry: Telemetry::disabled(),
+            faults: FaultPlan::disabled(),
         }
     }
 
@@ -175,6 +196,18 @@ impl Cocco {
     /// any thread count.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Arms a seeded fault-injection plan: evaluation, checkpoint and
+    /// cache-snapshot seams then draw from the plan's RNG and exercise
+    /// the recovery paths ([`Error::WorkerPanic`] quarantine, bounded
+    /// save retries, snapshot salvage, budget revocation). The default
+    /// disabled plan never draws and perturbs nothing; keep a clone of
+    /// the handle to read [`FaultPlan::health`] after the run — the same
+    /// report lands on [`Exploration::health`].
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -280,7 +313,8 @@ impl Cocco {
         let evaluator = Evaluator::new(model, self.accel.clone()).with_telemetry(&self.telemetry);
         let ctx = SearchContext::new(model, &evaluator, self.space, self.objective, self.budget)
             .with_options(self.options)
-            .with_engine_telemetry(self.engine, &self.telemetry);
+            .with_engine_telemetry(self.engine, &self.telemetry)
+            .with_faults(self.faults.clone());
         drop(setup_phase);
         // Warm-start from the cache file: restore this evaluator's entries,
         // carry everyone else's through to the save below.
@@ -288,10 +322,11 @@ impl Cocco {
         if let Some(path) = &self.cache_file {
             if path.exists() {
                 let _cache_phase = self.telemetry.phase(Phase::Cache);
-                let snapshot = CacheSnapshot::load(path).map_err(|e| Error::CacheFile {
-                    path: path.display().to_string(),
-                    reason: e.to_string(),
-                })?;
+                let snapshot =
+                    CacheSnapshot::load_with(path, &self.faults).map_err(|e| Error::CacheFile {
+                        path: path.display().to_string(),
+                        reason: e.to_string(),
+                    })?;
                 let (mine, rest) = snapshot.split_fingerprint(evaluator.fingerprint());
                 ctx.engine().cache().restore(&mine);
                 foreign = rest;
@@ -331,6 +366,49 @@ impl Cocco {
             self.telemetry
                 .add_phase_time(Phase::Eval, metrics.gauge("engine.batch.wall_ns"));
         }
+        // Publish fault/recovery accounting as `engine.faults.*` counters.
+        // Raise-to-absolute, like the engine counters above, so repeated
+        // explorations against one telemetry sink and one plan handle
+        // never double-count.
+        if let (Some(registry), true) = (self.telemetry.registry(), self.faults.is_enabled()) {
+            let log = self.faults.log();
+            let publish = |name: String, value: u64| {
+                let handle = registry.counter(&name);
+                let current = handle.get();
+                if value > current {
+                    handle.add(value - current);
+                }
+            };
+            for site in FaultSite::ALL {
+                publish(
+                    format!("engine.faults.injected.{}", site.name()),
+                    self.faults.injected(site),
+                );
+            }
+            publish("engine.faults.eval_rescores".into(), log.eval_rescores());
+            publish(
+                "engine.faults.quarantined_batches".into(),
+                log.quarantined_batches(),
+            );
+            publish(
+                "engine.faults.refunded_samples".into(),
+                log.refunded_samples(),
+            );
+            publish(
+                "engine.faults.budget_revocations".into(),
+                log.budget_revocations(),
+            );
+            publish("engine.faults.save_retries".into(), log.save_retries());
+            publish("engine.faults.save_failures".into(), log.save_failures());
+            publish(
+                "engine.faults.salvaged_entries".into(),
+                log.salvaged_entries(),
+            );
+            publish(
+                "engine.faults.dropped_entries".into(),
+                log.dropped_entries(),
+            );
+        }
         // Persistence is an optimization: a failed save must not discard a
         // completed exploration, so it is reported on the result instead.
         let mut cache_save_error = None;
@@ -342,12 +420,27 @@ impl Cocco {
             // in whatever landed on disk since our load so the last rename
             // doesn't drop another run's entries (best effort — merging of
             // identical keys is value-identical, so order cannot corrupt).
-            if let Ok(on_disk) = CacheSnapshot::load(path) {
+            if let Ok(on_disk) = CacheSnapshot::load_with(path, &self.faults) {
                 snapshot.merge(on_disk);
             }
-            if let Err(e) = snapshot.save(path) {
+            if let Err(e) = snapshot.save_with(path, &self.faults) {
                 cache_save_error = Some(format!("{}: {e}", path.display()));
             }
+        }
+        // A worker panic quarantined a batch and latched the abort. The
+        // cache file above was still written (warm-start survives), the
+        // engine/budget/trace are consistent (quarantined samples were
+        // refunded), and whatever the run had already found is salvaged
+        // onto the structured error.
+        if let Some(message) = ctx.fault_abort() {
+            let salvage = outcome.best.map(|genome| {
+                Box::new(SalvagedBest {
+                    genome,
+                    cost: outcome.best_cost,
+                    samples: outcome.samples,
+                })
+            });
+            return Err(Error::WorkerPanic { message, salvage });
         }
         let genome = outcome.best.ok_or(if outcome.completed {
             Error::NoFeasibleSolution
@@ -374,6 +467,7 @@ impl Cocco {
             trace: ctx.trace().clone(),
             cache_save_error,
             checkpoint_save_error,
+            health: self.faults.health(),
         })
     }
 
@@ -449,37 +543,39 @@ impl Cocco {
             {
                 let serialize_phase = self.telemetry.phase(Phase::Serialize);
                 let snapshot = SearchSnapshot::capture(method, &*driver, ctx);
-                if let Err(e) = save_checkpoint(&snapshot, path) {
+                if let Err(e) = save_checkpoint(&snapshot, path, &self.faults) {
                     *save_error = Some(format!("{}: {e}", path.display()));
                 }
                 drop(serialize_phase);
                 last_save = Stopwatch::start();
             }
         }
+        if ctx.fault_abort().is_some() {
+            // A worker panic stopped the run mid-step. The last periodic
+            // snapshot — captured between steps, the only place a
+            // snapshot is valid — stays on disk so the interrupted
+            // search can resume; the caller gets the structured
+            // `Error::WorkerPanic` from `explore`.
+            return Ok(driver.outcome());
+        }
         // Completed: the checkpoint has served its purpose.
+        // cocco-audit: allow(R2) checkpoint cleanup is best-effort; a leftover file only re-resumes an already-finished run
         std::fs::remove_file(path).ok();
         Ok(driver.outcome())
     }
 }
 
-/// Writes a checkpoint atomically (unique temp file + rename), so an
-/// interrupted save never leaves a torn snapshot behind.
-fn save_checkpoint(snapshot: &SearchSnapshot, path: &std::path::Path) -> std::io::Result<()> {
-    use std::sync::atomic::{AtomicU64, Ordering};
-    static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+/// Writes a checkpoint atomically with bounded retry (unique temp file +
+/// rename via [`cocco_faults::atomic_save`]), so an interrupted save
+/// never leaves a torn snapshot — or a stale temp file — behind.
+fn save_checkpoint(
+    snapshot: &SearchSnapshot,
+    path: &std::path::Path,
+    faults: &FaultPlan,
+) -> std::io::Result<()> {
     let text = serde_json::to_string(snapshot)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(format!(
-        ".tmp.{}.{}",
-        std::process::id(),
-        SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
-    ));
-    let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, text)?;
-    std::fs::rename(&tmp, path).inspect_err(|_| {
-        std::fs::remove_file(&tmp).ok();
-    })
+    cocco_faults::atomic_save(path, &text, faults)
 }
 
 impl Default for Cocco {

@@ -18,6 +18,7 @@
 //! | [`sim`] | `cocco-sim` | SIMBA-like NPU cost model (§5.1) |
 //! | [`partition`] | `cocco-partition` | partitions, validity, repair (§4.1) |
 //! | [`engine`] | `cocco-engine` | parallel, memoized evaluation engine |
+//! | [`faults`] | `cocco-faults` | seeded fault injection + recovery accounting |
 //! | [`search`] | `cocco-search` | method registry: GA + all baselines (§4.2-4.4) |
 //! | [`telemetry`] | `cocco-telemetry` | spans, metrics, per-phase profiling (observation-only) |
 //!
@@ -54,6 +55,7 @@
 //! ```
 
 pub use cocco_engine as engine;
+pub use cocco_faults as faults;
 pub use cocco_graph as graph;
 pub use cocco_mem as mem;
 pub use cocco_partition as partition;
@@ -66,5 +68,5 @@ mod error;
 mod framework;
 pub mod prelude;
 
-pub use error::{CoccoError, Error};
+pub use error::{CoccoError, Error, SalvagedBest};
 pub use framework::{Cocco, Exploration};

@@ -10,12 +10,13 @@
 //! assert_eq!(evaluator.config().peak_macs_per_cycle(), 1024);
 //! ```
 
-pub use crate::error::{CoccoError, Error};
+pub use crate::error::{CoccoError, Error, SalvagedBest};
 pub use crate::framework::{Cocco, Exploration};
 pub use cocco_engine::{
     CacheSnapshot, Engine, EngineConfig, EngineStats, EvalMemo, PoolMode, SampleBudget,
     SampleReservation, ScoredEval, SubgraphScore, ThreadCount,
 };
+pub use cocco_faults::{FaultPlan, FaultRates, FaultSchedule, FaultSite, HealthReport};
 pub use cocco_graph::{
     Dims2, Graph, GraphBuilder, Kernel, LayerOp, NodeId, NodeSetFp, TensorShape,
 };

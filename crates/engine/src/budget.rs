@@ -1,6 +1,6 @@
 //! Shared sample-budget accounting.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A thread-safe evaluation budget shared by (sub-)searches, so "samples"
@@ -46,6 +46,9 @@ pub struct SampleBudget {
     /// refunds.
     issued: AtomicU64,
     limit: u64,
+    /// Set by [`SampleBudget::revoke`]: the budget stops granting samples
+    /// while `spent`/`used` keep reflecting real consumption.
+    revoked: AtomicBool,
     parent: Option<Arc<SampleBudget>>,
 }
 
@@ -56,6 +59,7 @@ impl SampleBudget {
             spent: AtomicU64::new(0),
             issued: AtomicU64::new(0),
             limit,
+            revoked: AtomicBool::new(false),
             parent: None,
         }
     }
@@ -68,6 +72,7 @@ impl SampleBudget {
             spent: AtomicU64::new(0),
             issued: AtomicU64::new(0),
             limit: cap,
+            revoked: AtomicBool::new(false),
             parent: Some(parent),
         }
     }
@@ -83,10 +88,32 @@ impl SampleBudget {
         self.spent.load(Ordering::Relaxed).min(self.limit)
     }
 
+    /// Withdraws the budget's remaining capacity, as when a tenant's quota
+    /// is revoked mid-run: every subsequent grant is denied while `used`
+    /// keeps reflecting real consumption (so trace-length conservation
+    /// holds). Returns the capacity denied, or 0 if already revoked.
+    /// Idempotent; refunds of already-granted samples still land.
+    pub fn revoke(&self) -> u64 {
+        if self.revoked.swap(true, Ordering::Relaxed) {
+            0
+        } else {
+            self.limit - self.used()
+        }
+    }
+
+    /// True once [`SampleBudget::revoke`] has been called on this budget
+    /// (ancestor revocations surface through denied grants instead).
+    pub fn is_revoked(&self) -> bool {
+        self.revoked.load(Ordering::Relaxed)
+    }
+
     /// Charges one local sample against the limit, exactly (CAS loop: a
     /// concurrent failure never overshoots and a refund is never
-    /// double-spent).
+    /// double-spent). Revoked budgets deny every charge.
     fn charge(&self) -> bool {
+        if self.revoked.load(Ordering::Relaxed) {
+            return false;
+        }
         let mut spent = self.spent.load(Ordering::Relaxed);
         loop {
             if spent >= self.limit {
@@ -174,15 +201,21 @@ impl SampleBudget {
         }
     }
 
-    /// `true` once the limit — or any ancestor pool — has been reached.
+    /// `true` once the limit — or any ancestor pool — has been reached,
+    /// or the budget has been revoked.
     pub fn is_exhausted(&self) -> bool {
-        self.spent.load(Ordering::Relaxed) >= self.limit
+        self.revoked.load(Ordering::Relaxed)
+            || self.spent.load(Ordering::Relaxed) >= self.limit
             || self.parent.as_ref().is_some_and(|p| p.is_exhausted())
     }
 
-    /// Remaining evaluations.
+    /// Remaining evaluations (0 once revoked).
     pub fn remaining(&self) -> u64 {
-        self.limit - self.used()
+        if self.revoked.load(Ordering::Relaxed) {
+            0
+        } else {
+            self.limit - self.used()
+        }
     }
 }
 
@@ -221,6 +254,15 @@ impl SampleReservation {
     /// `true` when the reservation secured no samples at all.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()
+    }
+
+    /// Refunds `n` samples that were *taken* from this reservation but
+    /// whose evaluations were discarded (a quarantined batch). Goes to the
+    /// reservation's budget and every ancestor — the Drop refund only
+    /// covers un-taken samples, so discarded work must be returned
+    /// explicitly to keep the zero-stranded-samples invariant.
+    pub fn refund(&self, n: u64) {
+        self.budget.refund(n);
     }
 }
 
@@ -450,6 +492,51 @@ mod tests {
             rest += 1;
         }
         assert_eq!(taken + rest, 100, "budget not conserved");
+    }
+
+    #[test]
+    fn revoke_denies_grants_but_keeps_consumption_visible() {
+        let b = SampleBudget::new(10);
+        assert_eq!(b.try_consume(), Some(0));
+        assert_eq!(b.try_consume(), Some(1));
+        assert_eq!(b.revoke(), 8, "remaining capacity is denied");
+        assert_eq!(b.revoke(), 0, "idempotent");
+        assert!(b.is_revoked());
+        assert!(b.is_exhausted());
+        assert_eq!(b.remaining(), 0);
+        assert_eq!(b.try_consume(), None);
+        assert_eq!(b.used(), 2, "real consumption stays visible");
+        // Refunds of already-granted samples still land.
+        b.refund(1);
+        assert_eq!(b.used(), 1);
+        assert_eq!(b.try_consume(), None, "still revoked after refund");
+    }
+
+    #[test]
+    fn revoked_parent_denies_slices() {
+        let parent = std::sync::Arc::new(SampleBudget::new(10));
+        let slice = SampleBudget::slice(parent.clone(), 5);
+        assert_eq!(slice.try_consume(), Some(0));
+        parent.revoke();
+        assert_eq!(slice.try_consume(), None, "parent revocation binds");
+        assert!(slice.is_exhausted(), "exhaustion surfaces via the chain");
+        assert!(!slice.is_revoked(), "the slice itself was not revoked");
+        assert_eq!(slice.used(), 1);
+    }
+
+    #[test]
+    fn reservation_refund_returns_taken_samples_to_the_chain() {
+        let parent = std::sync::Arc::new(SampleBudget::new(10));
+        let slice = std::sync::Arc::new(SampleBudget::slice(parent.clone(), 6));
+        let mut reservation = slice.reserve(4);
+        assert_eq!(reservation.take(), Some(0));
+        assert_eq!(reservation.take(), Some(1));
+        // The two taken evaluations are discarded (quarantined batch):
+        // refund them explicitly, then let Drop refund the other two.
+        reservation.refund(2);
+        drop(reservation);
+        assert_eq!(slice.used(), 0, "slice kept quarantined samples");
+        assert_eq!(parent.used(), 0, "pool kept quarantined samples");
     }
 
     #[test]

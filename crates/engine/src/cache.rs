@@ -46,6 +46,7 @@
 //! re-keying.
 
 use crate::engine::{EvalMemo, ScoredEval, SubgraphScore};
+use cocco_faults::{atomic_save, FaultPlan};
 use cocco_graph::{mix64, BuildFpHasher, NodeId, NodeSetFp};
 use cocco_sim::{BufferConfig, EvalOptions};
 use cocco_telemetry::Telemetry;
@@ -53,7 +54,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Number of independent shards; keys spread by their precomputed hash, so
 /// concurrent workers rarely contend on the same lock.
@@ -249,17 +250,31 @@ impl<V> Level<V> {
     }
 
     fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().unwrap().map.len())
-            .sum()
+        self.shards.iter().map(|s| read_shard(s).map.len()).sum()
     }
+}
+
+/// Takes a shard's read lock, tolerating poisoning: every value in the map
+/// was inserted whole under the write lock, so a panic elsewhere (a worker
+/// job dying mid-batch) never leaves a torn entry behind — the data is
+/// valid and the engine must stay usable after the panic is caught.
+fn read_shard<V>(shard: &RwLock<ShardMap<V>>) -> RwLockReadGuard<'_, ShardMap<V>> {
+    shard
+        .read()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Takes a shard's write lock, tolerating poisoning (see [`read_shard`]).
+fn write_shard<V>(shard: &RwLock<ShardMap<V>>) -> RwLockWriteGuard<'_, ShardMap<V>> {
+    shard
+        .write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 impl<V: Clone> Level<V> {
     fn get(&self, key: &EvalKey) -> Option<V> {
         let found = {
-            let shard = self.shards[key.shard()].read().unwrap();
+            let shard = read_shard(&self.shards[key.shard()]);
             shard.map.get(key).map(|slot| {
                 // Touch: mark the entry live in the current generation so
                 // the next sweep keeps it.
@@ -275,7 +290,7 @@ impl<V: Clone> Level<V> {
     }
 
     fn insert(&self, key: EvalKey, value: V) {
-        let mut shard = self.shards[key.shard()].write().unwrap();
+        let mut shard = write_shard(&self.shards[key.shard()]);
         let gen = shard.gen;
         shard.map.insert(
             key,
@@ -329,7 +344,7 @@ impl<V: Clone> Level<V> {
         let mut out: Vec<(EvalKey, T)> = Vec::with_capacity(self.len());
         for shard in &self.shards {
             // cocco-audit: allow(D1) the collected entries are sorted by key below, so map order never escapes
-            for (k, slot) in shard.read().unwrap().map.iter() {
+            for (k, slot) in read_shard(shard).map.iter() {
                 out.push((*k, project(&slot.value)));
             }
         }
@@ -489,32 +504,26 @@ impl CacheSnapshot {
     }
 
     /// Writes the snapshot to `path` as JSON, atomically: the document is
-    /// written to a sibling temp file and renamed into place, so a reader
-    /// (or a concurrent saver sharing one sweep-wide cache file) never
-    /// observes a half-written snapshot.
+    /// written to a unique sibling temp file and renamed into place (so a
+    /// reader — or a concurrent saver sharing one sweep-wide cache file —
+    /// never observes a half-written snapshot), with bounded attempt-count
+    /// retry and guaranteed temp-file cleanup on every error path (see
+    /// [`cocco_faults::atomic_save`]).
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Propagates filesystem errors after the final attempt.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        // Unique per save, not just per process: concurrent saves from one
-        // process (a sweep harness exploring on several threads) must not
-        // share a temp file, or interleaved writes could publish a torn
-        // snapshot.
-        static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+        self.save_with(path, &FaultPlan::disabled())
+    }
+
+    /// Like [`save`](Self::save), with a [`FaultPlan`] that can inject
+    /// write errors / torn writes and that records save retries and
+    /// failures on its log.
+    pub fn save_with(&self, path: &Path, faults: &FaultPlan) -> std::io::Result<()> {
         let text = serde_json::to_string(self)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(format!(
-            ".tmp.{}.{}",
-            std::process::id(),
-            SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        let tmp = std::path::PathBuf::from(tmp);
-        std::fs::write(&tmp, text)?;
-        std::fs::rename(&tmp, path).inspect_err(|_| {
-            std::fs::remove_file(&tmp).ok();
-        })
+        atomic_save(path, &text, faults)
     }
 
     /// Reads a snapshot from `path`. A version-1 snapshot is upgraded in
@@ -526,6 +535,17 @@ impl CacheSnapshot {
     /// Returns filesystem errors as-is and malformed JSON as
     /// [`std::io::ErrorKind::InvalidData`].
     pub fn load(path: &Path) -> std::io::Result<CacheSnapshot> {
+        Self::load_with(path, &FaultPlan::disabled())
+    }
+
+    /// Like [`load`](Self::load), but a corrupt document — truncated by a
+    /// torn write, or with a garbage region — is **salvaged** instead of
+    /// rejected: every entry of either level that still parses (current
+    /// *or* v1 key shape) is recovered, and only a document yielding zero
+    /// entries is reported as `InvalidData`. Salvaged and dropped entry
+    /// counts land on the [`FaultPlan`]'s log — including for disabled
+    /// plans, so real corruption is always visible in health reports.
+    pub fn load_with(path: &Path, faults: &FaultPlan) -> std::io::Result<CacheSnapshot> {
         let text = std::fs::read_to_string(path)?;
         let current = serde_json::from_str::<CacheSnapshot>(&text);
         if let Ok(snap) = current {
@@ -537,10 +557,20 @@ impl CacheSnapshot {
                 ..Default::default()
             });
         }
-        // Not the current shape: either a v1 document (upgrade it) or
-        // garbage (report it).
-        let v1: SnapshotV1 = serde_json::from_str(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        // Not the current shape: a v1 document (upgrade it), or a corrupt
+        // one (salvage what parses), or hopeless garbage (report it).
+        let v1: SnapshotV1 = match serde_json::from_str(&text) {
+            Ok(v1) => v1,
+            Err(e) => {
+                return match salvage(&text, faults) {
+                    Some(snap) => Ok(snap),
+                    None => Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        e.to_string(),
+                    )),
+                };
+            }
+        };
         if v1.version != 1 {
             return Ok(CacheSnapshot {
                 version: SNAPSHOT_VERSION,
@@ -565,6 +595,122 @@ impl CacheSnapshot {
         out.subgraph.sort_by_key(|entry| entry.0);
         Ok(out)
     }
+}
+
+/// Best-effort recovery of a corrupt snapshot document: extracts the
+/// top-level elements of the `"partition"` and `"subgraph"` arrays
+/// textually (string- and nesting-aware, tolerant of truncation) and keeps
+/// every element that parses under the current key shape or upgrades from
+/// the v1 shape. Returns `None` when nothing is recoverable. Entries are
+/// worth salvaging because cached values are *exact*: a warm start from a
+/// salvaged subset is bit-identical to one from the full file — the subset
+/// only changes which lookups hit.
+fn salvage(text: &str, faults: &FaultPlan) -> Option<CacheSnapshot> {
+    let mut out = CacheSnapshot {
+        version: SNAPSHOT_VERSION,
+        ..Default::default()
+    };
+    let mut dropped = 0u64;
+    for element in extract_array_elements(text, "partition") {
+        if let Ok(entry) = serde_json::from_str::<(EvalKey, ScoredEval)>(element) {
+            out.partition.push(entry);
+        } else if let Ok((words, value)) = serde_json::from_str::<(Vec<u64>, ScoredEval)>(element) {
+            match v1_partition_key(&words) {
+                Some(key) => out.partition.push((key, value)),
+                None => dropped += 1,
+            }
+        } else {
+            dropped += 1;
+        }
+    }
+    for element in extract_array_elements(text, "subgraph") {
+        if let Ok(entry) = serde_json::from_str::<(EvalKey, SubgraphScore)>(element) {
+            out.subgraph.push(entry);
+        } else if let Ok((words, value)) =
+            serde_json::from_str::<(Vec<u64>, SubgraphScore)>(element)
+        {
+            match v1_subgraph_key(&words) {
+                Some(key) => out.subgraph.push((key, value)),
+                None => dropped += 1,
+            }
+        } else {
+            dropped += 1;
+        }
+    }
+    if out.is_empty() {
+        return None;
+    }
+    out.partition.sort_by_key(|entry| entry.0);
+    out.subgraph.sort_by_key(|entry| entry.0);
+    out.partition.dedup_by(|a, b| a.0 == b.0);
+    out.subgraph.dedup_by(|a, b| a.0 == b.0);
+    faults.log().note_salvaged_entries(out.len() as u64);
+    faults.log().note_dropped_entries(dropped);
+    Some(out)
+}
+
+/// Returns the top-level element substrings of the JSON array stored under
+/// `"field"` in `text`, without requiring the document to be well-formed:
+/// elements are split on depth-0 commas with full string/escape awareness,
+/// extraction stops at the array's closing bracket (or any depth-0
+/// close — corruption may unbalance the document), and a trailing partial
+/// element from a torn write is dropped rather than returned.
+fn extract_array_elements<'a>(text: &'a str, field: &str) -> Vec<&'a str> {
+    let marker = format!("\"{field}\"");
+    let Some(pos) = text.find(&marker) else {
+        return Vec::new();
+    };
+    let after = &text[pos + marker.len()..];
+    let Some(stripped) = after.trim_start().strip_prefix(':') else {
+        return Vec::new();
+    };
+    let Some(body) = stripped.trim_start().strip_prefix('[') else {
+        return Vec::new();
+    };
+    let mut elements = Vec::new();
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut start = 0usize;
+    let push = |elements: &mut Vec<&'a str>, start: usize, end: usize| {
+        let element = body[start..end].trim();
+        if !element.is_empty() {
+            elements.push(element);
+        }
+    };
+    for (i, c) in body.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '[' | '{' => depth += 1,
+            ']' | '}' => {
+                if depth == 0 {
+                    // The array's own close (or an unbalanced one from a
+                    // corrupt region): the last complete element ends here.
+                    push(&mut elements, start, i);
+                    return elements;
+                }
+                depth -= 1;
+            }
+            ',' if depth == 0 => {
+                push(&mut elements, start, i);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    // Truncated document: whatever trails the last depth-0 comma is a
+    // partial element — drop it.
+    elements
 }
 
 /// The two-level sharded, bounded evaluation cache.
@@ -1142,6 +1288,166 @@ mod tests {
         cache.restore(&snap);
         assert_eq!(cache.get(&expected_pkey).unwrap(), scored(21));
         assert_eq!(cache.get_subgraph(&expected_skey).unwrap().ema_bytes, 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Builds a two-entry cache and returns it with its snapshot text.
+    fn populated_snapshot_text() -> (EvalCache, String) {
+        let cache = EvalCache::new();
+        let buf = BufferConfig::shared(1 << 20);
+        for i in 0..6usize {
+            cache.insert(
+                eval_key(9, &sg(&[&[i], &[i + 10]]), &buf, EvalOptions::default()),
+                scored(i as u64),
+            );
+            cache.insert_subgraph(
+                subgraph_key(9, &[NodeId::from_index(i)], 7, &buf, EvalOptions::default()),
+                term(i as u64),
+            );
+        }
+        let text = serde_json::to_string(&cache.snapshot()).unwrap();
+        (cache, text)
+    }
+
+    fn stale_temps(dir: &Path) -> usize {
+        std::fs::read_dir(dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .count()
+    }
+
+    #[test]
+    fn injected_write_error_cleans_temp_and_reports() {
+        use cocco_faults::{FaultRates, FaultSite};
+        let dir = std::env::temp_dir().join(format!("cocco-cache-werr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (cache, _) = populated_snapshot_text();
+        let plan =
+            cocco_faults::FaultPlan::seeded(1, FaultRates::none().with(FaultSite::SaveWrite, 1.0));
+        let path = dir.join("cache.json");
+        let err = cache.snapshot().save_with(&path, &plan).unwrap_err();
+        assert!(err.to_string().contains("injected write error"));
+        assert!(!path.exists());
+        assert_eq!(stale_temps(&dir), 0, "satellite: no stale .tmp.* files");
+        assert!(plan.log().save_failures() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_save_salvages_on_load() {
+        use cocco_faults::{FaultRates, FaultSite};
+        let dir = std::env::temp_dir().join(format!("cocco-cache-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (cache, _) = populated_snapshot_text();
+        let full = cache.snapshot();
+        let path = dir.join("cache.json");
+        let plan =
+            cocco_faults::FaultPlan::seeded(2, FaultRates::none().with(FaultSite::SaveTorn, 1.0));
+        full.save_with(&path, &plan).expect("torn saves still land");
+        let load_plan = cocco_faults::FaultPlan::disabled();
+        let salvaged = CacheSnapshot::load_with(&path, &load_plan).expect("salvage");
+        assert!(!salvaged.is_empty(), "torn snapshot must salvage entries");
+        assert!(salvaged.len() < full.len(), "the tail was lost");
+        assert_eq!(load_plan.log().salvaged_entries(), salvaged.len() as u64);
+        // Every salvaged entry is exact — byte-identical to the original.
+        for (key, value) in &salvaged.partition {
+            assert_eq!(
+                full.partition.iter().find(|(k, _)| k == key).unwrap().1,
+                *value
+            );
+        }
+        for (key, value) in &salvaged.subgraph {
+            assert_eq!(
+                full.subgraph.iter().find(|(k, _)| k == key).unwrap().1,
+                *value
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_truncation_point_salvages_or_errors_never_panics() {
+        let dir = std::env::temp_dir().join(format!("cocco-cache-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (_, text) = populated_snapshot_text();
+        let path = dir.join("cache.json");
+        let mut salvages = 0usize;
+        for cut in (0..text.len()).step_by(17) {
+            let mut end = cut;
+            while end < text.len() && !text.is_char_boundary(end) {
+                end += 1;
+            }
+            std::fs::write(&path, &text[..end]).unwrap();
+            match CacheSnapshot::load(&path) {
+                Ok(snap) => {
+                    assert_eq!(snap.version, SNAPSHOT_VERSION);
+                    salvages += 1;
+                }
+                Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidData),
+            }
+        }
+        assert!(salvages > 0, "later truncation points must salvage");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_region_salvages_surviving_entries() {
+        let dir = std::env::temp_dir().join(format!("cocco-cache-corr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (_, text) = populated_snapshot_text();
+        let path = dir.join("cache.json");
+        // Splice garbage into the middle of the document, as the
+        // SaveCorrupt fault does.
+        let cut = text.len() / 2;
+        std::fs::write(
+            &path,
+            format!("{}!corrupt!{}", &text[..cut], &text[cut + 20..]),
+        )
+        .unwrap();
+        let plan = cocco_faults::FaultPlan::disabled();
+        match CacheSnapshot::load_with(&path, &plan) {
+            Ok(snap) => {
+                assert!(!snap.is_empty());
+                assert!(plan.log().salvaged_entries() > 0);
+            }
+            Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidData),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_v1_documents_salvage_with_upgraded_keys() {
+        let dir = std::env::temp_dir().join(format!("cocco-cache-v1t-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1.json");
+        let max = u64::MAX;
+        // Two v1 partition entries; the document is cut inside the second,
+        // so only the first survives — under its re-derived v2 key.
+        let text = format!(
+            concat!(
+                "{{\"version\":1,\"partition\":[",
+                "[[9,0,{total},0,1,1,0,1,{max},2,{max}],",
+                "{{\"ema_bytes\":21,\"energy_pj\":21.0,\"buffer_bytes\":1,",
+                "\"fits\":true,\"error\":false}}],",
+                "[[9,0,{total},0,1,1,3,{max},4,{max}],",
+                "{{\"ema_bytes\":22,\"energy"
+            ),
+            total = 1u64 << 20,
+            max = max,
+        );
+        std::fs::write(&path, text).unwrap();
+        let snap = CacheSnapshot::load(&path).expect("salvage the intact entry");
+        assert_eq!(snap.partition.len(), 1);
+        let expected = eval_key(
+            9,
+            &sg(&[&[0, 1], &[2]]),
+            &BufferConfig::shared(1 << 20),
+            EvalOptions::default(),
+        );
+        assert_eq!(snap.partition[0].0, expected);
+        assert_eq!(snap.partition[0].1, scored(21));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -89,6 +89,36 @@ impl ScoredEval {
     }
 }
 
+/// A caught worker-job panic from [`Engine::try_dispatch`]: the panic
+/// payload rendered as text. The engine itself remains fully usable — the
+/// caller decides how to degrade (quarantine the batch, refund its
+/// funding, surface a structured error).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DispatchPanic {
+    /// The panic payload (`&str`/`String` payloads verbatim; anything else
+    /// as an opaque marker).
+    pub message: String,
+}
+
+impl std::fmt::Display for DispatchPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker panic: {}", self.message)
+    }
+}
+
+impl std::error::Error for DispatchPanic {}
+
+/// Renders a panic payload as text (the same downcasts the std hook uses).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The additive objective terms of one subgraph — the cached unit of the
 /// incremental evaluation path. A partition's [`ScoredEval`] is the
 /// in-order sum (`ema_bytes`, `energy_pj`) and conjunction (`fits`) of its
@@ -535,7 +565,14 @@ impl Engine {
         options: EvalOptions,
     ) -> (ScoredEval, Option<Arc<EvalMemo>>) {
         self.scratch.with_slot(|arena| {
-            self.score_inner(evaluator, subgraphs, buffer, options, None, &mut arena.compose)
+            self.score_inner(
+                evaluator,
+                subgraphs,
+                buffer,
+                options,
+                None,
+                &mut arena.compose,
+            )
         })
     }
 
@@ -569,7 +606,14 @@ impl Engine {
             && memo.matches(evaluator.fingerprint(), buffer, options))
         .then_some((memo, dirty));
         self.scratch.with_slot(|arena| {
-            self.score_inner(evaluator, subgraphs, buffer, options, reuse, &mut arena.compose)
+            self.score_inner(
+                evaluator,
+                subgraphs,
+                buffer,
+                options,
+                reuse,
+                &mut arena.compose,
+            )
         })
     }
 
@@ -808,7 +852,8 @@ impl Engine {
             match scratch.entries[i] {
                 Some(entry) => scratch.wgts.push(entry.wgt_bytes),
                 None => {
-                    match evaluator.subgraph_stats_keyed(fps.positions()[i], subgraphs.members_of(i))
+                    match evaluator
+                        .subgraph_stats_keyed(fps.positions()[i], subgraphs.members_of(i))
                     {
                         Ok(stats) => {
                             scratch.wgts.push(stats.ema_wgt_bytes);
@@ -910,6 +955,27 @@ impl Engine {
         }
     }
 
+    /// Like [`dispatch`](Self::dispatch), but a panic from any job — a
+    /// worker dying on a poisoned invariant, an injected fault — is caught
+    /// and returned as a structured [`DispatchPanic`] instead of unwinding
+    /// through the caller. Every pool mode already delivers worker panics
+    /// to the dispatching thread (serial runs inline; scoped scopes
+    /// re-raise on join; persistent workers forward the payload and stay
+    /// alive), so catching here covers all three — and the engine stays
+    /// fully usable afterwards: the pool keeps its threads and the cache
+    /// tolerates poisoned shards.
+    pub fn try_dispatch(
+        &self,
+        jobs: usize,
+        job: impl Fn(usize) + Sync,
+    ) -> Result<(), DispatchPanic> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.dispatch(jobs, job))).map_err(
+            |payload| DispatchPanic {
+                message: panic_message(payload.as_ref()),
+            },
+        )
+    }
+
     /// Adds `elapsed` to the accumulated batch wall time (callers that
     /// time a region themselves — e.g. via a telemetry `Stopwatch` —
     /// rather than going through [`dispatch`](Self::dispatch)).
@@ -991,6 +1057,30 @@ const _: () = {
 mod tests {
     use super::*;
     use cocco_sim::AcceleratorConfig;
+
+    #[test]
+    fn try_dispatch_catches_panics_and_leaves_the_engine_usable() {
+        let g = cocco_graph::models::diamond();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let buffer = BufferConfig::shared(1 << 20);
+        let subgraphs: Vec<Vec<NodeId>> = g.node_ids().map(|id| vec![id]).collect();
+        for config in [EngineConfig::serial(), EngineConfig::with_threads(2)] {
+            let engine = Engine::new(config);
+            let baseline = engine.score(&eval, &subgraphs, &buffer, EvalOptions::default());
+            let err = engine
+                .try_dispatch(4, |i| {
+                    if i == 2 {
+                        panic!("injected worker panic");
+                    }
+                })
+                .expect_err("job 2 panics");
+            assert!(err.message.contains("injected worker panic"), "{err}");
+            // The engine survives: same pool, same cache, same results.
+            engine.try_dispatch(4, |_| {}).expect("pool stays usable");
+            let again = engine.score(&eval, &subgraphs, &buffer, EvalOptions::default());
+            assert_eq!(again, baseline);
+        }
+    }
 
     #[test]
     fn score_matches_direct_evaluation() {
@@ -1372,7 +1462,8 @@ mod tests {
         let mut delta = PartitionDelta::clean(8);
         delta.touch_members(&[ids[6], ids[7]]);
         let before = engine.stats();
-        let (inc, _) = engine.score_partition(&eval, &mutated, &buffer, options, Some((&memo, &delta)));
+        let (inc, _) =
+            engine.score_partition(&eval, &mutated, &buffer, options, Some((&memo, &delta)));
         let after = engine.stats();
         assert_eq!(after.subgraph_reused - before.subgraph_reused, 2);
         let direct = eval
@@ -1389,11 +1480,10 @@ mod tests {
         let eval = Evaluator::new(&g, AcceleratorConfig::default());
         let engine = Engine::new(EngineConfig::serial());
         let buffer = BufferConfig::shared(1 << 20);
-        let p = cocco_partition::repair(
-            &g,
-            cocco_partition::Partition::depth_groups(&g, 3),
-            &|_| true,
-        );
+        let p =
+            cocco_partition::repair(&g, cocco_partition::Partition::depth_groups(&g, 3), &|_| {
+                true
+            });
         // Distinct options defeat the partition cache so every call
         // rebuilds the layout into the warmed arena.
         for batch in 1..=8u32 {

@@ -72,6 +72,6 @@ mod trace;
 pub use budget::{SampleBudget, SampleReservation};
 pub use cache::{eval_key, subgraph_key, CacheSnapshot, EvalCache, EvalKey, SNAPSHOT_VERSION};
 pub use config::{EngineConfig, PoolMode, ThreadCount};
-pub use engine::{Engine, EngineStats, EvalMemo, ScoredEval, SubgraphScore};
+pub use engine::{DispatchPanic, Engine, EngineStats, EvalMemo, ScoredEval, SubgraphScore};
 pub use pool::EnginePool;
 pub use trace::{Trace, TracePoint};

@@ -1,0 +1,222 @@
+//! Atomic, fault-instrumented, bounded-retry text-file saves.
+//!
+//! The single save path shared by cache snapshots and search checkpoints:
+//! write to a unique sibling temp file, then rename over the destination.
+//! Three guarantees on top of the plain `fs::write` + `rename` idiom:
+//!
+//! 1. **No stale temp files.** Whichever step fails — the write *or* the
+//!    rename — the temp file is removed before the error is returned.
+//! 2. **Bounded retry, no clocks.** Transient failures are retried up to
+//!    [`MAX_SAVE_ATTEMPTS`] times with no sleep or wall-clock read
+//!    (audit D3 stays green); each retry is noted on the [`FaultLog`].
+//! 3. **Seeded injection.** The [`FaultPlan`] can inject a write error
+//!    (exercises cleanup + retry), a torn write (truncated payload that
+//!    still renames — corrupting the destination for the *loader* to
+//!    salvage), or a corrupted region (same, mid-file garbage).
+//!
+//! [`FaultLog`]: crate::FaultLog
+
+use crate::{FaultPlan, FaultSite};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How many times one save is attempted before giving up. Attempt-count
+/// bounded (not time-bounded) so the retry loop stays deterministic and
+/// clock-free.
+pub const MAX_SAVE_ATTEMPTS: u32 = 3;
+
+/// Monotonic discriminator so concurrent saves never share a temp file.
+static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Saves `text` to `path` atomically (unique temp file + rename), with
+/// bounded retry and fault injection. On success the destination holds
+/// `text` — unless a torn/corrupt fault was injected, in which case the
+/// rename still lands and the *loader's* salvage path is exercised. On
+/// error, no temp file is left behind.
+pub fn atomic_save(path: &Path, text: &str, faults: &FaultPlan) -> io::Result<()> {
+    let mut last_err = None;
+    for attempt in 1..=MAX_SAVE_ATTEMPTS {
+        match save_once(path, text, faults) {
+            Ok(()) => return Ok(()),
+            Err(err) => {
+                if attempt < MAX_SAVE_ATTEMPTS {
+                    faults.log().note_save_retry();
+                }
+                last_err = Some(err);
+            }
+        }
+    }
+    faults.log().note_save_failure();
+    Err(last_err.unwrap_or_else(|| io::Error::other("save failed with no attempts")))
+}
+
+fn save_once(path: &Path, text: &str, faults: &FaultPlan) -> io::Result<()> {
+    let seq = SAVE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = PathBuf::from(format!(
+        "{}.tmp.{}.{seq}",
+        path.display(),
+        std::process::id()
+    ));
+    let result = write_and_rename(path, &tmp, text, faults);
+    if result.is_err() {
+        // cocco-audit: allow(R2) best-effort cleanup of our own temp file; the save error itself is what gets reported
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn write_and_rename(path: &Path, tmp: &Path, text: &str, faults: &FaultPlan) -> io::Result<()> {
+    if faults.should_inject(FaultSite::SaveWrite) {
+        // Model a write failing partway: leave a partial temp file for the
+        // cleanup path to collect, then report the error.
+        // cocco-audit: allow(R2) the injected error below supersedes this deliberately-partial write
+        let _ = std::fs::write(tmp, &text[..boundary(text, text.len() / 3)]);
+        return Err(io::Error::other("cocco-faults: injected write error"));
+    }
+    let payload = if faults.should_inject(FaultSite::SaveTorn) {
+        // Torn write: the rename lands but the tail is missing.
+        text[..boundary(text, text.len() * 2 / 3)].to_string()
+    } else if faults.should_inject(FaultSite::SaveCorrupt) {
+        // Corrupted region: garbage spliced mid-file; surrounding entries
+        // stay parseable for the salvage path.
+        let cut = boundary(text, text.len() / 2);
+        let end = boundary(text, (cut + 24).min(text.len()));
+        format!("{}!corrupt!{}", &text[..cut], &text[end..])
+    } else {
+        text.to_string()
+    };
+    std::fs::write(tmp, payload)?;
+    std::fs::rename(tmp, path)
+}
+
+/// The nearest char boundary at or after `i` (JSON payloads are almost
+/// always ASCII, but truncation must never split a code point).
+fn boundary(text: &str, mut i: usize) -> usize {
+    while i < text.len() && !text.is_char_boundary(i) {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultRates;
+
+    /// A unique scratch path under the system temp dir.
+    fn scratch(name: &str) -> PathBuf {
+        let seq = SAVE_SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("cocco-faults-{}-{seq}-{name}", std::process::id()))
+    }
+
+    fn stale_temps(path: &Path) -> Vec<PathBuf> {
+        let prefix = format!(
+            "{}.tmp.",
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("")
+        );
+        let dir = path.parent().expect("scratch paths have a parent");
+        std::fs::read_dir(dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|entry| entry.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(&prefix))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plain_save_writes_the_text_atomically() {
+        let path = scratch("plain.json");
+        atomic_save(&path, "{\"ok\":true}", &FaultPlan::disabled()).expect("save");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("read"),
+            "{\"ok\":true}"
+        );
+        assert!(stale_temps(&path).is_empty());
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn injected_write_error_leaves_no_temp_file_and_counts() {
+        let path = scratch("werr.json");
+        let plan = FaultPlan::seeded(1, FaultRates::none().with(FaultSite::SaveWrite, 1.0));
+        let err = atomic_save(&path, "payload", &plan).expect_err("rate 1.0 always fails");
+        assert!(err.to_string().contains("injected write error"));
+        assert!(!path.exists(), "no destination on total failure");
+        assert!(stale_temps(&path).is_empty(), "temp files must be cleaned");
+        assert_eq!(plan.log().save_retries(), u64::from(MAX_SAVE_ATTEMPTS - 1));
+        assert_eq!(plan.log().save_failures(), 1);
+        assert_eq!(
+            plan.injected(FaultSite::SaveWrite),
+            u64::from(MAX_SAVE_ATTEMPTS)
+        );
+    }
+
+    #[test]
+    fn transient_write_error_recovers_within_bounded_attempts() {
+        // High-but-not-certain rate: find a seed whose first draw fails and
+        // a later one succeeds, then assert the retry made the save land.
+        let path = scratch("transient.json");
+        let rates = FaultRates::none().with(FaultSite::SaveWrite, 0.5);
+        let mut recovered = false;
+        for seed in 0..64 {
+            let plan = FaultPlan::seeded(seed, rates);
+            let _ = std::fs::remove_file(&path);
+            if atomic_save(&path, "v", &plan).is_ok() && plan.log().save_retries() > 0 {
+                assert_eq!(std::fs::read_to_string(&path).expect("read"), "v");
+                assert!(stale_temps(&path).is_empty());
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "some seed in 0..64 fails once then recovers");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_write_truncates_but_renames() {
+        let path = scratch("torn.json");
+        let plan = FaultPlan::seeded(2, FaultRates::none().with(FaultSite::SaveTorn, 1.0));
+        atomic_save(&path, "0123456789", &plan).expect("torn saves still land");
+        let on_disk = std::fs::read_to_string(&path).expect("read");
+        assert!(on_disk.len() < 10, "tail must be missing, got {on_disk:?}");
+        assert!("0123456789".starts_with(&on_disk));
+        assert!(stale_temps(&path).is_empty());
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn corrupt_write_splices_garbage_mid_file() {
+        let path = scratch("corrupt.json");
+        let text = "a".repeat(100);
+        let plan = FaultPlan::seeded(3, FaultRates::none().with(FaultSite::SaveCorrupt, 1.0));
+        atomic_save(&path, &text, &plan).expect("corrupt saves still land");
+        let on_disk = std::fs::read_to_string(&path).expect("read");
+        assert!(on_disk.contains("!corrupt!"));
+        assert_ne!(on_disk, text);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn truncation_respects_char_boundaries() {
+        let text = "héllo wörld ünïcode çontent".repeat(4);
+        let plan = FaultPlan::seeded(4, FaultRates::none().with(FaultSite::SaveTorn, 1.0));
+        let path = scratch("utf8.json");
+        atomic_save(&path, &text, &plan).expect("no mid-code-point split");
+        let on_disk = std::fs::read_to_string(&path).expect("valid utf-8 on disk");
+        assert!(text.starts_with(&on_disk));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn unwritable_directory_fails_structurally_and_cleans_up() {
+        let missing = PathBuf::from("/nonexistent-cocco-dir/sub/snapshot.json");
+        let err = atomic_save(&missing, "x", &FaultPlan::disabled()).expect_err("no such dir");
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

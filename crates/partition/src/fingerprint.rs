@@ -96,9 +96,11 @@ impl PartitionFingerprints {
         let by_position: Vec<NodeSetFp> = (0..n)
             .map(|i| NodeSetFp::of_members(subgraphs.members_of(i)))
             .collect();
-        let anchors = Self::index((0..n).zip(&by_position).filter_map(|(i, &fp)| {
-            subgraphs.members_of(i).first().map(|&a| (a, fp))
-        }));
+        let anchors = Self::index(
+            (0..n)
+                .zip(&by_position)
+                .filter_map(|(i, &fp)| subgraphs.members_of(i).first().map(|&a| (a, fp))),
+        );
         Self {
             by_position,
             anchors,
@@ -140,9 +142,11 @@ impl PartitionFingerprints {
                 NodeSetFp::of_members(members)
             })
             .collect();
-        let anchors = Self::index((0..n).zip(&by_position).filter_map(|(i, &fp)| {
-            subgraphs.members_of(i).first().map(|&a| (a, fp))
-        }));
+        let anchors = Self::index(
+            (0..n)
+                .zip(&by_position)
+                .filter_map(|(i, &fp)| subgraphs.members_of(i).first().map(|&a| (a, fp))),
+        );
         Self {
             by_position,
             anchors,

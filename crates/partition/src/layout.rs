@@ -106,7 +106,10 @@ impl<'a> PartitionLayout<'a> {
     /// this, release builds trust the (arena) builder.
     pub fn from_raw(members: &'a [NodeId], offsets: &'a [u32]) -> Self {
         debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets ascend");
-        debug_assert!(offsets.first().is_none_or(|&o| o == 0), "offsets start at 0");
+        debug_assert!(
+            offsets.first().is_none_or(|&o| o == 0),
+            "offsets start at 0"
+        );
         debug_assert!(
             offsets.last().is_none_or(|&o| o as usize == members.len()),
             "offsets cover the member buffer"
@@ -329,7 +332,11 @@ mod tests {
         for _ in 0..10 {
             arena.build_from_partition(&p);
         }
-        assert_eq!(arena.grows(), grows_after_warmup, "warmed builds must not grow");
+        assert_eq!(
+            arena.grows(),
+            grows_after_warmup,
+            "warmed builds must not grow"
+        );
         assert_eq!(arena.reuses(), 10);
         assert_eq!(arena.builds(), 11);
         assert!(arena.bytes() > 0);

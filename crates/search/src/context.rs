@@ -7,6 +7,7 @@ use crate::objective::{BufferSpace, Objective};
 use cocco_engine::{
     Engine, EngineConfig, EvalMemo, SampleBudget, SampleReservation, Trace, TracePoint,
 };
+use cocco_faults::{FaultPlan, FaultSite};
 use cocco_graph::{Graph, NodeId};
 use cocco_partition::{repair, repair_with_delta, Partition, PartitionDelta};
 use cocco_sim::{BufferConfig, EvalOptions, Evaluator};
@@ -132,6 +133,15 @@ pub struct SearchContext<'a> {
     /// consulted by a search decision. Shared by [`derive`](Self::derive)d
     /// contexts so an improvement is "new best of the whole run".
     best_seen: Arc<AtomicU64>,
+    /// Seeded fault-injection plan (disabled by default). Draws happen in
+    /// the serial funding-order sections only, so an enabled plan is
+    /// bit-identical at any thread count.
+    faults: FaultPlan,
+    /// Set when a worker panic quarantined a batch: the panic message.
+    /// Shared by derived contexts so one abort stops the whole step
+    /// family; the driver loop checks it via
+    /// [`fault_abort`](Self::fault_abort) and unwinds with best-so-far.
+    abort: Arc<Mutex<Option<String>>>,
 }
 
 impl<'a> SearchContext<'a> {
@@ -154,6 +164,8 @@ impl<'a> SearchContext<'a> {
             trace: Arc::new(Trace::new()),
             engine: Arc::new(Engine::new(EngineConfig::default())),
             best_seen: Arc::new(AtomicU64::new(f64::INFINITY.to_bits())),
+            faults: FaultPlan::disabled(),
+            abort: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -161,6 +173,31 @@ impl<'a> SearchContext<'a> {
     pub fn with_options(mut self, options: EvalOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Attaches a fault-injection plan. Evaluation then draws from the
+    /// plan's seeded RNG at the instrumented seams (evaluator errors,
+    /// worker panics, budget revocation); a [`FaultPlan::disabled`] plan —
+    /// the default — never draws and perturbs nothing.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault-injection plan this context draws from.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The panic message of a quarantined batch, if a worker panic aborted
+    /// this context family. Once set, further evaluation requests return
+    /// without funding, so the caller can unwind with budget accounting
+    /// and trace still consistent.
+    pub fn fault_abort(&self) -> Option<String> {
+        self.abort
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
     }
 
     /// Replaces the evaluation engine (thread policy; results are
@@ -204,6 +241,8 @@ impl<'a> SearchContext<'a> {
             trace: Arc::clone(&self.trace),
             engine: Arc::clone(&self.engine),
             best_seen: Arc::clone(&self.best_seen),
+            faults: self.faults.clone(),
+            abort: Arc::clone(&self.abort),
         }
     }
 
@@ -237,6 +276,8 @@ impl<'a> SearchContext<'a> {
             trace: Arc::clone(&self.trace),
             engine: Arc::clone(&self.engine),
             best_seen: Arc::clone(&self.best_seen),
+            faults: self.faults.clone(),
+            abort: Arc::clone(&self.abort),
         }
     }
 
@@ -413,6 +454,19 @@ impl<'a> SearchContext<'a> {
     /// every funded candidate in one pool dispatch, record trace points in
     /// funding order.
     fn evaluate_groups(&self, groups: &mut [EvalGroup<'_>]) {
+        // A quarantined batch aborts the step family: once a worker panic
+        // was caught, refuse further funding so the caller unwinds with
+        // budget accounting and trace still consistent.
+        if self.fault_abort().is_some() {
+            return;
+        }
+        // Injected budget exhaustion: revoke the pool *before* funding,
+        // so this batch degrades exactly like a naturally dry budget
+        // (unfunded candidates, no trace points, no stranded samples).
+        if self.faults.should_inject(FaultSite::BudgetRevoke) {
+            self.budget.revoke();
+            self.faults.log().note_budget_revocation();
+        }
         // Pin sample indices to input order before any worker runs.
         let mut funded_per_group = Vec::with_capacity(groups.len());
         let mut samples = Vec::new();
@@ -458,9 +512,32 @@ impl<'a> SearchContext<'a> {
                 }
             }
         }
+        // Per-job fault draws happen here, in the serial funding-order
+        // section, so injection points are a pure function of the plan's
+        // seed and the funding sequence — bit-identical at any thread
+        // count. The disabled-plan hot path allocates nothing.
+        let injections: Option<Vec<(bool, bool)>> = if self.faults.is_enabled() {
+            Some(
+                (0..jobs.len())
+                    .map(|_| {
+                        (
+                            self.faults.should_inject(FaultSite::EvalError),
+                            self.faults.should_inject(FaultSite::WorkerPanic),
+                        )
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
         let results: Vec<Mutex<Option<TracePoint>>> =
             (0..jobs.len()).map(|_| Mutex::new(None)).collect();
-        self.engine.dispatch(jobs.len(), |i| {
+        let dispatched = self.engine.try_dispatch(jobs.len(), |i| {
+            let (eval_error, worker_panic) =
+                injections.as_ref().map_or((false, false), |flags| flags[i]);
+            if worker_panic {
+                panic!("cocco-faults: injected worker panic");
+            }
             let (slot, objective, sample) = &jobs[i];
             let candidate: &mut EvalCandidate = &mut slot.lock().unwrap();
             let buffer = candidate.genome.buffer;
@@ -473,6 +550,20 @@ impl<'a> SearchContext<'a> {
                 &buffer,
                 &mut delta,
             );
+            if eval_error {
+                // Injected transient evaluator failure: the first
+                // attempt's result is discarded and the job re-scores.
+                // Scoring is a pure function of its inputs, so the retry
+                // below is bit-identical to the fault-free run.
+                let _ = self.engine.score_partition(
+                    self.evaluator,
+                    &candidate.genome.partition,
+                    &buffer,
+                    self.options,
+                    parent_memo.as_deref().map(|memo| (memo, &delta)),
+                );
+                self.faults.log().note_eval_rescore();
+            }
             // score_partition materializes the member lists into the
             // worker's scratch slot (a flat layout arena on the default
             // arm) — no per-candidate `subgraphs()` allocation — and
@@ -497,12 +588,68 @@ impl<'a> SearchContext<'a> {
                 metric_value: scored.metric(objective.metric),
             });
         });
+        if let Err(panic) = dispatched {
+            // Discard every funded candidate uniformly (some may have
+            // finished scoring, but keeping them would make results
+            // depend on worker scheduling). Consuming `jobs` here also
+            // releases its borrows so the refund pass can walk `groups`.
+            for (slot, _, _) in jobs {
+                let candidate = slot
+                    .into_inner()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                candidate.cost = None;
+                candidate.memo = None;
+                candidate.hint = None;
+            }
+            self.quarantine_batch(panic.message, groups, &funded_per_group);
+            return;
+        }
         // Record trace points in funding (= sample) order.
         for slot in &results {
             // cocco-audit: allow(R1) the engine ran one job per slot; an empty slot means the dispatch itself is broken
             let point = slot.lock().unwrap().take().expect("every funded job ran");
             self.record_traced(point);
         }
+    }
+
+    /// Recovery path for a worker panic caught mid-dispatch (candidates
+    /// already uniformly discarded by the caller): refund every funded
+    /// sample to its funding source so no budget is stranded, record no
+    /// trace points, and latch the abort so the driver loop unwinds with
+    /// best-so-far. Runs serially after the pool delivered the panic, so
+    /// the recovery itself is deterministic.
+    fn quarantine_batch(
+        &self,
+        message: String,
+        groups: &mut [EvalGroup<'_>],
+        funded_per_group: &[usize],
+    ) {
+        let mut refunded = 0u64;
+        for (group, &funded) in groups.iter_mut().zip(funded_per_group) {
+            let n = funded as u64;
+            if n == 0 {
+                continue;
+            }
+            match &mut group.funding {
+                Funding::Context => self.budget.refund(n),
+                Funding::Budget(budget) => budget.refund(n),
+                Funding::Reservation(reservation) => reservation.refund(n),
+            }
+            refunded += n;
+        }
+        let log = self.faults.log();
+        log.note_quarantined_batch();
+        log.note_refunded_samples(refunded);
+        self.engine.telemetry().emit("recovery", || {
+            vec![
+                ("kind", "quarantined_batch".into()),
+                ("refunded_samples", refunded.into()),
+            ]
+        });
+        *self
+            .abort
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(message);
     }
 
     /// Records a trace point, emitting a `search.improvement` event when
@@ -751,6 +898,106 @@ mod tests {
         let stats = eval.subgraph_stats(&members).unwrap();
         assert_eq!(cost, stats.ema_bytes() as f64);
         assert_eq!(ctx.budget().used(), 0, "analytic helper must be free");
+    }
+
+    #[test]
+    fn injected_eval_errors_rescore_bit_identically() {
+        let g = cocco_graph::models::googlenet();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let genomes = || -> Vec<Genome> {
+            (0..24)
+                .map(|i| {
+                    Genome::new(
+                        Partition::connected_groups(&g, 2 + i % 5),
+                        BufferConfig::shared(1 << 20),
+                    )
+                })
+                .collect()
+        };
+        let plain_ctx = context(&g, &eval, 24);
+        let mut plain_genomes = genomes();
+        let plain = (
+            plain_ctx.evaluate_batch(&mut plain_genomes),
+            plain_ctx.trace().points(),
+        );
+        let rates = cocco_faults::FaultRates::none().with(FaultSite::EvalError, 0.5);
+        let faulty_ctx = context(&g, &eval, 24).with_faults(FaultPlan::seeded(7, rates));
+        let mut faulty_genomes = genomes();
+        let faulty = (
+            faulty_ctx.evaluate_batch(&mut faulty_genomes),
+            faulty_ctx.trace().points(),
+        );
+        assert_eq!(
+            plain, faulty,
+            "transient eval errors must not change results"
+        );
+        assert_eq!(plain_genomes, faulty_genomes);
+        assert!(faulty_ctx.faults().log().eval_rescores() > 0);
+        assert!(faulty_ctx.fault_abort().is_none());
+    }
+
+    #[test]
+    fn worker_panic_quarantines_batch_and_refunds_budget() {
+        let g = cocco_graph::models::diamond();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        for threads in [1, 2] {
+            let rates = cocco_faults::FaultRates::none().with(FaultSite::WorkerPanic, 1.0);
+            let ctx = context(&g, &eval, 16)
+                .with_engine(EngineConfig::with_threads(threads))
+                .with_faults(FaultPlan::seeded(3, rates));
+            let mut genomes: Vec<Genome> = (0..4)
+                .map(|_| {
+                    Genome::new(
+                        Partition::singletons(g.len()),
+                        BufferConfig::shared(1 << 20),
+                    )
+                })
+                .collect();
+            let costs = ctx.evaluate_batch(&mut genomes);
+            assert!(
+                costs.iter().all(Option::is_none),
+                "quarantine discards uniformly"
+            );
+            // Every funded sample was refunded — nothing stranded, and the
+            // trace-length invariant holds.
+            assert_eq!(ctx.budget().used(), 0);
+            assert_eq!(ctx.trace().len(), 0);
+            let log = ctx.faults().log();
+            assert_eq!(log.quarantined_batches(), 1);
+            assert_eq!(log.refunded_samples(), 4);
+            let message = ctx.fault_abort().expect("abort latched");
+            assert!(message.contains("injected worker panic"), "{message}");
+            // Aborted contexts refuse further funding instead of running.
+            let mut more = genomes.clone();
+            assert!(ctx.evaluate_batch(&mut more).iter().all(Option::is_none));
+            assert_eq!(ctx.budget().used(), 0);
+        }
+    }
+
+    #[test]
+    fn injected_budget_revocation_degrades_like_exhaustion() {
+        let g = cocco_graph::models::diamond();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let rates = cocco_faults::FaultRates::none().with(FaultSite::BudgetRevoke, 1.0);
+        let ctx = context(&g, &eval, 100).with_faults(FaultPlan::seeded(5, rates));
+        let mut genomes: Vec<Genome> = (0..3)
+            .map(|_| {
+                Genome::new(
+                    Partition::singletons(g.len()),
+                    BufferConfig::shared(1 << 20),
+                )
+            })
+            .collect();
+        let costs = ctx.evaluate_batch(&mut genomes);
+        assert!(
+            costs.iter().all(Option::is_none),
+            "revoked budget funds nothing"
+        );
+        assert!(ctx.budget().is_revoked());
+        assert_eq!(ctx.budget().remaining(), 0);
+        assert_eq!(ctx.trace().len() as u64, ctx.budget().used());
+        assert_eq!(ctx.faults().log().budget_revocations(), 1);
+        assert!(ctx.fault_abort().is_none(), "revocation is not an abort");
     }
 
     #[test]

@@ -173,6 +173,14 @@ pub fn drive_step(driver: &mut dyn SearchDriver, ctx: &SearchContext<'_>) -> boo
         Step::Evaluate(mut batch) => {
             let candidates = batch.len();
             ctx.evaluate_chunks(&mut batch);
+            if ctx.fault_abort().is_some() {
+                // A worker panic quarantined this batch: the candidates
+                // carry no costs and their samples were refunded. Stop
+                // stepping without absorbing, so the driver's outcome is
+                // the best seen before the fault. Dropping the batch
+                // refunds any un-taken reservation capacity.
+                return false;
+            }
             driver.absorb(ctx, batch);
             let name = driver.name();
             drop(span);

@@ -12,9 +12,7 @@
 use cocco_engine::{CacheSnapshot, EngineConfig, EvalMemo, TracePoint};
 use cocco_graph::{Graph, NodeId};
 use cocco_partition::{Partition, PartitionDelta};
-use cocco_search::{
-    BufferSpace, EvalCandidate, EvalHint, Genome, Objective, SearchContext,
-};
+use cocco_search::{BufferSpace, EvalCandidate, EvalHint, Genome, Objective, SearchContext};
 use cocco_sim::{AcceleratorConfig, BufferConfig, CostMetric, Evaluator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -55,8 +53,7 @@ fn walk(model: &Graph, threads: u32, arena: bool) -> WalkResult {
     let mut rng = StdRng::seed_from_u64(0xC0CC0);
     let mut genomes: Vec<Genome> = (0..POP)
         .map(|_| {
-            let assignment: Vec<u32> =
-                (0..model.len()).map(|_| rng.gen_range(0..GROUPS)).collect();
+            let assignment: Vec<u32> = (0..model.len()).map(|_| rng.gen_range(0..GROUPS)).collect();
             Genome::new(Partition::from_assignment(assignment), BUFFER)
         })
         .collect();
@@ -149,22 +146,26 @@ fn assert_walks_identical(model: &Graph) {
             let other = walk(model, threads, arena);
             let arm = if arena { "arena" } else { "reference" };
             assert_eq!(
-                reference.costs, other.costs,
+                reference.costs,
+                other.costs,
                 "{}: cost stream diverged ({arm}, {threads} threads)",
                 model.name()
             );
             assert_eq!(
-                reference.genomes, other.genomes,
+                reference.genomes,
+                other.genomes,
                 "{}: repaired genomes diverged ({arm}, {threads} threads)",
                 model.name()
             );
             assert_eq!(
-                reference.trace, other.trace,
+                reference.trace,
+                other.trace,
                 "{}: traces diverged ({arm}, {threads} threads)",
                 model.name()
             );
             assert_eq!(
-                reference.snapshot, other.snapshot,
+                reference.snapshot,
+                other.snapshot,
                 "{}: persisted cache snapshots diverged ({arm}, {threads} threads)",
                 model.name()
             );

@@ -933,8 +933,7 @@ mod tests {
                 let mut columns = SubgraphColumns::new();
                 eval.eval_subgraph_batch(&members, &offsets, &buf, options, &mut columns)
                     .unwrap();
-                let flat =
-                    PartitionReport::from_columns(&columns, buf, eval.config().freq_ghz);
+                let flat = PartitionReport::from_columns(&columns, buf, eval.config().freq_ghz);
                 assert_eq!(nested, flat, "SoA roll-up must be bit-identical");
                 // Warmed reuse: clearing keeps capacity, refilling keeps
                 // the result.

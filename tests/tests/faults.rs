@@ -1,0 +1,256 @@
+//! Fault injection and graceful degradation, end to end: seeded fault
+//! plans driven through the public facade must either complete
+//! bit-identically to the fault-free run (transparent recoveries) or
+//! return a structured error carrying best-so-far — never a panic, a
+//! hang, a stranded budget sample, or a stale temp file.
+
+use cocco::prelude::*;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cocco-faults-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Any `*.tmp.*` litter under `dir` — atomic saves must clean up after
+/// themselves on every path, including injected failures.
+fn stale_temps(dir: &std::path::Path) -> Vec<String> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.contains(".tmp."))
+        .collect()
+}
+
+#[test]
+fn transparent_faults_complete_bit_identically() {
+    let dir = temp_dir("transparent");
+    let model = cocco::graph::models::googlenet();
+    let session = |faults: FaultPlan, tag: &str| {
+        Cocco::new()
+            .with_budget(300)
+            .with_seed(5)
+            .with_cache_file(dir.join(format!("{tag}.cache.json")))
+            .with_checkpoint_file(dir.join(format!("{tag}.ckpt.json")))
+            .with_checkpoint_every(1)
+            .with_faults(faults)
+            .explore(&model)
+            .unwrap()
+    };
+    let plain = session(FaultPlan::disabled(), "plain");
+    // Transient evaluator errors (re-scored) and save-path faults
+    // (bounded retry) are transparent: same cost, genome and trace.
+    let rates = FaultRates::none()
+        .with(FaultSite::EvalError, 0.2)
+        .with(FaultSite::SaveWrite, 0.2)
+        .with(FaultSite::SaveTorn, 0.1);
+    let plan = FaultPlan::seeded(11, rates);
+    let faulty = session(plan.clone(), "faulty");
+    assert_eq!(plain.cost, faulty.cost);
+    assert_eq!(plain.genome, faulty.genome);
+    assert_eq!(plain.trace, faulty.trace);
+    assert_eq!(plain.samples, faulty.samples);
+    let health = plan.health();
+    assert!(
+        health.faults_seen() > 0,
+        "the plan must actually have fired"
+    );
+    assert!(health.eval_rescores > 0, "eval faults must be re-scored");
+    assert!(
+        stale_temps(&dir).is_empty(),
+        "injected save failures must not leak temp files: {:?}",
+        stale_temps(&dir)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn worker_panic_degrades_to_structured_error_with_salvage() {
+    let dir = temp_dir("panic");
+    let model = cocco::graph::models::googlenet();
+    let ckpt = dir.join("run.ckpt.json");
+    // A panic rate low enough that the search completes a few
+    // generations first (seeded, so the failing step is deterministic).
+    let rates = FaultRates::none().with(FaultSite::WorkerPanic, 0.002);
+    let plan = FaultPlan::seeded(2, rates);
+    let err = Cocco::new()
+        .with_budget(2_000)
+        .with_seed(9)
+        .with_checkpoint_file(&ckpt)
+        .with_checkpoint_every(1)
+        .with_faults(plan.clone())
+        .explore(&model)
+        .unwrap_err();
+    let Error::WorkerPanic { message, salvage } = err else {
+        panic!("expected WorkerPanic, got {err}");
+    };
+    assert!(message.contains("injected worker panic"), "{message}");
+    let salvage = salvage.expect("generations before the fault produce a best-so-far");
+    assert!(salvage.cost.is_finite());
+    assert!(salvage.genome.partition.validate(&model).is_ok());
+    assert!(salvage.samples > 0);
+    let health = plan.health();
+    assert!(health.is_degraded());
+    assert_eq!(health.quarantined_batches, 1);
+    assert!(
+        health.refunded_samples > 0,
+        "quarantined funding must be refunded"
+    );
+    // The last between-steps checkpoint stays behind so the run can
+    // resume; resuming with faults disarmed completes cleanly.
+    assert!(ckpt.exists(), "an aborted run must keep its checkpoint");
+    let resumed = Cocco::new()
+        .with_budget(2_000)
+        .with_seed(9)
+        .with_checkpoint_file(&ckpt)
+        .explore(&model)
+        .unwrap();
+    assert!(resumed.cost.is_finite());
+    assert!(
+        resumed.cost <= salvage.cost,
+        "resume continues from salvaged progress"
+    );
+    assert_eq!(
+        resumed.trace.len() as u64,
+        resumed.samples,
+        "no stranded samples"
+    );
+    assert!(!ckpt.exists(), "a completed resume removes the checkpoint");
+    assert!(stale_temps(&dir).is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn budget_revocation_degrades_but_completes() {
+    let model = cocco::graph::models::diamond();
+    let rates = FaultRates::none().with(FaultSite::BudgetRevoke, 0.05);
+    let plan = FaultPlan::seeded(4, rates);
+    let result = Cocco::new()
+        .with_budget(5_000)
+        .with_seed(3)
+        .with_faults(plan.clone())
+        .explore(&model)
+        .unwrap();
+    assert!(result.cost.is_finite());
+    assert!(
+        result.samples < 5_000,
+        "a revoked budget must cut the run short ({} samples)",
+        result.samples
+    );
+    assert_eq!(
+        result.trace.len() as u64,
+        result.samples,
+        "no stranded samples"
+    );
+    assert!(result.is_degraded());
+    assert_eq!(result.health.budget_revocations, 1);
+    assert_eq!(result.health, plan.health());
+}
+
+#[test]
+fn fault_schedule_round_trips_and_replays_identically() {
+    let rates = FaultRates::none()
+        .with(FaultSite::EvalError, 0.3)
+        .with(FaultSite::WorkerPanic, 0.01);
+    let plan = FaultPlan::seeded(42, rates);
+    let schedule = plan.schedule().expect("enabled plan has a schedule");
+    let json = serde_json::to_string(&schedule).unwrap();
+    let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+    let replay = FaultPlan::from_schedule(&back);
+    for _ in 0..200 {
+        for site in FaultSite::ALL {
+            assert_eq!(plan.should_inject(site), replay.should_inject(site));
+        }
+    }
+}
+
+#[test]
+fn corrupt_checkpoints_are_structured_errors_never_panics() {
+    let dir = temp_dir("ckpt-matrix");
+    let model = cocco::graph::models::diamond();
+    let path = dir.join("bad.ckpt.json");
+    let session = || {
+        Cocco::new()
+            .with_budget(200)
+            .with_seed(7)
+            .with_checkpoint_file(&path)
+    };
+    // A genuine snapshot to mutate: drive the same search the facade
+    // would run for a couple of steps, then capture it mid-run.
+    let method = SearchMethod::ga().with_seed(7);
+    let evaluator = Evaluator::new(&model, AcceleratorConfig::default());
+    let ctx = SearchContext::new(
+        &model,
+        &evaluator,
+        BufferSpace::paper_shared(),
+        Objective::paper_energy_capacity(),
+        200,
+    );
+    let mut driver = method.driver();
+    for _ in 0..2 {
+        match driver.next_batch(&ctx) {
+            Step::Evaluate(mut batch) => {
+                ctx.evaluate_chunks(&mut batch);
+                driver.absorb(&ctx, batch);
+            }
+            Step::Continue => {}
+            Step::Done => break,
+        }
+    }
+    let snapshot = SearchSnapshot::capture(&method, &*driver, &ctx);
+    let valid = serde_json::to_string(&snapshot).unwrap();
+
+    // Truncated mid-document.
+    std::fs::write(&path, &valid[..valid.len() / 2]).unwrap();
+    let err = session().explore(&model).unwrap_err();
+    assert!(matches!(err, Error::Checkpoint { .. }), "{err}");
+    // Arbitrary bad JSON.
+    std::fs::write(&path, "{not json at all").unwrap();
+    let err = session().explore(&model).unwrap_err();
+    assert!(matches!(err, Error::Checkpoint { .. }), "{err}");
+    // Old snapshot version.
+    std::fs::write(&path, valid.replacen("\"version\":2", "\"version\":1", 1)).unwrap();
+    let err = session().explore(&model).unwrap_err();
+    assert!(matches!(err, Error::Checkpoint { .. }), "{err}");
+    // Wrong evaluator fingerprint (different accelerator).
+    std::fs::write(&path, &valid).unwrap();
+    let mut accel = AcceleratorConfig::default();
+    accel.mac_cols *= 2;
+    let err = session()
+        .with_accelerator(accel)
+        .explore(&model)
+        .unwrap_err();
+    assert!(matches!(err, Error::Checkpoint { .. }), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_cache_snapshots_salvage_or_error_never_panic() {
+    let dir = temp_dir("cache-matrix");
+    let model = cocco::graph::models::googlenet();
+    let path = dir.join("cache.json");
+    let session = || {
+        Cocco::new()
+            .with_budget(300)
+            .with_seed(5)
+            .with_cache_file(&path)
+    };
+    let cold = session().explore(&model).unwrap();
+    let valid = std::fs::read_to_string(&path).unwrap();
+
+    // Truncated mid-array: the parsable prefix of entries is salvaged
+    // (cached values are exact, so results stay bit-identical), the rest
+    // is recomputed.
+    std::fs::write(&path, &valid[..valid.len() * 2 / 3]).unwrap();
+    let salvaged = session().explore(&model).unwrap();
+    assert_eq!(cold.cost, salvaged.cost);
+    assert_eq!(cold.genome, salvaged.genome);
+    assert_eq!(cold.trace, salvaged.trace);
+
+    // Structurally hopeless text stays a structured error.
+    std::fs::write(&path, "][ nothing to salvage").unwrap();
+    let err = session().explore(&model).unwrap_err();
+    assert!(matches!(err, Error::CacheFile { .. }), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
