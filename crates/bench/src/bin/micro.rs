@@ -27,7 +27,8 @@
 //!   hit rates, the telemetry arm's per-batch dispatch-latency
 //!   percentiles (p50/p90/p99) and the facade's per-phase wall profile;
 //! * `cargo run --release -p cocco-bench --bin micro -- --smoke
-//!   [--threads <n>] [--pool scoped|persistent]` — the CI smoke mode: a
+//!   [--threads <n>] [--pool scoped|persistent] [--chunk <n>|auto]` —
+//!   the CI smoke mode: a
 //!   scaled-down run of the same arms that asserts bit-identical results
 //!   across {full, incremental} × {serial, scoped, persistent} and the
 //!   {1, 2, 8} threads × {persistent, scoped} × {arena, reference}
@@ -40,8 +41,12 @@
 //!   JSON-resume == `run()`), the interleaved two-step's strictly
 //!   higher cross-candidate subgraph hit rate, telemetry's
 //!   zero-perturbation guarantee (a live sink leaves the seeded GA
-//!   bit-identical) and its bounded cost on the cached-score leaf, at the
-//!   requested worker count.
+//!   bit-identical) and its bounded cost on the cached-score leaf (an L0
+//!   hit and a shared-shard hit), at the requested worker count — plus
+//!   the scale-out grid ({prefilter, L0, adaptive} on/off × thread
+//!   counts, under the `--chunk` size): bit-identical everywhere, with
+//!   the warm prefiltered arm dispatching strictly fewer pool jobs than
+//!   it scores candidates.
 
 use cocco::prelude::*;
 use cocco::telemetry::Stopwatch;
@@ -141,8 +146,15 @@ fn ga_run(
 /// `pool` selects which parallel arm the headline speedup is reported
 /// against; `arena` selects which allocation arm every run uses (results
 /// are bit-identical either way). Returns the JSON summary document.
-fn engine_bench(smoke: bool, threads: u32, pool: PoolMode, arena: bool) -> serde_json::Value {
+fn engine_bench(
+    smoke: bool,
+    threads: u32,
+    pool: PoolMode,
+    arena: bool,
+    chunk: ChunkSize,
+) -> serde_json::Value {
     let arm = |config: EngineConfig| {
+        let config = config.with_chunk(chunk);
         if arena {
             config
         } else {
@@ -151,13 +163,16 @@ fn engine_bench(smoke: bool, threads: u32, pool: PoolMode, arena: bool) -> serde
     };
     let model = cocco::graph::models::resnet50();
     let (budget, population) = if smoke { (600, 50) } else { (3_000, 100) };
-    let host_cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host_cpus = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
     println!(
-        "\n== engine: GA on {} ({} nodes), budget {budget}, population {population}, host CPUs {host_cpus} ==\n",
+        "\n== engine: GA on {} ({} nodes), budget {budget}, population {population}, host CPUs {} ==\n",
         model.name(),
-        model.len()
+        model.len(),
+        host_cpus(),
     );
 
     let (full_wall, full_cost, full_best, full_stats) = ga_run(
@@ -174,6 +189,11 @@ fn engine_bench(smoke: bool, threads: u32, pool: PoolMode, arena: bool) -> serde
         arm(EngineConfig::serial()),
         None,
     );
+    // Each pool arm is its own timed run, and each stamps the CPU count
+    // it actually ran with — container CPU quotas can change between
+    // arms, and a shared stamp would misattribute one arm's wall time to
+    // the other's parallelism budget.
+    let persistent_cpus = host_cpus();
     let (persistent_wall, persistent_cost, persistent_best, persistent_stats) = ga_run(
         &model,
         budget,
@@ -181,6 +201,7 @@ fn engine_bench(smoke: bool, threads: u32, pool: PoolMode, arena: bool) -> serde
         arm(EngineConfig::with_threads(threads)),
         None,
     );
+    let scoped_cpus = host_cpus();
     let (scoped_wall, scoped_cost, scoped_best, scoped_stats) = ga_run(
         &model,
         budget,
@@ -285,11 +306,14 @@ fn engine_bench(smoke: bool, threads: u32, pool: PoolMode, arena: bool) -> serde
     let serial_ms = serial_wall.as_secs_f64() * 1e3;
     let persistent_ms = persistent_wall.as_secs_f64() * 1e3;
     let scoped_ms = scoped_wall.as_secs_f64() * 1e3;
-    let parallel_ms = match pool {
+    // The headline speedup reports the selected pool arm's own run — the
+    // summary below records both arms' measurements separately, never one
+    // number under two names.
+    let headline_ms = match pool {
         PoolMode::Persistent => persistent_ms,
         PoolMode::Scoped => scoped_ms,
     };
-    let speedup = serial_ms / parallel_ms;
+    let speedup = serial_ms / headline_ms;
     println!(
         "full path (1 thread) : {:>10}  ({} subgraph scorings)",
         fmt_time(full_wall.as_secs_f64()),
@@ -339,15 +363,16 @@ fn engine_bench(smoke: bool, threads: u32, pool: PoolMode, arena: bool) -> serde
         "results              : bit-identical full vs incremental vs persistent vs scoped ✓ \
          (0 per-probe key allocations)"
     );
-    if host_cpus >= 4 && !smoke {
+    let cpus_now = host_cpus();
+    if cpus_now >= 4 && !smoke {
         assert!(
             speedup >= 2.0,
             "batched path must be >= 2x faster than serial at {threads} threads \
-             on a {host_cpus}-CPU host (measured {speedup:.2}x)"
+             on a {cpus_now}-CPU host (measured {speedup:.2}x)"
         );
-    } else if host_cpus < 2 {
+    } else if cpus_now < 2 {
         println!(
-            "note                 : host has {host_cpus} CPU — {threads} workers timeslice one core, \
+            "note                 : host has {cpus_now} CPU — {threads} workers timeslice one core, \
              so the speedup above measures overhead, not parallelism"
         );
     }
@@ -369,21 +394,37 @@ fn engine_bench(smoke: bool, threads: u32, pool: PoolMode, arena: bool) -> serde
         ),
         (
             "host_cpus".to_string(),
-            serde_json::to_value(&(host_cpus as u64)),
+            serde_json::to_value(&(cpus_now as u64)),
         ),
         ("full_ms".to_string(), serde_json::to_value(&full_ms)),
         ("serial_ms".to_string(), serde_json::to_value(&serial_ms)),
         (
-            "parallel_ms".to_string(),
-            serde_json::to_value(&parallel_ms),
+            "parallel_persistent".to_string(),
+            serde_json::Value::Object(vec![
+                ("wall_ms".to_string(), serde_json::to_value(&persistent_ms)),
+                (
+                    "host_cpus".to_string(),
+                    serde_json::to_value(&(persistent_cpus as u64)),
+                ),
+                (
+                    "speedup".to_string(),
+                    serde_json::to_value(&(serial_ms / persistent_ms)),
+                ),
+            ]),
         ),
         (
-            "parallel_persistent_ms".to_string(),
-            serde_json::to_value(&persistent_ms),
-        ),
-        (
-            "parallel_scoped_ms".to_string(),
-            serde_json::to_value(&scoped_ms),
+            "parallel_scoped".to_string(),
+            serde_json::Value::Object(vec![
+                ("wall_ms".to_string(), serde_json::to_value(&scoped_ms)),
+                (
+                    "host_cpus".to_string(),
+                    serde_json::to_value(&(scoped_cpus as u64)),
+                ),
+                (
+                    "speedup".to_string(),
+                    serde_json::to_value(&(serial_ms / scoped_ms)),
+                ),
+            ]),
         ),
         (
             "pool".to_string(),
@@ -1090,6 +1131,162 @@ fn capacity_sweep(threads: u32) -> serde_json::Value {
     serde_json::Value::Array(rows)
 }
 
+/// The scale-out grid: the same seeded GA across {1, n} worker threads ×
+/// every contention-free layer ({prefilter, L0, adaptive} on/off, plus
+/// all-off), recording per cell the wall time, the number of jobs the
+/// pool actually dispatched, the chunk/inline scheduling counters and
+/// the worker-local L0 hit rate. Asserts bit-identical results (cost,
+/// genome, trace) across every cell, that the warm prefiltered arm
+/// dispatches **strictly fewer** pool jobs than it scores candidates,
+/// and that its L0 caches absorb probes (`l0_hits > 0`). Returns the
+/// JSON rows for the summary.
+fn scaleout_bench(smoke: bool, threads: u32, chunk: ChunkSize) -> serde_json::Value {
+    let model = cocco::graph::models::resnet50();
+    let (budget, population) = if smoke { (600, 50) } else { (1_500, 60) };
+    println!(
+        "\n== scale-out: GA on {} ({} nodes), budget {budget}, {{prefilter,l0,adaptive}} grid ==\n",
+        model.name(),
+        model.len()
+    );
+    type Shape = fn(EngineConfig) -> EngineConfig;
+    let arms: [(&str, Shape); 5] = [
+        ("all-on", |c| c),
+        ("no-prefilter", |c| c.without_prefilter()),
+        ("no-l0", |c| c.without_l0()),
+        ("no-adaptive", |c| c.with_parallel_threshold(0)),
+        ("all-off", |c| {
+            c.without_prefilter()
+                .without_l0()
+                .with_parallel_threshold(0)
+        }),
+    ];
+    let run_cell = |t: u32, shape: Shape| {
+        let evaluator = Evaluator::new(&model, AcceleratorConfig::default());
+        let ctx = SearchContext::new(
+            &model,
+            &evaluator,
+            BufferSpace::paper_shared(),
+            Objective::paper_energy_capacity(),
+            budget,
+        )
+        .with_engine(shape(EngineConfig::with_threads(t).with_chunk(chunk)));
+        let ga = CoccoGa::default().with_population(population).with_seed(42);
+        let start = Stopwatch::start();
+        let outcome = ga.run(&ctx);
+        let wall = start.elapsed();
+        let metrics = ctx.engine().metrics();
+        let stats = ctx.engine().stats();
+        let trace = ctx.trace().points();
+        (
+            wall,
+            outcome.best_cost,
+            outcome.best,
+            trace,
+            metrics,
+            stats,
+            evaluator.stats_lock_waits(),
+        )
+    };
+    let mut reference: Option<(f64, Option<Genome>, Vec<TracePoint>)> = None;
+    let mut rows = Vec::new();
+    for t in [1u32, threads.max(2)] {
+        for (arm, shape) in arms {
+            let (wall, cost, best, trace, metrics, stats, lock_waits) = run_cell(t, shape);
+            let cell = format!("{arm}, {t} threads");
+            match &reference {
+                Some((ref_cost, ref_best, ref_trace)) => {
+                    assert_eq!(
+                        *ref_cost, cost,
+                        "scale-out determinism violated: cost ({cell})"
+                    );
+                    assert_eq!(
+                        *ref_best, best,
+                        "scale-out determinism violated: genome ({cell})"
+                    );
+                    assert_eq!(
+                        *ref_trace, trace,
+                        "scale-out determinism violated: trace ({cell})"
+                    );
+                }
+                None => reference = Some((cost, best, trace)),
+            }
+            let dispatched = metrics.counter("engine.pool.dispatched");
+            let l0_hits = metrics.counter("engine.cache.l0_hits");
+            let shared_hits = stats.cache_hits + stats.subgraph_hits;
+            let l0_hit_rate = if shared_hits == 0 {
+                0.0
+            } else {
+                l0_hits as f64 / shared_hits as f64
+            };
+            if arm == "all-on" {
+                // The whole point of the prefilter: warmed candidates are
+                // answered serially from the cache and never reach the
+                // pool, so the dispatched-job count must undercut the
+                // candidate count.
+                assert!(
+                    dispatched < stats.evals,
+                    "{cell}: prefiltered dispatch must send strictly fewer jobs \
+                     than candidates on a warm run ({dispatched} jobs vs {} candidates)",
+                    stats.evals,
+                );
+                assert!(
+                    l0_hits > 0,
+                    "{cell}: the worker-local L0 caches never absorbed a probe"
+                );
+            }
+            println!(
+                "{arm:<12} ({t} thr) : {:>10}  ({dispatched}/{} jobs dispatched, \
+                 {} chunks, {} inline, L0 {:.0}% of hits, {lock_waits} lock waits)",
+                fmt_time(wall.as_secs_f64()),
+                stats.evals,
+                metrics.counter("engine.pool.chunks"),
+                metrics.counter("engine.pool.inline_batches"),
+                l0_hit_rate * 100.0,
+            );
+            rows.push(serde_json::Value::Object(vec![
+                ("arm".to_string(), serde_json::to_value(&arm)),
+                ("threads".to_string(), serde_json::to_value(&u64::from(t))),
+                (
+                    "wall_ms".to_string(),
+                    serde_json::to_value(&(wall.as_secs_f64() * 1e3)),
+                ),
+                ("candidates".to_string(), serde_json::to_value(&stats.evals)),
+                (
+                    "dispatched_jobs".to_string(),
+                    serde_json::to_value(&dispatched),
+                ),
+                (
+                    "chunks".to_string(),
+                    serde_json::to_value(&metrics.counter("engine.pool.chunks")),
+                ),
+                (
+                    "inline_batches".to_string(),
+                    serde_json::to_value(&metrics.counter("engine.pool.inline_batches")),
+                ),
+                ("l0_hits".to_string(), serde_json::to_value(&l0_hits)),
+                (
+                    "l0_publishes".to_string(),
+                    serde_json::to_value(&metrics.counter("engine.cache.l0_publishes")),
+                ),
+                (
+                    "l0_hit_rate".to_string(),
+                    serde_json::to_value(&l0_hit_rate),
+                ),
+                (
+                    "stats_lock_waits".to_string(),
+                    serde_json::to_value(&lock_waits),
+                ),
+            ]));
+        }
+    }
+    println!(
+        "results              : bit-identical across {{1,{}}} threads × \
+         {{prefilter,l0,adaptive}} on/off ✓ (warm dispatch < candidates)",
+        threads.max(2)
+    );
+    serde_json::Value::Array(rows)
+}
+
 fn full_suite() {
     println!("== micro-benchmarks (median per iteration) ==\n");
 
@@ -1374,10 +1571,13 @@ fn twostep_bench(smoke: bool, threads: u32) -> serde_json::Value {
 /// Bounds what telemetry may cost on the engine's hottest leaf: a warmed
 /// `score_single` cache hit (tens of nanoseconds). Probes the same cached
 /// subgraph 20 000 times through a disabled handle and through a live
-/// sink; both arms must stay under a generous 5 µs/probe ceiling, which
-/// catches a regression that puts a clock read, lock round-trip or
-/// allocation onto the cached path. The cached leaf must also stay silent:
-/// after every probe the live sink's event buffer is still empty.
+/// sink — with the worker-local L0 cache answering the probe (the
+/// default) and with L0 off so the probe falls through to the shared
+/// shards. Every arm must stay under the same generous 5 µs/probe
+/// ceiling, which catches a regression that puts a clock read, lock
+/// round-trip or allocation onto the cached path. The cached leaf must
+/// also stay silent: after every probe the live sink's event buffer is
+/// still empty.
 fn telemetry_overhead_check() {
     let model = cocco::graph::models::resnet50();
     let evaluator = Evaluator::new(&model, AcceleratorConfig::default());
@@ -1386,12 +1586,16 @@ fn telemetry_overhead_check() {
     const PROBES: u32 = 20_000;
     const CEILING_NS: f64 = 5_000.0;
     println!();
-    for (arm, telemetry) in [
-        ("disabled", Telemetry::disabled()),
-        ("enabled", Telemetry::enabled()),
+    for (arm, telemetry, config) in [
+        ("disabled", Telemetry::disabled(), EngineConfig::serial()),
+        ("enabled", Telemetry::enabled(), EngineConfig::serial()),
+        (
+            "enabled-no-l0",
+            Telemetry::enabled(),
+            EngineConfig::serial().without_l0(),
+        ),
     ] {
-        let engine =
-            cocco::engine::Engine::with_telemetry(EngineConfig::serial(), telemetry.clone());
+        let engine = cocco::engine::Engine::with_telemetry(config, telemetry.clone());
         // Warm the subgraph-term cache so every timed probe is a hit.
         engine.score_single(&evaluator, &members, &buffer, EvalOptions::default());
         let start = Stopwatch::start();
@@ -1414,8 +1618,23 @@ fn telemetry_overhead_check() {
             telemetry.events().is_empty(),
             "telemetry ({arm}): the cached score_single leaf must emit no events"
         );
+        // Prove the timed probes exercised the path the arm claims: with
+        // L0 on, every post-warm probe is an L0 hit; with it off, none is.
+        let l0_hits = engine.metrics().counter("engine.cache.l0_hits");
+        if config.l0 {
+            assert_eq!(
+                l0_hits,
+                u64::from(PROBES),
+                "telemetry ({arm}): warmed probes must all be L0 hits"
+            );
+        } else {
+            assert_eq!(
+                l0_hits, 0,
+                "telemetry ({arm}): the L0-off arm must never touch an L0 cache"
+            );
+        }
         println!(
-            "telemetry/cached_leaf_{arm:<9}             {:>12} per probe (< {} ceiling)",
+            "telemetry/cached_leaf_{arm:<13}         {:>12} per probe (< {} ceiling)",
             fmt_time(per_probe_ns / 1e9),
             fmt_time(CEILING_NS / 1e9),
         );
@@ -1476,9 +1695,23 @@ fn main() {
     let mut threads: u32 = 4;
     let mut pool = PoolMode::Persistent;
     let mut arena = true;
+    let mut chunk = ChunkSize::Auto;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--chunk" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--chunk needs a value (<n> | auto)");
+                    std::process::exit(2);
+                });
+                chunk = match value.as_str() {
+                    "auto" => ChunkSize::Auto,
+                    n => ChunkSize::Fixed(n.parse().unwrap_or_else(|e| {
+                        eprintln!("bad --chunk `{n}`: {e} (<n> | auto)");
+                        std::process::exit(2);
+                    })),
+                };
+            }
             "--arena" => {
                 let value = args.next().unwrap_or_else(|| {
                     eprintln!("--arena needs a value (on | off)");
@@ -1521,7 +1754,7 @@ fn main() {
                 eprintln!(
                     "unknown argument `{bad}` \
                      (supported: --smoke, --threads <n>, --pool scoped|persistent, \
-                      --arena on|off)"
+                      --arena on|off, --chunk <n>|auto)"
                 );
                 std::process::exit(2);
             }
@@ -1536,8 +1769,9 @@ fn main() {
         // parity (driver + JSON-resume) and the interleaved-vs-sequential
         // two-step arm at the requested worker count; skip the slow
         // timing loops.
-        engine_bench(true, threads, pool, arena);
+        engine_bench(true, threads, pool, arena, chunk);
         arena_bench(true, threads);
+        scaleout_bench(true, threads, chunk);
         println!();
         arena_matrix_check();
         fault_matrix_check(threads);
@@ -1554,11 +1788,15 @@ fn main() {
     stepped_parity_check(threads);
     let key_build_ns = key_build_bench();
     let (scoped_overhead_ns, persistent_overhead_ns) = pool_overhead_bench(threads);
-    let mut doc = match engine_bench(false, threads, pool, arena) {
+    let mut doc = match engine_bench(false, threads, pool, arena, chunk) {
         serde_json::Value::Object(fields) => fields,
         _ => unreachable!("engine_bench returns an object"),
     };
     doc.push(("arena".to_string(), arena_bench(false, threads)));
+    doc.push((
+        "scaleout".to_string(),
+        scaleout_bench(false, threads, chunk),
+    ));
     doc.push(("twostep".to_string(), twostep_bench(false, threads)));
     doc.push((
         "key_build_ns".to_string(),

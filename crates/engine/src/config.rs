@@ -13,6 +13,22 @@ pub enum ThreadCount {
     Fixed(u32),
 }
 
+/// How many batch indices one pool claim covers. Results are bit-identical
+/// at any chunk size — workers still execute every job exactly once and
+/// the caller stores results per index — so chunking is purely a
+/// dispatch-overhead knob (one channel send + one counter claim per chunk
+/// instead of per candidate).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChunkSize {
+    /// Derive the chunk size from the batch size and worker count
+    /// (`ceil(jobs / (threads * 4))` — four claims per worker keep the
+    /// tail balanced while collapsing per-candidate claims). The default.
+    Auto,
+    /// Exactly this many jobs per chunk (`1` = the per-candidate dispatch
+    /// the chunked path is determinism-tested against).
+    Fixed(u32),
+}
+
 /// Worker-pool lifecycle policy. Results are bit-identical either way —
 /// workers claim batch indices from a shared counter and the caller stores
 /// results per index, so the mode is purely a wall-clock knob.
@@ -77,6 +93,30 @@ pub struct EngineConfig {
     /// [`DEFAULT_CACHE_CAPACITY`](Self::DEFAULT_CACHE_CAPACITY) — generous
     /// enough that ordinary explorations never evict.
     pub cache_capacity: usize,
+    /// Whether batch evaluation probes the shared roll-up cache serially
+    /// (in funding order) *before* handing jobs to the pool, so cache hits
+    /// never pay dispatch (`true`, the default). Results are
+    /// **bit-identical** either way; this is purely a dispatch-volume knob
+    /// (`engine.pool.dispatched` counts what still reaches the pool).
+    pub prefilter: bool,
+    /// Whether each scratch slot keeps a small worker-local L0 cache
+    /// (partition roll-ups + subgraph terms, probed lock-free before the
+    /// shared shards; new entries publish to the shared cache in a
+    /// funding-order drain at batch end). `true` by default. Results are
+    /// **bit-identical** either way — L0 entries are copies of (or are
+    /// published into) the shared cache, and every value is a pure
+    /// function of its key.
+    pub l0: bool,
+    /// Batches whose post-prefilter job count falls under this threshold
+    /// execute inline on the dispatching thread instead of paying pool
+    /// hand-off (default
+    /// [`DEFAULT_PARALLEL_THRESHOLD`](Self::DEFAULT_PARALLEL_THRESHOLD),
+    /// calibrated from the pool-overhead benchmark). Inline execution
+    /// runs jobs in index (= funding) order, so results are
+    /// **bit-identical** at any threshold.
+    pub parallel_threshold: usize,
+    /// Pool dispatch granularity ([`ChunkSize::Auto`] by default).
+    pub chunk: ChunkSize,
 }
 
 impl EngineConfig {
@@ -89,6 +129,12 @@ impl EngineConfig {
     /// entries, far above what a 50k-sample exploration produces.
     pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
 
+    /// Default [`parallel_threshold`](Self::parallel_threshold). The pool
+    /// bench measures ~12 µs of per-batch hand-off against ~7.6 µs per
+    /// warmed cached probe, so batches under about eight jobs lose more
+    /// to dispatch than parallelism returns.
+    pub const DEFAULT_PARALLEL_THRESHOLD: usize = 8;
+
     /// Auto-detected thread count.
     pub fn auto() -> Self {
         Self {
@@ -97,6 +143,10 @@ impl EngineConfig {
             pool: PoolMode::Persistent,
             arena: true,
             cache_capacity: Self::DEFAULT_CACHE_CAPACITY,
+            prefilter: true,
+            l0: true,
+            parallel_threshold: Self::DEFAULT_PARALLEL_THRESHOLD,
+            chunk: ChunkSize::Auto,
         }
     }
 
@@ -149,6 +199,41 @@ impl EngineConfig {
         self
     }
 
+    /// Disables the serial cache prefilter: every funded candidate is
+    /// dispatched to the pool and probes the shared cache from its worker,
+    /// like the pre-prefilter engine. The reference arm of the scale-out
+    /// determinism grid; results are identical, only dispatch volume
+    /// differs.
+    pub fn without_prefilter(mut self) -> Self {
+        self.prefilter = false;
+        self
+    }
+
+    /// Disables the worker-local L0 caches: every probe goes straight to
+    /// the shared shards and every computed entry is inserted from its
+    /// worker mid-batch. The reference arm of the scale-out determinism
+    /// grid; results are identical, only lock traffic differs.
+    pub fn without_l0(mut self) -> Self {
+        self.l0 = false;
+        self
+    }
+
+    /// Sets the inline-execution threshold: batches with fewer jobs than
+    /// `threshold` run serially on the dispatching thread (`0` disables
+    /// adaptive scheduling — every batch goes to the pool). Wall-clock
+    /// only; results are bit-identical at any threshold.
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold;
+        self
+    }
+
+    /// Selects the pool dispatch granularity (wall-clock only; results
+    /// are bit-identical at any chunk size).
+    pub fn with_chunk(mut self, chunk: ChunkSize) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
     /// The concrete worker count this configuration resolves to on the
     /// current machine.
     pub fn resolved_threads(&self) -> usize {
@@ -158,6 +243,15 @@ impl EngineConfig {
                 .map(|n| n.get())
                 .unwrap_or(1)
                 .min(Self::AUTO_CAP),
+        }
+    }
+
+    /// The concrete jobs-per-chunk this configuration resolves to for a
+    /// batch of `jobs` (at least 1).
+    pub fn resolved_chunk(&self, jobs: usize) -> usize {
+        match self.chunk {
+            ChunkSize::Fixed(n) => (n as usize).max(1),
+            ChunkSize::Auto => jobs.div_ceil(self.resolved_threads() * 4).max(1),
         }
     }
 }
@@ -225,6 +319,45 @@ mod tests {
     }
 
     #[test]
+    fn scaleout_knobs_default_on_and_toggle() {
+        let config = EngineConfig::auto();
+        assert!(config.prefilter);
+        assert!(config.l0);
+        assert_eq!(
+            config.parallel_threshold,
+            EngineConfig::DEFAULT_PARALLEL_THRESHOLD
+        );
+        assert_eq!(config.chunk, ChunkSize::Auto);
+        let off = config
+            .without_prefilter()
+            .without_l0()
+            .with_parallel_threshold(0)
+            .with_chunk(ChunkSize::Fixed(1));
+        assert!(!off.prefilter);
+        assert!(!off.l0);
+        assert_eq!(off.parallel_threshold, 0);
+        assert_eq!(off.chunk, ChunkSize::Fixed(1));
+    }
+
+    #[test]
+    fn chunk_sizes_resolve_sanely() {
+        let fixed = EngineConfig::with_threads(4).with_chunk(ChunkSize::Fixed(7));
+        assert_eq!(fixed.resolved_chunk(100), 7);
+        assert_eq!(
+            EngineConfig::with_threads(4)
+                .with_chunk(ChunkSize::Fixed(0))
+                .resolved_chunk(100),
+            1
+        );
+        // Auto: four claims per worker, never zero.
+        let auto = EngineConfig::with_threads(4);
+        assert_eq!(auto.resolved_chunk(64), 4);
+        assert_eq!(auto.resolved_chunk(16), 1);
+        assert_eq!(auto.resolved_chunk(0), 1);
+        assert_eq!(EngineConfig::serial().resolved_chunk(7), 2);
+    }
+
+    #[test]
     fn serde_round_trip() {
         use serde::{Deserialize, Serialize};
         for config in [
@@ -236,6 +369,15 @@ mod tests {
             EngineConfig::auto().with_cache_capacity(12_345),
             EngineConfig::auto().without_arena(),
             EngineConfig::serial().without_arena().without_incremental(),
+            EngineConfig::auto().without_prefilter(),
+            EngineConfig::with_threads(4).without_l0(),
+            EngineConfig::auto().with_parallel_threshold(32),
+            EngineConfig::with_threads(2).with_chunk(ChunkSize::Fixed(8)),
+            EngineConfig::auto()
+                .without_prefilter()
+                .without_l0()
+                .with_parallel_threshold(0)
+                .with_chunk(ChunkSize::Fixed(1)),
         ] {
             let back = EngineConfig::from_value(&config.to_value()).unwrap();
             assert_eq!(back, config);

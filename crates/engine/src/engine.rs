@@ -17,7 +17,7 @@
 //! stable member node in O(1). No evaluation path allocates a key or walks
 //! a member vector to probe the cache.
 
-use crate::arena::{ComposeScratch, EvalArena, ScratchPool};
+use crate::arena::{ComposeScratch, EvalArena, L0Cache, ScratchPool};
 use crate::cache::{EvalCache, EvalKey};
 use crate::config::EngineConfig;
 use crate::pool::EnginePool;
@@ -107,6 +107,47 @@ impl std::fmt::Display for DispatchPanic {
 }
 
 impl std::error::Error for DispatchPanic {}
+
+/// How a freshly computed cache entry reaches the shared [`EvalCache`].
+#[derive(Copy, Clone, Debug)]
+enum Publish {
+    /// Insert into the shared cache right away — the policy of every
+    /// direct scoring entry point, so callers outside a batch observe
+    /// their entries immediately.
+    Immediate,
+    /// Stage in the claimed slot's L0 queue, tagged with the funding-order
+    /// sequence number of the job that computed it; the engine publishes
+    /// all staged entries in ascending sequence order at the batch-end
+    /// quiescent point of [`Engine::dispatch`]. Degrades to `Immediate`
+    /// when the L0 layer is disabled ([`EngineConfig::l0`]).
+    Deferred(u64),
+}
+
+/// The outcome of [`Engine::prepare_partition`] — the serial prefilter
+/// half of the two-phase batch scoring protocol.
+#[derive(Debug)]
+pub enum PartitionProbe {
+    /// The roll-up was already cached (L0 or shared): the score never has
+    /// to pay pool dispatch.
+    Hit(ScoredEval, Option<Arc<EvalMemo>>),
+    /// A genuine miss; hand the carried state to
+    /// [`Engine::score_prepared`] (typically from a pool worker).
+    Miss(PreparedEval),
+}
+
+/// Key material carried from a [`Engine::prepare_partition`] miss to the
+/// [`Engine::score_prepared`] call that computes it: the cache key and
+/// fingerprints are derived exactly once, and the shared-cache miss was
+/// counted exactly once (`score_prepared` recomputes without re-probing).
+#[derive(Debug)]
+pub struct PreparedEval {
+    key: EvalKey,
+    fps: PartitionFingerprints,
+    /// Per-position dirty flags of a usable incremental hint (`None` when
+    /// the hint was absent or unusable — `score_prepared` then composes
+    /// from the caches without memo reuse).
+    dirty: Option<Vec<bool>>,
+}
 
 /// Renders a panic payload as text (the same downcasts the std hook uses).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -446,6 +487,26 @@ pub struct Engine {
     /// `Evaluator::stats_canonicalize_fallbacks`); 0 in production,
     /// folded into the `hot_allocs` tripwire.
     stats_fallbacks: AtomicU64,
+    /// Probes answered by a worker-local L0 cache (`engine.cache.l0_hits`;
+    /// both partition and subgraph levels). Engine-local — never a
+    /// registry instrument, so cached probes stay zero-perturbation.
+    l0_hits: AtomicU64,
+    /// Entries staged for the batch-end funding-order drain
+    /// (`engine.cache.l0_publishes`).
+    l0_publishes: AtomicU64,
+    /// Jobs handed to [`dispatch`](Self::dispatch)
+    /// (`engine.pool.dispatched`) — on the prefiltered batch path this
+    /// counts post-prefilter misses only, so a warmed run shows strictly
+    /// fewer dispatched jobs than scored candidates.
+    dispatched: AtomicU64,
+    /// Chunked pool hand-offs (`engine.pool.chunks`): index claims the
+    /// workers performed instead of one per job.
+    chunks: AtomicU64,
+    /// Batches the adaptive scheduler ran inline on the caller because
+    /// the post-prefilter job count fell under
+    /// [`EngineConfig::parallel_threshold`]
+    /// (`engine.pool.inline_batches`).
+    inline_batches: AtomicU64,
     /// Observation sink shared with the pool and cache; disabled by
     /// default ([`Engine::new`]), so nothing below ever pays more than a
     /// branch for it.
@@ -507,6 +568,11 @@ impl Engine {
             reused: AtomicU64::new(0),
             bulk_scorings: AtomicU64::new(0),
             stats_fallbacks: AtomicU64::new(0),
+            l0_hits: AtomicU64::new(0),
+            l0_publishes: AtomicU64::new(0),
+            dispatched: AtomicU64::new(0),
+            chunks: AtomicU64::new(0),
+            inline_batches: AtomicU64::new(0),
             batch_latency: telemetry.latency_histogram("engine.batch.latency_ns"),
             alloc_bytes: telemetry
                 .registry()
@@ -572,6 +638,8 @@ impl Engine {
                 options,
                 None,
                 &mut arena.compose,
+                &mut arena.l0,
+                Publish::Immediate,
             )
         })
     }
@@ -613,6 +681,8 @@ impl Engine {
                 options,
                 reuse,
                 &mut arena.compose,
+                &mut arena.l0,
+                Publish::Immediate,
             )
         })
     }
@@ -640,11 +710,60 @@ impl Engine {
         options: EvalOptions,
         hint: Option<(&EvalMemo, &PartitionDelta)>,
     ) -> (ScoredEval, Option<Arc<EvalMemo>>) {
+        self.score_partition_publish(
+            evaluator,
+            partition,
+            buffer,
+            options,
+            hint,
+            Publish::Immediate,
+        )
+    }
+
+    /// Like [`score_partition`](Self::score_partition), but a freshly
+    /// computed entry is *staged* in the claimed slot's L0 queue under
+    /// `seq` — the candidate's funding-order sequence number — instead of
+    /// being inserted into the shared cache mid-batch. The engine
+    /// publishes every staged entry in ascending `seq` order at the end
+    /// of the enclosing [`dispatch`](Self::dispatch), so the shared
+    /// cache's insertion history is independent of thread count, chunking
+    /// and slot assignment. Call this only from jobs running under
+    /// `dispatch`/[`try_dispatch`](Self::try_dispatch); with the L0 layer
+    /// disabled it behaves exactly like `score_partition`.
+    pub fn score_partition_deferred(
+        &self,
+        seq: u64,
+        evaluator: &Evaluator<'_>,
+        partition: &Partition,
+        buffer: &BufferConfig,
+        options: EvalOptions,
+        hint: Option<(&EvalMemo, &PartitionDelta)>,
+    ) -> (ScoredEval, Option<Arc<EvalMemo>>) {
+        self.score_partition_publish(
+            evaluator,
+            partition,
+            buffer,
+            options,
+            hint,
+            Publish::Deferred(seq),
+        )
+    }
+
+    fn score_partition_publish(
+        &self,
+        evaluator: &Evaluator<'_>,
+        partition: &Partition,
+        buffer: &BufferConfig,
+        options: EvalOptions,
+        hint: Option<(&EvalMemo, &PartitionDelta)>,
+        publish: Publish,
+    ) -> (ScoredEval, Option<Arc<EvalMemo>>) {
         self.scratch.with_slot(|arena| {
             let EvalArena {
                 layout,
                 dirty,
                 compose,
+                l0,
             } = arena;
             let usable = hint.filter(|(memo, delta)| {
                 self.config.incremental
@@ -661,7 +780,9 @@ impl Engine {
                     }
                     None => None,
                 };
-                self.score_inner(evaluator, &view, buffer, options, reuse, compose)
+                self.score_inner(
+                    evaluator, &view, buffer, options, reuse, compose, l0, publish,
+                )
             } else {
                 let subgraphs = partition.subgraphs();
                 let reuse = match usable {
@@ -678,6 +799,147 @@ impl Engine {
                     options,
                     reuse,
                     compose,
+                    l0,
+                    publish,
+                )
+            }
+        })
+    }
+
+    /// The serial prefilter half of two-phase batch scoring: derives the
+    /// partition's fingerprints and cache key (through the claimed slot's
+    /// scratch, exactly as [`score_partition`](Self::score_partition)
+    /// would) and probes the L0 and shared caches. A
+    /// [`PartitionProbe::Hit`] is the finished score — the candidate
+    /// never has to be dispatched at all. A [`PartitionProbe::Miss`]
+    /// carries the derived key material to
+    /// [`score_prepared`](Self::score_prepared), which computes without
+    /// re-probing (the miss was counted here, once).
+    ///
+    /// `hint` follows the same usability rules as `score_partition`; a
+    /// usable hint's per-position dirty flags travel inside the returned
+    /// [`PreparedEval`].
+    pub fn prepare_partition(
+        &self,
+        evaluator: &Evaluator<'_>,
+        partition: &Partition,
+        buffer: &BufferConfig,
+        options: EvalOptions,
+        hint: Option<(&EvalMemo, &PartitionDelta)>,
+    ) -> PartitionProbe {
+        self.scratch.with_slot(|arena| {
+            let EvalArena {
+                layout, dirty, l0, ..
+            } = arena;
+            let usable = hint.filter(|(memo, delta)| {
+                self.config.incremental
+                    && !delta.is_all()
+                    && delta.len() == partition.len()
+                    && memo.matches(evaluator.fingerprint(), buffer, options)
+            });
+            let (fps, carried) = if self.config.arena {
+                let view = layout.build_from_partition(partition);
+                match usable {
+                    Some((memo, delta)) => {
+                        Self::project_dirty(&view, delta, dirty);
+                        (
+                            memo.fps.refresh_positions(&view, dirty),
+                            Some(dirty.clone()),
+                        )
+                    }
+                    None => (PartitionFingerprints::from_subgraphs(&view), None),
+                }
+            } else {
+                let subgraphs = partition.subgraphs();
+                match usable {
+                    Some((memo, delta)) => {
+                        Self::project_dirty(subgraphs.as_slice(), delta, dirty);
+                        (
+                            memo.fps.refresh_positions(subgraphs.as_slice(), dirty),
+                            Some(dirty.clone()),
+                        )
+                    }
+                    None => (
+                        PartitionFingerprints::from_subgraphs(subgraphs.as_slice()),
+                        None,
+                    ),
+                }
+            };
+            let key = EvalKey::partition(
+                evaluator.fingerprint(),
+                fps.positions().iter().copied(),
+                buffer,
+                options,
+            );
+            if let Some((cached, memo)) = self.probe_partition(l0, &key) {
+                self.note_stats_fallbacks(evaluator);
+                return PartitionProbe::Hit(cached, memo);
+            }
+            PartitionProbe::Miss(PreparedEval {
+                key,
+                fps,
+                dirty: carried,
+            })
+        })
+    }
+
+    /// The compute half of two-phase batch scoring: finishes a
+    /// [`PartitionProbe::Miss`] from
+    /// [`prepare_partition`](Self::prepare_partition), reusing its key
+    /// and fingerprints and staging the result under `seq` for the
+    /// batch-end funding-order drain (see
+    /// [`score_partition_deferred`](Self::score_partition_deferred)).
+    ///
+    /// `partition` and `hint` must be the values the probe was prepared
+    /// from (`hint` may only have been dropped, not substituted); the
+    /// layout is rebuilt into this call's slot — worker-local, so the
+    /// prefilter thread's scratch is never shared across the dispatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn score_prepared(
+        &self,
+        seq: u64,
+        evaluator: &Evaluator<'_>,
+        partition: &Partition,
+        buffer: &BufferConfig,
+        options: EvalOptions,
+        hint: Option<&EvalMemo>,
+        prepared: PreparedEval,
+    ) -> (ScoredEval, Option<Arc<EvalMemo>>) {
+        let PreparedEval { key, fps, dirty } = prepared;
+        let publish = Publish::Deferred(seq);
+        self.scratch.with_slot(|arena| {
+            let EvalArena {
+                layout,
+                compose,
+                l0,
+                ..
+            } = arena;
+            if self.config.arena {
+                let view = layout.build_from_partition(partition);
+                let reuse = match (&dirty, hint) {
+                    (Some(flags), Some(memo)) => Some((memo, flags.as_slice())),
+                    _ => None,
+                };
+                self.score_missed(
+                    evaluator, &view, buffer, options, reuse, compose, l0, key, fps, publish,
+                )
+            } else {
+                let subgraphs = partition.subgraphs();
+                let reuse = match (&dirty, hint) {
+                    (Some(flags), Some(memo)) => Some((memo, flags.as_slice())),
+                    _ => None,
+                };
+                self.score_missed(
+                    evaluator,
+                    subgraphs.as_slice(),
+                    buffer,
+                    options,
+                    reuse,
+                    compose,
+                    l0,
+                    key,
+                    fps,
+                    publish,
                 )
             }
         })
@@ -714,26 +976,120 @@ impl Engine {
         }
         let fp = NodeSetFp::of_members(members);
         let key = EvalKey::subgraph(evaluator.fingerprint(), fp, 0, buffer, options);
-        let term = match self.cache.get_subgraph(&key) {
-            Some(term) => term,
-            None => match evaluator.subgraph_stats_keyed(fp, members) {
-                Ok(stats) => {
-                    let term = self.compute_term(evaluator, &stats, 0, buffer, options);
-                    self.cache.insert_subgraph(key, term);
-                    term
+        self.scratch.with_slot(|arena| {
+            let l0 = &mut arena.l0;
+            let term = match self.probe_subgraph(l0, &key) {
+                Some(term) => term,
+                None => match evaluator.subgraph_stats_keyed(fp, members) {
+                    Ok(stats) => {
+                        let term = self.compute_term(evaluator, &stats, 0, buffer, options);
+                        self.publish_subgraph(l0, Publish::Immediate, key, term);
+                        term
+                    }
+                    Err(_) => return ScoredEval::errored(buffer),
+                },
+            };
+            ScoredEval {
+                ema_bytes: term.ema_bytes,
+                energy_pj: term.energy_pj,
+                buffer_bytes: buffer.total_bytes(),
+                fits: term.fits,
+                error: false,
+            }
+        })
+    }
+
+    /// Probes the partition roll-up hierarchy: the slot's lock-free L0
+    /// first, then the shared shards (read-through: a shared hit is
+    /// copied into the L0 so the next probe from this slot pays no lock).
+    /// An L0 hit is credited to the shared hit counters — see
+    /// `EvalCache::record_l0_partition_hit` — plus the engine-local
+    /// `l0_hits`.
+    fn probe_partition(
+        &self,
+        l0: &mut L0Cache,
+        key: &EvalKey,
+    ) -> Option<(ScoredEval, Option<Arc<EvalMemo>>)> {
+        if self.config.l0 {
+            if let Some((cached, memo)) = l0.get_partition(key) {
+                self.cache.record_l0_partition_hit();
+                self.l0_hits.fetch_add(1, Ordering::Relaxed);
+                return Some((cached, memo));
+            }
+        }
+        let (cached, memo) = self.cache.get_memoized(key)?;
+        if self.config.l0 {
+            l0.put_partition(*key, cached, memo.clone());
+        }
+        Some((cached, memo))
+    }
+
+    /// Probes the subgraph-term hierarchy (L0 before shared, with
+    /// read-through; same accounting as
+    /// [`probe_partition`](Self::probe_partition)).
+    fn probe_subgraph(&self, l0: &mut L0Cache, key: &EvalKey) -> Option<SubgraphScore> {
+        if self.config.l0 {
+            if let Some(term) = l0.get_subgraph(key) {
+                self.cache.record_l0_subgraph_hit();
+                self.l0_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(term);
+            }
+        }
+        let term = self.cache.get_subgraph(key)?;
+        if self.config.l0 {
+            l0.put_subgraph(*key, term);
+        }
+        Some(term)
+    }
+
+    /// Publishes a freshly computed roll-up per `publish` policy
+    /// (deferred staging requires the L0 layer; otherwise the entry goes
+    /// to the shared cache immediately, plus the L0 as read-through).
+    fn publish_partition(
+        &self,
+        l0: &mut L0Cache,
+        publish: Publish,
+        key: EvalKey,
+        scored: ScoredEval,
+        memo: Option<Arc<EvalMemo>>,
+    ) {
+        match publish {
+            Publish::Deferred(seq) if self.config.l0 => {
+                self.l0_publishes.fetch_add(1, Ordering::Relaxed);
+                l0.stage_partition(seq, key, scored, memo);
+            }
+            _ => {
+                if self.config.l0 {
+                    l0.put_partition(key, scored, memo.clone());
                 }
-                Err(_) => return ScoredEval::errored(buffer),
-            },
-        };
-        ScoredEval {
-            ema_bytes: term.ema_bytes,
-            energy_pj: term.energy_pj,
-            buffer_bytes: buffer.total_bytes(),
-            fits: term.fits,
-            error: false,
+                self.cache.insert_memoized(key, scored, memo);
+            }
         }
     }
 
+    /// Publishes a freshly computed subgraph term per `publish` policy.
+    fn publish_subgraph(
+        &self,
+        l0: &mut L0Cache,
+        publish: Publish,
+        key: EvalKey,
+        term: SubgraphScore,
+    ) {
+        match publish {
+            Publish::Deferred(seq) if self.config.l0 => {
+                self.l0_publishes.fetch_add(1, Ordering::Relaxed);
+                l0.stage_subgraph(seq, key, term);
+            }
+            _ => {
+                if self.config.l0 {
+                    l0.put_subgraph(key, term);
+                }
+                self.cache.insert_subgraph(key, term);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn score_inner<S: ViewEval + ?Sized>(
         &self,
         evaluator: &Evaluator<'_>,
@@ -742,6 +1098,8 @@ impl Engine {
         options: EvalOptions,
         reuse: Option<(&EvalMemo, &[bool])>,
         scratch: &mut ComposeScratch,
+        l0: &mut L0Cache,
+        publish: Publish,
     ) -> (ScoredEval, Option<Arc<EvalMemo>>) {
         // Subgraph fingerprints: clean positions copy the memo's
         // incrementally maintained fingerprint in O(1); dirty (or
@@ -758,12 +1116,38 @@ impl Engine {
             buffer,
             options,
         );
-        if let Some((cached, memo)) = self.cache.get_memoized(&key) {
+        if let Some((cached, memo)) = self.probe_partition(l0, &key) {
             self.note_stats_fallbacks(evaluator);
             return (cached, memo);
         }
+        self.score_missed(
+            evaluator, subgraphs, buffer, options, reuse, scratch, l0, key, fps, publish,
+        )
+    }
+
+    /// The compute tail of a partition-cache miss: compose (incremental)
+    /// or bulk-evaluate, then publish under `key`. Shared by
+    /// [`score_inner`](Self::score_inner) and
+    /// [`score_prepared`](Self::score_prepared) — the miss itself was
+    /// already counted by whoever probed.
+    #[allow(clippy::too_many_arguments)]
+    fn score_missed<S: ViewEval + ?Sized>(
+        &self,
+        evaluator: &Evaluator<'_>,
+        subgraphs: &S,
+        buffer: &BufferConfig,
+        options: EvalOptions,
+        reuse: Option<(&EvalMemo, &[bool])>,
+        scratch: &mut ComposeScratch,
+        l0: &mut L0Cache,
+        key: EvalKey,
+        fps: PartitionFingerprints,
+        publish: Publish,
+    ) -> (ScoredEval, Option<Arc<EvalMemo>>) {
         let (scored, memo) = if self.config.incremental {
-            self.compose(evaluator, subgraphs, fps, buffer, options, reuse, scratch)
+            self.compose(
+                evaluator, subgraphs, fps, buffer, options, reuse, scratch, l0, publish,
+            )
         } else {
             let scored = match subgraphs.eval_full(evaluator, buffer, options, &mut scratch.columns)
             {
@@ -782,7 +1166,7 @@ impl Engine {
             };
             (scored, None)
         };
-        self.cache.insert_memoized(key, scored, memo.clone());
+        self.publish_partition(l0, publish, key, scored, memo.clone());
         self.note_stats_fallbacks(evaluator);
         (scored, memo)
     }
@@ -830,6 +1214,8 @@ impl Engine {
         options: EvalOptions,
         reuse: Option<(&EvalMemo, &[bool])>,
         scratch: &mut ComposeScratch,
+        l0: &mut L0Cache,
+        publish: Publish,
     ) -> (ScoredEval, Option<Arc<EvalMemo>>) {
         if subgraphs.no_subgraphs() || subgraphs.any_empty() {
             return (ScoredEval::errored(buffer), None);
@@ -885,7 +1271,7 @@ impl Engine {
                         buffer,
                         options,
                     );
-                    match self.cache.get_subgraph(&key) {
+                    match self.probe_subgraph(l0, &key) {
                         Some(term) => term,
                         None => {
                             let stats = match scratch.stats_of[i] {
@@ -903,7 +1289,7 @@ impl Engine {
                             };
                             let term =
                                 self.compute_term(evaluator, &stats, next_wgt, buffer, options);
-                            self.cache.insert_subgraph(key, term);
+                            self.publish_subgraph(l0, publish, key, term);
                             term
                         }
                     }
@@ -941,7 +1327,36 @@ impl Engine {
         // quiescent, so the slot sum is exact); warmed batches record 0.
         let bytes_before = self.alloc_bytes.as_ref().map(|_| self.scratch.bytes());
         let sw = Stopwatch::start();
-        self.pool.run(jobs, job);
+        self.dispatched.fetch_add(jobs as u64, Ordering::Relaxed);
+        if jobs > 1 && self.pool.threads() > 1 && jobs < self.config.parallel_threshold {
+            // Adaptive serial fallback: under the measured threshold, pool
+            // hand-off costs more than it buys — run inline on the caller,
+            // in index order (exactly the serial pool's schedule).
+            self.inline_batches.fetch_add(1, Ordering::Relaxed);
+            for i in 0..jobs {
+                job(i);
+            }
+        } else {
+            let chunk = self.config.resolved_chunk(jobs);
+            if chunk <= 1 {
+                self.pool.run(jobs, job);
+            } else {
+                // Chunked hand-off: one index claim covers `chunk`
+                // consecutive jobs. Within a chunk jobs run in index
+                // order, so the serial pool's overall order is unchanged.
+                let chunk_count = jobs.div_ceil(chunk);
+                self.chunks.fetch_add(chunk_count as u64, Ordering::Relaxed);
+                self.pool.run(chunk_count, |c| {
+                    let start = c * chunk;
+                    for i in start..(start + chunk).min(jobs) {
+                        job(i);
+                    }
+                });
+            }
+        }
+        // Batch-end quiescent point: publish every entry the jobs staged
+        // in their slots' L0 queues, in funding order.
+        self.drain_published();
         let nanos = sw.elapsed_nanos();
         self.wall_nanos.fetch_add(nanos, Ordering::Relaxed);
         if let Some(hist) = &self.batch_latency {
@@ -974,6 +1389,32 @@ impl Engine {
                 message: panic_message(payload.as_ref()),
             },
         )
+    }
+
+    /// Publishes every staged L0 entry to the shared cache, in ascending
+    /// funding-order sequence (ties — the entries of one job — keep
+    /// their slot-local compute order, which is deterministic). Runs at
+    /// the batch-end quiescent point of [`dispatch`](Self::dispatch);
+    /// entries left staged by a panicked batch are pure values and are
+    /// simply published by the next batch's drain.
+    fn drain_published(&self) {
+        if !self.config.l0 {
+            return;
+        }
+        let (mut partitions, mut subgraphs) = self.scratch.drain_pending();
+        if partitions.is_empty() && subgraphs.is_empty() {
+            return;
+        }
+        // Vec-collected and stable-sorted by sequence number — no map
+        // iteration order reaches the shared cache.
+        subgraphs.sort_by_key(|entry| entry.0);
+        partitions.sort_by_key(|entry| entry.0);
+        for (_, key, term) in subgraphs {
+            self.cache.insert_subgraph(key, term);
+        }
+        for (_, key, scored, memo) in partitions {
+            self.cache.insert_memoized(key, scored, memo);
+        }
     }
 
     /// Adds `elapsed` to the accumulated batch wall time (callers that
@@ -1031,6 +1472,20 @@ impl Engine {
         m.set_gauge("engine.arena.bytes", self.scratch.bytes());
         m.set_counter("engine.arena.reuses", self.scratch.reuses());
         m.set_counter("engine.arena.grows", self.scratch.grows());
+        m.set_counter("engine.cache.l0_hits", self.l0_hits.load(Ordering::Relaxed));
+        m.set_counter(
+            "engine.cache.l0_publishes",
+            self.l0_publishes.load(Ordering::Relaxed),
+        );
+        m.set_counter(
+            "engine.pool.dispatched",
+            self.dispatched.load(Ordering::Relaxed),
+        );
+        m.set_counter("engine.pool.chunks", self.chunks.load(Ordering::Relaxed));
+        m.set_counter(
+            "engine.pool.inline_batches",
+            self.inline_batches.load(Ordering::Relaxed),
+        );
         m.set_gauge(
             "engine.batch.wall_ns",
             self.wall_nanos.load(Ordering::Relaxed),
@@ -1523,6 +1978,167 @@ mod tests {
         // The first dispatch grows the arenas; the warmed repeats record
         // exactly zero growth (the cached probes allocate nothing).
         assert!(hist.counts[0] >= 2, "warmed dispatches must record 0 bytes");
+    }
+
+    #[test]
+    fn l0_probes_hit_after_first_score_and_change_nothing() {
+        let g = cocco_graph::models::googlenet();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let buffer = BufferConfig::shared(1 << 20);
+        let options = EvalOptions::default();
+        let with_l0 = Engine::new(EngineConfig::serial());
+        let without = Engine::new(EngineConfig::serial().without_l0());
+        let p =
+            cocco_partition::repair(&g, cocco_partition::Partition::depth_groups(&g, 3), &|_| {
+                true
+            });
+        for engine in [&with_l0, &without] {
+            for _ in 0..3 {
+                engine.score_partition(&eval, &p, &buffer, options, None);
+            }
+        }
+        // Scores, counters visible through stats, and snapshots agree.
+        let (a, _) = with_l0.score_partition(&eval, &p, &buffer, options, None);
+        let (b, _) = without.score_partition(&eval, &p, &buffer, options, None);
+        assert_eq!(a, b);
+        assert_eq!(with_l0.stats(), without.stats());
+        assert_eq!(with_l0.cache().snapshot(), without.cache().snapshot());
+        // But only the L0 engine answered repeats locally.
+        assert!(with_l0.metrics().counter("engine.cache.l0_hits") > 0);
+        assert_eq!(without.metrics().counter("engine.cache.l0_hits"), 0);
+    }
+
+    #[test]
+    fn prepare_then_score_prepared_matches_one_shot_scoring() {
+        let g = cocco_graph::models::googlenet();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let buffer = BufferConfig::shared(1 << 20);
+        let options = EvalOptions::default();
+        for arena in [true, false] {
+            let mut config = EngineConfig::with_threads(2);
+            if !arena {
+                config = config.without_arena();
+            }
+            let two_phase = Engine::new(config);
+            let one_shot = Engine::new(config);
+            let p = cocco_partition::repair(
+                &g,
+                cocco_partition::Partition::depth_groups(&g, 4),
+                &|_| true,
+            );
+            let probe = two_phase.prepare_partition(&eval, &p, &buffer, options, None);
+            let prepared = match probe {
+                PartitionProbe::Miss(prepared) => prepared,
+                PartitionProbe::Hit(..) => panic!("cold cache cannot hit"),
+            };
+            let mut slot = std::sync::Mutex::new(Some(prepared));
+            let result = std::sync::Mutex::new(None);
+            two_phase.dispatch(1, |_| {
+                let prepared = slot.lock().unwrap().take().unwrap();
+                *result.lock().unwrap() =
+                    Some(two_phase.score_prepared(0, &eval, &p, &buffer, options, None, prepared));
+            });
+            let (scored, memo) = result.into_inner().unwrap().unwrap();
+            let (direct, direct_memo) = one_shot.score_partition(&eval, &p, &buffer, options, None);
+            assert_eq!(scored, direct, "arena={arena}");
+            assert_eq!(memo.is_some(), direct_memo.is_some());
+            // The dispatch-end drain published the staged entries: the
+            // next prepare is a pure cache hit handing back the memo.
+            assert_eq!(two_phase.cache().snapshot(), one_shot.cache().snapshot());
+            match two_phase.prepare_partition(&eval, &p, &buffer, options, None) {
+                PartitionProbe::Hit(cached, hit_memo) => {
+                    assert_eq!(cached, scored);
+                    assert_eq!(hit_memo.is_some(), memo.is_some());
+                }
+                PartitionProbe::Miss(_) => panic!("drained entry must hit"),
+            }
+            // Exactly one partition-level probe missed (the prepare);
+            // score_prepared never re-probed.
+            assert_eq!(two_phase.stats().evals, 2, "arena={arena}");
+            assert_eq!(two_phase.stats().cache_hits, 1, "arena={arena}");
+            let _ = slot.get_mut();
+        }
+    }
+
+    #[test]
+    fn adaptive_scheduling_and_chunking_are_observable() {
+        let engine = Engine::new(
+            EngineConfig::with_threads(2)
+                .with_chunk(crate::config::ChunkSize::Auto)
+                .with_parallel_threshold(8),
+        );
+        let hits = AtomicU64::new(0);
+        // Under the threshold: runs inline, all jobs still execute.
+        engine.dispatch(4, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        // Over the threshold: chunked pool dispatch (64 jobs / (2*4) = 8
+        // jobs per chunk → 8 chunks).
+        engine.dispatch(64, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 68);
+        let m = engine.metrics();
+        assert_eq!(m.counter("engine.pool.dispatched"), 68);
+        assert_eq!(m.counter("engine.pool.inline_batches"), 1);
+        assert_eq!(m.counter("engine.pool.chunks"), 8);
+        // Per-candidate reference arm: no chunking, no inline batches.
+        let reference = Engine::new(
+            EngineConfig::with_threads(2)
+                .with_chunk(crate::config::ChunkSize::Fixed(1))
+                .with_parallel_threshold(0),
+        );
+        reference.dispatch(4, |_| {});
+        let m = reference.metrics();
+        assert_eq!(m.counter("engine.pool.dispatched"), 4);
+        assert_eq!(m.counter("engine.pool.inline_batches"), 0);
+        assert_eq!(m.counter("engine.pool.chunks"), 0);
+    }
+
+    #[test]
+    fn deferred_publication_is_thread_count_invariant() {
+        // Score the same distinct partitions as one deferred batch at 1
+        // and 4 threads (chunked and not): the drained shared cache must
+        // be byte-identical, and nothing may be visible mid-batch that
+        // wasn't published by a previous batch.
+        let g = cocco_graph::models::googlenet();
+        let eval = Evaluator::new(&g, AcceleratorConfig::default());
+        let buffer = BufferConfig::shared(1 << 20);
+        let options = EvalOptions::default();
+        let partitions: Vec<Partition> = (1..=6usize)
+            .map(|l| {
+                cocco_partition::repair(
+                    &g,
+                    cocco_partition::Partition::depth_groups(&g, l),
+                    &|_| true,
+                )
+            })
+            .collect();
+        let snapshot_of = |threads: u32, chunk: crate::config::ChunkSize| {
+            let engine = Engine::new(
+                EngineConfig::with_threads(threads)
+                    .with_chunk(chunk)
+                    .with_parallel_threshold(0),
+            );
+            engine.dispatch(partitions.len(), |i| {
+                engine.score_partition_deferred(
+                    i as u64,
+                    &eval,
+                    &partitions[i],
+                    &buffer,
+                    options,
+                    None,
+                );
+            });
+            engine.cache().snapshot()
+        };
+        let reference = snapshot_of(1, crate::config::ChunkSize::Fixed(1));
+        assert_eq!(
+            reference,
+            snapshot_of(4, crate::config::ChunkSize::Fixed(1))
+        );
+        assert_eq!(reference, snapshot_of(4, crate::config::ChunkSize::Auto));
+        assert_eq!(reference, snapshot_of(1, crate::config::ChunkSize::Auto));
     }
 
     #[test]

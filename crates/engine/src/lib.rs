@@ -71,7 +71,10 @@ mod trace;
 
 pub use budget::{SampleBudget, SampleReservation};
 pub use cache::{eval_key, subgraph_key, CacheSnapshot, EvalCache, EvalKey, SNAPSHOT_VERSION};
-pub use config::{EngineConfig, PoolMode, ThreadCount};
-pub use engine::{DispatchPanic, Engine, EngineStats, EvalMemo, ScoredEval, SubgraphScore};
+pub use config::{ChunkSize, EngineConfig, PoolMode, ThreadCount};
+pub use engine::{
+    DispatchPanic, Engine, EngineStats, EvalMemo, PartitionProbe, PreparedEval, ScoredEval,
+    SubgraphScore,
+};
 pub use pool::EnginePool;
 pub use trace::{Trace, TracePoint};

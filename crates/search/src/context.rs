@@ -5,13 +5,14 @@ use crate::driver::EvalBatch;
 use crate::genome::Genome;
 use crate::objective::{BufferSpace, Objective};
 use cocco_engine::{
-    Engine, EngineConfig, EvalMemo, SampleBudget, SampleReservation, Trace, TracePoint,
+    Engine, EngineConfig, EvalMemo, PartitionProbe, PreparedEval, SampleBudget, SampleReservation,
+    ScoredEval, Trace, TracePoint,
 };
 use cocco_faults::{FaultPlan, FaultSite};
 use cocco_graph::{Graph, NodeId};
 use cocco_partition::{repair, repair_with_delta, Partition, PartitionDelta};
 use cocco_sim::{BufferConfig, EvalOptions, Evaluator};
-use cocco_telemetry::Telemetry;
+use cocco_telemetry::{Stopwatch, Telemetry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -532,62 +533,138 @@ impl<'a> SearchContext<'a> {
         };
         let results: Vec<Mutex<Option<TracePoint>>> =
             (0..jobs.len()).map(|_| Mutex::new(None)).collect();
-        let dispatched = self.engine.try_dispatch(jobs.len(), |i| {
-            let (eval_error, worker_panic) =
-                injections.as_ref().map_or((false, false), |flags| flags[i]);
-            if worker_panic {
-                panic!("cocco-faults: injected worker panic");
-            }
-            let (slot, objective, sample) = &jobs[i];
-            let candidate: &mut EvalCandidate = &mut slot.lock().unwrap();
-            let buffer = candidate.genome.buffer;
-            let (parent_memo, mut delta) = match candidate.hint.take() {
-                Some(hint) => (Some(hint.memo), hint.delta),
-                None => (None, PartitionDelta::all(self.graph.len())),
-            };
-            candidate.genome.partition = self.repair_with_delta(
-                std::mem::replace(&mut candidate.genome.partition, Partition::singletons(0)),
-                &buffer,
-                &mut delta,
-            );
-            if eval_error {
-                // Injected transient evaluator failure: the first
-                // attempt's result is discarded and the job re-scores.
-                // Scoring is a pure function of its inputs, so the retry
-                // below is bit-identical to the fault-free run.
-                let _ = self.engine.score_partition(
+        let dispatched = if let Some(injections) = injections {
+            // Fault-injection arm: the one-phase dispatch shape the fault
+            // matrix was validated against — every funded job (repair,
+            // optional injected failure, scoring with immediate cache
+            // publication) runs on the pool.
+            self.engine.try_dispatch(jobs.len(), |i| {
+                let (eval_error, worker_panic) = injections[i];
+                if worker_panic {
+                    panic!("cocco-faults: injected worker panic");
+                }
+                let (slot, objective, sample) = &jobs[i];
+                let candidate: &mut EvalCandidate = &mut slot.lock().unwrap();
+                let (parent_memo, delta, buffer) = self.take_hint_and_repair(candidate);
+                if eval_error {
+                    // Injected transient evaluator failure: the first
+                    // attempt's result is discarded and the job re-scores.
+                    // Scoring is a pure function of its inputs, so the retry
+                    // below is bit-identical to the fault-free run.
+                    let _ = self.engine.score_partition(
+                        self.evaluator,
+                        &candidate.genome.partition,
+                        &buffer,
+                        self.options,
+                        parent_memo.as_deref().map(|memo| (memo, &delta)),
+                    );
+                    self.faults.log().note_eval_rescore();
+                }
+                // score_partition materializes the member lists into the
+                // worker's scratch slot (a flat layout arena on the default
+                // arm) — no per-candidate `subgraphs()` allocation — and
+                // takes the delta path itself whenever the hint is usable.
+                let (scored, memo) = self.engine.score_partition(
                     self.evaluator,
                     &candidate.genome.partition,
                     &buffer,
                     self.options,
                     parent_memo.as_deref().map(|memo| (memo, &delta)),
                 );
-                self.faults.log().note_eval_rescore();
+                self.finish_scored(&results, i, *objective, *sample, candidate, scored, memo);
+            })
+        } else if self.engine.config().prefilter {
+            // Hit prefilter, phase A — serial, in funding order: repair
+            // and probe the L0/shared cache hierarchy before any pool
+            // hand-off, so cache hits never pay dispatch. Timed into the
+            // engine's batch wall clock: this is work that used to run
+            // inside `dispatch`.
+            struct PendingJob {
+                idx: usize,
+                prepared: PreparedEval,
+                memo: Option<Arc<EvalMemo>>,
             }
-            // score_partition materializes the member lists into the
-            // worker's scratch slot (a flat layout arena on the default
-            // arm) — no per-candidate `subgraphs()` allocation — and
-            // takes the delta path itself whenever the hint is usable.
-            let (scored, memo) = self.engine.score_partition(
-                self.evaluator,
-                &candidate.genome.partition,
-                &buffer,
-                self.options,
-                parent_memo.as_deref().map(|memo| (memo, &delta)),
-            );
-            candidate.memo = memo;
-            if scored.error {
-                self.trace.record_infeasible_error();
+            let sw = Stopwatch::start();
+            let mut misses: Vec<Mutex<Option<PendingJob>>> = Vec::new();
+            for (i, (slot, objective, sample)) in jobs.iter().enumerate() {
+                let candidate: &mut EvalCandidate = &mut slot.lock().unwrap();
+                let (parent_memo, delta, buffer) = self.take_hint_and_repair(candidate);
+                match self.engine.prepare_partition(
+                    self.evaluator,
+                    &candidate.genome.partition,
+                    &buffer,
+                    self.options,
+                    parent_memo.as_deref().map(|memo| (memo, &delta)),
+                ) {
+                    PartitionProbe::Hit(scored, memo) => {
+                        self.finish_scored(
+                            &results, i, *objective, *sample, candidate, scored, memo,
+                        );
+                    }
+                    PartitionProbe::Miss(prepared) => misses.push(Mutex::new(Some(PendingJob {
+                        idx: i,
+                        prepared,
+                        memo: parent_memo,
+                    }))),
+                }
             }
-            let cost = scored.cost(objective.metric, objective.alpha);
-            candidate.cost = Some(cost);
-            *results[i].lock().unwrap() = Some(TracePoint {
-                sample: *sample,
-                cost,
-                buffer_bytes: buffer.total_bytes(),
-                metric_value: scored.metric(objective.metric),
-            });
-        });
+            self.engine.record_wall(sw.elapsed());
+            if misses.is_empty() {
+                Ok(())
+            } else {
+                // Phase B: only genuine misses reach the pool (chunked
+                // and adaptively scheduled by the engine). Results and
+                // staged cache entries key on the funding-order index
+                // `idx`, so worker scheduling stays invisible.
+                self.engine.try_dispatch(misses.len(), |j| {
+                    let pending = misses[j]
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .take();
+                    // cocco-audit: allow(R1) each pending job is taken exactly once, by its own dispatch index
+                    let pending = pending.expect("each miss dispatched once");
+                    let PendingJob {
+                        idx,
+                        prepared,
+                        memo,
+                    } = pending;
+                    let (slot, objective, sample) = &jobs[idx];
+                    let candidate: &mut EvalCandidate = &mut slot.lock().unwrap();
+                    let buffer = candidate.genome.buffer;
+                    let (scored, memo_out) = self.engine.score_prepared(
+                        idx as u64,
+                        self.evaluator,
+                        &candidate.genome.partition,
+                        &buffer,
+                        self.options,
+                        memo.as_deref(),
+                        prepared,
+                    );
+                    self.finish_scored(
+                        &results, idx, *objective, *sample, candidate, scored, memo_out,
+                    );
+                })
+            }
+        } else {
+            // Prefilter disabled (reference arm): one-phase dispatch like
+            // the fault arm, but with funding-order deferred publication,
+            // so the shared cache's insertion history still matches the
+            // prefiltered pipeline's.
+            self.engine.try_dispatch(jobs.len(), |i| {
+                let (slot, objective, sample) = &jobs[i];
+                let candidate: &mut EvalCandidate = &mut slot.lock().unwrap();
+                let (parent_memo, delta, buffer) = self.take_hint_and_repair(candidate);
+                let (scored, memo) = self.engine.score_partition_deferred(
+                    i as u64,
+                    self.evaluator,
+                    &candidate.genome.partition,
+                    &buffer,
+                    self.options,
+                    parent_memo.as_deref().map(|memo| (memo, &delta)),
+                );
+                self.finish_scored(&results, i, *objective, *sample, candidate, scored, memo);
+            })
+        };
         if let Err(panic) = dispatched {
             // Discard every funded candidate uniformly (some may have
             // finished scoring, but keeping them would make results
@@ -610,6 +687,55 @@ impl<'a> SearchContext<'a> {
             let point = slot.lock().unwrap().take().expect("every funded job ran");
             self.record_traced(point);
         }
+    }
+
+    /// The per-candidate evaluation prologue: consume the incremental
+    /// hint, extend its delta with repair-induced changes, and repair the
+    /// genome in place. Pure per candidate — safe both in the serial
+    /// prefilter section and inside pool workers.
+    fn take_hint_and_repair(
+        &self,
+        candidate: &mut EvalCandidate,
+    ) -> (Option<Arc<EvalMemo>>, PartitionDelta, BufferConfig) {
+        let buffer = candidate.genome.buffer;
+        let (parent_memo, mut delta) = match candidate.hint.take() {
+            Some(hint) => (Some(hint.memo), hint.delta),
+            None => (None, PartitionDelta::all(self.graph.len())),
+        };
+        candidate.genome.partition = self.repair_with_delta(
+            std::mem::replace(&mut candidate.genome.partition, Partition::singletons(0)),
+            &buffer,
+            &mut delta,
+        );
+        (parent_memo, delta, buffer)
+    }
+
+    /// The per-candidate evaluation epilogue: store the memo and cost on
+    /// the candidate and park its trace point in `results[i]` (recorded
+    /// in funding order after the batch completes).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_scored(
+        &self,
+        results: &[Mutex<Option<TracePoint>>],
+        i: usize,
+        objective: Objective,
+        sample: u64,
+        candidate: &mut EvalCandidate,
+        scored: ScoredEval,
+        memo: Option<Arc<EvalMemo>>,
+    ) {
+        candidate.memo = memo;
+        if scored.error {
+            self.trace.record_infeasible_error();
+        }
+        let cost = scored.cost(objective.metric, objective.alpha);
+        candidate.cost = Some(cost);
+        *results[i].lock().unwrap() = Some(TracePoint {
+            sample,
+            cost,
+            buffer_bytes: candidate.genome.buffer.total_bytes(),
+            metric_value: scored.metric(objective.metric),
+        });
     }
 
     /// Recovery path for a worker panic caught mid-dispatch (candidates

@@ -9,7 +9,7 @@
 //! the recorded trace and the persisted cache snapshot — at 1 and 4
 //! worker threads, on `resnet50` and `randwire-a`.
 
-use cocco_engine::{CacheSnapshot, EngineConfig, EvalMemo, TracePoint};
+use cocco_engine::{CacheSnapshot, ChunkSize, EngineConfig, EvalMemo, PoolMode, TracePoint};
 use cocco_graph::{Graph, NodeId};
 use cocco_partition::{Partition, PartitionDelta};
 use cocco_search::{BufferSpace, EvalCandidate, EvalHint, Genome, Objective, SearchContext};
@@ -35,12 +35,8 @@ struct WalkResult {
 /// One seeded mutation/repair/crossover walk under an explicit engine
 /// arm. The RNG drives genome construction only — it is consumed
 /// identically on every arm, so any divergence comes from evaluation.
-fn walk(model: &Graph, threads: u32, arena: bool) -> WalkResult {
+fn walk(model: &Graph, config: EngineConfig) -> WalkResult {
     let evaluator = Evaluator::new(model, AcceleratorConfig::default());
-    let mut config = EngineConfig::with_threads(threads);
-    if !arena {
-        config = config.without_arena();
-    }
     let ctx = SearchContext::new(
         model,
         &evaluator,
@@ -109,19 +105,21 @@ fn walk(model: &Graph, threads: u32, arena: bool) -> WalkResult {
         }
     }
     let stats = ctx.engine().stats();
-    if arena {
+    if config.arena {
         assert_eq!(
-            stats.hot_allocs, 0,
-            "arena arm recorded hot-path allocations at {threads} threads"
+            stats.hot_allocs,
+            0,
+            "arena arm recorded hot-path allocations at {} threads",
+            config.resolved_threads()
         );
     }
     assert_eq!(
         stats.key_allocs, 0,
-        "cache probes must build zero per-probe keys at {threads} threads"
+        "cache probes must build zero per-probe keys"
     );
     assert_eq!(
         stats.stats_canonicalize_fallbacks, 0,
-        "engine-fed member lists must already be sorted at {threads} threads"
+        "engine-fed member lists must already be sorted"
     );
     WalkResult {
         costs,
@@ -131,20 +129,53 @@ fn walk(model: &Graph, threads: u32, arena: bool) -> WalkResult {
     }
 }
 
+/// The scale-out arm grid at one thread count: every layer of the
+/// contention-free pipeline — hit prefilter, worker-local L0 caches,
+/// adaptive inline scheduling, chunked dispatch — toggled off one at a
+/// time (and all at once), plus both pool lifecycles and the
+/// reference-view arm. Seeded walks must be bit-identical across all of
+/// them.
+fn arm_grid(threads: u32) -> Vec<(&'static str, EngineConfig)> {
+    let base = EngineConfig::with_threads(threads);
+    vec![
+        ("default", base),
+        ("reference-view", base.without_arena()),
+        ("no-prefilter", base.without_prefilter()),
+        ("no-l0", base.without_l0()),
+        ("no-adaptive", base.with_parallel_threshold(0)),
+        ("chunk-1", base.with_chunk(ChunkSize::Fixed(1))),
+        ("scoped-pool", base.with_pool(PoolMode::Scoped)),
+        (
+            "all-off",
+            base.without_prefilter()
+                .without_l0()
+                .with_parallel_threshold(0)
+                .with_chunk(ChunkSize::Fixed(1))
+                .with_pool(PoolMode::Scoped),
+        ),
+    ]
+}
+
 fn assert_walks_identical(model: &Graph) {
-    let reference = walk(model, 1, false);
+    // The reference arm: serial, nested-view, every scale-out layer off —
+    // the plainest possible evaluation pipeline.
+    let reference = walk(
+        model,
+        EngineConfig::serial()
+            .without_arena()
+            .without_prefilter()
+            .without_l0()
+            .with_parallel_threshold(0)
+            .with_chunk(ChunkSize::Fixed(1)),
+    );
     assert_eq!(
         reference.costs.len(),
         POP * ROUNDS,
         "budget must never run out in this walk"
     );
     for threads in [1u32, 4] {
-        for arena in [true, false] {
-            if threads == 1 && !arena {
-                continue; // that is the reference itself
-            }
-            let other = walk(model, threads, arena);
-            let arm = if arena { "arena" } else { "reference" };
+        for (arm, config) in arm_grid(threads) {
+            let other = walk(model, config);
             assert_eq!(
                 reference.costs,
                 other.costs,
